@@ -1,0 +1,171 @@
+//! Exact range counting over a static point set.
+//!
+//! A uniform bucket grid indexes the points once; a query then adds the
+//! pre-aggregated counts of fully-covered cells and scans only the
+//! boundary cells. This is evaluation infrastructure (workload
+//! generation needs thousands of exact counts), not a private release.
+
+use dpsd_core::geometry::{Point, Rect};
+
+/// A bucket-grid index for exact rectangle counting.
+#[derive(Debug, Clone)]
+pub struct ExactIndex {
+    domain: Rect,
+    nx: usize,
+    ny: usize,
+    /// Exact number of points per cell.
+    counts: Vec<u32>,
+    /// Points per cell (for boundary scans), cell-major.
+    buckets: Vec<Vec<Point>>,
+    total: usize,
+}
+
+impl ExactIndex {
+    /// Builds the index with roughly `resolution x resolution` cells.
+    ///
+    /// Points outside `domain` are ignored (callers validate their data
+    /// against the domain separately).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resolution == 0` or the domain has zero area.
+    pub fn build(points: &[Point], domain: Rect, resolution: usize) -> Self {
+        assert!(resolution > 0, "resolution must be positive");
+        assert!(domain.area() > 0.0, "domain must have positive area");
+        let nx = resolution;
+        let ny = resolution;
+        let mut counts = vec![0u32; nx * ny];
+        let mut buckets = vec![Vec::new(); nx * ny];
+        let wx = domain.width() / nx as f64;
+        let wy = domain.height() / ny as f64;
+        let mut total = 0usize;
+        for &p in points {
+            if !domain.contains(p) {
+                continue;
+            }
+            let ix = (((p.x - domain.min_x) / wx) as usize).min(nx - 1);
+            let iy = (((p.y - domain.min_y) / wy) as usize).min(ny - 1);
+            counts[iy * nx + ix] += 1;
+            buckets[iy * nx + ix].push(p);
+            total += 1;
+        }
+        ExactIndex { domain, nx, ny, counts, buckets, total }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// Whether the index holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The indexed domain.
+    pub fn domain(&self) -> &Rect {
+        &self.domain
+    }
+
+    /// Exact number of points inside `query` (closed containment, the
+    /// same convention as [`Rect::contains`]).
+    pub fn count(&self, query: &Rect) -> usize {
+        let Some(clip) = self.domain.intersection(query) else {
+            return 0;
+        };
+        let wx = self.domain.width() / self.nx as f64;
+        let wy = self.domain.height() / self.ny as f64;
+        let ix0 = (((clip.min_x - self.domain.min_x) / wx) as usize).min(self.nx - 1);
+        let ix1 = (((clip.max_x - self.domain.min_x) / wx) as usize).min(self.nx - 1);
+        let iy0 = (((clip.min_y - self.domain.min_y) / wy) as usize).min(self.ny - 1);
+        let iy1 = (((clip.max_y - self.domain.min_y) / wy) as usize).min(self.ny - 1);
+        let mut total = 0usize;
+        for iy in iy0..=iy1 {
+            let cell_ylo = self.domain.min_y + iy as f64 * wy;
+            let cell_yhi = cell_ylo + wy;
+            let y_inside = cell_ylo >= query.min_y && cell_yhi <= query.max_y;
+            for ix in ix0..=ix1 {
+                let cell_xlo = self.domain.min_x + ix as f64 * wx;
+                let cell_xhi = cell_xlo + wx;
+                let x_inside = cell_xlo >= query.min_x && cell_xhi <= query.max_x;
+                let cell = iy * self.nx + ix;
+                if x_inside && y_inside {
+                    total += self.counts[cell] as usize;
+                } else {
+                    total += self.buckets[cell]
+                        .iter()
+                        .filter(|p| query.contains(**p))
+                        .count();
+                }
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Rect, Vec<Point>) {
+        let domain = Rect::new(0.0, 0.0, 100.0, 100.0).unwrap();
+        let pts: Vec<Point> = (0..100)
+            .flat_map(|i| (0..100).map(move |j| Point::new(i as f64 + 0.5, j as f64 + 0.5)))
+            .collect();
+        (domain, pts)
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let (domain, pts) = sample();
+        let index = ExactIndex::build(&pts, domain, 32);
+        assert_eq!(index.len(), 10_000);
+        let queries = [
+            Rect::new(0.0, 0.0, 100.0, 100.0).unwrap(),
+            Rect::new(10.2, 20.7, 35.9, 44.1).unwrap(),
+            Rect::new(0.0, 0.0, 0.4, 0.4).unwrap(),
+            Rect::new(99.6, 99.6, 100.0, 100.0).unwrap(),
+            Rect::new(50.0, 0.0, 50.99, 100.0).unwrap(),
+        ];
+        for q in &queries {
+            let brute = pts.iter().filter(|p| q.contains(**p)).count();
+            assert_eq!(index.count(q), brute, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn disjoint_query_is_zero() {
+        let (domain, pts) = sample();
+        let index = ExactIndex::build(&pts, domain, 16);
+        let q = Rect::new(200.0, 200.0, 300.0, 300.0).unwrap();
+        assert_eq!(index.count(&q), 0);
+    }
+
+    #[test]
+    fn points_outside_domain_ignored() {
+        let domain = Rect::new(0.0, 0.0, 10.0, 10.0).unwrap();
+        let pts = [Point::new(5.0, 5.0), Point::new(50.0, 50.0)];
+        let index = ExactIndex::build(&pts, domain, 4);
+        assert_eq!(index.len(), 1);
+    }
+
+    #[test]
+    fn boundary_points_follow_closed_containment() {
+        let domain = Rect::new(0.0, 0.0, 10.0, 10.0).unwrap();
+        let pts = [Point::new(5.0, 5.0)];
+        let index = ExactIndex::build(&pts, domain, 8);
+        // Query whose edge passes through the point: closed => counted.
+        let q = Rect::new(5.0, 5.0, 6.0, 6.0).unwrap();
+        assert_eq!(index.count(&q), 1);
+        let q = Rect::new(4.0, 4.0, 5.0, 5.0).unwrap();
+        assert_eq!(index.count(&q), 1);
+    }
+
+    #[test]
+    fn empty_index() {
+        let domain = Rect::new(0.0, 0.0, 1.0, 1.0).unwrap();
+        let index = ExactIndex::build(&[], domain, 4);
+        assert!(index.is_empty());
+        assert_eq!(index.count(&domain), 0);
+    }
+}

@@ -1,0 +1,174 @@
+//! The flat noisy-grid baseline from the paper's introduction.
+//!
+//! "The most straightforward method is to lay down a fine grid over the
+//! data, and add noise from a suitable distribution to the count of
+//! individuals within each cell." Every cell spends the full budget
+//! (cells partition the data, so releases compose in parallel), queries
+//! sum prorated noisy cells — and the error grows with the number of
+//! touched cells, which is exactly why Section 1 dismisses this approach
+//! for large queries.
+
+use dpsd_core::geometry::{Point, Rect};
+use dpsd_core::mech::laplace::laplace_mechanism;
+use dpsd_core::rng::seeded;
+
+/// A flat differentially private grid release.
+#[derive(Debug, Clone)]
+pub struct FlatGrid {
+    domain: Rect,
+    nx: usize,
+    ny: usize,
+    noisy: Vec<f64>,
+    epsilon: f64,
+}
+
+impl FlatGrid {
+    /// Builds the release: exact cell histogram + `Lap(1/eps)` per cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension is zero, the domain is degenerate, or
+    /// `eps <= 0`.
+    pub fn build(
+        points: &[Point],
+        domain: Rect,
+        nx: usize,
+        ny: usize,
+        eps: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(nx > 0 && ny > 0, "grid needs at least one cell per axis");
+        assert!(domain.area() > 0.0, "domain must have positive area");
+        assert!(eps > 0.0, "epsilon must be positive, got {eps}");
+        let mut rng = seeded(seed);
+        let wx = domain.width() / nx as f64;
+        let wy = domain.height() / ny as f64;
+        let mut noisy = vec![0.0f64; nx * ny];
+        for &p in points {
+            if !domain.contains(p) {
+                continue;
+            }
+            let ix = (((p.x - domain.min_x) / wx) as usize).min(nx - 1);
+            let iy = (((p.y - domain.min_y) / wy) as usize).min(ny - 1);
+            noisy[iy * nx + ix] += 1.0;
+        }
+        for c in noisy.iter_mut() {
+            *c = laplace_mechanism(&mut rng, *c, 1.0, eps);
+        }
+        FlatGrid { domain, nx, ny, noisy, epsilon: eps }
+    }
+
+    /// The privacy budget the release spent.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Grid resolution `(nx, ny)`.
+    pub fn resolution(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    /// Estimated count inside `query`: noisy cells prorated by overlap
+    /// area (uniformity within cells).
+    pub fn query(&self, query: &Rect) -> f64 {
+        let Some(clip) = self.domain.intersection(query) else {
+            return 0.0;
+        };
+        let wx = self.domain.width() / self.nx as f64;
+        let wy = self.domain.height() / self.ny as f64;
+        let ix0 = (((clip.min_x - self.domain.min_x) / wx) as usize).min(self.nx - 1);
+        let ix1 = (((clip.max_x - self.domain.min_x) / wx) as usize).min(self.nx - 1);
+        let iy0 = (((clip.min_y - self.domain.min_y) / wy) as usize).min(self.ny - 1);
+        let iy1 = (((clip.max_y - self.domain.min_y) / wy) as usize).min(self.ny - 1);
+        let mut total = 0.0;
+        for iy in iy0..=iy1 {
+            let cy = self.domain.min_y + iy as f64 * wy;
+            let fy = ((clip.max_y.min(cy + wy) - clip.min_y.max(cy)) / wy).max(0.0);
+            for ix in ix0..=ix1 {
+                let cx = self.domain.min_x + ix as f64 * wx;
+                let fx = ((clip.max_x.min(cx + wx) - clip.min_x.max(cx)) / wx).max(0.0);
+                total += self.noisy[iy * self.nx + ix] * fx * fy;
+            }
+        }
+        total
+    }
+
+    /// Variance of a query that fully covers `k` cells: `k * 2 / eps^2`.
+    /// Exposed so experiments can display the introduction's argument
+    /// (error grows with the number of touched cells).
+    pub fn covered_cell_variance(&self, cells: usize) -> f64 {
+        cells as f64 * 2.0 / (self.epsilon * self.epsilon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_points(n_side: usize, domain: &Rect) -> Vec<Point> {
+        (0..n_side)
+            .flat_map(|i| {
+                let domain = *domain;
+                (0..n_side).map(move |j| {
+                    Point::new(
+                        domain.min_x + (i as f64 + 0.5) / n_side as f64 * domain.width(),
+                        domain.min_y + (j as f64 + 0.5) / n_side as f64 * domain.height(),
+                    )
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn small_queries_are_accurate_at_high_eps() {
+        let domain = Rect::new(0.0, 0.0, 64.0, 64.0).unwrap();
+        let pts = uniform_points(64, &domain);
+        let grid = FlatGrid::build(&pts, domain, 32, 32, 10.0, 1);
+        let q = Rect::new(0.0, 0.0, 16.0, 16.0).unwrap();
+        let truth = pts.iter().filter(|p| q.contains(**p)).count() as f64;
+        let est = grid.query(&q);
+        assert!((est - truth).abs() / truth < 0.1, "est {est} vs {truth}");
+    }
+
+    #[test]
+    fn error_grows_with_touched_cells() {
+        // The introduction's argument, empirically: with the same eps, a
+        // large query (many cells) has much larger absolute error than a
+        // small one on *empty* data, where all signal is noise.
+        let domain = Rect::new(0.0, 0.0, 64.0, 64.0).unwrap();
+        let (mut small_err, mut large_err) = (0.0, 0.0);
+        for seed in 0..40 {
+            let grid = FlatGrid::build(&[], domain, 64, 64, 0.5, seed);
+            let small = Rect::new(0.0, 0.0, 4.0, 4.0).unwrap(); // 16 cells
+            let large = Rect::new(0.0, 0.0, 56.0, 56.0).unwrap(); // 3136 cells
+            small_err += grid.query(&small).abs();
+            large_err += grid.query(&large).abs();
+        }
+        assert!(
+            large_err > small_err * 3.0,
+            "large {large_err} should dwarf small {small_err}"
+        );
+    }
+
+    #[test]
+    fn covered_cell_variance_formula() {
+        let domain = Rect::new(0.0, 0.0, 1.0, 1.0).unwrap();
+        let grid = FlatGrid::build(&[], domain, 2, 2, 0.5, 0);
+        assert_eq!(grid.covered_cell_variance(10), 10.0 * 2.0 / 0.25);
+    }
+
+    #[test]
+    fn disjoint_query_is_zero() {
+        let domain = Rect::new(0.0, 0.0, 1.0, 1.0).unwrap();
+        let grid = FlatGrid::build(&[], domain, 4, 4, 1.0, 3);
+        assert_eq!(grid.query(&Rect::new(5.0, 5.0, 6.0, 6.0).unwrap()), 0.0);
+    }
+
+    #[test]
+    fn reproducible_by_seed() {
+        let domain = Rect::new(0.0, 0.0, 8.0, 8.0).unwrap();
+        let a = FlatGrid::build(&[], domain, 8, 8, 1.0, 7);
+        let b = FlatGrid::build(&[], domain, 8, 8, 1.0, 7);
+        assert_eq!(a.query(&domain), b.query(&domain));
+    }
+}

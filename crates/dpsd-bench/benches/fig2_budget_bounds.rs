@@ -1,0 +1,30 @@
+//! Figure 2 bench: regenerates the analytic worst-case error series and
+//! measures the closed-form evaluation (trivially fast — this figure is
+//! analytic; the bench documents that regenerating it costs nothing).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dpsd_core::analysis::{figure2_geometric, figure2_uniform, worst_case_error};
+use dpsd_core::budget::CountBudget;
+
+fn bench(c: &mut Criterion) {
+    // Regenerate and print the figure's series.
+    for table in dpsd_eval::fig2::run() {
+        println!("{}", table.render());
+    }
+    c.bench_function("fig2/closed_forms_h5_to_h10", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for h in 5..=10 {
+                acc += figure2_uniform(black_box(h)) + figure2_geometric(black_box(h));
+            }
+            acc
+        })
+    });
+    c.bench_function("fig2/worst_case_error_geometric_h10", |b| {
+        let levels = CountBudget::Geometric.levels(10, 0.5);
+        b.iter(|| worst_case_error(black_box(&levels)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

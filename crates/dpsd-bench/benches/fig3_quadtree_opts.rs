@@ -1,0 +1,50 @@
+//! Figure 3 bench: regenerates the quadtree-optimization accuracy tables
+//! and measures build + query cost for the baseline and optimized
+//! quadtrees.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use dpsd_core::budget::CountBudget;
+use dpsd_core::geometry::Rect;
+use dpsd_core::query::range_query;
+use dpsd_core::tree::PsdConfig;
+use dpsd_data::synthetic::{tiger_substitute, TIGER_DOMAIN};
+use dpsd_eval::common::Scale;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::quick();
+    for table in dpsd_eval::fig3::run(&scale, 2012) {
+        println!("{}", table.render());
+    }
+    let points = tiger_substitute(scale.n_points, 1);
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    group.bench_function("build_quad_baseline_h7", |b| {
+        b.iter_batched(
+            || points.clone(),
+            |pts| {
+                PsdConfig::quadtree(TIGER_DOMAIN, 7, 0.5)
+                    .with_count_budget(CountBudget::Uniform)
+                    .with_postprocess(false)
+                    .build(&pts)
+                    .unwrap()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("build_quad_opt_h7", |b| {
+        b.iter_batched(
+            || points.clone(),
+            |pts| PsdConfig::quadtree(TIGER_DOMAIN, 7, 0.5).build(&pts).unwrap(),
+            BatchSize::LargeInput,
+        )
+    });
+    let tree = PsdConfig::quadtree(TIGER_DOMAIN, 7, 0.5).build(&points).unwrap();
+    let q = Rect::new(-120.0, 40.0, -110.0, 45.0).unwrap();
+    group.bench_function("query_10x10_quad_opt_h7", |b| {
+        b.iter(|| range_query(black_box(&tree), black_box(&q)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

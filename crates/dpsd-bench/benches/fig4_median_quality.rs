@@ -1,0 +1,38 @@
+//! Figure 4 bench: regenerates the private-median quality/time tables
+//! and measures one draw of each median mechanism on 64k sorted values.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dpsd_core::mech::sampling::SamplingPlan;
+use dpsd_core::median::{MedianConfig, MedianSelector};
+use dpsd_core::rng::seeded;
+use dpsd_data::synthetic::uniform_1d;
+use dpsd_eval::common::Scale;
+
+fn bench(c: &mut Criterion) {
+    for table in dpsd_eval::fig4::run(&Scale::quick(), 2012) {
+        println!("{}", table.render());
+    }
+    let mut values = uniform_1d(1 << 16, 0.0, (1u64 << 26) as f64, 3);
+    values.sort_unstable_by(f64::total_cmp);
+    let hi = (1u64 << 26) as f64;
+    let selectors = [
+        ("EM", MedianSelector::plain(MedianConfig::Exponential)),
+        ("SS", MedianSelector::plain(MedianConfig::SmoothSensitivity { delta: 1e-4 })),
+        (
+            "EMs",
+            MedianSelector::sampled(MedianConfig::Exponential, SamplingPlan::paper_default()),
+        ),
+        ("NM", MedianSelector::plain(MedianConfig::NoisyMean)),
+    ];
+    let mut group = c.benchmark_group("fig4");
+    for (name, sel) in selectors {
+        group.bench_function(format!("median_{name}_n65536"), |b| {
+            let mut rng = seeded(9);
+            b.iter(|| sel.select(&mut rng, black_box(&values), 0.0, hi, 0.01))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

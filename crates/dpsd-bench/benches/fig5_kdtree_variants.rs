@@ -1,0 +1,37 @@
+//! Figure 5 bench: regenerates the kd-variant accuracy tables and
+//! measures construction of each kd-tree variant.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dpsd_core::tree::PsdConfig;
+use dpsd_data::synthetic::{tiger_substitute, TIGER_DOMAIN};
+use dpsd_eval::common::Scale;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::quick();
+    for table in dpsd_eval::fig5::run(&scale, 2012) {
+        println!("{}", table.render());
+    }
+    let points = tiger_substitute(scale.n_points, 1);
+    let h = scale.kd_height;
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    let configs = [
+        ("kd_standard", PsdConfig::kd_standard(TIGER_DOMAIN, h, 0.5)),
+        ("kd_hybrid", PsdConfig::kd_hybrid(TIGER_DOMAIN, h, 0.5, h / 2)),
+        ("kd_noisymean", PsdConfig::kd_noisymean(TIGER_DOMAIN, h, 0.5)),
+        ("kd_cell", PsdConfig::kd_cell(TIGER_DOMAIN, h, 0.5, (128, 128))),
+    ];
+    for (name, config) in configs {
+        group.bench_function(format!("build_{name}_h{h}"), |b| {
+            b.iter_batched(
+                || (points.clone(), config.clone()),
+                |(pts, cfg)| cfg.build(&pts).unwrap(),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

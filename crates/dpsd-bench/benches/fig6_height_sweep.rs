@@ -1,0 +1,29 @@
+//! Figure 6 bench: regenerates the error-vs-height tables and measures
+//! how query cost scales with tree height for the optimized quadtree.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dpsd_core::geometry::Rect;
+use dpsd_core::query::range_query;
+use dpsd_core::tree::PsdConfig;
+use dpsd_data::synthetic::{tiger_substitute, TIGER_DOMAIN};
+use dpsd_eval::common::Scale;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::quick();
+    for table in dpsd_eval::fig6::run(&scale, 2012) {
+        println!("{}", table.render());
+    }
+    let points = tiger_substitute(scale.n_points, 1);
+    let q = Rect::new(-120.0, 40.0, -110.0, 45.0).unwrap();
+    let mut group = c.benchmark_group("fig6");
+    for h in [5usize, 7, 9] {
+        let tree = PsdConfig::quadtree(TIGER_DOMAIN, h, 0.5).build(&points).unwrap();
+        group.bench_function(format!("query_10x10_h{h}"), |b| {
+            b.iter(|| range_query(black_box(&tree), black_box(&q)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 7(a) bench: the construction-time comparison *is* a benchmark
+//! — Criterion measures each family's build end to end.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dpsd_core::tree::PsdConfig;
+use dpsd_data::synthetic::{tiger_substitute, TIGER_DOMAIN};
+use dpsd_eval::common::Scale;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::quick();
+    for table in dpsd_eval::fig7a::run(&scale, 2012) {
+        println!("{}", table.render());
+    }
+    let points = tiger_substitute(scale.n_points, 1);
+    let h = scale.kd_height;
+    let mut group = c.benchmark_group("fig7a");
+    group.sample_size(10);
+    let configs = [
+        ("quadtree", PsdConfig::quadtree(TIGER_DOMAIN, h, 0.5)),
+        ("kd_hybrid", PsdConfig::kd_hybrid(TIGER_DOMAIN, h, 0.5, h / 2)),
+        ("kd_cell", PsdConfig::kd_cell(TIGER_DOMAIN, h, 0.5, (128, 128))),
+        ("hilbert_r", PsdConfig::hilbert_r(TIGER_DOMAIN, h, 0.5)),
+    ];
+    for (name, config) in configs {
+        group.bench_function(format!("build_{name}_h{h}"), |b| {
+            b.iter_batched(
+                || (points.clone(), config.clone()),
+                |(pts, cfg)| cfg.build(&pts).unwrap(),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

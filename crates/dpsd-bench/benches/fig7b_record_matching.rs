@@ -1,0 +1,37 @@
+//! Figure 7(b) bench: regenerates the record-matching reduction-ratio
+//! table and measures one full blocking run.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dpsd_baselines::ExactIndex;
+use dpsd_core::tree::PsdConfig;
+use dpsd_data::synthetic::TIGER_DOMAIN;
+use dpsd_eval::common::Scale;
+use dpsd_match::parties::two_party_datasets;
+use dpsd_match::{build_blocking_tree, run_blocking, BlockingConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut scale = Scale::quick();
+    scale.match_party_size = 1_000;
+    for table in dpsd_eval::fig7b::run(&scale, 2012) {
+        println!("{}", table.render());
+    }
+    let (a, b) = two_party_datasets(&TIGER_DOMAIN, 1_000, 1_000, 0.3, 5);
+    let b_index = ExactIndex::build(&b, TIGER_DOMAIN, 128);
+    let blocking = BlockingConfig { matching_distance: 0.1, retain_threshold: 3.0 };
+    let mut group = c.benchmark_group("fig7b");
+    group.sample_size(10);
+    group.bench_function("blocking_kd_standard_1k_x_1k", |bch| {
+        bch.iter_batched(
+            || {
+                build_blocking_tree(PsdConfig::kd_standard(TIGER_DOMAIN, 5, 0.5).with_seed(1), &a)
+                    .unwrap()
+            },
+            |tree| run_blocking(&tree, &b_index, &a, &b, &blocking),
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,174 @@
+//! Closed-form error analysis (paper Section 4, Lemmas 2-3, Figure 2).
+//!
+//! The canonical range-query method touches at most `n_i` nodes per level
+//! (Lemma 2); combining those bounds with the per-level Laplace variances
+//! gives the worst-case query error
+//!
+//! ```text
+//! Err(Q) = sum_i 2 n_i / eps_i^2                          (eq. 1)
+//! ```
+//!
+//! which Lemma 3 minimizes with the geometric allocation. This module
+//! evaluates the bounds so that Figure 2 (worst-case error of uniform vs
+//! geometric budgets, plotted in units of `16 / eps^2`) can be
+//! regenerated exactly, and so tests can confirm that the geometric
+//! levels produced by [`crate::budget::CountBudget`] actually attain the
+//! Lemma 3 optimum.
+
+/// Lemma 2(i): maximum number of quadtree nodes at level `i` that
+/// contribute counts to one range query, `min(8 * 2^{h-i}, 4^{h-i})`
+/// (the footnote's refinement — there are only `4^{h-i}` nodes in the
+/// level).
+pub fn quadtree_level_nodes_bound(height: usize, level: usize) -> f64 {
+    assert!(level <= height, "level {level} above height {height}");
+    let d = (height - level) as f64;
+    (8.0 * 2f64.powf(d)).min(4f64.powf(d))
+}
+
+/// Lemma 2(i): bound on the total number of contributing quadtree nodes,
+/// `8 (2^{h+1} - 1)`.
+pub fn quadtree_total_nodes_bound(height: usize) -> f64 {
+    8.0 * (2f64.powf(height as f64 + 1.0) - 1.0)
+}
+
+/// Lemma 2(ii): bound for a (binary) kd-tree of height `h`,
+/// `8 * 2^{floor((h-i+1)/2)}` per level.
+pub fn kdtree_level_nodes_bound(height: usize, level: usize) -> f64 {
+    assert!(level <= height, "level {level} above height {height}");
+    // floor((h - i + 1) / 2) == ceil((h - i) / 2).
+    8.0 * 2f64.powf((height - level).div_ceil(2) as f64)
+}
+
+/// Worst-case query error (eq. 1) for arbitrary per-level budgets on a
+/// quadtree: `sum_i 2 n_i / eps_i^2` with `n_i = 8 * 2^{h-i}`. Levels
+/// with zero budget are skipped (their counts are not released, so they
+/// never contribute noise), matching the "conserve the budget" strategy
+/// discussion in Section 4.2.
+pub fn worst_case_error(eps_levels: &[f64]) -> f64 {
+    assert!(!eps_levels.is_empty(), "no levels");
+    let h = eps_levels.len() - 1;
+    let mut err = 0.0;
+    for (i, &e) in eps_levels.iter().enumerate() {
+        if e > 0.0 {
+            let n_i = 8.0 * 2f64.powf((h - i) as f64);
+            err += 2.0 * n_i / (e * e);
+        }
+    }
+    err
+}
+
+/// Figure 2's uniform-budget curve in units of `16 / eps^2`:
+/// `(h+1)^2 (2^{h+1} - 1)`.
+pub fn figure2_uniform(height: usize) -> f64 {
+    let h = height as f64;
+    (h + 1.0) * (h + 1.0) * (2f64.powf(h + 1.0) - 1.0)
+}
+
+/// Figure 2's geometric-budget curve in units of `16 / eps^2`
+/// (Lemma 3): `(2^{(h+1)/3} - 1)^3 / (2^{1/3} - 1)^3`.
+pub fn figure2_geometric(height: usize) -> f64 {
+    let h = height as f64;
+    let num = 2f64.powf((h + 1.0) / 3.0) - 1.0;
+    let den = 2f64.powf(1.0 / 3.0) - 1.0;
+    (num / den).powi(3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::CountBudget;
+
+    #[test]
+    fn lemma2_bounds() {
+        // Near the root the 4^{h-i} population bound bites.
+        assert_eq!(quadtree_level_nodes_bound(10, 10), 1.0);
+        assert_eq!(quadtree_level_nodes_bound(10, 9), 4.0);
+        assert_eq!(quadtree_level_nodes_bound(10, 8), 16.0);
+        // Deeper, the perimeter bound 8 * 2^{h-i} bites.
+        assert_eq!(quadtree_level_nodes_bound(10, 0), 8.0 * 1024.0);
+        assert_eq!(quadtree_total_nodes_bound(10), 8.0 * 2047.0);
+        // kd-tree grows every other level.
+        assert_eq!(kdtree_level_nodes_bound(10, 10), 8.0);
+        assert_eq!(kdtree_level_nodes_bound(10, 9), 8.0 * 2.0);
+        assert_eq!(kdtree_level_nodes_bound(10, 8), 8.0 * 2.0);
+        assert_eq!(kdtree_level_nodes_bound(10, 0), 8.0 * 32.0);
+    }
+
+    #[test]
+    fn figure2_reference_values() {
+        // h = 10: uniform = 121 * 2047 = 247,687 (the ~2.5e5 the paper
+        // plots); geometric ~ 9.1e4.
+        assert_eq!(figure2_uniform(10), 121.0 * 2047.0);
+        let g = figure2_geometric(10);
+        assert!(g > 8.0e4 && g < 1.0e5, "geometric bound {g}");
+        // Geometric strictly better at every height of the figure, and
+        // the advantage widens with h (uniform has the extra (h+1)^2).
+        for h in 5..=10 {
+            assert!(figure2_geometric(h) < figure2_uniform(h), "h={h}");
+        }
+        let ratio_low = figure2_uniform(5) / figure2_geometric(5);
+        let ratio_high = figure2_uniform(10) / figure2_geometric(10);
+        assert!(ratio_high > ratio_low, "gap should widen with height");
+    }
+
+    #[test]
+    fn geometric_budget_attains_lemma3_bound() {
+        // Plugging the geometric levels into eq. 1 should give exactly
+        // 16/eps^2 * figure2_geometric(h).
+        for h in [4usize, 8, 10] {
+            let eps = 0.5;
+            let levels = CountBudget::Geometric.levels(h, eps);
+            let err = worst_case_error(&levels);
+            let expected = 16.0 / (eps * eps) * figure2_geometric(h);
+            assert!(
+                (err - expected).abs() / expected < 1e-9,
+                "h={h}: {err} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_budget_matches_closed_form() {
+        for h in [4usize, 10] {
+            let eps = 1.0;
+            let levels = CountBudget::Uniform.levels(h, eps);
+            let err = worst_case_error(&levels);
+            let expected = 16.0 / (eps * eps) * figure2_uniform(h);
+            assert!((err - expected).abs() / expected < 1e-9, "h={h}");
+        }
+    }
+
+    #[test]
+    fn geometric_beats_every_perturbation() {
+        // Local optimality check of Lemma 3: shifting budget between any
+        // two levels increases the bound.
+        let h = 6;
+        let eps = 1.0;
+        let base = CountBudget::Geometric.levels(h, eps);
+        let base_err = worst_case_error(&base);
+        for from in 0..=h {
+            for to in 0..=h {
+                if from == to {
+                    continue;
+                }
+                let delta = base[from] * 0.2;
+                let mut perturbed = base.clone();
+                perturbed[from] -= delta;
+                perturbed[to] += delta;
+                let err = worst_case_error(&perturbed);
+                assert!(
+                    err > base_err * (1.0 - 1e-12),
+                    "moving {delta} from level {from} to {to} helped: {err} < {base_err}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_only_skips_unreleased_levels() {
+        let levels = CountBudget::LeafOnly.levels(5, 1.0);
+        let err = worst_case_error(&levels);
+        // Only the leaf level contributes: 2 * 8 * 2^5 / 1.
+        assert_eq!(err, 2.0 * 8.0 * 32.0);
+    }
+}

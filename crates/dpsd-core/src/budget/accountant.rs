@@ -1,0 +1,107 @@
+//! Composition auditing (paper Lemma 1 and Section 6.2).
+//!
+//! The privacy guarantee of a PSD is the *maximum over root-to-leaf
+//! paths* of the sum of all per-node budgets spent on that path:
+//! counts compose sequentially down a path (Lemma 1), and the
+//! interactive-model argument of Section 6 reduces median selection to
+//! the same per-path composition. Because all our trees are complete and
+//! use per-level budgets, every path spends the same amount — but the
+//! auditor recomputes it from the level vectors so tests can assert the
+//! invariant for every configuration.
+
+/// The result of auditing a budget configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetAudit {
+    /// Total spent on counts along a root-to-leaf path.
+    pub count_epsilon: f64,
+    /// Total spent on medians along a root-to-leaf path.
+    pub median_epsilon: f64,
+}
+
+impl BudgetAudit {
+    /// Combined per-path spend.
+    pub fn total(&self) -> f64 {
+        self.count_epsilon + self.median_epsilon
+    }
+
+    /// Whether the spend stays within `eps` (with a small tolerance for
+    /// floating-point accumulation).
+    pub fn within(&self, eps: f64) -> bool {
+        self.total() <= eps * (1.0 + 1e-9) + 1e-12
+    }
+}
+
+/// Audits per-level budget vectors: every root-to-leaf path of a complete
+/// tree crosses each level exactly once, so the path spend is the plain
+/// sum of both vectors.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths or contain negative or
+/// non-finite entries.
+pub fn audit_path_epsilon(eps_count: &[f64], eps_median: &[f64]) -> BudgetAudit {
+    assert_eq!(
+        eps_count.len(),
+        eps_median.len(),
+        "level vectors must have equal length"
+    );
+    for (&c, &m) in eps_count.iter().zip(eps_median) {
+        assert!(c.is_finite() && c >= 0.0, "invalid count budget entry {c}");
+        assert!(m.is_finite() && m >= 0.0, "invalid median budget entry {m}");
+    }
+    BudgetAudit {
+        count_epsilon: eps_count.iter().sum(),
+        median_epsilon: eps_median.iter().sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::{median_levels, BudgetSplit, CountBudget};
+
+    #[test]
+    fn audit_sums_paths() {
+        let audit = audit_path_epsilon(&[0.1, 0.2, 0.3], &[0.0, 0.05, 0.05]);
+        assert!((audit.count_epsilon - 0.6).abs() < 1e-12);
+        assert!((audit.median_epsilon - 0.1).abs() < 1e-12);
+        assert!((audit.total() - 0.7).abs() < 1e-12);
+        assert!(audit.within(0.7));
+        assert!(!audit.within(0.69));
+    }
+
+    #[test]
+    fn every_builtin_strategy_stays_within_budget() {
+        let eps = 0.5;
+        for h in [1usize, 4, 8, 10] {
+            for strategy in [CountBudget::Uniform, CountBudget::Geometric, CountBudget::LeafOnly] {
+                for split in [BudgetSplit::paper_default(), BudgetSplit::all_counts()] {
+                    let (ec, em) = split.apply(eps);
+                    let count = strategy.levels(h, ec);
+                    let dd = if em > 0.0 { h } else { 0 };
+                    let median = median_levels(h, dd, em);
+                    let audit = audit_path_epsilon(&count, &median);
+                    assert!(
+                        audit.within(eps),
+                        "h={h} strategy={strategy:?} spends {}",
+                        audit.total()
+                    );
+                    // And the budget is fully used (no silent waste).
+                    assert!((audit.total() - eps).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_rejected() {
+        let _ = audit_path_epsilon(&[0.1], &[0.1, 0.2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid count")]
+    fn negative_entries_rejected() {
+        let _ = audit_path_epsilon(&[-0.1], &[0.0]);
+    }
+}

@@ -1,0 +1,371 @@
+//! Points and axis-aligned rectangles in the plane.
+//!
+//! Spatial decompositions in the paper operate over two-dimensional data
+//! (GPS coordinates, or any pair of ordered attributes). Rectangles are
+//! *half-open on neither side*: containment uses closed lower edges and
+//! closed upper edges for queries, but tree construction partitions points
+//! with half-open cells (`[min, max)`, with the domain's upper boundary
+//! closed) so every point lands in exactly one leaf.
+
+use std::fmt;
+
+/// A point in the plane.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate (e.g. longitude).
+    pub x: f64,
+    /// Vertical coordinate (e.g. latitude).
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    #[inline]
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// The coordinate along `axis` (0 = x, 1 = y).
+    #[inline]
+    pub fn coord(&self, axis: Axis) -> f64 {
+        match axis {
+            Axis::X => self.x,
+            Axis::Y => self.y,
+        }
+    }
+}
+
+/// A splitting axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// Split by x coordinate (vertical splitting line).
+    X,
+    /// Split by y coordinate (horizontal splitting line).
+    Y,
+}
+
+impl Axis {
+    /// The other axis (kd-trees cycle axes level by level).
+    #[inline]
+    pub fn other(self) -> Axis {
+        match self {
+            Axis::X => Axis::Y,
+            Axis::Y => Axis::X,
+        }
+    }
+}
+
+/// Errors from rectangle constructors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GeometryError {
+    /// min > max on some axis, or a coordinate was not finite.
+    InvalidRect { min_x: f64, min_y: f64, max_x: f64, max_y: f64 },
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            GeometryError::InvalidRect { min_x, min_y, max_x, max_y } => write!(
+                f,
+                "invalid rectangle [{min_x}, {max_x}] x [{min_y}, {max_y}]"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GeometryError {}
+
+/// An axis-aligned rectangle `[min_x, max_x] x [min_y, max_y]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    /// Left edge.
+    pub min_x: f64,
+    /// Bottom edge.
+    pub min_y: f64,
+    /// Right edge.
+    pub max_x: f64,
+    /// Top edge.
+    pub max_y: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle, validating that it is non-degenerate-safe
+    /// (finite coordinates, `min <= max` on both axes; zero width or
+    /// height is allowed).
+    pub fn new(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Result<Self, GeometryError> {
+        let ok = min_x.is_finite()
+            && min_y.is_finite()
+            && max_x.is_finite()
+            && max_y.is_finite()
+            && min_x <= max_x
+            && min_y <= max_y;
+        if !ok {
+            return Err(GeometryError::InvalidRect { min_x, min_y, max_x, max_y });
+        }
+        Ok(Rect { min_x, min_y, max_x, max_y })
+    }
+
+    /// Width of the rectangle.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max_x - self.min_x
+    }
+
+    /// Height of the rectangle.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max_y - self.min_y
+    }
+
+    /// Area (may be zero).
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// The extent `[lo, hi]` along `axis`.
+    #[inline]
+    pub fn extent(&self, axis: Axis) -> (f64, f64) {
+        match axis {
+            Axis::X => (self.min_x, self.max_x),
+            Axis::Y => (self.min_y, self.max_y),
+        }
+    }
+
+    /// Closed containment: boundary points are inside.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min_x && p.x <= self.max_x && p.y >= self.min_y && p.y <= self.max_y
+    }
+
+    /// Half-open containment used when *partitioning* points into cells:
+    /// lower edges inclusive, upper edges exclusive, except that edges
+    /// coinciding with `domain`'s upper boundary are inclusive so no point
+    /// of the domain is orphaned.
+    #[inline]
+    pub fn contains_for_partition(&self, p: Point, domain: &Rect) -> bool {
+        let x_hi_ok = p.x < self.max_x || (self.max_x >= domain.max_x && p.x <= self.max_x);
+        let y_hi_ok = p.y < self.max_y || (self.max_y >= domain.max_y && p.y <= self.max_y);
+        p.x >= self.min_x && p.y >= self.min_y && x_hi_ok && y_hi_ok
+    }
+
+    /// Whether `self` is entirely inside `other` (closed edges).
+    #[inline]
+    pub fn inside(&self, other: &Rect) -> bool {
+        self.min_x >= other.min_x
+            && self.max_x <= other.max_x
+            && self.min_y >= other.min_y
+            && self.max_y <= other.max_y
+    }
+
+    /// Whether the two rectangles share any area or boundary.
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.min_x <= other.max_x
+            && other.min_x <= self.max_x
+            && self.min_y <= other.max_y
+            && other.min_y <= self.max_y
+    }
+
+    /// The intersection rectangle, or `None` if disjoint.
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(Rect {
+            min_x: self.min_x.max(other.min_x),
+            min_y: self.min_y.max(other.min_y),
+            max_x: self.max_x.min(other.max_x),
+            max_y: self.max_y.min(other.max_y),
+        })
+    }
+
+    /// Fraction of `self`'s area covered by `query` (the uniformity
+    /// assumption of Section 4.1). Zero-area cells contribute their full
+    /// count when they intersect the query at all: a degenerate cell still
+    /// holds points and the uniform model puts them all at the same spot.
+    pub fn overlap_fraction(&self, query: &Rect) -> f64 {
+        match self.intersection(query) {
+            None => 0.0,
+            Some(cap) => {
+                let a = self.area();
+                if a <= 0.0 {
+                    1.0
+                } else {
+                    (cap.area() / a).clamp(0.0, 1.0)
+                }
+            }
+        }
+    }
+
+    /// Splits into two halves at `value` along `axis`. `value` is clamped
+    /// into the rectangle's extent so callers may pass noisy medians.
+    pub fn split_at(&self, axis: Axis, value: f64) -> (Rect, Rect) {
+        match axis {
+            Axis::X => {
+                let v = value.clamp(self.min_x, self.max_x);
+                (
+                    Rect { max_x: v, ..*self },
+                    Rect { min_x: v, ..*self },
+                )
+            }
+            Axis::Y => {
+                let v = value.clamp(self.min_y, self.max_y);
+                (
+                    Rect { max_y: v, ..*self },
+                    Rect { min_y: v, ..*self },
+                )
+            }
+        }
+    }
+
+    /// The four equal quadrants (quadtree split), ordered SW, SE, NW, NE.
+    pub fn quadrants(&self) -> [Rect; 4] {
+        let mx = self.min_x + self.width() / 2.0;
+        let my = self.min_y + self.height() / 2.0;
+        [
+            Rect { min_x: self.min_x, min_y: self.min_y, max_x: mx, max_y: my },
+            Rect { min_x: mx, min_y: self.min_y, max_x: self.max_x, max_y: my },
+            Rect { min_x: self.min_x, min_y: my, max_x: mx, max_y: self.max_y },
+            Rect { min_x: mx, min_y: my, max_x: self.max_x, max_y: self.max_y },
+        ]
+    }
+
+    /// Grows the rectangle by `margin` on every side (clamped to finite).
+    pub fn expanded(&self, margin: f64) -> Rect {
+        Rect {
+            min_x: self.min_x - margin,
+            min_y: self.min_y - margin,
+            max_x: self.max_x + margin,
+            max_y: self.max_y + margin,
+        }
+    }
+
+    /// Smallest rectangle covering a non-empty point set, or `None` for an
+    /// empty slice.
+    pub fn bounding(points: &[Point]) -> Option<Rect> {
+        let first = points.first()?;
+        let mut r = Rect { min_x: first.x, min_y: first.y, max_x: first.x, max_y: first.y };
+        for p in &points[1..] {
+            r.min_x = r.min_x.min(p.x);
+            r.min_y = r.min_y.min(p.y);
+            r.max_x = r.max_x.max(p.x);
+            r.max_y = r.max_y.max(p.y);
+        }
+        Some(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(a: f64, b: f64, c: f64, d: f64) -> Rect {
+        Rect::new(a, b, c, d).unwrap()
+    }
+
+    #[test]
+    fn rect_validation() {
+        assert!(Rect::new(0.0, 0.0, 1.0, 1.0).is_ok());
+        assert!(Rect::new(0.0, 0.0, 0.0, 0.0).is_ok(), "degenerate allowed");
+        assert!(Rect::new(1.0, 0.0, 0.0, 1.0).is_err(), "min_x > max_x");
+        assert!(Rect::new(0.0, f64::NAN, 1.0, 1.0).is_err(), "NaN rejected");
+        assert!(Rect::new(0.0, 0.0, f64::INFINITY, 1.0).is_err(), "inf rejected");
+    }
+
+    #[test]
+    fn containment_and_area() {
+        let rect = r(0.0, 0.0, 2.0, 4.0);
+        assert_eq!(rect.area(), 8.0);
+        assert!(rect.contains(Point::new(0.0, 0.0)), "corner inside (closed)");
+        assert!(rect.contains(Point::new(2.0, 4.0)));
+        assert!(!rect.contains(Point::new(2.1, 0.0)));
+    }
+
+    #[test]
+    fn partition_containment_is_half_open() {
+        let domain = r(0.0, 0.0, 4.0, 4.0);
+        let (left, right) = domain.split_at(Axis::X, 2.0);
+        let p = Point::new(2.0, 1.0);
+        assert!(!left.contains_for_partition(p, &domain), "boundary goes right");
+        assert!(right.contains_for_partition(p, &domain));
+        // Domain's upper edge is closed so the extreme point is kept.
+        let top = Point::new(4.0, 4.0);
+        assert!(right.contains_for_partition(top, &domain));
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let a = r(0.0, 0.0, 2.0, 2.0);
+        let b = r(1.0, 1.0, 3.0, 3.0);
+        let c = a.intersection(&b).unwrap();
+        assert_eq!(c, r(1.0, 1.0, 2.0, 2.0));
+        let d = r(5.0, 5.0, 6.0, 6.0);
+        assert!(a.intersection(&d).is_none());
+        // Touching edges intersect with zero area.
+        let e = r(2.0, 0.0, 3.0, 2.0);
+        let cap = a.intersection(&e).unwrap();
+        assert_eq!(cap.area(), 0.0);
+    }
+
+    #[test]
+    fn overlap_fraction_uniformity() {
+        let cell = r(0.0, 0.0, 2.0, 2.0);
+        let q = r(0.0, 0.0, 1.0, 2.0);
+        assert!((cell.overlap_fraction(&q) - 0.5).abs() < 1e-12);
+        assert_eq!(cell.overlap_fraction(&r(5.0, 5.0, 6.0, 6.0)), 0.0);
+        let full = cell.overlap_fraction(&r(-1.0, -1.0, 3.0, 3.0));
+        assert_eq!(full, 1.0);
+        // Degenerate cell intersecting the query contributes fully.
+        let line = r(0.0, 0.0, 0.0, 2.0);
+        assert_eq!(line.overlap_fraction(&r(-1.0, -1.0, 1.0, 1.0)), 1.0);
+    }
+
+    #[test]
+    fn split_clamps_noisy_medians() {
+        let rect = r(0.0, 0.0, 2.0, 2.0);
+        let (l, rr) = rect.split_at(Axis::X, 99.0);
+        assert_eq!(l.max_x, 2.0);
+        assert_eq!(rr.min_x, 2.0);
+        let (l, rr) = rect.split_at(Axis::Y, -5.0);
+        assert_eq!(l.max_y, 0.0);
+        assert_eq!(rr.min_y, 0.0);
+    }
+
+    #[test]
+    fn quadrants_partition_area() {
+        let rect = r(-1.0, -2.0, 3.0, 6.0);
+        let qs = rect.quadrants();
+        let total: f64 = qs.iter().map(Rect::area).sum();
+        assert!((total - rect.area()).abs() < 1e-9);
+        for q in &qs {
+            assert!(q.inside(&rect));
+        }
+        // Quadrants meet at the midpoint.
+        assert_eq!(qs[0].max_x, 1.0);
+        assert_eq!(qs[0].max_y, 2.0);
+    }
+
+    #[test]
+    fn bounding_box() {
+        assert!(Rect::bounding(&[]).is_none());
+        let pts = [Point::new(1.0, 5.0), Point::new(-2.0, 3.0), Point::new(0.0, 7.0)];
+        let b = Rect::bounding(&pts).unwrap();
+        assert_eq!(b, r(-2.0, 3.0, 1.0, 7.0));
+    }
+
+    #[test]
+    fn axis_cycling() {
+        assert_eq!(Axis::X.other(), Axis::Y);
+        assert_eq!(Axis::Y.other(), Axis::X);
+        let p = Point::new(3.0, 4.0);
+        assert_eq!(p.coord(Axis::X), 3.0);
+        assert_eq!(p.coord(Axis::Y), 4.0);
+    }
+
+    #[test]
+    fn expanded_grows_all_sides() {
+        let rect = r(0.0, 0.0, 1.0, 1.0).expanded(0.5);
+        assert_eq!(rect, r(-0.5, -0.5, 1.5, 1.5));
+    }
+}

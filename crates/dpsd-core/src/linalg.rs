@@ -1,0 +1,128 @@
+//! A minimal dense linear solver.
+//!
+//! Used only by the *reference* ordinary-least-squares implementation
+//! (`postprocess::reference`) that verifies the paper's linear-time OLS
+//! algorithm on small trees, and by tests. Gaussian elimination with
+//! partial pivoting is entirely adequate at those sizes (tens of
+//! unknowns); no external linear-algebra dependency is justified for
+//! that.
+
+/// Solves the dense system `A x = b` by Gaussian elimination with partial
+/// pivoting. Returns `None` if the matrix is (numerically) singular.
+///
+/// `a` is row-major and consumed; `b` is consumed into the solution.
+///
+/// # Panics
+///
+/// Panics if dimensions are inconsistent.
+pub fn solve_dense(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    assert_eq!(a.len(), n, "matrix must be square and match rhs");
+    for row in &a {
+        assert_eq!(row.len(), n, "matrix must be square");
+    }
+    for col in 0..n {
+        // Partial pivot.
+        let mut pivot = col;
+        let mut best = a[col][col].abs();
+        for (row, a_row) in a.iter().enumerate().skip(col + 1) {
+            let mag = a_row[col].abs();
+            if mag > best {
+                best = mag;
+                pivot = row;
+            }
+        }
+        if best < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        let diag = a[col][col];
+        #[allow(clippy::needless_range_loop)] // two rows of `a` are in play
+        for row in col + 1..n {
+            let factor = a[row][col] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                let upper = a[col][k];
+                a[row][k] -= factor * upper;
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for (k, &x_k) in x.iter().enumerate().skip(row + 1) {
+            acc -= a[row][k] * x_k;
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let x = solve_dense(a, vec![3.0, 4.0]).unwrap();
+        assert_eq!(x, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn solves_general_system() {
+        // 2x + y = 5; x + 3y = 10  => x = 1, y = 3.
+        let a = vec![vec![2.0, 1.0], vec![1.0, 3.0]];
+        let x = solve_dense(a, vec![5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        let a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let x = solve_dense(a, vec![2.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_returns_none() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve_dense(a, vec![1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn larger_random_system_roundtrips() {
+        // Build A x = b from a known x and verify recovery.
+        let n = 12;
+        let mut a = vec![vec![0.0; n]; n];
+        let mut state: u64 = 42;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64) - 0.5
+        };
+        for row in a.iter_mut() {
+            for v in row.iter_mut() {
+                *v = next();
+            }
+        }
+        for (i, row) in a.iter_mut().enumerate() {
+            row[i] += 3.0; // diagonally dominant => well-conditioned
+        }
+        let x_true: Vec<f64> = (0..n).map(|i| i as f64 - 4.0).collect();
+        let b: Vec<f64> = a
+            .iter()
+            .map(|row| row.iter().zip(&x_true).map(|(r, x)| r * x).sum())
+            .collect();
+        let x = solve_dense(a, b).unwrap();
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+        }
+    }
+}

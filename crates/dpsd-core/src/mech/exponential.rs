@@ -1,0 +1,186 @@
+//! A generic exponential mechanism over weighted intervals.
+//!
+//! The exponential mechanism (McSherry-Talwar) samples an output `x` with
+//! probability proportional to `exp(eps * u(x) / (2 * Delta_u))`. For the
+//! private median of Definition 5 the utility of `x` is
+//! `-|rank(x) - rank(median)|`, which is constant on each inter-point
+//! interval — so the continuous mechanism reduces to (1) choosing an
+//! interval with probability proportional to `length * exp(weight)` and
+//! (2) drawing a uniform value inside it. This module implements that
+//! two-step sampler in a numerically careful way (all weights are
+//! normalized by the maximum log-weight before exponentiation, so extreme
+//! `eps * rank` products never overflow or collapse to zero).
+
+use rand::Rng;
+
+/// One candidate interval for the exponential mechanism.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightedInterval {
+    /// Inclusive lower endpoint.
+    pub lo: f64,
+    /// Exclusive upper endpoint (must be `>= lo`).
+    pub hi: f64,
+    /// Log-weight (`eps / 2 * utility`), *excluding* the length factor.
+    pub log_weight: f64,
+}
+
+impl WeightedInterval {
+    /// Interval length (zero-length intervals carry no probability mass).
+    #[inline]
+    pub fn length(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// Samples a point from the union of `intervals` with density proportional
+/// to `exp(log_weight)` on each interval.
+///
+/// Returns `None` when every interval has zero length or zero effective
+/// weight (callers fall back to the domain midpoint in that case).
+///
+/// # Panics
+///
+/// Panics in debug builds if any interval is inverted (`hi < lo`).
+pub fn sample_weighted_interval<R: Rng + ?Sized>(
+    rng: &mut R,
+    intervals: &[WeightedInterval],
+) -> Option<f64> {
+    if intervals.is_empty() {
+        return None;
+    }
+    // Normalize by the max log weight among intervals with positive length
+    // so that exp() stays in a sane range.
+    let mut max_lw = f64::NEG_INFINITY;
+    for iv in intervals {
+        debug_assert!(iv.hi >= iv.lo, "inverted interval {iv:?}");
+        if iv.length() > 0.0 && iv.log_weight > max_lw {
+            max_lw = iv.log_weight;
+        }
+    }
+    if !max_lw.is_finite() {
+        return None;
+    }
+    let mut total = 0.0f64;
+    for iv in intervals {
+        let len = iv.length();
+        if len > 0.0 {
+            total += len * (iv.log_weight - max_lw).exp();
+        }
+    }
+    if !total.is_finite() || total <= 0.0 {
+        return None;
+    }
+    let mut target = rng.gen::<f64>() * total;
+    for iv in intervals {
+        let len = iv.length();
+        if len <= 0.0 {
+            continue;
+        }
+        let mass = len * (iv.log_weight - max_lw).exp();
+        if target < mass {
+            let frac = (target / mass).clamp(0.0, 1.0);
+            return Some(iv.lo + frac * len);
+        }
+        target -= mass;
+    }
+    // Floating-point slack: return the upper end of the last positive-length
+    // interval.
+    intervals
+        .iter()
+        .rev()
+        .find(|iv| iv.length() > 0.0)
+        .map(|iv| iv.hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    fn iv(lo: f64, hi: f64, w: f64) -> WeightedInterval {
+        WeightedInterval { lo, hi, log_weight: w }
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        let mut rng = seeded(1);
+        assert_eq!(sample_weighted_interval(&mut rng, &[]), None);
+        assert_eq!(sample_weighted_interval(&mut rng, &[iv(1.0, 1.0, 0.0)]), None);
+    }
+
+    #[test]
+    fn single_interval_is_uniform() {
+        let mut rng = seeded(2);
+        let intervals = [iv(10.0, 20.0, -3.0)];
+        let n = 50_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = sample_weighted_interval(&mut rng, &intervals).unwrap();
+            assert!((10.0..=20.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 15.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn weights_bias_selection() {
+        // Second interval has e^2 the density of the first; equal lengths.
+        let mut rng = seeded(3);
+        let intervals = [iv(0.0, 1.0, 0.0), iv(1.0, 2.0, 2.0)];
+        let n = 100_000;
+        let hits_second = (0..n)
+            .filter(|_| sample_weighted_interval(&mut rng, &intervals).unwrap() >= 1.0)
+            .count() as f64
+            / n as f64;
+        let expected = (2.0f64).exp() / (1.0 + (2.0f64).exp());
+        assert!((hits_second - expected).abs() < 0.01, "{hits_second} vs {expected}");
+    }
+
+    #[test]
+    fn length_scales_probability() {
+        // Equal weights; second interval is 3x longer.
+        let mut rng = seeded(4);
+        let intervals = [iv(0.0, 1.0, 5.0), iv(1.0, 4.0, 5.0)];
+        let n = 100_000;
+        let hits_second = (0..n)
+            .filter(|_| sample_weighted_interval(&mut rng, &intervals).unwrap() >= 1.0)
+            .count() as f64
+            / n as f64;
+        assert!((hits_second - 0.75).abs() < 0.01, "{hits_second}");
+    }
+
+    #[test]
+    fn extreme_log_weights_do_not_overflow() {
+        let mut rng = seeded(5);
+        // Log-weights that would overflow exp() without normalization.
+        let intervals = [iv(0.0, 1.0, 5000.0), iv(1.0, 2.0, 4990.0)];
+        let mut first = 0usize;
+        for _ in 0..10_000 {
+            let x = sample_weighted_interval(&mut rng, &intervals).unwrap();
+            assert!(x.is_finite());
+            if x < 1.0 {
+                first += 1;
+            }
+        }
+        // e^{10} ratio: the first interval should dominate utterly.
+        assert!(first > 9_900, "first interval hit {first} times");
+    }
+
+    #[test]
+    fn zero_length_intervals_are_skipped() {
+        let mut rng = seeded(6);
+        let intervals = [iv(0.0, 0.0, 100.0), iv(5.0, 6.0, 0.0)];
+        for _ in 0..100 {
+            let x = sample_weighted_interval(&mut rng, &intervals).unwrap();
+            assert!((5.0..=6.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn all_neg_infinite_weights_return_none() {
+        let mut rng = seeded(7);
+        let intervals = [iv(0.0, 1.0, f64::NEG_INFINITY)];
+        assert_eq!(sample_weighted_interval(&mut rng, &intervals), None);
+    }
+}

@@ -1,0 +1,106 @@
+//! The two-sided geometric mechanism (Ghosh, Roughgarden, Sundararajan,
+//! STOC 2009), referenced by the paper in Section 2 as an alternative to
+//! Laplace noise for integer counts.
+//!
+//! The mechanism adds integer noise `K` with `P(K = k) ∝ alpha^{|k|}` where
+//! `alpha = e^{-eps}`; it is the universally utility-maximizing mechanism
+//! for count queries and is the discrete analogue of the Laplace mechanism.
+
+use rand::Rng;
+
+/// Draws one sample of two-sided geometric noise for privacy parameter
+/// `eps` (sensitivity 1).
+///
+/// Sampling: `P(K = k) = (1 - alpha) / (1 + alpha) * alpha^{|k|}` with
+/// `alpha = e^{-eps}`. We draw the sign and a (one-sided) geometric
+/// magnitude by CDF inversion.
+///
+/// # Panics
+///
+/// Panics if `eps` is not finite and strictly positive.
+pub fn sample_two_sided_geometric<R: Rng + ?Sized>(rng: &mut R, eps: f64) -> i64 {
+    assert!(eps.is_finite() && eps > 0.0, "epsilon must be positive, got {eps}");
+    let alpha = (-eps).exp();
+    // CDF inversion over the symmetric support. Draw u in [0,1), fold into
+    // magnitude: P(|K| = 0) = (1-alpha)/(1+alpha), P(|K| = k) = 2 alpha^k (1-alpha)/(1+alpha).
+    let u: f64 = rng.gen::<f64>();
+    let p0 = (1.0 - alpha) / (1.0 + alpha);
+    if u < p0 {
+        return 0;
+    }
+    // Remaining mass is split evenly between signs; magnitude is geometric
+    // starting at 1: P(|K| = k | K != 0) = alpha^{k-1} (1 - alpha).
+    let v: f64 = rng.gen::<f64>();
+    let magnitude = 1 + (v.max(f64::MIN_POSITIVE).ln() / alpha.ln()).floor() as i64;
+    if rng.gen::<bool>() {
+        magnitude
+    } else {
+        -magnitude
+    }
+}
+
+/// Releases an integer `count` under `eps`-differential privacy (for
+/// sensitivity-1 counting queries) by adding two-sided geometric noise.
+pub fn geometric_mechanism<R: Rng + ?Sized>(rng: &mut R, count: i64, eps: f64) -> i64 {
+    count + sample_two_sided_geometric(rng, eps)
+}
+
+/// Variance of the two-sided geometric mechanism:
+/// `2 alpha / (1 - alpha)^2` with `alpha = e^{-eps}`.
+pub fn geometric_variance(eps: f64) -> f64 {
+    let alpha = (-eps).exp();
+    2.0 * alpha / ((1.0 - alpha) * (1.0 - alpha))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    #[test]
+    fn noise_is_unbiased_and_has_expected_variance() {
+        let mut rng = seeded(21);
+        let eps = 0.7;
+        let n = 300_000;
+        let samples: Vec<i64> = (0..n).map(|_| sample_two_sided_geometric(&mut rng, eps)).collect();
+        let mean = samples.iter().map(|&k| k as f64).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        let var = samples.iter().map(|&k| (k as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+        let expected = geometric_variance(eps);
+        assert!((var - expected).abs() / expected < 0.05, "var {var} vs {expected}");
+    }
+
+    #[test]
+    fn zero_probability_matches() {
+        let mut rng = seeded(3);
+        let eps = 1.0;
+        let n = 200_000;
+        let zeros = (0..n).filter(|_| sample_two_sided_geometric(&mut rng, eps) == 0).count();
+        let p0 = (1.0 - (-eps).exp()) / (1.0 + (-eps).exp());
+        let frac = zeros as f64 / n as f64;
+        assert!((frac - p0).abs() < 0.01, "P(0) {frac} vs {p0}");
+    }
+
+    #[test]
+    fn mechanism_shifts_count() {
+        let mut rng = seeded(8);
+        let out = geometric_mechanism(&mut rng, 1000, 2.0);
+        assert!((out - 1000).abs() < 50);
+    }
+
+    #[test]
+    fn geometric_vs_laplace_variance_ordering() {
+        // The geometric mechanism is never worse than Laplace for integer
+        // counts: 2 alpha/(1-alpha)^2 < 2/eps^2 for eps > 0.
+        for eps in [0.1, 0.5, 1.0, 2.0] {
+            assert!(geometric_variance(eps) < super::super::laplace::laplace_variance(eps));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn negative_epsilon_rejected() {
+        let mut rng = seeded(0);
+        let _ = sample_two_sided_geometric(&mut rng, -0.1);
+    }
+}

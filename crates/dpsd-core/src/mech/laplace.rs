@@ -1,0 +1,128 @@
+//! The Laplace mechanism (paper Definition 2).
+//!
+//! To release a numeric function `f` with sensitivity `sigma(f)` under
+//! `eps`-differential privacy, publish `f(D) + X` where
+//! `X ~ Lap(sigma(f) / eps)`. For counts, `sigma = 1`.
+
+use rand::Rng;
+
+/// Draws one sample from the Laplace distribution with the given *scale*
+/// `b` (density `exp(-|x|/b) / 2b`, variance `2 b^2`).
+///
+/// Uses inverse-CDF sampling from a uniform on `(-1/2, 1/2)`, which is
+/// exact and branch-light.
+///
+/// # Panics
+///
+/// Panics if `scale` is not finite and strictly positive.
+#[inline]
+pub fn sample_laplace<R: Rng + ?Sized>(rng: &mut R, scale: f64) -> f64 {
+    assert!(scale.is_finite() && scale > 0.0, "laplace scale must be positive, got {scale}");
+    // u in (-0.5, 0.5]; reflect to avoid ln(0).
+    let u: f64 = rng.gen::<f64>() - 0.5;
+    let abs = (1.0 - 2.0 * u.abs()).max(f64::MIN_POSITIVE);
+    -scale * u.signum() * abs.ln()
+}
+
+/// Releases `value` under `eps`-differential privacy for a function of the
+/// given `sensitivity` (Definition 2): returns `value + Lap(sensitivity/eps)`.
+///
+/// # Panics
+///
+/// Panics if `eps <= 0` or `sensitivity <= 0`.
+#[inline]
+pub fn laplace_mechanism<R: Rng + ?Sized>(
+    rng: &mut R,
+    value: f64,
+    sensitivity: f64,
+    eps: f64,
+) -> f64 {
+    assert!(eps > 0.0, "epsilon must be positive, got {eps}");
+    assert!(sensitivity > 0.0, "sensitivity must be positive, got {sensitivity}");
+    value + sample_laplace(rng, sensitivity / eps)
+}
+
+/// Variance of the Laplace mechanism for a sensitivity-1 count at privacy
+/// parameter `eps`: `Var(Lap(1/eps)) = 2 / eps^2` (used throughout
+/// Section 4's error analysis).
+#[inline]
+pub fn laplace_variance(eps: f64) -> f64 {
+    2.0 / (eps * eps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    #[test]
+    fn sample_moments_match_distribution() {
+        let mut rng = seeded(11);
+        let scale = 1.5;
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_laplace(&mut rng, scale)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean} should be ~0");
+        let expected_var = 2.0 * scale * scale;
+        assert!(
+            (var - expected_var).abs() / expected_var < 0.03,
+            "variance {var} should be ~{expected_var}"
+        );
+    }
+
+    #[test]
+    fn sample_median_is_near_zero_and_symmetric() {
+        let mut rng = seeded(5);
+        let n = 100_000;
+        let pos = (0..n).filter(|_| sample_laplace(&mut rng, 3.0) > 0.0).count();
+        let frac = pos as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.01, "positive fraction {frac}");
+    }
+
+    #[test]
+    fn tail_probability_is_exponential() {
+        // P(|X| > t) = exp(-t / b).
+        let mut rng = seeded(99);
+        let b = 2.0;
+        let t = 3.0;
+        let n = 200_000;
+        let exceed = (0..n)
+            .filter(|_| sample_laplace(&mut rng, b).abs() > t)
+            .count() as f64
+            / n as f64;
+        let expected = (-t / b).exp();
+        assert!((exceed - expected).abs() < 0.01, "tail {exceed} vs {expected}");
+    }
+
+    #[test]
+    fn mechanism_is_unbiased() {
+        let mut rng = seeded(4);
+        let n = 100_000;
+        let avg: f64 = (0..n)
+            .map(|_| laplace_mechanism(&mut rng, 42.0, 1.0, 0.5))
+            .sum::<f64>()
+            / n as f64;
+        assert!((avg - 42.0).abs() < 0.1, "mean {avg}");
+    }
+
+    #[test]
+    fn variance_formula() {
+        assert_eq!(laplace_variance(1.0), 2.0);
+        assert_eq!(laplace_variance(0.5), 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn zero_epsilon_rejected() {
+        let mut rng = seeded(0);
+        let _ = laplace_mechanism(&mut rng, 1.0, 1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale")]
+    fn bad_scale_rejected() {
+        let mut rng = seeded(0);
+        let _ = sample_laplace(&mut rng, -1.0);
+    }
+}

@@ -1,0 +1,21 @@
+//! Differential-privacy mechanisms (paper Sections 3.1 and 7).
+//!
+//! * [`laplace`] — the Laplace mechanism (Definition 2) and a raw
+//!   Laplace-noise sampler.
+//! * [`geometric`] — the two-sided geometric mechanism of Ghosh et al.,
+//!   an integer-valued alternative for count release.
+//! * [`exponential`] — a generic exponential mechanism (McSherry-Talwar)
+//!   over finitely many weighted intervals; the private-median mechanism
+//!   of Definition 5 is built on it.
+//! * [`sampling`] — privacy amplification by Bernoulli sampling
+//!   (Theorem 7).
+
+pub mod exponential;
+pub mod geometric;
+pub mod laplace;
+pub mod sampling;
+
+pub use exponential::{sample_weighted_interval, WeightedInterval};
+pub use geometric::{geometric_mechanism, sample_two_sided_geometric};
+pub use laplace::{laplace_mechanism, laplace_variance, sample_laplace};
+pub use sampling::{amplified_epsilon, bernoulli_sample, mechanism_epsilon_for_target, SamplingPlan};

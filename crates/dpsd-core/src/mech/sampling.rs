@@ -1,0 +1,140 @@
+//! Privacy amplification by sampling (paper Theorem 7, extending
+//! Kasiviswanathan et al.).
+//!
+//! > Given an algorithm `A` which provides `eps`-differential privacy, and
+//! > `0 < p < 1`, including each element of the input into a sample `S`
+//! > with probability `p` and outputting `A(S)` is `2 p e^eps`-
+//! > differentially private.
+//!
+//! The paper uses this to speed up private median selection (methods
+//! `EMs` and `SSs` in Section 8.2): a 1% sample is drawn and the median
+//! mechanism runs on it with a much larger per-level budget. Following the
+//! paper's rule of thumb ("it is sufficient to sample at a rate of
+//! `~ eps'/10`", treating `2 e^eps` as a constant), the inverse mapping
+//! used for experiments is `eps_run = target / (2 p)` — e.g. a per-level
+//! target of 0.01 at `p = 1%` runs the mechanism with `eps_run = 0.5`,
+//! the "about 50 times larger" budget quoted in Section 8.2.
+
+use rand::Rng;
+
+/// The overall privacy parameter guaranteed by Theorem 7 when an
+/// `eps`-DP algorithm runs on a Bernoulli(`p`) sample: `2 p e^eps`.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `(0, 1)` or `eps <= 0`.
+pub fn amplified_epsilon(p: f64, eps: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "sampling rate must be in (0,1), got {p}");
+    assert!(eps > 0.0, "epsilon must be positive, got {eps}");
+    2.0 * p * eps.exp()
+}
+
+/// The mechanism budget to run on the sample so the composition spends
+/// approximately `target`, using the paper's practical rule
+/// `eps_run = target / (2 p)`.
+///
+/// The exact inversion of Theorem 7, `ln(target / (2 p))`, is also what
+/// [`amplified_epsilon`] inverts; for the small targets used per tree
+/// level the exact inverse is negative (the bound cannot certify budgets
+/// below `2 p`), so like the paper's experiments we use the linearized
+/// rule and report the spend as `target`.
+pub fn mechanism_epsilon_for_target(p: f64, target: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "sampling rate must be in (0,1), got {p}");
+    assert!(target > 0.0, "target epsilon must be positive, got {target}");
+    target / (2.0 * p)
+}
+
+/// Draws a Bernoulli(`p`) sample of `data` (each element independently).
+pub fn bernoulli_sample<T: Copy, R: Rng + ?Sized>(rng: &mut R, data: &[T], p: f64) -> Vec<T> {
+    assert!(p > 0.0 && p <= 1.0, "sampling rate must be in (0,1], got {p}");
+    if p >= 1.0 {
+        return data.to_vec();
+    }
+    let mut out = Vec::with_capacity(((data.len() as f64) * p * 1.2) as usize + 8);
+    for &item in data {
+        if rng.gen::<f64>() < p {
+            out.push(item);
+        }
+    }
+    out
+}
+
+/// A sampling configuration attached to a median mechanism.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SamplingPlan {
+    /// Bernoulli sampling rate `p` (paper default: 0.01).
+    pub rate: f64,
+}
+
+impl SamplingPlan {
+    /// Creates a plan, validating `0 < rate < 1`.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate > 0.0 && rate < 1.0, "sampling rate must be in (0,1), got {rate}");
+        SamplingPlan { rate }
+    }
+
+    /// The paper's default 1% sample.
+    pub fn paper_default() -> Self {
+        SamplingPlan { rate: 0.01 }
+    }
+
+    /// Budget to hand the underlying mechanism for an overall `target`.
+    pub fn mechanism_epsilon(&self, target: f64) -> f64 {
+        mechanism_epsilon_for_target(self.rate, target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    #[test]
+    fn amplification_formula() {
+        // eps = 0, p = 0.01 would give 0.02; at eps = 0.9 the paper quotes
+        // ~0.05-level privacy for a 1% sample.
+        let e = amplified_epsilon(0.01, 0.9);
+        assert!((e - 2.0 * 0.01 * 0.9f64.exp()).abs() < 1e-12);
+        assert!(e > 0.049 && e < 0.050);
+    }
+
+    #[test]
+    fn practical_inverse_matches_paper_quote() {
+        // Section 8.2: per-level 0.01 at 1% sampling -> "about 50 times
+        // larger" mechanism budget.
+        let run = mechanism_epsilon_for_target(0.01, 0.01);
+        assert!((run - 0.5).abs() < 1e-12);
+        assert!((run / 0.01 - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bernoulli_sample_rate_is_respected() {
+        let mut rng = seeded(13);
+        let data: Vec<u32> = (0..100_000).collect();
+        let sample = bernoulli_sample(&mut rng, &data, 0.01);
+        let rate = sample.len() as f64 / data.len() as f64;
+        assert!((rate - 0.01).abs() < 0.002, "rate {rate}");
+        // Sample preserves order and draws from the data.
+        assert!(sample.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn full_rate_copies_input() {
+        let mut rng = seeded(14);
+        let data = [1, 2, 3];
+        assert_eq!(bernoulli_sample(&mut rng, &data, 1.0), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn plan_constructor_validates() {
+        let plan = SamplingPlan::paper_default();
+        assert_eq!(plan.rate, 0.01);
+        assert!((plan.mechanism_epsilon(0.02) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling rate")]
+    fn bad_rate_rejected() {
+        let _ = SamplingPlan::new(1.5);
+    }
+}

@@ -1,0 +1,358 @@
+//! Cell-based (fixed-grid) median heuristic of Xiao et al. [26]
+//! (paper Section 6.1).
+//!
+//! A fixed-resolution grid is laid over the data once; each cell count is
+//! released with Laplace noise (sensitivity 1). Medians for any subregion
+//! are then read off the noisy grid: accumulate the (non-negative-clamped)
+//! cell masses restricted to the region and find where the cumulative
+//! reaches half, interpolating inside the crossing cell.
+//!
+//! The accuracy depends on how coarse the grid is relative to the data
+//! distribution — the trade-off Figure 4(a) ("cell") illustrates.
+
+use crate::geometry::{Axis, Point, Rect};
+use crate::mech::laplace::laplace_mechanism;
+use rand::Rng;
+
+/// A one-dimensional noisy grid over `[lo, hi]`.
+#[derive(Debug, Clone)]
+pub struct CellGrid1D {
+    lo: f64,
+    hi: f64,
+    counts: Vec<f64>,
+}
+
+impl CellGrid1D {
+    /// Builds the grid: exact per-cell histogram plus `Lap(1/eps)` noise
+    /// on every cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_cells == 0`, `eps <= 0`, or `lo >= hi`.
+    pub fn build<R: Rng + ?Sized>(
+        rng: &mut R,
+        values: &[f64],
+        lo: f64,
+        hi: f64,
+        n_cells: usize,
+        eps: f64,
+    ) -> Self {
+        assert!(n_cells > 0, "grid needs at least one cell");
+        assert!(lo < hi, "invalid 1D domain [{lo}, {hi}]");
+        assert!(eps > 0.0, "eps must be positive, got {eps}");
+        let width = (hi - lo) / n_cells as f64;
+        let mut counts = vec![0.0f64; n_cells];
+        for &v in values {
+            let idx = (((v - lo) / width) as usize).min(n_cells - 1);
+            counts[idx] += 1.0;
+        }
+        for c in counts.iter_mut() {
+            *c = laplace_mechanism(rng, *c, 1.0, eps);
+        }
+        CellGrid1D { lo, hi, counts }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether the grid has no cells (never true for built grids).
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Width of one cell.
+    pub fn cell_width(&self) -> f64 {
+        (self.hi - self.lo) / self.counts.len() as f64
+    }
+
+    /// Estimated median of the data restricted to `[a, b]`, read from the
+    /// noisy counts. Negative noisy cells are clamped to zero mass;
+    /// partial boundary cells are prorated by overlap. Returns the
+    /// midpoint of `[a, b]` when no mass remains.
+    pub fn median_in(&self, a: f64, b: f64) -> f64 {
+        let a = a.max(self.lo);
+        let b = b.min(self.hi);
+        if a >= b {
+            return (a + b) / 2.0;
+        }
+        let w = self.cell_width();
+        let first = ((a - self.lo) / w) as usize;
+        let last = (((b - self.lo) / w) as usize).min(self.counts.len() - 1);
+        let mass = |i: usize| -> f64 {
+            let c_lo = self.lo + i as f64 * w;
+            let c_hi = c_lo + w;
+            let overlap = (b.min(c_hi) - a.max(c_lo)).max(0.0) / w;
+            self.counts[i].max(0.0) * overlap
+        };
+        let total: f64 = (first..=last).map(mass).sum();
+        if total <= 0.0 {
+            return (a + b) / 2.0;
+        }
+        let half = total / 2.0;
+        let mut cum = 0.0;
+        for i in first..=last {
+            let m_i = mass(i);
+            if cum + m_i >= half && m_i > 0.0 {
+                let c_lo = (self.lo + i as f64 * w).max(a);
+                let c_hi = (self.lo + (i + 1) as f64 * w).min(b);
+                let frac = ((half - cum) / m_i).clamp(0.0, 1.0);
+                return c_lo + frac * (c_hi - c_lo);
+            }
+            cum += m_i;
+        }
+        (a + b) / 2.0
+    }
+}
+
+/// A two-dimensional noisy grid over a rectangle, used by the `kd-cell`
+/// tree to choose splits and to test node uniformity.
+#[derive(Debug, Clone)]
+pub struct CellGrid2D {
+    rect: Rect,
+    nx: usize,
+    ny: usize,
+    counts: Vec<f64>, // row-major: counts[iy * nx + ix]
+}
+
+impl CellGrid2D {
+    /// Builds the grid with `Lap(1/eps)` noise per cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero cells, the rectangle has zero
+    /// area, or `eps <= 0`.
+    pub fn build<R: Rng + ?Sized>(
+        rng: &mut R,
+        points: &[Point],
+        rect: Rect,
+        nx: usize,
+        ny: usize,
+        eps: f64,
+    ) -> Self {
+        assert!(nx > 0 && ny > 0, "grid needs at least one cell per axis");
+        assert!(rect.area() > 0.0, "grid rectangle must have positive area");
+        assert!(eps > 0.0, "eps must be positive, got {eps}");
+        let wx = rect.width() / nx as f64;
+        let wy = rect.height() / ny as f64;
+        let mut counts = vec![0.0f64; nx * ny];
+        for p in points {
+            if !rect.contains(*p) {
+                continue;
+            }
+            let ix = (((p.x - rect.min_x) / wx) as usize).min(nx - 1);
+            let iy = (((p.y - rect.min_y) / wy) as usize).min(ny - 1);
+            counts[iy * nx + ix] += 1.0;
+        }
+        for c in counts.iter_mut() {
+            *c = laplace_mechanism(rng, *c, 1.0, eps);
+        }
+        CellGrid2D { rect, nx, ny, counts }
+    }
+
+    /// Grid resolution `(nx, ny)`.
+    pub fn resolution(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    /// The gridded rectangle.
+    pub fn rect(&self) -> &Rect {
+        &self.rect
+    }
+
+    /// Noisy count of a region (cells prorated by overlap area; negative
+    /// cells clamped to zero).
+    pub fn noisy_count_in(&self, region: &Rect) -> f64 {
+        let mut total = 0.0;
+        self.for_overlapping(region, |_, _, mass| total += mass);
+        total
+    }
+
+    /// Estimated median coordinate along `axis` of the data inside
+    /// `region`, from the noisy marginal. Falls back to the region
+    /// midline when no mass remains.
+    pub fn median_along(&self, axis: Axis, region: &Rect) -> f64 {
+        let (lo, hi) = region.extent(axis);
+        let bins = match axis {
+            Axis::X => self.nx,
+            Axis::Y => self.ny,
+        };
+        let mut marginal = vec![0.0f64; bins];
+        self.for_overlapping(region, |ix, iy, mass| {
+            let i = match axis {
+                Axis::X => ix,
+                Axis::Y => iy,
+            };
+            marginal[i] += mass;
+        });
+        let total: f64 = marginal.iter().sum();
+        if total <= 0.0 {
+            return lo + (hi - lo) / 2.0;
+        }
+        let (axis_lo, cell_w) = match axis {
+            Axis::X => (self.rect.min_x, self.rect.width() / self.nx as f64),
+            Axis::Y => (self.rect.min_y, self.rect.height() / self.ny as f64),
+        };
+        let half = total / 2.0;
+        let mut cum = 0.0;
+        for (i, &m) in marginal.iter().enumerate() {
+            if m > 0.0 && cum + m >= half {
+                let c_lo = (axis_lo + i as f64 * cell_w).max(lo);
+                let c_hi = (axis_lo + (i + 1) as f64 * cell_w).min(hi);
+                let frac = ((half - cum) / m).clamp(0.0, 1.0);
+                return (c_lo + frac * (c_hi - c_lo)).clamp(lo, hi);
+            }
+            cum += m;
+        }
+        lo + (hi - lo) / 2.0
+    }
+
+    /// A uniformity score for `region` in `[0, inf)`: the mean absolute
+    /// deviation of per-cell noisy masses from their mean, normalized by
+    /// the mean. Xiao et al. [26] stop splitting nodes deemed uniform;
+    /// the `kd-cell` builder treats scores below a threshold as uniform.
+    /// Regions with no positive mass score 0 (nothing left to split).
+    pub fn uniformity_score(&self, region: &Rect) -> f64 {
+        let mut masses = Vec::new();
+        self.for_overlapping(region, |_, _, mass| masses.push(mass));
+        if masses.is_empty() {
+            return 0.0;
+        }
+        let mean = masses.iter().sum::<f64>() / masses.len() as f64;
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        let mad = masses.iter().map(|m| (m - mean).abs()).sum::<f64>() / masses.len() as f64;
+        mad / mean
+    }
+
+    /// Visits every cell overlapping `region` with its prorated
+    /// (clamped-non-negative) mass.
+    fn for_overlapping<F: FnMut(usize, usize, f64)>(&self, region: &Rect, mut f: F) {
+        let clip = match self.rect.intersection(region) {
+            Some(c) if c.area() > 0.0 || region.area() == 0.0 => c,
+            _ => return,
+        };
+        let wx = self.rect.width() / self.nx as f64;
+        let wy = self.rect.height() / self.ny as f64;
+        let ix0 = (((clip.min_x - self.rect.min_x) / wx) as usize).min(self.nx - 1);
+        let ix1 = (((clip.max_x - self.rect.min_x) / wx) as usize).min(self.nx - 1);
+        let iy0 = (((clip.min_y - self.rect.min_y) / wy) as usize).min(self.ny - 1);
+        let iy1 = (((clip.max_y - self.rect.min_y) / wy) as usize).min(self.ny - 1);
+        for iy in iy0..=iy1 {
+            let c_ylo = self.rect.min_y + iy as f64 * wy;
+            let fy = ((clip.max_y.min(c_ylo + wy) - clip.min_y.max(c_ylo)) / wy).max(0.0);
+            for ix in ix0..=ix1 {
+                let c_xlo = self.rect.min_x + ix as f64 * wx;
+                let fx = ((clip.max_x.min(c_xlo + wx) - clip.min_x.max(c_xlo)) / wx).max(0.0);
+                let mass = self.counts[iy * self.nx + ix].max(0.0) * fx * fy;
+                f(ix, iy, mass);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    #[test]
+    fn grid1d_median_of_uniform_data() {
+        let mut rng = seeded(41);
+        let values: Vec<f64> = (0..100_000).map(|i| (i as f64) / 100.0).collect(); // [0, 1000)
+        let grid = CellGrid1D::build(&mut rng, &values, 0.0, 1000.0, 256, 1.0);
+        let med = grid.median_in(0.0, 1000.0);
+        assert!((med - 500.0).abs() < 20.0, "median {med}");
+        // Median of the left half restricted range.
+        let med_left = grid.median_in(0.0, 500.0);
+        assert!((med_left - 250.0).abs() < 20.0, "left median {med_left}");
+    }
+
+    #[test]
+    fn grid1d_empty_region_returns_midpoint() {
+        let mut rng = seeded(42);
+        let grid = CellGrid1D::build(&mut rng, &[], 0.0, 100.0, 10, 10.0);
+        // High eps keeps noisy counts near 0; some may be positive, but a
+        // degenerate query range must return its midpoint.
+        assert_eq!(grid.median_in(40.0, 40.0), 40.0);
+    }
+
+    #[test]
+    fn grid1d_skewed_data() {
+        let mut rng = seeded(43);
+        let mut values = vec![10.0f64; 50_000];
+        values.extend(std::iter::repeat_n(900.0, 10_000));
+        let grid = CellGrid1D::build(&mut rng, &values, 0.0, 1000.0, 512, 1.0);
+        let med = grid.median_in(0.0, 1000.0);
+        // True median is 10; the grid should put it in the low cells.
+        assert!(med < 50.0, "median {med} should be near the heavy cluster");
+    }
+
+    #[test]
+    fn grid2d_median_and_count() {
+        let mut rng = seeded(44);
+        let rect = Rect::new(0.0, 0.0, 100.0, 100.0).unwrap();
+        let points: Vec<Point> = (0..40_000)
+            .map(|i| Point::new((i % 200) as f64 / 2.0, ((i / 200) % 200) as f64 / 2.0))
+            .collect();
+        let grid = CellGrid2D::build(&mut rng, &points, rect, 64, 64, 1.0);
+        let mx = grid.median_along(Axis::X, &rect);
+        let my = grid.median_along(Axis::Y, &rect);
+        assert!((mx - 50.0).abs() < 5.0, "x median {mx}");
+        assert!((my - 50.0).abs() < 5.0, "y median {my}");
+        let count = grid.noisy_count_in(&rect);
+        assert!((count - 40_000.0).abs() < 2_000.0, "count {count}");
+        // Quarter region holds about a quarter of the data.
+        let q = Rect::new(0.0, 0.0, 50.0, 50.0).unwrap();
+        let qc = grid.noisy_count_in(&q);
+        assert!((qc - 10_000.0).abs() < 1_500.0, "quarter count {qc}");
+    }
+
+    #[test]
+    fn grid2d_uniformity_score_separates_distributions() {
+        let mut rng = seeded(45);
+        let rect = Rect::new(0.0, 0.0, 64.0, 64.0).unwrap();
+        let uniform: Vec<Point> = (0..16_384)
+            .map(|i| Point::new((i % 128) as f64 / 2.0, ((i / 128) % 128) as f64 / 2.0))
+            .collect();
+        let clustered: Vec<Point> =
+            (0..16_384).map(|i| Point::new(1.0 + (i % 7) as f64 * 0.1, 1.0 + (i % 5) as f64 * 0.1)).collect();
+        let g_u = CellGrid2D::build(&mut rng, &uniform, rect, 16, 16, 5.0);
+        let g_c = CellGrid2D::build(&mut rng, &clustered, rect, 16, 16, 5.0);
+        let s_u = g_u.uniformity_score(&rect);
+        let s_c = g_c.uniformity_score(&rect);
+        assert!(s_u < s_c, "uniform {s_u} should score below clustered {s_c}");
+        assert!(s_u < 0.5, "uniform data scores low, got {s_u}");
+        assert!(s_c > 1.0, "point mass scores high, got {s_c}");
+    }
+
+    #[test]
+    fn grid2d_median_respects_subregion() {
+        let mut rng = seeded(46);
+        let rect = Rect::new(0.0, 0.0, 100.0, 100.0).unwrap();
+        let points: Vec<Point> = (0..10_000).map(|i| Point::new((i % 100) as f64, 50.0)).collect();
+        let grid = CellGrid2D::build(&mut rng, &points, rect, 50, 50, 2.0);
+        let sub = Rect::new(0.0, 0.0, 40.0, 100.0).unwrap();
+        let med = grid.median_along(Axis::X, &sub);
+        assert!((0.0..=40.0).contains(&med), "median {med} inside subregion");
+    }
+
+    #[test]
+    fn grid2d_disjoint_region_is_empty() {
+        let mut rng = seeded(47);
+        let rect = Rect::new(0.0, 0.0, 10.0, 10.0).unwrap();
+        let grid = CellGrid2D::build(&mut rng, &[], rect, 4, 4, 1.0);
+        let far = Rect::new(100.0, 100.0, 200.0, 200.0).unwrap();
+        assert_eq!(grid.noisy_count_in(&far), 0.0);
+        assert_eq!(grid.uniformity_score(&far), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn zero_cells_rejected() {
+        let mut rng = seeded(0);
+        let _ = CellGrid1D::build(&mut rng, &[], 0.0, 1.0, 0, 1.0);
+    }
+}

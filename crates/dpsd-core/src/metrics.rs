@@ -1,0 +1,121 @@
+//! Error measures used in the paper's experimental study (Section 8).
+//!
+//! * [`relative_error_pct`] — query accuracy: `|estimate - actual| /
+//!   actual * 100` for queries with non-zero answers; the experiments
+//!   report the *median* relative error over a workload.
+//! * [`rank_error_pct`] — private-median quality (Figure 4(a)): how far
+//!   the returned value's rank is from the true median rank, normalized
+//!   so that a value outside the data range scores 100%.
+
+/// Relative error of an estimated count, as a percentage of the actual
+/// count. The workloads only contain queries with `actual > 0`, matching
+/// Section 8.1.
+///
+/// # Panics
+///
+/// Panics if `actual <= 0` — zero-answer queries are excluded from the
+/// paper's workloads and a relative error is undefined for them.
+pub fn relative_error_pct(estimate: f64, actual: f64) -> f64 {
+    assert!(actual > 0.0, "relative error undefined for actual = {actual}");
+    (estimate - actual).abs() / actual * 100.0
+}
+
+/// Normalized rank error of a private median `value` against the sorted
+/// data, in percent.
+///
+/// The rank of `value` is the number of data points `<= value`; the error
+/// is `|rank - n/2| / (n/2) * 100`, so a value below the minimum or above
+/// the maximum scores (approximately) 100% — the worst case called out in
+/// Section 8.2.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty.
+pub fn rank_error_pct(sorted: &[f64], value: f64) -> f64 {
+    assert!(!sorted.is_empty(), "rank error of empty data");
+    let n = sorted.len();
+    let rank = sorted.partition_point(|&x| x <= value);
+    let target = n as f64 / 2.0;
+    ((rank as f64 - target).abs() / target * 100.0).min(100.0)
+}
+
+/// The median of a set of observations (used to aggregate per-query
+/// errors into the workload summary the paper plots). Returns `None` for
+/// an empty slice.
+pub fn median_of(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut v = values.to_vec();
+    v.sort_unstable_by(f64::total_cmp);
+    let n = v.len();
+    if n % 2 == 1 {
+        Some(v[n / 2])
+    } else {
+        Some((v[n / 2 - 1] + v[n / 2]) / 2.0)
+    }
+}
+
+/// Arithmetic mean, `None` for an empty slice.
+pub fn mean_of(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_error_basics() {
+        assert_eq!(relative_error_pct(110.0, 100.0), 10.0);
+        assert_eq!(relative_error_pct(90.0, 100.0), 10.0);
+        assert_eq!(relative_error_pct(100.0, 100.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined")]
+    fn relative_error_rejects_zero_actual() {
+        let _ = relative_error_pct(5.0, 0.0);
+    }
+
+    #[test]
+    fn rank_error_at_median_is_zero_ish() {
+        let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let err = rank_error_pct(&data, 49.5);
+        assert!(err <= 2.0, "central value errs {err}%");
+    }
+
+    #[test]
+    fn rank_error_outside_range_is_100() {
+        let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        assert_eq!(rank_error_pct(&data, -5.0), 100.0);
+        assert_eq!(rank_error_pct(&data, 1e9), 100.0);
+    }
+
+    #[test]
+    fn rank_error_quartile() {
+        let data: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        // Value at the 25th percentile: rank 250, target 500 -> 50%.
+        let err = rank_error_pct(&data, 249.5);
+        assert!((err - 50.0).abs() < 1.0, "quartile err {err}");
+    }
+
+    #[test]
+    fn median_of_aggregation() {
+        assert_eq!(median_of(&[]), None);
+        assert_eq!(median_of(&[3.0]), Some(3.0));
+        assert_eq!(median_of(&[1.0, 9.0]), Some(5.0));
+        assert_eq!(median_of(&[5.0, 1.0, 9.0]), Some(5.0));
+        assert_eq!(median_of(&[4.0, 1.0, 9.0, 2.0]), Some(3.0));
+    }
+
+    #[test]
+    fn mean_of_aggregation() {
+        assert_eq!(mean_of(&[]), None);
+        assert_eq!(mean_of(&[2.0, 4.0]), Some(3.0));
+    }
+}

@@ -1,0 +1,188 @@
+//! Const-generic points and boxes for d-dimensional decompositions.
+
+use std::fmt;
+
+/// A point in `D`-dimensional space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointN<const D: usize> {
+    /// Coordinates, one per dimension.
+    pub coords: [f64; D],
+}
+
+impl<const D: usize> PointN<D> {
+    /// Creates a point from its coordinates.
+    pub fn new(coords: [f64; D]) -> Self {
+        PointN { coords }
+    }
+}
+
+/// An axis-aligned box `[min_0, max_0] x ... x [min_{D-1}, max_{D-1}]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RectN<const D: usize> {
+    /// Lower corner.
+    pub min: [f64; D],
+    /// Upper corner.
+    pub max: [f64; D],
+}
+
+/// Errors from [`RectN::new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidRectN;
+
+impl fmt::Display for InvalidRectN {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("invalid d-dimensional box (non-finite or min > max)")
+    }
+}
+
+impl std::error::Error for InvalidRectN {}
+
+impl<const D: usize> RectN<D> {
+    /// Creates a box, validating finiteness and `min <= max` per axis.
+    pub fn new(min: [f64; D], max: [f64; D]) -> Result<Self, InvalidRectN> {
+        for k in 0..D {
+            if !(min[k].is_finite() && max[k].is_finite() && min[k] <= max[k]) {
+                return Err(InvalidRectN);
+            }
+        }
+        Ok(RectN { min, max })
+    }
+
+    /// Side length along axis `k`.
+    #[inline]
+    pub fn side(&self, k: usize) -> f64 {
+        self.max[k] - self.min[k]
+    }
+
+    /// Product of all side lengths (hyper-volume; may be zero).
+    pub fn volume(&self) -> f64 {
+        (0..D).map(|k| self.side(k)).product()
+    }
+
+    /// Closed containment of a point.
+    pub fn contains(&self, p: &PointN<D>) -> bool {
+        (0..D).all(|k| p.coords[k] >= self.min[k] && p.coords[k] <= self.max[k])
+    }
+
+    /// Whether `self` lies entirely inside `other`.
+    pub fn inside(&self, other: &RectN<D>) -> bool {
+        (0..D).all(|k| self.min[k] >= other.min[k] && self.max[k] <= other.max[k])
+    }
+
+    /// Whether the boxes share any volume or boundary.
+    pub fn intersects(&self, other: &RectN<D>) -> bool {
+        (0..D).all(|k| self.min[k] <= other.max[k] && other.min[k] <= self.max[k])
+    }
+
+    /// The intersection box, or `None` when disjoint.
+    pub fn intersection(&self, other: &RectN<D>) -> Option<RectN<D>> {
+        if !self.intersects(other) {
+            return None;
+        }
+        let mut min = [0.0; D];
+        let mut max = [0.0; D];
+        for k in 0..D {
+            min[k] = self.min[k].max(other.min[k]);
+            max[k] = self.max[k].min(other.max[k]);
+        }
+        Some(RectN { min, max })
+    }
+
+    /// Fraction of `self`'s volume covered by `query` (uniformity
+    /// assumption); degenerate cells contribute fully when intersected.
+    pub fn overlap_fraction(&self, query: &RectN<D>) -> f64 {
+        match self.intersection(query) {
+            None => 0.0,
+            Some(cap) => {
+                let v = self.volume();
+                if v <= 0.0 {
+                    1.0
+                } else {
+                    (cap.volume() / v).clamp(0.0, 1.0)
+                }
+            }
+        }
+    }
+
+    /// The `2^D` equal orthants; child `j` takes the upper half of axis
+    /// `k` exactly when bit `k` of `j` is set.
+    pub fn orthant(&self, j: usize) -> RectN<D> {
+        debug_assert!(j < (1 << D));
+        let mut min = self.min;
+        let mut max = self.max;
+        for k in 0..D {
+            let mid = self.min[k] + self.side(k) / 2.0;
+            if j >> k & 1 == 1 {
+                min[k] = mid;
+            } else {
+                max[k] = mid;
+            }
+        }
+        RectN { min, max }
+    }
+
+    /// Index of the orthant a point belongs to under half-open
+    /// partitioning (upper boundaries stay in the upper child).
+    pub fn orthant_of(&self, p: &PointN<D>) -> usize {
+        let mut j = 0usize;
+        for k in 0..D {
+            let mid = self.min[k] + self.side(k) / 2.0;
+            if p.coords[k] >= mid {
+                j |= 1 << k;
+            }
+        }
+        j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_volume() {
+        let r = RectN::new([0.0, 0.0, 0.0], [2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(r.volume(), 24.0);
+        assert!(RectN::new([1.0], [0.0]).is_err());
+        assert!(RectN::new([f64::NAN, 0.0], [1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn containment_and_intersection_3d() {
+        let a = RectN::new([0.0; 3], [4.0; 3]).unwrap();
+        let b = RectN::new([2.0; 3], [6.0; 3]).unwrap();
+        assert!(a.intersects(&b));
+        let cap = a.intersection(&b).unwrap();
+        assert_eq!(cap.min, [2.0; 3]);
+        assert_eq!(cap.max, [4.0; 3]);
+        assert!(cap.inside(&a) && cap.inside(&b));
+        let far = RectN::new([10.0; 3], [11.0; 3]).unwrap();
+        assert!(a.intersection(&far).is_none());
+        assert!(a.contains(&PointN::new([4.0, 0.0, 2.0])));
+        assert!(!a.contains(&PointN::new([4.1, 0.0, 2.0])));
+    }
+
+    #[test]
+    fn orthants_partition_volume() {
+        let r = RectN::new([0.0, -2.0, 1.0], [4.0, 2.0, 5.0]).unwrap();
+        let total: f64 = (0..8).map(|j| r.orthant(j).volume()).sum();
+        assert!((total - r.volume()).abs() < 1e-9);
+        // Orthant indexing is consistent with point assignment.
+        let p = PointN::new([3.0, -1.0, 4.5]);
+        let j = r.orthant_of(&p);
+        assert!(r.orthant(j).contains(&p));
+        // Bit semantics: axis 0 upper half => bit 0 set.
+        assert_eq!(r.orthant_of(&PointN::new([3.9, -1.9, 1.1])), 0b001);
+        assert_eq!(r.orthant_of(&PointN::new([0.1, 1.9, 1.1])), 0b010);
+        assert_eq!(r.orthant_of(&PointN::new([0.1, -1.9, 4.9])), 0b100);
+    }
+
+    #[test]
+    fn overlap_fraction_4d() {
+        let cell = RectN::new([0.0; 4], [2.0; 4]).unwrap();
+        let q = RectN::new([0.0; 4], [1.0, 2.0, 2.0, 2.0]).unwrap();
+        assert!((cell.overlap_fraction(&q) - 0.5).abs() < 1e-12);
+        let degenerate = RectN::new([1.0; 4], [1.0; 4]).unwrap();
+        assert_eq!(degenerate.overlap_fraction(&cell), 1.0);
+    }
+}

@@ -1,0 +1,88 @@
+//! d-dimensional private spatial decompositions.
+//!
+//! The paper's main development is two-dimensional, but it generalizes
+//! explicitly: quadtrees become `2^d`-ary trees ("octree, etc.",
+//! Section 3.2), Lemma 2's node-count bound becomes
+//! `n(Q) = O(f^{h (1 - 1/d)})`, and the concluding remarks name
+//! higher-dimensional data as ongoing work. This module provides that
+//! generalization for data-independent trees:
+//!
+//! * [`PointN`] / [`RectN`] — points and boxes with a const-generic
+//!   dimension;
+//! * [`NdTreeConfig`] / [`NdTree`] — a private `2^d`-ary midpoint tree
+//!   with the same count pipeline as the planar families (per-level
+//!   budgets, Laplace counts, OLS post-processing via the
+//!   fanout-generic [`crate::postprocess::ols_over_columns`]), and
+//!   canonical range queries with the uniformity assumption;
+//! * [`geometric_levels_nd`] — the Lemma 3 allocation re-derived for
+//!   `2^d`-ary trees, where the per-level growth of contributing nodes
+//!   is `2^{d-1}` and the optimal ratio is therefore `2^{(d-1)/3}`.
+
+mod geometry;
+mod tree;
+
+pub use geometry::{PointN, RectN};
+pub use tree::{NdBuildError, NdTree, NdTreeConfig};
+
+/// Per-level budgets for a `2^d`-ary tree of the given height, summing
+/// to `eps`: `eps_i ∝ g^{(h-i)/3}` with growth `g = 2^{d-1}` — the
+/// Cauchy-Schwarz optimum of Lemma 3 with `n_i ∝ g^{h-i}`.
+///
+/// For `d = 2` this coincides with
+/// [`crate::budget::CountBudget::Geometric`].
+///
+/// # Panics
+///
+/// Panics if `dims == 0` or `eps <= 0`.
+pub fn geometric_levels_nd(height: usize, eps: f64, dims: usize) -> Vec<f64> {
+    assert!(dims >= 1, "dimension must be at least 1");
+    assert!(eps > 0.0, "epsilon must be positive, got {eps}");
+    if dims == 1 {
+        // Growth 2^0 = 1: every level contributes equally, so the
+        // optimum degenerates to the uniform allocation.
+        return vec![eps / (height as f64 + 1.0); height + 1];
+    }
+    let r = 2f64.powf((dims as f64 - 1.0) / 3.0);
+    let norm: f64 = (0..=height).map(|i| r.powi((height - i) as i32)).sum();
+    (0..=height).map(|i| eps * r.powi((height - i) as i32) / norm).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::CountBudget;
+
+    #[test]
+    fn nd_levels_sum_to_eps() {
+        for dims in 1..=4 {
+            let levels = geometric_levels_nd(6, 0.8, dims);
+            let total: f64 = levels.iter().sum();
+            assert!((total - 0.8).abs() < 1e-12, "dims {dims}: sum {total}");
+        }
+    }
+
+    #[test]
+    fn two_d_matches_planar_geometric() {
+        let nd = geometric_levels_nd(8, 1.0, 2);
+        let planar = CountBudget::Geometric.levels(8, 1.0);
+        for (a, b) in nd.iter().zip(&planar) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn one_d_is_uniform() {
+        let levels = geometric_levels_nd(4, 1.0, 1);
+        assert!(levels.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-15));
+    }
+
+    #[test]
+    fn higher_dims_tilt_harder_toward_leaves() {
+        let d2 = geometric_levels_nd(6, 1.0, 2);
+        let d3 = geometric_levels_nd(6, 1.0, 3);
+        // Leaf share grows with dimension (faster node-count growth).
+        assert!(d3[0] > d2[0], "3D leaf share {} vs 2D {}", d3[0], d2[0]);
+        // Root share shrinks.
+        assert!(d3[6] < d2[6]);
+    }
+}

@@ -1,0 +1,398 @@
+//! Private `2^d`-ary midpoint trees (the octree family).
+//!
+//! The data-independent pipeline of the planar quadtree, generalized:
+//! recursive orthant splits down to height `h`, per-level Laplace count
+//! release, optional OLS post-processing (the three-phase algorithm is
+//! fanout-generic), and canonical range queries with the uniformity
+//! assumption. Structure is data independent, so the only budget
+//! consumers are the counts.
+
+use super::geometry::{PointN, RectN};
+use super::geometric_levels_nd;
+use crate::mech::laplace::laplace_mechanism;
+use crate::postprocess::ols_over_columns;
+use crate::rng::seeded;
+use crate::tree::{complete_tree_nodes, first_index_at_depth};
+use std::fmt;
+
+/// Errors from [`NdTreeConfig::build`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum NdBuildError {
+    /// The domain box has zero volume.
+    DegenerateDomain,
+    /// `epsilon <= 0`.
+    InvalidEpsilon(f64),
+    /// The tree would exceed the node cap.
+    TooManyNodes { nodes: usize },
+    /// A point lies outside the domain.
+    PointOutsideDomain,
+}
+
+impl fmt::Display for NdBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NdBuildError::DegenerateDomain => f.write_str("domain has zero volume"),
+            NdBuildError::InvalidEpsilon(e) => write!(f, "epsilon must be positive, got {e}"),
+            NdBuildError::TooManyNodes { nodes } => write!(f, "tree needs {nodes} nodes"),
+            NdBuildError::PointOutsideDomain => f.write_str("point outside the declared domain"),
+        }
+    }
+}
+
+impl std::error::Error for NdBuildError {}
+
+/// Node cap: keeps accidental `height * dims` blow-ups friendly.
+const MAX_NODES: usize = 120_000_000;
+
+/// Configuration for a d-dimensional private midpoint tree.
+#[derive(Debug, Clone)]
+pub struct NdTreeConfig<const D: usize> {
+    /// Data domain.
+    pub domain: RectN<D>,
+    /// Tree height (leaves at level 0); fanout is `2^D`.
+    pub height: usize,
+    /// Total privacy budget.
+    pub epsilon: f64,
+    /// Apply OLS post-processing (default true).
+    pub postprocess: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl<const D: usize> NdTreeConfig<D> {
+    /// Creates a config with the Lemma 3 geometric budget and OLS on.
+    pub fn new(domain: RectN<D>, height: usize, epsilon: f64) -> Self {
+        NdTreeConfig { domain, height, epsilon, postprocess: true, seed: 0 }
+    }
+
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables or disables post-processing.
+    pub fn with_postprocess(mut self, on: bool) -> Self {
+        self.postprocess = on;
+        self
+    }
+
+    /// Builds the private tree over `points`.
+    pub fn build(&self, points: &[PointN<D>]) -> Result<NdTree<D>, NdBuildError> {
+        if self.domain.volume() <= 0.0 {
+            return Err(NdBuildError::DegenerateDomain);
+        }
+        if !(self.epsilon > 0.0 && self.epsilon.is_finite()) {
+            return Err(NdBuildError::InvalidEpsilon(self.epsilon));
+        }
+        let fanout = 1usize << D;
+        let m = complete_tree_nodes(fanout, self.height);
+        if m > MAX_NODES {
+            return Err(NdBuildError::TooManyNodes { nodes: m });
+        }
+        if points.iter().any(|p| !self.domain.contains(p)) {
+            return Err(NdBuildError::PointOutsideDomain);
+        }
+        let mut rects = vec![self.domain; m];
+        let mut true_counts = vec![0.0f64; m];
+        // Structure + exact counts: orthant-partition recursively.
+        let mut buf: Vec<PointN<D>> = points.to_vec();
+        build_rec(self.height, 0, 0, self.domain, &mut buf, &mut rects, &mut true_counts);
+        // Counts.
+        let eps_levels = geometric_levels_nd(self.height, self.epsilon, D);
+        let mut rng = seeded(self.seed);
+        let mut noisy = vec![0.0f64; m];
+        let mut first = 0usize;
+        let mut width = 1usize;
+        for depth in 0..=self.height {
+            let eps = eps_levels[self.height - depth];
+            for v in first..first + width {
+                noisy[v] = laplace_mechanism(&mut rng, true_counts[v], 1.0, eps);
+            }
+            first += width;
+            width *= fanout;
+        }
+        let posted = if self.postprocess {
+            Some(ols_over_columns(fanout, self.height, &eps_levels, &noisy))
+        } else {
+            None
+        };
+        Ok(NdTree {
+            height: self.height,
+            rects,
+            true_counts,
+            noisy,
+            posted,
+            eps_levels,
+            epsilon: self.epsilon,
+        })
+    }
+}
+
+fn build_rec<const D: usize>(
+    height: usize,
+    v: usize,
+    depth: usize,
+    rect: RectN<D>,
+    pts: &mut [PointN<D>],
+    rects: &mut [RectN<D>],
+    true_counts: &mut [f64],
+) {
+    rects[v] = rect;
+    true_counts[v] = pts.len() as f64;
+    if depth == height {
+        return;
+    }
+    let fanout = 1usize << D;
+    // Counting sort of points into orthants (stable order not needed).
+    pts.sort_unstable_by_key(|p| rect.orthant_of(p));
+    let mut starts = vec![0usize; fanout + 1];
+    for p in pts.iter() {
+        starts[rect.orthant_of(p) + 1] += 1;
+    }
+    for j in 0..fanout {
+        starts[j + 1] += starts[j];
+    }
+    let first_child = fanout * v + 1;
+    let mut rest = pts;
+    let mut consumed = 0usize;
+    for j in 0..fanout {
+        let len = starts[j + 1] - starts[j];
+        let (chunk, tail) = rest.split_at_mut(starts[j + 1] - consumed);
+        consumed = starts[j + 1];
+        rest = tail;
+        let child_rect = rect.orthant(j);
+        build_rec(height, first_child + j, depth + 1, child_rect, chunk, rects, true_counts);
+        debug_assert_eq!(chunk.len(), len);
+    }
+}
+
+/// A built d-dimensional private tree.
+#[derive(Debug, Clone)]
+pub struct NdTree<const D: usize> {
+    height: usize,
+    rects: Vec<RectN<D>>,
+    true_counts: Vec<f64>,
+    noisy: Vec<f64>,
+    posted: Option<Vec<f64>>,
+    eps_levels: Vec<f64>,
+    epsilon: f64,
+}
+
+impl<const D: usize> NdTree<D> {
+    /// Tree height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Fanout `2^D`.
+    pub fn fanout(&self) -> usize {
+        1 << D
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.rects.len()
+    }
+
+    /// Total privacy budget spent.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Per-level count budgets (leaves first).
+    pub fn eps_levels(&self) -> &[f64] {
+        &self.eps_levels
+    }
+
+    /// The exact count of a node (not part of the release).
+    pub fn true_count(&self, v: usize) -> f64 {
+        self.true_counts[v]
+    }
+
+    /// The released noisy count of a node.
+    pub fn noisy_count(&self, v: usize) -> f64 {
+        self.noisy[v]
+    }
+
+    /// The post-processed count, if OLS ran.
+    pub fn posted_count(&self, v: usize) -> Option<f64> {
+        self.posted.as_ref().map(|p| p[v])
+    }
+
+    /// The box of a node.
+    pub fn rect(&self, v: usize) -> &RectN<D> {
+        &self.rects[v]
+    }
+
+    /// Canonical range query over the released counts (post-processed
+    /// when available).
+    pub fn range_query(&self, query: &RectN<D>) -> f64 {
+        self.query_rec(0, query, &|v| {
+            self.posted_count(v).unwrap_or(self.noisy[v])
+        })
+    }
+
+    /// Range query over the exact counts (evaluation only).
+    pub fn exact_query(&self, query: &RectN<D>) -> f64 {
+        self.query_rec(0, query, &|v| self.true_counts[v])
+    }
+
+    fn query_rec(&self, v: usize, query: &RectN<D>, count: &dyn Fn(usize) -> f64) -> f64 {
+        let rect = &self.rects[v];
+        if !rect.intersects(query) {
+            return 0.0;
+        }
+        if rect.inside(query) {
+            return count(v);
+        }
+        let leaf_start = first_index_at_depth(self.fanout(), self.height);
+        if v >= leaf_start || self.height == 0 {
+            return count(v) * rect.overlap_fraction(query);
+        }
+        let c0 = self.fanout() * v + 1;
+        (c0..c0 + self.fanout()).map(|c| self.query_rec(c, query, count)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cube_points_3d(n_side: usize) -> Vec<PointN<3>> {
+        let mut pts = Vec::new();
+        for i in 0..n_side {
+            for j in 0..n_side {
+                for k in 0..n_side {
+                    pts.push(PointN::new([
+                        (i as f64 + 0.5) / n_side as f64 * 8.0,
+                        (j as f64 + 0.5) / n_side as f64 * 8.0,
+                        (k as f64 + 0.5) / n_side as f64 * 8.0,
+                    ]));
+                }
+            }
+        }
+        pts
+    }
+
+    fn cube() -> RectN<3> {
+        RectN::new([0.0; 3], [8.0; 3]).unwrap()
+    }
+
+    #[test]
+    fn octree_structure_invariants() {
+        let pts = cube_points_3d(16); // 4096 points
+        let tree = NdTreeConfig::new(cube(), 2, 1.0).with_seed(1).build(&pts).unwrap();
+        assert_eq!(tree.fanout(), 8);
+        assert_eq!(tree.node_count(), 1 + 8 + 64);
+        assert_eq!(tree.true_count(0), 4096.0);
+        // Children partition exactly: each depth-1 octant holds 512.
+        for c in 1..9 {
+            assert_eq!(tree.true_count(c), 512.0, "octant {c}");
+        }
+        // Consistency through both levels.
+        for v in 0..9 {
+            let c0 = 8 * v + 1;
+            let sum: f64 = (c0..c0 + 8).map(|c| tree.true_count(c)).sum();
+            assert_eq!(sum, tree.true_count(v));
+        }
+    }
+
+    #[test]
+    fn octree_exact_queries_match_brute_force() {
+        let pts = cube_points_3d(16);
+        let tree = NdTreeConfig::new(cube(), 2, 1.0).with_seed(2).build(&pts).unwrap();
+        let queries = [
+            RectN::new([0.0; 3], [8.0; 3]).unwrap(),
+            RectN::new([0.0; 3], [4.0, 4.0, 8.0]).unwrap(),
+            RectN::new([2.0; 3], [6.0; 3]).unwrap(), // leaf-aligned at depth 2
+        ];
+        for q in &queries {
+            let brute = pts.iter().filter(|p| q.contains(p)).count() as f64;
+            let est = tree.exact_query(q);
+            assert!((est - brute).abs() < 1e-9, "query {q:?}: {est} vs {brute}");
+        }
+    }
+
+    #[test]
+    fn octree_noisy_queries_concentrate() {
+        let pts = cube_points_3d(16);
+        let q = RectN::new([0.0; 3], [4.0, 8.0, 8.0]).unwrap();
+        let truth = 2048.0;
+        let mut total_err = 0.0;
+        for seed in 0..20 {
+            let tree = NdTreeConfig::new(cube(), 3, 1.0).with_seed(seed).build(&pts).unwrap();
+            total_err += (tree.range_query(&q) - truth).abs();
+        }
+        assert!(total_err / 20.0 < 100.0, "mean error {}", total_err / 20.0);
+    }
+
+    #[test]
+    fn octree_ols_is_consistent() {
+        let pts = cube_points_3d(8);
+        let tree = NdTreeConfig::new(cube(), 2, 0.5).with_seed(3).build(&pts).unwrap();
+        for v in 0..9 {
+            let c0 = 8 * v + 1;
+            let sum: f64 = (c0..c0 + 8).map(|c| tree.posted_count(c).unwrap()).sum();
+            let own = tree.posted_count(v).unwrap();
+            assert!((own - sum).abs() < 1e-6 * (1.0 + own.abs()), "node {v}");
+        }
+    }
+
+    #[test]
+    fn budget_sums_to_epsilon() {
+        let pts = cube_points_3d(4);
+        let tree = NdTreeConfig::new(cube(), 3, 0.7).with_seed(4).build(&pts).unwrap();
+        let total: f64 = tree.eps_levels().iter().sum();
+        assert!((total - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn four_dimensional_tree_builds() {
+        let domain = RectN::new([0.0; 4], [1.0; 4]).unwrap();
+        let pts: Vec<PointN<4>> = (0..500)
+            .map(|i| {
+                PointN::new([
+                    (i % 10) as f64 / 10.0,
+                    (i / 10 % 10) as f64 / 10.0,
+                    (i / 100 % 10) as f64 / 10.0,
+                    0.5,
+                ])
+            })
+            .collect();
+        let tree = NdTreeConfig::new(domain, 2, 1.0).with_seed(5).build(&pts).unwrap();
+        assert_eq!(tree.fanout(), 16);
+        assert_eq!(tree.true_count(0), 500.0);
+        let est = tree.exact_query(&domain);
+        assert!((est - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let degenerate = RectN::new([0.0; 3], [0.0, 1.0, 1.0]).unwrap();
+        assert_eq!(
+            NdTreeConfig::new(degenerate, 2, 1.0).build(&[]).unwrap_err(),
+            NdBuildError::DegenerateDomain
+        );
+        assert!(matches!(
+            NdTreeConfig::new(cube(), 2, -1.0).build(&[]).unwrap_err(),
+            NdBuildError::InvalidEpsilon(_)
+        ));
+        assert_eq!(
+            NdTreeConfig::new(cube(), 2, 1.0)
+                .build(&[PointN::new([9.0, 0.0, 0.0])])
+                .unwrap_err(),
+            NdBuildError::PointOutsideDomain
+        );
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let pts = cube_points_3d(8);
+        let a = NdTreeConfig::new(cube(), 2, 0.5).with_seed(9).build(&pts).unwrap();
+        let b = NdTreeConfig::new(cube(), 2, 0.5).with_seed(9).build(&pts).unwrap();
+        for v in 0..a.node_count() {
+            assert_eq!(a.noisy_count(v), b.noisy_count(v));
+        }
+    }
+}

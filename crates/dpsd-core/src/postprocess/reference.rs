@@ -1,0 +1,108 @@
+//! Dense reference implementation of the OLS estimator.
+//!
+//! Solves the normal equations `(U^T U) beta_leaf = U^T Z` of Lemma 4
+//! directly: `(U^T U)_{u,w} = sum_{v in anc(u) ∩ anc(w)} eps_{h(v)}^2`
+//! and `(U^T Z)_u = sum_{v in anc(u)} eps_{h(v)}^2 Y_v`. Exponential in
+//! nothing but sized `f^h x f^h`, so only usable on small trees — which
+//! is exactly its job: an independent oracle for testing the linear-time
+//! algorithm of [`super::ols_over_columns`].
+
+use crate::linalg::solve_dense;
+use crate::tree::{complete_tree_nodes, first_index_at_depth};
+
+/// Computes the OLS column by dense normal equations. Intended for tests
+/// and verification only; cost is cubic in the number of leaves.
+///
+/// # Panics
+///
+/// Panics if the system is singular (cannot happen while
+/// `eps_levels[0] > 0`) or inputs are inconsistent.
+pub fn ols_reference(fanout: usize, height: usize, eps_levels: &[f64], y: &[f64]) -> Vec<f64> {
+    let m = complete_tree_nodes(fanout, height);
+    assert_eq!(y.len(), m, "count column length mismatch");
+    assert_eq!(eps_levels.len(), height + 1, "one epsilon per level");
+    let leaf_start = first_index_at_depth(fanout, height);
+    let n = m - leaf_start;
+    let level_of = |v: usize| -> usize {
+        let mut depth = 0;
+        let mut first = 0usize;
+        let mut width = 1usize;
+        while v >= first + width {
+            first += width;
+            width *= fanout;
+            depth += 1;
+        }
+        height - depth
+    };
+    // Ancestor chains (including the node) for every leaf.
+    let ancestors: Vec<Vec<usize>> = (leaf_start..m)
+        .map(|leaf| {
+            let mut chain = vec![leaf];
+            let mut v = leaf;
+            while v != 0 {
+                v = (v - 1) / fanout;
+                chain.push(v);
+            }
+            chain
+        })
+        .collect();
+    let eps2: Vec<f64> = eps_levels.iter().map(|e| e * e).collect();
+    // Normal equations over leaf unknowns.
+    let mut a = vec![vec![0.0f64; n]; n];
+    let mut b = vec![0.0f64; n];
+    for (i, anc_i) in ancestors.iter().enumerate() {
+        for (j, anc_j) in ancestors.iter().enumerate() {
+            let mut acc = 0.0;
+            for &v in anc_i {
+                if anc_j.contains(&v) {
+                    acc += eps2[level_of(v)];
+                }
+            }
+            a[i][j] = acc;
+        }
+        b[i] = anc_i.iter().map(|&v| eps2[level_of(v)] * y[v]).sum();
+    }
+    let leaf_beta = solve_dense(a, b).expect("normal equations are positive definite");
+    // Propagate sums up the tree.
+    let mut beta = vec![0.0f64; m];
+    beta[leaf_start..m].copy_from_slice(&leaf_beta);
+    for v in (0..leaf_start).rev() {
+        let c0 = fanout * v + 1;
+        beta[v] = (c0..c0 + fanout).map(|c| beta[c]).sum();
+    }
+    beta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_on_trivial_tree() {
+        // Single node: weighted least squares of one observation = itself.
+        let beta = ols_reference(4, 0, &[1.0], &[7.0]);
+        assert_eq!(beta, vec![7.0]);
+    }
+
+    #[test]
+    fn reference_reproduces_papers_weights() {
+        // Root + 4 leaves with uniform eps: beta_root = 4/5 Ya + 1/5 sum.
+        let y = [20.0, 1.0, 2.0, 3.0, 4.0];
+        let beta = ols_reference(4, 1, &[1.0, 1.0], &y);
+        let expect = 0.8 * 20.0 + 0.2 * 10.0;
+        assert!((beta[0] - expect).abs() < 1e-9, "{} vs {expect}", beta[0]);
+        // Consistency by construction.
+        let sum: f64 = beta[1..5].iter().sum();
+        assert!((beta[0] - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reference_respects_weighting() {
+        // Put (almost) all weight on the root: leaves shift so their sum
+        // tracks the root observation.
+        let y = [100.0, 1.0, 1.0, 1.0, 1.0];
+        let beta = ols_reference(4, 1, &[0.01, 10.0], &y);
+        let sum: f64 = beta[1..5].iter().sum();
+        assert!((sum - 100.0).abs() < 1.0, "leaf sum {sum} pulled to root");
+    }
+}

@@ -1,0 +1,880 @@
+//! PSD construction (paper Sections 3.3 and 6).
+//!
+//! [`PsdConfig`] gathers every knob the paper's experiments vary — tree
+//! family, height, privacy budget, count-budget strategy, median
+//! mechanism, hybrid switch level, cell-grid resolution, Hilbert order,
+//! post-processing and pruning — and [`PsdConfig::build`] produces a
+//! [`PsdTree`].
+//!
+//! Construction proceeds in three stages:
+//!
+//! 1. **Structure**: the domain rectangle is recursively split down to
+//!    height `h`. Data-independent kinds split at midpoints; data-
+//!    dependent kinds spend the median budget of each level on private
+//!    splits. Every flattened (fanout-4) node performs one x-split and
+//!    two y-splits; the level's median budget is halved between the two
+//!    stages, and the two y-splits operate on *disjoint* halves, so
+//!    parallel composition keeps the per-level spend at `eps_median[i]`
+//!    (Section 6.2).
+//! 2. **Counts**: each node's exact count is perturbed with
+//!    `Lap(1 / eps_count[level])`; levels with zero budget withhold
+//!    their counts entirely (Section 4.2's "conserve the budget").
+//! 3. **Post-processing / pruning** (optional): Section 5's OLS and
+//!    Section 7's pruning.
+
+use crate::budget::{audit_path_epsilon, median_levels, BudgetSplit, CountBudget};
+use crate::geometry::{Axis, Point, Rect};
+use crate::mech::laplace::laplace_mechanism;
+use crate::mech::sampling::SamplingPlan;
+use crate::median::{MedianConfig, MedianSelector};
+use crate::rng::seeded;
+use crate::tree::{complete_tree_nodes, PsdTree};
+use rand::rngs::StdRng;
+use std::fmt;
+
+/// Maximum number of nodes a single tree may allocate (a height-12
+/// fanout-4 tree is ~22M nodes; this guards against runaway configs).
+const MAX_NODES: usize = 120_000_000;
+
+/// The PSD families of the paper's experimental study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreeKind {
+    /// Data-independent quadtree (Section 3.3).
+    Quadtree,
+    /// kd-tree with private medians at every level (Section 6).
+    KdStandard,
+    /// Hybrid: private medians for the top `switch_levels`, quadtree
+    /// splits below (Sections 3.2, 6.2).
+    KdHybrid,
+    /// kd-tree with splits read from a fixed-resolution noisy grid
+    /// (Xiao et al. [26]).
+    KdCell,
+    /// kd-tree splitting at noisy means (Inan et al. [12]).
+    KdNoisyMean,
+    /// Exact medians and exact counts — **not private**, the `kd-pure`
+    /// baseline quantifying the cost of privacy.
+    KdPure,
+    /// Exact medians with noisy counts — structure **not private**, the
+    /// `kd-true` diagnostic baseline.
+    KdTrue,
+    /// Hilbert R-tree: a 1-D decomposition over Hilbert indices whose
+    /// node rectangles are index-range bounding boxes (Section 3.3).
+    HilbertR,
+}
+
+impl TreeKind {
+    /// Whether the family spends budget on structure (medians / grid).
+    pub fn is_data_dependent(&self) -> bool {
+        matches!(
+            self,
+            TreeKind::KdStandard
+                | TreeKind::KdHybrid
+                | TreeKind::KdCell
+                | TreeKind::KdNoisyMean
+                | TreeKind::HilbertR
+        )
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn paper_name(&self) -> &'static str {
+        match self {
+            TreeKind::Quadtree => "quadtree",
+            TreeKind::KdStandard => "kd-standard",
+            TreeKind::KdHybrid => "kd-hybrid",
+            TreeKind::KdCell => "kd-cell",
+            TreeKind::KdNoisyMean => "kd-noisymean",
+            TreeKind::KdPure => "kd-pure",
+            TreeKind::KdTrue => "kd-true",
+            TreeKind::HilbertR => "Hilbert-R",
+        }
+    }
+}
+
+impl fmt::Display for TreeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+/// Errors from [`PsdConfig::build`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildError {
+    /// The domain rectangle has zero width or height.
+    DegenerateDomain(Rect),
+    /// `epsilon <= 0` for a private family.
+    InvalidEpsilon(f64),
+    /// The height would allocate more than the node cap.
+    TooManyNodes { height: usize, nodes: usize },
+    /// A point lies outside the declared domain.
+    PointOutsideDomain(Point),
+    /// Hybrid switch level exceeds the height.
+    InvalidSwitchLevel { switch_levels: usize, height: usize },
+    /// Cell grid resolution invalid (zero cells).
+    InvalidGridResolution,
+    /// Hilbert order outside `1..=26` (indices must stay exact in f64).
+    InvalidHilbertOrder(u32),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::DegenerateDomain(r) => write!(f, "domain has zero area: {r:?}"),
+            BuildError::InvalidEpsilon(e) => write!(f, "epsilon must be positive, got {e}"),
+            BuildError::TooManyNodes { height, nodes } => {
+                write!(f, "height {height} needs {nodes} nodes (cap {MAX_NODES})")
+            }
+            BuildError::PointOutsideDomain(p) => {
+                write!(f, "point ({}, {}) outside the declared domain", p.x, p.y)
+            }
+            BuildError::InvalidSwitchLevel { switch_levels, height } => {
+                write!(f, "switch level {switch_levels} exceeds height {height}")
+            }
+            BuildError::InvalidGridResolution => write!(f, "cell grid needs at least one cell"),
+            BuildError::InvalidHilbertOrder(o) => {
+                write!(f, "hilbert order {o} not in 1..=26")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Configuration for building a PSD. Construct with one of the
+/// family-specific constructors, then chain `with_*` modifiers.
+#[derive(Debug, Clone)]
+pub struct PsdConfig {
+    /// Tree family.
+    pub kind: TreeKind,
+    /// Data domain (all points must lie inside).
+    pub domain: Rect,
+    /// Tree height `h` (leaves at level 0). Fanout is always 4.
+    pub height: usize,
+    /// Total privacy budget `eps`.
+    pub epsilon: f64,
+    /// Count-budget strategy across levels.
+    pub count_budget: CountBudget,
+    /// Count/median split (ignored by data-independent kinds).
+    pub split: BudgetSplit,
+    /// Median mechanism for data-dependent splits.
+    pub median: MedianSelector,
+    /// Number of data-dependent levels from the root (hybrid trees;
+    /// `KdStandard` uses `height`).
+    pub switch_levels: usize,
+    /// Cell-grid resolution for `KdCell` (cells along x and y).
+    pub grid_resolution: (usize, usize),
+    /// Hilbert curve order for `HilbertR` (paper default 18).
+    pub hilbert_order: u32,
+    /// Run OLS post-processing after building (Section 5).
+    pub postprocess: bool,
+    /// Prune subtrees whose post-processed count falls below this
+    /// threshold (Section 7; the paper uses 32 in Figure 5).
+    pub prune_threshold: Option<f64>,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+}
+
+impl PsdConfig {
+    fn base(kind: TreeKind, domain: Rect, height: usize, epsilon: f64) -> Self {
+        PsdConfig {
+            kind,
+            domain,
+            height,
+            epsilon,
+            count_budget: CountBudget::Geometric,
+            split: if kind.is_data_dependent() {
+                BudgetSplit::paper_default()
+            } else {
+                BudgetSplit::all_counts()
+            },
+            median: MedianSelector::plain(MedianConfig::Exponential),
+            switch_levels: height,
+            grid_resolution: (256, 256),
+            hilbert_order: 18,
+            postprocess: true,
+            prune_threshold: None,
+            seed: 0,
+        }
+    }
+
+    /// A private quadtree (all budget to counts).
+    pub fn quadtree(domain: Rect, height: usize, epsilon: f64) -> Self {
+        Self::base(TreeKind::Quadtree, domain, height, epsilon)
+    }
+
+    /// A kd-tree with exponential-mechanism medians at every level.
+    pub fn kd_standard(domain: Rect, height: usize, epsilon: f64) -> Self {
+        Self::base(TreeKind::KdStandard, domain, height, epsilon)
+    }
+
+    /// A hybrid tree: medians for `switch_levels` levels, quadtree below.
+    /// The paper found switching about half-way down best (Section 8.2).
+    pub fn kd_hybrid(domain: Rect, height: usize, epsilon: f64, switch_levels: usize) -> Self {
+        let mut c = Self::base(TreeKind::KdHybrid, domain, height, epsilon);
+        c.switch_levels = switch_levels;
+        c
+    }
+
+    /// The cell-based kd-tree of Xiao et al. [26].
+    pub fn kd_cell(domain: Rect, height: usize, epsilon: f64, grid: (usize, usize)) -> Self {
+        let mut c = Self::base(TreeKind::KdCell, domain, height, epsilon);
+        c.grid_resolution = grid;
+        c
+    }
+
+    /// The noisy-mean kd-tree of Inan et al. [12].
+    pub fn kd_noisymean(domain: Rect, height: usize, epsilon: f64) -> Self {
+        let mut c = Self::base(TreeKind::KdNoisyMean, domain, height, epsilon);
+        c.median = MedianSelector::plain(MedianConfig::NoisyMean);
+        c
+    }
+
+    /// The non-private `kd-pure` baseline (exact medians, exact counts).
+    pub fn kd_pure(domain: Rect, height: usize) -> Self {
+        let mut c = Self::base(TreeKind::KdPure, domain, height, 1.0);
+        c.median = MedianSelector::plain(MedianConfig::Exact);
+        c.split = BudgetSplit::all_counts();
+        c.postprocess = false;
+        c
+    }
+
+    /// The `kd-true` diagnostic (exact medians, noisy counts).
+    pub fn kd_true(domain: Rect, height: usize, epsilon: f64) -> Self {
+        let mut c = Self::base(TreeKind::KdTrue, domain, height, epsilon);
+        c.median = MedianSelector::plain(MedianConfig::Exact);
+        c.split = BudgetSplit::all_counts();
+        c
+    }
+
+    /// A private Hilbert R-tree.
+    pub fn hilbert_r(domain: Rect, height: usize, epsilon: f64) -> Self {
+        Self::base(TreeKind::HilbertR, domain, height, epsilon)
+    }
+
+    /// Sets the count-budget strategy.
+    pub fn with_count_budget(mut self, budget: CountBudget) -> Self {
+        self.count_budget = budget;
+        self
+    }
+
+    /// Sets the count/median budget split.
+    pub fn with_split(mut self, split: BudgetSplit) -> Self {
+        self.split = split;
+        self
+    }
+
+    /// Sets the median mechanism.
+    pub fn with_median(mut self, median: MedianSelector) -> Self {
+        self.median = median;
+        self
+    }
+
+    /// Enables Bernoulli-sampling amplification for the median mechanism.
+    pub fn with_median_sampling(mut self, plan: SamplingPlan) -> Self {
+        self.median.sampling = Some(plan);
+        self
+    }
+
+    /// Enables or disables OLS post-processing.
+    pub fn with_postprocess(mut self, on: bool) -> Self {
+        self.postprocess = on;
+        self
+    }
+
+    /// Enables pruning with the given threshold (paper: 32).
+    pub fn with_prune_threshold(mut self, m: f64) -> Self {
+        self.prune_threshold = Some(m);
+        self
+    }
+
+    /// Sets the Hilbert curve order.
+    pub fn with_hilbert_order(mut self, order: u32) -> Self {
+        self.hilbert_order = order;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the decomposition over `points`.
+    ///
+    /// Stage order: budgets → structure (+ exact counts) → noisy counts →
+    /// optional OLS → optional pruning. See the module docs.
+    pub fn build(&self, points: &[Point]) -> Result<PsdTree, BuildError> {
+        self.validate(points)?;
+        let fanout = 4usize;
+        let h = self.height;
+        let m = complete_tree_nodes(fanout, h);
+        let mut rng = seeded(self.seed);
+
+        // --- budgets -------------------------------------------------
+        let private = !matches!(self.kind, TreeKind::KdPure);
+        let (eps_count_total, eps_median_total) = match self.kind {
+            TreeKind::KdPure => (0.0, 0.0),
+            TreeKind::Quadtree | TreeKind::KdTrue => (self.epsilon, 0.0),
+            _ => self.split.apply(self.epsilon),
+        };
+        let eps_count: Vec<f64> = if eps_count_total > 0.0 {
+            self.count_budget.levels(h, eps_count_total)
+        } else {
+            vec![0.0; h + 1]
+        };
+        let dd_levels = match self.kind {
+            TreeKind::KdStandard | TreeKind::KdNoisyMean | TreeKind::HilbertR => h,
+            TreeKind::KdHybrid => self.switch_levels.min(h),
+            // kd-cell spends its median share on the grid as a lump; the
+            // per-level vector stays zero and the grid epsilon is
+            // reported through `eps_median_levels` at the root level.
+            _ => 0,
+        };
+        let eps_median: Vec<f64> = if self.kind == TreeKind::KdCell && eps_median_total > 0.0 {
+            let mut v = vec![0.0; h + 1];
+            v[h] = eps_median_total; // one grid release, composed once per path
+            v
+        } else if dd_levels > 0 && eps_median_total > 0.0 {
+            median_levels(h, dd_levels, eps_median_total)
+        } else {
+            vec![0.0; h + 1]
+        };
+        if private {
+            let audit = audit_path_epsilon(&eps_count, &eps_median);
+            debug_assert!(audit.within(self.epsilon), "budget audit failed: {audit:?}");
+        }
+
+        // --- structure + exact counts ---------------------------------
+        let mut rects = vec![self.domain; m];
+        let mut true_counts = vec![0.0f64; m];
+        match self.kind {
+            TreeKind::HilbertR => super::hilbert_rtree::build_structure(
+                self,
+                &eps_median,
+                points,
+                &mut rects,
+                &mut true_counts,
+                &mut rng,
+            )?,
+            TreeKind::KdCell => super::kdcell::build_structure(
+                self,
+                eps_median_total,
+                points,
+                &mut rects,
+                &mut true_counts,
+                &mut rng,
+            )?,
+            _ => {
+                let mut buf: Vec<Point> = points.to_vec();
+                build_planar_structure(
+                    self,
+                    &eps_median,
+                    &mut buf,
+                    &mut rects,
+                    &mut true_counts,
+                    &mut rng,
+                );
+            }
+        }
+
+        // --- noisy counts ---------------------------------------------
+        let mut noisy = vec![0.0f64; m];
+        let mut released = vec![false; m];
+        if self.kind == TreeKind::KdPure {
+            noisy.copy_from_slice(&true_counts);
+            released.fill(true);
+        } else {
+            apply_count_noise(
+                fanout,
+                h,
+                &true_counts,
+                &eps_count,
+                &mut noisy,
+                &mut released,
+                &mut rng,
+            );
+        }
+
+        let mut tree = PsdTree::from_columns(
+            self.kind,
+            fanout,
+            h,
+            self.domain,
+            rects,
+            true_counts,
+            noisy,
+            released,
+            eps_count,
+            eps_median,
+            if private { self.epsilon } else { 0.0 },
+        );
+
+        // --- post-processing and pruning -------------------------------
+        if self.postprocess && private {
+            let beta = crate::postprocess::ols_postprocess(&tree);
+            tree.set_posted(beta);
+        }
+        if let Some(threshold) = self.prune_threshold {
+            super::prune::prune_below(&mut tree, threshold);
+        }
+        Ok(tree)
+    }
+
+    fn validate(&self, points: &[Point]) -> Result<(), BuildError> {
+        if self.domain.area() <= 0.0 {
+            return Err(BuildError::DegenerateDomain(self.domain));
+        }
+        if self.kind != TreeKind::KdPure && !(self.epsilon > 0.0 && self.epsilon.is_finite()) {
+            return Err(BuildError::InvalidEpsilon(self.epsilon));
+        }
+        let nodes = complete_tree_nodes(4, self.height);
+        if nodes > MAX_NODES {
+            return Err(BuildError::TooManyNodes { height: self.height, nodes });
+        }
+        if self.kind == TreeKind::KdHybrid && self.switch_levels > self.height {
+            return Err(BuildError::InvalidSwitchLevel {
+                switch_levels: self.switch_levels,
+                height: self.height,
+            });
+        }
+        if self.kind == TreeKind::KdCell
+            && (self.grid_resolution.0 == 0 || self.grid_resolution.1 == 0)
+        {
+            return Err(BuildError::InvalidGridResolution);
+        }
+        if self.kind == TreeKind::HilbertR && !(1..=26).contains(&self.hilbert_order) {
+            return Err(BuildError::InvalidHilbertOrder(self.hilbert_order));
+        }
+        if let Some(p) = points.iter().find(|p| !self.domain.contains(**p)) {
+            return Err(BuildError::PointOutsideDomain(*p));
+        }
+        Ok(())
+    }
+}
+
+/// Builds the structure of planar trees (quadtree, kd variants) by
+/// recursive in-place partitioning of the point buffer.
+fn build_planar_structure(
+    config: &PsdConfig,
+    eps_median: &[f64],
+    points: &mut [Point],
+    rects: &mut [Rect],
+    true_counts: &mut [f64],
+    rng: &mut StdRng,
+) {
+    // Depth-first recursion; depth <= 12 so stack use is trivial.
+    #[allow(clippy::too_many_arguments)]
+    fn recurse(
+        config: &PsdConfig,
+        eps_median: &[f64],
+        v: usize,
+        depth: usize,
+        rect: Rect,
+        pts: &mut [Point],
+        rects: &mut [Rect],
+        true_counts: &mut [f64],
+        rng: &mut StdRng,
+    ) {
+        rects[v] = rect;
+        true_counts[v] = pts.len() as f64;
+        if depth == config.height {
+            return;
+        }
+        let level = config.height - depth;
+        let data_dependent_here = match config.kind {
+            TreeKind::KdStandard | TreeKind::KdNoisyMean => true,
+            TreeKind::KdPure | TreeKind::KdTrue => true,
+            TreeKind::KdHybrid => depth < config.switch_levels,
+            _ => false,
+        };
+        // Choose the x split and the two y splits.
+        let (sx, sy_low, sy_high);
+        if data_dependent_here {
+            let em = eps_median[level];
+            // kd-pure / kd-true use exact medians: any positive epsilon is
+            // accepted by the selector but unused.
+            let eps_stage = if matches!(config.kind, TreeKind::KdPure | TreeKind::KdTrue) {
+                1.0
+            } else {
+                em / 2.0
+            };
+            let mut xs: Vec<f64> = pts.iter().map(|p| p.x).collect();
+            xs.sort_unstable_by(f64::total_cmp);
+            sx = config
+                .median
+                .select(rng, &xs, rect.min_x, rect.max_x, eps_stage.max(f64::MIN_POSITIVE));
+            let split_x = sx.clamp(rect.min_x, rect.max_x);
+            let mid = partition_in_place(pts, |p| p.x < split_x);
+            let (left, right) = pts.split_at_mut(mid);
+            let mut ys: Vec<f64> = left.iter().map(|p| p.y).collect();
+            ys.sort_unstable_by(f64::total_cmp);
+            sy_low = config
+                .median
+                .select(rng, &ys, rect.min_y, rect.max_y, eps_stage.max(f64::MIN_POSITIVE));
+            let mut ys: Vec<f64> = right.iter().map(|p| p.y).collect();
+            ys.sort_unstable_by(f64::total_cmp);
+            sy_high = config
+                .median
+                .select(rng, &ys, rect.min_y, rect.max_y, eps_stage.max(f64::MIN_POSITIVE));
+        } else {
+            sx = rect.min_x + rect.width() / 2.0;
+            sy_low = rect.min_y + rect.height() / 2.0;
+            sy_high = sy_low;
+        }
+        let (rect_l, rect_r) = rect.split_at(Axis::X, sx);
+        let (rect_ll, rect_lh) = rect_l.split_at(Axis::Y, sy_low);
+        let (rect_rl, rect_rh) = rect_r.split_at(Axis::Y, sy_high);
+        // Partition the points to match: x first, then y within halves.
+        let split_x = rect_l.max_x;
+        let mid = partition_in_place(pts, |p| p.x < split_x);
+        let (left, right) = pts.split_at_mut(mid);
+        let split_yl = rect_ll.max_y;
+        let mid_l = partition_in_place(left, |p| p.y < split_yl);
+        let (ll, lh) = left.split_at_mut(mid_l);
+        let split_yr = rect_rl.max_y;
+        let mid_r = partition_in_place(right, |p| p.y < split_yr);
+        let (rl, rh) = right.split_at_mut(mid_r);
+        let first_child = 4 * v + 1;
+        let child_data: [(Rect, &mut [Point]); 4] =
+            [(rect_ll, ll), (rect_lh, lh), (rect_rl, rl), (rect_rh, rh)];
+        for (j, (child_rect, child_pts)) in child_data.into_iter().enumerate() {
+            recurse(
+                config,
+                eps_median,
+                first_child + j,
+                depth + 1,
+                child_rect,
+                child_pts,
+                rects,
+                true_counts,
+                rng,
+            );
+        }
+    }
+    recurse(
+        config,
+        eps_median,
+        0,
+        0,
+        config.domain,
+        points,
+        rects,
+        true_counts,
+        rng,
+    );
+}
+
+/// Hoare-style in-place partition: elements satisfying `pred` move to the
+/// front; returns the boundary index.
+pub(crate) fn partition_in_place<T, F: Fn(&T) -> bool>(slice: &mut [T], pred: F) -> usize {
+    let mut lo = 0usize;
+    let mut hi = slice.len();
+    while lo < hi {
+        if pred(&slice[lo]) {
+            lo += 1;
+        } else {
+            hi -= 1;
+            slice.swap(lo, hi);
+        }
+    }
+    lo
+}
+
+/// Adds Laplace noise to every node of a released level; withholds counts
+/// of zero-budget levels.
+pub(crate) fn apply_count_noise(
+    fanout: usize,
+    height: usize,
+    true_counts: &[f64],
+    eps_count: &[f64],
+    noisy: &mut [f64],
+    released: &mut [bool],
+    rng: &mut StdRng,
+) {
+    let mut first = 0usize;
+    let mut width = 1usize;
+    for depth in 0..=height {
+        let level = height - depth;
+        let eps = eps_count[level];
+        if eps > 0.0 {
+            for v in first..first + width {
+                noisy[v] = laplace_mechanism(rng, true_counts[v], 1.0, eps);
+                released[v] = true;
+            }
+        }
+        first += width;
+        width *= fanout;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::CountSource;
+
+    fn grid_points(n_side: usize, domain: &Rect) -> Vec<Point> {
+        let mut pts = Vec::with_capacity(n_side * n_side);
+        for i in 0..n_side {
+            for j in 0..n_side {
+                pts.push(Point::new(
+                    domain.min_x + (i as f64 + 0.5) / n_side as f64 * domain.width(),
+                    domain.min_y + (j as f64 + 0.5) / n_side as f64 * domain.height(),
+                ));
+            }
+        }
+        pts
+    }
+
+    fn unit_domain() -> Rect {
+        Rect::new(0.0, 0.0, 64.0, 64.0).unwrap()
+    }
+
+    #[test]
+    fn partition_in_place_works() {
+        let mut v = vec![5, 1, 4, 2, 3];
+        let mid = partition_in_place(&mut v, |&x| x < 3);
+        assert_eq!(mid, 2);
+        assert!(v[..mid].iter().all(|&x| x < 3));
+        assert!(v[mid..].iter().all(|&x| x >= 3));
+        // Degenerate cases.
+        assert_eq!(partition_in_place::<i32, _>(&mut [], |_| true), 0);
+        let mut one = [1];
+        assert_eq!(partition_in_place(&mut one, |&x| x < 0), 0);
+        assert_eq!(partition_in_place(&mut one, |&x| x > 0), 1);
+    }
+
+    /// Structural invariants every built tree must satisfy.
+    fn check_invariants(tree: &PsdTree, n_points: usize) {
+        // Root covers the domain and counts all points.
+        assert_eq!(tree.rect(0), tree.domain());
+        assert_eq!(tree.true_count(0), n_points as f64);
+        for v in tree.node_ids() {
+            let children: Vec<usize> = tree.children(v).collect();
+            if children.is_empty() {
+                continue;
+            }
+            // Exact counts are consistent.
+            let child_sum: f64 = children.iter().map(|&c| tree.true_count(c)).sum();
+            assert_eq!(
+                child_sum,
+                tree.true_count(v),
+                "node {v} count {} != child sum {child_sum}",
+                tree.true_count(v)
+            );
+            // Children nest inside the parent (planar families).
+            if tree.kind() != TreeKind::HilbertR {
+                for &c in &children {
+                    assert!(
+                        tree.rect(c).inside(tree.rect(v)),
+                        "child {c} rect escapes parent {v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quadtree_build_invariants() {
+        let domain = unit_domain();
+        let pts = grid_points(32, &domain);
+        let tree = PsdConfig::quadtree(domain, 3, 1.0)
+            .with_seed(1)
+            .build(&pts)
+            .unwrap();
+        check_invariants(&tree, pts.len());
+        // Quadtree cells at depth d have width 64 / 2^d.
+        for v in tree.node_ids() {
+            let d = tree.depth_of(v) as f64;
+            let expect = 64.0 / 2f64.powf(d);
+            assert!((tree.rect(v).width() - expect).abs() < 1e-9);
+            assert!((tree.rect(v).height() - expect).abs() < 1e-9);
+        }
+        assert!(tree.is_postprocessed());
+    }
+
+    #[test]
+    fn kd_variants_build_invariants() {
+        let domain = unit_domain();
+        let pts = grid_points(40, &domain);
+        for config in [
+            PsdConfig::kd_standard(domain, 3, 1.0),
+            PsdConfig::kd_hybrid(domain, 3, 1.0, 2),
+            PsdConfig::kd_noisymean(domain, 3, 1.0),
+            PsdConfig::kd_true(domain, 3, 1.0),
+            PsdConfig::kd_cell(domain, 3, 1.0, (32, 32)),
+            PsdConfig::hilbert_r(domain, 3, 1.0).with_hilbert_order(10),
+        ] {
+            let tree = config.with_seed(7).build(&pts).unwrap();
+            check_invariants(&tree, pts.len());
+        }
+    }
+
+    #[test]
+    fn kd_pure_is_exact() {
+        let domain = unit_domain();
+        let pts = grid_points(32, &domain);
+        let tree = PsdConfig::kd_pure(domain, 3).build(&pts).unwrap();
+        check_invariants(&tree, pts.len());
+        for v in tree.node_ids() {
+            assert_eq!(tree.count(v, CountSource::Noisy), Some(tree.true_count(v)));
+        }
+        assert_eq!(tree.epsilon(), 0.0, "kd-pure spends no budget");
+        // Exact medians split the grid evenly: each depth-1 child holds a
+        // quarter of the points (up to boundary ties).
+        let quarter = pts.len() as f64 / 4.0;
+        for c in tree.children(0) {
+            assert!(
+                (tree.true_count(c) - quarter).abs() <= quarter * 0.2,
+                "child count {} far from quarter {quarter}",
+                tree.true_count(c)
+            );
+        }
+    }
+
+    #[test]
+    fn noisy_counts_are_near_truth_at_high_epsilon() {
+        let domain = unit_domain();
+        let pts = grid_points(32, &domain);
+        let tree = PsdConfig::quadtree(domain, 2, 100.0)
+            .with_seed(3)
+            .build(&pts)
+            .unwrap();
+        for v in tree.node_ids() {
+            let y = tree.noisy_count(v).expect("all levels released");
+            assert!(
+                (y - tree.true_count(v)).abs() < 5.0,
+                "node {v}: noisy {y} vs true {}",
+                tree.true_count(v)
+            );
+        }
+    }
+
+    #[test]
+    fn leaf_only_budget_withholds_internal_counts() {
+        let domain = unit_domain();
+        let pts = grid_points(16, &domain);
+        let tree = PsdConfig::quadtree(domain, 2, 1.0)
+            .with_count_budget(CountBudget::LeafOnly)
+            .with_postprocess(false)
+            .with_seed(5)
+            .build(&pts)
+            .unwrap();
+        assert_eq!(tree.noisy_count(0), None, "root withheld");
+        assert_eq!(tree.noisy_count(1), None, "internal withheld");
+        for v in 5..21 {
+            assert!(tree.noisy_count(v).is_some(), "leaf {v} released");
+        }
+    }
+
+    #[test]
+    fn budget_audit_holds_for_every_kind() {
+        let domain = unit_domain();
+        let pts = grid_points(16, &domain);
+        let eps = 0.5;
+        for config in [
+            PsdConfig::quadtree(domain, 3, eps),
+            PsdConfig::kd_standard(domain, 3, eps),
+            PsdConfig::kd_hybrid(domain, 3, eps, 1),
+            PsdConfig::kd_noisymean(domain, 3, eps),
+            PsdConfig::kd_cell(domain, 3, eps, (16, 16)),
+            PsdConfig::kd_true(domain, 3, eps),
+            PsdConfig::hilbert_r(domain, 3, eps).with_hilbert_order(8),
+        ] {
+            let tree = config.with_seed(11).build(&pts).unwrap();
+            let audit = audit_path_epsilon(tree.eps_count_levels(), tree.eps_median_levels());
+            assert!(
+                audit.within(eps),
+                "{}: path spends {} > {eps}",
+                tree.kind(),
+                audit.total()
+            );
+        }
+    }
+
+    #[test]
+    fn validation_errors() {
+        let domain = unit_domain();
+        let line = Rect::new(0.0, 0.0, 1.0, 0.0).unwrap();
+        assert!(matches!(
+            PsdConfig::quadtree(line, 2, 1.0).build(&[]),
+            Err(BuildError::DegenerateDomain(_))
+        ));
+        assert!(matches!(
+            PsdConfig::quadtree(domain, 2, 0.0).build(&[]),
+            Err(BuildError::InvalidEpsilon(_))
+        ));
+        assert!(matches!(
+            PsdConfig::quadtree(domain, 2, 1.0).build(&[Point::new(-5.0, 0.0)]),
+            Err(BuildError::PointOutsideDomain(_))
+        ));
+        assert!(matches!(
+            PsdConfig::kd_hybrid(domain, 2, 1.0, 5).build(&[]),
+            Err(BuildError::InvalidSwitchLevel { .. })
+        ));
+        assert!(matches!(
+            PsdConfig::kd_cell(domain, 2, 1.0, (0, 4)).build(&[]),
+            Err(BuildError::InvalidGridResolution)
+        ));
+        assert!(matches!(
+            PsdConfig::hilbert_r(domain, 2, 1.0).with_hilbert_order(30).build(&[]),
+            Err(BuildError::InvalidHilbertOrder(30))
+        ));
+        assert!(matches!(
+            PsdConfig::quadtree(domain, 15, 1.0).build(&[]),
+            Err(BuildError::TooManyNodes { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_dataset_builds() {
+        let domain = unit_domain();
+        for config in [
+            PsdConfig::quadtree(domain, 2, 1.0),
+            PsdConfig::kd_standard(domain, 2, 1.0),
+            PsdConfig::hilbert_r(domain, 2, 1.0).with_hilbert_order(6),
+        ] {
+            let tree = config.build(&[]).unwrap();
+            assert_eq!(tree.true_count(0), 0.0);
+        }
+    }
+
+    #[test]
+    fn same_seed_reproduces_exactly() {
+        let domain = unit_domain();
+        let pts = grid_points(20, &domain);
+        let build = || {
+            PsdConfig::kd_standard(domain, 3, 0.5)
+                .with_seed(42)
+                .build(&pts)
+                .unwrap()
+        };
+        let a = build();
+        let b = build();
+        for v in a.node_ids() {
+            assert_eq!(a.rect(v), b.rect(v));
+            assert_eq!(a.noisy_count(v), b.noisy_count(v));
+            assert_eq!(a.posted_count(v), b.posted_count(v));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let domain = unit_domain();
+        let pts = grid_points(20, &domain);
+        let a = PsdConfig::quadtree(domain, 2, 1.0).with_seed(1).build(&pts).unwrap();
+        let b = PsdConfig::quadtree(domain, 2, 1.0).with_seed(2).build(&pts).unwrap();
+        let same = a
+            .node_ids()
+            .filter(|&v| a.noisy_count(v) == b.noisy_count(v))
+            .count();
+        assert!(same < a.node_count() / 2, "only {same} counts differ");
+    }
+
+    #[test]
+    fn tree_kind_names() {
+        assert_eq!(TreeKind::Quadtree.paper_name(), "quadtree");
+        assert_eq!(TreeKind::KdHybrid.to_string(), "kd-hybrid");
+        assert!(TreeKind::KdStandard.is_data_dependent());
+        assert!(!TreeKind::Quadtree.is_data_dependent());
+        assert!(!TreeKind::KdPure.is_data_dependent());
+    }
+}

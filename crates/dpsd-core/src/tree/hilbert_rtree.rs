@@ -1,0 +1,279 @@
+//! Private Hilbert R-tree structure (paper Sections 3.2-3.3).
+//!
+//! Points are mapped to their indices on a Hilbert curve over the domain
+//! (order 18 by default, Section 8.2); a one-dimensional private
+//! decomposition — a binary kd-tree over index values, flattened to
+//! fanout 4 like every other family — is built with the configured
+//! median mechanism; and each node's rectangle is the bounding box of
+//! its *index range*, computed by [`dpsd_hilbert::HilbertCurve::range_bbox`].
+//! Because the bounding box is a function of the (privately chosen) range
+//! endpoints only, releasing the rectangles costs no extra budget.
+//!
+//! Unlike the planar families, sibling rectangles may overlap and need
+//! not tile the parent (R-tree semantics); the canonical query method
+//! still applies because each node's *points* are exactly those with
+//! indices in its range, and they all lie inside its rectangle.
+
+use super::build::{partition_in_place, BuildError, PsdConfig, TreeKind};
+use crate::geometry::{Point, Rect};
+use crate::median::MedianSelector;
+use dpsd_hilbert::HilbertCurve;
+use rand::rngs::StdRng;
+
+/// Builds rectangles and exact counts for a Hilbert R-tree.
+pub(crate) fn build_structure(
+    config: &PsdConfig,
+    eps_median: &[f64],
+    points: &[Point],
+    rects: &mut [Rect],
+    true_counts: &mut [f64],
+    rng: &mut StdRng,
+) -> Result<(), BuildError> {
+    debug_assert_eq!(config.kind, TreeKind::HilbertR);
+    let curve = HilbertCurve::new(config.hilbert_order)
+        .map_err(|_| BuildError::InvalidHilbertOrder(config.hilbert_order))?;
+    let domain = config.domain;
+    let side = curve.side() as f64;
+    let wx = domain.width() / side;
+    let wy = domain.height() / side;
+
+    // Map every point to its curve index. Order <= 26 keeps indices exact
+    // in f64 for the median mechanisms.
+    let mut indices: Vec<u64> = points
+        .iter()
+        .map(|p| {
+            let cx = (((p.x - domain.min_x) / wx) as u32).min(curve.side() - 1);
+            let cy = (((p.y - domain.min_y) / wy) as u32).min(curve.side() - 1);
+            curve.encode(cx, cy)
+        })
+        .collect();
+
+    let cell_rect = |bbox: dpsd_hilbert::CellBBox| -> Rect {
+        Rect {
+            min_x: domain.min_x + bbox.min_x as f64 * wx,
+            min_y: domain.min_y + bbox.min_y as f64 * wy,
+            max_x: domain.min_x + (bbox.max_x as f64 + 1.0) * wx,
+            max_y: domain.min_y + (bbox.max_y as f64 + 1.0) * wy,
+        }
+    };
+    let range_rect = |lo: u64, hi: u64| -> Rect {
+        if hi > lo {
+            cell_rect(curve.range_bbox(lo, hi - 1))
+        } else {
+            // Empty index range: a zero-area rectangle at the range
+            // position keeps geometry well-defined; such nodes hold no
+            // points and contribute only their (near-zero) noise.
+            let (cx, cy) = curve.decode(lo.min(curve.max_index()));
+            let x = domain.min_x + cx as f64 * wx;
+            let y = domain.min_y + cy as f64 * wy;
+            Rect { min_x: x, min_y: y, max_x: x, max_y: y }
+        }
+    };
+
+    // Selects a private split index inside [lo, hi).
+    fn split_index(
+        selector: &MedianSelector,
+        rng: &mut StdRng,
+        values: &mut [u64],
+        lo: u64,
+        hi: u64,
+        eps: f64,
+    ) -> u64 {
+        if hi <= lo + 1 {
+            return hi; // nothing to split: low child takes the whole range
+        }
+        let vals: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+        let picked = selector.select(rng, &vals, lo as f64, (hi - 1) as f64, eps.max(f64::MIN_POSITIVE));
+        (picked.round() as u64).clamp(lo + 1, hi - 1)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn recurse(
+        config: &PsdConfig,
+        eps_median: &[f64],
+        rng: &mut StdRng,
+        v: usize,
+        depth: usize,
+        lo: u64,
+        hi: u64,
+        idx: &mut [u64],
+        rects: &mut [Rect],
+        true_counts: &mut [f64],
+        range_rect: &dyn Fn(u64, u64) -> Rect,
+    ) {
+        rects[v] = range_rect(lo, hi);
+        true_counts[v] = idx.len() as f64;
+        if depth == config.height {
+            return;
+        }
+        let level = config.height - depth;
+        let eps_stage = eps_median[level] / 2.0;
+        // Flattened node: one split, then one split per half.
+        let s = split_index(&config.median, rng, idx, lo, hi, eps_stage);
+        let mid = partition_in_place(idx, |&i| i < s);
+        let (low_half, high_half) = idx.split_at_mut(mid);
+        let s_low = split_index(&config.median, rng, low_half, lo, s, eps_stage);
+        let s_high = split_index(&config.median, rng, high_half, s, hi, eps_stage);
+        let mid_low = partition_in_place(low_half, |&i| i < s_low);
+        let (c0, c1) = low_half.split_at_mut(mid_low);
+        let mid_high = partition_in_place(high_half, |&i| i < s_high);
+        let (c2, c3) = high_half.split_at_mut(mid_high);
+        let ranges = [(lo, s_low), (s_low, s), (s, s_high), (s_high, hi)];
+        let slices = [c0, c1, c2, c3];
+        let first_child = 4 * v + 1;
+        for (j, ((r_lo, r_hi), slice)) in ranges.into_iter().zip(slices).enumerate() {
+            recurse(
+                config,
+                eps_median,
+                rng,
+                first_child + j,
+                depth + 1,
+                r_lo,
+                r_hi,
+                slice,
+                rects,
+                true_counts,
+                range_rect,
+            );
+        }
+    }
+
+    recurse(
+        config,
+        eps_median,
+        rng,
+        0,
+        0,
+        0,
+        curve.cell_count(),
+        &mut indices,
+        rects,
+        true_counts,
+        &range_rect,
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::PsdConfig;
+
+    fn domain() -> Rect {
+        Rect::new(0.0, 0.0, 100.0, 50.0).unwrap()
+    }
+
+    fn clustered_points() -> Vec<Point> {
+        // Two clusters plus a sparse diagonal.
+        let mut pts = Vec::new();
+        for i in 0..400 {
+            pts.push(Point::new(10.0 + (i % 20) as f64 * 0.2, 10.0 + (i / 20) as f64 * 0.2));
+            pts.push(Point::new(80.0 + (i % 20) as f64 * 0.2, 40.0 + (i / 20) as f64 * 0.2));
+        }
+        for i in 0..100 {
+            pts.push(Point::new(i as f64, i as f64 / 2.0));
+        }
+        pts
+    }
+
+    #[test]
+    fn root_covers_domain_and_counts_everything() {
+        let pts = clustered_points();
+        let tree = PsdConfig::hilbert_r(domain(), 3, 1.0)
+            .with_hilbert_order(10)
+            .with_seed(9)
+            .build(&pts)
+            .unwrap();
+        assert_eq!(tree.true_count(0), pts.len() as f64);
+        // Root bbox covers the whole grid = whole domain.
+        assert_eq!(tree.rect(0), &domain());
+    }
+
+    #[test]
+    fn children_counts_partition_parent() {
+        let pts = clustered_points();
+        let tree = PsdConfig::hilbert_r(domain(), 3, 1.0)
+            .with_hilbert_order(12)
+            .with_seed(10)
+            .build(&pts)
+            .unwrap();
+        for v in tree.node_ids() {
+            let children: Vec<usize> = tree.children(v).collect();
+            if children.is_empty() {
+                continue;
+            }
+            let sum: f64 = children.iter().map(|&c| tree.true_count(c)).sum();
+            assert_eq!(sum, tree.true_count(v), "node {v}");
+        }
+    }
+
+    #[test]
+    fn child_rects_stay_inside_parent_bbox() {
+        // Subrange bounding boxes are contained in the range's bbox.
+        let pts = clustered_points();
+        let tree = PsdConfig::hilbert_r(domain(), 2, 1.0)
+            .with_hilbert_order(8)
+            .with_seed(11)
+            .build(&pts)
+            .unwrap();
+        for v in tree.node_ids() {
+            for c in tree.children(v) {
+                if tree.rect(c).area() == 0.0 {
+                    continue; // empty-range sentinel rect
+                }
+                assert!(
+                    tree.rect(c).inside(tree.rect(v)),
+                    "child {c} {:?} escapes parent {v} {:?}",
+                    tree.rect(c),
+                    tree.rect(v)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_tiny_order_still_builds() {
+        let pts = clustered_points();
+        // Order 1: a 2x2 grid, 4 curve cells, deep tree forces empty
+        // ranges and exercises the clamping paths.
+        let tree = PsdConfig::hilbert_r(domain(), 3, 1.0)
+            .with_hilbert_order(1)
+            .with_seed(12)
+            .build(&pts)
+            .unwrap();
+        assert_eq!(tree.true_count(0), pts.len() as f64);
+    }
+
+    #[test]
+    fn compact_clusters_get_compact_boxes() {
+        // With strongly clustered data and exact medians, deep nodes
+        // should have small bounding boxes (Hilbert locality).
+        let mut pts = Vec::new();
+        for i in 0..1000 {
+            pts.push(Point::new(20.0 + (i % 10) as f64 * 0.01, 20.0 + (i / 10) as f64 * 0.01));
+        }
+        let tree = PsdConfig::hilbert_r(Rect::new(0.0, 0.0, 100.0, 100.0).unwrap(), 3, 1.0)
+            .with_hilbert_order(12)
+            .with_median(crate::median::MedianSelector::plain(
+                crate::median::MedianConfig::Exact,
+            ))
+            .with_seed(13)
+            .build(&pts)
+            .unwrap();
+        // Find the leaf holding the cluster centre and check its box is
+        // far smaller than the domain.
+        let mut v = 0usize;
+        while !tree.is_effective_leaf(v) {
+            v = tree
+                .children(v)
+                .max_by(|&a, &b| tree.true_count(a).total_cmp(&tree.true_count(b)))
+                .unwrap();
+        }
+        assert!(tree.true_count(v) > 0.0);
+        assert!(
+            tree.rect(v).area() < 100.0,
+            "leaf bbox area {} not compact",
+            tree.rect(v).area()
+        );
+    }
+}

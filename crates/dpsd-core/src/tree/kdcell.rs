@@ -1,0 +1,195 @@
+//! The cell-based kd-tree of Xiao, Xiong, and Yuan [26]
+//! (paper Sections 2, 6.1, 8.2 — `kd-cell`).
+//!
+//! A fixed-resolution grid is materialized over the domain and its cell
+//! counts released with Laplace noise, consuming the structure share of
+//! the budget in one shot (cell counts have sensitivity 1, and the grid
+//! is released once, so the spend composes once per path). The tree is
+//! then derived *entirely from the noisy grid*: each node splits at the
+//! median of the grid marginal within its rectangle — unless the grid
+//! deems the region uniform, in which case the split degenerates to the
+//! midpoint (splitting uniform regions more cleverly has nothing to
+//! gain, mirroring [26]'s "split nodes which are not considered
+//! uniform"). Exact node counts are tallied from the data afterwards and
+//! perturbed by the count stage like every other family.
+
+use super::build::{partition_in_place, BuildError, PsdConfig, TreeKind};
+use crate::geometry::{Axis, Point, Rect};
+use crate::median::CellGrid2D;
+use rand::rngs::StdRng;
+
+/// Uniformity-score threshold below which a region is considered uniform
+/// and split at its midpoint (see [`CellGrid2D::uniformity_score`]).
+const UNIFORMITY_THRESHOLD: f64 = 0.4;
+
+/// Builds rectangles and exact counts for a `kd-cell` tree.
+pub(crate) fn build_structure(
+    config: &PsdConfig,
+    eps_grid: f64,
+    points: &[Point],
+    rects: &mut [Rect],
+    true_counts: &mut [f64],
+    rng: &mut StdRng,
+) -> Result<(), BuildError> {
+    debug_assert_eq!(config.kind, TreeKind::KdCell);
+    if !eps_grid.is_finite() || eps_grid <= 0.0 {
+        // The structure share must be positive: the grid is the only
+        // source of splits for this family.
+        return Err(BuildError::InvalidEpsilon(eps_grid));
+    }
+    let (nx, ny) = config.grid_resolution;
+    let grid = CellGrid2D::build(rng, points, config.domain, nx, ny, eps_grid);
+
+    let mut buf: Vec<Point> = points.to_vec();
+
+    #[allow(clippy::too_many_arguments)]
+    fn recurse(
+        config: &PsdConfig,
+        grid: &CellGrid2D,
+        v: usize,
+        depth: usize,
+        rect: Rect,
+        pts: &mut [Point],
+        rects: &mut [Rect],
+        true_counts: &mut [f64],
+    ) {
+        rects[v] = rect;
+        true_counts[v] = pts.len() as f64;
+        if depth == config.height {
+            return;
+        }
+        let uniform = grid.uniformity_score(&rect) < UNIFORMITY_THRESHOLD;
+        let sx = if uniform {
+            rect.min_x + rect.width() / 2.0
+        } else {
+            grid.median_along(Axis::X, &rect)
+        };
+        let (rect_l, rect_r) = rect.split_at(Axis::X, sx);
+        let pick_y = |r: &Rect| -> f64 {
+            if uniform || grid.uniformity_score(r) < UNIFORMITY_THRESHOLD {
+                r.min_y + r.height() / 2.0
+            } else {
+                grid.median_along(Axis::Y, r)
+            }
+        };
+        let (rect_ll, rect_lh) = rect_l.split_at(Axis::Y, pick_y(&rect_l));
+        let (rect_rl, rect_rh) = rect_r.split_at(Axis::Y, pick_y(&rect_r));
+        let mid = partition_in_place(pts, |p| p.x < rect_l.max_x);
+        let (left, right) = pts.split_at_mut(mid);
+        let mid_l = partition_in_place(left, |p| p.y < rect_ll.max_y);
+        let (ll, lh) = left.split_at_mut(mid_l);
+        let mid_r = partition_in_place(right, |p| p.y < rect_rl.max_y);
+        let (rl, rh) = right.split_at_mut(mid_r);
+        let first_child = 4 * v + 1;
+        let child_data: [(Rect, &mut [Point]); 4] =
+            [(rect_ll, ll), (rect_lh, lh), (rect_rl, rl), (rect_rh, rh)];
+        for (j, (child_rect, child_pts)) in child_data.into_iter().enumerate() {
+            recurse(
+                config,
+                grid,
+                first_child + j,
+                depth + 1,
+                child_rect,
+                child_pts,
+                rects,
+                true_counts,
+            );
+        }
+    }
+
+    recurse(config, &grid, 0, 0, config.domain, &mut buf, rects, true_counts);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::BudgetSplit;
+    use crate::tree::PsdConfig;
+
+    fn domain() -> Rect {
+        Rect::new(0.0, 0.0, 128.0, 128.0).unwrap()
+    }
+
+    fn skewed_points() -> Vec<Point> {
+        // Dense cluster bottom-left, sparse elsewhere.
+        let mut pts = Vec::new();
+        for i in 0..4000 {
+            pts.push(Point::new((i % 64) as f64 * 0.25, (i / 64) as f64 * 0.25));
+        }
+        for i in 0..400 {
+            pts.push(Point::new(64.0 + (i % 20) as f64 * 3.0, 64.0 + (i / 20) as f64 * 3.0));
+        }
+        pts
+    }
+
+    #[test]
+    fn structure_invariants() {
+        let pts = skewed_points();
+        let tree = PsdConfig::kd_cell(domain(), 4, 1.0, (64, 64))
+            .with_seed(21)
+            .build(&pts)
+            .unwrap();
+        assert_eq!(tree.true_count(0), pts.len() as f64);
+        for v in tree.node_ids() {
+            let children: Vec<usize> = tree.children(v).collect();
+            if children.is_empty() {
+                continue;
+            }
+            let sum: f64 = children.iter().map(|&c| tree.true_count(c)).sum();
+            assert_eq!(sum, tree.true_count(v));
+            for &c in &children {
+                assert!(tree.rect(c).inside(tree.rect(v)));
+            }
+        }
+    }
+
+    #[test]
+    fn splits_adapt_to_skew() {
+        // With a strong bottom-left cluster and a decent grid budget, the
+        // root x-split should land well left of the midpoint.
+        let pts = skewed_points();
+        let tree = PsdConfig::kd_cell(domain(), 2, 4.0, (64, 64))
+            .with_seed(22)
+            .build(&pts)
+            .unwrap();
+        let left_child = tree.rect(1);
+        assert!(
+            left_child.max_x < 64.0,
+            "root split at {} did not adapt to the cluster",
+            left_child.max_x
+        );
+    }
+
+    #[test]
+    fn grid_budget_must_be_positive() {
+        let pts = skewed_points();
+        let err = PsdConfig::kd_cell(domain(), 2, 1.0, (32, 32))
+            .with_split(BudgetSplit::all_counts())
+            .build(&pts)
+            .unwrap_err();
+        assert!(matches!(err, BuildError::InvalidEpsilon(_)));
+    }
+
+    #[test]
+    fn uniform_data_degenerates_to_quadtree_splits() {
+        // Perfectly uniform data should trip the uniformity threshold at
+        // the root and split at the midpoint.
+        let mut pts = Vec::new();
+        for i in 0..128 {
+            for j in 0..128 {
+                pts.push(Point::new(i as f64 + 0.5, j as f64 + 0.5));
+            }
+        }
+        let tree = PsdConfig::kd_cell(domain(), 1, 8.0, (16, 16))
+            .with_seed(23)
+            .build(&pts)
+            .unwrap();
+        let left = tree.rect(1);
+        assert!(
+            (left.max_x - 64.0).abs() < 8.0,
+            "uniform split at {} far from midpoint",
+            left.max_x
+        );
+    }
+}

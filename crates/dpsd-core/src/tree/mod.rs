@@ -1,0 +1,402 @@
+//! Private spatial decompositions (paper Sections 3.3, 6, 7).
+//!
+//! All PSDs share one representation: a **complete tree of fanout 4**
+//! (Section 6.2 flattens kd-trees to fanout 4 so every family is
+//! comparable) stored as a flat arena in breadth-first ("heap") order —
+//! node 0 is the root and the children of node `v` are
+//! `4v+1 ..= 4v+4`. Per-node data lives in parallel columns
+//! (rectangles, true counts, noisy counts, post-processed counts), which
+//! keeps the linear-time OLS pass cache-friendly and allocation-free.
+//!
+//! Levels follow the paper's convention: leaves are level 0, the root is
+//! level `h`.
+//!
+//! The five families are built by [`PsdConfig::build`]:
+//!
+//! | [`TreeKind`] | splits | medians | paper name |
+//! |---|---|---|---|
+//! | `Quadtree` | midpoint quadrants | — | quad-baseline/geo/post/opt |
+//! | `KdStandard` | private medians everywhere | configurable (EM default) | kd-standard |
+//! | `KdHybrid` | medians for `switch_levels`, then quadrants | EM default | kd-hybrid |
+//! | `KdCell` | medians read off a noisy grid | grid | kd-cell [26] |
+//! | `KdNoisyMean` | noisy means everywhere | noisy mean | kd-noisymean [12] |
+//! | `KdPure` | exact medians, exact counts | — (not private) | kd-pure |
+//! | `KdTrue` | exact medians, noisy counts | — (structure not private) | kd-true |
+//! | `HilbertR` | private medians over Hilbert indices | EM default | Hilbert R-tree |
+
+mod build;
+mod hilbert_rtree;
+mod kdcell;
+pub mod prune;
+pub mod release;
+
+pub use build::{BuildError, PsdConfig, TreeKind};
+pub use release::{read_release, write_release, ReleaseError};
+
+use crate::geometry::Rect;
+
+/// Which per-node count column a query should read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CountSource {
+    /// Post-processed counts when available, otherwise noisy counts.
+    #[default]
+    Auto,
+    /// The raw noisy counts `Y_v`.
+    Noisy,
+    /// The OLS-post-processed counts `beta_v` (panics if absent).
+    Posted,
+    /// The exact counts — **not private**; for evaluation only.
+    True,
+}
+
+/// A built private spatial decomposition.
+///
+/// The *private release* consists of: the tree kind and height, the node
+/// rectangles, the noisy counts of released levels, and (derived from
+/// those) the post-processed counts. The exact counts are retained so
+/// experiments can measure error, but they are not part of the release.
+#[derive(Debug, Clone)]
+pub struct PsdTree {
+    kind: TreeKind,
+    fanout: usize,
+    height: usize,
+    domain: Rect,
+    rects: Vec<Rect>,
+    true_counts: Vec<f64>,
+    noisy: Vec<f64>,
+    released: Vec<bool>,
+    posted: Option<Vec<f64>>,
+    cut: Vec<bool>,
+    eps_count: Vec<f64>,
+    eps_median: Vec<f64>,
+    epsilon: f64,
+}
+
+/// Number of nodes in a complete tree of the given fanout and height.
+pub fn complete_tree_nodes(fanout: usize, height: usize) -> usize {
+    // (f^{h+1} - 1) / (f - 1), evaluated without overflow for sane sizes.
+    let mut total = 0usize;
+    let mut level = 1usize;
+    for _ in 0..=height {
+        total += level;
+        level *= fanout;
+    }
+    total
+}
+
+/// Index of the first node at `depth` (root depth 0) in heap order.
+pub fn first_index_at_depth(fanout: usize, depth: usize) -> usize {
+    if depth == 0 {
+        0
+    } else {
+        complete_tree_nodes(fanout, depth - 1)
+    }
+}
+
+impl PsdTree {
+    /// Creates a tree shell from structure columns. Used by the builders
+    /// in this module; not part of the public construction API.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_columns(
+        kind: TreeKind,
+        fanout: usize,
+        height: usize,
+        domain: Rect,
+        rects: Vec<Rect>,
+        true_counts: Vec<f64>,
+        noisy: Vec<f64>,
+        released: Vec<bool>,
+        eps_count: Vec<f64>,
+        eps_median: Vec<f64>,
+        epsilon: f64,
+    ) -> Self {
+        let m = complete_tree_nodes(fanout, height);
+        debug_assert_eq!(rects.len(), m);
+        debug_assert_eq!(true_counts.len(), m);
+        debug_assert_eq!(noisy.len(), m);
+        debug_assert_eq!(released.len(), m);
+        PsdTree {
+            kind,
+            fanout,
+            height,
+            domain,
+            rects,
+            true_counts,
+            noisy,
+            released,
+            posted: None,
+            cut: vec![false; m],
+            eps_count,
+            eps_median,
+            epsilon,
+        }
+    }
+
+    /// The family this tree belongs to.
+    pub fn kind(&self) -> TreeKind {
+        self.kind
+    }
+
+    /// Fanout `f` (4 for every built-in family).
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    /// Height `h` (leaves at level 0, root at level `h`).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The data domain the decomposition covers.
+    pub fn domain(&self) -> &Rect {
+        &self.domain
+    }
+
+    /// Total privacy budget the release was built with.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Per-level count budgets (index 0 = leaves).
+    pub fn eps_count_levels(&self) -> &[f64] {
+        &self.eps_count
+    }
+
+    /// Per-level median budgets (index 0 = leaves, always 0 there).
+    pub fn eps_median_levels(&self) -> &[f64] {
+        &self.eps_median
+    }
+
+    /// Number of nodes in the (complete) tree.
+    pub fn node_count(&self) -> usize {
+        self.rects.len()
+    }
+
+    /// The root node id.
+    pub fn root(&self) -> usize {
+        0
+    }
+
+    /// Child node ids of `v` (empty iterator for leaves).
+    pub fn children(&self, v: usize) -> std::ops::Range<usize> {
+        if self.is_leaf_depthwise(v) {
+            0..0
+        } else {
+            let first = self.fanout * v + 1;
+            first..first + self.fanout
+        }
+    }
+
+    /// Parent of `v`, or `None` for the root.
+    pub fn parent(&self, v: usize) -> Option<usize> {
+        if v == 0 {
+            None
+        } else {
+            Some((v - 1) / self.fanout)
+        }
+    }
+
+    /// Depth of node `v` (root = 0).
+    pub fn depth_of(&self, v: usize) -> usize {
+        let mut depth = 0;
+        let mut first = 0usize; // first index at this depth
+        let mut width = 1usize;
+        while v >= first + width {
+            first += width;
+            width *= self.fanout;
+            depth += 1;
+        }
+        depth
+    }
+
+    /// Level of node `v` in the paper's convention (leaves 0, root `h`).
+    pub fn level_of(&self, v: usize) -> usize {
+        self.height - self.depth_of(v)
+    }
+
+    /// Whether `v` sits at the bottom of the complete tree.
+    fn is_leaf_depthwise(&self, v: usize) -> bool {
+        self.height == 0 || v >= first_index_at_depth(self.fanout, self.height)
+    }
+
+    /// Whether queries should treat `v` as a leaf: either it is at the
+    /// bottom level or pruning cut the tree here.
+    pub fn is_effective_leaf(&self, v: usize) -> bool {
+        self.is_leaf_depthwise(v) || self.cut[v]
+    }
+
+    /// The spatial cell of node `v`.
+    pub fn rect(&self, v: usize) -> &Rect {
+        &self.rects[v]
+    }
+
+    /// Exact number of points in node `v` — **not part of the private
+    /// release**; retained for evaluation.
+    pub fn true_count(&self, v: usize) -> f64 {
+        self.true_counts[v]
+    }
+
+    /// The released noisy count of `v`, or `None` if the level's budget
+    /// was zero (count withheld).
+    pub fn noisy_count(&self, v: usize) -> Option<f64> {
+        self.released[v].then(|| self.noisy[v])
+    }
+
+    /// The post-processed count of `v`, if OLS has been run.
+    pub fn posted_count(&self, v: usize) -> Option<f64> {
+        self.posted.as_ref().map(|p| p[v])
+    }
+
+    /// Reads the count of `v` from the chosen source. Returns `None` only
+    /// for `Noisy` reads of withheld levels and `Posted` reads before
+    /// post-processing.
+    pub fn count(&self, v: usize, source: CountSource) -> Option<f64> {
+        match source {
+            CountSource::Auto => self
+                .posted_count(v)
+                .or_else(|| self.noisy_count(v)),
+            CountSource::Noisy => self.noisy_count(v),
+            CountSource::Posted => self.posted_count(v),
+            CountSource::True => Some(self.true_counts[v]),
+        }
+    }
+
+    /// Whether OLS post-processing has been applied.
+    pub fn is_postprocessed(&self) -> bool {
+        self.posted.is_some()
+    }
+
+    /// Installs post-processed counts (used by [`crate::postprocess`]).
+    pub fn set_posted(&mut self, beta: Vec<f64>) {
+        assert_eq!(beta.len(), self.node_count(), "posted column length mismatch");
+        self.posted = Some(beta);
+    }
+
+    /// Marks node `v` as a cut point: its descendants are disabled and
+    /// queries treat it as a leaf (Section 7 pruning).
+    pub fn mark_cut(&mut self, v: usize) {
+        assert!(v < self.node_count(), "node {v} out of range");
+        self.cut[v] = true;
+    }
+
+    /// Whether `v` is a pruning cut point.
+    pub fn is_cut(&self, v: usize) -> bool {
+        self.cut[v]
+    }
+
+    /// Iterator over all node ids in breadth-first order.
+    pub fn node_ids(&self) -> std::ops::Range<usize> {
+        0..self.node_count()
+    }
+
+    /// Total number of data points (exact root count).
+    pub fn total_points(&self) -> f64 {
+        self.true_counts[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_tree_sizes() {
+        assert_eq!(complete_tree_nodes(4, 0), 1);
+        assert_eq!(complete_tree_nodes(4, 1), 5);
+        assert_eq!(complete_tree_nodes(4, 2), 21);
+        assert_eq!(complete_tree_nodes(4, 3), 85);
+        assert_eq!(complete_tree_nodes(2, 3), 15);
+        assert_eq!(complete_tree_nodes(4, 10), (4usize.pow(11) - 1) / 3);
+    }
+
+    fn shell(height: usize) -> PsdTree {
+        let domain = Rect::new(0.0, 0.0, 1.0, 1.0).unwrap();
+        let m = complete_tree_nodes(4, height);
+        PsdTree::from_columns(
+            TreeKind::Quadtree,
+            4,
+            height,
+            domain,
+            vec![domain; m],
+            vec![0.0; m],
+            vec![0.0; m],
+            vec![true; m],
+            vec![0.1; height + 1],
+            vec![0.0; height + 1],
+            0.1 * (height as f64 + 1.0),
+        )
+    }
+
+    #[test]
+    fn heap_indexing() {
+        let t = shell(2);
+        assert_eq!(t.node_count(), 21);
+        assert_eq!(t.children(0), 1..5);
+        assert_eq!(t.children(1), 5..9);
+        assert_eq!(t.children(4), 17..21);
+        assert_eq!(t.parent(0), None);
+        assert_eq!(t.parent(1), Some(0));
+        assert_eq!(t.parent(8), Some(1));
+        assert_eq!(t.parent(20), Some(4));
+        // Children of leaves are empty.
+        assert_eq!(t.children(5), 0..0);
+    }
+
+    #[test]
+    fn depth_and_level() {
+        let t = shell(2);
+        assert_eq!(t.depth_of(0), 0);
+        assert_eq!(t.depth_of(1), 1);
+        assert_eq!(t.depth_of(4), 1);
+        assert_eq!(t.depth_of(5), 2);
+        assert_eq!(t.depth_of(20), 2);
+        assert_eq!(t.level_of(0), 2);
+        assert_eq!(t.level_of(5), 0);
+        // Leaves are at the bottom.
+        assert!(!t.is_effective_leaf(0));
+        assert!(!t.is_effective_leaf(4));
+        assert!(t.is_effective_leaf(5));
+        assert!(t.is_effective_leaf(20));
+    }
+
+    #[test]
+    fn height_zero_tree_is_one_leaf() {
+        let t = shell(0);
+        assert_eq!(t.node_count(), 1);
+        assert!(t.is_effective_leaf(0));
+        assert_eq!(t.children(0), 0..0);
+    }
+
+    #[test]
+    fn parent_child_roundtrip() {
+        let t = shell(3);
+        for v in t.node_ids() {
+            for c in t.children(v) {
+                assert_eq!(t.parent(c), Some(v));
+                assert_eq!(t.depth_of(c), t.depth_of(v) + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn cut_marks_effective_leaves() {
+        let mut t = shell(2);
+        assert!(!t.is_effective_leaf(1));
+        t.mark_cut(1);
+        assert!(t.is_effective_leaf(1));
+        assert!(t.is_cut(1));
+    }
+
+    #[test]
+    fn count_sources() {
+        let mut t = shell(1);
+        assert_eq!(t.count(0, CountSource::True), Some(0.0));
+        assert_eq!(t.count(0, CountSource::Noisy), Some(0.0));
+        assert_eq!(t.count(0, CountSource::Posted), None);
+        assert_eq!(t.count(0, CountSource::Auto), Some(0.0));
+        t.set_posted(vec![5.0; t.node_count()]);
+        assert_eq!(t.count(0, CountSource::Posted), Some(5.0));
+        assert_eq!(t.count(0, CountSource::Auto), Some(5.0));
+        assert!(t.is_postprocessed());
+    }
+}

@@ -1,0 +1,130 @@
+//! Pruning sparse subtrees (paper Section 7).
+//!
+//! Nodes whose released count estimate falls below a threshold `m` are
+//! turned into leaves: their descendants' noise would only accumulate in
+//! query answers. The decision is based on the *released* counts (never
+//! the exact ones), so pruning is pure post-processing and costs no
+//! budget. Following the paper, pruning runs after OLS post-processing,
+//! which operates on the complete tree.
+
+use crate::tree::{CountSource, PsdTree};
+
+/// Cuts the tree below every node whose count estimate (post-processed
+/// when available) is below `threshold`. Returns the number of cut
+/// points created. The paper's Figure 5 experiments use `m = 32`.
+pub fn prune_below(tree: &mut PsdTree, threshold: f64) -> usize {
+    let mut cuts = 0usize;
+    let mut stack = vec![tree.root()];
+    while let Some(v) = stack.pop() {
+        if tree.is_effective_leaf(v) {
+            continue;
+        }
+        let estimate = tree.count(v, CountSource::Auto).unwrap_or(0.0);
+        if estimate < threshold {
+            tree.mark_cut(v);
+            cuts += 1;
+        } else {
+            stack.extend(tree.children(v));
+        }
+    }
+    cuts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::{Point, Rect};
+    use crate::query::{range_query_profiled, range_query_with};
+    use crate::tree::PsdConfig;
+
+    fn clustered_dataset() -> (Rect, Vec<Point>) {
+        let domain = Rect::new(0.0, 0.0, 256.0, 256.0).unwrap();
+        // All mass in one corner cell; the rest of the domain is empty,
+        // so most subtrees hold ~0 points and should be pruned.
+        let pts: Vec<Point> = (0..5000)
+            .map(|i| Point::new((i % 70) as f64 * 0.2, (i / 70) as f64 * 0.2))
+            .collect();
+        (domain, pts)
+    }
+
+    #[test]
+    fn empty_regions_get_cut() {
+        let (domain, pts) = clustered_dataset();
+        let mut tree = PsdConfig::quadtree(domain, 4, 1.0).with_seed(31).build(&pts).unwrap();
+        let cuts = prune_below(&mut tree, 32.0);
+        assert!(cuts > 0, "sparse quadtree should be pruned somewhere");
+        // The dense corner path must survive: walk down max-count children.
+        let mut v = tree.root();
+        let mut depth = 0;
+        while !tree.is_effective_leaf(v) {
+            v = tree
+                .children(v)
+                .max_by(|&a, &b| tree.true_count(a).total_cmp(&tree.true_count(b)))
+                .unwrap();
+            depth += 1;
+        }
+        assert!(
+            depth >= 2,
+            "dense path cut too early (reached depth {depth})"
+        );
+    }
+
+    #[test]
+    fn threshold_zero_cuts_almost_nothing() {
+        let (domain, pts) = clustered_dataset();
+        let mut tree = PsdConfig::quadtree(domain, 3, 5.0).with_seed(32).build(&pts).unwrap();
+        // Counts are noisy around >= 0; a -inf threshold cuts nothing.
+        let cuts = prune_below(&mut tree, f64::NEG_INFINITY);
+        assert_eq!(cuts, 0);
+    }
+
+    #[test]
+    fn pruning_reduces_noise_on_empty_queries() {
+        let (domain, pts) = clustered_dataset();
+        // Query an empty region; the pruned tree answers with fewer noisy
+        // terms, so across seeds the average |error| should not be worse.
+        let q = Rect::new(128.0, 128.0, 250.0, 250.0).unwrap();
+        let (mut err_raw, mut err_pruned) = (0.0, 0.0);
+        for seed in 0..30 {
+            let tree = PsdConfig::quadtree(domain, 5, 0.5)
+                .with_seed(seed)
+                .build(&pts)
+                .unwrap();
+            let mut pruned = tree.clone();
+            prune_below(&mut pruned, 32.0);
+            err_raw += range_query_with(&tree, &q, crate::tree::CountSource::Posted).abs();
+            err_pruned += range_query_with(&pruned, &q, crate::tree::CountSource::Posted).abs();
+        }
+        assert!(
+            err_pruned <= err_raw * 1.1,
+            "pruned error {err_pruned} much worse than raw {err_raw}"
+        );
+    }
+
+    #[test]
+    fn pruned_subtree_is_not_descended() {
+        let (domain, pts) = clustered_dataset();
+        let mut tree = PsdConfig::quadtree(domain, 4, 1.0).with_seed(33).build(&pts).unwrap();
+        prune_below(&mut tree, 1e12); // absurd threshold: cut at the root
+        assert!(tree.is_cut(tree.root()));
+        let (_, profile) = range_query_profiled(
+            &tree,
+            &Rect::new(1.0, 1.0, 13.0, 13.0).unwrap(),
+            crate::tree::CountSource::Posted,
+        );
+        assert_eq!(profile.partial_leaves, 1, "root answers as a single leaf");
+        assert_eq!(profile.total_contained(), 0);
+    }
+
+    #[test]
+    fn builder_integration() {
+        let (domain, pts) = clustered_dataset();
+        let tree = PsdConfig::quadtree(domain, 4, 1.0)
+            .with_prune_threshold(32.0)
+            .with_seed(34)
+            .build(&pts)
+            .unwrap();
+        let any_cut = tree.node_ids().any(|v| tree.is_cut(v));
+        assert!(any_cut, "builder should have applied pruning");
+    }
+}

@@ -1,0 +1,377 @@
+//! Writing and reading the published release.
+//!
+//! The whole point of a PSD is to be *released*: the data owner runs the
+//! private mechanisms once and publishes the result; analysts answer
+//! range queries against the release without ever touching the raw
+//! points. This module defines that artifact — a self-describing,
+//! line-oriented text format containing exactly the private outputs
+//! (structure, per-level budgets, noisy counts, pruning cuts) and
+//! nothing else. Exact counts never leave the owner.
+//!
+//! Post-processed counts are deliberately *not* serialized: OLS is a
+//! deterministic function of the released values (Section 5), so the
+//! loader recomputes it, keeping the wire format minimal and making it
+//! impossible for a malformed file to smuggle in inconsistent
+//! "post-processed" values.
+//!
+//! ```
+//! use dpsd_core::geometry::{Point, Rect};
+//! use dpsd_core::tree::{PsdConfig, read_release, write_release};
+//!
+//! let pts: Vec<Point> = (0..100).map(|i| Point::new(i as f64 % 10.0, i as f64 / 10.0)).collect();
+//! let domain = Rect::new(0.0, 0.0, 10.0, 10.0).unwrap();
+//! let tree = PsdConfig::quadtree(domain, 2, 1.0).with_seed(1).build(&pts).unwrap();
+//!
+//! let mut buf = Vec::new();
+//! write_release(&tree, &mut buf).unwrap();
+//! let loaded = read_release(buf.as_slice()).unwrap();
+//! assert_eq!(loaded.noisy_count(0), tree.noisy_count(0));
+//! ```
+
+use crate::geometry::Rect;
+use crate::tree::{complete_tree_nodes, PsdTree, TreeKind};
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Format identifier and version written on the first line.
+const MAGIC: &str = "dpsd-release v1";
+
+/// Errors from [`read_release`].
+#[derive(Debug)]
+pub enum ReleaseError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structural problem in the file.
+    Malformed { line: usize, reason: String },
+}
+
+impl fmt::Display for ReleaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReleaseError::Io(e) => write!(f, "i/o error: {e}"),
+            ReleaseError::Malformed { line, reason } => {
+                write!(f, "malformed release at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReleaseError {}
+
+impl From<io::Error> for ReleaseError {
+    fn from(e: io::Error) -> Self {
+        ReleaseError::Io(e)
+    }
+}
+
+fn kind_tag(kind: TreeKind) -> &'static str {
+    match kind {
+        TreeKind::Quadtree => "quadtree",
+        TreeKind::KdStandard => "kd-standard",
+        TreeKind::KdHybrid => "kd-hybrid",
+        TreeKind::KdCell => "kd-cell",
+        TreeKind::KdNoisyMean => "kd-noisymean",
+        TreeKind::KdPure => "kd-pure",
+        TreeKind::KdTrue => "kd-true",
+        TreeKind::HilbertR => "hilbert-r",
+    }
+}
+
+fn kind_from_tag(tag: &str) -> Option<TreeKind> {
+    Some(match tag {
+        "quadtree" => TreeKind::Quadtree,
+        "kd-standard" => TreeKind::KdStandard,
+        "kd-hybrid" => TreeKind::KdHybrid,
+        "kd-cell" => TreeKind::KdCell,
+        "kd-noisymean" => TreeKind::KdNoisyMean,
+        "kd-pure" => TreeKind::KdPure,
+        "kd-true" => TreeKind::KdTrue,
+        "hilbert-r" => TreeKind::HilbertR,
+        _ => return None,
+    })
+}
+
+/// Serializes the *public* part of a tree: kind, geometry, budgets,
+/// released noisy counts, and pruning cuts. Exact counts are omitted;
+/// post-processed counts are recomputed on load.
+pub fn write_release<W: Write>(tree: &PsdTree, w: &mut W) -> io::Result<()> {
+    writeln!(w, "{MAGIC}")?;
+    writeln!(w, "kind {}", kind_tag(tree.kind()))?;
+    writeln!(w, "fanout {}", tree.fanout())?;
+    writeln!(w, "height {}", tree.height())?;
+    let d = tree.domain();
+    writeln!(w, "domain {} {} {} {}", d.min_x, d.min_y, d.max_x, d.max_y)?;
+    writeln!(w, "epsilon {}", tree.epsilon())?;
+    write!(w, "eps_count")?;
+    for e in tree.eps_count_levels() {
+        write!(w, " {e}")?;
+    }
+    writeln!(w)?;
+    write!(w, "eps_median")?;
+    for e in tree.eps_median_levels() {
+        write!(w, " {e}")?;
+    }
+    writeln!(w)?;
+    writeln!(w, "nodes {}", tree.node_count())?;
+    for v in tree.node_ids() {
+        let r = tree.rect(v);
+        let count = match tree.noisy_count(v) {
+            Some(c) => format!("{c}"),
+            None => "-".to_string(),
+        };
+        writeln!(
+            w,
+            "n {} {} {} {} {} {}",
+            r.min_x,
+            r.min_y,
+            r.max_x,
+            r.max_y,
+            count,
+            u8::from(tree.is_cut(v)),
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads a release back into a query-ready tree. Exact counts are zero
+/// (they were never published); post-processing is re-run when the leaf
+/// level carries budget, so `range_query` behaves exactly as on the
+/// original.
+pub fn read_release<R: BufRead>(r: R) -> Result<PsdTree, ReleaseError> {
+    let mut lines = r.lines().enumerate();
+    let mut next_line = || -> Result<(usize, String), ReleaseError> {
+        match lines.next() {
+            Some((i, Ok(l))) => Ok((i + 1, l)),
+            Some((i, Err(e))) => Err(ReleaseError::Malformed {
+                line: i + 1,
+                reason: format!("read failure: {e}"),
+            }),
+            None => Err(ReleaseError::Malformed { line: 0, reason: "unexpected end of file".into() }),
+        }
+    };
+    let bad = |line: usize, reason: &str| ReleaseError::Malformed { line, reason: reason.into() };
+
+    let (ln, magic) = next_line()?;
+    if magic.trim() != MAGIC {
+        return Err(bad(ln, "missing dpsd-release header"));
+    }
+    let mut field = |name: &str| -> Result<(usize, String), ReleaseError> {
+        let (ln, l) = next_line()?;
+        let rest = l
+            .strip_prefix(name)
+            .ok_or_else(|| bad(ln, &format!("expected `{name}` line")))?;
+        Ok((ln, rest.trim().to_string()))
+    };
+    let (ln, kind_s) = field("kind")?;
+    let kind = kind_from_tag(&kind_s).ok_or_else(|| bad(ln, "unknown tree kind"))?;
+    let (ln, fanout_s) = field("fanout")?;
+    let fanout: usize = fanout_s.parse().map_err(|_| bad(ln, "bad fanout"))?;
+    if fanout < 2 {
+        return Err(bad(ln, "fanout must be at least 2"));
+    }
+    let (ln, height_s) = field("height")?;
+    let height: usize = height_s.parse().map_err(|_| bad(ln, "bad height"))?;
+    let (ln, domain_s) = field("domain")?;
+    let nums: Vec<f64> = domain_s
+        .split_whitespace()
+        .map(|t| t.parse::<f64>())
+        .collect::<Result<_, _>>()
+        .map_err(|_| bad(ln, "bad domain numbers"))?;
+    if nums.len() != 4 {
+        return Err(bad(ln, "domain needs four numbers"));
+    }
+    let domain = Rect::new(nums[0], nums[1], nums[2], nums[3])
+        .map_err(|_| bad(ln, "invalid domain rectangle"))?;
+    let (ln, eps_s) = field("epsilon")?;
+    let epsilon: f64 = eps_s.parse().map_err(|_| bad(ln, "bad epsilon"))?;
+    let parse_levels = |ln: usize, s: &str| -> Result<Vec<f64>, ReleaseError> {
+        let v: Vec<f64> = s
+            .split_whitespace()
+            .map(|t| t.parse::<f64>())
+            .collect::<Result<_, _>>()
+            .map_err(|_| bad(ln, "bad level budgets"))?;
+        if v.len() != height + 1 {
+            return Err(bad(ln, "level budget count must be height+1"));
+        }
+        if v.iter().any(|e| !e.is_finite() || *e < 0.0) {
+            return Err(bad(ln, "level budgets must be non-negative"));
+        }
+        Ok(v)
+    };
+    let (ln, ec_s) = field("eps_count")?;
+    let eps_count = parse_levels(ln, &ec_s)?;
+    let (ln, em_s) = field("eps_median")?;
+    let eps_median = parse_levels(ln, &em_s)?;
+    let (ln, nodes_s) = field("nodes")?;
+    let m: usize = nodes_s.parse().map_err(|_| bad(ln, "bad node count"))?;
+    if m != complete_tree_nodes(fanout, height) {
+        return Err(bad(ln, "node count does not match a complete tree"));
+    }
+    let mut rects = Vec::with_capacity(m);
+    let mut noisy = vec![0.0f64; m];
+    let mut released = vec![false; m];
+    let mut cuts = Vec::new();
+    for v in 0..m {
+        let (ln, l) = next_line()?;
+        let mut toks = l.split_whitespace();
+        if toks.next() != Some("n") {
+            return Err(bad(ln, "expected node line"));
+        }
+        let mut num = |what: &str| -> Result<f64, ReleaseError> {
+            toks.next()
+                .and_then(|t| t.parse::<f64>().ok())
+                .filter(|x| x.is_finite())
+                .ok_or_else(|| bad(ln, &format!("bad {what}")))
+        };
+        let (min_x, min_y, max_x, max_y) = (num("min_x")?, num("min_y")?, num("max_x")?, num("max_y")?);
+        let rect = Rect::new(min_x, min_y, max_x, max_y)
+            .map_err(|_| bad(ln, "invalid node rectangle"))?;
+        rects.push(rect);
+        match toks.next() {
+            Some("-") => {}
+            Some(t) => {
+                let c: f64 = t.parse().map_err(|_| bad(ln, "bad count"))?;
+                if !c.is_finite() {
+                    return Err(bad(ln, "count must be finite"));
+                }
+                noisy[v] = c;
+                released[v] = true;
+            }
+            None => return Err(bad(ln, "missing count")),
+        }
+        match toks.next() {
+            Some("0") => {}
+            Some("1") => cuts.push(v),
+            _ => return Err(bad(ln, "bad cut flag")),
+        }
+    }
+    let mut tree = PsdTree::from_columns(
+        kind,
+        fanout,
+        height,
+        domain,
+        rects,
+        vec![0.0; m], // exact counts were never published
+        noisy,
+        released,
+        eps_count,
+        eps_median,
+        epsilon,
+    );
+    if tree.eps_count_levels()[0] > 0.0 {
+        let beta = crate::postprocess::ols_postprocess(&tree);
+        tree.set_posted(beta);
+    }
+    for v in cuts {
+        tree.mark_cut(v);
+    }
+    Ok(tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Point;
+    use crate::query::range_query;
+    use crate::tree::PsdConfig;
+
+    fn sample_tree() -> PsdTree {
+        let domain = Rect::new(0.0, 0.0, 32.0, 32.0).unwrap();
+        let pts: Vec<Point> = (0..400)
+            .map(|i| Point::new((i % 20) as f64 * 1.6 + 0.1, (i / 20) as f64 * 1.6 + 0.1))
+            .collect();
+        PsdConfig::kd_standard(domain, 3, 0.8)
+            .with_prune_threshold(10.0)
+            .with_seed(5)
+            .build(&pts)
+            .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_release_and_queries() {
+        let tree = sample_tree();
+        let mut buf = Vec::new();
+        write_release(&tree, &mut buf).unwrap();
+        let loaded = read_release(buf.as_slice()).unwrap();
+        assert_eq!(loaded.kind(), tree.kind());
+        assert_eq!(loaded.height(), tree.height());
+        assert_eq!(loaded.node_count(), tree.node_count());
+        assert_eq!(loaded.epsilon(), tree.epsilon());
+        for v in tree.node_ids() {
+            assert_eq!(loaded.rect(v), tree.rect(v), "rect {v}");
+            assert_eq!(loaded.noisy_count(v), tree.noisy_count(v), "count {v}");
+            assert_eq!(loaded.is_cut(v), tree.is_cut(v), "cut {v}");
+            // OLS recomputation matches the original post-processing.
+            let (a, b) = (loaded.posted_count(v).unwrap(), tree.posted_count(v).unwrap());
+            assert!((a - b).abs() < 1e-9 * (1.0 + b.abs()), "posted {v}: {a} vs {b}");
+        }
+        // Queries agree exactly.
+        let q = Rect::new(3.0, 3.0, 21.0, 17.0).unwrap();
+        assert!((range_query(&loaded, &q) - range_query(&tree, &q)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn release_does_not_contain_exact_counts() {
+        let tree = sample_tree();
+        let mut buf = Vec::new();
+        write_release(&tree, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // The exact root count (400) is a round number; the released file
+        // must only contain the noisy value.
+        let loaded = read_release(text.as_bytes()).unwrap();
+        assert_eq!(loaded.true_count(0), 0.0, "exact counts are zeroed on load");
+    }
+
+    #[test]
+    fn withheld_levels_roundtrip() {
+        let domain = Rect::new(0.0, 0.0, 8.0, 8.0).unwrap();
+        let pts: Vec<Point> = (0..50).map(|i| Point::new(i as f64 % 8.0, i as f64 / 8.0)).collect();
+        let tree = PsdConfig::quadtree(domain, 2, 0.5)
+            .with_count_budget(crate::budget::CountBudget::LeafOnly)
+            .with_postprocess(false)
+            .with_seed(2)
+            .build(&pts)
+            .unwrap();
+        let mut buf = Vec::new();
+        write_release(&tree, &mut buf).unwrap();
+        let loaded = read_release(buf.as_slice()).unwrap();
+        assert_eq!(loaded.noisy_count(0), None, "withheld root stays withheld");
+        assert!(loaded.noisy_count(20).is_some(), "leaves stay released");
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        let cases: &[(&str, &str)] = &[
+            ("", "empty"),
+            ("not a release\n", "bad magic"),
+            ("dpsd-release v1\nkind sorcery\n", "unknown kind"),
+            (
+                "dpsd-release v1\nkind quadtree\nfanout 4\nheight 1\ndomain 0 0 1 1\nepsilon 1\neps_count 0.5 0.5\neps_median 0 0\nnodes 3\n",
+                "wrong node count",
+            ),
+            (
+                "dpsd-release v1\nkind quadtree\nfanout 4\nheight 0\ndomain 0 0 1 1\nepsilon 1\neps_count 1\neps_median 0\nnodes 1\nn 0 0 1 1 abc 0\n",
+                "bad count",
+            ),
+            (
+                "dpsd-release v1\nkind quadtree\nfanout 4\nheight 0\ndomain 1 0 0 1\nepsilon 1\neps_count 1\neps_median 0\nnodes 1\nn 0 0 1 1 3.0 0\n",
+                "inverted domain",
+            ),
+        ];
+        for (input, what) in cases {
+            assert!(
+                read_release(input.as_bytes()).is_err(),
+                "{what} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn header_written_first() {
+        let tree = sample_tree();
+        let mut buf = Vec::new();
+        write_release(&tree, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("dpsd-release v1\nkind kd-standard\n"));
+    }
+}

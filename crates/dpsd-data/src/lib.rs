@@ -1,0 +1,28 @@
+//! Datasets and workloads for the PSD experiments (paper Section 8.1).
+//!
+//! The paper evaluates on 1.63 M road-intersection coordinates from the
+//! 2006 TIGER/Line dataset (Washington + New Mexico) — "a rather skewed
+//! distribution corresponding roughly to human activity" — plus
+//! synthetic data. The TIGER files are not redistributable with this
+//! repository, so [`synthetic::RoadNetworkConfig`] generates a
+//! *structurally equivalent* substitute over the same bounding box:
+//! dense city clusters, points strung along inter-city corridors, and a
+//! sparse rural background. A CSV loader ([`tiger::load_coordinate_csv`])
+//! is provided for users who have real coordinate data.
+//!
+//! [`workload`] generates the rectangular query workloads of Section 8.1:
+//! a query *shape* is a (width°, height°) pair — e.g. `(15, 0.2)` is the
+//! paper's "skinny" 1050 x 14 mile query — and each workload draws
+//! placements uniformly, keeping only queries with non-zero exact
+//! answers, exactly as the paper does (600 per shape, median relative
+//! error reported).
+
+pub mod synthetic;
+pub mod tiger;
+pub mod workload;
+
+pub use synthetic::{
+    gaussian_mixture, tiger_substitute, uniform_1d, uniform_2d, RoadNetworkConfig, TIGER_DOMAIN,
+    TIGER_POINT_COUNT,
+};
+pub use workload::{generate_workload, QueryShape, Workload, PAPER_SHAPES};

@@ -1,0 +1,132 @@
+//! Loader for real coordinate data.
+//!
+//! Users with access to TIGER/Line (or any other) coordinate extracts
+//! can run every experiment on real data: the expected format is plain
+//! text with one `longitude,latitude` (or `x,y`) pair per line;
+//! whitespace-separated pairs and `#` comment lines are also accepted.
+
+use dpsd_core::geometry::{Point, Rect};
+use std::io::BufRead;
+use std::path::Path;
+
+/// Errors from the coordinate loader.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line could not be parsed as two floats.
+    Parse { line_number: usize, content: String },
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "i/o error: {e}"),
+            LoadError::Parse { line_number, content } => {
+                write!(f, "line {line_number}: cannot parse coordinates from {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<std::io::Error> for LoadError {
+    fn from(e: std::io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+/// Parses one `x,y` (or `x y` / `x<TAB>y`) line.
+fn parse_line(line: &str) -> Option<Point> {
+    let mut parts = line
+        .split(|c: char| c == ',' || c.is_whitespace() || c == ';')
+        .filter(|s| !s.is_empty());
+    let x: f64 = parts.next()?.parse().ok()?;
+    let y: f64 = parts.next()?.parse().ok()?;
+    if x.is_finite() && y.is_finite() {
+        Some(Point::new(x, y))
+    } else {
+        None
+    }
+}
+
+/// Loads coordinates from a reader. Blank lines and `#` comments are
+/// skipped; any other unparsable line is an error.
+pub fn read_coordinates<R: BufRead>(reader: R) -> Result<Vec<Point>, LoadError> {
+    let mut pts = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        match parse_line(trimmed) {
+            Some(p) => pts.push(p),
+            None => {
+                return Err(LoadError::Parse { line_number: i + 1, content: trimmed.to_string() })
+            }
+        }
+    }
+    Ok(pts)
+}
+
+/// Loads coordinates from a file path.
+pub fn load_coordinate_csv<P: AsRef<Path>>(path: P) -> Result<Vec<Point>, LoadError> {
+    let file = std::fs::File::open(path)?;
+    read_coordinates(std::io::BufReader::new(file))
+}
+
+/// The bounding box of a loaded dataset, expanded by a tiny margin so
+/// boundary points are strictly inside (tree partitioning is half-open).
+pub fn snug_domain(points: &[Point]) -> Option<Rect> {
+    let b = Rect::bounding(points)?;
+    let margin = (b.width().max(b.height()) * 1e-9).max(1e-9);
+    Some(b.expanded(margin))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_csv_and_whitespace() {
+        let input = "# TIGER extract\n-122.3,47.6\n-103.5 35.1\n\n-120.0\t45.0\n";
+        let pts = read_coordinates(input.as_bytes()).unwrap();
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0].x, -122.3);
+        assert_eq!(pts[1].y, 35.1);
+        assert_eq!(pts[2].x, -120.0);
+    }
+
+    #[test]
+    fn reports_parse_errors_with_line_numbers() {
+        let input = "1.0,2.0\nnot-a-point\n";
+        let err = read_coordinates(input.as_bytes()).unwrap_err();
+        match err {
+            LoadError::Parse { line_number, .. } => assert_eq!(line_number, 2),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        let input = "inf,2.0\n";
+        assert!(read_coordinates(input.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn snug_domain_contains_all_points() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(10.0, 5.0)];
+        let d = snug_domain(&pts).unwrap();
+        assert!(pts.iter().all(|p| d.contains(*p)));
+        assert!(d.area() > 50.0);
+        assert!(snug_domain(&[]).is_none());
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load_coordinate_csv("/nonexistent/path/file.csv").unwrap_err();
+        assert!(matches!(err, LoadError::Io(_)));
+    }
+}

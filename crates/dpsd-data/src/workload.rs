@@ -1,0 +1,218 @@
+//! Query-workload generation (paper Section 8.1).
+//!
+//! "We show results for rectangular queries where query sizes are
+//! expressed in terms of the original data. [...] We consider several
+//! query shapes; for each shape we generate 600 queries that have a
+//! non-zero answer, and record the median relative error."
+
+use dpsd_baselines::ExactIndex;
+use dpsd_core::geometry::{Point, Rect};
+use dpsd_core::rng::seeded;
+use rand::Rng;
+
+/// A query shape in domain units (degrees for the TIGER data). The
+/// paper's labels: `(1,1)`, `(5,5)`, `(10,10)` squares and the "skinny"
+/// `(15, 0.2)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryShape {
+    /// Width in domain units.
+    pub width: f64,
+    /// Height in domain units.
+    pub height: f64,
+}
+
+impl QueryShape {
+    /// Creates a shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both sides are positive and finite.
+    pub fn new(width: f64, height: f64) -> Self {
+        assert!(width > 0.0 && width.is_finite(), "invalid width {width}");
+        assert!(height > 0.0 && height.is_finite(), "invalid height {height}");
+        QueryShape { width, height }
+    }
+
+    /// Label in the paper's `(w,h)` style.
+    pub fn label(&self) -> String {
+        fn fmt(v: f64) -> String {
+            if (v - v.round()).abs() < 1e-9 {
+                format!("{}", v.round() as i64)
+            } else {
+                format!("{v}")
+            }
+        }
+        format!("({},{})", fmt(self.width), fmt(self.height))
+    }
+}
+
+/// The four shapes of Figure 3 (Figures 5-6 use the subset without
+/// `(5,5)`).
+pub const PAPER_SHAPES: [QueryShape; 4] = [
+    QueryShape { width: 1.0, height: 1.0 },
+    QueryShape { width: 5.0, height: 5.0 },
+    QueryShape { width: 10.0, height: 10.0 },
+    QueryShape { width: 15.0, height: 0.2 },
+];
+
+/// A generated workload: queries plus their exact answers.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The shape all queries share.
+    pub shape: QueryShape,
+    /// The query rectangles.
+    pub queries: Vec<Rect>,
+    /// Exact answers, aligned with `queries` (all strictly positive).
+    pub exact: Vec<f64>,
+}
+
+impl Workload {
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+}
+
+/// Generates `count` queries of the given shape, placed uniformly inside
+/// the domain, keeping only queries with non-zero exact answers
+/// (computed against `index`). Shapes larger than the domain are clipped
+/// to fit.
+///
+/// # Panics
+///
+/// Panics if `count == 0` or the index holds no points (no non-zero
+/// query exists).
+pub fn generate_workload(
+    index: &ExactIndex,
+    shape: QueryShape,
+    count: usize,
+    seed: u64,
+) -> Workload {
+    assert!(count > 0, "workload must contain at least one query");
+    assert!(!index.is_empty(), "cannot build a non-zero workload over empty data");
+    let domain = *index.domain();
+    let w = shape.width.min(domain.width());
+    let h = shape.height.min(domain.height());
+    let mut rng = seeded(seed);
+    let mut queries = Vec::with_capacity(count);
+    let mut exact = Vec::with_capacity(count);
+    let mut attempts = 0usize;
+    let max_attempts = count * 10_000;
+    while queries.len() < count {
+        attempts += 1;
+        assert!(
+            attempts <= max_attempts,
+            "workload rejection sampling failed: data too sparse for shape {:?}",
+            shape
+        );
+        let x0 = domain.min_x + rng.gen::<f64>() * (domain.width() - w);
+        let y0 = domain.min_y + rng.gen::<f64>() * (domain.height() - h);
+        let q = Rect::new(x0, y0, x0 + w, y0 + h).expect("constructed rect is valid");
+        let answer = index.count(&q);
+        if answer > 0 {
+            queries.push(q);
+            exact.push(answer as f64);
+        }
+    }
+    Workload { shape, queries, exact }
+}
+
+/// Convenience: builds the exact index and one workload per shape.
+pub fn workloads_for_shapes(
+    points: &[Point],
+    domain: Rect,
+    shapes: &[QueryShape],
+    count: usize,
+    seed: u64,
+) -> Vec<Workload> {
+    let index = ExactIndex::build(points, domain, 512);
+    shapes
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| generate_workload(&index, s, count, seed.wrapping_add(i as u64)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{tiger_substitute, TIGER_DOMAIN};
+
+    #[test]
+    fn shape_labels_match_paper() {
+        assert_eq!(QueryShape::new(1.0, 1.0).label(), "(1,1)");
+        assert_eq!(QueryShape::new(15.0, 0.2).label(), "(15,0.2)");
+        assert_eq!(PAPER_SHAPES[2].label(), "(10,10)");
+    }
+
+    #[test]
+    fn workload_has_nonzero_answers_and_fits_domain() {
+        let pts = tiger_substitute(20_000, 3);
+        let index = ExactIndex::build(&pts, TIGER_DOMAIN, 256);
+        let wl = generate_workload(&index, QueryShape::new(5.0, 5.0), 50, 11);
+        assert_eq!(wl.len(), 50);
+        for (q, &a) in wl.queries.iter().zip(&wl.exact) {
+            assert!(a > 0.0);
+            assert!(q.inside(&TIGER_DOMAIN), "query {q:?} escapes the domain");
+            assert!((q.width() - 5.0).abs() < 1e-9);
+            assert!((q.height() - 5.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn workload_is_reproducible() {
+        let pts = tiger_substitute(5_000, 4);
+        let index = ExactIndex::build(&pts, TIGER_DOMAIN, 128);
+        let a = generate_workload(&index, QueryShape::new(10.0, 10.0), 20, 7);
+        let b = generate_workload(&index, QueryShape::new(10.0, 10.0), 20, 7);
+        assert_eq!(a.queries.len(), b.queries.len());
+        for (qa, qb) in a.queries.iter().zip(&b.queries) {
+            assert_eq!(qa, qb);
+        }
+    }
+
+    #[test]
+    fn oversized_shapes_are_clipped() {
+        let pts = tiger_substitute(2_000, 5);
+        let index = ExactIndex::build(&pts, TIGER_DOMAIN, 64);
+        let wl = generate_workload(&index, QueryShape::new(1e6, 1e6), 3, 1);
+        for q in &wl.queries {
+            assert!(q.inside(&TIGER_DOMAIN));
+        }
+        // A domain-sized query counts everything.
+        assert!(wl.exact.iter().all(|&a| a == 2_000.0));
+    }
+
+    #[test]
+    fn skinny_queries_work() {
+        let pts = tiger_substitute(20_000, 6);
+        let index = ExactIndex::build(&pts, TIGER_DOMAIN, 256);
+        let wl = generate_workload(&index, QueryShape::new(15.0, 0.2), 30, 2);
+        assert_eq!(wl.len(), 30);
+        for q in &wl.queries {
+            assert!((q.height() - 0.2).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn workloads_for_all_paper_shapes() {
+        let pts = tiger_substitute(20_000, 7);
+        let wls = workloads_for_shapes(&pts, TIGER_DOMAIN, &PAPER_SHAPES, 10, 0);
+        assert_eq!(wls.len(), 4);
+        for wl in &wls {
+            assert_eq!(wl.len(), 10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty data")]
+    fn empty_data_rejected() {
+        let index = ExactIndex::build(&[], TIGER_DOMAIN, 16);
+        let _ = generate_workload(&index, QueryShape::new(1.0, 1.0), 5, 0);
+    }
+}

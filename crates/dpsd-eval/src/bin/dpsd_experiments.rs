@@ -1,0 +1,80 @@
+//! Command-line driver for the experiment harness.
+//!
+//! ```text
+//! dpsd-experiments <fig2|fig3|fig4|fig5|fig6|fig7a|fig7b|all>
+//!                  [--scale quick|paper] [--seed N] [--csv]
+//! ```
+//!
+//! Each subcommand regenerates the corresponding figure of the paper and
+//! prints its series as aligned tables (or CSV with `--csv`).
+
+use dpsd_eval::{common::Scale, Table};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dpsd-experiments <fig2|fig3|fig4|fig5|fig6|fig7a|fig7b|extras|all> \
+         [--scale quick|paper] [--seed N] [--csv]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let figure = args[0].as_str();
+    let mut scale = Scale::paper();
+    let mut seed = 2012u64; // ICDE 2012
+    let mut csv = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some("quick") => scale = Scale::quick(),
+                    Some("paper") => scale = Scale::paper(),
+                    _ => usage(),
+                }
+            }
+            "--seed" => {
+                i += 1;
+                seed = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(s) => s,
+                    None => usage(),
+                };
+            }
+            "--csv" => csv = true,
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let started = std::time::Instant::now();
+    let tables: Vec<Table> = match figure {
+        "fig2" => dpsd_eval::fig2::run(),
+        "fig3" => dpsd_eval::fig3::run(&scale, seed),
+        "fig4" => dpsd_eval::fig4::run(&scale, seed),
+        "fig5" => dpsd_eval::fig5::run(&scale, seed),
+        "fig6" => dpsd_eval::fig6::run(&scale, seed),
+        "fig7a" => dpsd_eval::fig7a::run(&scale, seed),
+        "fig7b" => dpsd_eval::fig7b::run(&scale, seed),
+        "extras" => {
+            let mut t = dpsd_eval::extras::intro_strawman(&scale, seed);
+            t.extend(dpsd_eval::extras::budget_ablation(&scale, seed));
+            t
+        }
+        "all" => dpsd_eval::run_all(&scale, seed),
+        _ => usage(),
+    };
+    for t in &tables {
+        if csv {
+            print!("{}", t.to_csv());
+        } else {
+            println!("{}", t.render());
+        }
+    }
+    eprintln!("# completed in {:.1}s", started.elapsed().as_secs_f64());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,43 @@
+//! Figure 2: worst-case `Err(Q)` for uniform vs geometric budgets.
+//!
+//! Purely analytic — the paper plots the closed-form bounds in units of
+//! `16 / eps^2` for heights 5 through 10.
+
+use crate::report::Table;
+use dpsd_core::analysis::{figure2_geometric, figure2_uniform};
+
+/// Regenerates the two series of Figure 2.
+pub fn run() -> Vec<Table> {
+    let mut table = Table::new(
+        "Figure 2: worst-case Err(Q) bound (units of 16/eps^2), h = 5..10",
+        "budget",
+        (5..=10).map(|h| format!("h={h}")).collect(),
+    );
+    table.push_row(
+        "uniform",
+        (5..=10).map(figure2_uniform).collect(),
+    );
+    table.push_row(
+        "geometric",
+        (5..=10).map(figure2_geometric).collect(),
+    );
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let t = &run()[0];
+        // Uniform at h=10 is ~2.5e5 (the top of the paper's y-axis).
+        let u10 = t.cell("uniform", "h=10").unwrap();
+        assert!((u10 - 247_687.0).abs() < 1.0);
+        // Geometric is below uniform everywhere and grows much slower.
+        for h in 5..=10 {
+            let col = format!("h={h}");
+            assert!(t.cell("geometric", &col).unwrap() < t.cell("uniform", &col).unwrap());
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Figure 5: query accuracy of kd-tree variants.
+//!
+//! Compares `kd-pure` (exact medians + exact counts), `kd-true` (exact
+//! medians + noisy counts), `kd-standard` (EM medians), `kd-hybrid`
+//! (switch to quadtree splits half-way), `kd-cell` [26], and
+//! `kd-noisymean` [12] on shapes `(1,1)`, `(10,10)`, `(15,0.2)` at
+//! `eps` in {0.1, 0.5, 1.0}. All trees share the same height (paper: 8)
+//! and pruning threshold `m = 32`.
+
+use crate::common::{evaluate_tree, Scale};
+use crate::report::Table;
+use dpsd_core::tree::{CountSource, PsdConfig, TreeKind};
+use dpsd_data::synthetic::TIGER_DOMAIN;
+use dpsd_data::workload::{workloads_for_shapes, QueryShape};
+
+/// The figure's privacy budgets (panels a-c).
+pub const EPSILONS: [f64; 3] = [0.1, 0.5, 1.0];
+
+/// Shapes used by Figures 5 and 6.
+pub const SHAPES: [QueryShape; 3] = [
+    QueryShape { width: 1.0, height: 1.0 },
+    QueryShape { width: 10.0, height: 10.0 },
+    QueryShape { width: 15.0, height: 0.2 },
+];
+
+/// Pruning threshold (paper Section 8.2).
+pub const PRUNE_M: f64 = 32.0;
+
+fn variants(scale: &Scale, eps: f64) -> Vec<(&'static str, PsdConfig)> {
+    let h = scale.kd_height;
+    let switch = h / 2; // "switching about half-way down" (Section 8.2)
+    vec![
+        ("kd-pure", PsdConfig::kd_pure(TIGER_DOMAIN, h)),
+        ("kd-true", PsdConfig::kd_true(TIGER_DOMAIN, h, eps)),
+        ("kd-standard", PsdConfig::kd_standard(TIGER_DOMAIN, h, eps)),
+        ("kd-hybrid", PsdConfig::kd_hybrid(TIGER_DOMAIN, h, eps, switch)),
+        (
+            "kd-cell",
+            PsdConfig::kd_cell(TIGER_DOMAIN, h, eps, (scale.kdcell_grid, scale.kdcell_grid)),
+        ),
+        ("kd-noisymean", PsdConfig::kd_noisymean(TIGER_DOMAIN, h, eps)),
+    ]
+}
+
+/// Regenerates Figure 5: one table per epsilon; rows are variants,
+/// columns are shapes, cells are median relative error (%).
+pub fn run(scale: &Scale, seed: u64) -> Vec<Table> {
+    let points = scale.dataset(seed);
+    let workloads = workloads_for_shapes(
+        &points,
+        TIGER_DOMAIN,
+        &SHAPES,
+        scale.queries_per_shape,
+        seed ^ 0xF165,
+    );
+    let mut tables = Vec::new();
+    for (panel, &eps) in EPSILONS.iter().enumerate() {
+        let mut table = Table::new(
+            format!(
+                "Figure 5({}): kd-tree variants, eps={eps}, h={}, prune m={PRUNE_M}",
+                char::from(b'a' + panel as u8),
+                scale.kd_height
+            ),
+            "method",
+            workloads.iter().map(|w| w.shape.label()).collect(),
+        );
+        for (name, config) in variants(scale, eps) {
+            let private = config.kind != TreeKind::KdPure;
+            let config = if private {
+                config.with_prune_threshold(PRUNE_M)
+            } else {
+                config
+            };
+            let tree = config
+                .with_seed(seed ^ eps.to_bits() ^ name.len() as u64)
+                .build(&points)
+                .expect("kd build");
+            let source = if tree.is_postprocessed() {
+                CountSource::Posted
+            } else {
+                CountSource::Noisy
+            };
+            let row: Vec<f64> = workloads
+                .iter()
+                .map(|wl| evaluate_tree(&tree, wl, source))
+                .collect();
+            table.push_row(name, row);
+        }
+        tables.push(table);
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn privacy_cost_ordering() {
+        let tables = run(&Scale::quick(), 11);
+        assert_eq!(tables.len(), 3);
+        // At the most generous budget, kd-pure (no noise anywhere) should
+        // be at least as good as the fully private kd-standard, summed
+        // over shapes.
+        let t = &tables[2]; // eps = 1.0
+        let sum = |m: &str| -> f64 { t.columns.iter().map(|c| t.cell(m, c).unwrap()).sum() };
+        let pure = sum("kd-pure");
+        let standard = sum("kd-standard");
+        assert!(
+            pure <= standard * 1.5 + 1.0,
+            "kd-pure {pure} should not lose badly to kd-standard {standard}"
+        );
+        // kd-true sits between: noise only on counts.
+        let true_ = sum("kd-true");
+        assert!(true_ <= standard * 2.0 + 1.0, "kd-true {true_} vs kd-standard {standard}");
+    }
+
+    #[test]
+    fn all_variants_produce_finite_errors() {
+        let tables = run(&Scale::quick(), 12);
+        for t in &tables {
+            for (label, values) in &t.rows {
+                for v in values {
+                    assert!(v.is_finite(), "{label} produced {v} in {}", t.title);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Figure 6: query accuracy vs tree height for the best representative
+//! of each family — `quad-opt`, `kd-hybrid`, `kd-cell`, `Hilbert-R` —
+//! at fixed `eps = 0.5`, heights swept (paper: 6..=11), one panel per
+//! query shape.
+
+use crate::common::{evaluate_tree, Scale};
+use crate::fig5::SHAPES;
+use crate::report::Table;
+use dpsd_core::tree::{CountSource, PsdConfig};
+use dpsd_data::synthetic::TIGER_DOMAIN;
+use dpsd_data::workload::workloads_for_shapes;
+
+/// The figure's fixed privacy budget.
+pub const EPSILON: f64 = 0.5;
+
+/// Regenerates Figure 6: one table per shape; rows are methods, columns
+/// are heights, cells are median relative error (%).
+pub fn run(scale: &Scale, seed: u64) -> Vec<Table> {
+    let points = scale.dataset(seed);
+    let workloads = workloads_for_shapes(
+        &points,
+        TIGER_DOMAIN,
+        &SHAPES,
+        scale.queries_per_shape,
+        seed ^ 0xF166,
+    );
+    let heights: Vec<usize> = scale.height_sweep.clone().collect();
+    let methods: Vec<&str> = vec!["quad-opt", "kd-hybrid", "kd-cell", "Hilbert-R"];
+    // Build each (method, height) tree once and evaluate on all shapes.
+    let mut results: Vec<Vec<Vec<f64>>> =
+        vec![vec![Vec::new(); heights.len()]; workloads.len()];
+    for (hi, &h) in heights.iter().enumerate() {
+        for method in &methods {
+            let config = match *method {
+                "quad-opt" => PsdConfig::quadtree(TIGER_DOMAIN, h, EPSILON),
+                "kd-hybrid" => PsdConfig::kd_hybrid(TIGER_DOMAIN, h, EPSILON, h / 2),
+                "kd-cell" => PsdConfig::kd_cell(
+                    TIGER_DOMAIN,
+                    h,
+                    EPSILON,
+                    (scale.kdcell_grid, scale.kdcell_grid),
+                ),
+                "Hilbert-R" => PsdConfig::hilbert_r(TIGER_DOMAIN, h, EPSILON),
+                other => unreachable!("unknown method {other}"),
+            };
+            let tree = config
+                .with_seed(seed ^ (h as u64) << 8)
+                .build(&points)
+                .expect("fig6 build");
+            for (wi, wl) in workloads.iter().enumerate() {
+                results[wi][hi].push(evaluate_tree(&tree, wl, CountSource::Auto));
+            }
+        }
+    }
+    workloads
+        .iter()
+        .enumerate()
+        .map(|(wi, wl)| {
+            let mut table = Table::new(
+                format!(
+                    "Figure 6({}): error vs height, query {}, eps={EPSILON}",
+                    char::from(b'a' + wi as u8),
+                    wl.shape.label()
+                ),
+                "method",
+                heights.iter().map(|h| format!("h={h}")).collect(),
+            );
+            for (mi, method) in methods.iter().enumerate() {
+                let row: Vec<f64> = (0..heights.len()).map(|hi| results[wi][hi][mi]).collect();
+                table.push_row(*method, row);
+            }
+            table
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_three_panels_with_finite_cells() {
+        let tables = run(&Scale::quick(), 13);
+        assert_eq!(tables.len(), 3);
+        for t in &tables {
+            assert_eq!(t.rows.len(), 4);
+            for (label, values) in &t.rows {
+                for v in values {
+                    assert!(v.is_finite(), "{label}: {v} in {}", t.title);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Figure 7(b): private record matching — reduction ratio vs privacy
+//! budget for `quad-baseline`, `kd-noisymean`, and `kd-standard`
+//! (Section 8.3). All count budget goes to the leaves, so
+//! post-processing does not apply.
+
+use crate::common::Scale;
+use crate::report::Table;
+use dpsd_baselines::ExactIndex;
+use dpsd_core::budget::CountBudget;
+use dpsd_core::tree::PsdConfig;
+use dpsd_data::synthetic::TIGER_DOMAIN;
+use dpsd_match::parties::two_party_datasets;
+use dpsd_match::{build_blocking_tree, run_blocking, BlockingConfig};
+
+/// The budget sweep of the figure.
+pub const EPSILONS: [f64; 6] = [0.05, 0.1, 0.2, 0.3, 0.4, 0.5];
+
+/// Regenerates Figure 7(b): reduction ratio per method per epsilon.
+pub fn run(scale: &Scale, seed: u64) -> Vec<Table> {
+    let (a, b) = two_party_datasets(
+        &TIGER_DOMAIN,
+        scale.match_party_size,
+        scale.match_party_size,
+        0.3,
+        seed ^ 0xF17B,
+    );
+    let b_index = ExactIndex::build(&b, TIGER_DOMAIN, 256);
+    let blocking = BlockingConfig { matching_distance: 0.3, retain_threshold: 3.0 };
+    // Each method keeps its native height from the main experiments: the
+    // data-oblivious quadtree grows deep, so with a leaf-only budget it
+    // retains many noise-positive empty cells whose padded SMC cost makes
+    // it the most budget-sensitive method — the paper's bottom curve.
+    let quad_h = scale.quad_height;
+    let kd_h = scale.kd_height;
+    let mut table = Table::new(
+        format!(
+            "Figure 7(b): record-matching reduction ratio, |A|=|B|={}, quad h={quad_h}, kd h={kd_h}",
+            scale.match_party_size
+        ),
+        "method",
+        EPSILONS.iter().map(|e| format!("eps={e}")).collect(),
+    );
+    type MakeConfig = fn(f64, usize) -> PsdConfig;
+    let methods: [(&str, usize, MakeConfig); 3] = [
+        ("quad-baseline", quad_h, |eps, h| {
+            PsdConfig::quadtree(TIGER_DOMAIN, h, eps).with_count_budget(CountBudget::Uniform)
+        }),
+        ("kd-noisymean", kd_h, |eps, h| PsdConfig::kd_noisymean(TIGER_DOMAIN, h, eps)),
+        ("kd-standard", kd_h, |eps, h| PsdConfig::kd_standard(TIGER_DOMAIN, h, eps)),
+    ];
+    for (name, h, make) in methods {
+        let mut row = Vec::new();
+        for &eps in &EPSILONS {
+            let tree = build_blocking_tree(make(eps, h).with_seed(seed ^ eps.to_bits()), &a)
+                .expect("blocking tree");
+            let outcome = run_blocking(&tree, &b_index, &a, &b, &blocking);
+            row.push(outcome.reduction_ratio());
+        }
+        table.push_row(name, row);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_are_probabilities_and_kd_standard_competes() {
+        let mut scale = Scale::quick();
+        scale.match_party_size = 1_000;
+        let tables = run(&scale, 19);
+        let t = &tables[0];
+        for (label, values) in &t.rows {
+            for &v in values {
+                assert!((0.0..=1.0).contains(&v), "{label}: ratio {v}");
+            }
+        }
+        // kd-standard should beat or match the others at the largest
+        // budget (the paper's main claim for this application).
+        let last = format!("eps={}", EPSILONS[EPSILONS.len() - 1]);
+        let kd = t.cell("kd-standard", &last).unwrap();
+        let quad = t.cell("quad-baseline", &last).unwrap();
+        assert!(
+            kd >= quad - 0.1,
+            "kd-standard {kd} unexpectedly far below quad-baseline {quad}"
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Experiment harness regenerating every figure of the paper
+//! (Section 8). Each `figN` module exposes a `run(scale, seed)` function
+//! returning printable [`report::Table`]s whose rows/series mirror what
+//! the paper plots; `dpsd-experiments` (the binary) drives them from the
+//! command line, and `dpsd-bench` wraps them in Criterion benchmarks.
+//!
+//! Two [`Scale`]s are provided: `paper()` matches the paper's parameters
+//! where laptop-practical (heights, budgets, query shapes, 600 queries
+//! per shape) with the dataset-size substitution documented in
+//! DESIGN.md, and `quick()` shrinks everything for CI and benches.
+
+pub mod common;
+pub mod extras;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7a;
+pub mod fig7b;
+pub mod report;
+
+pub use common::{evaluate_tree, Scale};
+pub use report::Table;
+
+/// Runs every experiment at the given scale, returning all tables in
+/// figure order.
+pub fn run_all(scale: &Scale, seed: u64) -> Vec<Table> {
+    let mut tables = Vec::new();
+    tables.extend(fig2::run());
+    tables.extend(fig3::run(scale, seed));
+    tables.extend(fig4::run(scale, seed));
+    tables.extend(fig5::run(scale, seed));
+    tables.extend(fig6::run(scale, seed));
+    tables.extend(fig7a::run(scale, seed));
+    tables.extend(fig7b::run(scale, seed));
+    tables.extend(extras::intro_strawman(scale, seed));
+    tables.extend(extras::budget_ablation(scale, seed));
+    tables
+}

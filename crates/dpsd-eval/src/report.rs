@@ -1,0 +1,149 @@
+//! Result tables: a tiny aligned-text / CSV report format shared by all
+//! experiment runners.
+
+use std::fmt::Write as _;
+
+/// One experiment output: a titled grid of numeric cells with labelled
+/// rows and columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Title, e.g. `"Figure 3(a): quadtree optimizations, eps=0.1"`.
+    pub title: String,
+    /// Name of the row-label column, e.g. `"method"`.
+    pub row_label: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows: label + one value per column (`NaN` renders as `-`).
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(
+        title: impl Into<String>,
+        row_label: impl Into<String>,
+        columns: Vec<String>,
+    ) -> Self {
+        Table { title: title.into(), row_label: row_label.into(), columns, rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count does not match the column count.
+    pub fn push_row(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(values.len(), self.columns.len(), "row width mismatch");
+        self.rows.push((label.into(), values));
+    }
+
+    /// Renders the table as aligned text.
+    pub fn render(&self) -> String {
+        let mut label_w = self.row_label.len();
+        for (label, _) in &self.rows {
+            label_w = label_w.max(label.len());
+        }
+        let cell = |v: f64| -> String {
+            if v.is_nan() {
+                "-".to_string()
+            } else if v == 0.0 {
+                "0".to_string()
+            } else if v.abs() >= 1e5 || v.abs() < 1e-3 {
+                format!("{v:.3e}")
+            } else {
+                format!("{v:.4}")
+            }
+        };
+        let mut col_w: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for (_, values) in &self.rows {
+            for (i, &v) in values.iter().enumerate() {
+                col_w[i] = col_w[i].max(cell(v).len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let _ = write!(out, "{:<label_w$}", self.row_label);
+        for (c, w) in self.columns.iter().zip(&col_w) {
+            let _ = write!(out, "  {c:>w$}");
+        }
+        let _ = writeln!(out);
+        for (label, values) in &self.rows {
+            let _ = write!(out, "{label:<label_w$}");
+            for (&v, w) in values.iter().zip(&col_w) {
+                let _ = write!(out, "  {:>w$}", cell(v));
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Renders the table as CSV (title as a comment line).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let _ = write!(out, "{}", self.row_label);
+        for c in &self.columns {
+            let _ = write!(out, ",{c}");
+        }
+        let _ = writeln!(out);
+        for (label, values) in &self.rows {
+            let _ = write!(out, "{label}");
+            for v in values {
+                let _ = write!(out, ",{v}");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Looks up a cell by row and column label (for tests).
+    pub fn cell(&self, row: &str, column: &str) -> Option<f64> {
+        let col = self.columns.iter().position(|c| c == column)?;
+        let row = self.rows.iter().find(|(label, _)| label == row)?;
+        row.1.get(col).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Demo", "method", vec!["a".into(), "b".into()]);
+        t.push_row("x", vec![1.0, 250_000.0]);
+        t.push_row("yy", vec![f64::NAN, 0.5]);
+        t
+    }
+
+    #[test]
+    fn render_contains_everything() {
+        let r = sample().render();
+        assert!(r.contains("## Demo"));
+        assert!(r.contains("method"));
+        assert!(r.contains("2.500e5"));
+        assert!(r.contains('-'));
+    }
+
+    #[test]
+    fn csv_roundtrips_values() {
+        let c = sample().to_csv();
+        assert!(c.contains("x,1,250000"));
+        assert!(c.contains("yy,NaN,0.5"));
+    }
+
+    #[test]
+    fn cell_lookup() {
+        let t = sample();
+        assert_eq!(t.cell("x", "a"), Some(1.0));
+        assert_eq!(t.cell("yy", "b"), Some(0.5));
+        assert_eq!(t.cell("zz", "a"), None);
+        assert_eq!(t.cell("x", "c"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("t", "r", vec!["a".into()]);
+        t.push_row("x", vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,293 @@
+//! Encoding and decoding of the two-dimensional Hilbert curve.
+//!
+//! The implementation is the classical iterative bit-interleaving algorithm
+//! with quadrant rotation (see Hamilton, *Compact Hilbert Indices*, or the
+//! well-known `xy2d`/`d2xy` formulation). It runs in `O(order)` time per
+//! call and allocates nothing.
+
+use std::fmt;
+
+/// Maximum supported curve order.
+///
+/// At order 31 the grid is `2^31 x 2^31` and indices occupy 62 bits, which
+/// still fits a `u64` with headroom. The paper's experiments use order 18
+/// (Section 8.2) and note that orders 16-24 behave equivalently.
+pub const MAX_ORDER: u32 = 31;
+
+/// Errors returned by [`HilbertCurve`] constructors and checked accessors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HilbertError {
+    /// The requested order was zero or larger than [`MAX_ORDER`].
+    InvalidOrder(u32),
+    /// A coordinate was outside the `[0, 2^order)` grid.
+    CoordinateOutOfRange { coord: u32, side: u32 },
+    /// An index was outside `[0, 4^order)`.
+    IndexOutOfRange { index: u64, cells: u64 },
+}
+
+impl fmt::Display for HilbertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            HilbertError::InvalidOrder(order) => {
+                write!(f, "hilbert order {order} not in 1..={MAX_ORDER}")
+            }
+            HilbertError::CoordinateOutOfRange { coord, side } => {
+                write!(f, "coordinate {coord} outside grid of side {side}")
+            }
+            HilbertError::IndexOutOfRange { index, cells } => {
+                write!(f, "hilbert index {index} outside curve of {cells} cells")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HilbertError {}
+
+/// A two-dimensional Hilbert curve of a fixed order.
+///
+/// Order `k` fills a `2^k x 2^k` grid of cells with a single curve of
+/// `4^k` steps. Consecutive indices are always adjacent cells (Manhattan
+/// distance one), which is the locality property the Hilbert R-tree relies
+/// on: contiguous index ranges map to compact regions of the plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HilbertCurve {
+    order: u32,
+}
+
+impl HilbertCurve {
+    /// Creates a curve of the given order (`1..=MAX_ORDER`).
+    pub fn new(order: u32) -> Result<Self, HilbertError> {
+        if order == 0 || order > MAX_ORDER {
+            return Err(HilbertError::InvalidOrder(order));
+        }
+        Ok(HilbertCurve { order })
+    }
+
+    /// The order of this curve.
+    #[inline]
+    pub fn order(&self) -> u32 {
+        self.order
+    }
+
+    /// The side length of the grid: `2^order` cells per axis.
+    #[inline]
+    pub fn side(&self) -> u32 {
+        1u32 << self.order
+    }
+
+    /// Total number of cells (= number of curve steps): `4^order`.
+    #[inline]
+    pub fn cell_count(&self) -> u64 {
+        1u64 << (2 * self.order)
+    }
+
+    /// The largest valid index, `4^order - 1`.
+    #[inline]
+    pub fn max_index(&self) -> u64 {
+        self.cell_count() - 1
+    }
+
+    /// Maps grid cell `(x, y)` to its Hilbert index.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if a coordinate is outside the grid; in
+    /// release builds out-of-range high bits are ignored. Use
+    /// [`HilbertCurve::try_encode`] for checked conversion.
+    #[inline]
+    pub fn encode(&self, x: u32, y: u32) -> u64 {
+        debug_assert!(x < self.side() && y < self.side());
+        let n = self.side();
+        let mut x = x;
+        let mut y = y;
+        let mut d: u64 = 0;
+        let mut s: u32 = n / 2;
+        while s > 0 {
+            let rx: u32 = u32::from(x & s > 0);
+            let ry: u32 = u32::from(y & s > 0);
+            d += u64::from(s) * u64::from(s) * u64::from((3 * rx) ^ ry);
+            // Rotate the quadrant so the sub-curve is in canonical position.
+            if ry == 0 {
+                if rx == 1 {
+                    x = n - 1 - x;
+                    y = n - 1 - y;
+                }
+                std::mem::swap(&mut x, &mut y);
+            }
+            s /= 2;
+        }
+        d
+    }
+
+    /// Checked version of [`HilbertCurve::encode`].
+    pub fn try_encode(&self, x: u32, y: u32) -> Result<u64, HilbertError> {
+        let side = self.side();
+        if x >= side {
+            return Err(HilbertError::CoordinateOutOfRange { coord: x, side });
+        }
+        if y >= side {
+            return Err(HilbertError::CoordinateOutOfRange { coord: y, side });
+        }
+        Ok(self.encode(x, y))
+    }
+
+    /// Maps a Hilbert index back to its grid cell `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the index is outside the curve. Use
+    /// [`HilbertCurve::try_decode`] for checked conversion.
+    #[inline]
+    pub fn decode(&self, d: u64) -> (u32, u32) {
+        debug_assert!(d < self.cell_count());
+        let n = self.side();
+        let mut t = d;
+        let mut x: u32 = 0;
+        let mut y: u32 = 0;
+        let mut s: u32 = 1;
+        while s < n {
+            let rx: u32 = (1 & (t >> 1)) as u32;
+            let ry: u32 = ((t & 1) as u32) ^ rx;
+            // Inverse rotation for the sub-square of side `s`.
+            if ry == 0 {
+                if rx == 1 {
+                    x = s - 1 - x;
+                    y = s - 1 - y;
+                }
+                std::mem::swap(&mut x, &mut y);
+            }
+            x += s * rx;
+            y += s * ry;
+            t >>= 2;
+            s <<= 1;
+        }
+        (x, y)
+    }
+
+    /// Checked version of [`HilbertCurve::decode`].
+    pub fn try_decode(&self, d: u64) -> Result<(u32, u32), HilbertError> {
+        if d >= self.cell_count() {
+            return Err(HilbertError::IndexOutOfRange {
+                index: d,
+                cells: self.cell_count(),
+            });
+        }
+        Ok(self.decode(d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_bad_orders() {
+        assert_eq!(HilbertCurve::new(0), Err(HilbertError::InvalidOrder(0)));
+        assert_eq!(HilbertCurve::new(32), Err(HilbertError::InvalidOrder(32)));
+        assert!(HilbertCurve::new(1).is_ok());
+        assert!(HilbertCurve::new(MAX_ORDER).is_ok());
+    }
+
+    #[test]
+    fn order_one_layout() {
+        // Canonical order-1 curve: (0,0) -> (0,1) -> (1,1) -> (1,0).
+        let c = HilbertCurve::new(1).unwrap();
+        assert_eq!(c.encode(0, 0), 0);
+        assert_eq!(c.encode(0, 1), 1);
+        assert_eq!(c.encode(1, 1), 2);
+        assert_eq!(c.encode(1, 0), 3);
+        for d in 0..4 {
+            let (x, y) = c.decode(d);
+            assert_eq!(c.encode(x, y), d);
+        }
+    }
+
+    #[test]
+    fn roundtrip_exhaustive_small_orders() {
+        for order in 1..=6 {
+            let c = HilbertCurve::new(order).unwrap();
+            let side = c.side();
+            let mut seen = vec![false; c.cell_count() as usize];
+            for x in 0..side {
+                for y in 0..side {
+                    let d = c.encode(x, y);
+                    assert!(d < c.cell_count(), "index in range");
+                    assert!(!seen[d as usize], "index {d} hit twice at order {order}");
+                    seen[d as usize] = true;
+                    assert_eq!(c.decode(d), (x, y), "roundtrip at order {order}");
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "curve covers grid at order {order}");
+        }
+    }
+
+    #[test]
+    fn consecutive_indices_are_adjacent_cells() {
+        for order in 1..=6 {
+            let c = HilbertCurve::new(order).unwrap();
+            let (mut px, mut py) = c.decode(0);
+            for d in 1..c.cell_count() {
+                let (x, y) = c.decode(d);
+                let dist = x.abs_diff(px) + y.abs_diff(py);
+                assert_eq!(dist, 1, "step {d} at order {order} not adjacent");
+                px = x;
+                py = y;
+            }
+        }
+    }
+
+    #[test]
+    fn high_order_roundtrip_spot_checks() {
+        let c = HilbertCurve::new(MAX_ORDER).unwrap();
+        let side = c.side();
+        let coords = [
+            (0u32, 0u32),
+            (side - 1, side - 1),
+            (side - 1, 0),
+            (0, side - 1),
+            (123_456_789, 987_654_321 % side),
+            (side / 2, side / 2),
+            (side / 3, side / 3 * 2),
+        ];
+        for &(x, y) in &coords {
+            let d = c.encode(x, y);
+            assert_eq!(c.decode(d), (x, y));
+        }
+    }
+
+    #[test]
+    fn try_variants_check_bounds() {
+        let c = HilbertCurve::new(3).unwrap();
+        assert!(c.try_encode(7, 7).is_ok());
+        assert_eq!(
+            c.try_encode(8, 0),
+            Err(HilbertError::CoordinateOutOfRange { coord: 8, side: 8 })
+        );
+        assert_eq!(
+            c.try_decode(64),
+            Err(HilbertError::IndexOutOfRange { index: 64, cells: 64 })
+        );
+        assert!(c.try_decode(63).is_ok());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = HilbertError::InvalidOrder(0).to_string();
+        assert!(err.contains("order"));
+        let err = HilbertError::CoordinateOutOfRange { coord: 9, side: 8 }.to_string();
+        assert!(err.contains('9') && err.contains('8'));
+    }
+
+    #[test]
+    fn curves_of_different_order_nest() {
+        // The first cell of each quadrant block at order k+1 lies in the
+        // same quadrant as the corresponding order-k cell (curve self-similarity).
+        let coarse = HilbertCurve::new(3).unwrap();
+        let fine = HilbertCurve::new(4).unwrap();
+        for d in 0..coarse.cell_count() {
+            let (cx, cy) = coarse.decode(d);
+            let (fx, fy) = fine.decode(d * 4);
+            assert_eq!((fx / 2, fy / 2), (cx, cy), "block {d} nests");
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Hilbert space-filling curve for two dimensions.
+//!
+//! This crate is the Hilbert substrate of the `dpsd` workspace
+//! (Cormode et al., *Differentially Private Spatial Decompositions*,
+//! ICDE 2012, Section 3.2). Private Hilbert R-trees map every data point
+//! to its index on a Hilbert curve of a chosen order, build a private
+//! one-dimensional decomposition over those indices, and then map index
+//! *ranges* back to rectangles in the plane.
+//!
+//! Three operations are provided:
+//!
+//! * [`HilbertCurve::encode`] — map a grid cell `(x, y)` to its curve index;
+//! * [`HilbertCurve::decode`] — map a curve index back to its grid cell;
+//! * [`HilbertCurve::range_bbox`] — the exact bounding box of a contiguous
+//!   index range, computed by decomposing the range into maximal aligned
+//!   quadrant blocks (never by enumerating cells).
+//!
+//! The last operation is what lets a private Hilbert R-tree publish node
+//! rectangles without touching the data again: a node's rectangle is a
+//! function of its (already privatized) index range only.
+//!
+//! # Example
+//!
+//! ```
+//! use dpsd_hilbert::HilbertCurve;
+//!
+//! let curve = HilbertCurve::new(4).unwrap(); // a 16 x 16 grid
+//! let d = curve.encode(5, 10);
+//! assert_eq!(curve.decode(d), (5, 10));
+//!
+//! // Bounding box of the first quarter of the curve: exactly one quadrant.
+//! let bbox = curve.range_bbox(0, curve.max_index() / 4);
+//! assert_eq!((bbox.min_x, bbox.min_y, bbox.max_x, bbox.max_y), (0, 0, 7, 7));
+//! ```
+
+mod curve;
+mod range;
+
+pub use curve::{HilbertCurve, HilbertError, MAX_ORDER};
+pub use range::CellBBox;

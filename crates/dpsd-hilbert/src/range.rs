@@ -1,0 +1,234 @@
+//! Bounding boxes of contiguous Hilbert index ranges.
+//!
+//! A private Hilbert R-tree (paper Section 3.3) stores, for every node, a
+//! contiguous range of Hilbert indices. To publish node rectangles without
+//! re-reading the data, we need the bounding box of *all cells* whose index
+//! falls in a range `[lo, hi]`. Enumerating the cells would be exponential
+//! in the curve order; instead the range is decomposed into maximal
+//! *aligned quadrant blocks*. Every aligned block `[a * 4^k, (a+1) * 4^k)`
+//! of a Hilbert curve covers exactly one axis-aligned square of side `2^k`
+//! (self-similarity of the curve), so the bounding box of the range is the
+//! union of `O(order)` squares.
+
+use crate::curve::HilbertCurve;
+
+/// An inclusive, axis-aligned box of grid cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellBBox {
+    /// Smallest covered x cell.
+    pub min_x: u32,
+    /// Smallest covered y cell.
+    pub min_y: u32,
+    /// Largest covered x cell (inclusive).
+    pub max_x: u32,
+    /// Largest covered y cell (inclusive).
+    pub max_y: u32,
+}
+
+impl CellBBox {
+    /// A box covering the single cell `(x, y)`.
+    pub fn cell(x: u32, y: u32) -> Self {
+        CellBBox { min_x: x, min_y: y, max_x: x, max_y: y }
+    }
+
+    /// A box covering the square of side `side` whose lower corner is
+    /// `(x0, y0)`.
+    pub fn square(x0: u32, y0: u32, side: u32) -> Self {
+        debug_assert!(side >= 1);
+        CellBBox {
+            min_x: x0,
+            min_y: y0,
+            max_x: x0 + (side - 1),
+            max_y: y0 + (side - 1),
+        }
+    }
+
+    /// Expands `self` to also cover `other`.
+    pub fn union_with(&mut self, other: &CellBBox) {
+        self.min_x = self.min_x.min(other.min_x);
+        self.min_y = self.min_y.min(other.min_y);
+        self.max_x = self.max_x.max(other.max_x);
+        self.max_y = self.max_y.max(other.max_y);
+    }
+
+    /// Number of cells along x.
+    pub fn width(&self) -> u32 {
+        self.max_x - self.min_x + 1
+    }
+
+    /// Number of cells along y.
+    pub fn height(&self) -> u32 {
+        self.max_y - self.min_y + 1
+    }
+
+    /// Whether the cell `(x, y)` lies inside the box.
+    pub fn contains_cell(&self, x: u32, y: u32) -> bool {
+        x >= self.min_x && x <= self.max_x && y >= self.min_y && y <= self.max_y
+    }
+}
+
+impl HilbertCurve {
+    /// Exact bounding box of all cells with index in `[lo, hi]` (inclusive).
+    ///
+    /// Runs in `O(order^2)` time — the range is decomposed into at most
+    /// `6 * order` maximal aligned quadrant blocks and each block costs one
+    /// `decode`. The result is *data independent*: it depends only on the
+    /// range endpoints, so publishing it alongside privately chosen split
+    /// indices preserves differential privacy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or `hi` exceeds [`HilbertCurve::max_index`].
+    pub fn range_bbox(&self, lo: u64, hi: u64) -> CellBBox {
+        assert!(lo <= hi, "range_bbox: lo {lo} > hi {hi}");
+        assert!(
+            hi <= self.max_index(),
+            "range_bbox: hi {hi} exceeds max index {}",
+            self.max_index()
+        );
+        let mut bbox: Option<CellBBox> = None;
+        let mut cur = lo;
+        // `end` is exclusive; it can equal 4^order which still fits u64
+        // because order <= 31 keeps indices within 62 bits.
+        let end = hi + 1;
+        while cur < end {
+            // Largest k such that the block [cur, cur + 4^k) is aligned and
+            // fits inside [cur, end).
+            let align_k = if cur == 0 {
+                self.order()
+            } else {
+                (cur.trailing_zeros() / 2).min(self.order())
+            };
+            let mut k = align_k;
+            while k > 0 && cur + (1u64 << (2 * k)) > end {
+                k -= 1;
+            }
+            if cur + (1u64 << (2 * k)) > end {
+                k = 0;
+            }
+            let block_side = 1u32 << k;
+            let (x, y) = self.decode(cur);
+            // The block is an aligned square: snap the decoded corner cell
+            // down to the block grid.
+            let x0 = x & !(block_side - 1);
+            let y0 = y & !(block_side - 1);
+            let square = CellBBox::square(x0, y0, block_side);
+            match bbox.as_mut() {
+                Some(b) => b.union_with(&square),
+                None => bbox = Some(square),
+            }
+            cur += 1u64 << (2 * k);
+        }
+        bbox.expect("range is non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force reference: decode every index in the range.
+    fn bbox_brute(curve: &HilbertCurve, lo: u64, hi: u64) -> CellBBox {
+        let (x, y) = curve.decode(lo);
+        let mut b = CellBBox::cell(x, y);
+        for d in lo + 1..=hi {
+            let (x, y) = curve.decode(d);
+            b.union_with(&CellBBox::cell(x, y));
+        }
+        b
+    }
+
+    #[test]
+    fn full_range_covers_grid() {
+        for order in 1..=5 {
+            let c = HilbertCurve::new(order).unwrap();
+            let b = c.range_bbox(0, c.max_index());
+            assert_eq!(b, CellBBox::square(0, 0, c.side()));
+        }
+    }
+
+    #[test]
+    fn single_cell_ranges() {
+        let c = HilbertCurve::new(4).unwrap();
+        for d in [0u64, 1, 7, 100, c.max_index()] {
+            let (x, y) = c.decode(d);
+            assert_eq!(c.range_bbox(d, d), CellBBox::cell(x, y));
+        }
+    }
+
+    #[test]
+    fn quadrant_blocks_are_squares() {
+        let c = HilbertCurve::new(3).unwrap();
+        let quarter = c.cell_count() / 4;
+        for q in 0..4u64 {
+            let b = c.range_bbox(q * quarter, (q + 1) * quarter - 1);
+            assert_eq!(b.width(), 4, "quadrant {q} is a 4x4 square");
+            assert_eq!(b.height(), 4, "quadrant {q} is a 4x4 square");
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_exhaustively_order_3() {
+        let c = HilbertCurve::new(3).unwrap();
+        let n = c.cell_count();
+        for lo in 0..n {
+            for hi in lo..n {
+                assert_eq!(
+                    c.range_bbox(lo, hi),
+                    bbox_brute(&c, lo, hi),
+                    "range [{lo}, {hi}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_sampled_order_6() {
+        let c = HilbertCurve::new(6).unwrap();
+        let n = c.cell_count();
+        // Deterministic pseudo-random ranges (LCG) — no rand dependency here.
+        let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for _ in 0..200 {
+            let a = next() % n;
+            let b = next() % n;
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            assert_eq!(c.range_bbox(lo, hi), bbox_brute(&c, lo, hi));
+        }
+    }
+
+    #[test]
+    fn large_order_does_not_overflow() {
+        let c = HilbertCurve::new(31).unwrap();
+        let b = c.range_bbox(0, c.max_index());
+        assert_eq!(b.width(), c.side());
+        assert_eq!(b.height(), c.side());
+        // A half range still decomposes quickly.
+        let b = c.range_bbox(c.cell_count() / 2, c.max_index());
+        assert!(b.width() <= c.side());
+    }
+
+    #[test]
+    #[should_panic(expected = "lo")]
+    fn inverted_range_panics() {
+        let c = HilbertCurve::new(3).unwrap();
+        let _ = c.range_bbox(5, 4);
+    }
+
+    #[test]
+    fn bbox_accessors() {
+        let b = CellBBox::square(4, 8, 4);
+        assert_eq!(b.width(), 4);
+        assert_eq!(b.height(), 4);
+        assert!(b.contains_cell(4, 8));
+        assert!(b.contains_cell(7, 11));
+        assert!(!b.contains_cell(8, 8));
+        let mut u = CellBBox::cell(0, 0);
+        u.union_with(&b);
+        assert_eq!(u.max_x, 7);
+        assert_eq!(u.max_y, 11);
+    }
+}

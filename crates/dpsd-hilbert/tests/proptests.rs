@@ -1,0 +1,81 @@
+//! Property-based tests for the Hilbert curve substrate.
+
+use dpsd_hilbert::{CellBBox, HilbertCurve};
+use proptest::prelude::*;
+
+proptest! {
+    /// encode ∘ decode is the identity on indices, at every order.
+    #[test]
+    fn decode_then_encode_roundtrip(order in 1u32..=31, raw in 0u64..u64::MAX) {
+        let curve = HilbertCurve::new(order).unwrap();
+        let d = raw % curve.cell_count();
+        let (x, y) = curve.decode(d);
+        prop_assert!(x < curve.side() && y < curve.side());
+        prop_assert_eq!(curve.encode(x, y), d);
+    }
+
+    /// decode ∘ encode is the identity on cells, at every order.
+    #[test]
+    fn encode_then_decode_roundtrip(order in 1u32..=31, rx in 0u32..u32::MAX, ry in 0u32..u32::MAX) {
+        let curve = HilbertCurve::new(order).unwrap();
+        let x = rx % curve.side();
+        let y = ry % curve.side();
+        prop_assert_eq!(curve.decode(curve.encode(x, y)), (x, y));
+    }
+
+    /// Consecutive curve indices decode to 4-adjacent cells (locality).
+    #[test]
+    fn consecutive_indices_adjacent(order in 1u32..=16, raw in 0u64..u64::MAX) {
+        let curve = HilbertCurve::new(order).unwrap();
+        let d = raw % (curve.cell_count() - 1);
+        let (x0, y0) = curve.decode(d);
+        let (x1, y1) = curve.decode(d + 1);
+        prop_assert_eq!(x0.abs_diff(x1) + y0.abs_diff(y1), 1);
+    }
+
+    /// The bbox of a range contains every decoded cell of the range
+    /// endpoints and of a midpoint sample.
+    #[test]
+    fn range_bbox_contains_samples(order in 1u32..=20, a in 0u64..u64::MAX, b in 0u64..u64::MAX) {
+        let curve = HilbertCurve::new(order).unwrap();
+        let a = a % curve.cell_count();
+        let b = b % curve.cell_count();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let bbox = curve.range_bbox(lo, hi);
+        for d in [lo, hi, lo + (hi - lo) / 2] {
+            let (x, y) = curve.decode(d);
+            prop_assert!(bbox.contains_cell(x, y), "index {} at ({}, {}) outside {:?}", d, x, y, bbox);
+        }
+    }
+
+    /// Bbox is monotone: widening the range can only grow the box.
+    #[test]
+    fn range_bbox_monotone(order in 1u32..=12, a in 0u64..u64::MAX, b in 0u64..u64::MAX) {
+        let curve = HilbertCurve::new(order).unwrap();
+        let a = a % curve.cell_count();
+        let b = b % curve.cell_count();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let inner = curve.range_bbox(lo, hi);
+        let lo2 = lo.saturating_sub(1);
+        let hi2 = (hi + 1).min(curve.max_index());
+        let outer = curve.range_bbox(lo2, hi2);
+        prop_assert!(outer.min_x <= inner.min_x && outer.min_y <= inner.min_y);
+        prop_assert!(outer.max_x >= inner.max_x && outer.max_y >= inner.max_y);
+    }
+
+    /// Small-order bbox matches the brute-force union of all decoded cells.
+    #[test]
+    fn range_bbox_matches_brute_force(order in 1u32..=4, a in 0u64..u64::MAX, b in 0u64..u64::MAX) {
+        let curve = HilbertCurve::new(order).unwrap();
+        let a = a % curve.cell_count();
+        let b = b % curve.cell_count();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let (x, y) = curve.decode(lo);
+        let mut brute = CellBBox::cell(x, y);
+        for d in lo..=hi {
+            let (x, y) = curve.decode(d);
+            brute.union_with(&CellBBox::cell(x, y));
+        }
+        prop_assert_eq!(curve.range_bbox(lo, hi), brute);
+    }
+}

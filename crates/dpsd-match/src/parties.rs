@@ -1,0 +1,148 @@
+//! Synthetic two-party datasets for the record-matching experiments.
+//!
+//! The original experiments of [12] used datasets we do not have; this
+//! generator produces the same *structure*: two parties whose records
+//! partially overlap (a planted fraction of `B`'s records are jittered
+//! copies of `A` records — true matches), with the remainder drawn from
+//! each party's own clustered distribution.
+
+use dpsd_core::geometry::{Point, Rect};
+use dpsd_core::rng::seeded;
+use rand::Rng;
+
+/// Generates `(A, B)` datasets over `domain` with `overlap_fraction` of
+/// `B`'s records planted as near-duplicates of `A` records.
+///
+/// # Panics
+///
+/// Panics if the domain is degenerate, sizes are zero, or the fraction
+/// is outside `[0, 1]`.
+pub fn two_party_datasets(
+    domain: &Rect,
+    n_a: usize,
+    n_b: usize,
+    overlap_fraction: f64,
+    seed: u64,
+) -> (Vec<Point>, Vec<Point>) {
+    assert!(domain.area() > 0.0, "degenerate domain");
+    assert!(n_a > 0 && n_b > 0, "parties must hold records");
+    assert!((0.0..=1.0).contains(&overlap_fraction), "invalid overlap fraction");
+    let mut rng = seeded(seed);
+    let diag = (domain.width() * domain.width() + domain.height() * domain.height()).sqrt();
+
+    // Each party's own records cluster around a handful of centres
+    // (customers of two businesses in overlapping cities).
+    let cluster_points = |n: usize, centres: &[Point], radius: f64, rng: &mut rand::rngs::StdRng| {
+        (0..n)
+            .map(|i| {
+                let c = centres[i % centres.len()];
+                let (gx, gy) = gaussian_pair(rng);
+                Point::new(
+                    (c.x + gx * radius).clamp(domain.min_x, domain.max_x),
+                    (c.y + gy * radius).clamp(domain.min_y, domain.max_y),
+                )
+            })
+            .collect::<Vec<Point>>()
+    };
+    let n_centres = 8;
+    let centres: Vec<Point> = (0..n_centres)
+        .map(|_| {
+            Point::new(
+                domain.min_x + rng.gen::<f64>() * domain.width(),
+                domain.min_y + rng.gen::<f64>() * domain.height(),
+            )
+        })
+        .collect();
+    let a = cluster_points(n_a, &centres, diag * 0.04, &mut rng);
+
+    let n_planted = (n_b as f64 * overlap_fraction) as usize;
+    let jitter = diag * 1e-4;
+    let mut b = Vec::with_capacity(n_b);
+    for _ in 0..n_planted {
+        let src = a[rng.gen_range(0..a.len())];
+        let (gx, gy) = gaussian_pair(&mut rng);
+        b.push(Point::new(
+            (src.x + gx * jitter).clamp(domain.min_x, domain.max_x),
+            (src.y + gy * jitter).clamp(domain.min_y, domain.max_y),
+        ));
+    }
+    // B's own (non-matching) records are spread across the whole domain:
+    // the other party has customers everywhere, which is what makes
+    // blocking quality (how tightly A's release localizes its mass)
+    // matter.
+    for _ in 0..n_b - n_planted {
+        b.push(Point::new(
+            domain.min_x + rng.gen::<f64>() * domain.width(),
+            domain.min_y + rng.gen::<f64>() * domain.height(),
+        ));
+    }
+    (a, b)
+}
+
+fn gaussian_pair<R: Rng>(rng: &mut R) -> (f64, f64) {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * std::f64::consts::PI * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_and_domain() {
+        let domain = Rect::new(0.0, 0.0, 50.0, 50.0).unwrap();
+        let (a, b) = two_party_datasets(&domain, 1000, 800, 0.25, 1);
+        assert_eq!(a.len(), 1000);
+        assert_eq!(b.len(), 800);
+        assert!(a.iter().chain(&b).all(|p| domain.contains(*p)));
+    }
+
+    #[test]
+    fn planted_overlap_creates_close_pairs() {
+        let domain = Rect::new(0.0, 0.0, 50.0, 50.0).unwrap();
+        let (a, b) = two_party_datasets(&domain, 500, 500, 0.4, 2);
+        // Count B records with an A record within a tight radius.
+        let close = b
+            .iter()
+            .filter(|bp| {
+                a.iter().any(|ap| {
+                    let dx = ap.x - bp.x;
+                    let dy = ap.y - bp.y;
+                    (dx * dx + dy * dy).sqrt() < 0.05
+                })
+            })
+            .count();
+        assert!(close >= 150, "only {close} planted matches detected");
+    }
+
+    #[test]
+    fn zero_overlap_has_few_matches() {
+        let domain = Rect::new(0.0, 0.0, 50.0, 50.0).unwrap();
+        let (a, b) = two_party_datasets(&domain, 300, 300, 0.0, 3);
+        let close = b
+            .iter()
+            .filter(|bp| {
+                a.iter().any(|ap| {
+                    let dx = ap.x - bp.x;
+                    let dy = ap.y - bp.y;
+                    (dx * dx + dy * dy).sqrt() < 0.01
+                })
+            })
+            .count();
+        assert!(close < 30, "unexpected {close} matches without planting");
+    }
+
+    #[test]
+    fn reproducible() {
+        let domain = Rect::new(0.0, 0.0, 10.0, 10.0).unwrap();
+        let (a1, _) = two_party_datasets(&domain, 100, 100, 0.5, 9);
+        let (a2, _) = two_party_datasets(&domain, 100, 100, 0.5, 9);
+        assert_eq!(a1.len(), a2.len());
+        for (p, q) in a1.iter().zip(&a2) {
+            assert_eq!((p.x, p.y), (q.x, q.y));
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Publish-and-share: the data owner builds a private release, writes it
+//! to a file, and an analyst loads it and answers queries with no access
+//! to the raw data. Also demonstrates the d-dimensional extension (a
+//! private octree over 3-D data).
+//!
+//! Run with: `cargo run --release --example publish_and_share`
+
+use dpsd::core::ndim::{NdTreeConfig, PointN, RectN};
+use dpsd::core::tree::{read_release, write_release};
+use dpsd::prelude::*;
+
+fn main() {
+    // ---- Data owner side -------------------------------------------
+    let points = dpsd::data::synthetic::tiger_substitute(50_000, 3);
+    let tree = PsdConfig::kd_hybrid(TIGER_DOMAIN, 7, 0.5, 3)
+        .with_prune_threshold(32.0)
+        .with_seed(11)
+        .build(&points)
+        .unwrap();
+    let path = std::env::temp_dir().join("locations.dpsd");
+    let mut file = std::fs::File::create(&path).unwrap();
+    write_release(&tree, &mut file).unwrap();
+    let bytes = std::fs::metadata(&path).unwrap().len();
+    println!("owner: published {} ({bytes} bytes, eps = {})", path.display(), tree.epsilon());
+
+    // ---- Analyst side (no access to `points`) ----------------------
+    let file = std::io::BufReader::new(std::fs::File::open(&path).unwrap());
+    let release = read_release(file).unwrap();
+    println!(
+        "analyst: loaded a {} of height {} covering {:?}",
+        release.kind(),
+        release.height(),
+        release.domain()
+    );
+    let region = Rect::new(-118.0, 33.5, -114.0, 37.5).unwrap();
+    let estimate = range_query(&release, &region);
+    let exact = points.iter().filter(|p| region.contains(**p)).count() as f64;
+    println!("analyst: region estimate {estimate:.0} (owner knows exact = {exact})");
+
+    // ---- 3-D extension: a private octree ----------------------------
+    // Location + time-of-day as a third dimension.
+    let cube = RectN::new([0.0, 0.0, 0.0], [100.0, 100.0, 24.0]).unwrap();
+    let events: Vec<PointN<3>> = (0..20_000)
+        .map(|i| {
+            PointN::new([
+                (i % 100) as f64,
+                (i / 100 % 100) as f64,
+                8.0 + (i % 12) as f64, // daytime events
+            ])
+        })
+        .collect();
+    let octree = NdTreeConfig::new(cube, 4, 0.5).with_seed(4).build(&events).unwrap();
+    let evening = RectN::new([0.0, 0.0, 17.0], [100.0, 100.0, 20.0]).unwrap();
+    let est = octree.range_query(&evening);
+    let truth = events.iter().filter(|p| evening.contains(p)).count() as f64;
+    println!("\noctree (fanout {}): evening events ~ {est:.0} (exact {truth})", octree.fanout());
+    std::fs::remove_file(&path).ok();
+}

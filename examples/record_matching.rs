@@ -1,0 +1,48 @@
+//! Private record matching (paper Section 8.3): two parties block
+//! candidate pairs with a differentially private decomposition before
+//! running an expensive secure multiparty computation.
+//!
+//! Run with: `cargo run --release --example record_matching`
+
+use dpsd::baselines::ExactIndex;
+use dpsd::matching::parties::two_party_datasets;
+use dpsd::matching::{build_blocking_tree, run_blocking, BlockingConfig};
+use dpsd::prelude::*;
+
+fn main() {
+    // Two businesses with partially overlapping customers.
+    let (a, b) = two_party_datasets(&TIGER_DOMAIN, 5_000, 5_000, 0.3, 99);
+    let b_index = ExactIndex::build(&b, TIGER_DOMAIN, 256);
+    let blocking = BlockingConfig { matching_distance: 0.1, retain_threshold: 3.0 };
+    println!("party A: {} records, party B: {} records", a.len(), b.len());
+    println!(
+        "naive SMC would compare {:.1}M pairs\n",
+        (a.len() * b.len()) as f64 / 1e6
+    );
+
+    println!(
+        "{:<14} {:>8} {:>16} {:>12} {:>8}",
+        "method", "eps", "SMC pairs (k)", "reduction", "recall"
+    );
+    for eps in [0.1, 0.5] {
+        for (name, config) in [
+            ("quad-baseline", PsdConfig::quadtree(TIGER_DOMAIN, 8, eps)),
+            ("kd-standard", PsdConfig::kd_standard(TIGER_DOMAIN, 6, eps)),
+        ] {
+            let tree = build_blocking_tree(config.with_seed(5), &a).unwrap();
+            let outcome = run_blocking(&tree, &b_index, &a, &b, &blocking);
+            println!(
+                "{:<14} {:>8} {:>16.1} {:>11.1}% {:>7.1}%",
+                name,
+                eps,
+                outcome.smc_pairs / 1e3,
+                outcome.reduction_ratio() * 100.0,
+                outcome.match_recall * 100.0,
+            );
+        }
+    }
+    println!("\nHigher budgets prune empty regions more reliably, and the");
+    println!("kd-tree's private medians concentrate A's mass into fewer,");
+    println!("tighter leaves — the paper's Figure 7(b) effect. Recall shows");
+    println!("how many true matches survive the blocking.");
+}

@@ -1,0 +1,59 @@
+//! # dpsd — Differentially Private Spatial Decompositions
+//!
+//! A from-scratch Rust implementation of Cormode, Procopiuc, Srivastava,
+//! Shen, and Yu, *Differentially Private Spatial Decompositions*
+//! (ICDE 2012): private quadtrees, kd-trees (standard, hybrid,
+//! cell-based, noisy-mean), and Hilbert R-trees, with the paper's
+//! geometric budget allocation, linear-time OLS post-processing, private
+//! median mechanisms, sampling amplification, and pruning — plus the
+//! experiment harness that regenerates every figure of the paper's
+//! evaluation.
+//!
+//! This crate is a facade that re-exports the workspace members:
+//!
+//! * [`core`] ([`dpsd_core`]) — mechanisms, medians, budgets, trees,
+//!   post-processing, queries;
+//! * [`hilbert`] ([`dpsd_hilbert`]) — the Hilbert curve substrate;
+//! * [`data`] ([`dpsd_data`]) — synthetic datasets and query workloads;
+//! * [`baselines`] ([`dpsd_baselines`]) — flat grids and exact counting;
+//! * [`matching`] ([`dpsd_match`]) — private record matching (blocking);
+//! * [`eval`] ([`dpsd_eval`]) — the per-figure experiment runners.
+//!
+//! # Example: a private quadtree over GPS-like data
+//!
+//! ```
+//! use dpsd::prelude::*;
+//!
+//! // Synthetic road-network data over the paper's TIGER bounding box.
+//! let points = dpsd::data::synthetic::tiger_substitute(10_000, 42);
+//!
+//! // An optimized private quadtree: geometric budget + OLS, eps = 0.5.
+//! let tree = PsdConfig::quadtree(TIGER_DOMAIN, 7, 0.5)
+//!     .with_seed(7)
+//!     .build(&points)
+//!     .unwrap();
+//!
+//! // Ask how many individuals are in a 1x1 degree region.
+//! let q = Rect::new(-122.5, 47.0, -121.5, 48.0).unwrap();
+//! let estimate = range_query(&tree, &q);
+//! assert!(estimate.is_finite());
+//! ```
+
+pub use dpsd_baselines as baselines;
+pub use dpsd_core as core;
+pub use dpsd_data as data;
+pub use dpsd_eval as eval;
+pub use dpsd_hilbert as hilbert;
+pub use dpsd_match as matching;
+
+/// The most commonly used items, for glob import.
+pub mod prelude {
+    pub use dpsd_baselines::{ExactIndex, FlatGrid};
+    pub use dpsd_core::budget::{BudgetSplit, CountBudget};
+    pub use dpsd_core::geometry::{Axis, Point, Rect};
+    pub use dpsd_core::median::{MedianConfig, MedianSelector};
+    pub use dpsd_core::query::{range_query, range_query_with};
+    pub use dpsd_core::tree::{CountSource, PsdConfig, PsdTree, TreeKind};
+    pub use dpsd_data::synthetic::TIGER_DOMAIN;
+    pub use dpsd_data::workload::{generate_workload, QueryShape, PAPER_SHAPES};
+}

@@ -1,0 +1,79 @@
+//! Integration tests asserting the paper's qualitative findings hold on
+//! this implementation at reduced scale: who wins, in what direction,
+//! and by roughly what kind of margin. These are the "shape" claims the
+//! reproduction is accountable for (see EXPERIMENTS.md).
+
+use dpsd::eval::common::Scale;
+use dpsd::eval::{fig2, fig3, fig5, fig7a};
+
+fn quick() -> Scale {
+    Scale::quick()
+}
+
+#[test]
+fn figure2_geometric_budget_dominates_uniform() {
+    let t = &fig2::run()[0];
+    for h in 5..=10 {
+        let col = format!("h={h}");
+        let u = t.cell("uniform", &col).unwrap();
+        let g = t.cell("geometric", &col).unwrap();
+        assert!(g < u, "h={h}: geometric {g} not below uniform {u}");
+    }
+    // The gap grows with height (the (h+1)^2 factor).
+    let gap5 = t.cell("uniform", "h=5").unwrap() / t.cell("geometric", "h=5").unwrap();
+    let gap10 = t.cell("uniform", "h=10").unwrap() / t.cell("geometric", "h=10").unwrap();
+    assert!(gap10 > gap5);
+}
+
+#[test]
+fn figure3_both_optimizations_help_and_combine() {
+    let tables = fig3::run(&quick(), 2012);
+    // At the tightest budget (eps = 0.1) the effect is largest.
+    let t = &tables[0];
+    let sum = |m: &str| -> f64 { t.columns.iter().map(|c| t.cell(m, c).unwrap()).sum() };
+    let baseline = sum("quad-baseline");
+    let geo = sum("quad-geo");
+    let post = sum("quad-post");
+    let opt = sum("quad-opt");
+    assert!(geo < baseline, "geometric budget should help: {geo} vs {baseline}");
+    assert!(post < baseline, "post-processing should help: {post} vs {baseline}");
+    assert!(opt < baseline * 0.7, "combined should be a clear win: {opt} vs {baseline}");
+    assert!(opt <= geo.min(post) * 1.2, "combined should be ~best: {opt}");
+}
+
+#[test]
+fn figure5_kd_noisymean_is_the_weakest_private_variant() {
+    let tables = fig5::run(&quick(), 2012);
+    // Sum across shapes and budgets for stability.
+    let mut totals: std::collections::HashMap<&str, f64> = Default::default();
+    for t in &tables {
+        for m in ["kd-standard", "kd-hybrid", "kd-noisymean", "kd-pure"] {
+            let s: f64 = t.columns.iter().map(|c| t.cell(m, c).unwrap()).sum();
+            *totals.entry(m).or_default() += s;
+        }
+    }
+    let nm = totals["kd-noisymean"];
+    let hybrid = totals["kd-hybrid"];
+    let pure = totals["kd-pure"];
+    assert!(
+        nm > hybrid,
+        "kd-noisymean ({nm}) should be worse than kd-hybrid ({hybrid})"
+    );
+    assert!(pure < nm, "non-private kd-pure ({pure}) must beat kd-noisymean ({nm})");
+}
+
+#[test]
+fn figure7a_quadtree_builds_fastest_hilbert_slowest() {
+    let t = &fig7a::run(&quick(), 2012)[0];
+    let quad = t.cell("quadtree", "build_ms").unwrap();
+    let hilbert = t.cell("Hilbert-R", "build_ms").unwrap();
+    let hybrid = t.cell("kd-hybrid", "build_ms").unwrap();
+    assert!(
+        quad < hybrid,
+        "quadtree ({quad} ms) should build faster than kd-hybrid ({hybrid} ms)"
+    );
+    assert!(
+        quad < hilbert,
+        "quadtree ({quad} ms) should build faster than Hilbert-R ({hilbert} ms)"
+    );
+}

@@ -1,0 +1,171 @@
+//! Cross-crate property-based tests: invariants that must hold for
+//! arbitrary data, budgets, and query rectangles.
+
+use dpsd::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a small clustered point set inside the unit-ish domain.
+fn points_strategy() -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec((0.0f64..100.0, 0.0f64..100.0), 1..300)
+        .prop_map(|v| v.into_iter().map(|(x, y)| Point::new(x, y)).collect())
+}
+
+fn domain() -> Rect {
+    Rect::new(0.0, 0.0, 100.0, 100.0).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// OLS consistency: every internal posted count equals the sum of
+    /// its children, for every tree family that post-processes.
+    #[test]
+    fn posted_counts_are_consistent(
+        pts in points_strategy(),
+        seed in 0u64..1000,
+        eps in 0.05f64..2.0,
+    ) {
+        let tree = PsdConfig::quadtree(domain(), 3, eps)
+            .with_seed(seed)
+            .build(&pts)
+            .unwrap();
+        for v in tree.node_ids() {
+            let children: Vec<usize> = tree.children(v).collect();
+            if children.is_empty() { continue; }
+            let sum: f64 = children.iter().map(|&c| tree.posted_count(c).unwrap()).sum();
+            let own = tree.posted_count(v).unwrap();
+            prop_assert!((own - sum).abs() < 1e-6 * (1.0 + own.abs()),
+                "node {}: {} != {}", v, own, sum);
+        }
+    }
+
+    /// Exact counts always partition: parent = sum of children, root =
+    /// |points|, for every family.
+    #[test]
+    fn exact_counts_partition(
+        pts in points_strategy(),
+        seed in 0u64..1000,
+        kind in 0usize..5,
+    ) {
+        let config = match kind {
+            0 => PsdConfig::quadtree(domain(), 3, 0.5),
+            1 => PsdConfig::kd_standard(domain(), 3, 0.5),
+            2 => PsdConfig::kd_hybrid(domain(), 3, 0.5, 1),
+            3 => PsdConfig::kd_noisymean(domain(), 3, 0.5),
+            _ => PsdConfig::hilbert_r(domain(), 3, 0.5).with_hilbert_order(8),
+        };
+        let tree = config.with_seed(seed).build(&pts).unwrap();
+        prop_assert_eq!(tree.true_count(tree.root()), pts.len() as f64);
+        for v in tree.node_ids() {
+            let children: Vec<usize> = tree.children(v).collect();
+            if children.is_empty() { continue; }
+            let sum: f64 = children.iter().map(|&c| tree.true_count(c)).sum();
+            prop_assert_eq!(sum, tree.true_count(v));
+        }
+    }
+
+    /// Query answers from the True source never exceed the total point
+    /// count and are never negative; disjoint queries return 0.
+    #[test]
+    fn true_queries_are_bounded(
+        pts in points_strategy(),
+        seed in 0u64..1000,
+        qx in 0.0f64..90.0,
+        qy in 0.0f64..90.0,
+        qw in 0.1f64..50.0,
+        qh in 0.1f64..50.0,
+    ) {
+        let tree = PsdConfig::kd_standard(domain(), 3, 1.0)
+            .with_seed(seed)
+            .build(&pts)
+            .unwrap();
+        let q = Rect::new(qx, qy, (qx + qw).min(100.0), (qy + qh).min(100.0)).unwrap();
+        let est = range_query_with(&tree, &q, CountSource::True);
+        prop_assert!(est >= -1e-9, "negative exact estimate {}", est);
+        prop_assert!(est <= pts.len() as f64 + 1e-9, "estimate {} exceeds n", est);
+        let far = Rect::new(1000.0, 1000.0, 1001.0, 1001.0).unwrap();
+        prop_assert_eq!(range_query_with(&tree, &far, CountSource::True), 0.0);
+    }
+
+    /// Full-domain queries on the True source count exactly n for
+    /// space-partitioning families.
+    #[test]
+    fn full_domain_query_counts_everything(
+        pts in points_strategy(),
+        seed in 0u64..1000,
+    ) {
+        for config in [
+            PsdConfig::quadtree(domain(), 2, 1.0),
+            PsdConfig::kd_standard(domain(), 2, 1.0),
+        ] {
+            let tree = config.with_seed(seed).build(&pts).unwrap();
+            let est = range_query_with(&tree, &domain(), CountSource::True);
+            prop_assert!((est - pts.len() as f64).abs() < 1e-9);
+        }
+    }
+
+    /// Monotonicity: growing the query rectangle never decreases the
+    /// exact-source answer.
+    #[test]
+    fn query_monotonicity_true_source(
+        pts in points_strategy(),
+        seed in 0u64..1000,
+        qx in 10.0f64..50.0,
+        qy in 10.0f64..50.0,
+    ) {
+        let tree = PsdConfig::quadtree(domain(), 3, 1.0)
+            .with_seed(seed)
+            .build(&pts)
+            .unwrap();
+        let inner = Rect::new(qx, qy, qx + 20.0, qy + 20.0).unwrap();
+        let outer = Rect::new(qx - 5.0, qy - 5.0, qx + 25.0, qy + 25.0).unwrap();
+        let e_in = range_query_with(&tree, &inner, CountSource::True);
+        let e_out = range_query_with(&tree, &outer, CountSource::True);
+        prop_assert!(e_out >= e_in - 1e-9, "outer {} < inner {}", e_out, e_in);
+    }
+
+    /// Private medians stay within their domain for all mechanisms and
+    /// budgets.
+    #[test]
+    fn median_selectors_respect_domain(
+        mut values in prop::collection::vec(0.0f64..1000.0, 1..200),
+        seed in 0u64..1000,
+        eps in 0.001f64..2.0,
+        which in 0usize..4,
+    ) {
+        use dpsd::core::median::{MedianConfig, MedianSelector};
+        use dpsd::core::rng::seeded;
+        values.sort_unstable_by(f64::total_cmp);
+        let config = match which {
+            0 => MedianConfig::Exact,
+            1 => MedianConfig::Exponential,
+            2 => MedianConfig::SmoothSensitivity { delta: 1e-4 },
+            _ => MedianConfig::NoisyMean,
+        };
+        let sel = MedianSelector::plain(config);
+        let mut rng = seeded(seed);
+        let v = sel.select(&mut rng, &values, 0.0, 1000.0, eps);
+        prop_assert!((0.0..=1000.0).contains(&v), "{:?} escaped: {}", config, v);
+    }
+
+    /// Workload generation only produces in-domain, non-zero-answer
+    /// queries of the requested shape.
+    #[test]
+    fn workloads_are_well_formed(
+        pts in points_strategy(),
+        seed in 0u64..1000,
+        w in 1.0f64..40.0,
+        h in 1.0f64..40.0,
+    ) {
+        use dpsd::baselines::ExactIndex;
+        use dpsd::data::workload::generate_workload;
+        let index = ExactIndex::build(&pts, domain(), 64);
+        let wl = generate_workload(&index, QueryShape::new(w, h), 5, seed);
+        for (q, &a) in wl.queries.iter().zip(&wl.exact) {
+            prop_assert!(a > 0.0);
+            prop_assert!(q.inside(&domain()));
+            let exact = pts.iter().filter(|p| q.contains(**p)).count() as f64;
+            prop_assert_eq!(exact, a, "index disagrees with brute force");
+        }
+    }
+}

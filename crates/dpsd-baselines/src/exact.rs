@@ -5,7 +5,10 @@
 //! boundary cells. This is evaluation infrastructure (workload
 //! generation needs thousands of exact counts), not a private release.
 
+use dpsd_core::error::DpsdError;
 use dpsd_core::geometry::{Point, Rect};
+use dpsd_core::query::QueryProfile;
+use dpsd_core::synopsis::SpatialSynopsis;
 
 /// A bucket-grid index for exact rectangle counting.
 #[derive(Debug, Clone)]
@@ -25,13 +28,19 @@ impl ExactIndex {
     ///
     /// Points outside `domain` are ignored (callers validate their data
     /// against the domain separately).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `resolution == 0` or the domain has zero area.
-    pub fn build(points: &[Point], domain: Rect, resolution: usize) -> Self {
-        assert!(resolution > 0, "resolution must be positive");
-        assert!(domain.area() > 0.0, "domain must have positive area");
+    pub fn build(points: &[Point], domain: Rect, resolution: usize) -> Result<Self, DpsdError> {
+        if resolution == 0 {
+            return Err(DpsdError::invalid_parameter(
+                "resolution",
+                "must be positive",
+            ));
+        }
+        if domain.area() <= 0.0 {
+            return Err(DpsdError::invalid_parameter(
+                "domain",
+                "must have positive area",
+            ));
+        }
         let nx = resolution;
         let ny = resolution;
         let mut counts = vec![0u32; nx * ny];
@@ -49,7 +58,14 @@ impl ExactIndex {
             buckets[iy * nx + ix].push(p);
             total += 1;
         }
-        ExactIndex { domain, nx, ny, counts, buckets, total }
+        Ok(ExactIndex {
+            domain,
+            nx,
+            ny,
+            counts,
+            buckets,
+            total,
+        })
     }
 
     /// Number of indexed points.
@@ -68,8 +84,10 @@ impl ExactIndex {
     }
 
     /// Exact number of points inside `query` (closed containment, the
-    /// same convention as [`Rect::contains`]).
-    pub fn count(&self, query: &Rect) -> usize {
+    /// same convention as [`Rect::contains`]). Tallies the profile when
+    /// one is supplied: pre-aggregated cells count as contained, cells
+    /// scanned point-by-point as partial.
+    fn count_profiled(&self, query: &Rect, mut profile: Option<&mut QueryProfile>) -> usize {
         let Some(clip) = self.domain.intersection(query) else {
             return 0;
         };
@@ -91,15 +109,57 @@ impl ExactIndex {
                 let cell = iy * self.nx + ix;
                 if x_inside && y_inside {
                     total += self.counts[cell] as usize;
+                    if let Some(p) = profile.as_deref_mut() {
+                        p.contained_per_level[0] += 1;
+                    }
                 } else {
                     total += self.buckets[cell]
                         .iter()
                         .filter(|p| query.contains(**p))
                         .count();
+                    if let Some(p) = profile.as_deref_mut() {
+                        p.partial_leaves += 1;
+                    }
                 }
             }
         }
         total
+    }
+
+    /// Exact number of points inside `query` (closed containment, the
+    /// same convention as [`Rect::contains`]).
+    pub fn count(&self, query: &Rect) -> usize {
+        self.count_profiled(query, None)
+    }
+}
+
+impl SpatialSynopsis for ExactIndex {
+    fn query(&self, query: &Rect) -> f64 {
+        self.count(query) as f64
+    }
+
+    fn query_profiled(&self, query: &Rect) -> (f64, QueryProfile) {
+        let mut profile = QueryProfile {
+            contained_per_level: vec![0],
+            partial_leaves: 0,
+        };
+        let est = self.count_profiled(query, Some(&mut profile)) as f64;
+        (est, profile)
+    }
+
+    fn domain(&self) -> Rect {
+        self.domain
+    }
+
+    /// The index publishes exact data: no privacy at all, reported as
+    /// infinite budget (see the trait docs).
+    fn epsilon(&self) -> f64 {
+        f64::INFINITY
+    }
+
+    /// Number of aggregated grid cells.
+    fn node_count(&self) -> usize {
+        self.nx * self.ny
     }
 }
 
@@ -118,7 +178,7 @@ mod tests {
     #[test]
     fn matches_brute_force() {
         let (domain, pts) = sample();
-        let index = ExactIndex::build(&pts, domain, 32);
+        let index = ExactIndex::build(&pts, domain, 32).unwrap();
         assert_eq!(index.len(), 10_000);
         let queries = [
             Rect::new(0.0, 0.0, 100.0, 100.0).unwrap(),
@@ -136,16 +196,54 @@ mod tests {
     #[test]
     fn disjoint_query_is_zero() {
         let (domain, pts) = sample();
-        let index = ExactIndex::build(&pts, domain, 16);
+        let index = ExactIndex::build(&pts, domain, 16).unwrap();
         let q = Rect::new(200.0, 200.0, 300.0, 300.0).unwrap();
         assert_eq!(index.count(&q), 0);
+    }
+
+    #[test]
+    fn invalid_parameters_are_typed_errors() {
+        let domain = Rect::new(0.0, 0.0, 10.0, 10.0).unwrap();
+        let line = Rect::new(0.0, 0.0, 10.0, 0.0).unwrap();
+        assert!(matches!(
+            ExactIndex::build(&[], domain, 0),
+            Err(DpsdError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            ExactIndex::build(&[], line, 8),
+            Err(DpsdError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn synopsis_trait_reports_exact_answers() {
+        let (domain, pts) = sample();
+        let index = ExactIndex::build(&pts, domain, 32).unwrap();
+        let q = Rect::new(10.0, 10.0, 30.0, 40.0).unwrap();
+        let brute = pts.iter().filter(|p| q.contains(**p)).count() as f64;
+        assert_eq!(index.query(&q), brute);
+        assert_eq!(
+            SpatialSynopsis::epsilon(&index),
+            f64::INFINITY,
+            "exact data: no privacy"
+        );
+        assert_eq!(SpatialSynopsis::node_count(&index), 32 * 32);
+        assert_eq!(SpatialSynopsis::domain(&index), domain);
+        let (est, profile) = index.query_profiled(&q);
+        assert_eq!(est, brute);
+        assert!(profile.total_contained() > 0);
+        assert!(
+            profile.partial_leaves > 0,
+            "unaligned query scans boundary cells"
+        );
+        assert_eq!(index.query_batch(&[q, domain]), vec![brute, 10_000.0]);
     }
 
     #[test]
     fn points_outside_domain_ignored() {
         let domain = Rect::new(0.0, 0.0, 10.0, 10.0).unwrap();
         let pts = [Point::new(5.0, 5.0), Point::new(50.0, 50.0)];
-        let index = ExactIndex::build(&pts, domain, 4);
+        let index = ExactIndex::build(&pts, domain, 4).unwrap();
         assert_eq!(index.len(), 1);
     }
 
@@ -153,7 +251,7 @@ mod tests {
     fn boundary_points_follow_closed_containment() {
         let domain = Rect::new(0.0, 0.0, 10.0, 10.0).unwrap();
         let pts = [Point::new(5.0, 5.0)];
-        let index = ExactIndex::build(&pts, domain, 8);
+        let index = ExactIndex::build(&pts, domain, 8).unwrap();
         // Query whose edge passes through the point: closed => counted.
         let q = Rect::new(5.0, 5.0, 6.0, 6.0).unwrap();
         assert_eq!(index.count(&q), 1);
@@ -164,7 +262,7 @@ mod tests {
     #[test]
     fn empty_index() {
         let domain = Rect::new(0.0, 0.0, 1.0, 1.0).unwrap();
-        let index = ExactIndex::build(&[], domain, 4);
+        let index = ExactIndex::build(&[], domain, 4).unwrap();
         assert!(index.is_empty());
         assert_eq!(index.count(&domain), 0);
     }

@@ -8,9 +8,12 @@
 //! touched cells, which is exactly why Section 1 dismisses this approach
 //! for large queries.
 
+use dpsd_core::error::DpsdError;
 use dpsd_core::geometry::{Point, Rect};
 use dpsd_core::mech::laplace::laplace_mechanism;
+use dpsd_core::query::QueryProfile;
 use dpsd_core::rng::seeded;
+use dpsd_core::synopsis::SpatialSynopsis;
 
 /// A flat differentially private grid release.
 #[derive(Debug, Clone)]
@@ -24,11 +27,6 @@ pub struct FlatGrid {
 
 impl FlatGrid {
     /// Builds the release: exact cell histogram + `Lap(1/eps)` per cell.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a dimension is zero, the domain is degenerate, or
-    /// `eps <= 0`.
     pub fn build(
         points: &[Point],
         domain: Rect,
@@ -36,10 +34,25 @@ impl FlatGrid {
         ny: usize,
         eps: f64,
         seed: u64,
-    ) -> Self {
-        assert!(nx > 0 && ny > 0, "grid needs at least one cell per axis");
-        assert!(domain.area() > 0.0, "domain must have positive area");
-        assert!(eps > 0.0, "epsilon must be positive, got {eps}");
+    ) -> Result<Self, DpsdError> {
+        if nx == 0 || ny == 0 {
+            return Err(DpsdError::invalid_parameter(
+                "resolution",
+                format!("grid needs at least one cell per axis, got {nx}x{ny}"),
+            ));
+        }
+        if domain.area() <= 0.0 {
+            return Err(DpsdError::invalid_parameter(
+                "domain",
+                "must have positive area",
+            ));
+        }
+        if !(eps > 0.0 && eps.is_finite()) {
+            return Err(DpsdError::invalid_parameter(
+                "epsilon",
+                format!("must be positive and finite, got {eps}"),
+            ));
+        }
         let mut rng = seeded(seed);
         let wx = domain.width() / nx as f64;
         let wy = domain.height() / ny as f64;
@@ -55,12 +68,13 @@ impl FlatGrid {
         for c in noisy.iter_mut() {
             *c = laplace_mechanism(&mut rng, *c, 1.0, eps);
         }
-        FlatGrid { domain, nx, ny, noisy, epsilon: eps }
-    }
-
-    /// The privacy budget the release spent.
-    pub fn epsilon(&self) -> f64 {
-        self.epsilon
+        Ok(FlatGrid {
+            domain,
+            nx,
+            ny,
+            noisy,
+            epsilon: eps,
+        })
     }
 
     /// Grid resolution `(nx, ny)`.
@@ -68,18 +82,37 @@ impl FlatGrid {
         (self.nx, self.ny)
     }
 
-    /// Estimated count inside `query`: noisy cells prorated by overlap
-    /// area (uniformity within cells).
-    pub fn query(&self, query: &Rect) -> f64 {
-        let Some(clip) = self.domain.intersection(query) else {
-            return 0.0;
-        };
+    /// Variance of a query that fully covers `k` cells: `k * 2 / eps^2`.
+    /// Exposed so experiments can display the introduction's argument
+    /// (error grows with the number of touched cells).
+    pub fn covered_cell_variance(&self, cells: usize) -> f64 {
+        cells as f64 * 2.0 / (self.epsilon * self.epsilon)
+    }
+
+    /// The half-open index range of cells the clipped query touches on
+    /// each axis, or `None` when disjoint from the domain.
+    fn touched(&self, query: &Rect) -> Option<(Rect, usize, usize, usize, usize)> {
+        let clip = self.domain.intersection(query)?;
         let wx = self.domain.width() / self.nx as f64;
         let wy = self.domain.height() / self.ny as f64;
         let ix0 = (((clip.min_x - self.domain.min_x) / wx) as usize).min(self.nx - 1);
         let ix1 = (((clip.max_x - self.domain.min_x) / wx) as usize).min(self.nx - 1);
         let iy0 = (((clip.min_y - self.domain.min_y) / wy) as usize).min(self.ny - 1);
         let iy1 = (((clip.max_y - self.domain.min_y) / wy) as usize).min(self.ny - 1);
+        Some((clip, ix0, ix1, iy0, iy1))
+    }
+}
+
+impl FlatGrid {
+    /// Shared prorating loop behind both query entry points: sums noisy
+    /// cells weighted by overlap fraction, tallying the profile when one
+    /// is supplied.
+    fn query_inner(&self, query: &Rect, mut profile: Option<&mut QueryProfile>) -> f64 {
+        let Some((clip, ix0, ix1, iy0, iy1)) = self.touched(query) else {
+            return 0.0;
+        };
+        let wx = self.domain.width() / self.nx as f64;
+        let wy = self.domain.height() / self.ny as f64;
         let mut total = 0.0;
         for iy in iy0..=iy1 {
             let cy = self.domain.min_y + iy as f64 * wy;
@@ -87,17 +120,54 @@ impl FlatGrid {
             for ix in ix0..=ix1 {
                 let cx = self.domain.min_x + ix as f64 * wx;
                 let fx = ((clip.max_x.min(cx + wx) - clip.min_x.max(cx)) / wx).max(0.0);
-                total += self.noisy[iy * self.nx + ix] * fx * fy;
+                let fraction = fx * fy;
+                if fraction <= 0.0 {
+                    continue;
+                }
+                if let Some(p) = profile.as_deref_mut() {
+                    if fraction >= 1.0 {
+                        p.contained_per_level[0] += 1;
+                    } else {
+                        p.partial_leaves += 1;
+                    }
+                }
+                total += self.noisy[iy * self.nx + ix] * fraction;
             }
         }
         total
     }
+}
 
-    /// Variance of a query that fully covers `k` cells: `k * 2 / eps^2`.
-    /// Exposed so experiments can display the introduction's argument
-    /// (error grows with the number of touched cells).
-    pub fn covered_cell_variance(&self, cells: usize) -> f64 {
-        cells as f64 * 2.0 / (self.epsilon * self.epsilon)
+impl SpatialSynopsis for FlatGrid {
+    /// Estimated count inside `query`: noisy cells prorated by overlap
+    /// area (uniformity within cells).
+    fn query(&self, query: &Rect) -> f64 {
+        self.query_inner(query, None)
+    }
+
+    /// The grid is one flat level: fully-covered cells are "contained"
+    /// releases, boundary cells are uniformity-estimated partials.
+    fn query_profiled(&self, query: &Rect) -> (f64, QueryProfile) {
+        let mut profile = QueryProfile {
+            contained_per_level: vec![0],
+            partial_leaves: 0,
+        };
+        let total = self.query_inner(query, Some(&mut profile));
+        (total, profile)
+    }
+
+    fn domain(&self) -> Rect {
+        self.domain
+    }
+
+    /// The privacy budget the release spent.
+    fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Number of released cells.
+    fn node_count(&self) -> usize {
+        self.nx * self.ny
     }
 }
 
@@ -123,7 +193,7 @@ mod tests {
     fn small_queries_are_accurate_at_high_eps() {
         let domain = Rect::new(0.0, 0.0, 64.0, 64.0).unwrap();
         let pts = uniform_points(64, &domain);
-        let grid = FlatGrid::build(&pts, domain, 32, 32, 10.0, 1);
+        let grid = FlatGrid::build(&pts, domain, 32, 32, 10.0, 1).unwrap();
         let q = Rect::new(0.0, 0.0, 16.0, 16.0).unwrap();
         let truth = pts.iter().filter(|p| q.contains(**p)).count() as f64;
         let est = grid.query(&q);
@@ -138,7 +208,7 @@ mod tests {
         let domain = Rect::new(0.0, 0.0, 64.0, 64.0).unwrap();
         let (mut small_err, mut large_err) = (0.0, 0.0);
         for seed in 0..40 {
-            let grid = FlatGrid::build(&[], domain, 64, 64, 0.5, seed);
+            let grid = FlatGrid::build(&[], domain, 64, 64, 0.5, seed).unwrap();
             let small = Rect::new(0.0, 0.0, 4.0, 4.0).unwrap(); // 16 cells
             let large = Rect::new(0.0, 0.0, 56.0, 56.0).unwrap(); // 3136 cells
             small_err += grid.query(&small).abs();
@@ -153,22 +223,63 @@ mod tests {
     #[test]
     fn covered_cell_variance_formula() {
         let domain = Rect::new(0.0, 0.0, 1.0, 1.0).unwrap();
-        let grid = FlatGrid::build(&[], domain, 2, 2, 0.5, 0);
+        let grid = FlatGrid::build(&[], domain, 2, 2, 0.5, 0).unwrap();
         assert_eq!(grid.covered_cell_variance(10), 10.0 * 2.0 / 0.25);
     }
 
     #[test]
     fn disjoint_query_is_zero() {
         let domain = Rect::new(0.0, 0.0, 1.0, 1.0).unwrap();
-        let grid = FlatGrid::build(&[], domain, 4, 4, 1.0, 3);
+        let grid = FlatGrid::build(&[], domain, 4, 4, 1.0, 3).unwrap();
         assert_eq!(grid.query(&Rect::new(5.0, 5.0, 6.0, 6.0).unwrap()), 0.0);
+        let (est, profile) = grid.query_profiled(&Rect::new(5.0, 5.0, 6.0, 6.0).unwrap());
+        assert_eq!(est, 0.0);
+        assert_eq!(profile.total_contained(), 0);
     }
 
     #[test]
     fn reproducible_by_seed() {
         let domain = Rect::new(0.0, 0.0, 8.0, 8.0).unwrap();
-        let a = FlatGrid::build(&[], domain, 8, 8, 1.0, 7);
-        let b = FlatGrid::build(&[], domain, 8, 8, 1.0, 7);
+        let a = FlatGrid::build(&[], domain, 8, 8, 1.0, 7).unwrap();
+        let b = FlatGrid::build(&[], domain, 8, 8, 1.0, 7).unwrap();
         assert_eq!(a.query(&domain), b.query(&domain));
+    }
+
+    #[test]
+    fn invalid_parameters_are_typed_errors() {
+        let domain = Rect::new(0.0, 0.0, 1.0, 1.0).unwrap();
+        let line = Rect::new(0.0, 0.0, 1.0, 0.0).unwrap();
+        for bad in [
+            FlatGrid::build(&[], domain, 0, 4, 1.0, 0),
+            FlatGrid::build(&[], line, 4, 4, 1.0, 0),
+            FlatGrid::build(&[], domain, 4, 4, 0.0, 0),
+            FlatGrid::build(&[], domain, 4, 4, f64::INFINITY, 0),
+        ] {
+            assert!(matches!(bad, Err(DpsdError::InvalidParameter { .. })));
+        }
+    }
+
+    #[test]
+    fn synopsis_accessors_and_profile() {
+        let domain = Rect::new(0.0, 0.0, 8.0, 8.0).unwrap();
+        let grid = FlatGrid::build(&[], domain, 4, 4, 1.0, 9).unwrap();
+        assert_eq!(SpatialSynopsis::domain(&grid), domain);
+        assert_eq!(SpatialSynopsis::epsilon(&grid), 1.0);
+        assert_eq!(SpatialSynopsis::node_count(&grid), 16);
+        // Half the domain: 8 cells fully inside, none partial (cell
+        // boundary at x = 4 is aligned).
+        let (_, profile) = grid.query_profiled(&Rect::new(0.0, 0.0, 4.0, 8.0).unwrap());
+        assert_eq!(profile.contained_per_level[0], 8);
+        assert_eq!(profile.partial_leaves, 0);
+        // Shifted by half a cell: a column of partials appears.
+        let (_, profile) = grid.query_profiled(&Rect::new(0.0, 0.0, 3.0, 8.0).unwrap());
+        assert_eq!(profile.contained_per_level[0], 4);
+        assert_eq!(profile.partial_leaves, 4);
+        // Batch default agrees with singles.
+        let qs = [domain, Rect::new(1.0, 1.0, 3.0, 3.0).unwrap()];
+        assert_eq!(
+            grid.query_batch(&qs),
+            vec![grid.query(&qs[0]), grid.query(&qs[1])]
+        );
     }
 }

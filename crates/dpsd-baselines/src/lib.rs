@@ -6,6 +6,11 @@
 //!   introduction (lay a fine grid over the data, add Laplace noise to
 //!   every cell): the strawman whose poor accuracy on large queries
 //!   motivates hierarchical PSDs.
+//!
+//! Both baselines answer queries through
+//! [`dpsd_core::synopsis::SpatialSynopsis`], the same interface as every
+//! tree backend, so experiments can swap them in directly; builders
+//! report invalid parameters as [`dpsd_core::DpsdError`].
 
 pub mod exact;
 pub mod flat_grid;

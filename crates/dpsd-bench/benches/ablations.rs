@@ -66,7 +66,10 @@ fn bench_hilbert(c: &mut Criterion) {
         let mut i = 0u32;
         b.iter(|| {
             i = i.wrapping_add(2654435761);
-            curve.encode(black_box(i % curve.side()), black_box((i >> 13) % curve.side()))
+            curve.encode(
+                black_box(i % curve.side()),
+                black_box((i >> 13) % curve.side()),
+            )
         })
     });
     group.bench_function("decode_order18", |b| {

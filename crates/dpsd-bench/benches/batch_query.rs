@@ -1,0 +1,57 @@
+//! Batched-query bench: `SpatialSynopsis::query_batch` versus a loop of
+//! single `query` calls on a 1 000-query workload — the acceptance
+//! check for the shared-traversal batch path. The batch answers are
+//! asserted bit-identical to the singles before timing begins.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dpsd_baselines::ExactIndex;
+use dpsd_core::synopsis::SpatialSynopsis;
+use dpsd_core::tree::PsdConfig;
+use dpsd_data::synthetic::{tiger_substitute, TIGER_DOMAIN};
+use dpsd_data::workload::{generate_workload, QueryShape};
+
+fn bench(c: &mut Criterion) {
+    let points = tiger_substitute(100_000, 1);
+    let index = ExactIndex::build(&points, TIGER_DOMAIN, 512).unwrap();
+    let mut queries = Vec::new();
+    for (i, shape) in [
+        QueryShape::new(1.0, 1.0),
+        QueryShape::new(5.0, 5.0),
+        QueryShape::new(10.0, 10.0),
+        QueryShape::new(15.0, 0.2),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        queries.extend(generate_workload(&index, shape, 250, 7 + i as u64).queries);
+    }
+    assert_eq!(queries.len(), 1000);
+
+    for (name, height) in [("h7", 7), ("h9", 9)] {
+        let tree = PsdConfig::quadtree(TIGER_DOMAIN, height, 0.5)
+            .with_seed(2)
+            .build(&points)
+            .unwrap();
+        // Correctness first: identical answers, then compare timings.
+        let batch = tree.query_batch(&queries);
+        for (q, &b) in queries.iter().zip(&batch) {
+            assert_eq!(tree.query(q).to_bits(), b.to_bits());
+        }
+        let mut group = c.benchmark_group(format!("batch_query_1000/{name}"));
+        group.bench_function("single_query_loop", |b| {
+            b.iter(|| {
+                queries
+                    .iter()
+                    .map(|q| tree.query(black_box(q)))
+                    .sum::<f64>()
+            })
+        });
+        group.bench_function("query_batch", |b| {
+            b.iter(|| tree.query_batch(black_box(&queries)).iter().sum::<f64>())
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -34,11 +34,17 @@ fn bench(c: &mut Criterion) {
     group.bench_function("build_quad_opt_h7", |b| {
         b.iter_batched(
             || points.clone(),
-            |pts| PsdConfig::quadtree(TIGER_DOMAIN, 7, 0.5).build(&pts).unwrap(),
+            |pts| {
+                PsdConfig::quadtree(TIGER_DOMAIN, 7, 0.5)
+                    .build(&pts)
+                    .unwrap()
+            },
             BatchSize::LargeInput,
         )
     });
-    let tree = PsdConfig::quadtree(TIGER_DOMAIN, 7, 0.5).build(&points).unwrap();
+    let tree = PsdConfig::quadtree(TIGER_DOMAIN, 7, 0.5)
+        .build(&points)
+        .unwrap();
     let q = Rect::new(-120.0, 40.0, -110.0, 45.0).unwrap();
     group.bench_function("query_10x10_quad_opt_h7", |b| {
         b.iter(|| range_query(black_box(&tree), black_box(&q)))

@@ -17,7 +17,10 @@ fn bench(c: &mut Criterion) {
     let hi = (1u64 << 26) as f64;
     let selectors = [
         ("EM", MedianSelector::plain(MedianConfig::Exponential)),
-        ("SS", MedianSelector::plain(MedianConfig::SmoothSensitivity { delta: 1e-4 })),
+        (
+            "SS",
+            MedianSelector::plain(MedianConfig::SmoothSensitivity { delta: 1e-4 }),
+        ),
         (
             "EMs",
             MedianSelector::sampled(MedianConfig::Exponential, SamplingPlan::paper_default()),

@@ -17,9 +17,18 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     let configs = [
         ("kd_standard", PsdConfig::kd_standard(TIGER_DOMAIN, h, 0.5)),
-        ("kd_hybrid", PsdConfig::kd_hybrid(TIGER_DOMAIN, h, 0.5, h / 2)),
-        ("kd_noisymean", PsdConfig::kd_noisymean(TIGER_DOMAIN, h, 0.5)),
-        ("kd_cell", PsdConfig::kd_cell(TIGER_DOMAIN, h, 0.5, (128, 128))),
+        (
+            "kd_hybrid",
+            PsdConfig::kd_hybrid(TIGER_DOMAIN, h, 0.5, h / 2),
+        ),
+        (
+            "kd_noisymean",
+            PsdConfig::kd_noisymean(TIGER_DOMAIN, h, 0.5),
+        ),
+        (
+            "kd_cell",
+            PsdConfig::kd_cell(TIGER_DOMAIN, h, 0.5, (128, 128)),
+        ),
     ];
     for (name, config) in configs {
         group.bench_function(format!("build_{name}_h{h}"), |b| {

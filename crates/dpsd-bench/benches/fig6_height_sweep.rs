@@ -17,7 +17,9 @@ fn bench(c: &mut Criterion) {
     let q = Rect::new(-120.0, 40.0, -110.0, 45.0).unwrap();
     let mut group = c.benchmark_group("fig6");
     for h in [5usize, 7, 9] {
-        let tree = PsdConfig::quadtree(TIGER_DOMAIN, h, 0.5).build(&points).unwrap();
+        let tree = PsdConfig::quadtree(TIGER_DOMAIN, h, 0.5)
+            .build(&points)
+            .unwrap();
         group.bench_function(format!("query_10x10_h{h}"), |b| {
             b.iter(|| range_query(black_box(&tree), black_box(&q)))
         });

@@ -17,8 +17,14 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     let configs = [
         ("quadtree", PsdConfig::quadtree(TIGER_DOMAIN, h, 0.5)),
-        ("kd_hybrid", PsdConfig::kd_hybrid(TIGER_DOMAIN, h, 0.5, h / 2)),
-        ("kd_cell", PsdConfig::kd_cell(TIGER_DOMAIN, h, 0.5, (128, 128))),
+        (
+            "kd_hybrid",
+            PsdConfig::kd_hybrid(TIGER_DOMAIN, h, 0.5, h / 2),
+        ),
+        (
+            "kd_cell",
+            PsdConfig::kd_cell(TIGER_DOMAIN, h, 0.5, (128, 128)),
+        ),
         ("hilbert_r", PsdConfig::hilbert_r(TIGER_DOMAIN, h, 0.5)),
     ];
     for (name, config) in configs {

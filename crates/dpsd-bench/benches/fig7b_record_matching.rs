@@ -16,15 +16,21 @@ fn bench(c: &mut Criterion) {
         println!("{}", table.render());
     }
     let (a, b) = two_party_datasets(&TIGER_DOMAIN, 1_000, 1_000, 0.3, 5);
-    let b_index = ExactIndex::build(&b, TIGER_DOMAIN, 128);
-    let blocking = BlockingConfig { matching_distance: 0.1, retain_threshold: 3.0 };
+    let b_index = ExactIndex::build(&b, TIGER_DOMAIN, 128).unwrap();
+    let blocking = BlockingConfig {
+        matching_distance: 0.1,
+        retain_threshold: 3.0,
+    };
     let mut group = c.benchmark_group("fig7b");
     group.sample_size(10);
     group.bench_function("blocking_kd_standard_1k_x_1k", |bch| {
         bch.iter_batched(
             || {
-                build_blocking_tree(PsdConfig::kd_standard(TIGER_DOMAIN, 5, 0.5).with_seed(1), &a)
-                    .unwrap()
+                build_blocking_tree(
+                    PsdConfig::kd_standard(TIGER_DOMAIN, 5, 0.5).with_seed(1),
+                    &a,
+                )
+                .unwrap()
             },
             |tree| run_blocking(&tree, &b_index, &a, &b, &blocking),
             BatchSize::LargeInput,

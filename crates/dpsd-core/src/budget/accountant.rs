@@ -74,7 +74,11 @@ mod tests {
     fn every_builtin_strategy_stays_within_budget() {
         let eps = 0.5;
         for h in [1usize, 4, 8, 10] {
-            for strategy in [CountBudget::Uniform, CountBudget::Geometric, CountBudget::LeafOnly] {
+            for strategy in [
+                CountBudget::Uniform,
+                CountBudget::Geometric,
+                CountBudget::LeafOnly,
+            ] {
                 for split in [BudgetSplit::paper_default(), BudgetSplit::all_counts()] {
                     let (ec, em) = split.apply(eps);
                     let count = strategy.levels(h, ec);

@@ -50,7 +50,10 @@ impl CountBudget {
     /// Panics if `eps_count <= 0`, or a custom weight vector has the
     /// wrong length, negative entries, a zero sum, or a zero leaf weight.
     pub fn levels(&self, height: usize, eps_count: f64) -> Vec<f64> {
-        assert!(eps_count > 0.0, "count budget must be positive, got {eps_count}");
+        assert!(
+            eps_count > 0.0,
+            "count budget must be positive, got {eps_count}"
+        );
         let h = height;
         match self {
             CountBudget::Uniform => vec![eps_count / (h as f64 + 1.0); h + 1],
@@ -58,7 +61,9 @@ impl CountBudget {
                 // eps_i = 2^{(h-i)/3} * eps * (2^{1/3} - 1) / (2^{(h+1)/3} - 1)
                 let r = 2f64.powf(1.0 / 3.0);
                 let norm: f64 = (0..=h).map(|i| r.powi((h - i) as i32)).sum();
-                (0..=h).map(|i| eps_count * r.powi((h - i) as i32) / norm).collect()
+                (0..=h)
+                    .map(|i| eps_count * r.powi((h - i) as i32) / norm)
+                    .collect()
             }
             CountBudget::LeafOnly => {
                 let mut v = vec![0.0; h + 1];
@@ -108,12 +113,16 @@ impl BudgetSplit {
 
     /// The paper's 70/30 default.
     pub fn paper_default() -> Self {
-        BudgetSplit { count_fraction: 0.7 }
+        BudgetSplit {
+            count_fraction: 0.7,
+        }
     }
 
     /// Everything to counts (data-independent trees).
     pub fn all_counts() -> Self {
-        BudgetSplit { count_fraction: 1.0 }
+        BudgetSplit {
+            count_fraction: 1.0,
+        }
     }
 
     /// `(eps_count, eps_median)` for a total budget.
@@ -136,7 +145,10 @@ impl BudgetSplit {
 /// Panics if `dd_levels > height`, or if `eps_median > 0` but
 /// `dd_levels == 0`.
 pub fn median_levels(height: usize, dd_levels: usize, eps_median: f64) -> Vec<f64> {
-    assert!(dd_levels <= height, "dd_levels {dd_levels} exceeds height {height}");
+    assert!(
+        dd_levels <= height,
+        "dd_levels {dd_levels} exceeds height {height}"
+    );
     let mut v = vec![0.0; height + 1];
     if eps_median == 0.0 {
         return v;
@@ -177,7 +189,10 @@ mod tests {
         for (i, &e_i) in levels.iter().enumerate() {
             let expected = 2f64.powf((h - i) as f64 / 3.0) * eps * (r - 1.0)
                 / (2f64.powf((h + 1) as f64 / 3.0) - 1.0);
-            assert!((e_i - expected).abs() < 1e-12, "level {i}: {e_i} vs {expected}");
+            assert!(
+                (e_i - expected).abs() < 1e-12,
+                "level {i}: {e_i} vs {expected}"
+            );
         }
         // Increasing from root (index h) to leaves (index 0).
         assert!(levels.windows(2).all(|w| w[0] > w[1]));

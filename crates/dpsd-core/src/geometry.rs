@@ -59,13 +59,23 @@ impl Axis {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum GeometryError {
     /// min > max on some axis, or a coordinate was not finite.
-    InvalidRect { min_x: f64, min_y: f64, max_x: f64, max_y: f64 },
+    InvalidRect {
+        min_x: f64,
+        min_y: f64,
+        max_x: f64,
+        max_y: f64,
+    },
 }
 
 impl fmt::Display for GeometryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
-            GeometryError::InvalidRect { min_x, min_y, max_x, max_y } => write!(
+            GeometryError::InvalidRect {
+                min_x,
+                min_y,
+                max_x,
+                max_y,
+            } => write!(
                 f,
                 "invalid rectangle [{min_x}, {max_x}] x [{min_y}, {max_y}]"
             ),
@@ -100,9 +110,19 @@ impl Rect {
             && min_x <= max_x
             && min_y <= max_y;
         if !ok {
-            return Err(GeometryError::InvalidRect { min_x, min_y, max_x, max_y });
+            return Err(GeometryError::InvalidRect {
+                min_x,
+                min_y,
+                max_x,
+                max_y,
+            });
         }
-        Ok(Rect { min_x, min_y, max_x, max_y })
+        Ok(Rect {
+            min_x,
+            min_y,
+            max_x,
+            max_y,
+        })
     }
 
     /// Width of the rectangle.
@@ -204,17 +224,11 @@ impl Rect {
         match axis {
             Axis::X => {
                 let v = value.clamp(self.min_x, self.max_x);
-                (
-                    Rect { max_x: v, ..*self },
-                    Rect { min_x: v, ..*self },
-                )
+                (Rect { max_x: v, ..*self }, Rect { min_x: v, ..*self })
             }
             Axis::Y => {
                 let v = value.clamp(self.min_y, self.max_y);
-                (
-                    Rect { max_y: v, ..*self },
-                    Rect { min_y: v, ..*self },
-                )
+                (Rect { max_y: v, ..*self }, Rect { min_y: v, ..*self })
             }
         }
     }
@@ -224,10 +238,30 @@ impl Rect {
         let mx = self.min_x + self.width() / 2.0;
         let my = self.min_y + self.height() / 2.0;
         [
-            Rect { min_x: self.min_x, min_y: self.min_y, max_x: mx, max_y: my },
-            Rect { min_x: mx, min_y: self.min_y, max_x: self.max_x, max_y: my },
-            Rect { min_x: self.min_x, min_y: my, max_x: mx, max_y: self.max_y },
-            Rect { min_x: mx, min_y: my, max_x: self.max_x, max_y: self.max_y },
+            Rect {
+                min_x: self.min_x,
+                min_y: self.min_y,
+                max_x: mx,
+                max_y: my,
+            },
+            Rect {
+                min_x: mx,
+                min_y: self.min_y,
+                max_x: self.max_x,
+                max_y: my,
+            },
+            Rect {
+                min_x: self.min_x,
+                min_y: my,
+                max_x: mx,
+                max_y: self.max_y,
+            },
+            Rect {
+                min_x: mx,
+                min_y: my,
+                max_x: self.max_x,
+                max_y: self.max_y,
+            },
         ]
     }
 
@@ -245,7 +279,12 @@ impl Rect {
     /// empty slice.
     pub fn bounding(points: &[Point]) -> Option<Rect> {
         let first = points.first()?;
-        let mut r = Rect { min_x: first.x, min_y: first.y, max_x: first.x, max_y: first.y };
+        let mut r = Rect {
+            min_x: first.x,
+            min_y: first.y,
+            max_x: first.x,
+            max_y: first.y,
+        };
         for p in &points[1..] {
             r.min_x = r.min_x.min(p.x);
             r.min_y = r.min_y.min(p.y);
@@ -270,14 +309,20 @@ mod tests {
         assert!(Rect::new(0.0, 0.0, 0.0, 0.0).is_ok(), "degenerate allowed");
         assert!(Rect::new(1.0, 0.0, 0.0, 1.0).is_err(), "min_x > max_x");
         assert!(Rect::new(0.0, f64::NAN, 1.0, 1.0).is_err(), "NaN rejected");
-        assert!(Rect::new(0.0, 0.0, f64::INFINITY, 1.0).is_err(), "inf rejected");
+        assert!(
+            Rect::new(0.0, 0.0, f64::INFINITY, 1.0).is_err(),
+            "inf rejected"
+        );
     }
 
     #[test]
     fn containment_and_area() {
         let rect = r(0.0, 0.0, 2.0, 4.0);
         assert_eq!(rect.area(), 8.0);
-        assert!(rect.contains(Point::new(0.0, 0.0)), "corner inside (closed)");
+        assert!(
+            rect.contains(Point::new(0.0, 0.0)),
+            "corner inside (closed)"
+        );
         assert!(rect.contains(Point::new(2.0, 4.0)));
         assert!(!rect.contains(Point::new(2.1, 0.0)));
     }
@@ -287,7 +332,10 @@ mod tests {
         let domain = r(0.0, 0.0, 4.0, 4.0);
         let (left, right) = domain.split_at(Axis::X, 2.0);
         let p = Point::new(2.0, 1.0);
-        assert!(!left.contains_for_partition(p, &domain), "boundary goes right");
+        assert!(
+            !left.contains_for_partition(p, &domain),
+            "boundary goes right"
+        );
         assert!(right.contains_for_partition(p, &domain));
         // Domain's upper edge is closed so the extreme point is kept.
         let top = Point::new(4.0, 4.0);
@@ -349,7 +397,11 @@ mod tests {
     #[test]
     fn bounding_box() {
         assert!(Rect::bounding(&[]).is_none());
-        let pts = [Point::new(1.0, 5.0), Point::new(-2.0, 3.0), Point::new(0.0, 7.0)];
+        let pts = [
+            Point::new(1.0, 5.0),
+            Point::new(-2.0, 3.0),
+            Point::new(0.0, 7.0),
+        ];
         let b = Rect::bounding(&pts).unwrap();
         assert_eq!(b, r(-2.0, 3.0, 1.0, 7.0));
     }

@@ -14,23 +14,28 @@
 //!
 //! | module | paper section | contents |
 //! |---|---|---|
+//! | [`synopsis`] | — | the backend-agnostic [`SpatialSynopsis`] trait |
+//! | [`error`] | — | the workspace-wide [`DpsdError`] type |
 //! | [`mech`] | 3.1, 7 | Laplace / geometric / exponential mechanisms, sampling amplification |
 //! | [`median`] | 6.1 | private medians: exponential, smooth sensitivity, noisy mean, cell-based |
 //! | [`budget`] | 4.2, 6.2 | per-level budget strategies and path-composition auditing |
-//! | [`tree`] | 3.3, 6, 7 | PSD construction: quadtree, kd-trees, Hilbert R-tree, pruning |
+//! | [`tree`] | 3.3, 6, 7 | PSD construction, pruning, and the publishable [`ReleasedSynopsis`] |
 //! | [`postprocess`] | 5 | three-phase OLS estimator and a dense reference solver |
-//! | [`query`] | 4.1 | canonical range queries over noisy or post-processed counts |
+//! | [`query`] | 4.1 | canonical range queries, single and batched |
 //! | [`analysis`] | 4.2 | closed-form worst-case error bounds (Figure 2, Lemmas 2-3) |
 //! | [`geometry`] | — | points and axis-aligned rectangles |
 //! | [`metrics`] | 8.1 | relative-error and rank-error measures |
 //!
-//! # Quick start
+//! # Quick start: build, query, publish
+//!
+//! Every backend — trees built here, the flat-grid and exact baselines
+//! in `dpsd-baselines`, and loaded [`ReleasedSynopsis`] artifacts —
+//! answers range-count queries through one trait, [`SpatialSynopsis`]:
 //!
 //! ```
 //! use dpsd_core::geometry::{Point, Rect};
-//! use dpsd_core::tree::PsdConfig;
-//! use dpsd_core::budget::CountBudget;
-//! use dpsd_core::query::range_query;
+//! use dpsd_core::synopsis::SpatialSynopsis;
+//! use dpsd_core::tree::{PsdConfig, ReleasedSynopsis};
 //!
 //! // A small, clustered dataset.
 //! let pts: Vec<Point> = (0..1000)
@@ -38,20 +43,30 @@
 //!     .collect();
 //! let domain = Rect::new(0.0, 0.0, 40.0, 25.0).unwrap();
 //!
-//! // Optimized private quadtree: geometric budget + OLS post-processing.
-//! let config = PsdConfig::quadtree(domain, 5, 0.5)
-//!     .with_count_budget(CountBudget::Geometric)
-//!     .with_seed(7);
-//! let tree = config.build(&pts).unwrap();
+//! // Optimized private quadtree (geometric budget + OLS are defaults).
+//! let tree = PsdConfig::quadtree(domain, 5, 0.5).with_seed(7).build(&pts).unwrap();
 //!
+//! // Single and batched queries through the trait.
 //! let q = Rect::new(0.0, 0.0, 20.0, 12.5).unwrap();
-//! let estimate = range_query(&tree, &q);
+//! let estimate = tree.query(&q);
 //! let exact = pts.iter().filter(|p| q.contains(**p)).count() as f64;
 //! assert!((estimate - exact).abs() < exact); // noisy but in the ballpark
+//! let answers = tree.query_batch(&[q, domain]);
+//! assert_eq!(answers[0], estimate);
+//!
+//! // Publish: a raw-data-free JSON artifact that answers identically.
+//! let json = tree.release().to_json();
+//! let server_side = ReleasedSynopsis::from_json(&json).unwrap();
+//! assert_eq!(server_side.query(&q), estimate);
 //! ```
+//!
+//! Fallible operations across the workspace report the unified
+//! [`DpsdError`]; detailed kinds ([`tree::BuildError`],
+//! [`ndim::NdBuildError`], [`tree::ReleaseError`]) ride inside it.
 
 pub mod analysis;
 pub mod budget;
+pub mod error;
 pub mod geometry;
 pub mod linalg;
 pub mod mech;
@@ -61,7 +76,10 @@ pub mod ndim;
 pub mod postprocess;
 pub mod query;
 pub mod rng;
+pub mod synopsis;
 pub mod tree;
 
+pub use error::DpsdError;
 pub use geometry::{Point, Rect};
-pub use tree::{PsdConfig, PsdTree, TreeKind};
+pub use synopsis::SpatialSynopsis;
+pub use tree::{PsdConfig, PsdTree, ReleasedSynopsis, TreeKind};

@@ -104,7 +104,9 @@ mod tests {
         let mut a = vec![vec![0.0; n]; n];
         let mut state: u64 = 42;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64) - 0.5
         };
         for row in a.iter_mut() {

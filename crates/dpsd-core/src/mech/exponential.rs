@@ -98,14 +98,21 @@ mod tests {
     use crate::rng::seeded;
 
     fn iv(lo: f64, hi: f64, w: f64) -> WeightedInterval {
-        WeightedInterval { lo, hi, log_weight: w }
+        WeightedInterval {
+            lo,
+            hi,
+            log_weight: w,
+        }
     }
 
     #[test]
     fn empty_and_degenerate_inputs() {
         let mut rng = seeded(1);
         assert_eq!(sample_weighted_interval(&mut rng, &[]), None);
-        assert_eq!(sample_weighted_interval(&mut rng, &[iv(1.0, 1.0, 0.0)]), None);
+        assert_eq!(
+            sample_weighted_interval(&mut rng, &[iv(1.0, 1.0, 0.0)]),
+            None
+        );
     }
 
     #[test]
@@ -134,7 +141,10 @@ mod tests {
             .count() as f64
             / n as f64;
         let expected = (2.0f64).exp() / (1.0 + (2.0f64).exp());
-        assert!((hits_second - expected).abs() < 0.01, "{hits_second} vs {expected}");
+        assert!(
+            (hits_second - expected).abs() < 0.01,
+            "{hits_second} vs {expected}"
+        );
     }
 
     #[test]

@@ -19,7 +19,10 @@ use rand::Rng;
 ///
 /// Panics if `eps` is not finite and strictly positive.
 pub fn sample_two_sided_geometric<R: Rng + ?Sized>(rng: &mut R, eps: f64) -> i64 {
-    assert!(eps.is_finite() && eps > 0.0, "epsilon must be positive, got {eps}");
+    assert!(
+        eps.is_finite() && eps > 0.0,
+        "epsilon must be positive, got {eps}"
+    );
     let alpha = (-eps).exp();
     // CDF inversion over the symmetric support. Draw u in [0,1), fold into
     // magnitude: P(|K| = 0) = (1-alpha)/(1+alpha), P(|K| = k) = 2 alpha^k (1-alpha)/(1+alpha).
@@ -62,12 +65,21 @@ mod tests {
         let mut rng = seeded(21);
         let eps = 0.7;
         let n = 300_000;
-        let samples: Vec<i64> = (0..n).map(|_| sample_two_sided_geometric(&mut rng, eps)).collect();
+        let samples: Vec<i64> = (0..n)
+            .map(|_| sample_two_sided_geometric(&mut rng, eps))
+            .collect();
         let mean = samples.iter().map(|&k| k as f64).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.02, "mean {mean}");
-        let var = samples.iter().map(|&k| (k as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+        let var = samples
+            .iter()
+            .map(|&k| (k as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
         let expected = geometric_variance(eps);
-        assert!((var - expected).abs() / expected < 0.05, "var {var} vs {expected}");
+        assert!(
+            (var - expected).abs() / expected < 0.05,
+            "var {var} vs {expected}"
+        );
     }
 
     #[test]
@@ -75,7 +87,9 @@ mod tests {
         let mut rng = seeded(3);
         let eps = 1.0;
         let n = 200_000;
-        let zeros = (0..n).filter(|_| sample_two_sided_geometric(&mut rng, eps) == 0).count();
+        let zeros = (0..n)
+            .filter(|_| sample_two_sided_geometric(&mut rng, eps) == 0)
+            .count();
         let p0 = (1.0 - (-eps).exp()) / (1.0 + (-eps).exp());
         let frac = zeros as f64 / n as f64;
         assert!((frac - p0).abs() < 0.01, "P(0) {frac} vs {p0}");

@@ -17,7 +17,10 @@ use rand::Rng;
 /// Panics if `scale` is not finite and strictly positive.
 #[inline]
 pub fn sample_laplace<R: Rng + ?Sized>(rng: &mut R, scale: f64) -> f64 {
-    assert!(scale.is_finite() && scale > 0.0, "laplace scale must be positive, got {scale}");
+    assert!(
+        scale.is_finite() && scale > 0.0,
+        "laplace scale must be positive, got {scale}"
+    );
     // u in (-0.5, 0.5]; reflect to avoid ln(0).
     let u: f64 = rng.gen::<f64>() - 0.5;
     let abs = (1.0 - 2.0 * u.abs()).max(f64::MIN_POSITIVE);
@@ -38,7 +41,10 @@ pub fn laplace_mechanism<R: Rng + ?Sized>(
     eps: f64,
 ) -> f64 {
     assert!(eps > 0.0, "epsilon must be positive, got {eps}");
-    assert!(sensitivity > 0.0, "sensitivity must be positive, got {sensitivity}");
+    assert!(
+        sensitivity > 0.0,
+        "sensitivity must be positive, got {sensitivity}"
+    );
     value + sample_laplace(rng, sensitivity / eps)
 }
 
@@ -75,7 +81,9 @@ mod tests {
     fn sample_median_is_near_zero_and_symmetric() {
         let mut rng = seeded(5);
         let n = 100_000;
-        let pos = (0..n).filter(|_| sample_laplace(&mut rng, 3.0) > 0.0).count();
+        let pos = (0..n)
+            .filter(|_| sample_laplace(&mut rng, 3.0) > 0.0)
+            .count();
         let frac = pos as f64 / n as f64;
         assert!((frac - 0.5).abs() < 0.01, "positive fraction {frac}");
     }
@@ -92,7 +100,10 @@ mod tests {
             .count() as f64
             / n as f64;
         let expected = (-t / b).exp();
-        assert!((exceed - expected).abs() < 0.01, "tail {exceed} vs {expected}");
+        assert!(
+            (exceed - expected).abs() < 0.01,
+            "tail {exceed} vs {expected}"
+        );
     }
 
     #[test]

@@ -18,4 +18,6 @@ pub mod sampling;
 pub use exponential::{sample_weighted_interval, WeightedInterval};
 pub use geometric::{geometric_mechanism, sample_two_sided_geometric};
 pub use laplace::{laplace_mechanism, laplace_variance, sample_laplace};
-pub use sampling::{amplified_epsilon, bernoulli_sample, mechanism_epsilon_for_target, SamplingPlan};
+pub use sampling::{
+    amplified_epsilon, bernoulli_sample, mechanism_epsilon_for_target, SamplingPlan,
+};

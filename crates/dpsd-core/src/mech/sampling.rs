@@ -24,7 +24,10 @@ use rand::Rng;
 ///
 /// Panics if `p` is outside `(0, 1)` or `eps <= 0`.
 pub fn amplified_epsilon(p: f64, eps: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "sampling rate must be in (0,1), got {p}");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "sampling rate must be in (0,1), got {p}"
+    );
     assert!(eps > 0.0, "epsilon must be positive, got {eps}");
     2.0 * p * eps.exp()
 }
@@ -39,14 +42,23 @@ pub fn amplified_epsilon(p: f64, eps: f64) -> f64 {
 /// below `2 p`), so like the paper's experiments we use the linearized
 /// rule and report the spend as `target`.
 pub fn mechanism_epsilon_for_target(p: f64, target: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "sampling rate must be in (0,1), got {p}");
-    assert!(target > 0.0, "target epsilon must be positive, got {target}");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "sampling rate must be in (0,1), got {p}"
+    );
+    assert!(
+        target > 0.0,
+        "target epsilon must be positive, got {target}"
+    );
     target / (2.0 * p)
 }
 
 /// Draws a Bernoulli(`p`) sample of `data` (each element independently).
 pub fn bernoulli_sample<T: Copy, R: Rng + ?Sized>(rng: &mut R, data: &[T], p: f64) -> Vec<T> {
-    assert!(p > 0.0 && p <= 1.0, "sampling rate must be in (0,1], got {p}");
+    assert!(
+        p > 0.0 && p <= 1.0,
+        "sampling rate must be in (0,1], got {p}"
+    );
     if p >= 1.0 {
         return data.to_vec();
     }
@@ -69,7 +81,10 @@ pub struct SamplingPlan {
 impl SamplingPlan {
     /// Creates a plan, validating `0 < rate < 1`.
     pub fn new(rate: f64) -> Self {
-        assert!(rate > 0.0 && rate < 1.0, "sampling rate must be in (0,1), got {rate}");
+        assert!(
+            rate > 0.0 && rate < 1.0,
+            "sampling rate must be in (0,1), got {rate}"
+        );
         SamplingPlan { rate }
     }
 

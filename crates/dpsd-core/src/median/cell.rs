@@ -148,7 +148,12 @@ impl CellGrid2D {
         for c in counts.iter_mut() {
             *c = laplace_mechanism(rng, *c, 1.0, eps);
         }
-        CellGrid2D { rect, nx, ny, counts }
+        CellGrid2D {
+            rect,
+            nx,
+            ny,
+            counts,
+        }
     }
 
     /// Grid resolution `(nx, ny)`.
@@ -317,13 +322,17 @@ mod tests {
         let uniform: Vec<Point> = (0..16_384)
             .map(|i| Point::new((i % 128) as f64 / 2.0, ((i / 128) % 128) as f64 / 2.0))
             .collect();
-        let clustered: Vec<Point> =
-            (0..16_384).map(|i| Point::new(1.0 + (i % 7) as f64 * 0.1, 1.0 + (i % 5) as f64 * 0.1)).collect();
+        let clustered: Vec<Point> = (0..16_384)
+            .map(|i| Point::new(1.0 + (i % 7) as f64 * 0.1, 1.0 + (i % 5) as f64 * 0.1))
+            .collect();
         let g_u = CellGrid2D::build(&mut rng, &uniform, rect, 16, 16, 5.0);
         let g_c = CellGrid2D::build(&mut rng, &clustered, rect, 16, 16, 5.0);
         let s_u = g_u.uniformity_score(&rect);
         let s_c = g_c.uniformity_score(&rect);
-        assert!(s_u < s_c, "uniform {s_u} should score below clustered {s_c}");
+        assert!(
+            s_u < s_c,
+            "uniform {s_u} should score below clustered {s_c}"
+        );
         assert!(s_u < 0.5, "uniform data scores low, got {s_u}");
         assert!(s_c > 1.0, "point mass scores high, got {s_c}");
     }
@@ -332,7 +341,9 @@ mod tests {
     fn grid2d_median_respects_subregion() {
         let mut rng = seeded(46);
         let rect = Rect::new(0.0, 0.0, 100.0, 100.0).unwrap();
-        let points: Vec<Point> = (0..10_000).map(|i| Point::new((i % 100) as f64, 50.0)).collect();
+        let points: Vec<Point> = (0..10_000)
+            .map(|i| Point::new((i % 100) as f64, 50.0))
+            .collect();
         let grid = CellGrid2D::build(&mut rng, &points, rect, 50, 50, 2.0);
         let sub = Rect::new(0.0, 0.0, 40.0, 100.0).unwrap();
         let med = grid.median_along(Axis::X, &sub);

@@ -46,7 +46,10 @@ pub fn exponential_median<R: Rng + ?Sized>(
 ) -> f64 {
     let n = sorted.len();
     assert!(n > 0, "exponential_median: empty input");
-    assert!(eps > 0.0, "exponential_median: eps must be positive, got {eps}");
+    assert!(
+        eps > 0.0,
+        "exponential_median: eps must be positive, got {eps}"
+    );
     assert!(lo <= hi, "exponential_median: invalid domain [{lo}, {hi}]");
     if lo == hi {
         return lo;
@@ -107,7 +110,10 @@ mod tests {
             errs.push(rank_error_pct(&sorted, v));
         }
         let avg = errs.iter().sum::<f64>() / errs.len() as f64;
-        assert!(avg < 1.0, "avg rank error {avg}% too large for eps=1 on n=10k");
+        assert!(
+            avg < 1.0,
+            "avg rank error {avg}% too large for eps=1 on n=10k"
+        );
     }
 
     #[test]
@@ -116,13 +122,18 @@ mod tests {
         let sorted: Vec<f64> = (0..2_001).map(|i| i as f64).collect();
         let spread = |eps: f64, rng: &mut rand::rngs::StdRng| {
             let errs: Vec<f64> = (0..300)
-                .map(|_| rank_error_pct(&sorted, exponential_median(rng, &sorted, 0.0, 2_000.0, eps)))
+                .map(|_| {
+                    rank_error_pct(&sorted, exponential_median(rng, &sorted, 0.0, 2_000.0, eps))
+                })
                 .collect();
             errs.iter().sum::<f64>() / errs.len() as f64
         };
         let tight = spread(2.0, &mut rng);
         let loose = spread(0.005, &mut rng);
-        assert!(tight < loose, "eps=2 err {tight}% should beat eps=0.005 err {loose}%");
+        assert!(
+            tight < loose,
+            "eps=2 err {tight}% should beat eps=0.005 err {loose}%"
+        );
     }
 
     #[test]

@@ -73,12 +73,18 @@ pub struct MedianSelector {
 impl MedianSelector {
     /// Selector with no sampling.
     pub fn plain(config: MedianConfig) -> Self {
-        MedianSelector { config, sampling: None }
+        MedianSelector {
+            config,
+            sampling: None,
+        }
     }
 
     /// Selector running on a Bernoulli sample (methods `EMs`, `SSs`).
     pub fn sampled(config: MedianConfig, plan: SamplingPlan) -> Self {
-        MedianSelector { config, sampling: Some(plan) }
+        MedianSelector {
+            config,
+            sampling: Some(plan),
+        }
     }
 
     /// Selects a private split value for `values` (need not be sorted)
@@ -101,7 +107,12 @@ impl MedianSelector {
         }
         // Sampling (Theorem 7): run on a sample with boosted budget.
         let (owned, run_eps): (Vec<f64>, f64) = match self.sampling {
-            Some(plan) if matches!(self.config, MedianConfig::Exponential | MedianConfig::SmoothSensitivity { .. }) => {
+            Some(plan)
+                if matches!(
+                    self.config,
+                    MedianConfig::Exponential | MedianConfig::SmoothSensitivity { .. }
+                ) =>
+            {
                 let sample = bernoulli_sample(rng, values, plan.rate);
                 (sample, plan.mechanism_epsilon(eps))
             }

@@ -25,7 +25,10 @@ pub fn noisy_mean_split<R: Rng + ?Sized>(
     eps: f64,
 ) -> f64 {
     assert!(!values.is_empty(), "noisy_mean_split: empty input");
-    assert!(eps > 0.0, "noisy_mean_split: eps must be positive, got {eps}");
+    assert!(
+        eps > 0.0,
+        "noisy_mean_split: eps must be positive, got {eps}"
+    );
     assert!(lo <= hi, "noisy_mean_split: invalid domain [{lo}, {hi}]");
     let span = hi - lo;
     if span <= 0.0 {
@@ -59,7 +62,10 @@ mod tests {
             .map(|_| noisy_mean_split(&mut rng, &values, 0.0, 100.0, 0.5))
             .sum::<f64>()
             / 100.0;
-        assert!((avg - true_mean).abs() < 1.0, "avg {avg} vs mean {true_mean}");
+        assert!(
+            (avg - true_mean).abs() < 1.0,
+            "avg {avg} vs mean {true_mean}"
+        );
     }
 
     #[test]

@@ -39,7 +39,10 @@ const EXACT_LIMIT: usize = 4096;
 /// Panics unless `0 < eps` and `0 < delta < 1`.
 pub fn smoothing_xi(eps: f64, delta: f64) -> f64 {
     assert!(eps > 0.0, "eps must be positive, got {eps}");
-    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1), got {delta}");
+    assert!(
+        delta > 0.0 && delta < 1.0,
+        "delta must be in (0,1), got {delta}"
+    );
     eps / (4.0 * (1.0 + (2.0 / delta).ln()))
 }
 
@@ -147,7 +150,10 @@ mod tests {
         let xi = 0.1;
         let sigma = smooth_sensitivity_sigma(&sorted, 0.0, 1000.0, xi);
         // Must be far below the global sensitivity (domain size)...
-        assert!(sigma < 150.0, "sigma {sigma} too close to global sensitivity");
+        assert!(
+            sigma < 150.0,
+            "sigma {sigma} too close to global sensitivity"
+        );
         // ...but at least the single-step gap.
         assert!(sigma >= 1.0, "sigma {sigma} below the local gap");
     }
@@ -178,12 +184,16 @@ mod tests {
             let ki = k as isize;
             let mut a = 0.0f64;
             for t in 0..=(ki + 1) {
-                let d = value_at(&sorted, m + t, 0.0, hi) - value_at(&sorted, m + t - ki - 1, 0.0, hi);
+                let d =
+                    value_at(&sorted, m + t, 0.0, hi) - value_at(&sorted, m + t - ki - 1, 0.0, hi);
                 a = a.max(d);
             }
             exact = exact.max((-(k as f64) * xi).exp() * a);
         }
-        assert!(fast >= exact - 1e-9, "upper bound {fast} must dominate exact {exact}");
+        assert!(
+            fast >= exact - 1e-9,
+            "upper bound {fast} must dominate exact {exact}"
+        );
         assert!(fast <= hi, "bound cannot exceed the domain span");
     }
 
@@ -215,14 +225,16 @@ mod tests {
         let sorted: Vec<f64> = (0..n).map(|i| i as f64 / 4.0).collect();
         let eps = 0.5;
         let delta = 1e-4;
-        assert!(n as f64 * smoothing_xi(eps, delta) >= 4.03, "hypothesis holds");
+        assert!(
+            n as f64 * smoothing_xi(eps, delta) >= 4.03,
+            "hypothesis holds"
+        );
         let lo_q = sorted[n / 5];
         let hi_q = sorted[4 * n / 5];
         let trials = 400;
         let ok = (0..trials)
             .filter(|_| {
-                let v =
-                    smooth_sensitivity_median(&mut rng, &sorted, 0.0, 1000.25, eps, delta);
+                let v = smooth_sensitivity_median(&mut rng, &sorted, 0.0, 1000.25, eps, delta);
                 v >= lo_q && v <= hi_q
             })
             .count();

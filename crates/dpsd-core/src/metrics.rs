@@ -16,7 +16,10 @@
 /// Panics if `actual <= 0` — zero-answer queries are excluded from the
 /// paper's workloads and a relative error is undefined for them.
 pub fn relative_error_pct(estimate: f64, actual: f64) -> f64 {
-    assert!(actual > 0.0, "relative error undefined for actual = {actual}");
+    assert!(
+        actual > 0.0,
+        "relative error undefined for actual = {actual}"
+    );
     (estimate - actual).abs() / actual * 100.0
 }
 

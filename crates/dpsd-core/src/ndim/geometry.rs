@@ -37,6 +37,17 @@ impl fmt::Display for InvalidRectN {
 
 impl std::error::Error for InvalidRectN {}
 
+impl From<&crate::geometry::Rect> for RectN<2> {
+    /// Planar rectangles are valid by construction, so the conversion is
+    /// infallible.
+    fn from(r: &crate::geometry::Rect) -> Self {
+        RectN {
+            min: [r.min_x, r.min_y],
+            max: [r.max_x, r.max_y],
+        }
+    }
+}
+
 impl<const D: usize> RectN<D> {
     /// Creates a box, validating finiteness and `min <= max` per axis.
     pub fn new(min: [f64; D], max: [f64; D]) -> Result<Self, InvalidRectN> {

@@ -44,7 +44,9 @@ pub fn geometric_levels_nd(height: usize, eps: f64, dims: usize) -> Vec<f64> {
     }
     let r = 2f64.powf((dims as f64 - 1.0) / 3.0);
     let norm: f64 = (0..=height).map(|i| r.powi((height - i) as i32)).sum();
-    (0..=height).map(|i| eps * r.powi((height - i) as i32) / norm).collect()
+    (0..=height)
+        .map(|i| eps * r.powi((height - i) as i32) / norm)
+        .collect()
 }
 
 #[cfg(test)]

@@ -7,12 +7,14 @@
 //! assumption. Structure is data independent, so the only budget
 //! consumers are the counts.
 
-use super::geometry::{PointN, RectN};
 use super::geometric_levels_nd;
+use super::geometry::{PointN, RectN};
+use crate::error::DpsdError;
 use crate::mech::laplace::laplace_mechanism;
 use crate::postprocess::ols_over_columns;
+use crate::query::QueryProfile;
 use crate::rng::seeded;
-use crate::tree::{complete_tree_nodes, first_index_at_depth};
+use crate::tree::first_index_at_depth;
 use std::fmt;
 
 /// Errors from [`NdTreeConfig::build`].
@@ -62,7 +64,13 @@ pub struct NdTreeConfig<const D: usize> {
 impl<const D: usize> NdTreeConfig<D> {
     /// Creates a config with the Lemma 3 geometric budget and OLS on.
     pub fn new(domain: RectN<D>, height: usize, epsilon: f64) -> Self {
-        NdTreeConfig { domain, height, epsilon, postprocess: true, seed: 0 }
+        NdTreeConfig {
+            domain,
+            height,
+            epsilon,
+            postprocess: true,
+            seed: 0,
+        }
     }
 
     /// Sets the seed.
@@ -78,26 +86,40 @@ impl<const D: usize> NdTreeConfig<D> {
     }
 
     /// Builds the private tree over `points`.
-    pub fn build(&self, points: &[PointN<D>]) -> Result<NdTree<D>, NdBuildError> {
+    pub fn build(&self, points: &[PointN<D>]) -> Result<NdTree<D>, DpsdError> {
         if self.domain.volume() <= 0.0 {
-            return Err(NdBuildError::DegenerateDomain);
+            return Err(NdBuildError::DegenerateDomain.into());
         }
         if !(self.epsilon > 0.0 && self.epsilon.is_finite()) {
-            return Err(NdBuildError::InvalidEpsilon(self.epsilon));
+            return Err(NdBuildError::InvalidEpsilon(self.epsilon).into());
         }
         let fanout = 1usize << D;
-        let m = complete_tree_nodes(fanout, self.height);
-        if m > MAX_NODES {
-            return Err(NdBuildError::TooManyNodes { nodes: m });
-        }
+        let nodes = crate::tree::complete_tree_nodes_checked(fanout, self.height);
+        let m = match nodes {
+            Some(m) if m <= MAX_NODES => m,
+            _ => {
+                return Err(NdBuildError::TooManyNodes {
+                    nodes: nodes.unwrap_or(usize::MAX),
+                }
+                .into())
+            }
+        };
         if points.iter().any(|p| !self.domain.contains(p)) {
-            return Err(NdBuildError::PointOutsideDomain);
+            return Err(NdBuildError::PointOutsideDomain.into());
         }
         let mut rects = vec![self.domain; m];
         let mut true_counts = vec![0.0f64; m];
         // Structure + exact counts: orthant-partition recursively.
         let mut buf: Vec<PointN<D>> = points.to_vec();
-        build_rec(self.height, 0, 0, self.domain, &mut buf, &mut rects, &mut true_counts);
+        build_rec(
+            self.height,
+            0,
+            0,
+            self.domain,
+            &mut buf,
+            &mut rects,
+            &mut true_counts,
+        );
         // Counts.
         let eps_levels = geometric_levels_nd(self.height, self.epsilon, D);
         let mut rng = seeded(self.seed);
@@ -162,7 +184,15 @@ fn build_rec<const D: usize>(
         consumed = starts[j + 1];
         rest = tail;
         let child_rect = rect.orthant(j);
-        build_rec(height, first_child + j, depth + 1, child_rect, chunk, rects, true_counts);
+        build_rec(
+            height,
+            first_child + j,
+            depth + 1,
+            child_rect,
+            chunk,
+            rects,
+            true_counts,
+        );
         debug_assert_eq!(chunk.len(), len);
     }
 }
@@ -225,17 +255,62 @@ impl<const D: usize> NdTree<D> {
         &self.rects[v]
     }
 
+    /// The data domain the decomposition covers (the root box).
+    pub fn domain(&self) -> &RectN<D> {
+        &self.rects[0]
+    }
+
     /// Canonical range query over the released counts (post-processed
     /// when available).
     pub fn range_query(&self, query: &RectN<D>) -> f64 {
-        self.query_rec(0, query, &|v| {
-            self.posted_count(v).unwrap_or(self.noisy[v])
-        })
+        self.query_rec(0, query, &|v| self.posted_count(v).unwrap_or(self.noisy[v]))
     }
 
     /// Range query over the exact counts (evaluation only).
     pub fn exact_query(&self, query: &RectN<D>) -> f64 {
         self.query_rec(0, query, &|v| self.true_counts[v])
+    }
+
+    /// Canonical range query that also reports which released counts
+    /// contributed per level (leaves at index 0), mirroring the planar
+    /// [`crate::query::range_query_profiled`].
+    pub fn range_query_profiled(&self, query: &RectN<D>) -> (f64, QueryProfile) {
+        let mut profile = QueryProfile {
+            contained_per_level: vec![0; self.height + 1],
+            partial_leaves: 0,
+        };
+        let est = self.profiled_rec(0, 0, query, &mut profile);
+        (est, profile)
+    }
+
+    fn profiled_rec(
+        &self,
+        v: usize,
+        depth: usize,
+        query: &RectN<D>,
+        profile: &mut QueryProfile,
+    ) -> f64 {
+        let rect = &self.rects[v];
+        if !rect.intersects(query) {
+            return 0.0;
+        }
+        let count = self.posted_count(v).unwrap_or(self.noisy[v]);
+        if rect.inside(query) {
+            profile.contained_per_level[self.height - depth] += 1;
+            return count;
+        }
+        if depth == self.height {
+            let fraction = rect.overlap_fraction(query);
+            if fraction <= 0.0 {
+                return 0.0;
+            }
+            profile.partial_leaves += 1;
+            return count * fraction;
+        }
+        let c0 = self.fanout() * v + 1;
+        (c0..c0 + self.fanout())
+            .map(|c| self.profiled_rec(c, depth + 1, query, profile))
+            .sum()
     }
 
     fn query_rec(&self, v: usize, query: &RectN<D>, count: &dyn Fn(usize) -> f64) -> f64 {
@@ -251,7 +326,9 @@ impl<const D: usize> NdTree<D> {
             return count(v) * rect.overlap_fraction(query);
         }
         let c0 = self.fanout() * v + 1;
-        (c0..c0 + self.fanout()).map(|c| self.query_rec(c, query, count)).sum()
+        (c0..c0 + self.fanout())
+            .map(|c| self.query_rec(c, query, count))
+            .sum()
     }
 }
 
@@ -282,7 +359,10 @@ mod tests {
     #[test]
     fn octree_structure_invariants() {
         let pts = cube_points_3d(16); // 4096 points
-        let tree = NdTreeConfig::new(cube(), 2, 1.0).with_seed(1).build(&pts).unwrap();
+        let tree = NdTreeConfig::new(cube(), 2, 1.0)
+            .with_seed(1)
+            .build(&pts)
+            .unwrap();
         assert_eq!(tree.fanout(), 8);
         assert_eq!(tree.node_count(), 1 + 8 + 64);
         assert_eq!(tree.true_count(0), 4096.0);
@@ -301,7 +381,10 @@ mod tests {
     #[test]
     fn octree_exact_queries_match_brute_force() {
         let pts = cube_points_3d(16);
-        let tree = NdTreeConfig::new(cube(), 2, 1.0).with_seed(2).build(&pts).unwrap();
+        let tree = NdTreeConfig::new(cube(), 2, 1.0)
+            .with_seed(2)
+            .build(&pts)
+            .unwrap();
         let queries = [
             RectN::new([0.0; 3], [8.0; 3]).unwrap(),
             RectN::new([0.0; 3], [4.0, 4.0, 8.0]).unwrap(),
@@ -321,7 +404,10 @@ mod tests {
         let truth = 2048.0;
         let mut total_err = 0.0;
         for seed in 0..20 {
-            let tree = NdTreeConfig::new(cube(), 3, 1.0).with_seed(seed).build(&pts).unwrap();
+            let tree = NdTreeConfig::new(cube(), 3, 1.0)
+                .with_seed(seed)
+                .build(&pts)
+                .unwrap();
             total_err += (tree.range_query(&q) - truth).abs();
         }
         assert!(total_err / 20.0 < 100.0, "mean error {}", total_err / 20.0);
@@ -330,7 +416,10 @@ mod tests {
     #[test]
     fn octree_ols_is_consistent() {
         let pts = cube_points_3d(8);
-        let tree = NdTreeConfig::new(cube(), 2, 0.5).with_seed(3).build(&pts).unwrap();
+        let tree = NdTreeConfig::new(cube(), 2, 0.5)
+            .with_seed(3)
+            .build(&pts)
+            .unwrap();
         for v in 0..9 {
             let c0 = 8 * v + 1;
             let sum: f64 = (c0..c0 + 8).map(|c| tree.posted_count(c).unwrap()).sum();
@@ -342,7 +431,10 @@ mod tests {
     #[test]
     fn budget_sums_to_epsilon() {
         let pts = cube_points_3d(4);
-        let tree = NdTreeConfig::new(cube(), 3, 0.7).with_seed(4).build(&pts).unwrap();
+        let tree = NdTreeConfig::new(cube(), 3, 0.7)
+            .with_seed(4)
+            .build(&pts)
+            .unwrap();
         let total: f64 = tree.eps_levels().iter().sum();
         assert!((total - 0.7).abs() < 1e-12);
     }
@@ -360,7 +452,10 @@ mod tests {
                 ])
             })
             .collect();
-        let tree = NdTreeConfig::new(domain, 2, 1.0).with_seed(5).build(&pts).unwrap();
+        let tree = NdTreeConfig::new(domain, 2, 1.0)
+            .with_seed(5)
+            .build(&pts)
+            .unwrap();
         assert_eq!(tree.fanout(), 16);
         assert_eq!(tree.true_count(0), 500.0);
         let est = tree.exact_query(&domain);
@@ -370,27 +465,39 @@ mod tests {
     #[test]
     fn validation_errors() {
         let degenerate = RectN::new([0.0; 3], [0.0, 1.0, 1.0]).unwrap();
-        assert_eq!(
-            NdTreeConfig::new(degenerate, 2, 1.0).build(&[]).unwrap_err(),
-            NdBuildError::DegenerateDomain
-        );
+        assert!(matches!(
+            NdTreeConfig::new(degenerate, 2, 1.0)
+                .build(&[])
+                .unwrap_err(),
+            DpsdError::NdBuild(NdBuildError::DegenerateDomain)
+        ));
         assert!(matches!(
             NdTreeConfig::new(cube(), 2, -1.0).build(&[]).unwrap_err(),
-            NdBuildError::InvalidEpsilon(_)
+            DpsdError::NdBuild(NdBuildError::InvalidEpsilon(_))
         ));
-        assert_eq!(
+        assert!(matches!(
             NdTreeConfig::new(cube(), 2, 1.0)
                 .build(&[PointN::new([9.0, 0.0, 0.0])])
                 .unwrap_err(),
-            NdBuildError::PointOutsideDomain
-        );
+            DpsdError::NdBuild(NdBuildError::PointOutsideDomain)
+        ));
+        assert!(matches!(
+            NdTreeConfig::new(cube(), 200, 1.0).build(&[]).unwrap_err(),
+            DpsdError::NdBuild(NdBuildError::TooManyNodes { .. })
+        ));
     }
 
     #[test]
     fn deterministic_by_seed() {
         let pts = cube_points_3d(8);
-        let a = NdTreeConfig::new(cube(), 2, 0.5).with_seed(9).build(&pts).unwrap();
-        let b = NdTreeConfig::new(cube(), 2, 0.5).with_seed(9).build(&pts).unwrap();
+        let a = NdTreeConfig::new(cube(), 2, 0.5)
+            .with_seed(9)
+            .build(&pts)
+            .unwrap();
+        let b = NdTreeConfig::new(cube(), 2, 0.5)
+            .with_seed(9)
+            .build(&pts)
+            .unwrap();
         for v in 0..a.node_count() {
             assert_eq!(a.noisy_count(v), b.noisy_count(v));
         }

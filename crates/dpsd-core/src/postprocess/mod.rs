@@ -42,12 +42,7 @@ use crate::tree::{first_index_at_depth, PsdTree};
 /// budget strategy releases leaves.
 pub fn ols_postprocess(tree: &PsdTree) -> Vec<f64> {
     let eps = tree.eps_count_levels();
-    ols_over_columns(
-        tree.fanout(),
-        tree.height(),
-        eps,
-        &collect_noisy(tree),
-    )
+    ols_over_columns(tree.fanout(), tree.height(), eps, &collect_noisy(tree))
 }
 
 fn collect_noisy(tree: &PsdTree) -> Vec<f64> {
@@ -195,7 +190,11 @@ mod tests {
         let beta = ols_over_columns(4, 1, &eps, &y);
         let (e0, e1) = (0.3f64 * 0.3, 0.7f64 * 0.7);
         let expected_root = (4.0 * e1 * 10.0 + e0 * 10.0) / (4.0 * e1 + e0);
-        assert!((beta[0] - expected_root).abs() < 1e-9, "{} vs {expected_root}", beta[0]);
+        assert!(
+            (beta[0] - expected_root).abs() < 1e-9,
+            "{} vs {expected_root}",
+            beta[0]
+        );
         assert_consistent(4, 1, &beta);
     }
 
@@ -277,7 +276,11 @@ mod tests {
         let beta = ols_over_columns(fanout, height, &eps, &y);
         let leaf_start = first_index_at_depth(fanout, height);
         let leaf_sum: f64 = y[leaf_start..].iter().sum();
-        assert!((beta[0] - leaf_sum).abs() < 1e-9, "{} vs {leaf_sum}", beta[0]);
+        assert!(
+            (beta[0] - leaf_sum).abs() < 1e-9,
+            "{} vs {leaf_sum}",
+            beta[0]
+        );
         // Leaves pass through unchanged.
         for v in leaf_start..y.len() {
             assert!((beta[v] - y[v]).abs() < 1e-9);

@@ -13,6 +13,7 @@
 //! contributed per level, which the tests compare against the Lemma 2
 //! bounds.
 
+use crate::error::DpsdError;
 use crate::geometry::Rect;
 use crate::tree::{CountSource, PsdTree};
 
@@ -82,6 +83,116 @@ pub fn range_query_with(tree: &PsdTree, query: &Rect, source: CountSource) -> f6
     answer
 }
 
+/// Non-panicking variant of [`range_query_with`]: requesting
+/// [`CountSource::Posted`] from a tree that was never post-processed is
+/// reported as [`DpsdError::PostedUnavailable`] instead of a panic.
+pub fn try_range_query_with(
+    tree: &PsdTree,
+    query: &Rect,
+    source: CountSource,
+) -> Result<f64, DpsdError> {
+    if source == CountSource::Posted && !tree.is_postprocessed() {
+        return Err(DpsdError::PostedUnavailable);
+    }
+    Ok(range_query_with(tree, query, source))
+}
+
+/// Answers every query of a workload with one shared traversal over the
+/// `Auto` source. See [`range_query_batch_with`].
+pub fn range_query_batch(tree: &PsdTree, queries: &[Rect]) -> Vec<f64> {
+    range_query_batch_with(tree, queries, CountSource::Auto)
+}
+
+/// Answers every query of a workload, reading the chosen count column.
+///
+/// Returns exactly what `queries.iter().map(|q| range_query_with(tree,
+/// q, source)).collect()` would — same canonical node selection, same
+/// uniformity estimates — but descends the tree **once** for the whole
+/// batch: each node is visited at most one time, carrying only the
+/// queries still undecided for its subtree, and the per-node work
+/// (rectangle load, leaf test, count-column resolution) is paid once per
+/// node instead of once per query-node pair. Scratch frontiers are
+/// reused across sibling subtrees, so the traversal allocates `O(h)`
+/// vectors regardless of workload size.
+///
+/// # Panics
+///
+/// Panics if `source` is [`CountSource::Posted`] but the tree was never
+/// post-processed (as [`range_query_with`] does).
+pub fn range_query_batch_with(tree: &PsdTree, queries: &[Rect], source: CountSource) -> Vec<f64> {
+    assert!(
+        source != CountSource::Posted || tree.is_postprocessed(),
+        "Posted counts requested but OLS post-processing was never run"
+    );
+    let mut answers = vec![0.0f64; queries.len()];
+    if queries.is_empty() {
+        return answers;
+    }
+    let root_active: Vec<u32> = (0..queries.len() as u32).collect();
+    let mut pool: Vec<Vec<u32>> = Vec::new();
+    descend_batch(
+        tree,
+        tree.root(),
+        queries,
+        &root_active,
+        source,
+        &mut answers,
+        &mut pool,
+    );
+    answers
+}
+
+/// One node of the shared batch traversal: settles every active query
+/// this node can answer and forwards the rest to the children.
+fn descend_batch(
+    tree: &PsdTree,
+    v: usize,
+    queries: &[Rect],
+    active: &[u32],
+    source: CountSource,
+    answers: &mut [f64],
+    pool: &mut Vec<Vec<u32>>,
+) {
+    let rect = tree.rect(v);
+    let leafish = tree.is_effective_leaf(v);
+    let count = tree.count(v, source);
+    let mut forwarded = pool.pop().unwrap_or_default();
+    for &qi in active {
+        let q = &queries[qi as usize];
+        if !rect.intersects(q) {
+            continue;
+        }
+        if rect.inside(q) {
+            // Maximally contained: settle here if the count was
+            // released, otherwise fall through to the children.
+            if let Some(c) = count {
+                answers[qi as usize] += c;
+                continue;
+            }
+            if leafish {
+                continue; // withheld effective leaf contributes nothing
+            }
+        } else if leafish {
+            // Partial effective leaf: uniformity assumption.
+            if let Some(c) = count {
+                let fraction = rect.overlap_fraction(q);
+                if fraction > 0.0 {
+                    answers[qi as usize] += c * fraction;
+                }
+            }
+            continue;
+        }
+        forwarded.push(qi);
+    }
+    if !forwarded.is_empty() {
+        for child in tree.children(v) {
+            descend_batch(tree, child, queries, &forwarded, source, answers, pool);
+        }
+    }
+    forwarded.clear();
+    pool.push(forwarded);
+}
+
 /// Answers a range query and reports the contribution profile.
 pub fn range_query_profiled(
     tree: &PsdTree,
@@ -97,6 +208,11 @@ pub fn range_query_profiled(
 }
 
 /// Core recursion. Returns `(estimate, exact_count_available)`.
+///
+/// Contributions are added to a single accumulator in depth-first
+/// traversal order — the same order [`range_query_batch_with`] uses —
+/// so single and batched queries agree **bit-for-bit**, not just up to
+/// floating-point reassociation.
 fn descend(
     tree: &PsdTree,
     query: &Rect,
@@ -108,11 +224,12 @@ fn descend(
         v: usize,
         query: &Rect,
         source: CountSource,
+        acc: &mut f64,
         profile: &mut Option<&mut QueryProfile>,
-    ) -> f64 {
+    ) {
         let rect = tree.rect(v);
         if !rect.intersects(query) {
-            return 0.0;
+            return;
         }
         let leafish = tree.is_effective_leaf(v);
         if rect.inside(query) {
@@ -123,33 +240,36 @@ fn descend(
                 if let Some(p) = profile.as_deref_mut() {
                     p.contained_per_level[tree.level_of(v)] += 1;
                 }
-                return c;
+                *acc += c;
+                return;
             }
             if leafish {
                 // A withheld effective leaf can contribute nothing.
-                return 0.0;
+                return;
             }
         } else if leafish {
             // Partial leaf: uniformity assumption. Leaves that merely
             // touch the query boundary (zero overlap) contribute nothing
             // and are not profiled.
             let Some(c) = tree.count(v, source) else {
-                return 0.0;
+                return;
             };
             let fraction = rect.overlap_fraction(query);
             if fraction <= 0.0 {
-                return 0.0;
+                return;
             }
             if let Some(p) = profile.as_deref_mut() {
                 p.partial_leaves += 1;
             }
-            return c * fraction;
+            *acc += c * fraction;
+            return;
         }
-        tree.children(v)
-            .map(|c| go(tree, c, query, source, profile))
-            .sum()
+        for c in tree.children(v) {
+            go(tree, c, query, source, acc, profile);
+        }
     }
-    let est = go(tree, tree.root(), query, source, &mut profile);
+    let mut est = 0.0;
+    go(tree, tree.root(), query, source, &mut est, &mut profile);
     (est, true)
 }
 
@@ -192,7 +312,10 @@ mod tests {
     fn exact_query_on_aligned_rectangles() {
         let domain = unit_domain();
         let pts = grid_points(32, &domain); // 1024 points
-        let tree = PsdConfig::quadtree(domain, 3, 1.0).with_seed(2).build(&pts).unwrap();
+        let tree = PsdConfig::quadtree(domain, 3, 1.0)
+            .with_seed(2)
+            .build(&pts)
+            .unwrap();
         // Whole domain.
         assert_eq!(exact_query(&tree, &domain), 1024.0);
         // Quadrant aligned to depth-1 cells.
@@ -275,7 +398,10 @@ mod tests {
     fn profile_respects_lemma2_bounds() {
         let domain = unit_domain();
         let pts = grid_points(32, &domain);
-        let tree = PsdConfig::quadtree(domain, 4, 1.0).with_seed(3).build(&pts).unwrap();
+        let tree = PsdConfig::quadtree(domain, 4, 1.0)
+            .with_seed(3)
+            .build(&pts)
+            .unwrap();
         // A batch of random-ish queries; every profile must respect
         // n_i <= min(8 * 2^{h-i}, 4^{h-i}).
         let queries = [
@@ -301,7 +427,10 @@ mod tests {
     fn full_domain_query_uses_root_only() {
         let domain = unit_domain();
         let pts = grid_points(16, &domain);
-        let tree = PsdConfig::quadtree(domain, 3, 1.0).with_seed(4).build(&pts).unwrap();
+        let tree = PsdConfig::quadtree(domain, 3, 1.0)
+            .with_seed(4)
+            .build(&pts)
+            .unwrap();
         let (est, profile) = range_query_profiled(&tree, &domain, CountSource::Posted);
         assert_eq!(profile.total_contained(), 1, "only the root contributes");
         assert_eq!(profile.contained_per_level[3], 1);
@@ -360,6 +489,81 @@ mod tests {
     }
 
     #[test]
+    fn batch_matches_singles_bit_for_bit() {
+        let domain = unit_domain();
+        let pts = grid_points(32, &domain);
+        // Pruned, data-dependent tree: exercises cut leaves and partial
+        // overlap on every source.
+        let mut tree = PsdConfig::kd_standard(domain, 4, 0.6)
+            .with_seed(11)
+            .build(&pts)
+            .unwrap();
+        tree.mark_cut(2);
+        let queries: Vec<Rect> = (0..300)
+            .map(|i| {
+                let x = (i % 19) as f64 * 3.0;
+                let y = ((i * 7) % 17) as f64 * 3.5;
+                let w = 1.0 + (i % 13) as f64 * 4.0;
+                let h = 0.5 + (i % 9) as f64 * 6.0;
+                Rect::new(x, y, (x + w).min(64.0), (y + h).min(64.0)).unwrap()
+            })
+            .collect();
+        for source in [
+            CountSource::Auto,
+            CountSource::Noisy,
+            CountSource::Posted,
+            CountSource::True,
+        ] {
+            let batch = range_query_batch_with(&tree, &queries, source);
+            for (q, &b) in queries.iter().zip(&batch) {
+                let single = range_query_with(&tree, q, source);
+                assert_eq!(
+                    single.to_bits(),
+                    b.to_bits(),
+                    "{source:?} diverged on {q:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_handles_withheld_levels_and_empty_input() {
+        let domain = unit_domain();
+        let pts = grid_points(16, &domain);
+        let tree = PsdConfig::quadtree(domain, 2, 1.0)
+            .with_count_budget(CountBudget::LeafOnly)
+            .with_postprocess(false)
+            .with_seed(5)
+            .build(&pts)
+            .unwrap();
+        assert!(range_query_batch(&tree, &[]).is_empty());
+        let queries = [domain, Rect::new(100.0, 100.0, 101.0, 101.0).unwrap()];
+        let answers = range_query_batch_with(&tree, &queries, CountSource::Noisy);
+        let leaf_sum: f64 = (5..21).map(|v| tree.noisy_count(v).unwrap()).sum();
+        assert!(
+            (answers[0] - leaf_sum).abs() < 1e-9,
+            "withheld root answered from leaves"
+        );
+        assert_eq!(answers[1], 0.0, "disjoint query");
+    }
+
+    #[test]
+    fn try_variant_reports_posted_unavailable() {
+        let domain = unit_domain();
+        let pts = grid_points(8, &domain);
+        let tree = PsdConfig::quadtree(domain, 2, 1.0)
+            .with_postprocess(false)
+            .build(&pts)
+            .unwrap();
+        assert!(matches!(
+            try_range_query_with(&tree, &domain, CountSource::Posted),
+            Err(DpsdError::PostedUnavailable)
+        ));
+        let ok = try_range_query_with(&tree, &domain, CountSource::Noisy).unwrap();
+        assert_eq!(ok, range_query_with(&tree, &domain, CountSource::Noisy));
+    }
+
+    #[test]
     #[should_panic(expected = "post-processing was never run")]
     fn posted_source_requires_postprocessing() {
         let domain = unit_domain();
@@ -375,10 +579,16 @@ mod tests {
     fn pruned_nodes_answer_as_leaves() {
         let domain = unit_domain();
         let pts = grid_points(16, &domain);
-        let mut tree = PsdConfig::quadtree(domain, 2, 1.0).with_seed(6).build(&pts).unwrap();
+        let mut tree = PsdConfig::quadtree(domain, 2, 1.0)
+            .with_seed(6)
+            .build(&pts)
+            .unwrap();
         tree.mark_cut(1); // first depth-1 child becomes a leaf
         let q = Rect::new(0.0, 0.0, 16.0, 16.0).unwrap(); // half of node 1's cell
         let (_, profile) = range_query_profiled(&tree, &q, CountSource::Posted);
-        assert_eq!(profile.partial_leaves, 1, "cut node estimated by uniformity");
+        assert_eq!(
+            profile.partial_leaves, 1,
+            "cut node estimated by uniformity"
+        );
     }
 }

@@ -23,6 +23,7 @@
 //!    Section 7's pruning.
 
 use crate::budget::{audit_path_epsilon, median_levels, BudgetSplit, CountBudget};
+use crate::error::DpsdError;
 use crate::geometry::{Axis, Point, Rect};
 use crate::mech::laplace::laplace_mechanism;
 use crate::mech::sampling::SamplingPlan;
@@ -126,7 +127,10 @@ impl fmt::Display for BuildError {
             BuildError::PointOutsideDomain(p) => {
                 write!(f, "point ({}, {}) outside the declared domain", p.x, p.y)
             }
-            BuildError::InvalidSwitchLevel { switch_levels, height } => {
+            BuildError::InvalidSwitchLevel {
+                switch_levels,
+                height,
+            } => {
                 write!(f, "switch level {switch_levels} exceeds height {height}")
             }
             BuildError::InvalidGridResolution => write!(f, "cell grid needs at least one cell"),
@@ -301,8 +305,9 @@ impl PsdConfig {
     /// Builds the decomposition over `points`.
     ///
     /// Stage order: budgets → structure (+ exact counts) → noisy counts →
-    /// optional OLS → optional pruning. See the module docs.
-    pub fn build(&self, points: &[Point]) -> Result<PsdTree, BuildError> {
+    /// optional OLS → optional pruning. See the module docs. Failures
+    /// are [`DpsdError::Build`] wrapping the detailed [`BuildError`].
+    pub fn build(&self, points: &[Point]) -> Result<PsdTree, DpsdError> {
         self.validate(points)?;
         let fanout = 4usize;
         let h = self.height;
@@ -428,7 +433,10 @@ impl PsdConfig {
         }
         let nodes = complete_tree_nodes(4, self.height);
         if nodes > MAX_NODES {
-            return Err(BuildError::TooManyNodes { height: self.height, nodes });
+            return Err(BuildError::TooManyNodes {
+                height: self.height,
+                nodes,
+            });
         }
         if self.kind == TreeKind::KdHybrid && self.switch_levels > self.height {
             return Err(BuildError::InvalidSwitchLevel {
@@ -499,22 +507,34 @@ fn build_planar_structure(
             };
             let mut xs: Vec<f64> = pts.iter().map(|p| p.x).collect();
             xs.sort_unstable_by(f64::total_cmp);
-            sx = config
-                .median
-                .select(rng, &xs, rect.min_x, rect.max_x, eps_stage.max(f64::MIN_POSITIVE));
+            sx = config.median.select(
+                rng,
+                &xs,
+                rect.min_x,
+                rect.max_x,
+                eps_stage.max(f64::MIN_POSITIVE),
+            );
             let split_x = sx.clamp(rect.min_x, rect.max_x);
             let mid = partition_in_place(pts, |p| p.x < split_x);
             let (left, right) = pts.split_at_mut(mid);
             let mut ys: Vec<f64> = left.iter().map(|p| p.y).collect();
             ys.sort_unstable_by(f64::total_cmp);
-            sy_low = config
-                .median
-                .select(rng, &ys, rect.min_y, rect.max_y, eps_stage.max(f64::MIN_POSITIVE));
+            sy_low = config.median.select(
+                rng,
+                &ys,
+                rect.min_y,
+                rect.max_y,
+                eps_stage.max(f64::MIN_POSITIVE),
+            );
             let mut ys: Vec<f64> = right.iter().map(|p| p.y).collect();
             ys.sort_unstable_by(f64::total_cmp);
-            sy_high = config
-                .median
-                .select(rng, &ys, rect.min_y, rect.max_y, eps_stage.max(f64::MIN_POSITIVE));
+            sy_high = config.median.select(
+                rng,
+                &ys,
+                rect.min_y,
+                rect.max_y,
+                eps_stage.max(f64::MIN_POSITIVE),
+            );
         } else {
             sx = rect.min_x + rect.width() / 2.0;
             sy_low = rect.min_y + rect.height() / 2.0;
@@ -796,31 +816,33 @@ mod tests {
         let line = Rect::new(0.0, 0.0, 1.0, 0.0).unwrap();
         assert!(matches!(
             PsdConfig::quadtree(line, 2, 1.0).build(&[]),
-            Err(BuildError::DegenerateDomain(_))
+            Err(DpsdError::Build(BuildError::DegenerateDomain(_)))
         ));
         assert!(matches!(
             PsdConfig::quadtree(domain, 2, 0.0).build(&[]),
-            Err(BuildError::InvalidEpsilon(_))
+            Err(DpsdError::Build(BuildError::InvalidEpsilon(_)))
         ));
         assert!(matches!(
             PsdConfig::quadtree(domain, 2, 1.0).build(&[Point::new(-5.0, 0.0)]),
-            Err(BuildError::PointOutsideDomain(_))
+            Err(DpsdError::Build(BuildError::PointOutsideDomain(_)))
         ));
         assert!(matches!(
             PsdConfig::kd_hybrid(domain, 2, 1.0, 5).build(&[]),
-            Err(BuildError::InvalidSwitchLevel { .. })
+            Err(DpsdError::Build(BuildError::InvalidSwitchLevel { .. }))
         ));
         assert!(matches!(
             PsdConfig::kd_cell(domain, 2, 1.0, (0, 4)).build(&[]),
-            Err(BuildError::InvalidGridResolution)
+            Err(DpsdError::Build(BuildError::InvalidGridResolution))
         ));
         assert!(matches!(
-            PsdConfig::hilbert_r(domain, 2, 1.0).with_hilbert_order(30).build(&[]),
-            Err(BuildError::InvalidHilbertOrder(30))
+            PsdConfig::hilbert_r(domain, 2, 1.0)
+                .with_hilbert_order(30)
+                .build(&[]),
+            Err(DpsdError::Build(BuildError::InvalidHilbertOrder(30)))
         ));
         assert!(matches!(
             PsdConfig::quadtree(domain, 15, 1.0).build(&[]),
-            Err(BuildError::TooManyNodes { .. })
+            Err(DpsdError::Build(BuildError::TooManyNodes { .. }))
         ));
     }
 
@@ -860,8 +882,14 @@ mod tests {
     fn different_seeds_differ() {
         let domain = unit_domain();
         let pts = grid_points(20, &domain);
-        let a = PsdConfig::quadtree(domain, 2, 1.0).with_seed(1).build(&pts).unwrap();
-        let b = PsdConfig::quadtree(domain, 2, 1.0).with_seed(2).build(&pts).unwrap();
+        let a = PsdConfig::quadtree(domain, 2, 1.0)
+            .with_seed(1)
+            .build(&pts)
+            .unwrap();
+        let b = PsdConfig::quadtree(domain, 2, 1.0)
+            .with_seed(2)
+            .build(&pts)
+            .unwrap();
         let same = a
             .node_ids()
             .filter(|&v| a.noisy_count(v) == b.noisy_count(v))

@@ -66,7 +66,12 @@ pub(crate) fn build_structure(
             let (cx, cy) = curve.decode(lo.min(curve.max_index()));
             let x = domain.min_x + cx as f64 * wx;
             let y = domain.min_y + cy as f64 * wy;
-            Rect { min_x: x, min_y: y, max_x: x, max_y: y }
+            Rect {
+                min_x: x,
+                min_y: y,
+                max_x: x,
+                max_y: y,
+            }
         }
     };
 
@@ -83,7 +88,13 @@ pub(crate) fn build_structure(
             return hi; // nothing to split: low child takes the whole range
         }
         let vals: Vec<f64> = values.iter().map(|&v| v as f64).collect();
-        let picked = selector.select(rng, &vals, lo as f64, (hi - 1) as f64, eps.max(f64::MIN_POSITIVE));
+        let picked = selector.select(
+            rng,
+            &vals,
+            lo as f64,
+            (hi - 1) as f64,
+            eps.max(f64::MIN_POSITIVE),
+        );
         (picked.round() as u64).clamp(lo + 1, hi - 1)
     }
 
@@ -167,8 +178,14 @@ mod tests {
         // Two clusters plus a sparse diagonal.
         let mut pts = Vec::new();
         for i in 0..400 {
-            pts.push(Point::new(10.0 + (i % 20) as f64 * 0.2, 10.0 + (i / 20) as f64 * 0.2));
-            pts.push(Point::new(80.0 + (i % 20) as f64 * 0.2, 40.0 + (i / 20) as f64 * 0.2));
+            pts.push(Point::new(
+                10.0 + (i % 20) as f64 * 0.2,
+                10.0 + (i / 20) as f64 * 0.2,
+            ));
+            pts.push(Point::new(
+                80.0 + (i % 20) as f64 * 0.2,
+                40.0 + (i / 20) as f64 * 0.2,
+            ));
         }
         for i in 0..100 {
             pts.push(Point::new(i as f64, i as f64 / 2.0));
@@ -250,7 +267,10 @@ mod tests {
         // should have small bounding boxes (Hilbert locality).
         let mut pts = Vec::new();
         for i in 0..1000 {
-            pts.push(Point::new(20.0 + (i % 10) as f64 * 0.01, 20.0 + (i / 10) as f64 * 0.01));
+            pts.push(Point::new(
+                20.0 + (i % 10) as f64 * 0.01,
+                20.0 + (i / 10) as f64 * 0.01,
+            ));
         }
         let tree = PsdConfig::hilbert_r(Rect::new(0.0, 0.0, 100.0, 100.0).unwrap(), 3, 1.0)
             .with_hilbert_order(12)

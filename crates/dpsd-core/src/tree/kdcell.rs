@@ -97,7 +97,16 @@ pub(crate) fn build_structure(
         }
     }
 
-    recurse(config, &grid, 0, 0, config.domain, &mut buf, rects, true_counts);
+    recurse(
+        config,
+        &grid,
+        0,
+        0,
+        config.domain,
+        &mut buf,
+        rects,
+        true_counts,
+    );
     Ok(())
 }
 
@@ -118,7 +127,10 @@ mod tests {
             pts.push(Point::new((i % 64) as f64 * 0.25, (i / 64) as f64 * 0.25));
         }
         for i in 0..400 {
-            pts.push(Point::new(64.0 + (i % 20) as f64 * 3.0, 64.0 + (i / 20) as f64 * 3.0));
+            pts.push(Point::new(
+                64.0 + (i % 20) as f64 * 3.0,
+                64.0 + (i / 20) as f64 * 3.0,
+            ));
         }
         pts
     }
@@ -168,7 +180,10 @@ mod tests {
             .with_split(BudgetSplit::all_counts())
             .build(&pts)
             .unwrap_err();
-        assert!(matches!(err, BuildError::InvalidEpsilon(_)));
+        assert!(matches!(
+            err,
+            crate::error::DpsdError::Build(BuildError::InvalidEpsilon(_))
+        ));
     }
 
     #[test]

@@ -29,9 +29,11 @@ mod hilbert_rtree;
 mod kdcell;
 pub mod prune;
 pub mod release;
+pub mod released;
 
 pub use build::{BuildError, PsdConfig, TreeKind};
 pub use release::{read_release, write_release, ReleaseError};
+pub use released::ReleasedSynopsis;
 
 use crate::geometry::Rect;
 
@@ -73,15 +75,28 @@ pub struct PsdTree {
 }
 
 /// Number of nodes in a complete tree of the given fanout and height.
+///
+/// # Panics
+///
+/// Panics on arithmetic overflow; callers handling untrusted heights
+/// (release loaders, synopsis parsers) use
+/// [`complete_tree_nodes_checked`] instead.
 pub fn complete_tree_nodes(fanout: usize, height: usize) -> usize {
-    // (f^{h+1} - 1) / (f - 1), evaluated without overflow for sane sizes.
+    complete_tree_nodes_checked(fanout, height).expect("complete tree size overflows usize")
+}
+
+/// Overflow-aware variant of [`complete_tree_nodes`]: `None` when
+/// `(f^{h+1} - 1) / (f - 1)` does not fit in `usize`.
+pub fn complete_tree_nodes_checked(fanout: usize, height: usize) -> Option<usize> {
     let mut total = 0usize;
     let mut level = 1usize;
-    for _ in 0..=height {
-        total += level;
-        level *= fanout;
+    for depth in 0..=height {
+        total = total.checked_add(level)?;
+        if depth < height {
+            level = level.checked_mul(fanout)?;
+        }
     }
-    total
+    Some(total)
 }
 
 /// Index of the first node at `depth` (root depth 0) in heap order.
@@ -252,9 +267,7 @@ impl PsdTree {
     /// post-processing.
     pub fn count(&self, v: usize, source: CountSource) -> Option<f64> {
         match source {
-            CountSource::Auto => self
-                .posted_count(v)
-                .or_else(|| self.noisy_count(v)),
+            CountSource::Auto => self.posted_count(v).or_else(|| self.noisy_count(v)),
             CountSource::Noisy => self.noisy_count(v),
             CountSource::Posted => self.posted_count(v),
             CountSource::True => Some(self.true_counts[v]),
@@ -268,7 +281,11 @@ impl PsdTree {
 
     /// Installs post-processed counts (used by [`crate::postprocess`]).
     pub fn set_posted(&mut self, beta: Vec<f64>) {
-        assert_eq!(beta.len(), self.node_count(), "posted column length mismatch");
+        assert_eq!(
+            beta.len(),
+            self.node_count(),
+            "posted column length mismatch"
+        );
         self.posted = Some(beta);
     }
 
@@ -292,6 +309,13 @@ impl PsdTree {
     /// Total number of data points (exact root count).
     pub fn total_points(&self) -> f64 {
         self.true_counts[0]
+    }
+
+    /// Exports the publishable part of this tree as a
+    /// [`ReleasedSynopsis`] (shorthand for
+    /// [`ReleasedSynopsis::from_tree`]).
+    pub fn release(&self) -> ReleasedSynopsis {
+        ReleasedSynopsis::from_tree(self)
     }
 }
 

@@ -50,7 +50,10 @@ mod tests {
     #[test]
     fn empty_regions_get_cut() {
         let (domain, pts) = clustered_dataset();
-        let mut tree = PsdConfig::quadtree(domain, 4, 1.0).with_seed(31).build(&pts).unwrap();
+        let mut tree = PsdConfig::quadtree(domain, 4, 1.0)
+            .with_seed(31)
+            .build(&pts)
+            .unwrap();
         let cuts = prune_below(&mut tree, 32.0);
         assert!(cuts > 0, "sparse quadtree should be pruned somewhere");
         // The dense corner path must survive: walk down max-count children.
@@ -72,7 +75,10 @@ mod tests {
     #[test]
     fn threshold_zero_cuts_almost_nothing() {
         let (domain, pts) = clustered_dataset();
-        let mut tree = PsdConfig::quadtree(domain, 3, 5.0).with_seed(32).build(&pts).unwrap();
+        let mut tree = PsdConfig::quadtree(domain, 3, 5.0)
+            .with_seed(32)
+            .build(&pts)
+            .unwrap();
         // Counts are noisy around >= 0; a -inf threshold cuts nothing.
         let cuts = prune_below(&mut tree, f64::NEG_INFINITY);
         assert_eq!(cuts, 0);
@@ -104,7 +110,10 @@ mod tests {
     #[test]
     fn pruned_subtree_is_not_descended() {
         let (domain, pts) = clustered_dataset();
-        let mut tree = PsdConfig::quadtree(domain, 4, 1.0).with_seed(33).build(&pts).unwrap();
+        let mut tree = PsdConfig::quadtree(domain, 4, 1.0)
+            .with_seed(33)
+            .build(&pts)
+            .unwrap();
         prune_below(&mut tree, 1e12); // absurd threshold: cut at the root
         assert!(tree.is_cut(tree.root()));
         let (_, profile) = range_query_profiled(

@@ -28,8 +28,9 @@
 //! assert_eq!(loaded.noisy_count(0), tree.noisy_count(0));
 //! ```
 
+use crate::error::DpsdError;
 use crate::geometry::Rect;
-use crate::tree::{complete_tree_nodes, PsdTree, TreeKind};
+use crate::tree::{complete_tree_nodes_checked, PsdTree, TreeKind};
 use std::fmt;
 use std::io::{self, BufRead, Write};
 
@@ -64,7 +65,7 @@ impl From<io::Error> for ReleaseError {
     }
 }
 
-fn kind_tag(kind: TreeKind) -> &'static str {
+pub(crate) fn kind_tag(kind: TreeKind) -> &'static str {
     match kind {
         TreeKind::Quadtree => "quadtree",
         TreeKind::KdStandard => "kd-standard",
@@ -77,7 +78,7 @@ fn kind_tag(kind: TreeKind) -> &'static str {
     }
 }
 
-fn kind_from_tag(tag: &str) -> Option<TreeKind> {
+pub(crate) fn kind_from_tag(tag: &str) -> Option<TreeKind> {
     Some(match tag {
         "quadtree" => TreeKind::Quadtree,
         "kd-standard" => TreeKind::KdStandard,
@@ -136,8 +137,13 @@ pub fn write_release<W: Write>(tree: &PsdTree, w: &mut W) -> io::Result<()> {
 /// Reads a release back into a query-ready tree. Exact counts are zero
 /// (they were never published); post-processing is re-run when the leaf
 /// level carries budget, so `range_query` behaves exactly as on the
-/// original.
-pub fn read_release<R: BufRead>(r: R) -> Result<PsdTree, ReleaseError> {
+/// original. Failures are [`DpsdError::Release`] wrapping the detailed
+/// [`ReleaseError`].
+pub fn read_release<R: BufRead>(r: R) -> Result<PsdTree, DpsdError> {
+    read_release_inner(r).map_err(DpsdError::from)
+}
+
+fn read_release_inner<R: BufRead>(r: R) -> Result<PsdTree, ReleaseError> {
     let mut lines = r.lines().enumerate();
     let mut next_line = || -> Result<(usize, String), ReleaseError> {
         match lines.next() {
@@ -146,10 +152,16 @@ pub fn read_release<R: BufRead>(r: R) -> Result<PsdTree, ReleaseError> {
                 line: i + 1,
                 reason: format!("read failure: {e}"),
             }),
-            None => Err(ReleaseError::Malformed { line: 0, reason: "unexpected end of file".into() }),
+            None => Err(ReleaseError::Malformed {
+                line: 0,
+                reason: "unexpected end of file".into(),
+            }),
         }
     };
-    let bad = |line: usize, reason: &str| ReleaseError::Malformed { line, reason: reason.into() };
+    let bad = |line: usize, reason: &str| ReleaseError::Malformed {
+        line,
+        reason: reason.into(),
+    };
 
     let (ln, magic) = next_line()?;
     if magic.trim() != MAGIC {
@@ -204,7 +216,9 @@ pub fn read_release<R: BufRead>(r: R) -> Result<PsdTree, ReleaseError> {
     let eps_median = parse_levels(ln, &em_s)?;
     let (ln, nodes_s) = field("nodes")?;
     let m: usize = nodes_s.parse().map_err(|_| bad(ln, "bad node count"))?;
-    if m != complete_tree_nodes(fanout, height) {
+    // Checked arithmetic: a hostile height must not overflow the size
+    // computation before the mismatch is detected.
+    if Some(m) != complete_tree_nodes_checked(fanout, height) {
         return Err(bad(ln, "node count does not match a complete tree"));
     }
     let mut rects = Vec::with_capacity(m);
@@ -223,9 +237,10 @@ pub fn read_release<R: BufRead>(r: R) -> Result<PsdTree, ReleaseError> {
                 .filter(|x| x.is_finite())
                 .ok_or_else(|| bad(ln, &format!("bad {what}")))
         };
-        let (min_x, min_y, max_x, max_y) = (num("min_x")?, num("min_y")?, num("max_x")?, num("max_y")?);
-        let rect = Rect::new(min_x, min_y, max_x, max_y)
-            .map_err(|_| bad(ln, "invalid node rectangle"))?;
+        let (min_x, min_y, max_x, max_y) =
+            (num("min_x")?, num("min_y")?, num("max_x")?, num("max_y")?);
+        let rect =
+            Rect::new(min_x, min_y, max_x, max_y).map_err(|_| bad(ln, "invalid node rectangle"))?;
         rects.push(rect);
         match toks.next() {
             Some("-") => {}
@@ -302,8 +317,14 @@ mod tests {
             assert_eq!(loaded.noisy_count(v), tree.noisy_count(v), "count {v}");
             assert_eq!(loaded.is_cut(v), tree.is_cut(v), "cut {v}");
             // OLS recomputation matches the original post-processing.
-            let (a, b) = (loaded.posted_count(v).unwrap(), tree.posted_count(v).unwrap());
-            assert!((a - b).abs() < 1e-9 * (1.0 + b.abs()), "posted {v}: {a} vs {b}");
+            let (a, b) = (
+                loaded.posted_count(v).unwrap(),
+                tree.posted_count(v).unwrap(),
+            );
+            assert!(
+                (a - b).abs() < 1e-9 * (1.0 + b.abs()),
+                "posted {v}: {a} vs {b}"
+            );
         }
         // Queries agree exactly.
         let q = Rect::new(3.0, 3.0, 21.0, 17.0).unwrap();
@@ -325,7 +346,9 @@ mod tests {
     #[test]
     fn withheld_levels_roundtrip() {
         let domain = Rect::new(0.0, 0.0, 8.0, 8.0).unwrap();
-        let pts: Vec<Point> = (0..50).map(|i| Point::new(i as f64 % 8.0, i as f64 / 8.0)).collect();
+        let pts: Vec<Point> = (0..50)
+            .map(|i| Point::new(i as f64 % 8.0, i as f64 / 8.0))
+            .collect();
         let tree = PsdConfig::quadtree(domain, 2, 0.5)
             .with_count_budget(crate::budget::CountBudget::LeafOnly)
             .with_postprocess(false)

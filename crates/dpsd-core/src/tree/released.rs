@@ -1,0 +1,563 @@
+//! The publishable synopsis artifact.
+//!
+//! [`ReleasedSynopsis`] is the privacy boundary of the workspace as a
+//! *type*: a raw-data-free export of a built [`PsdTree`] — node
+//! rectangles, released noisy counts, per-level budgets, pruning cuts —
+//! that serializes to JSON, round-trips exactly, and answers queries
+//! **identically** to the tree it was exported from. A data owner builds
+//! a tree once, publishes `to_json()`, and any number of query servers
+//! load it with [`ReleasedSynopsis::from_json`] and serve range counts
+//! through [`SpatialSynopsis`](crate::synopsis::SpatialSynopsis) without
+//! ever seeing a raw coordinate.
+//!
+//! Two deliberate exclusions keep the artifact safe and minimal:
+//!
+//! * **Exact counts never leave the owner.** The export zeroes them; a
+//!   loaded synopsis reports `true_count = 0` everywhere.
+//! * **Post-processed counts are never serialized.** OLS is a
+//!   deterministic function of the released noisy counts (paper
+//!   Section 5), so the loader recomputes it bit-for-bit; a malformed
+//!   file cannot smuggle in inconsistent "post-processed" values.
+//!
+//! ```
+//! use dpsd_core::geometry::{Point, Rect};
+//! use dpsd_core::synopsis::SpatialSynopsis;
+//! use dpsd_core::tree::{PsdConfig, ReleasedSynopsis};
+//!
+//! let pts: Vec<Point> = (0..300)
+//!     .map(|i| Point::new((i % 20) as f64, (i / 20) as f64))
+//!     .collect();
+//! let domain = Rect::new(0.0, 0.0, 20.0, 15.0).unwrap();
+//! let tree = PsdConfig::quadtree(domain, 3, 0.5).with_seed(3).build(&pts).unwrap();
+//!
+//! // Owner side: export.
+//! let published = ReleasedSynopsis::from_tree(&tree).to_json();
+//!
+//! // Server side: load and answer, identically to the source tree.
+//! let synopsis = ReleasedSynopsis::from_json(&published).unwrap();
+//! let q = Rect::new(2.0, 3.0, 11.0, 9.0).unwrap();
+//! assert_eq!(synopsis.query(&q), tree.query(&q));
+//! assert_eq!(synopsis.as_tree().true_count(0), 0.0); // raw data stayed home
+//! ```
+
+use crate::error::DpsdError;
+use crate::geometry::Rect;
+use crate::tree::release::{kind_from_tag, kind_tag};
+use crate::tree::{complete_tree_nodes_checked, PsdTree};
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
+
+/// Format tag written into every serialized synopsis.
+pub const FORMAT: &str = "dpsd-synopsis";
+/// Current wire version.
+pub const VERSION: u64 = 1;
+
+/// Cap on the node count a loader will materialize (matches the
+/// builders' own cap).
+const MAX_NODES: usize = 120_000_000;
+
+/// A published, raw-data-free spatial synopsis.
+///
+/// Internally this holds a query-ready [`PsdTree`] whose exact-count
+/// column is zeroed; construction (either from a tree or from JSON)
+/// re-establishes every invariant, so queries are infallible.
+#[derive(Debug, Clone)]
+pub struct ReleasedSynopsis {
+    tree: PsdTree,
+}
+
+impl ReleasedSynopsis {
+    /// Exports the public part of a built tree: kind, geometry, budgets,
+    /// released noisy counts, pruning cuts. Exact counts are dropped;
+    /// post-processed counts carry over (they are derived from released
+    /// values only).
+    pub fn from_tree(source: &PsdTree) -> Self {
+        let m = source.node_count();
+        let mut tree = PsdTree::from_columns(
+            source.kind(),
+            source.fanout(),
+            source.height(),
+            *source.domain(),
+            source.node_ids().map(|v| *source.rect(v)).collect(),
+            vec![0.0; m],
+            source
+                .node_ids()
+                .map(|v| source.noisy_count(v).unwrap_or(0.0))
+                .collect(),
+            source
+                .node_ids()
+                .map(|v| source.noisy_count(v).is_some())
+                .collect(),
+            source.eps_count_levels().to_vec(),
+            source.eps_median_levels().to_vec(),
+            source.epsilon(),
+        );
+        if source.is_postprocessed() {
+            tree.set_posted(
+                source
+                    .node_ids()
+                    .map(|v| {
+                        source
+                            .posted_count(v)
+                            .expect("postprocessed tree has posted counts")
+                    })
+                    .collect(),
+            );
+        }
+        for v in source.node_ids() {
+            if source.is_cut(v) {
+                tree.mark_cut(v);
+            }
+        }
+        ReleasedSynopsis { tree }
+    }
+
+    /// The query engine behind this synopsis. Exact counts are zero.
+    pub fn as_tree(&self) -> &PsdTree {
+        &self.tree
+    }
+
+    /// Consumes the synopsis, yielding the query-ready tree.
+    pub fn into_tree(self) -> PsdTree {
+        self.tree
+    }
+
+    /// Serializes to compact JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("synopsis values are always finite")
+    }
+
+    /// Serializes to indented JSON (for inspection and diffs).
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("synopsis values are always finite")
+    }
+
+    /// Parses and fully validates a published synopsis. Post-processing
+    /// is recomputed from the released counts whenever the artifact says
+    /// its source was post-processed, so query answers match the source
+    /// tree exactly.
+    pub fn from_json(text: &str) -> Result<Self, DpsdError> {
+        serde_json::from_str(text).map_err(DpsdError::from)
+    }
+}
+
+impl Serialize for ReleasedSynopsis {
+    fn serialize(&self) -> Value {
+        let t = &self.tree;
+        let d = t.domain();
+        let nodes: Vec<Value> = t
+            .node_ids()
+            .map(|v| {
+                let r = t.rect(v);
+                let mut node = vec![(
+                    "rect".to_string(),
+                    vec![r.min_x, r.min_y, r.max_x, r.max_y].serialize(),
+                )];
+                node.push(("count".to_string(), t.noisy_count(v).serialize()));
+                if t.is_cut(v) {
+                    node.push(("cut".to_string(), true.serialize()));
+                }
+                Value::Object(node)
+            })
+            .collect();
+        Value::Object(vec![
+            ("format".to_string(), FORMAT.serialize()),
+            ("version".to_string(), VERSION.serialize()),
+            ("kind".to_string(), kind_tag(t.kind()).serialize()),
+            ("fanout".to_string(), t.fanout().serialize()),
+            ("height".to_string(), t.height().serialize()),
+            (
+                "domain".to_string(),
+                vec![d.min_x, d.min_y, d.max_x, d.max_y].serialize(),
+            ),
+            ("epsilon".to_string(), t.epsilon().serialize()),
+            (
+                "eps_count".to_string(),
+                t.eps_count_levels().to_vec().serialize(),
+            ),
+            (
+                "eps_median".to_string(),
+                t.eps_median_levels().to_vec().serialize(),
+            ),
+            (
+                "postprocessed".to_string(),
+                t.is_postprocessed().serialize(),
+            ),
+            ("nodes".to_string(), Value::Array(nodes)),
+        ])
+    }
+}
+
+fn field<'v>(value: &'v Value, name: &str) -> Result<&'v Value, SerdeError> {
+    value
+        .get(name)
+        .ok_or_else(|| SerdeError::msg(format!("missing field `{name}`")))
+}
+
+fn rect_from(value: &Value, what: &str) -> Result<Rect, SerdeError> {
+    let coords = Vec::<f64>::deserialize(value)
+        .map_err(|_| SerdeError::msg(format!("{what} must be an array of four numbers")))?;
+    if coords.len() != 4 {
+        return Err(SerdeError::msg(format!(
+            "{what} must have four numbers, got {}",
+            coords.len()
+        )));
+    }
+    Rect::new(coords[0], coords[1], coords[2], coords[3])
+        .map_err(|e| SerdeError::msg(format!("{what}: {e}")))
+}
+
+fn levels_from(value: &Value, name: &str, height: usize) -> Result<Vec<f64>, SerdeError> {
+    let levels = Vec::<f64>::deserialize(value)
+        .map_err(|_| SerdeError::msg(format!("`{name}` must be an array of numbers")))?;
+    if levels.len() != height + 1 {
+        return Err(SerdeError::msg(format!(
+            "`{name}` must have height+1 = {} entries, got {}",
+            height + 1,
+            levels.len()
+        )));
+    }
+    if levels.iter().any(|e| !e.is_finite() || *e < 0.0) {
+        return Err(SerdeError::msg(format!(
+            "`{name}` entries must be non-negative"
+        )));
+    }
+    Ok(levels)
+}
+
+impl Deserialize for ReleasedSynopsis {
+    fn deserialize(value: &Value) -> Result<Self, SerdeError> {
+        let format = String::deserialize(field(value, "format")?)?;
+        if format != FORMAT {
+            return Err(SerdeError::msg(format!(
+                "not a {FORMAT} artifact: `{format}`"
+            )));
+        }
+        let version = u64::deserialize(field(value, "version")?)?;
+        if version != VERSION {
+            return Err(SerdeError::msg(format!("unsupported version {version}")));
+        }
+        let kind_s = String::deserialize(field(value, "kind")?)?;
+        let kind = kind_from_tag(&kind_s)
+            .ok_or_else(|| SerdeError::msg(format!("unknown tree kind `{kind_s}`")))?;
+        let fanout = usize::deserialize(field(value, "fanout")?)?;
+        if fanout < 2 {
+            return Err(SerdeError::msg("fanout must be at least 2"));
+        }
+        let height = usize::deserialize(field(value, "height")?)?;
+        let Some(m) = complete_tree_nodes_checked(fanout, height).filter(|&m| m <= MAX_NODES)
+        else {
+            return Err(SerdeError::msg(format!(
+                "fanout {fanout} height {height} exceeds the node cap"
+            )));
+        };
+        let domain = rect_from(field(value, "domain")?, "domain")?;
+        let epsilon = f64::deserialize(field(value, "epsilon")?)?;
+        if !epsilon.is_finite() || epsilon < 0.0 {
+            return Err(SerdeError::msg("epsilon must be non-negative"));
+        }
+        let eps_count = levels_from(field(value, "eps_count")?, "eps_count", height)?;
+        let eps_median = levels_from(field(value, "eps_median")?, "eps_median", height)?;
+        let postprocessed = bool::deserialize(field(value, "postprocessed")?)?;
+        let node_values = field(value, "nodes")?
+            .as_array()
+            .ok_or_else(|| SerdeError::msg("`nodes` must be an array"))?;
+        if node_values.len() != m {
+            return Err(SerdeError::msg(format!(
+                "`nodes` must list the complete tree ({m} nodes), got {}",
+                node_values.len()
+            )));
+        }
+        let mut rects = Vec::with_capacity(m);
+        let mut noisy = vec![0.0f64; m];
+        let mut released = vec![false; m];
+        let mut cuts = Vec::new();
+        for (v, node) in node_values.iter().enumerate() {
+            rects.push(rect_from(field(node, "rect")?, "node rect")?);
+            match Option::<f64>::deserialize(field(node, "count")?)? {
+                Some(c) if c.is_finite() => {
+                    noisy[v] = c;
+                    released[v] = true;
+                }
+                Some(_) => return Err(SerdeError::msg("node count must be finite")),
+                None => {}
+            }
+            if let Some(cut) = node.get("cut") {
+                if bool::deserialize(cut)? {
+                    cuts.push(v);
+                }
+            }
+        }
+        // OLS recomputation requires released leaf counts specifically
+        // (same guard as the text-format loader) — a crafted artifact
+        // with `postprocessed: true` but a zero leaf budget must be a
+        // typed error, not a downstream panic.
+        if postprocessed && eps_count[0] <= 0.0 {
+            return Err(SerdeError::msg(
+                "postprocessed synopsis must carry leaf-level count budget",
+            ));
+        }
+        let mut tree = PsdTree::from_columns(
+            kind,
+            fanout,
+            height,
+            domain,
+            rects,
+            vec![0.0; m], // exact counts were never published
+            noisy,
+            released,
+            eps_count,
+            eps_median,
+            epsilon,
+        );
+        if postprocessed {
+            let beta = crate::postprocess::ols_postprocess(&tree);
+            tree.set_posted(beta);
+        }
+        for v in cuts {
+            tree.mark_cut(v);
+        }
+        Ok(ReleasedSynopsis { tree })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::CountBudget;
+    use crate::geometry::Point;
+    use crate::query::{range_query, range_query_batch};
+    use crate::synopsis::SpatialSynopsis;
+    use crate::tree::PsdConfig;
+
+    fn sample_points() -> (Rect, Vec<Point>) {
+        let domain = Rect::new(0.0, 0.0, 64.0, 64.0).unwrap();
+        let pts = (0..2000)
+            .map(|i| {
+                Point::new(
+                    (i % 53) as f64 * 64.0 / 53.0,
+                    ((i * 7) % 61) as f64 * 64.0 / 61.0,
+                )
+            })
+            .collect();
+        (domain, pts)
+    }
+
+    fn workload(domain: &Rect, n: usize) -> Vec<Rect> {
+        (0..n)
+            .map(|i| {
+                let fx = (i % 17) as f64 / 17.0;
+                let fy = ((i * 5) % 13) as f64 / 13.0;
+                let w = 4.0 + (i % 7) as f64 * 6.0;
+                let h = 3.0 + (i % 11) as f64 * 4.0;
+                Rect::new(
+                    domain.min_x + fx * (domain.width() - w),
+                    domain.min_y + fy * (domain.height() - h),
+                    domain.min_x + fx * (domain.width() - w) + w,
+                    domain.min_y + fy * (domain.height() - h) + h,
+                )
+                .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn json_roundtrip_answers_identically_for_every_family() {
+        let (domain, pts) = sample_points();
+        let configs = [
+            PsdConfig::quadtree(domain, 4, 0.5),
+            PsdConfig::kd_standard(domain, 3, 0.5),
+            PsdConfig::kd_hybrid(domain, 3, 0.5, 2),
+            PsdConfig::kd_noisymean(domain, 3, 0.5),
+            PsdConfig::hilbert_r(domain, 3, 0.5).with_hilbert_order(10),
+        ];
+        let queries = workload(&domain, 200);
+        for config in configs {
+            let tree = config.with_seed(21).build(&pts).unwrap();
+            let json = ReleasedSynopsis::from_tree(&tree).to_json();
+            let loaded = ReleasedSynopsis::from_json(&json).unwrap();
+            assert_eq!(loaded.as_tree().kind(), tree.kind());
+            for q in &queries {
+                assert_eq!(
+                    loaded.query(q),
+                    range_query(&tree, q),
+                    "{}: divergent answer for {q:?}",
+                    tree.kind()
+                );
+            }
+            // The batched path agrees too.
+            let batch = loaded.query_batch(&queries);
+            assert_eq!(batch, range_query_batch(&tree, &queries), "{}", tree.kind());
+        }
+    }
+
+    #[test]
+    fn export_strips_exact_counts() {
+        let (domain, pts) = sample_points();
+        let tree = PsdConfig::quadtree(domain, 3, 1.0)
+            .with_seed(1)
+            .build(&pts)
+            .unwrap();
+        assert_eq!(tree.true_count(0), pts.len() as f64);
+        let synopsis = ReleasedSynopsis::from_tree(&tree);
+        for v in synopsis.as_tree().node_ids() {
+            assert_eq!(synopsis.as_tree().true_count(v), 0.0);
+        }
+        // And the wire text never carries the exact total.
+        let json = synopsis.to_json();
+        assert!(
+            !json.contains(&format!("{}.0", pts.len())),
+            "exact count leaked"
+        );
+    }
+
+    #[test]
+    fn pruned_and_withheld_structure_roundtrips() {
+        let (domain, pts) = sample_points();
+        let tree = PsdConfig::kd_standard(domain, 4, 0.4)
+            .with_prune_threshold(20.0)
+            .with_seed(5)
+            .build(&pts)
+            .unwrap();
+        assert!(
+            tree.node_ids().any(|v| tree.is_cut(v)),
+            "pruning had no effect"
+        );
+        let loaded = ReleasedSynopsis::from_json(&tree.release().to_json()).unwrap();
+        for v in tree.node_ids() {
+            assert_eq!(loaded.as_tree().is_cut(v), tree.is_cut(v), "cut {v}");
+            assert_eq!(
+                loaded.as_tree().noisy_count(v),
+                tree.noisy_count(v),
+                "count {v}"
+            );
+        }
+
+        let leafy = PsdConfig::quadtree(domain, 2, 0.5)
+            .with_count_budget(CountBudget::LeafOnly)
+            .with_postprocess(false)
+            .with_seed(2)
+            .build(&pts)
+            .unwrap();
+        let loaded = ReleasedSynopsis::from_json(&leafy.release().to_json()).unwrap();
+        assert_eq!(
+            loaded.as_tree().noisy_count(0),
+            None,
+            "withheld root stays withheld"
+        );
+        assert!(!loaded.as_tree().is_postprocessed());
+    }
+
+    #[test]
+    fn pretty_json_parses_too() {
+        let (domain, pts) = sample_points();
+        let tree = PsdConfig::quadtree(domain, 2, 0.5)
+            .with_seed(3)
+            .build(&pts)
+            .unwrap();
+        let pretty = ReleasedSynopsis::from_tree(&tree).to_json_pretty();
+        let loaded = ReleasedSynopsis::from_json(&pretty).unwrap();
+        assert_eq!(loaded.query(&domain), range_query(&tree, &domain));
+    }
+
+    #[test]
+    fn malformed_synopses_are_rejected() {
+        let (domain, pts) = sample_points();
+        let tree = PsdConfig::quadtree(domain, 2, 0.5)
+            .with_seed(4)
+            .build(&pts)
+            .unwrap();
+        let good = ReleasedSynopsis::from_tree(&tree).to_json();
+
+        let cases = [
+            ("not json at all", "{"),
+            (
+                "wrong format tag",
+                r#"{"format":"something-else","version":1}"#,
+            ),
+            (
+                "missing fields",
+                r#"{"format":"dpsd-synopsis","version":1}"#,
+            ),
+            (
+                "future version",
+                &good.replace("\"version\":1", "\"version\":99"),
+            ),
+            ("unknown kind", &good.replace("quadtree", "sorcery")),
+            (
+                "node count mismatch",
+                &good.replace("\"height\":2", "\"height\":3"),
+            ),
+            (
+                "absurd height",
+                &good.replace("\"height\":2", "\"height\":4000000"),
+            ),
+            (
+                "bad epsilon",
+                &good.replace("\"epsilon\":0.5", "\"epsilon\":-1"),
+            ),
+        ];
+        for (what, text) in cases {
+            assert!(
+                matches!(
+                    ReleasedSynopsis::from_json(text),
+                    Err(DpsdError::Format { .. })
+                ),
+                "{what} should be rejected"
+            );
+        }
+        // The unmodified artifact still parses.
+        assert!(ReleasedSynopsis::from_json(&good).is_ok());
+    }
+
+    #[test]
+    fn postprocessed_flag_with_zero_leaf_budget_is_rejected_not_a_panic() {
+        // A crafted artifact can claim `postprocessed: true` while
+        // carrying no leaf-level count budget; OLS recomputation would
+        // assert. The loader must reject it as a typed error.
+        let (domain, pts) = sample_points();
+        let leafy = PsdConfig::quadtree(domain, 2, 0.5)
+            .with_count_budget(CountBudget::LeafOnly)
+            .with_postprocess(false)
+            .with_seed(7)
+            .build(&pts)
+            .unwrap();
+        let json = leafy.release().to_json();
+        assert!(
+            json.contains("\"eps_count\":[0.5,0.0,0.0]"),
+            "fixture drifted: {json:.120}"
+        );
+        let crafted = json
+            .replace("\"postprocessed\":false", "\"postprocessed\":true")
+            .replace(
+                "\"eps_count\":[0.5,0.0,0.0]",
+                "\"eps_count\":[0.0,0.25,0.25]",
+            );
+        match ReleasedSynopsis::from_json(&crafted) {
+            Err(DpsdError::Format { reason }) => {
+                assert!(reason.contains("leaf-level"), "unexpected reason: {reason}")
+            }
+            other => panic!("crafted artifact must be rejected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn postprocessing_is_recomputed_not_trusted() {
+        let (domain, pts) = sample_points();
+        let tree = PsdConfig::quadtree(domain, 3, 0.5)
+            .with_seed(6)
+            .build(&pts)
+            .unwrap();
+        assert!(tree.is_postprocessed());
+        let json = ReleasedSynopsis::from_tree(&tree).to_json();
+        // Posted counts are not on the wire at all.
+        assert!(!json.contains("posted"));
+        let loaded = ReleasedSynopsis::from_json(&json).unwrap();
+        for v in tree.node_ids() {
+            let (a, b) = (
+                loaded.as_tree().posted_count(v).unwrap(),
+                tree.posted_count(v).unwrap(),
+            );
+            assert_eq!(a.to_bits(), b.to_bits(), "posted {v}: {a} vs {b}");
+        }
+    }
+}

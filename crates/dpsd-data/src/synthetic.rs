@@ -75,7 +75,10 @@ impl RoadNetworkConfig {
             "invalid mixture fractions"
         );
         let needs_cities = self.city_fraction > 0.0 || self.corridor_fraction > 0.0;
-        assert!(!needs_cities || self.n_cities > 0, "n_cities must be positive");
+        assert!(
+            !needs_cities || self.n_cities > 0,
+            "n_cities must be positive"
+        );
         let mut rng = seeded(self.seed);
         let d = &self.domain;
         let diag = (d.width() * d.width() + d.height() * d.height()).sqrt();
@@ -104,10 +107,7 @@ impl RoadNetworkConfig {
             }
         }
         if corridors.is_empty() {
-            corridors.push((
-                Point::new(d.min_x, d.min_y),
-                Point::new(d.max_x, d.max_y),
-            ));
+            corridors.push((Point::new(d.min_x, d.min_y), Point::new(d.max_x, d.max_y)));
         }
 
         let mut pts = Vec::with_capacity(self.n_points);
@@ -194,7 +194,13 @@ pub fn uniform_2d(n: usize, domain: &Rect, seed: u64) -> Vec<Point> {
 /// `n` points from `k` equal-weight Gaussian clusters with the given
 /// relative radius (fraction of the domain diagonal), clamped into the
 /// domain.
-pub fn gaussian_mixture(n: usize, k: usize, relative_radius: f64, domain: &Rect, seed: u64) -> Vec<Point> {
+pub fn gaussian_mixture(
+    n: usize,
+    k: usize,
+    relative_radius: f64,
+    domain: &Rect,
+    seed: u64,
+) -> Vec<Point> {
     assert!(k > 0, "at least one cluster");
     assert!(domain.area() > 0.0, "degenerate domain");
     let mut rng = seeded(seed);
@@ -255,7 +261,7 @@ mod tests {
         // The point of the substitute: strong density skew. Compare the
         // densest 1% of cells against the uniform expectation.
         let pts = tiger_substitute(50_000, 2);
-        let index = ExactIndex::build(&pts, TIGER_DOMAIN, 64);
+        let index = ExactIndex::build(&pts, TIGER_DOMAIN, 64).unwrap();
         let mut counts: Vec<usize> = Vec::new();
         let wx = TIGER_DOMAIN.width() / 64.0;
         let wy = TIGER_DOMAIN.height() / 64.0;
@@ -286,7 +292,10 @@ mod tests {
         let pts = uniform_2d(40_000, &domain, 3);
         let q = Rect::new(0.0, 0.0, 5.0, 5.0).unwrap();
         let inside = pts.iter().filter(|p| q.contains(**p)).count();
-        assert!((inside as f64 - 10_000.0).abs() < 500.0, "quadrant holds {inside}");
+        assert!(
+            (inside as f64 - 10_000.0).abs() < 500.0,
+            "quadrant holds {inside}"
+        );
     }
 
     #[test]

@@ -22,8 +22,14 @@ impl std::fmt::Display for LoadError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LoadError::Io(e) => write!(f, "i/o error: {e}"),
-            LoadError::Parse { line_number, content } => {
-                write!(f, "line {line_number}: cannot parse coordinates from {content:?}")
+            LoadError::Parse {
+                line_number,
+                content,
+            } => {
+                write!(
+                    f,
+                    "line {line_number}: cannot parse coordinates from {content:?}"
+                )
             }
         }
     }
@@ -64,7 +70,10 @@ pub fn read_coordinates<R: BufRead>(reader: R) -> Result<Vec<Point>, LoadError> 
         match parse_line(trimmed) {
             Some(p) => pts.push(p),
             None => {
-                return Err(LoadError::Parse { line_number: i + 1, content: trimmed.to_string() })
+                return Err(LoadError::Parse {
+                    line_number: i + 1,
+                    content: trimmed.to_string(),
+                })
             }
         }
     }

@@ -29,7 +29,10 @@ impl QueryShape {
     /// Panics unless both sides are positive and finite.
     pub fn new(width: f64, height: f64) -> Self {
         assert!(width > 0.0 && width.is_finite(), "invalid width {width}");
-        assert!(height > 0.0 && height.is_finite(), "invalid height {height}");
+        assert!(
+            height > 0.0 && height.is_finite(),
+            "invalid height {height}"
+        );
         QueryShape { width, height }
     }
 
@@ -49,10 +52,22 @@ impl QueryShape {
 /// The four shapes of Figure 3 (Figures 5-6 use the subset without
 /// `(5,5)`).
 pub const PAPER_SHAPES: [QueryShape; 4] = [
-    QueryShape { width: 1.0, height: 1.0 },
-    QueryShape { width: 5.0, height: 5.0 },
-    QueryShape { width: 10.0, height: 10.0 },
-    QueryShape { width: 15.0, height: 0.2 },
+    QueryShape {
+        width: 1.0,
+        height: 1.0,
+    },
+    QueryShape {
+        width: 5.0,
+        height: 5.0,
+    },
+    QueryShape {
+        width: 10.0,
+        height: 10.0,
+    },
+    QueryShape {
+        width: 15.0,
+        height: 0.2,
+    },
 ];
 
 /// A generated workload: queries plus their exact answers.
@@ -94,7 +109,10 @@ pub fn generate_workload(
     seed: u64,
 ) -> Workload {
     assert!(count > 0, "workload must contain at least one query");
-    assert!(!index.is_empty(), "cannot build a non-zero workload over empty data");
+    assert!(
+        !index.is_empty(),
+        "cannot build a non-zero workload over empty data"
+    );
     let domain = *index.domain();
     let w = shape.width.min(domain.width());
     let h = shape.height.min(domain.height());
@@ -119,7 +137,11 @@ pub fn generate_workload(
             exact.push(answer as f64);
         }
     }
-    Workload { shape, queries, exact }
+    Workload {
+        shape,
+        queries,
+        exact,
+    }
 }
 
 /// Convenience: builds the exact index and one workload per shape.
@@ -130,7 +152,7 @@ pub fn workloads_for_shapes(
     count: usize,
     seed: u64,
 ) -> Vec<Workload> {
-    let index = ExactIndex::build(points, domain, 512);
+    let index = ExactIndex::build(points, domain, 512).unwrap();
     shapes
         .iter()
         .enumerate()
@@ -153,7 +175,7 @@ mod tests {
     #[test]
     fn workload_has_nonzero_answers_and_fits_domain() {
         let pts = tiger_substitute(20_000, 3);
-        let index = ExactIndex::build(&pts, TIGER_DOMAIN, 256);
+        let index = ExactIndex::build(&pts, TIGER_DOMAIN, 256).unwrap();
         let wl = generate_workload(&index, QueryShape::new(5.0, 5.0), 50, 11);
         assert_eq!(wl.len(), 50);
         for (q, &a) in wl.queries.iter().zip(&wl.exact) {
@@ -167,7 +189,7 @@ mod tests {
     #[test]
     fn workload_is_reproducible() {
         let pts = tiger_substitute(5_000, 4);
-        let index = ExactIndex::build(&pts, TIGER_DOMAIN, 128);
+        let index = ExactIndex::build(&pts, TIGER_DOMAIN, 128).unwrap();
         let a = generate_workload(&index, QueryShape::new(10.0, 10.0), 20, 7);
         let b = generate_workload(&index, QueryShape::new(10.0, 10.0), 20, 7);
         assert_eq!(a.queries.len(), b.queries.len());
@@ -179,7 +201,7 @@ mod tests {
     #[test]
     fn oversized_shapes_are_clipped() {
         let pts = tiger_substitute(2_000, 5);
-        let index = ExactIndex::build(&pts, TIGER_DOMAIN, 64);
+        let index = ExactIndex::build(&pts, TIGER_DOMAIN, 64).unwrap();
         let wl = generate_workload(&index, QueryShape::new(1e6, 1e6), 3, 1);
         for q in &wl.queries {
             assert!(q.inside(&TIGER_DOMAIN));
@@ -191,7 +213,7 @@ mod tests {
     #[test]
     fn skinny_queries_work() {
         let pts = tiger_substitute(20_000, 6);
-        let index = ExactIndex::build(&pts, TIGER_DOMAIN, 256);
+        let index = ExactIndex::build(&pts, TIGER_DOMAIN, 256).unwrap();
         let wl = generate_workload(&index, QueryShape::new(15.0, 0.2), 30, 2);
         assert_eq!(wl.len(), 30);
         for q in &wl.queries {
@@ -212,7 +234,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "empty data")]
     fn empty_data_rejected() {
-        let index = ExactIndex::build(&[], TIGER_DOMAIN, 16);
+        let index = ExactIndex::build(&[], TIGER_DOMAIN, 16).unwrap();
         let _ = generate_workload(&index, QueryShape::new(1.0, 1.0), 5, 0);
     }
 }

@@ -3,7 +3,8 @@
 
 use dpsd_core::geometry::Point;
 use dpsd_core::metrics::{median_of, relative_error_pct};
-use dpsd_core::query::range_query_with;
+use dpsd_core::query::range_query_batch_with;
+use dpsd_core::synopsis::SpatialSynopsis;
 use dpsd_core::tree::{CountSource, PsdTree};
 use dpsd_data::synthetic::tiger_substitute;
 use dpsd_data::workload::Workload;
@@ -74,13 +75,26 @@ impl Scale {
 }
 
 /// Evaluates a tree over a workload: the paper's summary statistic, the
-/// **median relative error (%)** across the workload's queries.
+/// **median relative error (%)** across the workload's queries. The
+/// whole workload is answered in one shared traversal
+/// ([`range_query_batch_with`]).
 pub fn evaluate_tree(tree: &PsdTree, workload: &Workload, source: CountSource) -> f64 {
-    let errs: Vec<f64> = workload
-        .queries
+    let answers = range_query_batch_with(tree, &workload.queries, source);
+    median_error_pct(&answers, &workload.exact)
+}
+
+/// Evaluates **any** backend behind [`SpatialSynopsis`] over a workload
+/// (its best released counts), using the backend's batched path.
+pub fn evaluate_synopsis<S: SpatialSynopsis + ?Sized>(synopsis: &S, workload: &Workload) -> f64 {
+    let answers = synopsis.query_batch(&workload.queries);
+    median_error_pct(&answers, &workload.exact)
+}
+
+fn median_error_pct(answers: &[f64], exact: &[f64]) -> f64 {
+    let errs: Vec<f64> = answers
         .iter()
-        .zip(&workload.exact)
-        .map(|(q, &actual)| relative_error_pct(range_query_with(tree, q, source), actual))
+        .zip(exact)
+        .map(|(&est, &actual)| relative_error_pct(est, actual))
         .collect();
     median_of(&errs).expect("workload is non-empty")
 }
@@ -95,10 +109,10 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dpsd_baselines::ExactIndex;
     use dpsd_core::geometry::Rect;
     use dpsd_core::tree::PsdConfig;
     use dpsd_data::workload::{generate_workload, QueryShape};
-    use dpsd_baselines::ExactIndex;
 
     #[test]
     fn evaluate_tree_zero_for_exact_source_on_aligned_grid() {
@@ -109,8 +123,11 @@ mod tests {
         let pts: Vec<Point> = (0..64)
             .flat_map(|i| (0..64).map(move |j| Point::new(i as f64 + 0.5, j as f64 + 0.5)))
             .collect();
-        let tree = PsdConfig::quadtree(domain, 3, 1.0).with_seed(1).build(&pts).unwrap();
-        let index = ExactIndex::build(&pts, domain, 64);
+        let tree = PsdConfig::quadtree(domain, 3, 1.0)
+            .with_seed(1)
+            .build(&pts)
+            .unwrap();
+        let index = ExactIndex::build(&pts, domain, 64).unwrap();
         let wl = generate_workload(&index, QueryShape::new(16.0, 16.0), 20, 3);
         let err = evaluate_tree(&tree, &wl, CountSource::True);
         assert!(err < 12.0, "true-source error {err}% unexpectedly large");

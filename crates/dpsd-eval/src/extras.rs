@@ -9,11 +9,10 @@
 //!   leaf-only, level-skip) head to head on the same tree and workload,
 //!   quantifying Section 4.2's discussion.
 
-use crate::common::{evaluate_tree, Scale};
+use crate::common::{evaluate_synopsis, evaluate_tree, Scale};
 use crate::report::Table;
 use dpsd_baselines::{ExactIndex, FlatGrid};
 use dpsd_core::budget::CountBudget;
-use dpsd_core::metrics::{median_of, relative_error_pct};
 use dpsd_core::tree::{CountSource, PsdConfig};
 use dpsd_data::synthetic::TIGER_DOMAIN;
 use dpsd_data::workload::{generate_workload, QueryShape};
@@ -21,14 +20,14 @@ use dpsd_data::workload::{generate_workload, QueryShape};
 /// Flat-grid vs quadtree across query sizes (Section 1's argument).
 pub fn intro_strawman(scale: &Scale, seed: u64) -> Vec<Table> {
     let points = scale.dataset(seed);
-    let index = ExactIndex::build(&points, TIGER_DOMAIN, 512);
+    let index = ExactIndex::build(&points, TIGER_DOMAIN, 512).unwrap();
     let eps = 0.5;
     // A fine flat grid, as the introduction prescribes: four grid cells
     // per deepest quadtree cell (paper scale: 4096 x 4096, ~0.005
     // degrees). The finer the grid, the more cells a query sums and the
     // worse the noise accumulation - the introduction's argument.
     let g = 1usize << (scale.quad_height + 2);
-    let grid = FlatGrid::build(&points, TIGER_DOMAIN, g, g, eps, seed);
+    let grid = FlatGrid::build(&points, TIGER_DOMAIN, g, g, eps, seed).expect("flat grid build");
     let tree = PsdConfig::quadtree(TIGER_DOMAIN, scale.quad_height, eps)
         .with_seed(seed)
         .build(&points)
@@ -47,14 +46,14 @@ pub fn intro_strawman(scale: &Scale, seed: u64) -> Vec<Table> {
     let mut grid_row = Vec::new();
     let mut tree_row = Vec::new();
     for (i, &shape) in shapes.iter().enumerate() {
-        let wl = generate_workload(&index, shape, scale.queries_per_shape.min(200), seed + i as u64);
-        let grid_errs: Vec<f64> = wl
-            .queries
-            .iter()
-            .zip(&wl.exact)
-            .map(|(q, &a)| relative_error_pct(grid.query(q), a))
-            .collect();
-        grid_row.push(median_of(&grid_errs).unwrap());
+        let wl = generate_workload(
+            &index,
+            shape,
+            scale.queries_per_shape.min(200),
+            seed + i as u64,
+        );
+        // Both backends run through the same trait-level evaluator.
+        grid_row.push(evaluate_synopsis(&grid, &wl));
         tree_row.push(evaluate_tree(&tree, &wl, CountSource::Auto));
     }
     table.push_row("flat-grid", grid_row);
@@ -65,7 +64,7 @@ pub fn intro_strawman(scale: &Scale, seed: u64) -> Vec<Table> {
 /// Budget strategies head to head on the same quadtree (Section 4.2).
 pub fn budget_ablation(scale: &Scale, seed: u64) -> Vec<Table> {
     let points = scale.dataset(seed);
-    let index = ExactIndex::build(&points, TIGER_DOMAIN, 512);
+    let index = ExactIndex::build(&points, TIGER_DOMAIN, 512).unwrap();
     let eps = 0.5;
     let h = scale.quad_height;
     // Level-skip: withhold every other internal level ("conceptually
@@ -83,7 +82,14 @@ pub fn budget_ablation(scale: &Scale, seed: u64) -> Vec<Table> {
     let workloads: Vec<_> = shapes
         .iter()
         .enumerate()
-        .map(|(i, &s)| generate_workload(&index, s, scale.queries_per_shape.min(200), seed + 31 + i as u64))
+        .map(|(i, &s)| {
+            generate_workload(
+                &index,
+                s,
+                scale.queries_per_shape.min(200),
+                seed + 31 + i as u64,
+            )
+        })
         .collect();
     let mut table = Table::new(
         format!("Extra: budget-strategy ablation on quad trees, eps={eps}, h={h}"),

@@ -13,14 +13,8 @@ pub fn run() -> Vec<Table> {
         "budget",
         (5..=10).map(|h| format!("h={h}")).collect(),
     );
-    table.push_row(
-        "uniform",
-        (5..=10).map(figure2_uniform).collect(),
-    );
-    table.push_row(
-        "geometric",
-        (5..=10).map(figure2_geometric).collect(),
-    );
+    table.push_row("uniform", (5..=10).map(figure2_uniform).collect());
+    table.push_row("geometric", (5..=10).map(figure2_geometric).collect());
     vec![table]
 }
 

@@ -53,7 +53,11 @@ pub fn run(scale: &Scale, seed: u64) -> Vec<Table> {
                 .with_seed(seed ^ eps.to_bits())
                 .build(&points)
                 .expect("quadtree build");
-            let source = if post { CountSource::Posted } else { CountSource::Noisy };
+            let source = if post {
+                CountSource::Posted
+            } else {
+                CountSource::Noisy
+            };
             let row: Vec<f64> = workloads
                 .iter()
                 .map(|wl| evaluate_tree(&tree, wl, source))
@@ -74,15 +78,11 @@ mod tests {
         let tables = run(&Scale::quick(), 42);
         assert_eq!(tables.len(), 3);
         let t = &tables[0]; // eps = 0.1
-        // The paper's headline: quad-opt reduces error dramatically vs
-        // quad-baseline, especially at small eps. Sum across shapes to
-        // damp per-shape noise.
-        let sum = |method: &str| -> f64 {
-            t.columns
-                .iter()
-                .map(|c| t.cell(method, c).unwrap())
-                .sum()
-        };
+                            // The paper's headline: quad-opt reduces error dramatically vs
+                            // quad-baseline, especially at small eps. Sum across shapes to
+                            // damp per-shape noise.
+        let sum =
+            |method: &str| -> f64 { t.columns.iter().map(|c| t.cell(method, c).unwrap()).sum() };
         let baseline = sum("quad-baseline");
         let opt = sum("quad-opt");
         assert!(

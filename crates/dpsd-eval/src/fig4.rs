@@ -34,7 +34,10 @@ enum Method {
 
 fn methods() -> Vec<(&'static str, Method)> {
     vec![
-        ("EM", Method::Selector(MedianSelector::plain(MedianConfig::Exponential))),
+        (
+            "EM",
+            Method::Selector(MedianSelector::plain(MedianConfig::Exponential)),
+        ),
         (
             "SS",
             Method::Selector(MedianSelector::plain(MedianConfig::SmoothSensitivity {
@@ -55,7 +58,10 @@ fn methods() -> Vec<(&'static str, Method)> {
                 SamplingPlan::paper_default(),
             )),
         ),
-        ("NM", Method::Selector(MedianSelector::plain(MedianConfig::NoisyMean))),
+        (
+            "NM",
+            Method::Selector(MedianSelector::plain(MedianConfig::NoisyMean)),
+        ),
         ("cell", Method::Cell),
     ]
 }
@@ -100,11 +106,42 @@ fn run_method(
         // Values stay sorted: binary-search the split point.
         let mid = values.partition_point(|&x| x < split);
         let (left, right) = values.split_at_mut(mid);
-        recurse(method, grid, left, lo, split, depth + 1, max_depth, rng, errs, time_ms);
-        recurse(method, grid, right, split, hi, depth + 1, max_depth, rng, errs, time_ms);
+        recurse(
+            method,
+            grid,
+            left,
+            lo,
+            split,
+            depth + 1,
+            max_depth,
+            rng,
+            errs,
+            time_ms,
+        );
+        recurse(
+            method,
+            grid,
+            right,
+            split,
+            hi,
+            depth + 1,
+            max_depth,
+            rng,
+            errs,
+            time_ms,
+        );
     }
     recurse(
-        method, grid, sorted, lo, hi, 0, max_depth, rng, &mut errs, &mut time_ms,
+        method,
+        grid,
+        sorted,
+        lo,
+        hi,
+        0,
+        max_depth,
+        rng,
+        &mut errs,
+        &mut time_ms,
     );
     let mean_err: Vec<f64> = errs
         .iter()

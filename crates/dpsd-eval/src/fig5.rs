@@ -18,9 +18,18 @@ pub const EPSILONS: [f64; 3] = [0.1, 0.5, 1.0];
 
 /// Shapes used by Figures 5 and 6.
 pub const SHAPES: [QueryShape; 3] = [
-    QueryShape { width: 1.0, height: 1.0 },
-    QueryShape { width: 10.0, height: 10.0 },
-    QueryShape { width: 15.0, height: 0.2 },
+    QueryShape {
+        width: 1.0,
+        height: 1.0,
+    },
+    QueryShape {
+        width: 10.0,
+        height: 10.0,
+    },
+    QueryShape {
+        width: 15.0,
+        height: 0.2,
+    },
 ];
 
 /// Pruning threshold (paper Section 8.2).
@@ -33,12 +42,18 @@ fn variants(scale: &Scale, eps: f64) -> Vec<(&'static str, PsdConfig)> {
         ("kd-pure", PsdConfig::kd_pure(TIGER_DOMAIN, h)),
         ("kd-true", PsdConfig::kd_true(TIGER_DOMAIN, h, eps)),
         ("kd-standard", PsdConfig::kd_standard(TIGER_DOMAIN, h, eps)),
-        ("kd-hybrid", PsdConfig::kd_hybrid(TIGER_DOMAIN, h, eps, switch)),
+        (
+            "kd-hybrid",
+            PsdConfig::kd_hybrid(TIGER_DOMAIN, h, eps, switch),
+        ),
         (
             "kd-cell",
             PsdConfig::kd_cell(TIGER_DOMAIN, h, eps, (scale.kdcell_grid, scale.kdcell_grid)),
         ),
-        ("kd-noisymean", PsdConfig::kd_noisymean(TIGER_DOMAIN, h, eps)),
+        (
+            "kd-noisymean",
+            PsdConfig::kd_noisymean(TIGER_DOMAIN, h, eps),
+        ),
     ]
 }
 
@@ -112,7 +127,10 @@ mod tests {
         );
         // kd-true sits between: noise only on counts.
         let true_ = sum("kd-true");
-        assert!(true_ <= standard * 2.0 + 1.0, "kd-true {true_} vs kd-standard {standard}");
+        assert!(
+            true_ <= standard * 2.0 + 1.0,
+            "kd-true {true_} vs kd-standard {standard}"
+        );
     }
 
     #[test]

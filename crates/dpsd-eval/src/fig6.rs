@@ -27,8 +27,7 @@ pub fn run(scale: &Scale, seed: u64) -> Vec<Table> {
     let heights: Vec<usize> = scale.height_sweep.clone().collect();
     let methods: Vec<&str> = vec!["quad-opt", "kd-hybrid", "kd-cell", "Hilbert-R"];
     // Build each (method, height) tree once and evaluate on all shapes.
-    let mut results: Vec<Vec<Vec<f64>>> =
-        vec![vec![Vec::new(); heights.len()]; workloads.len()];
+    let mut results: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); heights.len()]; workloads.len()];
     for (hi, &h) in heights.iter().enumerate() {
         for method in &methods {
             let config = match *method {

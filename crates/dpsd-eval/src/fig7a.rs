@@ -19,10 +19,18 @@ pub fn run(scale: &Scale, seed: u64) -> Vec<Table> {
     let points = scale.dataset(seed);
     let h = scale.kd_height;
     let configs = [
-        ("kd-hybrid", PsdConfig::kd_hybrid(TIGER_DOMAIN, h, EPSILON, h / 2)),
+        (
+            "kd-hybrid",
+            PsdConfig::kd_hybrid(TIGER_DOMAIN, h, EPSILON, h / 2),
+        ),
         (
             "kd-cell",
-            PsdConfig::kd_cell(TIGER_DOMAIN, h, EPSILON, (scale.kdcell_grid, scale.kdcell_grid)),
+            PsdConfig::kd_cell(
+                TIGER_DOMAIN,
+                h,
+                EPSILON,
+                (scale.kdcell_grid, scale.kdcell_grid),
+            ),
         ),
         ("quadtree", PsdConfig::quadtree(TIGER_DOMAIN, h, EPSILON)),
         ("Hilbert-R", PsdConfig::hilbert_r(TIGER_DOMAIN, h, EPSILON)),

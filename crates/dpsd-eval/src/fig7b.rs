@@ -24,8 +24,11 @@ pub fn run(scale: &Scale, seed: u64) -> Vec<Table> {
         0.3,
         seed ^ 0xF17B,
     );
-    let b_index = ExactIndex::build(&b, TIGER_DOMAIN, 256);
-    let blocking = BlockingConfig { matching_distance: 0.3, retain_threshold: 3.0 };
+    let b_index = ExactIndex::build(&b, TIGER_DOMAIN, 256).unwrap();
+    let blocking = BlockingConfig {
+        matching_distance: 0.3,
+        retain_threshold: 3.0,
+    };
     // Each method keeps its native height from the main experiments: the
     // data-oblivious quadtree grows deep, so with a leaf-only budget it
     // retains many noise-positive empty cells whose padded SMC cost makes
@@ -45,8 +48,12 @@ pub fn run(scale: &Scale, seed: u64) -> Vec<Table> {
         ("quad-baseline", quad_h, |eps, h| {
             PsdConfig::quadtree(TIGER_DOMAIN, h, eps).with_count_budget(CountBudget::Uniform)
         }),
-        ("kd-noisymean", kd_h, |eps, h| PsdConfig::kd_noisymean(TIGER_DOMAIN, h, eps)),
-        ("kd-standard", kd_h, |eps, h| PsdConfig::kd_standard(TIGER_DOMAIN, h, eps)),
+        ("kd-noisymean", kd_h, |eps, h| {
+            PsdConfig::kd_noisymean(TIGER_DOMAIN, h, eps)
+        }),
+        ("kd-standard", kd_h, |eps, h| {
+            PsdConfig::kd_standard(TIGER_DOMAIN, h, eps)
+        }),
     ];
     for (name, h, make) in methods {
         let mut row = Vec::new();

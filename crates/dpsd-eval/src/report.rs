@@ -24,7 +24,12 @@ impl Table {
         row_label: impl Into<String>,
         columns: Vec<String>,
     ) -> Self {
-        Table { title: title.into(), row_label: row_label.into(), columns, rows: Vec::new() }
+        Table {
+            title: title.into(),
+            row_label: row_label.into(),
+            columns,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.

@@ -217,7 +217,10 @@ mod tests {
                     assert_eq!(c.decode(d), (x, y), "roundtrip at order {order}");
                 }
             }
-            assert!(seen.iter().all(|&s| s), "curve covers grid at order {order}");
+            assert!(
+                seen.iter().all(|&s| s),
+                "curve covers grid at order {order}"
+            );
         }
     }
 
@@ -265,7 +268,10 @@ mod tests {
         );
         assert_eq!(
             c.try_decode(64),
-            Err(HilbertError::IndexOutOfRange { index: 64, cells: 64 })
+            Err(HilbertError::IndexOutOfRange {
+                index: 64,
+                cells: 64
+            })
         );
         assert!(c.try_decode(63).is_ok());
     }

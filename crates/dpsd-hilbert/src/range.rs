@@ -28,7 +28,12 @@ pub struct CellBBox {
 impl CellBBox {
     /// A box covering the single cell `(x, y)`.
     pub fn cell(x: u32, y: u32) -> Self {
-        CellBBox { min_x: x, min_y: y, max_x: x, max_y: y }
+        CellBBox {
+            min_x: x,
+            min_y: y,
+            max_x: x,
+            max_y: y,
+        }
     }
 
     /// A box covering the square of side `side` whose lower corner is
@@ -189,7 +194,9 @@ mod tests {
         // Deterministic pseudo-random ranges (LCG) — no rand dependency here.
         let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 33
         };
         for _ in 0..200 {

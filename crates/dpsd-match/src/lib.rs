@@ -33,10 +33,10 @@
 
 pub mod parties;
 
+use dpsd_baselines::ExactIndex;
 use dpsd_core::budget::CountBudget;
 use dpsd_core::geometry::Point;
 use dpsd_core::tree::{CountSource, PsdConfig, PsdTree};
-use dpsd_baselines::ExactIndex;
 
 /// Configuration of one blocking run.
 #[derive(Debug, Clone)]
@@ -52,7 +52,10 @@ pub struct BlockingConfig {
 
 impl Default for BlockingConfig {
     fn default() -> Self {
-        BlockingConfig { matching_distance: 0.05, retain_threshold: 8.0 }
+        BlockingConfig {
+            matching_distance: 0.05,
+            retain_threshold: 8.0,
+        }
     }
 }
 
@@ -89,7 +92,7 @@ impl BlockingOutcome {
 pub fn build_blocking_tree(
     mut config: PsdConfig,
     a_points: &[Point],
-) -> Result<PsdTree, dpsd_core::tree::BuildError> {
+) -> Result<PsdTree, dpsd_core::DpsdError> {
     config.count_budget = CountBudget::LeafOnly;
     config.postprocess = false;
     config.prune_threshold = None;
@@ -164,7 +167,11 @@ pub fn run_blocking(
             }
         }
     }
-    let match_recall = if matches == 0 { 1.0 } else { kept as f64 / matches as f64 };
+    let match_recall = if matches == 0 {
+        1.0
+    } else {
+        kept as f64 / matches as f64
+    };
     BlockingOutcome {
         smc_pairs: smc_pairs.min(naive_pairs),
         naive_pairs,
@@ -189,35 +196,43 @@ mod tests {
     #[test]
     fn blocking_saves_work_and_keeps_most_matches() {
         let (domain, a, b) = setup();
-        let tree = build_blocking_tree(PsdConfig::kd_standard(domain, 5, 0.5).with_seed(1), &a)
-            .unwrap();
-        let b_index = ExactIndex::build(&b, domain, 128);
+        let tree =
+            build_blocking_tree(PsdConfig::kd_standard(domain, 5, 0.5).with_seed(1), &a).unwrap();
+        let b_index = ExactIndex::build(&b, domain, 128).unwrap();
         let outcome = run_blocking(
             &tree,
             &b_index,
             &a,
             &b,
-            &BlockingConfig { matching_distance: 0.5, retain_threshold: 8.0 },
+            &BlockingConfig {
+                matching_distance: 0.5,
+                retain_threshold: 8.0,
+            },
         );
         let rr = outcome.reduction_ratio();
         assert!(rr > 0.3, "reduction ratio {rr} too low");
-        assert!(outcome.match_recall > 0.5, "recall {} too low", outcome.match_recall);
+        assert!(
+            outcome.match_recall > 0.5,
+            "recall {} too low",
+            outcome.match_recall
+        );
         assert!(outcome.retained_leaves > 0);
     }
 
     #[test]
     fn larger_epsilon_improves_reduction() {
         let (domain, a, b) = setup();
-        let b_index = ExactIndex::build(&b, domain, 128);
-        let cfg = BlockingConfig { matching_distance: 0.5, retain_threshold: 8.0 };
+        let b_index = ExactIndex::build(&b, domain, 128).unwrap();
+        let cfg = BlockingConfig {
+            matching_distance: 0.5,
+            retain_threshold: 8.0,
+        };
         let ratio_at = |eps: f64| {
             let mut acc = 0.0;
             for seed in 0..5 {
-                let tree = build_blocking_tree(
-                    PsdConfig::kd_standard(domain, 5, eps).with_seed(seed),
-                    &a,
-                )
-                .unwrap();
+                let tree =
+                    build_blocking_tree(PsdConfig::kd_standard(domain, 5, eps).with_seed(seed), &a)
+                        .unwrap();
                 acc += run_blocking(&tree, &b_index, &a, &b, &cfg).reduction_ratio();
             }
             acc / 5.0
@@ -236,7 +251,11 @@ mod tests {
         let tree =
             build_blocking_tree(PsdConfig::quadtree(domain, 4, 0.5).with_seed(3), &a).unwrap();
         assert!(!tree.is_postprocessed());
-        assert_eq!(tree.noisy_count(tree.root()), None, "internal counts withheld");
+        assert_eq!(
+            tree.noisy_count(tree.root()),
+            None,
+            "internal counts withheld"
+        );
     }
 
     #[test]
@@ -245,10 +264,14 @@ mod tests {
         let tree =
             build_blocking_tree(PsdConfig::quadtree(domain, 4, 0.5).with_seed(4), &a).unwrap();
         let b: Vec<Point> = vec![];
-        let b_index = ExactIndex::build(&b, domain, 32);
+        let b_index = ExactIndex::build(&b, domain, 32).unwrap();
         let outcome = run_blocking(&tree, &b_index, &a, &b, &BlockingConfig::default());
         assert_eq!(outcome.smc_pairs, 0.0);
-        assert_eq!(outcome.reduction_ratio(), 0.0, "naive is 0 too: ratio defined as 0");
+        assert_eq!(
+            outcome.reduction_ratio(),
+            0.0,
+            "naive is 0 too: ratio defined as 0"
+        );
         assert_eq!(outcome.match_recall, 1.0);
     }
 
@@ -257,16 +280,22 @@ mod tests {
         let (domain, a, b) = setup();
         let tree =
             build_blocking_tree(PsdConfig::quadtree(domain, 4, 0.5).with_seed(5), &a).unwrap();
-        let b_index = ExactIndex::build(&b, domain, 64);
+        let b_index = ExactIndex::build(&b, domain, 64).unwrap();
         let outcome = run_blocking(
             &tree,
             &b_index,
             &a,
             &b,
-            &BlockingConfig { matching_distance: 0.5, retain_threshold: 1e9 },
+            &BlockingConfig {
+                matching_distance: 0.5,
+                retain_threshold: 1e9,
+            },
         );
         assert_eq!(outcome.retained_leaves, 0);
         assert_eq!(outcome.reduction_ratio(), 1.0);
-        assert!(outcome.match_recall < 0.1, "everything was (wrongly) discarded");
+        assert!(
+            outcome.match_recall < 0.1,
+            "everything was (wrongly) discarded"
+        );
     }
 }

@@ -26,24 +26,28 @@ pub fn two_party_datasets(
 ) -> (Vec<Point>, Vec<Point>) {
     assert!(domain.area() > 0.0, "degenerate domain");
     assert!(n_a > 0 && n_b > 0, "parties must hold records");
-    assert!((0.0..=1.0).contains(&overlap_fraction), "invalid overlap fraction");
+    assert!(
+        (0.0..=1.0).contains(&overlap_fraction),
+        "invalid overlap fraction"
+    );
     let mut rng = seeded(seed);
     let diag = (domain.width() * domain.width() + domain.height() * domain.height()).sqrt();
 
     // Each party's own records cluster around a handful of centres
     // (customers of two businesses in overlapping cities).
-    let cluster_points = |n: usize, centres: &[Point], radius: f64, rng: &mut rand::rngs::StdRng| {
-        (0..n)
-            .map(|i| {
-                let c = centres[i % centres.len()];
-                let (gx, gy) = gaussian_pair(rng);
-                Point::new(
-                    (c.x + gx * radius).clamp(domain.min_x, domain.max_x),
-                    (c.y + gy * radius).clamp(domain.min_y, domain.max_y),
-                )
-            })
-            .collect::<Vec<Point>>()
-    };
+    let cluster_points =
+        |n: usize, centres: &[Point], radius: f64, rng: &mut rand::rngs::StdRng| {
+            (0..n)
+                .map(|i| {
+                    let c = centres[i % centres.len()];
+                    let (gx, gy) = gaussian_pair(rng);
+                    Point::new(
+                        (c.x + gx * radius).clamp(domain.min_x, domain.max_x),
+                        (c.y + gy * radius).clamp(domain.min_y, domain.max_y),
+                    )
+                })
+                .collect::<Vec<Point>>()
+        };
     let n_centres = 8;
     let centres: Vec<Point> = (0..n_centres)
         .map(|_| {

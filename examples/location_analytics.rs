@@ -4,17 +4,15 @@
 //!
 //! Run with: `cargo run --release --example location_analytics`
 
-use dpsd::baselines::ExactIndex;
 use dpsd::core::metrics::{median_of, relative_error_pct};
 use dpsd::data::synthetic::tiger_substitute;
-use dpsd::data::workload::generate_workload;
 use dpsd::prelude::*;
 
 fn main() {
     // 100k "device locations" over the WA+NM bounding box.
     let n = 100_000;
     let points = tiger_substitute(n, 7);
-    let index = ExactIndex::build(&points, TIGER_DOMAIN, 512);
+    let index = ExactIndex::build(&points, TIGER_DOMAIN, 512).unwrap();
     println!("dataset: {n} locations over {:?}", TIGER_DOMAIN);
 
     let epsilon = 0.5;
@@ -22,7 +20,10 @@ fn main() {
     let trees: Vec<(&str, PsdTree)> = vec![
         (
             "quad-opt",
-            PsdConfig::quadtree(TIGER_DOMAIN, height, epsilon).with_seed(1).build(&points).unwrap(),
+            PsdConfig::quadtree(TIGER_DOMAIN, height, epsilon)
+                .with_seed(1)
+                .build(&points)
+                .unwrap(),
         ),
         (
             "kd-hybrid",
@@ -33,11 +34,17 @@ fn main() {
         ),
         (
             "kd-standard",
-            PsdConfig::kd_standard(TIGER_DOMAIN, height, epsilon).with_seed(3).build(&points).unwrap(),
+            PsdConfig::kd_standard(TIGER_DOMAIN, height, epsilon)
+                .with_seed(3)
+                .build(&points)
+                .unwrap(),
         ),
         (
             "Hilbert-R",
-            PsdConfig::hilbert_r(TIGER_DOMAIN, height, epsilon).with_seed(4).build(&points).unwrap(),
+            PsdConfig::hilbert_r(TIGER_DOMAIN, height, epsilon)
+                .with_seed(4)
+                .build(&points)
+                .unwrap(),
         ),
     ];
 
@@ -51,11 +58,12 @@ fn main() {
         print!("{name:<12}");
         for (i, shape) in PAPER_SHAPES.into_iter().enumerate() {
             let wl = generate_workload(&index, shape, 200, 100 + i as u64);
-            let errs: Vec<f64> = wl
-                .queries
+            // One shared traversal answers the whole workload.
+            let answers = tree.query_batch(&wl.queries);
+            let errs: Vec<f64> = answers
                 .iter()
                 .zip(&wl.exact)
-                .map(|(q, &a)| relative_error_pct(range_query(tree, q), a))
+                .map(|(&est, &a)| relative_error_pct(est, a))
                 .collect();
             print!("  {:>8.2}%", median_of(&errs).unwrap());
         }
@@ -65,11 +73,15 @@ fn main() {
     // A concrete planning question: how many people are within the
     // Seattle metro box?
     let seattle = Rect::new(-122.8, 47.0, -121.8, 48.0).unwrap();
-    let exact = index.count(&seattle) as f64;
+    // `ExactIndex` is a SpatialSynopsis too (an exact, non-private one).
+    let exact = index.query(&seattle);
     println!("\nSeattle metro box, exact {exact} vs private estimates:");
     for (name, tree) in &trees {
-        let est = range_query(tree, &seattle);
-        println!("  {name:<12} {est:>12.1}  ({:+.2}% error)", (est - exact) / exact * 100.0);
+        let est = tree.query(&seattle);
+        println!(
+            "  {name:<12} {est:>12.1}  ({:+.2}% error)",
+            (est - exact) / exact * 100.0
+        );
     }
     println!("\nAll of the above were computed from eps = {epsilon} private releases;");
     println!("no query touched the raw coordinates.");

@@ -1,12 +1,14 @@
-//! Publish-and-share: the data owner builds a private release, writes it
-//! to a file, and an analyst loads it and answers queries with no access
-//! to the raw data. Also demonstrates the d-dimensional extension (a
-//! private octree over 3-D data).
+//! Publish-and-share: the data owner builds a private release, publishes
+//! it as a **raw-data-free JSON synopsis**, and an analyst (a query
+//! server, a notebook, another team) loads it and answers whole
+//! workloads with no access to the raw data — the workflow the
+//! `SpatialSynopsis` / `ReleasedSynopsis` API exists for. Also
+//! demonstrates the d-dimensional extension (a private octree over 3-D
+//! data).
 //!
 //! Run with: `cargo run --release --example publish_and_share`
 
 use dpsd::core::ndim::{NdTreeConfig, PointN, RectN};
-use dpsd::core::tree::{read_release, write_release};
 use dpsd::prelude::*;
 
 fn main() {
@@ -17,25 +19,50 @@ fn main() {
         .with_seed(11)
         .build(&points)
         .unwrap();
-    let path = std::env::temp_dir().join("locations.dpsd");
-    let mut file = std::fs::File::create(&path).unwrap();
-    write_release(&tree, &mut file).unwrap();
-    let bytes = std::fs::metadata(&path).unwrap().len();
-    println!("owner: published {} ({bytes} bytes, eps = {})", path.display(), tree.epsilon());
+    let json = tree.release().to_json();
+    let path = std::env::temp_dir().join("locations.dpsd.json");
+    std::fs::write(&path, &json).unwrap();
+    println!(
+        "owner: published {} ({} bytes, eps = {})",
+        path.display(),
+        json.len(),
+        tree.epsilon()
+    );
 
     // ---- Analyst side (no access to `points`) ----------------------
-    let file = std::io::BufReader::new(std::fs::File::open(&path).unwrap());
-    let release = read_release(file).unwrap();
+    let published = std::fs::read_to_string(&path).unwrap();
+    let synopsis = ReleasedSynopsis::from_json(&published).expect("valid synopsis");
     println!(
         "analyst: loaded a {} of height {} covering {:?}",
-        release.kind(),
-        release.height(),
-        release.domain()
+        synopsis.as_tree().kind(),
+        synopsis.as_tree().height(),
+        synopsis.domain(),
     );
+    // The synopsis carries no raw data at all:
+    assert_eq!(synopsis.as_tree().true_count(0), 0.0);
+
+    // One region...
     let region = Rect::new(-118.0, 33.5, -114.0, 37.5).unwrap();
-    let estimate = range_query(&release, &region);
+    let estimate = synopsis.query(&region);
     let exact = points.iter().filter(|p| region.contains(**p)).count() as f64;
     println!("analyst: region estimate {estimate:.0} (owner knows exact = {exact})");
+    // ...and the loaded synopsis answers exactly like the owner's tree:
+    assert_eq!(estimate, tree.query(&region));
+
+    // Whole workloads go through the shared-traversal batch path.
+    let workload: Vec<Rect> = (0..1000)
+        .map(|i| {
+            let x = TIGER_DOMAIN.min_x + (i % 40) as f64 / 40.0 * (TIGER_DOMAIN.width() - 2.0);
+            let y = TIGER_DOMAIN.min_y + (i / 40) as f64 / 25.0 * (TIGER_DOMAIN.height() - 2.0);
+            Rect::new(x, y, x + 2.0, y + 2.0).unwrap()
+        })
+        .collect();
+    let answers = synopsis.query_batch(&workload);
+    let positive = answers.iter().filter(|&&a| a > 0.0).count();
+    println!(
+        "analyst: answered {} queries in one traversal ({positive} non-empty)",
+        answers.len()
+    );
 
     // ---- 3-D extension: a private octree ----------------------------
     // Location + time-of-day as a third dimension.
@@ -49,10 +76,16 @@ fn main() {
             ])
         })
         .collect();
-    let octree = NdTreeConfig::new(cube, 4, 0.5).with_seed(4).build(&events).unwrap();
+    let octree = NdTreeConfig::new(cube, 4, 0.5)
+        .with_seed(4)
+        .build(&events)
+        .unwrap();
     let evening = RectN::new([0.0, 0.0, 17.0], [100.0, 100.0, 20.0]).unwrap();
     let est = octree.range_query(&evening);
     let truth = events.iter().filter(|p| evening.contains(p)).count() as f64;
-    println!("\noctree (fanout {}): evening events ~ {est:.0} (exact {truth})", octree.fanout());
+    println!(
+        "\noctree (fanout {}): evening events ~ {est:.0} (exact {truth})",
+        octree.fanout()
+    );
     std::fs::remove_file(&path).ok();
 }

@@ -12,7 +12,11 @@ fn main() {
     let mut points = Vec::new();
     for i in 0..300 {
         // Town A near (3, 3), town B near (12, 10).
-        let (cx, cy, r) = if i % 3 == 0 { (12.0, 10.0, 1.5) } else { (3.0, 3.0, 1.0) };
+        let (cx, cy, r) = if i % 3 == 0 {
+            (12.0, 10.0, 1.5)
+        } else {
+            (3.0, 3.0, 1.0)
+        };
         let angle = i as f64 * 0.7;
         points.push(Point::new(
             (cx + r * angle.cos() * ((i % 7) as f64 / 7.0)).clamp(0.0, 16.0),
@@ -30,16 +34,23 @@ fn main() {
         .build(&points)
         .expect("valid configuration");
 
-    println!("Private quadtree: height {}, {} nodes, eps = {}", tree.height(), tree.node_count(), epsilon);
+    println!(
+        "Private quadtree: height {}, {} nodes, eps = {}",
+        tree.height(),
+        tree.node_count(),
+        epsilon
+    );
     println!("\nReleased (post-processed) counts, root and first level:");
     let root = tree.root();
-    println!("  root          : noisy {:>7.2}  posted {:>7.2}  (true {})",
+    println!(
+        "  root          : noisy {:>7.2}  posted {:>7.2}  (true {})",
         tree.noisy_count(root).unwrap(),
         tree.posted_count(root).unwrap(),
         tree.true_count(root),
     );
     for (i, child) in tree.children(root).enumerate() {
-        println!("  quadrant {i}    : noisy {:>7.2}  posted {:>7.2}  (true {})",
+        println!(
+            "  quadrant {i}    : noisy {:>7.2}  posted {:>7.2}  (true {})",
             tree.noisy_count(child).unwrap(),
             tree.posted_count(child).unwrap(),
             tree.true_count(child),
@@ -50,11 +61,19 @@ fn main() {
     let q = Rect::new(2.0, 2.0, 13.0, 11.0).unwrap();
     let exact = points.iter().filter(|p| q.contains(**p)).count() as f64;
     let noisy = range_query_with(&tree, &q, CountSource::Noisy);
-    let posted = range_query_with(&tree, &q, CountSource::Posted);
+    // `query` is the SpatialSynopsis entry point: best released counts
+    // (post-processed here). `query_profiled` also reports which nodes
+    // contributed — the paper's n_i accounting.
+    let (posted, profile) = tree.query_profiled(&q);
     println!("\nQuery {q:?}");
     println!("  exact answer       : {exact}");
     println!("  noisy counts       : {noisy:.2}");
     println!("  post-processed     : {posted:.2}");
+    println!(
+        "  contributions      : {} contained nodes + {} partial leaves",
+        profile.total_contained(),
+        profile.partial_leaves
+    );
     println!("\nThe post-processed answer is typically closer: OLS makes the");
     println!("tree consistent and provably minimizes query variance (Sec. 5).");
 }

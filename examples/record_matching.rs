@@ -12,8 +12,11 @@ use dpsd::prelude::*;
 fn main() {
     // Two businesses with partially overlapping customers.
     let (a, b) = two_party_datasets(&TIGER_DOMAIN, 5_000, 5_000, 0.3, 99);
-    let b_index = ExactIndex::build(&b, TIGER_DOMAIN, 256);
-    let blocking = BlockingConfig { matching_distance: 0.1, retain_threshold: 3.0 };
+    let b_index = ExactIndex::build(&b, TIGER_DOMAIN, 256).unwrap();
+    let blocking = BlockingConfig {
+        matching_distance: 0.1,
+        retain_threshold: 3.0,
+    };
     println!("party A: {} records, party B: {} records", a.len(), b.len());
     println!(
         "naive SMC would compare {:.1}M pairs\n",

@@ -33,8 +33,14 @@ fn main() {
         .build(&points)
         .unwrap();
 
-    println!("private salary histogram, n = {}, eps = {epsilon}\n", salaries.len());
-    println!("{:<24} {:>10} {:>12} {:>8}", "interval", "exact", "private", "err%");
+    println!(
+        "private salary histogram, n = {}, eps = {epsilon}\n",
+        salaries.len()
+    );
+    println!(
+        "{:<24} {:>10} {:>12} {:>8}",
+        "interval", "exact", "private", "err%"
+    );
     for (lo, hi) in [
         (20_000.0, 50_000.0),
         (50_000.0, 100_000.0),
@@ -44,7 +50,7 @@ fn main() {
     ] {
         let q = Rect::new(lo, 0.0, hi, 1.0).unwrap();
         let exact = salaries.iter().filter(|&&s| s >= lo && s <= hi).count() as f64;
-        let private = range_query(&tree, &q);
+        let private = tree.query(&q);
         println!(
             "{:<24} {exact:>10} {private:>12.1} {:>7.2}%",
             format!("[{:.0}k, {:.0}k]", lo / 1e3, hi / 1e3),

@@ -9,17 +9,26 @@
 //! experiment harness that regenerates every figure of the paper's
 //! evaluation.
 //!
+//! The public API is organized around one idea: **every backend is a
+//! [`SpatialSynopsis`]**. Trees of any family, the flat-grid and exact
+//! baselines, the d-dimensional extension, and published
+//! [`ReleasedSynopsis`] artifacts all answer the same range-count
+//! questions — `query`, `query_batch` (one shared traversal for a whole
+//! workload), `query_profiled` — and report `domain`, `epsilon`, and
+//! `node_count` uniformly. Anything fallible returns the unified
+//! [`DpsdError`].
+//!
 //! This crate is a facade that re-exports the workspace members:
 //!
 //! * [`core`] ([`dpsd_core`]) — mechanisms, medians, budgets, trees,
-//!   post-processing, queries;
+//!   post-processing, queries, the synopsis trait;
 //! * [`hilbert`] ([`dpsd_hilbert`]) — the Hilbert curve substrate;
 //! * [`data`] ([`dpsd_data`]) — synthetic datasets and query workloads;
 //! * [`baselines`] ([`dpsd_baselines`]) — flat grids and exact counting;
 //! * [`matching`] ([`dpsd_match`]) — private record matching (blocking);
 //! * [`eval`] ([`dpsd_eval`]) — the per-figure experiment runners.
 //!
-//! # Example: a private quadtree over GPS-like data
+//! # Example: build, query, publish, serve
 //!
 //! ```
 //! use dpsd::prelude::*;
@@ -33,10 +42,19 @@
 //!     .build(&points)
 //!     .unwrap();
 //!
-//! // Ask how many individuals are in a 1x1 degree region.
+//! // Ask how many individuals are in a 1x1 degree region — then ask a
+//! // whole workload at once through the shared-traversal batch path.
 //! let q = Rect::new(-122.5, 47.0, -121.5, 48.0).unwrap();
-//! let estimate = range_query(&tree, &q);
+//! let estimate = tree.query(&q);
 //! assert!(estimate.is_finite());
+//! let answers = tree.query_batch(&[q, TIGER_DOMAIN]);
+//! assert_eq!(answers[0], estimate);
+//!
+//! // Publish a raw-data-free JSON synopsis; a query server loads it and
+//! // answers identically, never seeing a coordinate.
+//! let published: String = tree.release().to_json();
+//! let server = ReleasedSynopsis::from_json(&published).unwrap();
+//! assert_eq!(server.query(&q), estimate);
 //! ```
 
 pub use dpsd_baselines as baselines;
@@ -46,14 +64,27 @@ pub use dpsd_eval as eval;
 pub use dpsd_hilbert as hilbert;
 pub use dpsd_match as matching;
 
+pub use dpsd_core::{DpsdError, ReleasedSynopsis, SpatialSynopsis};
+
 /// The most commonly used items, for glob import.
+///
+/// Centered on the [`SpatialSynopsis`] trait: importing the prelude
+/// brings the trait into scope, so `query`/`query_batch` work on every
+/// backend, alongside the builders ([`PsdConfig`], [`FlatGrid`],
+/// [`ExactIndex`]), the publishable [`ReleasedSynopsis`], the unified
+/// [`DpsdError`], and the workload helpers.
 pub mod prelude {
     pub use dpsd_baselines::{ExactIndex, FlatGrid};
     pub use dpsd_core::budget::{BudgetSplit, CountBudget};
+    pub use dpsd_core::error::DpsdError;
     pub use dpsd_core::geometry::{Axis, Point, Rect};
     pub use dpsd_core::median::{MedianConfig, MedianSelector};
-    pub use dpsd_core::query::{range_query, range_query_with};
-    pub use dpsd_core::tree::{CountSource, PsdConfig, PsdTree, TreeKind};
+    pub use dpsd_core::query::{
+        range_query, range_query_batch, range_query_batch_with, range_query_with,
+        try_range_query_with, QueryProfile,
+    };
+    pub use dpsd_core::synopsis::SpatialSynopsis;
+    pub use dpsd_core::tree::{CountSource, PsdConfig, PsdTree, ReleasedSynopsis, TreeKind};
     pub use dpsd_data::synthetic::TIGER_DOMAIN;
-    pub use dpsd_data::workload::{generate_workload, QueryShape, PAPER_SHAPES};
+    pub use dpsd_data::workload::{generate_workload, QueryShape, Workload, PAPER_SHAPES};
 }

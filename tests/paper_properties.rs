@@ -35,10 +35,22 @@ fn figure3_both_optimizations_help_and_combine() {
     let geo = sum("quad-geo");
     let post = sum("quad-post");
     let opt = sum("quad-opt");
-    assert!(geo < baseline, "geometric budget should help: {geo} vs {baseline}");
-    assert!(post < baseline, "post-processing should help: {post} vs {baseline}");
-    assert!(opt < baseline * 0.7, "combined should be a clear win: {opt} vs {baseline}");
-    assert!(opt <= geo.min(post) * 1.2, "combined should be ~best: {opt}");
+    assert!(
+        geo < baseline,
+        "geometric budget should help: {geo} vs {baseline}"
+    );
+    assert!(
+        post < baseline,
+        "post-processing should help: {post} vs {baseline}"
+    );
+    assert!(
+        opt < baseline * 0.7,
+        "combined should be a clear win: {opt} vs {baseline}"
+    );
+    assert!(
+        opt <= geo.min(post) * 1.2,
+        "combined should be ~best: {opt}"
+    );
 }
 
 #[test]
@@ -59,7 +71,10 @@ fn figure5_kd_noisymean_is_the_weakest_private_variant() {
         nm > hybrid,
         "kd-noisymean ({nm}) should be worse than kd-hybrid ({hybrid})"
     );
-    assert!(pure < nm, "non-private kd-pure ({pure}) must beat kd-noisymean ({nm})");
+    assert!(
+        pure < nm,
+        "non-private kd-pure ({pure}) must beat kd-noisymean ({nm})"
+    );
 }
 
 #[test]

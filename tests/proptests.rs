@@ -14,6 +14,20 @@ fn domain() -> Rect {
     Rect::new(0.0, 0.0, 100.0, 100.0).unwrap()
 }
 
+/// Strategy: a mixed workload of small and large query rectangles, some
+/// overflowing the domain boundary.
+fn queries_strategy() -> impl Strategy<Value = Vec<Rect>> {
+    prop::collection::vec(
+        (-10.0f64..95.0, -10.0f64..95.0, 0.5f64..60.0, 0.5f64..60.0),
+        1..40,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h).unwrap())
+            .collect()
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -159,13 +173,94 @@ proptest! {
     ) {
         use dpsd::baselines::ExactIndex;
         use dpsd::data::workload::generate_workload;
-        let index = ExactIndex::build(&pts, domain(), 64);
+        let index = ExactIndex::build(&pts, domain(), 64).unwrap();
         let wl = generate_workload(&index, QueryShape::new(w, h), 5, seed);
         for (q, &a) in wl.queries.iter().zip(&wl.exact) {
             prop_assert!(a > 0.0);
             prop_assert!(q.inside(&domain()));
             let exact = pts.iter().filter(|p| q.contains(**p)).count() as f64;
             prop_assert_eq!(exact, a, "index disagrees with brute force");
+        }
+    }
+
+    /// Trait invariant, every backend: `query_batch` returns exactly
+    /// what mapping `query` over the workload returns — bit for bit.
+    #[test]
+    fn query_batch_equals_mapped_query_for_all_backends(
+        pts in points_strategy(),
+        seed in 0u64..1000,
+        qs in queries_strategy(),
+    ) {
+        use dpsd::core::ndim::{NdTreeConfig, PointN, RectN};
+        let nd_points: Vec<PointN<2>> = pts.iter().map(|p| PointN::new([p.x, p.y])).collect();
+        let nd_domain = RectN::new([0.0, 0.0], [100.0, 100.0]).unwrap();
+        let tree = PsdConfig::kd_hybrid(domain(), 3, 0.5, 1).with_seed(seed).build(&pts).unwrap();
+        let backends: Vec<Box<dyn SpatialSynopsis>> = vec![
+            Box::new(tree.release()),
+            Box::new(tree),
+            Box::new(PsdConfig::quadtree(domain(), 3, 0.5).with_seed(seed).build(&pts).unwrap()),
+            Box::new(PsdConfig::hilbert_r(domain(), 3, 0.5).with_hilbert_order(8).with_seed(seed).build(&pts).unwrap()),
+            Box::new(FlatGrid::build(&pts, domain(), 16, 16, 0.5, seed).unwrap()),
+            Box::new(ExactIndex::build(&pts, domain(), 32).unwrap()),
+            Box::new(NdTreeConfig::new(nd_domain, 3, 0.5).with_seed(seed).build(&nd_points).unwrap()),
+        ];
+        for backend in &backends {
+            let batch = backend.query_batch(&qs);
+            prop_assert_eq!(batch.len(), qs.len());
+            for (q, &b) in qs.iter().zip(&batch) {
+                let single = backend.query(q);
+                prop_assert_eq!(
+                    single.to_bits(), b.to_bits(),
+                    "batch diverged from single on {:?}: {} vs {}", q, single, b
+                );
+            }
+        }
+    }
+
+    /// `ExactIndex` agrees with brute-force counting on arbitrary
+    /// queries, including ones crossing the domain boundary.
+    #[test]
+    fn exact_index_matches_brute_force(
+        pts in points_strategy(),
+        qx in -10.0f64..100.0,
+        qy in -10.0f64..100.0,
+        qw in 0.1f64..120.0,
+        qh in 0.1f64..120.0,
+        resolution in 1usize..80,
+    ) {
+        let q = Rect::new(qx, qy, qx + qw, qy + qh).unwrap();
+        let index = ExactIndex::build(&pts, domain(), resolution).unwrap();
+        let brute = pts.iter().filter(|p| q.contains(**p)).count() as f64;
+        prop_assert_eq!(index.query(&q), brute, "resolution {}", resolution);
+        let (profiled, _) = index.query_profiled(&q);
+        prop_assert_eq!(profiled, brute);
+    }
+
+    /// A synopsis published to JSON and loaded back answers every query
+    /// exactly like its source tree, for data-independent and
+    /// data-dependent families alike.
+    #[test]
+    fn released_synopsis_answers_match_source_exactly(
+        pts in points_strategy(),
+        seed in 0u64..1000,
+        kind in 0usize..4,
+        qs in queries_strategy(),
+    ) {
+        let config = match kind {
+            0 => PsdConfig::quadtree(domain(), 3, 0.5),
+            1 => PsdConfig::kd_standard(domain(), 3, 0.5),
+            2 => PsdConfig::kd_noisymean(domain(), 3, 0.5).with_prune_threshold(16.0),
+            _ => PsdConfig::hilbert_r(domain(), 3, 0.5).with_hilbert_order(8),
+        };
+        let tree = config.with_seed(seed).build(&pts).unwrap();
+        let loaded = ReleasedSynopsis::from_json(&tree.release().to_json()).unwrap();
+        prop_assert_eq!(loaded.epsilon(), SpatialSynopsis::epsilon(&tree));
+        prop_assert_eq!(loaded.node_count(), SpatialSynopsis::node_count(&tree));
+        for q in &qs {
+            prop_assert_eq!(
+                loaded.query(q).to_bits(), tree.query(q).to_bits(),
+                "loaded synopsis diverged on {:?}", q
+            );
         }
     }
 }

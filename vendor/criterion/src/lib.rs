@@ -1,0 +1,251 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the bench-definition API this workspace uses
+//! (`criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function`, `Bencher::iter` / `iter_batched`, [`black_box`],
+//! [`BatchSize`]) with a simple wall-clock measurement loop: per
+//! benchmark it warms up, auto-calibrates an iteration count so one
+//! sample takes a few milliseconds, then reports the median, minimum,
+//! and mean time per iteration. No statistical regression analysis, no
+//! HTML reports — numbers on stdout, which is what the workspace's
+//! benches are read for.
+//!
+//! Honors `CRITERION_SAMPLE_MS` (milliseconds per sample, default 5) and
+//! `CRITERION_SAMPLES` (samples per benchmark, overriding
+//! `sample_size`) for quick CI runs.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost. The shim times each routine
+/// invocation individually, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs (many per batch in real criterion).
+    SmallInput,
+    /// Large per-iteration inputs (one per batch in real criterion).
+    LargeInput,
+    /// One fresh input per iteration.
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let samples = std::env::var("CRITERION_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(10);
+        Criterion {
+            samples: samples.max(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Pass-through for API compatibility with generated harness code.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        run_bench(&id.into(), self.samples, f);
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: self.samples,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        if std::env::var("CRITERION_SAMPLES").is_err() {
+            self.samples = n.max(2);
+        }
+        self
+    }
+
+    /// Sets the target measurement time. Accepted for API compatibility;
+    /// the shim's per-sample budget comes from `CRITERION_SAMPLE_MS`.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        run_bench(&format!("{}/{}", self.name, id.into()), self.samples, f);
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    samples: usize,
+    sample_budget: Duration,
+    /// Nanoseconds per iteration, one entry per sample.
+    per_iter_ns: Vec<f64>,
+}
+
+fn sample_budget() -> Duration {
+    let ms = std::env::var("CRITERION_SAMPLE_MS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5u64);
+    Duration::from_millis(ms.max(1))
+}
+
+impl Bencher {
+    /// Times `routine` over auto-calibrated iteration batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up and calibration: how many iterations fill one budget?
+        let mut iters_per_sample = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.sample_budget || iters_per_sample >= 1 << 20 {
+                break;
+            }
+            let scale = (self.sample_budget.as_secs_f64() / elapsed.as_secs_f64().max(1e-9))
+                .clamp(2.0, 100.0);
+            iters_per_sample = ((iters_per_sample as f64 * scale) as u64).max(iters_per_sample + 1);
+        }
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.per_iter_ns
+                .push(start.elapsed().as_secs_f64() * 1e9 / iters_per_sample as f64);
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup is untimed.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        // One warm-up, then each sample times a single routine call on a
+        // fresh input (setup excluded from the clock).
+        black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.per_iter_ns.push(start.elapsed().as_secs_f64() * 1e9);
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, samples: usize, mut f: F) {
+    let mut b = Bencher {
+        samples,
+        sample_budget: sample_budget(),
+        per_iter_ns: Vec::new(),
+    };
+    f(&mut b);
+    if b.per_iter_ns.is_empty() {
+        println!("{id:<50} (no measurements)");
+        return;
+    }
+    b.per_iter_ns.sort_unstable_by(f64::total_cmp);
+    let n = b.per_iter_ns.len();
+    let median = b.per_iter_ns[n / 2];
+    let min = b.per_iter_ns[0];
+    let mean = b.per_iter_ns.iter().sum::<f64>() / n as f64;
+    println!(
+        "{id:<50} median {} min {} mean {} ({n} samples)",
+        fmt_ns(median),
+        fmt_ns(min),
+        fmt_ns(mean),
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:8.1} ns")
+    } else if ns < 1e6 {
+        format!("{:8.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:8.2} ms", ns / 1e6)
+    } else {
+        format!("{:8.3} s ", ns / 1e9)
+    }
+}
+
+/// Bundles bench functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_prints() {
+        std::env::set_var("CRITERION_SAMPLE_MS", "1");
+        let mut c = Criterion::default();
+        c.bench_function("shim_smoke_iter", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.bench_function("smoke_batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn formatting_covers_scales() {
+        assert!(fmt_ns(12.0).contains("ns"));
+        assert!(fmt_ns(12_000.0).contains("µs"));
+        assert!(fmt_ns(12_000_000.0).contains("ms"));
+        assert!(fmt_ns(2e9).contains("s "));
+    }
+}

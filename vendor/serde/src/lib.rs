@@ -1,0 +1,271 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Real serde is a zero-copy streaming framework with derive macros;
+//! this vendored subset is a **value-tree model**: types convert to and
+//! from a self-describing [`Value`], and format crates (the vendored
+//! `serde_json`) turn values into text. Implementations are written by
+//! hand — there is no `#[derive(Serialize)]` — which keeps the shim a
+//! few hundred lines while preserving the shape of downstream code
+//! (`serde_json::to_string(&x)` / `serde_json::from_str(&s)`).
+
+use std::fmt;
+
+/// A self-describing serialized value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// Any number (integers are exact up to 2^53).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// A key-ordered map (insertion order preserved).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is one exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= 2f64.powi(53) => {
+                Some(*x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Builds an error from any message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into the value model.
+pub trait Serialize {
+    /// Serializes `self` as a [`Value`].
+    fn serialize(&self) -> Value;
+}
+
+/// Conversion out of the value model.
+pub trait Deserialize: Sized {
+    /// Reads `Self` back out of a [`Value`].
+    fn deserialize(value: &Value) -> Result<Self, Error>;
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Number(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value.as_f64().ok_or_else(|| Error::msg("expected number"))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_bool()
+            .ok_or_else(|| Error::msg("expected boolean"))
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::msg("expected string"))
+    }
+}
+
+impl Serialize for &str {
+    fn serialize(&self) -> Value {
+        Value::String((*self).to_owned())
+    }
+}
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let x = value.as_u64().ok_or_else(|| Error::msg("expected integer"))?;
+                <$t>::try_from(x).map_err(|_| Error::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+
+int_impls!(usize, u64, u32);
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(x) => x.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        if value.is_null() {
+            Ok(None)
+        } else {
+            T::deserialize(value).map(Some)
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::msg("expected array"))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_accessors() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Number(3.0)),
+            ("b".into(), Value::String("x".into())),
+        ]);
+        assert_eq!(v.get("a").unwrap().as_f64(), Some(3.0));
+        assert_eq!(v.get("a").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("b").unwrap().as_str(), Some("x"));
+        assert!(v.get("c").is_none());
+        assert_eq!(Value::Number(3.5).as_u64(), None);
+        assert_eq!(Value::Number(-1.0).as_u64(), None);
+    }
+
+    #[test]
+    fn primitive_roundtrips() {
+        assert_eq!(f64::deserialize(&1.5f64.serialize()), Ok(1.5));
+        assert_eq!(usize::deserialize(&7usize.serialize()), Ok(7));
+        assert_eq!(bool::deserialize(&true.serialize()), Ok(true));
+        assert_eq!(
+            Vec::<f64>::deserialize(&vec![1.0, 2.0].serialize()),
+            Ok(vec![1.0, 2.0])
+        );
+        assert_eq!(Option::<f64>::deserialize(&Value::Null), Ok(None));
+        assert_eq!(
+            Option::<f64>::deserialize(&Value::Number(2.0)),
+            Ok(Some(2.0))
+        );
+    }
+
+    #[test]
+    fn type_mismatches_error() {
+        assert!(f64::deserialize(&Value::String("no".into())).is_err());
+        assert!(usize::deserialize(&Value::Number(1.5)).is_err());
+        assert!(Vec::<f64>::deserialize(&Value::Bool(true)).is_err());
+    }
+}

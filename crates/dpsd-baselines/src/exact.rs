@@ -1,35 +1,54 @@
-//! Exact range counting over a static point set.
+//! Exact range counting over a static point set, in any dimension.
 //!
 //! A uniform bucket grid indexes the points once; a query then adds the
 //! pre-aggregated counts of fully-covered cells and scans only the
 //! boundary cells. This is evaluation infrastructure (workload
 //! generation needs thousands of exact counts), not a private release.
+//! The index is const-generic over the dimension (default 2) with the
+//! same `build(points, domain, resolution)` signature in every `D`
+//! (`resolution` cells per axis).
 
 use dpsd_core::error::DpsdError;
 use dpsd_core::geometry::{Point, Rect};
 use dpsd_core::query::QueryProfile;
 use dpsd_core::synopsis::SpatialSynopsis;
 
-/// A bucket-grid index for exact rectangle counting.
+/// A bucket-grid index for exact box counting over a `D`-dimensional
+/// domain (`D = 2` when elided).
 #[derive(Debug, Clone)]
-pub struct ExactIndex {
-    domain: Rect,
-    nx: usize,
-    ny: usize,
+pub struct ExactIndex<const D: usize = 2> {
+    domain: Rect<D>,
+    res: [usize; D],
     /// Exact number of points per cell.
     counts: Vec<u32>,
-    /// Points per cell (for boundary scans), cell-major.
-    buckets: Vec<Vec<Point>>,
+    /// Points per cell (for boundary scans), cell-major (axis 0
+    /// fastest).
+    buckets: Vec<Vec<Point<D>>>,
     total: usize,
 }
 
-impl ExactIndex {
-    /// Builds the index with roughly `resolution x resolution` cells.
+/// Flat index with axis 0 fastest.
+fn flat_index<const D: usize>(res: &[usize; D], idx: &[usize; D]) -> usize {
+    let mut flat = 0usize;
+    let mut stride = 1usize;
+    for k in 0..D {
+        flat += idx[k] * stride;
+        stride *= res[k];
+    }
+    flat
+}
+
+impl<const D: usize> ExactIndex<D> {
+    /// Builds the index with `resolution` cells along every axis.
     ///
     /// Points outside `domain` are ignored (callers validate their data
     /// against the domain separately).
-    pub fn build(points: &[Point], domain: Rect, resolution: usize) -> Result<Self, DpsdError> {
-        if resolution == 0 {
+    pub fn build(
+        points: &[Point<D>],
+        domain: Rect<D>,
+        resolution: usize,
+    ) -> Result<Self, DpsdError> {
+        if D == 0 || resolution == 0 {
             return Err(DpsdError::invalid_parameter(
                 "resolution",
                 "must be positive",
@@ -38,30 +57,39 @@ impl ExactIndex {
         if domain.area() <= 0.0 {
             return Err(DpsdError::invalid_parameter(
                 "domain",
-                "must have positive area",
+                "must have positive volume",
             ));
         }
-        let nx = resolution;
-        let ny = resolution;
-        let mut counts = vec![0u32; nx * ny];
-        let mut buckets = vec![Vec::new(); nx * ny];
-        let wx = domain.width() / nx as f64;
-        let wy = domain.height() / ny as f64;
+        let res = [resolution; D];
+        let cells = res
+            .iter()
+            .try_fold(1usize, |acc, &r| acc.checked_mul(r))
+            .ok_or_else(|| {
+                DpsdError::invalid_parameter(
+                    "resolution",
+                    format!("{resolution}^{D} cells overflow usize"),
+                )
+            })?;
+        let mut counts = vec![0u32; cells];
+        let mut buckets = vec![Vec::new(); cells];
         let mut total = 0usize;
         for &p in points {
             if !domain.contains(p) {
                 continue;
             }
-            let ix = (((p.x - domain.min_x) / wx) as usize).min(nx - 1);
-            let iy = (((p.y - domain.min_y) / wy) as usize).min(ny - 1);
-            counts[iy * nx + ix] += 1;
-            buckets[iy * nx + ix].push(p);
+            let mut idx = [0usize; D];
+            for (k, slot) in idx.iter_mut().enumerate() {
+                let w = domain.side(k) / resolution as f64;
+                *slot = (((p.coords[k] - domain.min[k]) / w) as usize).min(resolution - 1);
+            }
+            let cell = flat_index(&res, &idx);
+            counts[cell] += 1;
+            buckets[cell].push(p);
             total += 1;
         }
         Ok(ExactIndex {
             domain,
-            nx,
-            ny,
+            res,
             counts,
             buckets,
             total,
@@ -79,7 +107,7 @@ impl ExactIndex {
     }
 
     /// The indexed domain.
-    pub fn domain(&self) -> &Rect {
+    pub fn domain(&self) -> &Rect<D> {
         &self.domain
     }
 
@@ -87,58 +115,73 @@ impl ExactIndex {
     /// same convention as [`Rect::contains`]). Tallies the profile when
     /// one is supplied: pre-aggregated cells count as contained, cells
     /// scanned point-by-point as partial.
-    fn count_profiled(&self, query: &Rect, mut profile: Option<&mut QueryProfile>) -> usize {
+    fn count_profiled(&self, query: &Rect<D>, mut profile: Option<&mut QueryProfile>) -> usize {
         let Some(clip) = self.domain.intersection(query) else {
             return 0;
         };
-        let wx = self.domain.width() / self.nx as f64;
-        let wy = self.domain.height() / self.ny as f64;
-        let ix0 = (((clip.min_x - self.domain.min_x) / wx) as usize).min(self.nx - 1);
-        let ix1 = (((clip.max_x - self.domain.min_x) / wx) as usize).min(self.nx - 1);
-        let iy0 = (((clip.min_y - self.domain.min_y) / wy) as usize).min(self.ny - 1);
-        let iy1 = (((clip.max_y - self.domain.min_y) / wy) as usize).min(self.ny - 1);
+        let mut widths = [0.0f64; D];
+        let mut i0 = [0usize; D];
+        let mut i1 = [0usize; D];
+        for k in 0..D {
+            let w = self.domain.side(k) / self.res[k] as f64;
+            widths[k] = w;
+            i0[k] = (((clip.min[k] - self.domain.min[k]) / w) as usize).min(self.res[k] - 1);
+            i1[k] = (((clip.max[k] - self.domain.min[k]) / w) as usize).min(self.res[k] - 1);
+        }
+        let mut idx = i0;
         let mut total = 0usize;
-        for iy in iy0..=iy1 {
-            let cell_ylo = self.domain.min_y + iy as f64 * wy;
-            let cell_yhi = cell_ylo + wy;
-            let y_inside = cell_ylo >= query.min_y && cell_yhi <= query.max_y;
-            for ix in ix0..=ix1 {
-                let cell_xlo = self.domain.min_x + ix as f64 * wx;
-                let cell_xhi = cell_xlo + wx;
-                let x_inside = cell_xlo >= query.min_x && cell_xhi <= query.max_x;
-                let cell = iy * self.nx + ix;
-                if x_inside && y_inside {
-                    total += self.counts[cell] as usize;
-                    if let Some(p) = profile.as_deref_mut() {
-                        p.contained_per_level[0] += 1;
-                    }
-                } else {
-                    total += self.buckets[cell]
-                        .iter()
-                        .filter(|p| query.contains(**p))
-                        .count();
-                    if let Some(p) = profile.as_deref_mut() {
-                        p.partial_leaves += 1;
-                    }
+        loop {
+            // Is the cell fully inside the query on every axis?
+            let mut inside = true;
+            for (k, &cell) in idx.iter().enumerate() {
+                let w = widths[k];
+                let c_lo = self.domain.min[k] + cell as f64 * w;
+                let c_hi = c_lo + w;
+                inside &= c_lo >= query.min[k] && c_hi <= query.max[k];
+            }
+            let cell = flat_index(&self.res, &idx);
+            if inside {
+                total += self.counts[cell] as usize;
+                if let Some(p) = profile.as_deref_mut() {
+                    p.contained_per_level[0] += 1;
+                }
+            } else {
+                total += self.buckets[cell]
+                    .iter()
+                    .filter(|p| query.contains(**p))
+                    .count();
+                if let Some(p) = profile.as_deref_mut() {
+                    p.partial_leaves += 1;
                 }
             }
+            let mut k = 0;
+            loop {
+                if k == D {
+                    return total;
+                }
+                if idx[k] < i1[k] {
+                    idx[k] += 1;
+                    break;
+                }
+                idx[k] = i0[k];
+                k += 1;
+            }
         }
-        total
     }
 
     /// Exact number of points inside `query` (closed containment, the
     /// same convention as [`Rect::contains`]).
-    pub fn count(&self, query: &Rect) -> usize {
+    pub fn count(&self, query: &Rect<D>) -> usize {
         self.count_profiled(query, None)
     }
 }
 
-impl SpatialSynopsis for ExactIndex {
-    fn query(&self, query: &Rect) -> f64 {
+impl<const D: usize> SpatialSynopsis<D> for ExactIndex<D> {
+    fn query(&self, query: &Rect<D>) -> f64 {
         self.count(query) as f64
     }
 
-    fn query_profiled(&self, query: &Rect) -> (f64, QueryProfile) {
+    fn query_profiled(&self, query: &Rect<D>) -> (f64, QueryProfile) {
         let mut profile = QueryProfile {
             contained_per_level: vec![0],
             partial_leaves: 0,
@@ -147,7 +190,7 @@ impl SpatialSynopsis for ExactIndex {
         (est, profile)
     }
 
-    fn domain(&self) -> Rect {
+    fn domain(&self) -> Rect<D> {
         self.domain
     }
 
@@ -159,7 +202,7 @@ impl SpatialSynopsis for ExactIndex {
 
     /// Number of aggregated grid cells.
     fn node_count(&self) -> usize {
-        self.nx * self.ny
+        self.counts.len()
     }
 }
 
@@ -186,6 +229,31 @@ mod tests {
             Rect::new(0.0, 0.0, 0.4, 0.4).unwrap(),
             Rect::new(99.6, 99.6, 100.0, 100.0).unwrap(),
             Rect::new(50.0, 0.0, 50.99, 100.0).unwrap(),
+        ];
+        for q in &queries {
+            let brute = pts.iter().filter(|p| q.contains(**p)).count();
+            assert_eq!(index.count(q), brute, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_in_three_dimensions() {
+        let domain = Rect::from_corners([0.0; 3], [10.0; 3]).unwrap();
+        let pts: Vec<Point<3>> = (0..4000)
+            .map(|i| {
+                Point::from_coords([
+                    (i % 17) as f64 * 10.0 / 17.0,
+                    ((i * 7) % 13) as f64 * 10.0 / 13.0,
+                    ((i * 3) % 11) as f64 * 10.0 / 11.0,
+                ])
+            })
+            .collect();
+        let index = ExactIndex::build(&pts, domain, 8).unwrap();
+        assert_eq!(index.len(), 4000);
+        let queries = [
+            Rect::from_corners([0.0; 3], [10.0; 3]).unwrap(),
+            Rect::from_corners([1.3, 2.7, 0.0], [7.9, 8.1, 4.4]).unwrap(),
+            Rect::from_corners([5.0; 3], [5.5; 3]).unwrap(),
         ];
         for q in &queries {
             let brute = pts.iter().filter(|p| q.contains(**p)).count();

@@ -6,7 +6,13 @@
 //! (cells partition the data, so releases compose in parallel), queries
 //! sum prorated noisy cells — and the error grows with the number of
 //! touched cells, which is exactly why Section 1 dismisses this approach
-//! for large queries.
+//! for large queries. The effect is even starker in higher dimensions
+//! (the cell count is exponential in `D`), which is what the
+//! `fig8_dim_sweep` experiment demonstrates against the tree families.
+//!
+//! The grid is const-generic over the dimension (default 2):
+//! [`FlatGrid::build`] keeps the planar `(nx, ny)` signature, while
+//! [`FlatGrid::build_nd`] takes a per-axis resolution array in any `D`.
 
 use dpsd_core::error::DpsdError;
 use dpsd_core::geometry::{Point, Rect};
@@ -15,18 +21,20 @@ use dpsd_core::query::QueryProfile;
 use dpsd_core::rng::seeded;
 use dpsd_core::synopsis::SpatialSynopsis;
 
-/// A flat differentially private grid release.
+/// A flat differentially private grid release over a `D`-dimensional
+/// domain (`D = 2` when elided).
 #[derive(Debug, Clone)]
-pub struct FlatGrid {
-    domain: Rect,
-    nx: usize,
-    ny: usize,
+pub struct FlatGrid<const D: usize = 2> {
+    domain: Rect<D>,
+    res: [usize; D],
     noisy: Vec<f64>,
     epsilon: f64,
 }
 
-impl FlatGrid {
-    /// Builds the release: exact cell histogram + `Lap(1/eps)` per cell.
+impl FlatGrid<2> {
+    /// Builds a planar release: exact cell histogram + `Lap(1/eps)` per
+    /// cell (kept source-compatible with the pre-generic API; see
+    /// [`FlatGrid::build_nd`] for any dimension).
     pub fn build(
         points: &[Point],
         domain: Rect,
@@ -35,16 +43,47 @@ impl FlatGrid {
         eps: f64,
         seed: u64,
     ) -> Result<Self, DpsdError> {
-        if nx == 0 || ny == 0 {
+        Self::build_nd(points, domain, [nx, ny], eps, seed)
+    }
+
+    /// Grid resolution `(nx, ny)`.
+    pub fn resolution(&self) -> (usize, usize) {
+        (self.res[0], self.res[1])
+    }
+}
+
+/// Flat index with axis 0 fastest (for `D = 2`: `ix + iy * nx`, the
+/// classic row-major layout).
+fn flat_index<const D: usize>(res: &[usize; D], idx: &[usize; D]) -> usize {
+    let mut flat = 0usize;
+    let mut stride = 1usize;
+    for k in 0..D {
+        flat += idx[k] * stride;
+        stride *= res[k];
+    }
+    flat
+}
+
+impl<const D: usize> FlatGrid<D> {
+    /// Builds the release in any dimension: exact cell histogram over
+    /// `res[0] x … x res[D-1]` cells plus `Lap(1/eps)` per cell.
+    pub fn build_nd(
+        points: &[Point<D>],
+        domain: Rect<D>,
+        res: [usize; D],
+        eps: f64,
+        seed: u64,
+    ) -> Result<Self, DpsdError> {
+        if D == 0 || res.contains(&0) {
             return Err(DpsdError::invalid_parameter(
                 "resolution",
-                format!("grid needs at least one cell per axis, got {nx}x{ny}"),
+                format!("grid needs at least one cell per axis, got {res:?}"),
             ));
         }
         if domain.area() <= 0.0 {
             return Err(DpsdError::invalid_parameter(
                 "domain",
-                "must have positive area",
+                "must have positive volume",
             ));
         }
         if !(eps > 0.0 && eps.is_finite()) {
@@ -53,33 +92,39 @@ impl FlatGrid {
                 format!("must be positive and finite, got {eps}"),
             ));
         }
+        let cells = res
+            .iter()
+            .try_fold(1usize, |acc, &r| acc.checked_mul(r))
+            .ok_or_else(|| {
+                DpsdError::invalid_parameter("resolution", format!("cell count overflows: {res:?}"))
+            })?;
         let mut rng = seeded(seed);
-        let wx = domain.width() / nx as f64;
-        let wy = domain.height() / ny as f64;
-        let mut noisy = vec![0.0f64; nx * ny];
-        for &p in points {
-            if !domain.contains(p) {
+        let mut noisy = vec![0.0f64; cells];
+        for p in points {
+            if !domain.contains(*p) {
                 continue;
             }
-            let ix = (((p.x - domain.min_x) / wx) as usize).min(nx - 1);
-            let iy = (((p.y - domain.min_y) / wy) as usize).min(ny - 1);
-            noisy[iy * nx + ix] += 1.0;
+            let mut idx = [0usize; D];
+            for (k, slot) in idx.iter_mut().enumerate() {
+                let w = domain.side(k) / res[k] as f64;
+                *slot = (((p.coords[k] - domain.min[k]) / w) as usize).min(res[k] - 1);
+            }
+            noisy[flat_index(&res, &idx)] += 1.0;
         }
         for c in noisy.iter_mut() {
             *c = laplace_mechanism(&mut rng, *c, 1.0, eps);
         }
         Ok(FlatGrid {
             domain,
-            nx,
-            ny,
+            res,
             noisy,
             epsilon: eps,
         })
     }
 
-    /// Grid resolution `(nx, ny)`.
-    pub fn resolution(&self) -> (usize, usize) {
-        (self.nx, self.ny)
+    /// Grid resolution per axis.
+    pub fn resolution_nd(&self) -> [usize; D] {
+        self.res
     }
 
     /// Variance of a query that fully covers `k` cells: `k * 2 / eps^2`.
@@ -89,41 +134,39 @@ impl FlatGrid {
         cells as f64 * 2.0 / (self.epsilon * self.epsilon)
     }
 
-    /// The half-open index range of cells the clipped query touches on
-    /// each axis, or `None` when disjoint from the domain.
-    fn touched(&self, query: &Rect) -> Option<(Rect, usize, usize, usize, usize)> {
-        let clip = self.domain.intersection(query)?;
-        let wx = self.domain.width() / self.nx as f64;
-        let wy = self.domain.height() / self.ny as f64;
-        let ix0 = (((clip.min_x - self.domain.min_x) / wx) as usize).min(self.nx - 1);
-        let ix1 = (((clip.max_x - self.domain.min_x) / wx) as usize).min(self.nx - 1);
-        let iy0 = (((clip.min_y - self.domain.min_y) / wy) as usize).min(self.ny - 1);
-        let iy1 = (((clip.max_y - self.domain.min_y) / wy) as usize).min(self.ny - 1);
-        Some((clip, ix0, ix1, iy0, iy1))
+    /// Width of one cell along `axis`.
+    fn cell_width(&self, axis: usize) -> f64 {
+        self.domain.side(axis) / self.res[axis] as f64
     }
-}
 
-impl FlatGrid {
     /// Shared prorating loop behind both query entry points: sums noisy
     /// cells weighted by overlap fraction, tallying the profile when one
-    /// is supplied.
-    fn query_inner(&self, query: &Rect, mut profile: Option<&mut QueryProfile>) -> f64 {
-        let Some((clip, ix0, ix1, iy0, iy1)) = self.touched(query) else {
+    /// is supplied. Iterates the touched cell block with an odometer,
+    /// axis 0 fastest.
+    fn query_inner(&self, query: &Rect<D>, mut profile: Option<&mut QueryProfile>) -> f64 {
+        let Some(clip) = self.domain.intersection(query) else {
             return 0.0;
         };
-        let wx = self.domain.width() / self.nx as f64;
-        let wy = self.domain.height() / self.ny as f64;
+        let mut widths = [0.0f64; D];
+        let mut i0 = [0usize; D];
+        let mut i1 = [0usize; D];
+        for k in 0..D {
+            let w = self.cell_width(k);
+            widths[k] = w;
+            i0[k] = (((clip.min[k] - self.domain.min[k]) / w) as usize).min(self.res[k] - 1);
+            i1[k] = (((clip.max[k] - self.domain.min[k]) / w) as usize).min(self.res[k] - 1);
+        }
+        let mut idx = i0;
         let mut total = 0.0;
-        for iy in iy0..=iy1 {
-            let cy = self.domain.min_y + iy as f64 * wy;
-            let fy = ((clip.max_y.min(cy + wy) - clip.min_y.max(cy)) / wy).max(0.0);
-            for ix in ix0..=ix1 {
-                let cx = self.domain.min_x + ix as f64 * wx;
-                let fx = ((clip.max_x.min(cx + wx) - clip.min_x.max(cx)) / wx).max(0.0);
-                let fraction = fx * fy;
-                if fraction <= 0.0 {
-                    continue;
-                }
+        loop {
+            let mut fraction = 1.0;
+            for (k, &cell) in idx.iter().enumerate() {
+                let w = widths[k];
+                let c_lo = self.domain.min[k] + cell as f64 * w;
+                let f = ((clip.max[k].min(c_lo + w) - clip.min[k].max(c_lo)) / w).max(0.0);
+                fraction *= f;
+            }
+            if fraction > 0.0 {
                 if let Some(p) = profile.as_deref_mut() {
                     if fraction >= 1.0 {
                         p.contained_per_level[0] += 1;
@@ -131,23 +174,35 @@ impl FlatGrid {
                         p.partial_leaves += 1;
                     }
                 }
-                total += self.noisy[iy * self.nx + ix] * fraction;
+                total += self.noisy[flat_index(&self.res, &idx)] * fraction;
+            }
+            // Odometer increment; carry from axis 0 upward.
+            let mut k = 0;
+            loop {
+                if k == D {
+                    return total;
+                }
+                if idx[k] < i1[k] {
+                    idx[k] += 1;
+                    break;
+                }
+                idx[k] = i0[k];
+                k += 1;
             }
         }
-        total
     }
 }
 
-impl SpatialSynopsis for FlatGrid {
+impl<const D: usize> SpatialSynopsis<D> for FlatGrid<D> {
     /// Estimated count inside `query`: noisy cells prorated by overlap
-    /// area (uniformity within cells).
-    fn query(&self, query: &Rect) -> f64 {
+    /// volume (uniformity within cells).
+    fn query(&self, query: &Rect<D>) -> f64 {
         self.query_inner(query, None)
     }
 
     /// The grid is one flat level: fully-covered cells are "contained"
     /// releases, boundary cells are uniformity-estimated partials.
-    fn query_profiled(&self, query: &Rect) -> (f64, QueryProfile) {
+    fn query_profiled(&self, query: &Rect<D>) -> (f64, QueryProfile) {
         let mut profile = QueryProfile {
             contained_per_level: vec![0],
             partial_leaves: 0,
@@ -156,7 +211,7 @@ impl SpatialSynopsis for FlatGrid {
         (total, profile)
     }
 
-    fn domain(&self) -> Rect {
+    fn domain(&self) -> Rect<D> {
         self.domain
     }
 
@@ -167,7 +222,7 @@ impl SpatialSynopsis for FlatGrid {
 
     /// Number of released cells.
     fn node_count(&self) -> usize {
-        self.nx * self.ny
+        self.noisy.len()
     }
 }
 
@@ -181,8 +236,8 @@ mod tests {
                 let domain = *domain;
                 (0..n_side).map(move |j| {
                     Point::new(
-                        domain.min_x + (i as f64 + 0.5) / n_side as f64 * domain.width(),
-                        domain.min_y + (j as f64 + 0.5) / n_side as f64 * domain.height(),
+                        domain.min_x() + (i as f64 + 0.5) / n_side as f64 * domain.width(),
+                        domain.min_y() + (j as f64 + 0.5) / n_side as f64 * domain.height(),
                     )
                 })
             })
@@ -257,6 +312,11 @@ mod tests {
         ] {
             assert!(matches!(bad, Err(DpsdError::InvalidParameter { .. })));
         }
+        let cube = Rect::from_corners([0.0; 3], [1.0; 3]).unwrap();
+        assert!(matches!(
+            FlatGrid::build_nd(&[], cube, [4, 0, 4], 1.0, 0),
+            Err(DpsdError::InvalidParameter { .. })
+        ));
     }
 
     #[test]
@@ -281,5 +341,35 @@ mod tests {
             grid.query_batch(&qs),
             vec![grid.query(&qs[0]), grid.query(&qs[1])]
         );
+    }
+
+    #[test]
+    fn three_d_grid_counts_accurately_at_high_eps() {
+        let cube = Rect::from_corners([0.0; 3], [8.0; 3]).unwrap();
+        let pts: Vec<Point<3>> = (0..8 * 8 * 8)
+            .map(|i| {
+                Point::from_coords([
+                    (i % 8) as f64 + 0.5,
+                    (i / 8 % 8) as f64 + 0.5,
+                    (i / 64) as f64 + 0.5,
+                ])
+            })
+            .collect();
+        let grid = FlatGrid::build_nd(&pts, cube, [8, 8, 8], 50.0, 2).unwrap();
+        assert_eq!(grid.node_count(), 512);
+        assert_eq!(grid.resolution_nd(), [8, 8, 8]);
+        // Half-cube, cell-aligned: 256 points.
+        let q = Rect::from_corners([0.0; 3], [4.0, 8.0, 8.0]).unwrap();
+        let est = grid.query(&q);
+        assert!((est - 256.0).abs() < 15.0, "est {est}");
+        // Profile: 4*8*8 = 256 contained cells, none partial.
+        let (_, profile) = grid.query_profiled(&q);
+        assert_eq!(profile.contained_per_level[0], 256);
+        assert_eq!(profile.partial_leaves, 0);
+        // Unaligned cut: partials appear and the uniform estimate tracks
+        // the covered volume.
+        let q = Rect::from_corners([0.0; 3], [3.5, 8.0, 8.0]).unwrap();
+        let est = grid.query(&q);
+        assert!((est - 224.0).abs() < 15.0, "est {est}");
     }
 }

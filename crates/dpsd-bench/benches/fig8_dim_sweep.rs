@@ -1,0 +1,65 @@
+//! Figure 8 bench: regenerates the dimension-sweep accuracy table
+//! (D = 1..4, kd/hybrid vs flat grid, with the batch == singles parity
+//! assertion built into the run) and measures tree construction and
+//! batched querying per dimension.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dpsd_core::geometry::{Point, Rect};
+use dpsd_core::synopsis::SpatialSynopsis;
+use dpsd_core::tree::PsdConfig;
+use dpsd_data::synthetic::gaussian_mixture_nd;
+use dpsd_eval::common::Scale;
+
+const SIDE: f64 = 100.0;
+
+fn bench_dim<const D: usize>(c: &mut Criterion, height: usize, n_points: usize) {
+    let domain = Rect::from_corners([0.0; D], [SIDE; D]).unwrap();
+    let points: Vec<Point<D>> = gaussian_mixture_nd(n_points, 6, 0.02, &domain, 1);
+    let mut group = c.benchmark_group(format!("fig8_d{D}"));
+    group.sample_size(10);
+    group.bench_function(format!("build_kd_hybrid_h{height}"), |b| {
+        b.iter_batched(
+            || points.clone(),
+            |pts| {
+                PsdConfig::kd_hybrid(domain, height, 0.5, height / 2)
+                    .with_seed(7)
+                    .build(&pts)
+                    .unwrap()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    let tree = PsdConfig::kd_hybrid(domain, height, 0.5, height / 2)
+        .with_seed(7)
+        .build(&points)
+        .unwrap();
+    let queries: Vec<Rect<D>> = (0..500)
+        .map(|i| {
+            let lo = (i % 50) as f64;
+            let mut min = [0.0; D];
+            let mut max = [0.0; D];
+            for k in 0..D {
+                min[k] = lo * 0.7;
+                max[k] = min[k] + SIDE * 0.4;
+            }
+            Rect::from_corners(min, max).unwrap()
+        })
+        .collect();
+    group.bench_function("query_batch_500", |b| b.iter(|| tree.query_batch(&queries)));
+    group.finish();
+}
+
+fn bench(c: &mut Criterion) {
+    // The accuracy table (also asserts batch == singles for every D).
+    for table in dpsd_eval::fig8::run(&Scale::quick(), 2012) {
+        println!("{}", table.render());
+    }
+    let n = Scale::quick().n_points;
+    bench_dim::<1>(c, 11, n);
+    bench_dim::<2>(c, 6, n);
+    bench_dim::<3>(c, 4, n);
+    bench_dim::<4>(c, 3, n);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

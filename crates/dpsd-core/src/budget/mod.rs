@@ -8,11 +8,18 @@
 //!
 //! * [`CountBudget::Uniform`] — `eps_i = eps / (h+1)`, the strategy of
 //!   prior work;
-//! * [`CountBudget::Geometric`] — the paper's Lemma 3 optimum,
-//!   `eps_i ∝ 2^{(h-i)/3}` (increasing from root to leaves);
+//! * [`CountBudget::Geometric`] — the paper's Lemma 3 optimum. In `d`
+//!   dimensions the number of nodes contributing to a query grows by
+//!   `2^{d-1}` per level, so the Cauchy-Schwarz optimum is
+//!   `eps_i ∝ (2^{d-1})^{(h-i)/3}` — `2^{(h-i)/3}` in the plane;
 //! * [`CountBudget::LeafOnly`] — everything on the leaves (the strategy
-//!   of Inan et al. [12] and of the record-matching application);
+//!   of Inan et al. \[12\] and of the record-matching application);
 //! * [`CountBudget::Custom`] — arbitrary non-negative per-level weights.
+//!
+//! [`geometric_levels_nd`] is the **single allocator** behind the
+//! geometric strategy in every dimension: the planar
+//! `CountBudget::Geometric.levels(...)` and every `PsdConfig<D>` build
+//! delegate to it, so there is exactly one place where Lemma 3 lives.
 //!
 //! [`BudgetSplit`] divides the total between counts and medians
 //! (the paper settles on 70% / 30% in Section 8.2), and
@@ -22,6 +29,44 @@
 pub mod accountant;
 
 pub use accountant::{audit_path_epsilon, BudgetAudit};
+
+use crate::error::DpsdError;
+
+/// Per-level count budgets for a `2^d`-ary tree of the given height,
+/// summing to `eps`: `eps_i ∝ g^{(h-i)/3}` with growth `g = 2^{d-1}` —
+/// the Cauchy-Schwarz optimum of Lemma 3 with `n_i ∝ g^{h-i}`. Index 0
+/// is the leaf level.
+///
+/// For `d = 2` this coincides with [`CountBudget::Geometric`] (which
+/// delegates here); for `d = 1` the growth is `2^0 = 1` and the optimum
+/// degenerates to the uniform allocation.
+///
+/// Reachable from untrusted configuration paths, so invalid parameters
+/// are typed [`DpsdError::InvalidParameter`] results, never panics.
+pub fn geometric_levels_nd(height: usize, eps: f64, dims: usize) -> Result<Vec<f64>, DpsdError> {
+    if dims < 1 {
+        return Err(DpsdError::invalid_parameter(
+            "dims",
+            "dimension must be at least 1",
+        ));
+    }
+    if !(eps > 0.0 && eps.is_finite()) {
+        return Err(DpsdError::invalid_parameter(
+            "epsilon",
+            format!("must be positive and finite, got {eps}"),
+        ));
+    }
+    if dims == 1 {
+        // Growth 2^0 = 1: every level contributes equally, so the
+        // optimum degenerates to the uniform allocation.
+        return Ok(vec![eps / (height as f64 + 1.0); height + 1]);
+    }
+    let r = 2f64.powf((dims as f64 - 1.0) / 3.0);
+    let norm: f64 = (0..=height).map(|i| r.powi((height - i) as i32)).sum();
+    Ok((0..=height)
+        .map(|i| eps * r.powi((height - i) as i32) / norm)
+        .collect())
+}
 
 /// How the count budget is distributed across tree levels.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,14 +87,31 @@ pub enum CountBudget {
 }
 
 impl CountBudget {
-    /// Computes the per-level count budgets for a tree of the given
-    /// height, summing to `eps_count`. Index 0 is the leaf level.
+    /// Computes the per-level count budgets for a **planar** (fanout-4)
+    /// tree of the given height, summing to `eps_count`. Index 0 is the
+    /// leaf level. Shorthand for [`CountBudget::levels_for_dims`] at
+    /// `dims = 2`.
     ///
     /// # Panics
     ///
     /// Panics if `eps_count <= 0`, or a custom weight vector has the
     /// wrong length, negative entries, a zero sum, or a zero leaf weight.
     pub fn levels(&self, height: usize, eps_count: f64) -> Vec<f64> {
+        self.levels_for_dims(height, eps_count, 2)
+    }
+
+    /// Computes the per-level count budgets for a `2^dims`-ary tree of
+    /// the given height, summing to `eps_count`. Index 0 is the leaf
+    /// level. The geometric strategy delegates to the dimension-aware
+    /// [`geometric_levels_nd`]; the other strategies are
+    /// dimension-independent.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`CountBudget::levels`], plus
+    /// `dims == 0`. Builders validate first; untrusted callers should use
+    /// [`geometric_levels_nd`] directly for typed errors.
+    pub fn levels_for_dims(&self, height: usize, eps_count: f64, dims: usize) -> Vec<f64> {
         assert!(
             eps_count > 0.0,
             "count budget must be positive, got {eps_count}"
@@ -57,14 +119,8 @@ impl CountBudget {
         let h = height;
         match self {
             CountBudget::Uniform => vec![eps_count / (h as f64 + 1.0); h + 1],
-            CountBudget::Geometric => {
-                // eps_i = 2^{(h-i)/3} * eps * (2^{1/3} - 1) / (2^{(h+1)/3} - 1)
-                let r = 2f64.powf(1.0 / 3.0);
-                let norm: f64 = (0..=h).map(|i| r.powi((h - i) as i32)).sum();
-                (0..=h)
-                    .map(|i| eps_count * r.powi((h - i) as i32) / norm)
-                    .collect()
-            }
+            CountBudget::Geometric => geometric_levels_nd(h, eps_count, dims)
+                .expect("geometric allocation: eps and dims pre-validated"),
             CountBudget::LeafOnly => {
                 let mut v = vec![0.0; h + 1];
                 v[0] = eps_count;
@@ -259,5 +315,55 @@ mod tests {
     #[should_panic(expected = "no data-dependent")]
     fn median_budget_without_levels_rejected() {
         let _ = median_levels(4, 0, 0.3);
+    }
+
+    #[test]
+    fn nd_levels_sum_to_eps() {
+        for dims in 1..=4 {
+            let levels = geometric_levels_nd(6, 0.8, dims).unwrap();
+            let sum: f64 = levels.iter().sum();
+            assert!((sum - 0.8).abs() < 1e-12, "dims {dims}: sum {sum}");
+        }
+    }
+
+    #[test]
+    fn two_d_geometric_is_the_nd_allocator() {
+        let nd = geometric_levels_nd(8, 1.0, 2).unwrap();
+        let planar = CountBudget::Geometric.levels(8, 1.0);
+        for (a, b) in nd.iter().zip(&planar) {
+            assert_eq!(a.to_bits(), b.to_bits(), "planar must delegate exactly");
+        }
+    }
+
+    #[test]
+    fn one_d_is_uniform() {
+        let levels = geometric_levels_nd(4, 1.0, 1).unwrap();
+        assert!(levels.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-15));
+    }
+
+    #[test]
+    fn higher_dims_tilt_harder_toward_leaves() {
+        let d2 = geometric_levels_nd(6, 1.0, 2).unwrap();
+        let d3 = geometric_levels_nd(6, 1.0, 3).unwrap();
+        // Leaf share grows with dimension (faster node-count growth).
+        assert!(d3[0] > d2[0], "3D leaf share {} vs 2D {}", d3[0], d2[0]);
+        // Root share shrinks.
+        assert!(d3[6] < d2[6]);
+    }
+
+    #[test]
+    fn nd_allocator_rejects_bad_parameters_without_panicking() {
+        for (bad, param) in [
+            (geometric_levels_nd(4, 1.0, 0), "dims"),
+            (geometric_levels_nd(4, 0.0, 2), "epsilon"),
+            (geometric_levels_nd(4, -1.0, 3), "epsilon"),
+            (geometric_levels_nd(4, f64::INFINITY, 2), "epsilon"),
+            (geometric_levels_nd(4, f64::NAN, 2), "epsilon"),
+        ] {
+            match bad {
+                Err(DpsdError::InvalidParameter { param: p, .. }) => assert_eq!(p, param),
+                other => panic!("expected InvalidParameter({param}), got {other:?}"),
+            }
+        }
     }
 }

@@ -1,27 +1,25 @@
 //! The workspace-wide error type.
 //!
 //! Every fallible operation in the `dpsd` workspace reports through
-//! [`DpsdError`]: building any backend, loading a published release or
-//! synopsis, and checked query paths. Fine-grained error enums
-//! ([`BuildError`](crate::tree::BuildError),
-//! [`NdBuildError`](crate::ndim::NdBuildError),
-//! [`ReleaseError`](crate::tree::ReleaseError),
-//! [`GeometryError`](crate::geometry::GeometryError)) remain the
+//! [`DpsdError`]: building any backend (in any dimension), loading a
+//! published release or synopsis, and checked query paths. Fine-grained
+//! error enums ([`BuildError`], [`ReleaseError`], [`GeometryError`])
+//! remain the
 //! carriers of detail and convert into `DpsdError` via `From`, so `?`
-//! composes across crates.
+//! composes across crates. The former `ndim::NdBuildError` is gone:
+//! d-dimensional builds run through the same
+//! [`PsdConfig`](crate::tree::PsdConfig) pipeline and report the
+//! same `BuildError` kinds.
 
 use crate::geometry::GeometryError;
-use crate::ndim::NdBuildError;
 use crate::tree::{BuildError, ReleaseError};
 use std::fmt;
 
 /// Unified error for every backend and artifact in the workspace.
 #[derive(Debug)]
 pub enum DpsdError {
-    /// Building a planar PSD failed.
+    /// Building a PSD failed.
     Build(BuildError),
-    /// Building a d-dimensional tree failed.
-    NdBuild(NdBuildError),
     /// A rectangle or point was invalid.
     Geometry(GeometryError),
     /// A published text release could not be read.
@@ -47,7 +45,6 @@ impl fmt::Display for DpsdError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DpsdError::Build(e) => write!(f, "build failed: {e}"),
-            DpsdError::NdBuild(e) => write!(f, "ndim build failed: {e}"),
             DpsdError::Geometry(e) => write!(f, "bad geometry: {e}"),
             DpsdError::Release(e) => write!(f, "bad release: {e}"),
             DpsdError::Format { reason } => write!(f, "bad synopsis: {reason}"),
@@ -65,7 +62,6 @@ impl std::error::Error for DpsdError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             DpsdError::Build(e) => Some(e),
-            DpsdError::NdBuild(e) => Some(e),
             DpsdError::Geometry(e) => Some(e),
             DpsdError::Release(e) => Some(e),
             _ => None,
@@ -93,12 +89,6 @@ impl DpsdError {
 impl From<BuildError> for DpsdError {
     fn from(e: BuildError) -> Self {
         DpsdError::Build(e)
-    }
-}
-
-impl From<NdBuildError> for DpsdError {
-    fn from(e: NdBuildError) -> Self {
-        DpsdError::NdBuild(e)
     }
 }
 

@@ -1,161 +1,254 @@
-//! Points and axis-aligned rectangles in the plane.
+//! Dimension-generic points and axis-aligned boxes.
 //!
-//! Spatial decompositions in the paper operate over two-dimensional data
-//! (GPS coordinates, or any pair of ordered attributes). Rectangles are
-//! *half-open on neither side*: containment uses closed lower edges and
-//! closed upper edges for queries, but tree construction partitions points
-//! with half-open cells (`[min, max)`, with the domain's upper boundary
+//! The paper develops its decompositions in the plane but generalizes
+//! explicitly ("octree, etc.", Section 3.2), so the geometry layer is
+//! const-generic over the dimension: [`Point<D>`] and [`Rect<D>`] carry
+//! `D` coordinates per corner, and every tree family, query routine, and
+//! release artifact in this workspace is built on them. The dimension
+//! defaults to 2, and the [`Point2`] / [`Rect2`] aliases plus the planar
+//! conveniences (`Point::new(x, y)`, `Rect::new(min_x, min_y, max_x,
+//! max_y)`, `min_x()`/`width()`/… accessors) keep the 2D API of earlier
+//! releases source-compatible.
+//!
+//! **Migration notes** (from the planar-only geometry):
+//!
+//! * field access `p.x` / `r.min_x` becomes `p.x()` / `r.min_x()` (or
+//!   `p.coords[0]` / `r.min[0]`);
+//! * the `Axis` enum is replaced by a plain `usize` axis index
+//!   (`0` = x, `1` = y); axis cycling is `(axis + 1) % D`;
+//! * `Rect::new(min_x, min_y, max_x, max_y)` remains for `Rect2`; any-`D`
+//!   construction uses [`Rect::from_corners`] / [`Point::from_coords`].
+//!
+//! Rectangles are *half-open on neither side*: containment uses closed
+//! edges for queries, but tree construction partitions points with
+//! half-open cells (`[min, max)`, with the domain's upper boundary
 //! closed) so every point lands in exactly one leaf.
 
 use std::fmt;
 
-/// A point in the plane.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
-pub struct Point {
-    /// Horizontal coordinate (e.g. longitude).
-    pub x: f64,
-    /// Vertical coordinate (e.g. latitude).
-    pub y: f64,
+/// A point in `D`-dimensional space (`D = 2` when elided).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point<const D: usize = 2> {
+    /// Coordinates, one per dimension.
+    pub coords: [f64; D],
 }
 
-impl Point {
-    /// Creates a point.
+/// The planar point (alias of [`Point<2>`]).
+pub type Point2 = Point<2>;
+
+impl<const D: usize> Point<D> {
+    /// Creates a point from its coordinate array.
+    #[inline]
+    pub fn from_coords(coords: [f64; D]) -> Self {
+        Point { coords }
+    }
+
+    /// The coordinate along `axis` (`0 = x, 1 = y, …`).
+    #[inline]
+    pub fn coord(&self, axis: usize) -> f64 {
+        self.coords[axis]
+    }
+}
+
+impl Point<2> {
+    /// Creates a planar point.
     #[inline]
     pub fn new(x: f64, y: f64) -> Self {
-        Point { x, y }
+        Point { coords: [x, y] }
     }
 
-    /// The coordinate along `axis` (0 = x, 1 = y).
+    /// Horizontal coordinate (e.g. longitude).
     #[inline]
-    pub fn coord(&self, axis: Axis) -> f64 {
-        match axis {
-            Axis::X => self.x,
-            Axis::Y => self.y,
-        }
+    pub fn x(&self) -> f64 {
+        self.coords[0]
+    }
+
+    /// Vertical coordinate (e.g. latitude).
+    #[inline]
+    pub fn y(&self) -> f64 {
+        self.coords[1]
     }
 }
 
-/// A splitting axis.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Axis {
-    /// Split by x coordinate (vertical splitting line).
-    X,
-    /// Split by y coordinate (horizontal splitting line).
-    Y,
+impl<const D: usize> Default for Point<D> {
+    fn default() -> Self {
+        Point { coords: [0.0; D] }
+    }
 }
 
-impl Axis {
-    /// The other axis (kd-trees cycle axes level by level).
-    #[inline]
-    pub fn other(self) -> Axis {
-        match self {
-            Axis::X => Axis::Y,
-            Axis::Y => Axis::X,
-        }
+impl<const D: usize> From<[f64; D]> for Point<D> {
+    fn from(coords: [f64; D]) -> Self {
+        Point { coords }
+    }
+}
+
+impl<const D: usize> std::ops::Index<usize> for Point<D> {
+    type Output = f64;
+
+    fn index(&self, axis: usize) -> &f64 {
+        &self.coords[axis]
     }
 }
 
 /// Errors from rectangle constructors.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum GeometryError {
     /// min > max on some axis, or a coordinate was not finite.
     InvalidRect {
-        min_x: f64,
-        min_y: f64,
-        max_x: f64,
-        max_y: f64,
+        /// Lower corner as supplied.
+        min: Vec<f64>,
+        /// Upper corner as supplied.
+        max: Vec<f64>,
     },
 }
 
 impl fmt::Display for GeometryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match *self {
-            GeometryError::InvalidRect {
-                min_x,
-                min_y,
-                max_x,
-                max_y,
-            } => write!(
-                f,
-                "invalid rectangle [{min_x}, {max_x}] x [{min_y}, {max_y}]"
-            ),
+        match self {
+            GeometryError::InvalidRect { min, max } => {
+                write!(f, "invalid box {min:?} x {max:?}")
+            }
         }
     }
 }
 
 impl std::error::Error for GeometryError {}
 
-/// An axis-aligned rectangle `[min_x, max_x] x [min_y, max_y]`.
+/// An axis-aligned box `[min_0, max_0] x … x [min_{D-1}, max_{D-1}]`
+/// (`D = 2` when elided).
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Rect {
-    /// Left edge.
-    pub min_x: f64,
-    /// Bottom edge.
-    pub min_y: f64,
-    /// Right edge.
-    pub max_x: f64,
-    /// Top edge.
-    pub max_y: f64,
+pub struct Rect<const D: usize = 2> {
+    /// Lower corner.
+    pub min: [f64; D],
+    /// Upper corner.
+    pub max: [f64; D],
 }
 
-impl Rect {
-    /// Creates a rectangle, validating that it is non-degenerate-safe
-    /// (finite coordinates, `min <= max` on both axes; zero width or
-    /// height is allowed).
+/// The planar rectangle (alias of [`Rect<2>`]).
+pub type Rect2 = Rect<2>;
+
+impl Rect<2> {
+    /// Creates a planar rectangle, validating that coordinates are finite
+    /// and `min <= max` on both axes (zero width or height is allowed).
     pub fn new(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Result<Self, GeometryError> {
-        let ok = min_x.is_finite()
-            && min_y.is_finite()
-            && max_x.is_finite()
-            && max_y.is_finite()
-            && min_x <= max_x
-            && min_y <= max_y;
-        if !ok {
-            return Err(GeometryError::InvalidRect {
-                min_x,
-                min_y,
-                max_x,
-                max_y,
-            });
-        }
-        Ok(Rect {
-            min_x,
-            min_y,
-            max_x,
-            max_y,
-        })
+        Rect::from_corners([min_x, min_y], [max_x, max_y])
+    }
+
+    /// Left edge.
+    #[inline]
+    pub fn min_x(&self) -> f64 {
+        self.min[0]
+    }
+
+    /// Bottom edge.
+    #[inline]
+    pub fn min_y(&self) -> f64 {
+        self.min[1]
+    }
+
+    /// Right edge.
+    #[inline]
+    pub fn max_x(&self) -> f64 {
+        self.max[0]
+    }
+
+    /// Top edge.
+    #[inline]
+    pub fn max_y(&self) -> f64 {
+        self.max[1]
     }
 
     /// Width of the rectangle.
     #[inline]
     pub fn width(&self) -> f64 {
-        self.max_x - self.min_x
+        self.side(0)
     }
 
     /// Height of the rectangle.
     #[inline]
     pub fn height(&self) -> f64 {
-        self.max_y - self.min_y
+        self.side(1)
     }
 
-    /// Area (may be zero).
+    /// The four equal quadrants (quadtree split), ordered SW, SE, NW, NE.
+    pub fn quadrants(&self) -> [Rect<2>; 4] {
+        let mx = self.min[0] + self.side(0) / 2.0;
+        let my = self.min[1] + self.side(1) / 2.0;
+        [
+            Rect {
+                min: self.min,
+                max: [mx, my],
+            },
+            Rect {
+                min: [mx, self.min[1]],
+                max: [self.max[0], my],
+            },
+            Rect {
+                min: [self.min[0], my],
+                max: [mx, self.max[1]],
+            },
+            Rect {
+                min: [mx, my],
+                max: self.max,
+            },
+        ]
+    }
+}
+
+impl<const D: usize> Rect<D> {
+    /// Creates a box from its corners, validating finiteness and
+    /// `min <= max` per axis (degenerate — zero-extent — axes allowed).
+    pub fn from_corners(min: [f64; D], max: [f64; D]) -> Result<Self, GeometryError> {
+        for k in 0..D {
+            if !(min[k].is_finite() && max[k].is_finite() && min[k] <= max[k]) {
+                return Err(GeometryError::InvalidRect {
+                    min: min.to_vec(),
+                    max: max.to_vec(),
+                });
+            }
+        }
+        Ok(Rect { min, max })
+    }
+
+    /// Side length along `axis`.
+    #[inline]
+    pub fn side(&self, axis: usize) -> f64 {
+        self.max[axis] - self.min[axis]
+    }
+
+    /// Product of all side lengths — the area for `D = 2`, hyper-volume
+    /// in general (may be zero).
     #[inline]
     pub fn area(&self) -> f64 {
-        self.width() * self.height()
+        let mut v = 1.0;
+        for k in 0..D {
+            v *= self.side(k);
+        }
+        v
+    }
+
+    /// Synonym of [`Rect::area`] with the dimension-neutral name.
+    #[inline]
+    pub fn volume(&self) -> f64 {
+        self.area()
     }
 
     /// The extent `[lo, hi]` along `axis`.
     #[inline]
-    pub fn extent(&self, axis: Axis) -> (f64, f64) {
-        match axis {
-            Axis::X => (self.min_x, self.max_x),
-            Axis::Y => (self.min_y, self.max_y),
-        }
+    pub fn extent(&self, axis: usize) -> (f64, f64) {
+        (self.min[axis], self.max[axis])
+    }
+
+    /// Midpoint along `axis`.
+    #[inline]
+    pub fn midpoint(&self, axis: usize) -> f64 {
+        self.min[axis] + self.side(axis) / 2.0
     }
 
     /// Closed containment: boundary points are inside.
     #[inline]
-    pub fn contains(&self, p: Point) -> bool {
-        p.x >= self.min_x && p.x <= self.max_x && p.y >= self.min_y && p.y <= self.max_y
+    pub fn contains(&self, p: Point<D>) -> bool {
+        (0..D).all(|k| p.coords[k] >= self.min[k] && p.coords[k] <= self.max[k])
     }
 
     /// Half-open containment used when *partitioning* points into cells:
@@ -163,48 +256,46 @@ impl Rect {
     /// coinciding with `domain`'s upper boundary are inclusive so no point
     /// of the domain is orphaned.
     #[inline]
-    pub fn contains_for_partition(&self, p: Point, domain: &Rect) -> bool {
-        let x_hi_ok = p.x < self.max_x || (self.max_x >= domain.max_x && p.x <= self.max_x);
-        let y_hi_ok = p.y < self.max_y || (self.max_y >= domain.max_y && p.y <= self.max_y);
-        p.x >= self.min_x && p.y >= self.min_y && x_hi_ok && y_hi_ok
+    pub fn contains_for_partition(&self, p: Point<D>, domain: &Rect<D>) -> bool {
+        (0..D).all(|k| {
+            let hi_ok = p.coords[k] < self.max[k]
+                || (self.max[k] >= domain.max[k] && p.coords[k] <= self.max[k]);
+            p.coords[k] >= self.min[k] && hi_ok
+        })
     }
 
     /// Whether `self` is entirely inside `other` (closed edges).
     #[inline]
-    pub fn inside(&self, other: &Rect) -> bool {
-        self.min_x >= other.min_x
-            && self.max_x <= other.max_x
-            && self.min_y >= other.min_y
-            && self.max_y <= other.max_y
+    pub fn inside(&self, other: &Rect<D>) -> bool {
+        (0..D).all(|k| self.min[k] >= other.min[k] && self.max[k] <= other.max[k])
     }
 
-    /// Whether the two rectangles share any area or boundary.
+    /// Whether the two boxes share any volume or boundary.
     #[inline]
-    pub fn intersects(&self, other: &Rect) -> bool {
-        self.min_x <= other.max_x
-            && other.min_x <= self.max_x
-            && self.min_y <= other.max_y
-            && other.min_y <= self.max_y
+    pub fn intersects(&self, other: &Rect<D>) -> bool {
+        (0..D).all(|k| self.min[k] <= other.max[k] && other.min[k] <= self.max[k])
     }
 
-    /// The intersection rectangle, or `None` if disjoint.
-    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+    /// The intersection box, or `None` if disjoint.
+    pub fn intersection(&self, other: &Rect<D>) -> Option<Rect<D>> {
         if !self.intersects(other) {
             return None;
         }
-        Some(Rect {
-            min_x: self.min_x.max(other.min_x),
-            min_y: self.min_y.max(other.min_y),
-            max_x: self.max_x.min(other.max_x),
-            max_y: self.max_y.min(other.max_y),
-        })
+        let mut min = [0.0; D];
+        let mut max = [0.0; D];
+        for k in 0..D {
+            min[k] = self.min[k].max(other.min[k]);
+            max[k] = self.max[k].min(other.max[k]);
+        }
+        Some(Rect { min, max })
     }
 
-    /// Fraction of `self`'s area covered by `query` (the uniformity
-    /// assumption of Section 4.1). Zero-area cells contribute their full
-    /// count when they intersect the query at all: a degenerate cell still
-    /// holds points and the uniform model puts them all at the same spot.
-    pub fn overlap_fraction(&self, query: &Rect) -> f64 {
+    /// Fraction of `self`'s volume covered by `query` (the uniformity
+    /// assumption of Section 4.1). Zero-volume cells contribute their
+    /// full count when they intersect the query at all: a degenerate cell
+    /// still holds points and the uniform model puts them all at the same
+    /// spot.
+    pub fn overlap_fraction(&self, query: &Rect<D>) -> f64 {
         match self.intersection(query) {
             None => 0.0,
             Some(cap) => {
@@ -219,77 +310,74 @@ impl Rect {
     }
 
     /// Splits into two halves at `value` along `axis`. `value` is clamped
-    /// into the rectangle's extent so callers may pass noisy medians.
-    pub fn split_at(&self, axis: Axis, value: f64) -> (Rect, Rect) {
-        match axis {
-            Axis::X => {
-                let v = value.clamp(self.min_x, self.max_x);
-                (Rect { max_x: v, ..*self }, Rect { min_x: v, ..*self })
-            }
-            Axis::Y => {
-                let v = value.clamp(self.min_y, self.max_y);
-                (Rect { max_y: v, ..*self }, Rect { min_y: v, ..*self })
+    /// into the box's extent so callers may pass noisy medians.
+    pub fn split_at(&self, axis: usize, value: f64) -> (Rect<D>, Rect<D>) {
+        let v = value.clamp(self.min[axis], self.max[axis]);
+        let mut lo = *self;
+        let mut hi = *self;
+        lo.max[axis] = v;
+        hi.min[axis] = v;
+        (lo, hi)
+    }
+
+    /// The `2^D` equal orthants; child `j` takes the upper half of axis
+    /// `k` exactly when bit `D - 1 - k` of `j` is set (axis 0 is the
+    /// most significant bit — the same child ordering the tree builders
+    /// use, so `parent.orthant(j)` is the cell of child `j` in a
+    /// midpoint tree).
+    pub fn orthant(&self, j: usize) -> Rect<D> {
+        debug_assert!(j < (1 << D));
+        let mut min = self.min;
+        let mut max = self.max;
+        for k in 0..D {
+            let mid = self.min[k] + self.side(k) / 2.0;
+            if j >> (D - 1 - k) & 1 == 1 {
+                min[k] = mid;
+            } else {
+                max[k] = mid;
             }
         }
+        Rect { min, max }
     }
 
-    /// The four equal quadrants (quadtree split), ordered SW, SE, NW, NE.
-    pub fn quadrants(&self) -> [Rect; 4] {
-        let mx = self.min_x + self.width() / 2.0;
-        let my = self.min_y + self.height() / 2.0;
-        [
-            Rect {
-                min_x: self.min_x,
-                min_y: self.min_y,
-                max_x: mx,
-                max_y: my,
-            },
-            Rect {
-                min_x: mx,
-                min_y: self.min_y,
-                max_x: self.max_x,
-                max_y: my,
-            },
-            Rect {
-                min_x: self.min_x,
-                min_y: my,
-                max_x: mx,
-                max_y: self.max_y,
-            },
-            Rect {
-                min_x: mx,
-                min_y: my,
-                max_x: self.max_x,
-                max_y: self.max_y,
-            },
-        ]
-    }
-
-    /// Grows the rectangle by `margin` on every side (clamped to finite).
-    pub fn expanded(&self, margin: f64) -> Rect {
-        Rect {
-            min_x: self.min_x - margin,
-            min_y: self.min_y - margin,
-            max_x: self.max_x + margin,
-            max_y: self.max_y + margin,
+    /// Index of the orthant a point belongs to under half-open
+    /// partitioning (upper boundaries stay in the upper child), using
+    /// the same bit order as [`Rect::orthant`].
+    pub fn orthant_of(&self, p: &Point<D>) -> usize {
+        let mut j = 0usize;
+        for k in 0..D {
+            let mid = self.min[k] + self.side(k) / 2.0;
+            if p.coords[k] >= mid {
+                j |= 1 << (D - 1 - k);
+            }
         }
+        j
     }
 
-    /// Smallest rectangle covering a non-empty point set, or `None` for an
+    /// Grows the box by `margin` on every side.
+    pub fn expanded(&self, margin: f64) -> Rect<D> {
+        let mut min = self.min;
+        let mut max = self.max;
+        for k in 0..D {
+            min[k] -= margin;
+            max[k] += margin;
+        }
+        Rect { min, max }
+    }
+
+    /// Smallest box covering a non-empty point set, or `None` for an
     /// empty slice.
-    pub fn bounding(points: &[Point]) -> Option<Rect> {
+    pub fn bounding(points: &[Point<D>]) -> Option<Rect<D>> {
         let first = points.first()?;
         let mut r = Rect {
-            min_x: first.x,
-            min_y: first.y,
-            max_x: first.x,
-            max_y: first.y,
+            min: first.coords,
+            max: first.coords,
         };
         for p in &points[1..] {
-            r.min_x = r.min_x.min(p.x);
-            r.min_y = r.min_y.min(p.y);
-            r.max_x = r.max_x.max(p.x);
-            r.max_y = r.max_y.max(p.y);
+            for k in 0..D {
+                r.min[k] = r.min[k].min(p.coords[k]);
+                r.max[k] = r.max[k].max(p.coords[k]);
+            }
         }
         Some(r)
     }
@@ -313,6 +401,8 @@ mod tests {
             Rect::new(0.0, 0.0, f64::INFINITY, 1.0).is_err(),
             "inf rejected"
         );
+        assert!(Rect::from_corners([1.0], [0.0]).is_err());
+        assert!(Rect::from_corners([f64::NAN, 0.0], [1.0, 1.0]).is_err());
     }
 
     #[test]
@@ -330,7 +420,7 @@ mod tests {
     #[test]
     fn partition_containment_is_half_open() {
         let domain = r(0.0, 0.0, 4.0, 4.0);
-        let (left, right) = domain.split_at(Axis::X, 2.0);
+        let (left, right) = domain.split_at(0, 2.0);
         let p = Point::new(2.0, 1.0);
         assert!(
             !left.contains_for_partition(p, &domain),
@@ -372,12 +462,12 @@ mod tests {
     #[test]
     fn split_clamps_noisy_medians() {
         let rect = r(0.0, 0.0, 2.0, 2.0);
-        let (l, rr) = rect.split_at(Axis::X, 99.0);
-        assert_eq!(l.max_x, 2.0);
-        assert_eq!(rr.min_x, 2.0);
-        let (l, rr) = rect.split_at(Axis::Y, -5.0);
-        assert_eq!(l.max_y, 0.0);
-        assert_eq!(rr.min_y, 0.0);
+        let (l, rr) = rect.split_at(0, 99.0);
+        assert_eq!(l.max_x(), 2.0);
+        assert_eq!(rr.min_x(), 2.0);
+        let (l, rr) = rect.split_at(1, -5.0);
+        assert_eq!(l.max_y(), 0.0);
+        assert_eq!(rr.min_y(), 0.0);
     }
 
     #[test]
@@ -390,13 +480,13 @@ mod tests {
             assert!(q.inside(&rect));
         }
         // Quadrants meet at the midpoint.
-        assert_eq!(qs[0].max_x, 1.0);
-        assert_eq!(qs[0].max_y, 2.0);
+        assert_eq!(qs[0].max_x(), 1.0);
+        assert_eq!(qs[0].max_y(), 2.0);
     }
 
     #[test]
     fn bounding_box() {
-        assert!(Rect::bounding(&[]).is_none());
+        assert!(Rect::<2>::bounding(&[]).is_none());
         let pts = [
             Point::new(1.0, 5.0),
             Point::new(-2.0, 3.0),
@@ -407,17 +497,76 @@ mod tests {
     }
 
     #[test]
-    fn axis_cycling() {
-        assert_eq!(Axis::X.other(), Axis::Y);
-        assert_eq!(Axis::Y.other(), Axis::X);
+    fn coordinate_access() {
         let p = Point::new(3.0, 4.0);
-        assert_eq!(p.coord(Axis::X), 3.0);
-        assert_eq!(p.coord(Axis::Y), 4.0);
+        assert_eq!(p.coord(0), 3.0);
+        assert_eq!(p.coord(1), 4.0);
+        assert_eq!(p[0], 3.0);
+        assert_eq!((p.x(), p.y()), (3.0, 4.0));
+        let q: Point<3> = [1.0, 2.0, 3.0].into();
+        assert_eq!(q.coord(2), 3.0);
+        assert_eq!(Point::<3>::default().coords, [0.0; 3]);
     }
 
     #[test]
     fn expanded_grows_all_sides() {
         let rect = r(0.0, 0.0, 1.0, 1.0).expanded(0.5);
         assert_eq!(rect, r(-0.5, -0.5, 1.5, 1.5));
+    }
+
+    #[test]
+    fn three_d_boxes() {
+        let a = Rect::from_corners([0.0; 3], [4.0; 3]).unwrap();
+        let b = Rect::from_corners([2.0; 3], [6.0; 3]).unwrap();
+        assert_eq!(a.volume(), 64.0);
+        assert!(a.intersects(&b));
+        let cap = a.intersection(&b).unwrap();
+        assert_eq!(cap.min, [2.0; 3]);
+        assert_eq!(cap.max, [4.0; 3]);
+        assert!(cap.inside(&a) && cap.inside(&b));
+        assert!(a.contains(Point::from_coords([4.0, 0.0, 2.0])));
+        assert!(!a.contains(Point::from_coords([4.1, 0.0, 2.0])));
+        let (lo, hi) = a.split_at(2, 1.0);
+        assert_eq!(lo.max[2], 1.0);
+        assert_eq!(hi.min[2], 1.0);
+        assert_eq!(lo.extent(0), (0.0, 4.0));
+    }
+
+    #[test]
+    fn orthants_partition_volume() {
+        let r = Rect::from_corners([0.0, -2.0, 1.0], [4.0, 2.0, 5.0]).unwrap();
+        let total: f64 = (0..8).map(|j| r.orthant(j).volume()).sum();
+        assert!((total - r.volume()).abs() < 1e-9);
+        // Orthant indexing is consistent with point assignment.
+        let p = Point::from_coords([3.0, -1.0, 4.5]);
+        let j = r.orthant_of(&p);
+        assert!(r.orthant(j).contains(p));
+        // Bit semantics: axis 0 upper half => most significant bit set.
+        assert_eq!(r.orthant_of(&Point::from_coords([3.9, -1.9, 1.1])), 0b100);
+        assert_eq!(r.orthant_of(&Point::from_coords([0.1, 1.9, 1.1])), 0b010);
+        assert_eq!(r.orthant_of(&Point::from_coords([0.1, -1.9, 4.9])), 0b001);
+    }
+
+    #[test]
+    fn orthants_match_quadrants_in_the_plane() {
+        // The generic orthant ordering coincides with the planar
+        // quadrant helper and with the tree builders' child order.
+        let rect = r(0.0, 0.0, 8.0, 4.0);
+        let quads = rect.quadrants();
+        // quadrants() is SW, SE, NW, NE; orthant j uses axis 0 as the
+        // high bit: j = 0 SW, 1 NW, 2 SE, 3 NE.
+        assert_eq!(rect.orthant(0), quads[0]);
+        assert_eq!(rect.orthant(1), quads[2]);
+        assert_eq!(rect.orthant(2), quads[1]);
+        assert_eq!(rect.orthant(3), quads[3]);
+    }
+
+    #[test]
+    fn overlap_fraction_4d() {
+        let cell = Rect::from_corners([0.0; 4], [2.0; 4]).unwrap();
+        let q = Rect::from_corners([0.0; 4], [1.0, 2.0, 2.0, 2.0]).unwrap();
+        assert!((cell.overlap_fraction(&q) - 0.5).abs() < 1e-12);
+        let degenerate = Rect::from_corners([1.0; 4], [1.0; 4]).unwrap();
+        assert_eq!(degenerate.overlap_fraction(&cell), 1.0);
     }
 }

@@ -23,7 +23,7 @@
 //! | [`postprocess`] | 5 | three-phase OLS estimator and a dense reference solver |
 //! | [`query`] | 4.1 | canonical range queries, single and batched |
 //! | [`analysis`] | 4.2 | closed-form worst-case error bounds (Figure 2, Lemmas 2-3) |
-//! | [`geometry`] | — | points and axis-aligned rectangles |
+//! | [`geometry`] | — | const-generic points and axis-aligned boxes (`Point<D>` / `Rect<D>`) |
 //! | [`metrics`] | 8.1 | relative-error and rank-error measures |
 //!
 //! # Quick start: build, query, publish
@@ -62,7 +62,18 @@
 //!
 //! Fallible operations across the workspace report the unified
 //! [`DpsdError`]; detailed kinds ([`tree::BuildError`],
-//! [`ndim::NdBuildError`], [`tree::ReleaseError`]) ride inside it.
+//! [`tree::ReleaseError`]) ride inside it.
+//!
+//! # Any dimension
+//!
+//! The whole stack is const-generic over the dimension `D` (default 2):
+//! `PsdConfig::<3>::kd_hybrid(domain, h, eps, switch)` builds a private
+//! kd-hybrid over 3-attribute records, queries run through the same
+//! [`SpatialSynopsis`] trait, and `release()` publishes a JSON synopsis
+//! that round-trips in any `D`. The [`geometry::Point2`] /
+//! [`geometry::Rect2`] aliases and the planar constructors keep
+//! 2D call sites source-compatible; see the [`geometry`] module docs for
+//! migration notes.
 
 pub mod analysis;
 pub mod budget;
@@ -80,6 +91,6 @@ pub mod synopsis;
 pub mod tree;
 
 pub use error::DpsdError;
-pub use geometry::{Point, Rect};
+pub use geometry::{Point, Point2, Rect, Rect2};
 pub use synopsis::SpatialSynopsis;
 pub use tree::{PsdConfig, PsdTree, ReleasedSynopsis, TreeKind};

@@ -1,4 +1,4 @@
-//! Cell-based (fixed-grid) median heuristic of Xiao et al. [26]
+//! Cell-based (fixed-grid) median heuristic of Xiao et al. \[26\]
 //! (paper Section 6.1).
 //!
 //! A fixed-resolution grid is laid over the data once; each cell count is
@@ -10,7 +10,7 @@
 //! The accuracy depends on how coarse the grid is relative to the data
 //! distribution — the trade-off Figure 4(a) ("cell") illustrates.
 
-use crate::geometry::{Axis, Point, Rect};
+use crate::geometry::{Point, Rect};
 use crate::mech::laplace::laplace_mechanism;
 use rand::Rng;
 
@@ -141,8 +141,8 @@ impl CellGrid2D {
             if !rect.contains(*p) {
                 continue;
             }
-            let ix = (((p.x - rect.min_x) / wx) as usize).min(nx - 1);
-            let iy = (((p.y - rect.min_y) / wy) as usize).min(ny - 1);
+            let ix = (((p.x() - rect.min_x()) / wx) as usize).min(nx - 1);
+            let iy = (((p.y() - rect.min_y()) / wy) as usize).min(ny - 1);
             counts[iy * nx + ix] += 1.0;
         }
         for c in counts.iter_mut() {
@@ -174,30 +174,30 @@ impl CellGrid2D {
         total
     }
 
-    /// Estimated median coordinate along `axis` of the data inside
-    /// `region`, from the noisy marginal. Falls back to the region
-    /// midline when no mass remains.
-    pub fn median_along(&self, axis: Axis, region: &Rect) -> f64 {
+    /// Estimated median coordinate along `axis` (`0 = x, 1 = y`) of the
+    /// data inside `region`, from the noisy marginal. Falls back to the
+    /// region midline when no mass remains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= 2` (the grid is two-dimensional).
+    pub fn median_along(&self, axis: usize, region: &Rect) -> f64 {
+        assert!(axis < 2, "CellGrid2D has axes 0 and 1, got {axis}");
         let (lo, hi) = region.extent(axis);
-        let bins = match axis {
-            Axis::X => self.nx,
-            Axis::Y => self.ny,
-        };
+        let bins = if axis == 0 { self.nx } else { self.ny };
         let mut marginal = vec![0.0f64; bins];
         self.for_overlapping(region, |ix, iy, mass| {
-            let i = match axis {
-                Axis::X => ix,
-                Axis::Y => iy,
-            };
+            let i = if axis == 0 { ix } else { iy };
             marginal[i] += mass;
         });
         let total: f64 = marginal.iter().sum();
         if total <= 0.0 {
             return lo + (hi - lo) / 2.0;
         }
-        let (axis_lo, cell_w) = match axis {
-            Axis::X => (self.rect.min_x, self.rect.width() / self.nx as f64),
-            Axis::Y => (self.rect.min_y, self.rect.height() / self.ny as f64),
+        let (axis_lo, cell_w) = if axis == 0 {
+            (self.rect.min_x(), self.rect.width() / self.nx as f64)
+        } else {
+            (self.rect.min_y(), self.rect.height() / self.ny as f64)
         };
         let half = total / 2.0;
         let mut cum = 0.0;
@@ -215,7 +215,7 @@ impl CellGrid2D {
 
     /// A uniformity score for `region` in `[0, inf)`: the mean absolute
     /// deviation of per-cell noisy masses from their mean, normalized by
-    /// the mean. Xiao et al. [26] stop splitting nodes deemed uniform;
+    /// the mean. Xiao et al. \[26\] stop splitting nodes deemed uniform;
     /// the `kd-cell` builder treats scores below a threshold as uniform.
     /// Regions with no positive mass score 0 (nothing left to split).
     pub fn uniformity_score(&self, region: &Rect) -> f64 {
@@ -241,16 +241,16 @@ impl CellGrid2D {
         };
         let wx = self.rect.width() / self.nx as f64;
         let wy = self.rect.height() / self.ny as f64;
-        let ix0 = (((clip.min_x - self.rect.min_x) / wx) as usize).min(self.nx - 1);
-        let ix1 = (((clip.max_x - self.rect.min_x) / wx) as usize).min(self.nx - 1);
-        let iy0 = (((clip.min_y - self.rect.min_y) / wy) as usize).min(self.ny - 1);
-        let iy1 = (((clip.max_y - self.rect.min_y) / wy) as usize).min(self.ny - 1);
+        let ix0 = (((clip.min_x() - self.rect.min_x()) / wx) as usize).min(self.nx - 1);
+        let ix1 = (((clip.max_x() - self.rect.min_x()) / wx) as usize).min(self.nx - 1);
+        let iy0 = (((clip.min_y() - self.rect.min_y()) / wy) as usize).min(self.ny - 1);
+        let iy1 = (((clip.max_y() - self.rect.min_y()) / wy) as usize).min(self.ny - 1);
         for iy in iy0..=iy1 {
-            let c_ylo = self.rect.min_y + iy as f64 * wy;
-            let fy = ((clip.max_y.min(c_ylo + wy) - clip.min_y.max(c_ylo)) / wy).max(0.0);
+            let c_ylo = self.rect.min_y() + iy as f64 * wy;
+            let fy = ((clip.max_y().min(c_ylo + wy) - clip.min_y().max(c_ylo)) / wy).max(0.0);
             for ix in ix0..=ix1 {
-                let c_xlo = self.rect.min_x + ix as f64 * wx;
-                let fx = ((clip.max_x.min(c_xlo + wx) - clip.min_x.max(c_xlo)) / wx).max(0.0);
+                let c_xlo = self.rect.min_x() + ix as f64 * wx;
+                let fx = ((clip.max_x().min(c_xlo + wx) - clip.min_x().max(c_xlo)) / wx).max(0.0);
                 let mass = self.counts[iy * self.nx + ix].max(0.0) * fx * fy;
                 f(ix, iy, mass);
             }
@@ -303,8 +303,8 @@ mod tests {
             .map(|i| Point::new((i % 200) as f64 / 2.0, ((i / 200) % 200) as f64 / 2.0))
             .collect();
         let grid = CellGrid2D::build(&mut rng, &points, rect, 64, 64, 1.0);
-        let mx = grid.median_along(Axis::X, &rect);
-        let my = grid.median_along(Axis::Y, &rect);
+        let mx = grid.median_along(0, &rect);
+        let my = grid.median_along(1, &rect);
         assert!((mx - 50.0).abs() < 5.0, "x median {mx}");
         assert!((my - 50.0).abs() < 5.0, "y median {my}");
         let count = grid.noisy_count_in(&rect);
@@ -346,7 +346,7 @@ mod tests {
             .collect();
         let grid = CellGrid2D::build(&mut rng, &points, rect, 50, 50, 2.0);
         let sub = Rect::new(0.0, 0.0, 40.0, 100.0).unwrap();
-        let med = grid.median_along(Axis::X, &sub);
+        let med = grid.median_along(0, &sub);
         assert!((0.0..=40.0).contains(&med), "median {med} inside subregion");
     }
 

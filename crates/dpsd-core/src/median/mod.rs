@@ -8,9 +8,9 @@
 //!   the paper's recommended default;
 //! * [`smooth_sensitivity_median`] — Laplace noise scaled by the smooth
 //!   sensitivity of the median (Definition 4; `(eps, delta)`-DP);
-//! * [`noisy_mean_split`] — the noisy-mean heuristic of Inan et al. [12];
+//! * [`noisy_mean_split`] — the noisy-mean heuristic of Inan et al. \[12\];
 //! * [`CellGrid1D`] / [`CellGrid2D`] — the fixed-grid heuristic of Xiao
-//!   et al. [26] (noisy cell counts computed once, medians read off the
+//!   et al. \[26\] (noisy cell counts computed once, medians read off the
 //!   grid).
 //!
 //! [`exact_median`] is the non-private baseline (used by `kd-pure` /
@@ -55,7 +55,7 @@ pub enum MedianConfig {
         /// Failure probability `delta` of the smooth-sensitivity analysis.
         delta: f64,
     },
-    /// Noisy mean as a median surrogate (Inan et al. [12]).
+    /// Noisy mean as a median surrogate (Inan et al. \[12\]).
     NoisyMean,
 }
 

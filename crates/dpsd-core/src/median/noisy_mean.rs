@@ -1,4 +1,4 @@
-//! Noisy-mean median surrogate (Inan et al. [12], paper Section 6.1).
+//! Noisy-mean median surrogate (Inan et al. \[12\], paper Section 6.1).
 //!
 //! The mean of a bounded attribute can be released privately by dividing
 //! a noisy sum (sensitivity = domain size `M`, after shifting values to

@@ -1,90 +1,374 @@
-//! d-dimensional private spatial decompositions.
+//! Deprecation shims for the former d-dimensional module.
 //!
-//! The paper's main development is two-dimensional, but it generalizes
-//! explicitly: quadtrees become `2^d`-ary trees ("octree, etc.",
-//! Section 3.2), Lemma 2's node-count bound becomes
-//! `n(Q) = O(f^{h (1 - 1/d)})`, and the concluding remarks name
-//! higher-dimensional data as ongoing work. This module provides that
-//! generalization for data-independent trees:
+//! The paper's higher-dimensional generalization (quadtrees become
+//! `2^d`-ary trees, Lemma 2/3 re-derived per dimension) used to live
+//! here as a second, midpoint-only stack (`PointN`/`RectN`/`NdTree`).
+//! The core is now dimension-generic — [`crate::geometry::Point`] /
+//! [`crate::geometry::Rect`] carry a const dimension, every
+//! [`crate::tree::PsdConfig`] family builds in any `D`, and
+//! [`crate::tree::ReleasedSynopsis`] publishes in any `D` — so this
+//! module shrinks to aliases and thin wrappers:
 //!
-//! * [`PointN`] / [`RectN`] — points and boxes with a const-generic
-//!   dimension;
-//! * [`NdTreeConfig`] / [`NdTree`] — a private `2^d`-ary midpoint tree
-//!   with the same count pipeline as the planar families (per-level
-//!   budgets, Laplace counts, OLS post-processing via the
-//!   fanout-generic [`crate::postprocess::ols_over_columns`]), and
-//!   canonical range queries with the uniformity assumption;
-//! * [`geometric_levels_nd`] — the Lemma 3 allocation re-derived for
-//!   `2^d`-ary trees, where the per-level growth of contributing nodes
-//!   is `2^{d-1}` and the optimal ratio is therefore `2^{(d-1)/3}`.
+//! * [`PointN`] / [`RectN`] — plain type aliases of the geometry types.
+//!   The old constructors changed with them: use
+//!   [`Point::from_coords`] and [`Rect::from_corners`] instead of the
+//!   former `PointN::new([..])` / `RectN::new(min, max)` (prefer
+//!   `Point<D>` / `Rect<D>` in new code);
+//! * [`geometric_levels_nd`] — re-export of the single Lemma 3
+//!   allocator, now in [`crate::budget`];
+//! * [`NdTreeConfig`] / [`NdTree`] — a thin wrapper over
+//!   `PsdConfig::<D>::quadtree` (prefer `PsdConfig` directly: it also
+//!   offers the data-dependent kd/hybrid families in any dimension, the
+//!   full budget/median knobs, pruning, and `release()`).
 
-mod geometry;
-mod tree;
+use crate::error::DpsdError;
+use crate::geometry::{Point, Rect};
+use crate::query::QueryProfile;
+use crate::tree::{CountSource, PsdConfig, PsdTree};
 
-pub use geometry::{PointN, RectN};
-pub use tree::{NdBuildError, NdTree, NdTreeConfig};
+/// Alias of [`crate::geometry::Point`]; prefer the geometry type in new
+/// code.
+pub type PointN<const D: usize> = Point<D>;
 
-/// Per-level budgets for a `2^d`-ary tree of the given height, summing
-/// to `eps`: `eps_i ∝ g^{(h-i)/3}` with growth `g = 2^{d-1}` — the
-/// Cauchy-Schwarz optimum of Lemma 3 with `n_i ∝ g^{h-i}`.
+/// Alias of [`crate::geometry::Rect`]; prefer the geometry type in new
+/// code.
+pub type RectN<const D: usize> = Rect<D>;
+
+pub use crate::budget::geometric_levels_nd;
+
+/// Configuration for a d-dimensional private midpoint tree.
 ///
-/// For `d = 2` this coincides with
-/// [`crate::budget::CountBudget::Geometric`].
-///
-/// # Panics
-///
-/// Panics if `dims == 0` or `eps <= 0`.
-pub fn geometric_levels_nd(height: usize, eps: f64, dims: usize) -> Vec<f64> {
-    assert!(dims >= 1, "dimension must be at least 1");
-    assert!(eps > 0.0, "epsilon must be positive, got {eps}");
-    if dims == 1 {
-        // Growth 2^0 = 1: every level contributes equally, so the
-        // optimum degenerates to the uniform allocation.
-        return vec![eps / (height as f64 + 1.0); height + 1];
+/// Thin shim over [`PsdConfig::quadtree`], kept for source
+/// compatibility with the pre-generic `ndim` module.
+#[derive(Debug, Clone)]
+pub struct NdTreeConfig<const D: usize> {
+    /// Data domain.
+    pub domain: Rect<D>,
+    /// Tree height (leaves at level 0); fanout is `2^D`.
+    pub height: usize,
+    /// Total privacy budget.
+    pub epsilon: f64,
+    /// Apply OLS post-processing (default true).
+    pub postprocess: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl<const D: usize> NdTreeConfig<D> {
+    /// Creates a config with the Lemma 3 geometric budget and OLS on.
+    pub fn new(domain: Rect<D>, height: usize, epsilon: f64) -> Self {
+        NdTreeConfig {
+            domain,
+            height,
+            epsilon,
+            postprocess: true,
+            seed: 0,
+        }
     }
-    let r = 2f64.powf((dims as f64 - 1.0) / 3.0);
-    let norm: f64 = (0..=height).map(|i| r.powi((height - i) as i32)).sum();
-    (0..=height)
-        .map(|i| eps * r.powi((height - i) as i32) / norm)
-        .collect()
+
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables or disables post-processing.
+    pub fn with_postprocess(mut self, on: bool) -> Self {
+        self.postprocess = on;
+        self
+    }
+
+    /// Builds the private tree over `points` through the generic
+    /// [`PsdConfig`] pipeline. Failures are the workspace-wide
+    /// [`DpsdError`] (there is no separate `NdBuildError` any more).
+    pub fn build(&self, points: &[Point<D>]) -> Result<NdTree<D>, DpsdError> {
+        let tree = PsdConfig::quadtree(self.domain, self.height, self.epsilon)
+            .with_postprocess(self.postprocess)
+            .with_seed(self.seed)
+            .build(points)?;
+        Ok(NdTree { tree })
+    }
+}
+
+/// A built d-dimensional private midpoint tree: a thin view over
+/// [`PsdTree`] preserving the accessor surface of the pre-generic
+/// `ndim` module.
+#[derive(Debug, Clone)]
+pub struct NdTree<const D: usize> {
+    tree: PsdTree<D>,
+}
+
+impl<const D: usize> NdTree<D> {
+    /// The underlying generic tree (release it, prune it, query it with
+    /// any [`CountSource`], …).
+    pub fn as_tree(&self) -> &PsdTree<D> {
+        &self.tree
+    }
+
+    /// Consumes the shim, yielding the generic tree.
+    pub fn into_tree(self) -> PsdTree<D> {
+        self.tree
+    }
+
+    /// Tree height.
+    pub fn height(&self) -> usize {
+        self.tree.height()
+    }
+
+    /// Fanout `2^D`.
+    pub fn fanout(&self) -> usize {
+        self.tree.fanout()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.tree.node_count()
+    }
+
+    /// Total privacy budget spent.
+    pub fn epsilon(&self) -> f64 {
+        self.tree.epsilon()
+    }
+
+    /// Per-level count budgets (leaves first).
+    pub fn eps_levels(&self) -> &[f64] {
+        self.tree.eps_count_levels()
+    }
+
+    /// The exact count of a node (not part of the release).
+    pub fn true_count(&self, v: usize) -> f64 {
+        self.tree.true_count(v)
+    }
+
+    /// The released noisy count of a node (every level of a midpoint
+    /// tree with the geometric budget is released).
+    pub fn noisy_count(&self, v: usize) -> f64 {
+        self.tree.noisy_count(v).unwrap_or(0.0)
+    }
+
+    /// The post-processed count, if OLS ran.
+    pub fn posted_count(&self, v: usize) -> Option<f64> {
+        self.tree.posted_count(v)
+    }
+
+    /// The box of a node.
+    pub fn rect(&self, v: usize) -> &Rect<D> {
+        self.tree.rect(v)
+    }
+
+    /// The data domain the decomposition covers (the root box).
+    pub fn domain(&self) -> &Rect<D> {
+        self.tree.domain()
+    }
+
+    /// Canonical range query over the released counts (post-processed
+    /// when available).
+    pub fn range_query(&self, query: &Rect<D>) -> f64 {
+        crate::query::range_query(&self.tree, query)
+    }
+
+    /// Range query over the exact counts (evaluation only).
+    pub fn exact_query(&self, query: &Rect<D>) -> f64 {
+        crate::query::range_query_with(&self.tree, query, CountSource::True)
+    }
+
+    /// Canonical range query that also reports which released counts
+    /// contributed per level (leaves at index 0).
+    pub fn range_query_profiled(&self, query: &Rect<D>) -> (f64, QueryProfile) {
+        crate::query::range_query_profiled(&self.tree, query, CountSource::Auto)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::budget::CountBudget;
+    use crate::tree::BuildError;
+
+    fn cube_points_3d(n_side: usize) -> Vec<Point<3>> {
+        let mut pts = Vec::new();
+        for i in 0..n_side {
+            for j in 0..n_side {
+                for k in 0..n_side {
+                    pts.push(Point::from_coords([
+                        (i as f64 + 0.5) / n_side as f64 * 8.0,
+                        (j as f64 + 0.5) / n_side as f64 * 8.0,
+                        (k as f64 + 0.5) / n_side as f64 * 8.0,
+                    ]));
+                }
+            }
+        }
+        pts
+    }
+
+    fn cube() -> Rect<3> {
+        Rect::from_corners([0.0; 3], [8.0; 3]).unwrap()
+    }
 
     #[test]
-    fn nd_levels_sum_to_eps() {
-        for dims in 1..=4 {
-            let levels = geometric_levels_nd(6, 0.8, dims);
-            let total: f64 = levels.iter().sum();
-            assert!((total - 0.8).abs() < 1e-12, "dims {dims}: sum {total}");
+    fn octree_structure_invariants() {
+        let pts = cube_points_3d(16); // 4096 points
+        let tree = NdTreeConfig::new(cube(), 2, 1.0)
+            .with_seed(1)
+            .build(&pts)
+            .unwrap();
+        assert_eq!(tree.fanout(), 8);
+        assert_eq!(tree.node_count(), 1 + 8 + 64);
+        assert_eq!(tree.true_count(0), 4096.0);
+        // Children partition exactly: each depth-1 octant holds 512.
+        for c in 1..9 {
+            assert_eq!(tree.true_count(c), 512.0, "octant {c}");
+        }
+        // Consistency through both levels.
+        for v in 0..9 {
+            let c0 = 8 * v + 1;
+            let sum: f64 = (c0..c0 + 8).map(|c| tree.true_count(c)).sum();
+            assert_eq!(sum, tree.true_count(v));
         }
     }
 
     #[test]
-    fn two_d_matches_planar_geometric() {
-        let nd = geometric_levels_nd(8, 1.0, 2);
-        let planar = CountBudget::Geometric.levels(8, 1.0);
-        for (a, b) in nd.iter().zip(&planar) {
-            assert!((a - b).abs() < 1e-12);
+    fn octree_exact_queries_match_brute_force() {
+        let pts = cube_points_3d(16);
+        let tree = NdTreeConfig::new(cube(), 2, 1.0)
+            .with_seed(2)
+            .build(&pts)
+            .unwrap();
+        let queries = [
+            Rect::from_corners([0.0; 3], [8.0; 3]).unwrap(),
+            Rect::from_corners([0.0; 3], [4.0, 4.0, 8.0]).unwrap(),
+            Rect::from_corners([2.0; 3], [6.0; 3]).unwrap(), // leaf-aligned at depth 2
+        ];
+        for q in &queries {
+            let brute = pts.iter().filter(|p| q.contains(**p)).count() as f64;
+            let est = tree.exact_query(q);
+            assert!((est - brute).abs() < 1e-9, "query {q:?}: {est} vs {brute}");
         }
     }
 
     #[test]
-    fn one_d_is_uniform() {
-        let levels = geometric_levels_nd(4, 1.0, 1);
-        assert!(levels.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-15));
+    fn octree_noisy_queries_concentrate() {
+        let pts = cube_points_3d(16);
+        let q = Rect::from_corners([0.0; 3], [4.0, 8.0, 8.0]).unwrap();
+        let truth = 2048.0;
+        let mut total_err = 0.0;
+        for seed in 0..20 {
+            let tree = NdTreeConfig::new(cube(), 3, 1.0)
+                .with_seed(seed)
+                .build(&pts)
+                .unwrap();
+            total_err += (tree.range_query(&q) - truth).abs();
+        }
+        assert!(total_err / 20.0 < 100.0, "mean error {}", total_err / 20.0);
     }
 
     #[test]
-    fn higher_dims_tilt_harder_toward_leaves() {
-        let d2 = geometric_levels_nd(6, 1.0, 2);
-        let d3 = geometric_levels_nd(6, 1.0, 3);
-        // Leaf share grows with dimension (faster node-count growth).
-        assert!(d3[0] > d2[0], "3D leaf share {} vs 2D {}", d3[0], d2[0]);
-        // Root share shrinks.
-        assert!(d3[6] < d2[6]);
+    fn octree_ols_is_consistent() {
+        let pts = cube_points_3d(8);
+        let tree = NdTreeConfig::new(cube(), 2, 0.5)
+            .with_seed(3)
+            .build(&pts)
+            .unwrap();
+        for v in 0..9 {
+            let c0 = 8 * v + 1;
+            let sum: f64 = (c0..c0 + 8).map(|c| tree.posted_count(c).unwrap()).sum();
+            let own = tree.posted_count(v).unwrap();
+            assert!((own - sum).abs() < 1e-6 * (1.0 + own.abs()), "node {v}");
+        }
+    }
+
+    #[test]
+    fn budget_sums_to_epsilon() {
+        let pts = cube_points_3d(4);
+        let tree = NdTreeConfig::new(cube(), 3, 0.7)
+            .with_seed(4)
+            .build(&pts)
+            .unwrap();
+        let total: f64 = tree.eps_levels().iter().sum();
+        assert!((total - 0.7).abs() < 1e-12);
+        // The shim uses the single nd allocator.
+        let expect = geometric_levels_nd(3, 0.7, 3).unwrap();
+        assert_eq!(tree.eps_levels(), expect.as_slice());
+    }
+
+    #[test]
+    fn four_dimensional_tree_builds() {
+        let domain = Rect::from_corners([0.0; 4], [1.0; 4]).unwrap();
+        let pts: Vec<Point<4>> = (0..500)
+            .map(|i| {
+                Point::from_coords([
+                    (i % 10) as f64 / 10.0,
+                    (i / 10 % 10) as f64 / 10.0,
+                    (i / 100 % 10) as f64 / 10.0,
+                    0.5,
+                ])
+            })
+            .collect();
+        let tree = NdTreeConfig::new(domain, 2, 1.0)
+            .with_seed(5)
+            .build(&pts)
+            .unwrap();
+        assert_eq!(tree.fanout(), 16);
+        assert_eq!(tree.true_count(0), 500.0);
+        let est = tree.exact_query(&domain);
+        assert!((est - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_errors_are_unified() {
+        // No more NdBuildError: the shim reports the same DpsdError /
+        // BuildError kinds as every other build path.
+        let degenerate = Rect::from_corners([0.0; 3], [0.0, 1.0, 1.0]).unwrap();
+        assert!(matches!(
+            NdTreeConfig::new(degenerate, 2, 1.0)
+                .build(&[])
+                .unwrap_err(),
+            DpsdError::Build(BuildError::DegenerateDomain { .. })
+        ));
+        assert!(matches!(
+            NdTreeConfig::new(cube(), 2, -1.0).build(&[]).unwrap_err(),
+            DpsdError::Build(BuildError::InvalidEpsilon(_))
+        ));
+        assert!(matches!(
+            NdTreeConfig::new(cube(), 2, 1.0)
+                .build(&[Point::from_coords([9.0, 0.0, 0.0])])
+                .unwrap_err(),
+            DpsdError::Build(BuildError::PointOutsideDomain(_))
+        ));
+        assert!(matches!(
+            NdTreeConfig::new(cube(), 200, 1.0).build(&[]).unwrap_err(),
+            DpsdError::Build(BuildError::TooManyNodes { .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let pts = cube_points_3d(8);
+        let a = NdTreeConfig::new(cube(), 2, 0.5)
+            .with_seed(9)
+            .build(&pts)
+            .unwrap();
+        let b = NdTreeConfig::new(cube(), 2, 0.5)
+            .with_seed(9)
+            .build(&pts)
+            .unwrap();
+        for v in 0..a.node_count() {
+            assert_eq!(a.noisy_count(v), b.noisy_count(v));
+        }
+    }
+
+    #[test]
+    fn shim_releases_through_the_generic_pipeline() {
+        let pts = cube_points_3d(8);
+        let tree = NdTreeConfig::new(cube(), 2, 0.5)
+            .with_seed(11)
+            .build(&pts)
+            .unwrap();
+        let json = tree.as_tree().release().to_json();
+        let loaded = crate::tree::ReleasedSynopsis::<3>::from_json(&json).unwrap();
+        let q = Rect::from_corners([0.0; 3], [4.0, 8.0, 8.0]).unwrap();
+        assert_eq!(
+            crate::query::range_query(loaded.as_tree(), &q),
+            tree.range_query(&q)
+        );
     }
 }

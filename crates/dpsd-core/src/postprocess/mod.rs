@@ -22,7 +22,7 @@
 //!
 //! Withheld levels (budget 0) participate with weight `eps^2 = 0`, which
 //! drops out of every sum — so the same pass handles uniform, geometric,
-//! leaf-only, and arbitrary custom budgets. [`reference`] holds a dense
+//! leaf-only, and arbitrary custom budgets. [`mod@reference`] holds a dense
 //! normal-equation solver used to verify this algorithm on small trees.
 
 pub mod reference;
@@ -40,12 +40,12 @@ use crate::tree::{first_index_at_depth, PsdTree};
 /// Panics if the leaf level was not released (`eps_count[0] == 0`): the
 /// estimator is undetermined without leaf observations. Every built-in
 /// budget strategy releases leaves.
-pub fn ols_postprocess(tree: &PsdTree) -> Vec<f64> {
+pub fn ols_postprocess<const D: usize>(tree: &PsdTree<D>) -> Vec<f64> {
     let eps = tree.eps_count_levels();
     ols_over_columns(tree.fanout(), tree.height(), eps, &collect_noisy(tree))
 }
 
-fn collect_noisy(tree: &PsdTree) -> Vec<f64> {
+fn collect_noisy<const D: usize>(tree: &PsdTree<D>) -> Vec<f64> {
     tree.node_ids()
         .map(|v| tree.noisy_count(v).unwrap_or(0.0))
         .collect()

@@ -64,7 +64,7 @@ impl QueryProfile {
 
 /// Answers a range query using post-processed counts when available
 /// (the `Auto` source).
-pub fn range_query(tree: &PsdTree, query: &Rect) -> f64 {
+pub fn range_query<const D: usize>(tree: &PsdTree<D>, query: &Rect<D>) -> f64 {
     range_query_with(tree, query, CountSource::Auto)
 }
 
@@ -74,7 +74,11 @@ pub fn range_query(tree: &PsdTree, query: &Rect) -> f64 {
 ///
 /// Panics if `source` is [`CountSource::Posted`] but the tree was never
 /// post-processed.
-pub fn range_query_with(tree: &PsdTree, query: &Rect, source: CountSource) -> f64 {
+pub fn range_query_with<const D: usize>(
+    tree: &PsdTree<D>,
+    query: &Rect<D>,
+    source: CountSource,
+) -> f64 {
     assert!(
         source != CountSource::Posted || tree.is_postprocessed(),
         "Posted counts requested but OLS post-processing was never run"
@@ -86,9 +90,9 @@ pub fn range_query_with(tree: &PsdTree, query: &Rect, source: CountSource) -> f6
 /// Non-panicking variant of [`range_query_with`]: requesting
 /// [`CountSource::Posted`] from a tree that was never post-processed is
 /// reported as [`DpsdError::PostedUnavailable`] instead of a panic.
-pub fn try_range_query_with(
-    tree: &PsdTree,
-    query: &Rect,
+pub fn try_range_query_with<const D: usize>(
+    tree: &PsdTree<D>,
+    query: &Rect<D>,
     source: CountSource,
 ) -> Result<f64, DpsdError> {
     if source == CountSource::Posted && !tree.is_postprocessed() {
@@ -99,7 +103,7 @@ pub fn try_range_query_with(
 
 /// Answers every query of a workload with one shared traversal over the
 /// `Auto` source. See [`range_query_batch_with`].
-pub fn range_query_batch(tree: &PsdTree, queries: &[Rect]) -> Vec<f64> {
+pub fn range_query_batch<const D: usize>(tree: &PsdTree<D>, queries: &[Rect<D>]) -> Vec<f64> {
     range_query_batch_with(tree, queries, CountSource::Auto)
 }
 
@@ -119,7 +123,11 @@ pub fn range_query_batch(tree: &PsdTree, queries: &[Rect]) -> Vec<f64> {
 ///
 /// Panics if `source` is [`CountSource::Posted`] but the tree was never
 /// post-processed (as [`range_query_with`] does).
-pub fn range_query_batch_with(tree: &PsdTree, queries: &[Rect], source: CountSource) -> Vec<f64> {
+pub fn range_query_batch_with<const D: usize>(
+    tree: &PsdTree<D>,
+    queries: &[Rect<D>],
+    source: CountSource,
+) -> Vec<f64> {
     assert!(
         source != CountSource::Posted || tree.is_postprocessed(),
         "Posted counts requested but OLS post-processing was never run"
@@ -144,10 +152,10 @@ pub fn range_query_batch_with(tree: &PsdTree, queries: &[Rect], source: CountSou
 
 /// One node of the shared batch traversal: settles every active query
 /// this node can answer and forwards the rest to the children.
-fn descend_batch(
-    tree: &PsdTree,
+fn descend_batch<const D: usize>(
+    tree: &PsdTree<D>,
     v: usize,
-    queries: &[Rect],
+    queries: &[Rect<D>],
     active: &[u32],
     source: CountSource,
     answers: &mut [f64],
@@ -194,9 +202,9 @@ fn descend_batch(
 }
 
 /// Answers a range query and reports the contribution profile.
-pub fn range_query_profiled(
-    tree: &PsdTree,
-    query: &Rect,
+pub fn range_query_profiled<const D: usize>(
+    tree: &PsdTree<D>,
+    query: &Rect<D>,
     source: CountSource,
 ) -> (f64, QueryProfile) {
     let mut profile = QueryProfile {
@@ -213,16 +221,16 @@ pub fn range_query_profiled(
 /// traversal order — the same order [`range_query_batch_with`] uses —
 /// so single and batched queries agree **bit-for-bit**, not just up to
 /// floating-point reassociation.
-fn descend(
-    tree: &PsdTree,
-    query: &Rect,
+fn descend<const D: usize>(
+    tree: &PsdTree<D>,
+    query: &Rect<D>,
     source: CountSource,
     mut profile: Option<&mut QueryProfile>,
 ) -> (f64, bool) {
-    fn go(
-        tree: &PsdTree,
+    fn go<const D: usize>(
+        tree: &PsdTree<D>,
         v: usize,
-        query: &Rect,
+        query: &Rect<D>,
         source: CountSource,
         acc: &mut f64,
         profile: &mut Option<&mut QueryProfile>,
@@ -279,7 +287,7 @@ fn descend(
 /// the partition's half-open convention and serves as the ground truth
 /// for aligned workloads (experiments compute ground truth from the raw
 /// points instead).
-pub fn exact_query(tree: &PsdTree, query: &Rect) -> f64 {
+pub fn exact_query<const D: usize>(tree: &PsdTree<D>, query: &Rect<D>) -> f64 {
     range_query_with(tree, query, CountSource::True)
 }
 
@@ -300,8 +308,8 @@ mod tests {
         for i in 0..n_side {
             for j in 0..n_side {
                 pts.push(Point::new(
-                    domain.min_x + (i as f64 + 0.5) / n_side as f64 * domain.width(),
-                    domain.min_y + (j as f64 + 0.5) / n_side as f64 * domain.height(),
+                    domain.min_x() + (i as f64 + 0.5) / n_side as f64 * domain.width(),
+                    domain.min_y() + (j as f64 + 0.5) / n_side as f64 * domain.height(),
                 ));
             }
         }

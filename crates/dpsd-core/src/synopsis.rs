@@ -12,8 +12,8 @@
 //!   R-tree);
 //! * [`crate::tree::ReleasedSynopsis`] — a published, raw-data-free
 //!   synopsis loaded from JSON;
-//! * [`crate::ndim::NdTree<2>`] — the d-dimensional midpoint tree at
-//!   `d = 2`;
+//! * [`crate::ndim::NdTree`] — the deprecation shim around the
+//!   d-dimensional midpoint tree, in every `D`;
 //! * `FlatGrid` and `ExactIndex` in `dpsd-baselines`.
 //!
 //! [`SpatialSynopsis::query_batch`] is a first-class operation, not a
@@ -30,33 +30,35 @@ use crate::geometry::Rect;
 use crate::query::QueryProfile;
 
 /// A queryable spatial synopsis: anything that can estimate range
-/// counts over a fixed two-dimensional domain.
+/// counts over a fixed `D`-dimensional domain (`D = 2` when elided, so
+/// `dyn SpatialSynopsis` and `S: SpatialSynopsis` bounds keep meaning
+/// the planar trait of earlier releases).
 ///
 /// Estimates from private backends are noisy (and may be negative);
 /// exact backends return ground truth. `epsilon` reports the privacy
 /// price of the synopsis: the total differential-privacy budget spent
 /// building it, `0.0` for artifacts that consumed no budget, and
 /// [`f64::INFINITY`] for non-private backends that expose exact data.
-pub trait SpatialSynopsis {
+pub trait SpatialSynopsis<const D: usize = 2> {
     /// Estimated number of points inside `query`, using the backend's
     /// best released counts (post-processed when available).
-    fn query(&self, query: &Rect) -> f64;
+    fn query(&self, query: &Rect<D>) -> f64;
 
     /// Answers every query of a workload, in order.
     ///
     /// Equivalent to mapping [`query`](SpatialSynopsis::query) over
     /// `queries` — and guaranteed to return the same values — but
     /// backends override it with a shared-traversal fast path.
-    fn query_batch(&self, queries: &[Rect]) -> Vec<f64> {
+    fn query_batch(&self, queries: &[Rect<D>]) -> Vec<f64> {
         queries.iter().map(|q| self.query(q)).collect()
     }
 
     /// Answers one query and reports which released counts contributed
     /// (the `n_i` accounting of the paper's Lemma 2).
-    fn query_profiled(&self, query: &Rect) -> (f64, QueryProfile);
+    fn query_profiled(&self, query: &Rect<D>) -> (f64, QueryProfile);
 
     /// The domain the synopsis covers.
-    fn domain(&self) -> Rect;
+    fn domain(&self) -> Rect<D>;
 
     /// Total privacy budget spent building the synopsis (see the trait
     /// docs for the `0.0` / `INFINITY` conventions).
@@ -67,20 +69,20 @@ pub trait SpatialSynopsis {
     fn node_count(&self) -> usize;
 }
 
-impl SpatialSynopsis for crate::tree::PsdTree {
-    fn query(&self, query: &Rect) -> f64 {
+impl<const D: usize> SpatialSynopsis<D> for crate::tree::PsdTree<D> {
+    fn query(&self, query: &Rect<D>) -> f64 {
         crate::query::range_query(self, query)
     }
 
-    fn query_batch(&self, queries: &[Rect]) -> Vec<f64> {
+    fn query_batch(&self, queries: &[Rect<D>]) -> Vec<f64> {
         crate::query::range_query_batch(self, queries)
     }
 
-    fn query_profiled(&self, query: &Rect) -> (f64, QueryProfile) {
+    fn query_profiled(&self, query: &Rect<D>) -> (f64, QueryProfile) {
         crate::query::range_query_profiled(self, query, crate::tree::CountSource::Auto)
     }
 
-    fn domain(&self) -> Rect {
+    fn domain(&self) -> Rect<D> {
         *crate::tree::PsdTree::domain(self)
     }
 
@@ -93,20 +95,20 @@ impl SpatialSynopsis for crate::tree::PsdTree {
     }
 }
 
-impl SpatialSynopsis for crate::tree::ReleasedSynopsis {
-    fn query(&self, query: &Rect) -> f64 {
+impl<const D: usize> SpatialSynopsis<D> for crate::tree::ReleasedSynopsis<D> {
+    fn query(&self, query: &Rect<D>) -> f64 {
         crate::query::range_query(self.as_tree(), query)
     }
 
-    fn query_batch(&self, queries: &[Rect]) -> Vec<f64> {
+    fn query_batch(&self, queries: &[Rect<D>]) -> Vec<f64> {
         crate::query::range_query_batch(self.as_tree(), queries)
     }
 
-    fn query_profiled(&self, query: &Rect) -> (f64, QueryProfile) {
+    fn query_profiled(&self, query: &Rect<D>) -> (f64, QueryProfile) {
         crate::query::range_query_profiled(self.as_tree(), query, crate::tree::CountSource::Auto)
     }
 
-    fn domain(&self) -> Rect {
+    fn domain(&self) -> Rect<D> {
         *self.as_tree().domain()
     }
 
@@ -119,19 +121,21 @@ impl SpatialSynopsis for crate::tree::ReleasedSynopsis {
     }
 }
 
-impl SpatialSynopsis for crate::ndim::NdTree<2> {
-    fn query(&self, query: &Rect) -> f64 {
-        self.range_query(&query.into())
+impl<const D: usize> SpatialSynopsis<D> for crate::ndim::NdTree<D> {
+    fn query(&self, query: &Rect<D>) -> f64 {
+        self.range_query(query)
     }
 
-    fn query_profiled(&self, query: &Rect) -> (f64, QueryProfile) {
-        self.range_query_profiled(&query.into())
+    fn query_batch(&self, queries: &[Rect<D>]) -> Vec<f64> {
+        crate::query::range_query_batch(self.as_tree(), queries)
     }
 
-    fn domain(&self) -> Rect {
-        let d = crate::ndim::NdTree::domain(self);
-        Rect::new(d.min[0], d.min[1], d.max[0], d.max[1])
-            .expect("NdTree domains are validated at construction")
+    fn query_profiled(&self, query: &Rect<D>) -> (f64, QueryProfile) {
+        self.range_query_profiled(query)
+    }
+
+    fn domain(&self) -> Rect<D> {
+        *crate::ndim::NdTree::domain(self)
     }
 
     fn epsilon(&self) -> f64 {

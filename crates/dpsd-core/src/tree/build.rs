@@ -1,35 +1,43 @@
-//! PSD construction (paper Sections 3.3 and 6).
+//! PSD construction (paper Sections 3.3 and 6), in any dimension.
 //!
 //! [`PsdConfig`] gathers every knob the paper's experiments vary — tree
 //! family, height, privacy budget, count-budget strategy, median
 //! mechanism, hybrid switch level, cell-grid resolution, Hilbert order,
 //! post-processing and pruning — and [`PsdConfig::build`] produces a
-//! [`PsdTree`].
+//! [`PsdTree`]. The config is const-generic over the dimension `D`
+//! (default 2): the same builder produces the paper's planar trees, the
+//! `2^d`-ary midpoint trees of Section 3.2 ("octree, etc."), and
+//! data-dependent kd/hybrid trees over any number of attributes.
 //!
 //! Construction proceeds in three stages:
 //!
-//! 1. **Structure**: the domain rectangle is recursively split down to
-//!    height `h`. Data-independent kinds split at midpoints; data-
-//!    dependent kinds spend the median budget of each level on private
-//!    splits. Every flattened (fanout-4) node performs one x-split and
-//!    two y-splits; the level's median budget is halved between the two
-//!    stages, and the two y-splits operate on *disjoint* halves, so
-//!    parallel composition keeps the per-level spend at `eps_median[i]`
-//!    (Section 6.2).
+//! 1. **Structure**: the domain box is recursively split down to height
+//!    `h`. Data-independent kinds split at midpoints; data-dependent
+//!    kinds spend the median budget of each level on private splits.
+//!    Every flattened (fanout `2^D`) node performs one binary split per
+//!    axis in sequence; the level's median budget is divided evenly over
+//!    the `D` stages, and the splits of each stage operate on *disjoint*
+//!    pieces, so parallel composition keeps the per-level spend at
+//!    `eps_median[i]` (Section 6.2).
 //! 2. **Counts**: each node's exact count is perturbed with
 //!    `Lap(1 / eps_count[level])`; levels with zero budget withhold
 //!    their counts entirely (Section 4.2's "conserve the budget").
 //! 3. **Post-processing / pruning** (optional): Section 5's OLS and
 //!    Section 7's pruning.
+//!
+//! Two families are inherently planar and reject other dimensions with
+//! [`BuildError::UnsupportedDimension`]: `KdCell` (its split grid is
+//! two-dimensional) and `HilbertR` (the curve substrate is
+//! two-dimensional).
 
 use crate::budget::{audit_path_epsilon, median_levels, BudgetSplit, CountBudget};
 use crate::error::DpsdError;
-use crate::geometry::{Axis, Point, Rect};
+use crate::geometry::{Point, Rect};
 use crate::mech::laplace::laplace_mechanism;
 use crate::mech::sampling::SamplingPlan;
 use crate::median::{MedianConfig, MedianSelector};
 use crate::rng::seeded;
-use crate::tree::{complete_tree_nodes, PsdTree};
+use crate::tree::{complete_tree_nodes_checked, PsdTree};
 use rand::rngs::StdRng;
 use std::fmt;
 
@@ -40,17 +48,18 @@ const MAX_NODES: usize = 120_000_000;
 /// The PSD families of the paper's experimental study.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TreeKind {
-    /// Data-independent quadtree (Section 3.3).
+    /// Data-independent midpoint tree: quadtree in the plane, octree in
+    /// 3D, `2^d`-ary in general (Sections 3.2-3.3).
     Quadtree,
     /// kd-tree with private medians at every level (Section 6).
     KdStandard,
-    /// Hybrid: private medians for the top `switch_levels`, quadtree
+    /// Hybrid: private medians for the top `switch_levels`, midpoint
     /// splits below (Sections 3.2, 6.2).
     KdHybrid,
     /// kd-tree with splits read from a fixed-resolution noisy grid
-    /// (Xiao et al. [26]).
+    /// (Xiao et al. \[26\]). Planar only.
     KdCell,
-    /// kd-tree splitting at noisy means (Inan et al. [12]).
+    /// kd-tree splitting at noisy means (Inan et al. \[12\]).
     KdNoisyMean,
     /// Exact medians and exact counts — **not private**, the `kd-pure`
     /// baseline quantifying the cost of privacy.
@@ -60,6 +69,7 @@ pub enum TreeKind {
     KdTrue,
     /// Hilbert R-tree: a 1-D decomposition over Hilbert indices whose
     /// node rectangles are index-range bounding boxes (Section 3.3).
+    /// Planar only.
     HilbertR,
 }
 
@@ -74,6 +84,11 @@ impl TreeKind {
                 | TreeKind::KdNoisyMean
                 | TreeKind::HilbertR
         )
+    }
+
+    /// Whether the family is restricted to two-dimensional domains.
+    pub fn is_planar_only(&self) -> bool {
+        matches!(self, TreeKind::KdCell | TreeKind::HilbertR)
     }
 
     /// Display name matching the paper's figures.
@@ -97,35 +112,47 @@ impl fmt::Display for TreeKind {
     }
 }
 
-/// Errors from [`PsdConfig::build`].
+/// Errors from [`PsdConfig::build`]. Geometry payloads are
+/// dimension-erased (`Vec<f64>` corners/coordinates) so the one error
+/// type serves every `D`.
 #[derive(Debug, Clone, PartialEq)]
 pub enum BuildError {
-    /// The domain rectangle has zero width or height.
-    DegenerateDomain(Rect),
+    /// The domain box has zero volume.
+    DegenerateDomain {
+        /// Lower corner of the rejected domain.
+        min: Vec<f64>,
+        /// Upper corner of the rejected domain.
+        max: Vec<f64>,
+    },
     /// `epsilon <= 0` for a private family.
     InvalidEpsilon(f64),
     /// The height would allocate more than the node cap.
     TooManyNodes { height: usize, nodes: usize },
-    /// A point lies outside the declared domain.
-    PointOutsideDomain(Point),
+    /// A point (coordinates carried) lies outside the declared domain.
+    PointOutsideDomain(Vec<f64>),
     /// Hybrid switch level exceeds the height.
     InvalidSwitchLevel { switch_levels: usize, height: usize },
     /// Cell grid resolution invalid (zero cells).
     InvalidGridResolution,
     /// Hilbert order outside `1..=26` (indices must stay exact in f64).
     InvalidHilbertOrder(u32),
+    /// The family does not support the requested dimension (`KdCell` and
+    /// `HilbertR` are planar only; `D = 0` is rejected for every kind).
+    UnsupportedDimension { kind: TreeKind, dims: usize },
 }
 
 impl fmt::Display for BuildError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            BuildError::DegenerateDomain(r) => write!(f, "domain has zero area: {r:?}"),
+            BuildError::DegenerateDomain { min, max } => {
+                write!(f, "domain has zero volume: {min:?} x {max:?}")
+            }
             BuildError::InvalidEpsilon(e) => write!(f, "epsilon must be positive, got {e}"),
             BuildError::TooManyNodes { height, nodes } => {
                 write!(f, "height {height} needs {nodes} nodes (cap {MAX_NODES})")
             }
             BuildError::PointOutsideDomain(p) => {
-                write!(f, "point ({}, {}) outside the declared domain", p.x, p.y)
+                write!(f, "point {p:?} outside the declared domain")
             }
             BuildError::InvalidSwitchLevel {
                 switch_levels,
@@ -137,21 +164,25 @@ impl fmt::Display for BuildError {
             BuildError::InvalidHilbertOrder(o) => {
                 write!(f, "hilbert order {o} not in 1..=26")
             }
+            BuildError::UnsupportedDimension { kind, dims } => {
+                write!(f, "{kind} does not support dimension {dims}")
+            }
         }
     }
 }
 
 impl std::error::Error for BuildError {}
 
-/// Configuration for building a PSD. Construct with one of the
-/// family-specific constructors, then chain `with_*` modifiers.
+/// Configuration for building a PSD over a `D`-dimensional domain
+/// (`D = 2` when elided). Construct with one of the family-specific
+/// constructors, then chain `with_*` modifiers.
 #[derive(Debug, Clone)]
-pub struct PsdConfig {
+pub struct PsdConfig<const D: usize = 2> {
     /// Tree family.
     pub kind: TreeKind,
     /// Data domain (all points must lie inside).
-    pub domain: Rect,
-    /// Tree height `h` (leaves at level 0). Fanout is always 4.
+    pub domain: Rect<D>,
+    /// Tree height `h` (leaves at level 0). Fanout is `2^D`.
     pub height: usize,
     /// Total privacy budget `eps`.
     pub epsilon: f64,
@@ -164,9 +195,11 @@ pub struct PsdConfig {
     /// Number of data-dependent levels from the root (hybrid trees;
     /// `KdStandard` uses `height`).
     pub switch_levels: usize,
-    /// Cell-grid resolution for `KdCell` (cells along x and y).
+    /// Cell-grid resolution for `KdCell` (cells along x and y; planar
+    /// only).
     pub grid_resolution: (usize, usize),
-    /// Hilbert curve order for `HilbertR` (paper default 18).
+    /// Hilbert curve order for `HilbertR` (paper default 18; planar
+    /// only).
     pub hilbert_order: u32,
     /// Run OLS post-processing after building (Section 5).
     pub postprocess: bool,
@@ -177,8 +210,8 @@ pub struct PsdConfig {
     pub seed: u64,
 }
 
-impl PsdConfig {
-    fn base(kind: TreeKind, domain: Rect, height: usize, epsilon: f64) -> Self {
+impl<const D: usize> PsdConfig<D> {
+    fn base(kind: TreeKind, domain: Rect<D>, height: usize, epsilon: f64) -> Self {
         PsdConfig {
             kind,
             domain,
@@ -200,40 +233,43 @@ impl PsdConfig {
         }
     }
 
-    /// A private quadtree (all budget to counts).
-    pub fn quadtree(domain: Rect, height: usize, epsilon: f64) -> Self {
+    /// A private midpoint tree (quadtree / octree / `2^D`-ary; all
+    /// budget to counts).
+    pub fn quadtree(domain: Rect<D>, height: usize, epsilon: f64) -> Self {
         Self::base(TreeKind::Quadtree, domain, height, epsilon)
     }
 
     /// A kd-tree with exponential-mechanism medians at every level.
-    pub fn kd_standard(domain: Rect, height: usize, epsilon: f64) -> Self {
+    pub fn kd_standard(domain: Rect<D>, height: usize, epsilon: f64) -> Self {
         Self::base(TreeKind::KdStandard, domain, height, epsilon)
     }
 
-    /// A hybrid tree: medians for `switch_levels` levels, quadtree below.
-    /// The paper found switching about half-way down best (Section 8.2).
-    pub fn kd_hybrid(domain: Rect, height: usize, epsilon: f64, switch_levels: usize) -> Self {
+    /// A hybrid tree: medians for `switch_levels` levels, midpoint splits
+    /// below. The paper found switching about half-way down best
+    /// (Section 8.2).
+    pub fn kd_hybrid(domain: Rect<D>, height: usize, epsilon: f64, switch_levels: usize) -> Self {
         let mut c = Self::base(TreeKind::KdHybrid, domain, height, epsilon);
         c.switch_levels = switch_levels;
         c
     }
 
-    /// The cell-based kd-tree of Xiao et al. [26].
-    pub fn kd_cell(domain: Rect, height: usize, epsilon: f64, grid: (usize, usize)) -> Self {
+    /// The cell-based kd-tree of Xiao et al. \[26\] (planar only: builds
+    /// fail with [`BuildError::UnsupportedDimension`] unless `D = 2`).
+    pub fn kd_cell(domain: Rect<D>, height: usize, epsilon: f64, grid: (usize, usize)) -> Self {
         let mut c = Self::base(TreeKind::KdCell, domain, height, epsilon);
         c.grid_resolution = grid;
         c
     }
 
-    /// The noisy-mean kd-tree of Inan et al. [12].
-    pub fn kd_noisymean(domain: Rect, height: usize, epsilon: f64) -> Self {
+    /// The noisy-mean kd-tree of Inan et al. \[12\].
+    pub fn kd_noisymean(domain: Rect<D>, height: usize, epsilon: f64) -> Self {
         let mut c = Self::base(TreeKind::KdNoisyMean, domain, height, epsilon);
         c.median = MedianSelector::plain(MedianConfig::NoisyMean);
         c
     }
 
     /// The non-private `kd-pure` baseline (exact medians, exact counts).
-    pub fn kd_pure(domain: Rect, height: usize) -> Self {
+    pub fn kd_pure(domain: Rect<D>, height: usize) -> Self {
         let mut c = Self::base(TreeKind::KdPure, domain, height, 1.0);
         c.median = MedianSelector::plain(MedianConfig::Exact);
         c.split = BudgetSplit::all_counts();
@@ -242,15 +278,16 @@ impl PsdConfig {
     }
 
     /// The `kd-true` diagnostic (exact medians, noisy counts).
-    pub fn kd_true(domain: Rect, height: usize, epsilon: f64) -> Self {
+    pub fn kd_true(domain: Rect<D>, height: usize, epsilon: f64) -> Self {
         let mut c = Self::base(TreeKind::KdTrue, domain, height, epsilon);
         c.median = MedianSelector::plain(MedianConfig::Exact);
         c.split = BudgetSplit::all_counts();
         c
     }
 
-    /// A private Hilbert R-tree.
-    pub fn hilbert_r(domain: Rect, height: usize, epsilon: f64) -> Self {
+    /// A private Hilbert R-tree (planar only: builds fail with
+    /// [`BuildError::UnsupportedDimension`] unless `D = 2`).
+    pub fn hilbert_r(domain: Rect<D>, height: usize, epsilon: f64) -> Self {
         Self::base(TreeKind::HilbertR, domain, height, epsilon)
     }
 
@@ -307,11 +344,11 @@ impl PsdConfig {
     /// Stage order: budgets → structure (+ exact counts) → noisy counts →
     /// optional OLS → optional pruning. See the module docs. Failures
     /// are [`DpsdError::Build`] wrapping the detailed [`BuildError`].
-    pub fn build(&self, points: &[Point]) -> Result<PsdTree, DpsdError> {
+    pub fn build(&self, points: &[Point<D>]) -> Result<PsdTree<D>, DpsdError> {
         self.validate(points)?;
-        let fanout = 4usize;
+        let fanout = 1usize << D;
         let h = self.height;
-        let m = complete_tree_nodes(fanout, h);
+        let m = complete_tree_nodes_checked(fanout, h).expect("validated node count");
         let mut rng = seeded(self.seed);
 
         // --- budgets -------------------------------------------------
@@ -322,7 +359,7 @@ impl PsdConfig {
             _ => self.split.apply(self.epsilon),
         };
         let eps_count: Vec<f64> = if eps_count_total > 0.0 {
-            self.count_budget.levels(h, eps_count_total)
+            self.count_budget.levels_for_dims(h, eps_count_total, D)
         } else {
             vec![0.0; h + 1]
         };
@@ -352,25 +389,38 @@ impl PsdConfig {
         let mut rects = vec![self.domain; m];
         let mut true_counts = vec![0.0f64; m];
         match self.kind {
-            TreeKind::HilbertR => super::hilbert_rtree::build_structure(
-                self,
-                &eps_median,
-                points,
-                &mut rects,
-                &mut true_counts,
-                &mut rng,
-            )?,
-            TreeKind::KdCell => super::kdcell::build_structure(
-                self,
-                eps_median_total,
-                points,
-                &mut rects,
-                &mut true_counts,
-                &mut rng,
-            )?,
+            // The two planar-only families keep their dedicated 2D
+            // builders; `validate` guarantees `D == 2` here, so the
+            // coordinate bridge below is a lossless copy.
+            TreeKind::HilbertR | TreeKind::KdCell => {
+                let config2 = self.as_planar();
+                let pts2: Vec<Point<2>> = points.iter().map(point_to_planar).collect();
+                let mut rects2 = vec![config2.domain; m];
+                match self.kind {
+                    TreeKind::HilbertR => super::hilbert_rtree::build_structure(
+                        &config2,
+                        &eps_median,
+                        &pts2,
+                        &mut rects2,
+                        &mut true_counts,
+                        &mut rng,
+                    )?,
+                    _ => super::kdcell::build_structure(
+                        &config2,
+                        eps_median_total,
+                        &pts2,
+                        &mut rects2,
+                        &mut true_counts,
+                        &mut rng,
+                    )?,
+                }
+                for (dst, src) in rects.iter_mut().zip(&rects2) {
+                    *dst = rect_from_planar(src);
+                }
+            }
             _ => {
-                let mut buf: Vec<Point> = points.to_vec();
-                build_planar_structure(
+                let mut buf: Vec<Point<D>> = points.to_vec();
+                build_axis_split_structure(
                     self,
                     &eps_median,
                     &mut buf,
@@ -424,19 +474,52 @@ impl PsdConfig {
         Ok(tree)
     }
 
-    fn validate(&self, points: &[Point]) -> Result<(), BuildError> {
+    /// The same configuration over the planar geometry types. Only valid
+    /// when `D == 2` (checked by `validate`); used to bridge into the
+    /// planar-only `KdCell`/`HilbertR` structure builders.
+    fn as_planar(&self) -> PsdConfig<2> {
+        debug_assert_eq!(D, 2, "as_planar requires a two-dimensional config");
+        PsdConfig {
+            kind: self.kind,
+            domain: rect_to_planar(&self.domain),
+            height: self.height,
+            epsilon: self.epsilon,
+            count_budget: self.count_budget.clone(),
+            split: self.split,
+            median: self.median,
+            switch_levels: self.switch_levels,
+            grid_resolution: self.grid_resolution,
+            hilbert_order: self.hilbert_order,
+            postprocess: self.postprocess,
+            prune_threshold: self.prune_threshold,
+            seed: self.seed,
+        }
+    }
+
+    fn validate(&self, points: &[Point<D>]) -> Result<(), BuildError> {
+        if D == 0 || (self.kind.is_planar_only() && D != 2) {
+            return Err(BuildError::UnsupportedDimension {
+                kind: self.kind,
+                dims: D,
+            });
+        }
         if self.domain.area() <= 0.0 {
-            return Err(BuildError::DegenerateDomain(self.domain));
+            return Err(BuildError::DegenerateDomain {
+                min: self.domain.min.to_vec(),
+                max: self.domain.max.to_vec(),
+            });
         }
         if self.kind != TreeKind::KdPure && !(self.epsilon > 0.0 && self.epsilon.is_finite()) {
             return Err(BuildError::InvalidEpsilon(self.epsilon));
         }
-        let nodes = complete_tree_nodes(4, self.height);
-        if nodes > MAX_NODES {
-            return Err(BuildError::TooManyNodes {
-                height: self.height,
-                nodes,
-            });
+        match complete_tree_nodes_checked(1 << D, self.height) {
+            Some(nodes) if nodes <= MAX_NODES => {}
+            got => {
+                return Err(BuildError::TooManyNodes {
+                    height: self.height,
+                    nodes: got.unwrap_or(usize::MAX),
+                })
+            }
         }
         if self.kind == TreeKind::KdHybrid && self.switch_levels > self.height {
             return Err(BuildError::InvalidSwitchLevel {
@@ -453,34 +536,75 @@ impl PsdConfig {
             return Err(BuildError::InvalidHilbertOrder(self.hilbert_order));
         }
         if let Some(p) = points.iter().find(|p| !self.domain.contains(**p)) {
-            return Err(BuildError::PointOutsideDomain(*p));
+            return Err(BuildError::PointOutsideDomain(p.coords.to_vec()));
         }
         Ok(())
     }
 }
 
-/// Builds the structure of planar trees (quadtree, kd variants) by
-/// recursive in-place partitioning of the point buffer.
-fn build_planar_structure(
-    config: &PsdConfig,
+/// Copies the first two coordinates of a point into the planar type.
+/// Callers guarantee `D >= 2` (slice indexing keeps the bound check at
+/// runtime so other instantiations still compile).
+fn point_to_planar<const D: usize>(p: &Point<D>) -> Point<2> {
+    let c = p.coords.as_slice();
+    Point::new(c[0], c[1])
+}
+
+/// Widens a planar rectangle back into `Rect<D>` (callers guarantee
+/// `D == 2`).
+fn rect_from_planar<const D: usize>(r: &Rect<2>) -> Rect<D> {
+    let mut min = [0.0; D];
+    let mut max = [0.0; D];
+    min.as_mut_slice()[..2].copy_from_slice(&r.min);
+    max.as_mut_slice()[..2].copy_from_slice(&r.max);
+    Rect { min, max }
+}
+
+/// Narrows a `Rect<D>` to its first two axes (callers guarantee
+/// `D >= 2`).
+fn rect_to_planar<const D: usize>(r: &Rect<D>) -> Rect<2> {
+    let (min, max) = (r.min.as_slice(), r.max.as_slice());
+    Rect {
+        min: [min[0], min[1]],
+        max: [max[0], max[1]],
+    }
+}
+
+/// Builds the structure of axis-splitting trees (midpoint and kd
+/// variants) by recursive in-place partitioning of the point buffer.
+///
+/// A flattened node splits its box along every axis in sequence — axis 0
+/// first, then axis 1 on each half, and so on — producing `2^D` children
+/// whose index uses axis 0 as the most significant bit (the same
+/// ordering as [`Rect::orthant`]). At `D = 2` this reproduces the planar
+/// pipeline exactly: one x-split, two y-splits, children ordered
+/// `ll, lh, rl, rh`, the level's median budget halved between the two
+/// stages, and the identical RNG consumption order.
+///
+/// Pieces are `(box, start, len)` ranges into the node's point slice,
+/// and the piece buffers are recycled through a pool, so the recursion
+/// allocates `O(depth)` vectors instead of two per node.
+fn build_axis_split_structure<const D: usize>(
+    config: &PsdConfig<D>,
     eps_median: &[f64],
-    points: &mut [Point],
-    rects: &mut [Rect],
+    points: &mut [Point<D>],
+    rects: &mut [Rect<D>],
     true_counts: &mut [f64],
     rng: &mut StdRng,
 ) {
     // Depth-first recursion; depth <= 12 so stack use is trivial.
     #[allow(clippy::too_many_arguments)]
-    fn recurse(
-        config: &PsdConfig,
+    fn recurse<const D: usize>(
+        config: &PsdConfig<D>,
         eps_median: &[f64],
         v: usize,
         depth: usize,
-        rect: Rect,
-        pts: &mut [Point],
-        rects: &mut [Rect],
+        rect: Rect<D>,
+        pts: &mut [Point<D>],
+        rects: &mut [Rect<D>],
         true_counts: &mut [f64],
         rng: &mut StdRng,
+        pool: &mut Vec<Vec<(Rect<D>, usize, usize)>>,
     ) {
         rects[v] = rect;
         true_counts[v] = pts.len() as f64;
@@ -494,82 +618,64 @@ fn build_planar_structure(
             TreeKind::KdHybrid => depth < config.switch_levels,
             _ => false,
         };
-        // Choose the x split and the two y splits.
-        let (sx, sy_low, sy_high);
-        if data_dependent_here {
-            let em = eps_median[level];
-            // kd-pure / kd-true use exact medians: any positive epsilon is
-            // accepted by the selector but unused.
-            let eps_stage = if matches!(config.kind, TreeKind::KdPure | TreeKind::KdTrue) {
-                1.0
-            } else {
-                em / 2.0
-            };
-            let mut xs: Vec<f64> = pts.iter().map(|p| p.x).collect();
-            xs.sort_unstable_by(f64::total_cmp);
-            sx = config.median.select(
-                rng,
-                &xs,
-                rect.min_x,
-                rect.max_x,
-                eps_stage.max(f64::MIN_POSITIVE),
-            );
-            let split_x = sx.clamp(rect.min_x, rect.max_x);
-            let mid = partition_in_place(pts, |p| p.x < split_x);
-            let (left, right) = pts.split_at_mut(mid);
-            let mut ys: Vec<f64> = left.iter().map(|p| p.y).collect();
-            ys.sort_unstable_by(f64::total_cmp);
-            sy_low = config.median.select(
-                rng,
-                &ys,
-                rect.min_y,
-                rect.max_y,
-                eps_stage.max(f64::MIN_POSITIVE),
-            );
-            let mut ys: Vec<f64> = right.iter().map(|p| p.y).collect();
-            ys.sort_unstable_by(f64::total_cmp);
-            sy_high = config.median.select(
-                rng,
-                &ys,
-                rect.min_y,
-                rect.max_y,
-                eps_stage.max(f64::MIN_POSITIVE),
-            );
+        // kd-pure / kd-true use exact medians: any positive epsilon is
+        // accepted by the selector but unused. Private kinds divide the
+        // level's budget evenly over the D split stages.
+        let eps_stage = if matches!(config.kind, TreeKind::KdPure | TreeKind::KdTrue) {
+            1.0
         } else {
-            sx = rect.min_x + rect.width() / 2.0;
-            sy_low = rect.min_y + rect.height() / 2.0;
-            sy_high = sy_low;
+            eps_median[level] / D as f64
+        };
+        // Split along each axis in turn; every round doubles the piece
+        // list, keeping (box, range) entries aligned with the in-place
+        // partitioning of `pts`.
+        let mut pieces = pool.pop().unwrap_or_default();
+        pieces.push((rect, 0, pts.len()));
+        for axis in 0..D {
+            let mut next = pool.pop().unwrap_or_default();
+            for &(r, start, len) in pieces.iter() {
+                let slice = &mut pts[start..start + len];
+                let split = if data_dependent_here {
+                    let mut vals: Vec<f64> = slice.iter().map(|p| p.coords[axis]).collect();
+                    vals.sort_unstable_by(f64::total_cmp);
+                    config.median.select(
+                        rng,
+                        &vals,
+                        r.min[axis],
+                        r.max[axis],
+                        eps_stage.max(f64::MIN_POSITIVE),
+                    )
+                } else {
+                    r.midpoint(axis)
+                };
+                let (r_lo, r_hi) = r.split_at(axis, split);
+                let boundary = r_lo.max[axis];
+                let mid = partition_in_place(slice, |p| p.coords[axis] < boundary);
+                next.push((r_lo, start, mid));
+                next.push((r_hi, start + mid, len - mid));
+            }
+            pieces.clear();
+            pool.push(std::mem::replace(&mut pieces, next));
         }
-        let (rect_l, rect_r) = rect.split_at(Axis::X, sx);
-        let (rect_ll, rect_lh) = rect_l.split_at(Axis::Y, sy_low);
-        let (rect_rl, rect_rh) = rect_r.split_at(Axis::Y, sy_high);
-        // Partition the points to match: x first, then y within halves.
-        let split_x = rect_l.max_x;
-        let mid = partition_in_place(pts, |p| p.x < split_x);
-        let (left, right) = pts.split_at_mut(mid);
-        let split_yl = rect_ll.max_y;
-        let mid_l = partition_in_place(left, |p| p.y < split_yl);
-        let (ll, lh) = left.split_at_mut(mid_l);
-        let split_yr = rect_rl.max_y;
-        let mid_r = partition_in_place(right, |p| p.y < split_yr);
-        let (rl, rh) = right.split_at_mut(mid_r);
-        let first_child = 4 * v + 1;
-        let child_data: [(Rect, &mut [Point]); 4] =
-            [(rect_ll, ll), (rect_lh, lh), (rect_rl, rl), (rect_rh, rh)];
-        for (j, (child_rect, child_pts)) in child_data.into_iter().enumerate() {
+        let first_child = (1usize << D) * v + 1;
+        for (j, &(child_rect, start, len)) in pieces.iter().enumerate() {
             recurse(
                 config,
                 eps_median,
                 first_child + j,
                 depth + 1,
                 child_rect,
-                child_pts,
+                &mut pts[start..start + len],
                 rects,
                 true_counts,
                 rng,
+                pool,
             );
         }
+        pieces.clear();
+        pool.push(pieces);
     }
+    let mut pool = Vec::new();
     recurse(
         config,
         eps_median,
@@ -580,6 +686,7 @@ fn build_planar_structure(
         rects,
         true_counts,
         rng,
+        &mut pool,
     );
 }
 
@@ -636,8 +743,8 @@ mod tests {
         for i in 0..n_side {
             for j in 0..n_side {
                 pts.push(Point::new(
-                    domain.min_x + (i as f64 + 0.5) / n_side as f64 * domain.width(),
-                    domain.min_y + (j as f64 + 0.5) / n_side as f64 * domain.height(),
+                    domain.min_x() + (i as f64 + 0.5) / n_side as f64 * domain.width(),
+                    domain.min_y() + (j as f64 + 0.5) / n_side as f64 * domain.height(),
                 ));
             }
         }
@@ -663,7 +770,7 @@ mod tests {
     }
 
     /// Structural invariants every built tree must satisfy.
-    fn check_invariants(tree: &PsdTree, n_points: usize) {
+    fn check_invariants<const D: usize>(tree: &PsdTree<D>, n_points: usize) {
         // Root covers the domain and counts all points.
         assert_eq!(tree.rect(0), tree.domain());
         assert_eq!(tree.true_count(0), n_points as f64);
@@ -680,7 +787,7 @@ mod tests {
                 "node {v} count {} != child sum {child_sum}",
                 tree.true_count(v)
             );
-            // Children nest inside the parent (planar families).
+            // Children nest inside the parent (axis-splitting families).
             if tree.kind() != TreeKind::HilbertR {
                 for &c in &children {
                     assert!(
@@ -725,6 +832,91 @@ mod tests {
         ] {
             let tree = config.with_seed(7).build(&pts).unwrap();
             check_invariants(&tree, pts.len());
+        }
+    }
+
+    fn cube_points_3d(n_side: usize, side: f64) -> Vec<Point<3>> {
+        let mut pts = Vec::new();
+        for i in 0..n_side {
+            for j in 0..n_side {
+                for k in 0..n_side {
+                    pts.push(Point::from_coords([
+                        (i as f64 + 0.5) / n_side as f64 * side,
+                        (j as f64 + 0.5) / n_side as f64 * side,
+                        (k as f64 + 0.5) / n_side as f64 * side,
+                    ]));
+                }
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn octree_and_kd_build_in_three_dimensions() {
+        let domain = Rect::from_corners([0.0; 3], [8.0; 3]).unwrap();
+        let pts = cube_points_3d(12, 8.0);
+        for config in [
+            PsdConfig::quadtree(domain, 2, 1.0),
+            PsdConfig::kd_standard(domain, 2, 1.0),
+            PsdConfig::kd_hybrid(domain, 2, 1.0, 1),
+            PsdConfig::kd_noisymean(domain, 2, 1.0),
+            PsdConfig::kd_pure(domain, 2),
+        ] {
+            let tree = config.with_seed(5).build(&pts).unwrap();
+            assert_eq!(tree.fanout(), 8);
+            assert_eq!(tree.node_count(), 1 + 8 + 64);
+            check_invariants(&tree, pts.len());
+        }
+    }
+
+    #[test]
+    fn midpoint_children_match_rect_orthants() {
+        // The builders' child ordering (axis 0 = most significant bit)
+        // is the same convention as `Rect::orthant`.
+        let domain = Rect::from_corners([0.0; 3], [8.0; 3]).unwrap();
+        let tree = PsdConfig::quadtree(domain, 2, 1.0)
+            .with_seed(2)
+            .build(&cube_points_3d(8, 8.0))
+            .unwrap();
+        for v in tree.node_ids() {
+            for (j, c) in tree.children(v).enumerate() {
+                assert_eq!(
+                    tree.rect(c),
+                    &tree.rect(v).orthant(j),
+                    "child {j} of node {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn one_dimensional_trees_are_binary() {
+        let domain = Rect::from_corners([0.0], [128.0]).unwrap();
+        let pts: Vec<Point<1>> = (0..500)
+            .map(|i| Point::from_coords([i as f64 * 0.25]))
+            .collect();
+        let tree = PsdConfig::kd_standard(domain, 4, 1.0)
+            .with_seed(3)
+            .build(&pts)
+            .unwrap();
+        assert_eq!(tree.fanout(), 2);
+        check_invariants(&tree, pts.len());
+    }
+
+    #[test]
+    fn planar_only_families_reject_other_dimensions() {
+        let domain = Rect::from_corners([0.0; 3], [1.0; 3]).unwrap();
+        for config in [
+            PsdConfig::kd_cell(domain, 2, 1.0, (8, 8)),
+            PsdConfig::hilbert_r(domain, 2, 1.0),
+        ] {
+            assert!(matches!(
+                config.build(&[]),
+                Err(DpsdError::Build(BuildError::UnsupportedDimension {
+                    dims: 3,
+                    ..
+                }))
+            ));
         }
     }
 
@@ -811,12 +1003,33 @@ mod tests {
     }
 
     #[test]
+    fn budget_audit_holds_in_three_dimensions() {
+        let domain = Rect::from_corners([0.0; 3], [16.0; 3]).unwrap();
+        let pts = cube_points_3d(8, 16.0);
+        let eps = 0.5;
+        for config in [
+            PsdConfig::quadtree(domain, 3, eps),
+            PsdConfig::kd_standard(domain, 3, eps),
+            PsdConfig::kd_hybrid(domain, 3, eps, 2),
+        ] {
+            let tree = config.with_seed(17).build(&pts).unwrap();
+            let audit = audit_path_epsilon(tree.eps_count_levels(), tree.eps_median_levels());
+            assert!(
+                audit.within(eps),
+                "{} (3D): path spends {} > {eps}",
+                tree.kind(),
+                audit.total()
+            );
+        }
+    }
+
+    #[test]
     fn validation_errors() {
         let domain = unit_domain();
         let line = Rect::new(0.0, 0.0, 1.0, 0.0).unwrap();
         assert!(matches!(
             PsdConfig::quadtree(line, 2, 1.0).build(&[]),
-            Err(DpsdError::Build(BuildError::DegenerateDomain(_)))
+            Err(DpsdError::Build(BuildError::DegenerateDomain { .. }))
         ));
         assert!(matches!(
             PsdConfig::quadtree(domain, 2, 0.0).build(&[]),
@@ -842,6 +1055,13 @@ mod tests {
         ));
         assert!(matches!(
             PsdConfig::quadtree(domain, 15, 1.0).build(&[]),
+            Err(DpsdError::Build(BuildError::TooManyNodes { .. }))
+        ));
+        // Dimension-dependent node cap: height 15 overflows the cap much
+        // earlier at fanout 16.
+        let domain4 = Rect::from_corners([0.0; 4], [1.0; 4]).unwrap();
+        assert!(matches!(
+            PsdConfig::<4>::quadtree(domain4, 8, 1.0).build(&[]),
             Err(DpsdError::Build(BuildError::TooManyNodes { .. }))
         ));
     }
@@ -904,5 +1124,8 @@ mod tests {
         assert!(TreeKind::KdStandard.is_data_dependent());
         assert!(!TreeKind::Quadtree.is_data_dependent());
         assert!(!TreeKind::KdPure.is_data_dependent());
+        assert!(TreeKind::KdCell.is_planar_only());
+        assert!(TreeKind::HilbertR.is_planar_only());
+        assert!(!TreeKind::KdHybrid.is_planar_only());
     }
 }

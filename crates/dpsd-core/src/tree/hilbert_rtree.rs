@@ -42,18 +42,22 @@ pub(crate) fn build_structure(
     let mut indices: Vec<u64> = points
         .iter()
         .map(|p| {
-            let cx = (((p.x - domain.min_x) / wx) as u32).min(curve.side() - 1);
-            let cy = (((p.y - domain.min_y) / wy) as u32).min(curve.side() - 1);
+            let cx = (((p.x() - domain.min_x()) / wx) as u32).min(curve.side() - 1);
+            let cy = (((p.y() - domain.min_y()) / wy) as u32).min(curve.side() - 1);
             curve.encode(cx, cy)
         })
         .collect();
 
     let cell_rect = |bbox: dpsd_hilbert::CellBBox| -> Rect {
         Rect {
-            min_x: domain.min_x + bbox.min_x as f64 * wx,
-            min_y: domain.min_y + bbox.min_y as f64 * wy,
-            max_x: domain.min_x + (bbox.max_x as f64 + 1.0) * wx,
-            max_y: domain.min_y + (bbox.max_y as f64 + 1.0) * wy,
+            min: [
+                domain.min_x() + bbox.min_x as f64 * wx,
+                domain.min_y() + bbox.min_y as f64 * wy,
+            ],
+            max: [
+                domain.min_x() + (bbox.max_x as f64 + 1.0) * wx,
+                domain.min_y() + (bbox.max_y as f64 + 1.0) * wy,
+            ],
         }
     };
     let range_rect = |lo: u64, hi: u64| -> Rect {
@@ -64,13 +68,11 @@ pub(crate) fn build_structure(
             // position keeps geometry well-defined; such nodes hold no
             // points and contribute only their (near-zero) noise.
             let (cx, cy) = curve.decode(lo.min(curve.max_index()));
-            let x = domain.min_x + cx as f64 * wx;
-            let y = domain.min_y + cy as f64 * wy;
+            let x = domain.min_x() + cx as f64 * wx;
+            let y = domain.min_y() + cy as f64 * wy;
             Rect {
-                min_x: x,
-                min_y: y,
-                max_x: x,
-                max_y: y,
+                min: [x, y],
+                max: [x, y],
             }
         }
     };

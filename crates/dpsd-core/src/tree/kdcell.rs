@@ -1,4 +1,4 @@
-//! The cell-based kd-tree of Xiao, Xiong, and Yuan [26]
+//! The cell-based kd-tree of Xiao, Xiong, and Yuan \[26\]
 //! (paper Sections 2, 6.1, 8.2 — `kd-cell`).
 //!
 //! A fixed-resolution grid is materialized over the domain and its cell
@@ -9,12 +9,12 @@
 //! median of the grid marginal within its rectangle — unless the grid
 //! deems the region uniform, in which case the split degenerates to the
 //! midpoint (splitting uniform regions more cleverly has nothing to
-//! gain, mirroring [26]'s "split nodes which are not considered
+//! gain, mirroring \[26\]'s "split nodes which are not considered
 //! uniform"). Exact node counts are tallied from the data afterwards and
 //! perturbed by the count stage like every other family.
 
 use super::build::{partition_in_place, BuildError, PsdConfig, TreeKind};
-use crate::geometry::{Axis, Point, Rect};
+use crate::geometry::{Point, Rect};
 use crate::median::CellGrid2D;
 use rand::rngs::StdRng;
 
@@ -60,25 +60,25 @@ pub(crate) fn build_structure(
         }
         let uniform = grid.uniformity_score(&rect) < UNIFORMITY_THRESHOLD;
         let sx = if uniform {
-            rect.min_x + rect.width() / 2.0
+            rect.min_x() + rect.width() / 2.0
         } else {
-            grid.median_along(Axis::X, &rect)
+            grid.median_along(0, &rect)
         };
-        let (rect_l, rect_r) = rect.split_at(Axis::X, sx);
+        let (rect_l, rect_r) = rect.split_at(0, sx);
         let pick_y = |r: &Rect| -> f64 {
             if uniform || grid.uniformity_score(r) < UNIFORMITY_THRESHOLD {
-                r.min_y + r.height() / 2.0
+                r.min_y() + r.height() / 2.0
             } else {
-                grid.median_along(Axis::Y, r)
+                grid.median_along(1, r)
             }
         };
-        let (rect_ll, rect_lh) = rect_l.split_at(Axis::Y, pick_y(&rect_l));
-        let (rect_rl, rect_rh) = rect_r.split_at(Axis::Y, pick_y(&rect_r));
-        let mid = partition_in_place(pts, |p| p.x < rect_l.max_x);
+        let (rect_ll, rect_lh) = rect_l.split_at(1, pick_y(&rect_l));
+        let (rect_rl, rect_rh) = rect_r.split_at(1, pick_y(&rect_r));
+        let mid = partition_in_place(pts, |p| p.x() < rect_l.max_x());
         let (left, right) = pts.split_at_mut(mid);
-        let mid_l = partition_in_place(left, |p| p.y < rect_ll.max_y);
+        let mid_l = partition_in_place(left, |p| p.y() < rect_ll.max_y());
         let (ll, lh) = left.split_at_mut(mid_l);
-        let mid_r = partition_in_place(right, |p| p.y < rect_rl.max_y);
+        let mid_r = partition_in_place(right, |p| p.y() < rect_rl.max_y());
         let (rl, rh) = right.split_at_mut(mid_r);
         let first_child = 4 * v + 1;
         let child_data: [(Rect, &mut [Point]); 4] =
@@ -167,9 +167,9 @@ mod tests {
             .unwrap();
         let left_child = tree.rect(1);
         assert!(
-            left_child.max_x < 64.0,
+            left_child.max_x() < 64.0,
             "root split at {} did not adapt to the cluster",
-            left_child.max_x
+            left_child.max_x()
         );
     }
 
@@ -202,9 +202,9 @@ mod tests {
             .unwrap();
         let left = tree.rect(1);
         assert!(
-            (left.max_x - 64.0).abs() < 8.0,
+            (left.max_x() - 64.0).abs() < 8.0,
             "uniform split at {} far from midpoint",
-            left.max_x
+            left.max_x()
         );
     }
 }

@@ -1,12 +1,15 @@
 //! Private spatial decompositions (paper Sections 3.3, 6, 7).
 //!
-//! All PSDs share one representation: a **complete tree of fanout 4**
-//! (Section 6.2 flattens kd-trees to fanout 4 so every family is
-//! comparable) stored as a flat arena in breadth-first ("heap") order —
-//! node 0 is the root and the children of node `v` are
-//! `4v+1 ..= 4v+4`. Per-node data lives in parallel columns
-//! (rectangles, true counts, noisy counts, post-processed counts), which
-//! keeps the linear-time OLS pass cache-friendly and allocation-free.
+//! All PSDs share one representation: a **complete tree of fanout
+//! `2^D`** over a `D`-dimensional domain (Section 6.2 flattens kd-trees
+//! to fanout 4 in the plane so every family is comparable; the same
+//! flattening performs one binary split per axis in any dimension)
+//! stored as a flat arena in breadth-first ("heap") order — node 0 is
+//! the root and the children of node `v` are `fv+1 ..= fv+f`. Per-node
+//! data lives in parallel columns (rectangles, true counts, noisy
+//! counts, post-processed counts), which keeps the linear-time OLS pass
+//! cache-friendly and allocation-free. The dimension defaults to 2, so
+//! `PsdTree` written bare is the planar tree of the paper.
 //!
 //! Levels follow the paper's convention: leaves are level 0, the root is
 //! level `h`.
@@ -18,8 +21,8 @@
 //! | `Quadtree` | midpoint quadrants | — | quad-baseline/geo/post/opt |
 //! | `KdStandard` | private medians everywhere | configurable (EM default) | kd-standard |
 //! | `KdHybrid` | medians for `switch_levels`, then quadrants | EM default | kd-hybrid |
-//! | `KdCell` | medians read off a noisy grid | grid | kd-cell [26] |
-//! | `KdNoisyMean` | noisy means everywhere | noisy mean | kd-noisymean [12] |
+//! | `KdCell` | medians read off a noisy grid | grid | kd-cell \[26\] |
+//! | `KdNoisyMean` | noisy means everywhere | noisy mean | kd-noisymean \[12\] |
 //! | `KdPure` | exact medians, exact counts | — (not private) | kd-pure |
 //! | `KdTrue` | exact medians, noisy counts | — (structure not private) | kd-true |
 //! | `HilbertR` | private medians over Hilbert indices | EM default | Hilbert R-tree |
@@ -51,19 +54,20 @@ pub enum CountSource {
     True,
 }
 
-/// A built private spatial decomposition.
+/// A built private spatial decomposition over a `D`-dimensional domain
+/// (`D = 2` when elided).
 ///
 /// The *private release* consists of: the tree kind and height, the node
 /// rectangles, the noisy counts of released levels, and (derived from
 /// those) the post-processed counts. The exact counts are retained so
 /// experiments can measure error, but they are not part of the release.
 #[derive(Debug, Clone)]
-pub struct PsdTree {
+pub struct PsdTree<const D: usize = 2> {
     kind: TreeKind,
     fanout: usize,
     height: usize,
-    domain: Rect,
-    rects: Vec<Rect>,
+    domain: Rect<D>,
+    rects: Vec<Rect<D>>,
     true_counts: Vec<f64>,
     noisy: Vec<f64>,
     released: Vec<bool>,
@@ -108,7 +112,7 @@ pub fn first_index_at_depth(fanout: usize, depth: usize) -> usize {
     }
 }
 
-impl PsdTree {
+impl<const D: usize> PsdTree<D> {
     /// Creates a tree shell from structure columns. Used by the builders
     /// in this module; not part of the public construction API.
     #[allow(clippy::too_many_arguments)]
@@ -116,8 +120,8 @@ impl PsdTree {
         kind: TreeKind,
         fanout: usize,
         height: usize,
-        domain: Rect,
-        rects: Vec<Rect>,
+        domain: Rect<D>,
+        rects: Vec<Rect<D>>,
         true_counts: Vec<f64>,
         noisy: Vec<f64>,
         released: Vec<bool>,
@@ -152,7 +156,7 @@ impl PsdTree {
         self.kind
     }
 
-    /// Fanout `f` (4 for every built-in family).
+    /// Fanout `f = 2^D` (4 for every planar family).
     pub fn fanout(&self) -> usize {
         self.fanout
     }
@@ -163,7 +167,7 @@ impl PsdTree {
     }
 
     /// The data domain the decomposition covers.
-    pub fn domain(&self) -> &Rect {
+    pub fn domain(&self) -> &Rect<D> {
         &self.domain
     }
 
@@ -241,7 +245,7 @@ impl PsdTree {
     }
 
     /// The spatial cell of node `v`.
-    pub fn rect(&self, v: usize) -> &Rect {
+    pub fn rect(&self, v: usize) -> &Rect<D> {
         &self.rects[v]
     }
 
@@ -314,7 +318,7 @@ impl PsdTree {
     /// Exports the publishable part of this tree as a
     /// [`ReleasedSynopsis`] (shorthand for
     /// [`ReleasedSynopsis::from_tree`]).
-    pub fn release(&self) -> ReleasedSynopsis {
+    pub fn release(&self) -> ReleasedSynopsis<D> {
         ReleasedSynopsis::from_tree(self)
     }
 }

@@ -12,7 +12,7 @@ use crate::tree::{CountSource, PsdTree};
 /// Cuts the tree below every node whose count estimate (post-processed
 /// when available) is below `threshold`. Returns the number of cut
 /// points created. The paper's Figure 5 experiments use `m = 32`.
-pub fn prune_below(tree: &mut PsdTree, threshold: f64) -> usize {
+pub fn prune_below<const D: usize>(tree: &mut PsdTree<D>, threshold: f64) -> usize {
     let mut cuts = 0usize;
     let mut stack = vec![tree.root()];
     while let Some(v) = stack.pop() {

@@ -6,7 +6,11 @@
 //! points. This module defines that artifact — a self-describing,
 //! line-oriented text format containing exactly the private outputs
 //! (structure, per-level budgets, noisy counts, pruning cuts) and
-//! nothing else. Exact counts never leave the owner.
+//! nothing else. Exact counts never leave the owner. The format is
+//! dimension-generic: a `dims` header line records the dimension (its
+//! absence means 2, so pre-`Point<D>` artifacts still load), corners
+//! are written minima-first, and [`read_release`] checks the artifact's
+//! dimension against the requested `D`.
 //!
 //! Post-processed counts are deliberately *not* serialized: OLS is a
 //! deterministic function of the released values (Section 5), so the
@@ -24,7 +28,7 @@
 //!
 //! let mut buf = Vec::new();
 //! write_release(&tree, &mut buf).unwrap();
-//! let loaded = read_release(buf.as_slice()).unwrap();
+//! let loaded = read_release::<2, _>(buf.as_slice()).unwrap();
 //! assert_eq!(loaded.noisy_count(0), tree.noisy_count(0));
 //! ```
 
@@ -92,16 +96,39 @@ pub(crate) fn kind_from_tag(tag: &str) -> Option<TreeKind> {
     })
 }
 
+/// Parses `2D` whitespace-separated finite numbers (minima first) into a
+/// validated box, or `None` on any failure.
+fn parse_box<const D: usize>(s: &str) -> Option<Rect<D>> {
+    let nums: Vec<f64> = s
+        .split_whitespace()
+        .map(|t| t.parse::<f64>())
+        .collect::<Result<_, _>>()
+        .ok()?;
+    if nums.len() != 2 * D || nums.iter().any(|n| !n.is_finite()) {
+        return None;
+    }
+    let mut min = [0.0; D];
+    let mut max = [0.0; D];
+    min.copy_from_slice(&nums[..D]);
+    max.copy_from_slice(&nums[D..]);
+    Rect::from_corners(min, max).ok()
+}
+
 /// Serializes the *public* part of a tree: kind, geometry, budgets,
 /// released noisy counts, and pruning cuts. Exact counts are omitted;
 /// post-processed counts are recomputed on load.
-pub fn write_release<W: Write>(tree: &PsdTree, w: &mut W) -> io::Result<()> {
+pub fn write_release<const D: usize, W: Write>(tree: &PsdTree<D>, w: &mut W) -> io::Result<()> {
     writeln!(w, "{MAGIC}")?;
     writeln!(w, "kind {}", kind_tag(tree.kind()))?;
     writeln!(w, "fanout {}", tree.fanout())?;
+    writeln!(w, "dims {D}")?;
     writeln!(w, "height {}", tree.height())?;
     let d = tree.domain();
-    writeln!(w, "domain {} {} {} {}", d.min_x, d.min_y, d.max_x, d.max_y)?;
+    write!(w, "domain")?;
+    for c in d.min.iter().chain(d.max.iter()) {
+        write!(w, " {c}")?;
+    }
+    writeln!(w)?;
     writeln!(w, "epsilon {}", tree.epsilon())?;
     write!(w, "eps_count")?;
     for e in tree.eps_count_levels() {
@@ -120,16 +147,11 @@ pub fn write_release<W: Write>(tree: &PsdTree, w: &mut W) -> io::Result<()> {
             Some(c) => format!("{c}"),
             None => "-".to_string(),
         };
-        writeln!(
-            w,
-            "n {} {} {} {} {} {}",
-            r.min_x,
-            r.min_y,
-            r.max_x,
-            r.max_y,
-            count,
-            u8::from(tree.is_cut(v)),
-        )?;
+        write!(w, "n")?;
+        for c in r.min.iter().chain(r.max.iter()) {
+            write!(w, " {c}")?;
+        }
+        writeln!(w, " {count} {}", u8::from(tree.is_cut(v)))?;
     }
     Ok(())
 }
@@ -139,14 +161,26 @@ pub fn write_release<W: Write>(tree: &PsdTree, w: &mut W) -> io::Result<()> {
 /// level carries budget, so `range_query` behaves exactly as on the
 /// original. Failures are [`DpsdError::Release`] wrapping the detailed
 /// [`ReleaseError`].
-pub fn read_release<R: BufRead>(r: R) -> Result<PsdTree, DpsdError> {
+pub fn read_release<const D: usize, R: BufRead>(r: R) -> Result<PsdTree<D>, DpsdError> {
     read_release_inner(r).map_err(DpsdError::from)
 }
 
-fn read_release_inner<R: BufRead>(r: R) -> Result<PsdTree, ReleaseError> {
-    let mut lines = r.lines().enumerate();
-    let mut next_line = || -> Result<(usize, String), ReleaseError> {
-        match lines.next() {
+/// Line-oriented reader with one-token-of-lookahead-free sequential
+/// access (`next_line`) and prefixed-field access (`field`).
+struct LineReader<R: BufRead> {
+    lines: std::iter::Enumerate<io::Lines<R>>,
+}
+
+fn bad(line: usize, reason: &str) -> ReleaseError {
+    ReleaseError::Malformed {
+        line,
+        reason: reason.into(),
+    }
+}
+
+impl<R: BufRead> LineReader<R> {
+    fn next_line(&mut self) -> Result<(usize, String), ReleaseError> {
+        match self.lines.next() {
             Some((i, Ok(l))) => Ok((i + 1, l)),
             Some((i, Err(e))) => Err(ReleaseError::Malformed {
                 line: i + 1,
@@ -157,44 +191,65 @@ fn read_release_inner<R: BufRead>(r: R) -> Result<PsdTree, ReleaseError> {
                 reason: "unexpected end of file".into(),
             }),
         }
-    };
-    let bad = |line: usize, reason: &str| ReleaseError::Malformed {
-        line,
-        reason: reason.into(),
-    };
-
-    let (ln, magic) = next_line()?;
-    if magic.trim() != MAGIC {
-        return Err(bad(ln, "missing dpsd-release header"));
     }
-    let mut field = |name: &str| -> Result<(usize, String), ReleaseError> {
-        let (ln, l) = next_line()?;
+
+    fn field(&mut self, name: &str) -> Result<(usize, String), ReleaseError> {
+        let (ln, l) = self.next_line()?;
         let rest = l
             .strip_prefix(name)
             .ok_or_else(|| bad(ln, &format!("expected `{name}` line")))?;
         Ok((ln, rest.trim().to_string()))
+    }
+}
+
+fn read_release_inner<const D: usize, R: BufRead>(r: R) -> Result<PsdTree<D>, ReleaseError> {
+    let mut rd = LineReader {
+        lines: r.lines().enumerate(),
     };
-    let (ln, kind_s) = field("kind")?;
+
+    let (ln, magic) = rd.next_line()?;
+    if magic.trim() != MAGIC {
+        return Err(bad(ln, "missing dpsd-release header"));
+    }
+    let (ln, kind_s) = rd.field("kind")?;
     let kind = kind_from_tag(&kind_s).ok_or_else(|| bad(ln, "unknown tree kind"))?;
-    let (ln, fanout_s) = field("fanout")?;
+    let (ln, fanout_s) = rd.field("fanout")?;
     let fanout: usize = fanout_s.parse().map_err(|_| bad(ln, "bad fanout"))?;
     if fanout < 2 {
         return Err(bad(ln, "fanout must be at least 2"));
     }
-    let (ln, height_s) = field("height")?;
-    let height: usize = height_s.parse().map_err(|_| bad(ln, "bad height"))?;
-    let (ln, domain_s) = field("domain")?;
-    let nums: Vec<f64> = domain_s
-        .split_whitespace()
-        .map(|t| t.parse::<f64>())
-        .collect::<Result<_, _>>()
-        .map_err(|_| bad(ln, "bad domain numbers"))?;
-    if nums.len() != 4 {
-        return Err(bad(ln, "domain needs four numbers"));
+    // `dims` is optional for backward compatibility: artifacts written
+    // before the dimension-generic format are two-dimensional.
+    let (ln, l) = rd.next_line()?;
+    let (dims, height_line) = match l.strip_prefix("dims") {
+        Some(rest) => {
+            let dims: usize = rest.trim().parse().map_err(|_| bad(ln, "bad dims"))?;
+            (dims, None)
+        }
+        None => (2, Some((ln, l))),
+    };
+    if dims != D {
+        return Err(bad(
+            ln,
+            &format!("artifact is {dims}-dimensional, expected {D}"),
+        ));
     }
-    let domain = Rect::new(nums[0], nums[1], nums[2], nums[3])
-        .map_err(|_| bad(ln, "invalid domain rectangle"))?;
-    let (ln, eps_s) = field("epsilon")?;
+    if fanout != 1usize << dims {
+        return Err(bad(ln, "fanout must be 2^dims"));
+    }
+    let (ln, height_s) = match height_line {
+        Some((ln, l)) => {
+            let rest = l
+                .strip_prefix("height")
+                .ok_or_else(|| bad(ln, "expected `height` line"))?;
+            (ln, rest.trim().to_string())
+        }
+        None => rd.field("height")?,
+    };
+    let height: usize = height_s.parse().map_err(|_| bad(ln, "bad height"))?;
+    let (ln, domain_s) = rd.field("domain")?;
+    let domain = parse_box::<D>(&domain_s).ok_or_else(|| bad(ln, "bad domain box"))?;
+    let (ln, eps_s) = rd.field("epsilon")?;
     let epsilon: f64 = eps_s.parse().map_err(|_| bad(ln, "bad epsilon"))?;
     let parse_levels = |ln: usize, s: &str| -> Result<Vec<f64>, ReleaseError> {
         let v: Vec<f64> = s
@@ -210,11 +265,11 @@ fn read_release_inner<R: BufRead>(r: R) -> Result<PsdTree, ReleaseError> {
         }
         Ok(v)
     };
-    let (ln, ec_s) = field("eps_count")?;
+    let (ln, ec_s) = rd.field("eps_count")?;
     let eps_count = parse_levels(ln, &ec_s)?;
-    let (ln, em_s) = field("eps_median")?;
+    let (ln, em_s) = rd.field("eps_median")?;
     let eps_median = parse_levels(ln, &em_s)?;
-    let (ln, nodes_s) = field("nodes")?;
+    let (ln, nodes_s) = rd.field("nodes")?;
     let m: usize = nodes_s.parse().map_err(|_| bad(ln, "bad node count"))?;
     // Checked arithmetic: a hostile height must not overflow the size
     // computation before the mismatch is detected.
@@ -226,7 +281,7 @@ fn read_release_inner<R: BufRead>(r: R) -> Result<PsdTree, ReleaseError> {
     let mut released = vec![false; m];
     let mut cuts = Vec::new();
     for v in 0..m {
-        let (ln, l) = next_line()?;
+        let (ln, l) = rd.next_line()?;
         let mut toks = l.split_whitespace();
         if toks.next() != Some("n") {
             return Err(bad(ln, "expected node line"));
@@ -237,10 +292,15 @@ fn read_release_inner<R: BufRead>(r: R) -> Result<PsdTree, ReleaseError> {
                 .filter(|x| x.is_finite())
                 .ok_or_else(|| bad(ln, &format!("bad {what}")))
         };
-        let (min_x, min_y, max_x, max_y) =
-            (num("min_x")?, num("min_y")?, num("max_x")?, num("max_y")?);
-        let rect =
-            Rect::new(min_x, min_y, max_x, max_y).map_err(|_| bad(ln, "invalid node rectangle"))?;
+        let mut min = [0.0; D];
+        let mut max = [0.0; D];
+        for c in min.iter_mut() {
+            *c = num("node corner")?;
+        }
+        for c in max.iter_mut() {
+            *c = num("node corner")?;
+        }
+        let rect = Rect::from_corners(min, max).map_err(|_| bad(ln, "invalid node rectangle"))?;
         rects.push(rect);
         match toks.next() {
             Some("-") => {}
@@ -290,7 +350,7 @@ mod tests {
     use crate::query::range_query;
     use crate::tree::PsdConfig;
 
-    fn sample_tree() -> PsdTree {
+    fn sample_tree() -> PsdTree<2> {
         let domain = Rect::new(0.0, 0.0, 32.0, 32.0).unwrap();
         let pts: Vec<Point> = (0..400)
             .map(|i| Point::new((i % 20) as f64 * 1.6 + 0.1, (i / 20) as f64 * 1.6 + 0.1))
@@ -307,7 +367,7 @@ mod tests {
         let tree = sample_tree();
         let mut buf = Vec::new();
         write_release(&tree, &mut buf).unwrap();
-        let loaded = read_release(buf.as_slice()).unwrap();
+        let loaded: PsdTree<2> = read_release(buf.as_slice()).unwrap();
         assert_eq!(loaded.kind(), tree.kind());
         assert_eq!(loaded.height(), tree.height());
         assert_eq!(loaded.node_count(), tree.node_count());
@@ -339,7 +399,7 @@ mod tests {
         let text = String::from_utf8(buf).unwrap();
         // The exact root count (400) is a round number; the released file
         // must only contain the noisy value.
-        let loaded = read_release(text.as_bytes()).unwrap();
+        let loaded: PsdTree<2> = read_release(text.as_bytes()).unwrap();
         assert_eq!(loaded.true_count(0), 0.0, "exact counts are zeroed on load");
     }
 
@@ -357,7 +417,7 @@ mod tests {
             .unwrap();
         let mut buf = Vec::new();
         write_release(&tree, &mut buf).unwrap();
-        let loaded = read_release(buf.as_slice()).unwrap();
+        let loaded: PsdTree<2> = read_release(buf.as_slice()).unwrap();
         assert_eq!(loaded.noisy_count(0), None, "withheld root stays withheld");
         assert!(loaded.noisy_count(20).is_some(), "leaves stay released");
     }
@@ -383,7 +443,7 @@ mod tests {
         ];
         for (input, what) in cases {
             assert!(
-                read_release(input.as_bytes()).is_err(),
+                read_release::<2, _>(input.as_bytes()).is_err(),
                 "{what} should be rejected"
             );
         }

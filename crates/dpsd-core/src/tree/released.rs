@@ -61,16 +61,16 @@ const MAX_NODES: usize = 120_000_000;
 /// column is zeroed; construction (either from a tree or from JSON)
 /// re-establishes every invariant, so queries are infallible.
 #[derive(Debug, Clone)]
-pub struct ReleasedSynopsis {
-    tree: PsdTree,
+pub struct ReleasedSynopsis<const D: usize = 2> {
+    tree: PsdTree<D>,
 }
 
-impl ReleasedSynopsis {
+impl<const D: usize> ReleasedSynopsis<D> {
     /// Exports the public part of a built tree: kind, geometry, budgets,
     /// released noisy counts, pruning cuts. Exact counts are dropped;
     /// post-processed counts carry over (they are derived from released
     /// values only).
-    pub fn from_tree(source: &PsdTree) -> Self {
+    pub fn from_tree(source: &PsdTree<D>) -> Self {
         let m = source.node_count();
         let mut tree = PsdTree::from_columns(
             source.kind(),
@@ -112,12 +112,12 @@ impl ReleasedSynopsis {
     }
 
     /// The query engine behind this synopsis. Exact counts are zero.
-    pub fn as_tree(&self) -> &PsdTree {
+    pub fn as_tree(&self) -> &PsdTree<D> {
         &self.tree
     }
 
     /// Consumes the synopsis, yielding the query-ready tree.
-    pub fn into_tree(self) -> PsdTree {
+    pub fn into_tree(self) -> PsdTree<D> {
         self.tree
     }
 
@@ -140,18 +140,20 @@ impl ReleasedSynopsis {
     }
 }
 
-impl Serialize for ReleasedSynopsis {
+/// Flattens a box into the wire layout: all minima, then all maxima.
+/// For `D = 2` this is `[min_x, min_y, max_x, max_y]` — byte-identical
+/// to the pre-generic wire format.
+fn box_to_wire<const D: usize>(r: &Rect<D>) -> Vec<f64> {
+    r.min.iter().chain(r.max.iter()).copied().collect()
+}
+
+impl<const D: usize> Serialize for ReleasedSynopsis<D> {
     fn serialize(&self) -> Value {
         let t = &self.tree;
-        let d = t.domain();
         let nodes: Vec<Value> = t
             .node_ids()
             .map(|v| {
-                let r = t.rect(v);
-                let mut node = vec![(
-                    "rect".to_string(),
-                    vec![r.min_x, r.min_y, r.max_x, r.max_y].serialize(),
-                )];
+                let mut node = vec![("rect".to_string(), box_to_wire(t.rect(v)).serialize())];
                 node.push(("count".to_string(), t.noisy_count(v).serialize()));
                 if t.is_cut(v) {
                     node.push(("cut".to_string(), true.serialize()));
@@ -164,11 +166,9 @@ impl Serialize for ReleasedSynopsis {
             ("version".to_string(), VERSION.serialize()),
             ("kind".to_string(), kind_tag(t.kind()).serialize()),
             ("fanout".to_string(), t.fanout().serialize()),
+            ("dims".to_string(), D.serialize()),
             ("height".to_string(), t.height().serialize()),
-            (
-                "domain".to_string(),
-                vec![d.min_x, d.min_y, d.max_x, d.max_y].serialize(),
-            ),
+            ("domain".to_string(), box_to_wire(t.domain()).serialize()),
             ("epsilon".to_string(), t.epsilon().serialize()),
             (
                 "eps_count".to_string(),
@@ -193,17 +193,21 @@ fn field<'v>(value: &'v Value, name: &str) -> Result<&'v Value, SerdeError> {
         .ok_or_else(|| SerdeError::msg(format!("missing field `{name}`")))
 }
 
-fn rect_from(value: &Value, what: &str) -> Result<Rect, SerdeError> {
+fn rect_from<const D: usize>(value: &Value, what: &str) -> Result<Rect<D>, SerdeError> {
     let coords = Vec::<f64>::deserialize(value)
-        .map_err(|_| SerdeError::msg(format!("{what} must be an array of four numbers")))?;
-    if coords.len() != 4 {
+        .map_err(|_| SerdeError::msg(format!("{what} must be an array of numbers")))?;
+    if coords.len() != 2 * D {
         return Err(SerdeError::msg(format!(
-            "{what} must have four numbers, got {}",
+            "{what} must have {} numbers (minima then maxima), got {}",
+            2 * D,
             coords.len()
         )));
     }
-    Rect::new(coords[0], coords[1], coords[2], coords[3])
-        .map_err(|e| SerdeError::msg(format!("{what}: {e}")))
+    let mut min = [0.0; D];
+    let mut max = [0.0; D];
+    min.copy_from_slice(&coords[..D]);
+    max.copy_from_slice(&coords[D..]);
+    Rect::from_corners(min, max).map_err(|e| SerdeError::msg(format!("{what}: {e}")))
 }
 
 fn levels_from(value: &Value, name: &str, height: usize) -> Result<Vec<f64>, SerdeError> {
@@ -224,7 +228,7 @@ fn levels_from(value: &Value, name: &str, height: usize) -> Result<Vec<f64>, Ser
     Ok(levels)
 }
 
-impl Deserialize for ReleasedSynopsis {
+impl<const D: usize> Deserialize for ReleasedSynopsis<D> {
     fn deserialize(value: &Value) -> Result<Self, SerdeError> {
         let format = String::deserialize(field(value, "format")?)?;
         if format != FORMAT {
@@ -242,6 +246,20 @@ impl Deserialize for ReleasedSynopsis {
         let fanout = usize::deserialize(field(value, "fanout")?)?;
         if fanout < 2 {
             return Err(SerdeError::msg("fanout must be at least 2"));
+        }
+        // `dims` is optional for backward compatibility: artifacts
+        // serialized before the dimension-generic format are planar.
+        let dims = match value.get("dims") {
+            Some(d) => usize::deserialize(d)?,
+            None => 2,
+        };
+        if dims != D {
+            return Err(SerdeError::msg(format!(
+                "artifact is {dims}-dimensional, expected {D}"
+            )));
+        }
+        if fanout != 1usize << dims {
+            return Err(SerdeError::msg("fanout must be 2^dims"));
         }
         let height = usize::deserialize(field(value, "height")?)?;
         let Some(m) = complete_tree_nodes_checked(fanout, height).filter(|&m| m <= MAX_NODES)
@@ -329,7 +347,7 @@ mod tests {
     use crate::synopsis::SpatialSynopsis;
     use crate::tree::PsdConfig;
 
-    fn sample_points() -> (Rect, Vec<Point>) {
+    fn sample_points() -> (Rect<2>, Vec<Point>) {
         let domain = Rect::new(0.0, 0.0, 64.0, 64.0).unwrap();
         let pts = (0..2000)
             .map(|i| {
@@ -350,10 +368,10 @@ mod tests {
                 let w = 4.0 + (i % 7) as f64 * 6.0;
                 let h = 3.0 + (i % 11) as f64 * 4.0;
                 Rect::new(
-                    domain.min_x + fx * (domain.width() - w),
-                    domain.min_y + fy * (domain.height() - h),
-                    domain.min_x + fx * (domain.width() - w) + w,
-                    domain.min_y + fy * (domain.height() - h) + h,
+                    domain.min_x() + fx * (domain.width() - w),
+                    domain.min_y() + fy * (domain.height() - h),
+                    domain.min_x() + fx * (domain.width() - w) + w,
+                    domain.min_y() + fy * (domain.height() - h) + h,
                 )
                 .unwrap()
             })
@@ -374,7 +392,7 @@ mod tests {
         for config in configs {
             let tree = config.with_seed(21).build(&pts).unwrap();
             let json = ReleasedSynopsis::from_tree(&tree).to_json();
-            let loaded = ReleasedSynopsis::from_json(&json).unwrap();
+            let loaded: ReleasedSynopsis = ReleasedSynopsis::from_json(&json).unwrap();
             assert_eq!(loaded.as_tree().kind(), tree.kind());
             for q in &queries {
                 assert_eq!(
@@ -422,7 +440,8 @@ mod tests {
             tree.node_ids().any(|v| tree.is_cut(v)),
             "pruning had no effect"
         );
-        let loaded = ReleasedSynopsis::from_json(&tree.release().to_json()).unwrap();
+        let loaded: ReleasedSynopsis =
+            ReleasedSynopsis::from_json(&tree.release().to_json()).unwrap();
         for v in tree.node_ids() {
             assert_eq!(loaded.as_tree().is_cut(v), tree.is_cut(v), "cut {v}");
             assert_eq!(
@@ -438,7 +457,8 @@ mod tests {
             .with_seed(2)
             .build(&pts)
             .unwrap();
-        let loaded = ReleasedSynopsis::from_json(&leafy.release().to_json()).unwrap();
+        let loaded: ReleasedSynopsis =
+            ReleasedSynopsis::from_json(&leafy.release().to_json()).unwrap();
         assert_eq!(
             loaded.as_tree().noisy_count(0),
             None,
@@ -499,14 +519,14 @@ mod tests {
         for (what, text) in cases {
             assert!(
                 matches!(
-                    ReleasedSynopsis::from_json(text),
+                    ReleasedSynopsis::<2>::from_json(text),
                     Err(DpsdError::Format { .. })
                 ),
                 "{what} should be rejected"
             );
         }
         // The unmodified artifact still parses.
-        assert!(ReleasedSynopsis::from_json(&good).is_ok());
+        assert!(ReleasedSynopsis::<2>::from_json(&good).is_ok());
     }
 
     #[test]
@@ -532,7 +552,7 @@ mod tests {
                 "\"eps_count\":[0.5,0.0,0.0]",
                 "\"eps_count\":[0.0,0.25,0.25]",
             );
-        match ReleasedSynopsis::from_json(&crafted) {
+        match ReleasedSynopsis::<2>::from_json(&crafted) {
             Err(DpsdError::Format { reason }) => {
                 assert!(reason.contains("leaf-level"), "unexpected reason: {reason}")
             }
@@ -551,7 +571,7 @@ mod tests {
         let json = ReleasedSynopsis::from_tree(&tree).to_json();
         // Posted counts are not on the wire at all.
         assert!(!json.contains("posted"));
-        let loaded = ReleasedSynopsis::from_json(&json).unwrap();
+        let loaded: ReleasedSynopsis = ReleasedSynopsis::from_json(&json).unwrap();
         for v in tree.node_ids() {
             let (a, b) = (
                 loaded.as_tree().posted_count(v).unwrap(),

@@ -22,7 +22,7 @@ pub mod tiger;
 pub mod workload;
 
 pub use synthetic::{
-    gaussian_mixture, tiger_substitute, uniform_1d, uniform_2d, RoadNetworkConfig, TIGER_DOMAIN,
-    TIGER_POINT_COUNT,
+    gaussian_mixture, gaussian_mixture_nd, tiger_substitute, uniform_1d, uniform_2d, uniform_nd,
+    RoadNetworkConfig, TIGER_DOMAIN, TIGER_POINT_COUNT,
 };
 pub use workload::{generate_workload, QueryShape, Workload, PAPER_SHAPES};

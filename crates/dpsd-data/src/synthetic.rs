@@ -15,10 +15,8 @@ use rand::Rng;
 /// Bounding box of the paper's TIGER dataset:
 /// `[-124.82, -103.00] x [31.33, 49.00]` (WA + NM road intersections).
 pub const TIGER_DOMAIN: Rect = Rect {
-    min_x: -124.82,
-    min_y: 31.33,
-    max_x: -103.00,
-    max_y: 49.00,
+    min: [-124.82, 31.33],
+    max: [-103.00, 49.00],
 };
 
 /// Cardinality of the paper's TIGER dataset (1.63 M coordinates).
@@ -87,8 +85,8 @@ impl RoadNetworkConfig {
         let cities: Vec<(Point, f64, f64)> = (0..self.n_cities.max(1))
             .map(|i| {
                 let c = Point::new(
-                    d.min_x + rng.gen::<f64>() * d.width(),
-                    d.min_y + rng.gen::<f64>() * d.height(),
+                    d.min_x() + rng.gen::<f64>() * d.width(),
+                    d.min_y() + rng.gen::<f64>() * d.height(),
                 );
                 let weight = 1.0 / (i as f64 + 1.0).powf(0.8);
                 let radius = diag * self.city_radius * (0.4 + 1.2 * rng.gen::<f64>());
@@ -107,7 +105,10 @@ impl RoadNetworkConfig {
             }
         }
         if corridors.is_empty() {
-            corridors.push((Point::new(d.min_x, d.min_y), Point::new(d.max_x, d.max_y)));
+            corridors.push((
+                Point::new(d.min_x(), d.min_y()),
+                Point::new(d.max_x(), d.max_y()),
+            ));
         }
 
         let mut pts = Vec::with_capacity(self.n_points);
@@ -119,7 +120,7 @@ impl RoadNetworkConfig {
             let (centre, _, radius) = cities[idx];
             let (gx, gy) = gaussian_pair(&mut rng);
             pts.push(clamp_into(
-                Point::new(centre.x + gx * radius, centre.y + gy * radius),
+                Point::new(centre.x() + gx * radius, centre.y() + gy * radius),
                 d,
             ));
         }
@@ -131,8 +132,8 @@ impl RoadNetworkConfig {
             let (gx, gy) = gaussian_pair(&mut rng);
             pts.push(clamp_into(
                 Point::new(
-                    a.x + t * (b.x - a.x) + gx * jitter,
-                    a.y + t * (b.y - a.y) + gy * jitter,
+                    a.x() + t * (b.x() - a.x()) + gx * jitter,
+                    a.y() + t * (b.y() - a.y()) + gy * jitter,
                 ),
                 d,
             ));
@@ -140,8 +141,8 @@ impl RoadNetworkConfig {
         // Background: sparse uniform "rural" points.
         while pts.len() < self.n_points {
             pts.push(Point::new(
-                d.min_x + rng.gen::<f64>() * d.width(),
-                d.min_y + rng.gen::<f64>() * d.height(),
+                d.min_x() + rng.gen::<f64>() * d.width(),
+                d.min_y() + rng.gen::<f64>() * d.height(),
             ));
         }
         pts
@@ -169,7 +170,10 @@ fn gaussian_pair<R: Rng>(rng: &mut R) -> (f64, f64) {
 }
 
 fn clamp_into(p: Point, d: &Rect) -> Point {
-    Point::new(p.x.clamp(d.min_x, d.max_x), p.y.clamp(d.min_y, d.max_y))
+    Point::new(
+        p.x().clamp(d.min_x(), d.max_x()),
+        p.y().clamp(d.min_y(), d.max_y()),
+    )
 }
 
 /// The default TIGER substitute: road-network data over [`TIGER_DOMAIN`].
@@ -184,8 +188,8 @@ pub fn uniform_2d(n: usize, domain: &Rect, seed: u64) -> Vec<Point> {
     (0..n)
         .map(|_| {
             Point::new(
-                domain.min_x + rng.gen::<f64>() * domain.width(),
-                domain.min_y + rng.gen::<f64>() * domain.height(),
+                domain.min_x() + rng.gen::<f64>() * domain.width(),
+                domain.min_y() + rng.gen::<f64>() * domain.height(),
             )
         })
         .collect()
@@ -209,8 +213,8 @@ pub fn gaussian_mixture(
     let centres: Vec<Point> = (0..k)
         .map(|_| {
             Point::new(
-                domain.min_x + rng.gen::<f64>() * domain.width(),
-                domain.min_y + rng.gen::<f64>() * domain.height(),
+                domain.min_x() + rng.gen::<f64>() * domain.width(),
+                domain.min_y() + rng.gen::<f64>() * domain.height(),
             )
         })
         .collect();
@@ -218,7 +222,81 @@ pub fn gaussian_mixture(
         .map(|i| {
             let c = centres[i % k];
             let (gx, gy) = gaussian_pair(&mut rng);
-            clamp_into(Point::new(c.x + gx * radius, c.y + gy * radius), domain)
+            clamp_into(Point::new(c.x() + gx * radius, c.y() + gy * radius), domain)
+        })
+        .collect()
+}
+
+/// `n` points uniform over a `D`-dimensional box — the input of the
+/// `fig8_dim_sweep` experiment's uniform panels.
+///
+/// # Panics
+///
+/// Panics if the domain has zero volume.
+pub fn uniform_nd<const D: usize>(n: usize, domain: &Rect<D>, seed: u64) -> Vec<Point<D>> {
+    assert!(domain.area() > 0.0, "degenerate domain");
+    let mut rng = seeded(seed);
+    (0..n)
+        .map(|_| {
+            let mut coords = [0.0; D];
+            for (k, c) in coords.iter_mut().enumerate() {
+                *c = domain.min[k] + rng.gen::<f64>() * domain.side(k);
+            }
+            Point::from_coords(coords)
+        })
+        .collect()
+}
+
+/// `n` points from `k` equal-weight Gaussian clusters in `D` dimensions
+/// with the given relative radius (fraction of the domain diagonal),
+/// clamped into the domain. The skewed input of the `fig8_dim_sweep`
+/// experiment: exactly the kind of clustered mass data-dependent
+/// decompositions exploit.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or the domain has zero volume.
+pub fn gaussian_mixture_nd<const D: usize>(
+    n: usize,
+    k: usize,
+    relative_radius: f64,
+    domain: &Rect<D>,
+    seed: u64,
+) -> Vec<Point<D>> {
+    assert!(k > 0, "at least one cluster");
+    assert!(domain.area() > 0.0, "degenerate domain");
+    let mut rng = seeded(seed);
+    let diag = (0..D)
+        .map(|a| domain.side(a) * domain.side(a))
+        .sum::<f64>()
+        .sqrt();
+    let radius = diag * relative_radius;
+    let centres: Vec<Point<D>> = (0..k)
+        .map(|_| {
+            let mut coords = [0.0; D];
+            for (a, c) in coords.iter_mut().enumerate() {
+                *c = domain.min[a] + rng.gen::<f64>() * domain.side(a);
+            }
+            Point::from_coords(coords)
+        })
+        .collect();
+    (0..n)
+        .map(|i| {
+            let centre = centres[i % k];
+            let mut coords = [0.0; D];
+            // Box-Muller pairs; an odd trailing draw is discarded so the
+            // per-point RNG consumption stays a pure function of D.
+            let mut a = 0;
+            while a < D {
+                let (g0, g1) = gaussian_pair(&mut rng);
+                coords[a] = (centre.coords[a] + g0 * radius).clamp(domain.min[a], domain.max[a]);
+                if a + 1 < D {
+                    coords[a + 1] = (centre.coords[a + 1] + g1 * radius)
+                        .clamp(domain.min[a + 1], domain.max[a + 1]);
+                }
+                a += 2;
+            }
+            Point::from_coords(coords)
         })
         .collect()
 }
@@ -249,10 +327,10 @@ mod tests {
         let b = tiger_substitute(1000, 9);
         assert_eq!(a.len(), b.len());
         for (p, q) in a.iter().zip(&b) {
-            assert_eq!((p.x, p.y), (q.x, q.y));
+            assert_eq!((p.x(), p.y()), (q.x(), q.y()));
         }
         let c = tiger_substitute(1000, 10);
-        let same = a.iter().zip(&c).filter(|(p, q)| p.x == q.x).count();
+        let same = a.iter().zip(&c).filter(|(p, q)| p.x() == q.x()).count();
         assert!(same < 10);
     }
 
@@ -268,10 +346,10 @@ mod tests {
         for i in 0..64 {
             for j in 0..64 {
                 let q = Rect::new(
-                    TIGER_DOMAIN.min_x + i as f64 * wx,
-                    TIGER_DOMAIN.min_y + j as f64 * wy,
-                    TIGER_DOMAIN.min_x + (i + 1) as f64 * wx,
-                    TIGER_DOMAIN.min_y + (j + 1) as f64 * wy,
+                    TIGER_DOMAIN.min_x() + i as f64 * wx,
+                    TIGER_DOMAIN.min_y() + j as f64 * wy,
+                    TIGER_DOMAIN.min_x() + (i + 1) as f64 * wx,
+                    TIGER_DOMAIN.min_y() + (j + 1) as f64 * wy,
                 )
                 .unwrap();
                 counts.push(index.count(&q));
@@ -323,6 +401,48 @@ mod tests {
         v.sort_unstable_by(f64::total_cmp);
         let med = v[v.len() / 2];
         assert!((med - 512.0).abs() < 15.0, "median {med}");
+    }
+
+    #[test]
+    fn uniform_nd_fills_the_box() {
+        let cube = Rect::from_corners([0.0; 3], [4.0; 3]).unwrap();
+        let pts = uniform_nd(20_000, &cube, 7);
+        assert_eq!(pts.len(), 20_000);
+        assert!(pts.iter().all(|p| cube.contains(*p)));
+        // Roughly an eighth of the mass per octant.
+        let octant = Rect::from_corners([0.0; 3], [2.0; 3]).unwrap();
+        let inside = pts.iter().filter(|p| octant.contains(**p)).count();
+        assert!(
+            (inside as f64 - 2500.0).abs() < 400.0,
+            "octant holds {inside}"
+        );
+    }
+
+    #[test]
+    fn gaussian_mixture_nd_is_clustered() {
+        let cube = Rect::from_corners([0.0; 3], [100.0; 3]).unwrap();
+        let pts = gaussian_mixture_nd(10_000, 3, 0.01, &cube, 4);
+        assert_eq!(pts.len(), 10_000);
+        assert!(pts.iter().all(|p| cube.contains(*p)));
+        // Tight clusters: an octant holds either almost nothing or a
+        // multiple of the uniform expectation, never ~1/8.
+        let octant = Rect::from_corners([0.0; 3], [50.0; 3]).unwrap();
+        let inside = pts.iter().filter(|p| octant.contains(**p)).count();
+        assert!(
+            !(1000..=1500).contains(&inside),
+            "octant count {inside} looks uniform"
+        );
+    }
+
+    #[test]
+    fn nd_generators_are_reproducible() {
+        let cube = Rect::from_corners([0.0; 4], [1.0; 4]).unwrap();
+        assert_eq!(uniform_nd(100, &cube, 9), uniform_nd(100, &cube, 9));
+        assert_eq!(
+            gaussian_mixture_nd(100, 2, 0.05, &cube, 9),
+            gaussian_mixture_nd(100, 2, 0.05, &cube, 9)
+        );
+        assert_ne!(uniform_nd(100, &cube, 9), uniform_nd(100, &cube, 10));
     }
 
     #[test]

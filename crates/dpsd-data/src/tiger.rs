@@ -103,9 +103,9 @@ mod tests {
         let input = "# TIGER extract\n-122.3,47.6\n-103.5 35.1\n\n-120.0\t45.0\n";
         let pts = read_coordinates(input.as_bytes()).unwrap();
         assert_eq!(pts.len(), 3);
-        assert_eq!(pts[0].x, -122.3);
-        assert_eq!(pts[1].y, 35.1);
-        assert_eq!(pts[2].x, -120.0);
+        assert_eq!(pts[0].x(), -122.3);
+        assert_eq!(pts[1].y(), 35.1);
+        assert_eq!(pts[2].x(), -120.0);
     }
 
     #[test]

@@ -128,8 +128,8 @@ pub fn generate_workload(
             "workload rejection sampling failed: data too sparse for shape {:?}",
             shape
         );
-        let x0 = domain.min_x + rng.gen::<f64>() * (domain.width() - w);
-        let y0 = domain.min_y + rng.gen::<f64>() * (domain.height() - h);
+        let x0 = domain.min_x() + rng.gen::<f64>() * (domain.width() - w);
+        let y0 = domain.min_y() + rng.gen::<f64>() * (domain.height() - h);
         let q = Rect::new(x0, y0, x0 + w, y0 + h).expect("constructed rect is valid");
         let answer = index.count(&q);
         if answer > 0 {

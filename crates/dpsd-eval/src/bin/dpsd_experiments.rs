@@ -1,7 +1,7 @@
 //! Command-line driver for the experiment harness.
 //!
 //! ```text
-//! dpsd-experiments <fig2|fig3|fig4|fig5|fig6|fig7a|fig7b|all>
+//! dpsd-experiments <fig2|fig3|fig4|fig5|fig6|fig7a|fig7b|fig8|all>
 //!                  [--scale quick|paper] [--seed N] [--csv]
 //! ```
 //!
@@ -13,7 +13,7 @@ use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: dpsd-experiments <fig2|fig3|fig4|fig5|fig6|fig7a|fig7b|extras|all> \
+        "usage: dpsd-experiments <fig2|fig3|fig4|fig5|fig6|fig7a|fig7b|fig8|extras|all> \
          [--scale quick|paper] [--seed N] [--csv]"
     );
     std::process::exit(2);
@@ -60,6 +60,7 @@ fn main() -> ExitCode {
         "fig6" => dpsd_eval::fig6::run(&scale, seed),
         "fig7a" => dpsd_eval::fig7a::run(&scale, seed),
         "fig7b" => dpsd_eval::fig7b::run(&scale, seed),
+        "fig8" => dpsd_eval::fig8::run(&scale, seed),
         "extras" => {
             let mut t = dpsd_eval::extras::intro_strawman(&scale, seed);
             t.extend(dpsd_eval::extras::budget_ablation(&scale, seed));

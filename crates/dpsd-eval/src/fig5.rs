@@ -2,8 +2,8 @@
 //!
 //! Compares `kd-pure` (exact medians + exact counts), `kd-true` (exact
 //! medians + noisy counts), `kd-standard` (EM medians), `kd-hybrid`
-//! (switch to quadtree splits half-way), `kd-cell` [26], and
-//! `kd-noisymean` [12] on shapes `(1,1)`, `(10,10)`, `(15,0.2)` at
+//! (switch to quadtree splits half-way), `kd-cell` \[26\], and
+//! `kd-noisymean` \[12\] on shapes `(1,1)`, `(10,10)`, `(15,0.2)` at
 //! `eps` in {0.1, 0.5, 1.0}. All trees share the same height (paper: 8)
 //! and pruning threshold `m = 32`.
 

@@ -18,6 +18,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7a;
 pub mod fig7b;
+pub mod fig8;
 pub mod report;
 
 pub use common::{evaluate_tree, Scale};
@@ -34,6 +35,7 @@ pub fn run_all(scale: &Scale, seed: u64) -> Vec<Table> {
     tables.extend(fig6::run(scale, seed));
     tables.extend(fig7a::run(scale, seed));
     tables.extend(fig7b::run(scale, seed));
+    tables.extend(fig8::run(scale, seed));
     tables.extend(extras::intro_strawman(scale, seed));
     tables.extend(extras::budget_ablation(scale, seed));
     tables

@@ -1,5 +1,5 @@
 //! Private record matching via PSD blocking (paper Section 8.3, after
-//! Inan, Kantarcioglu, Ghinita, and Bertino [12]).
+//! Inan, Kantarcioglu, Ghinita, and Bertino \[12\]).
 //!
 //! Two parties hold spatial record sets `A` and `B` and want to find
 //! pairs within a matching distance `d` without revealing their data.
@@ -21,7 +21,7 @@
 //!    count. `A` cannot reveal how many records a leaf really holds —
 //!    that is the private quantity — so the SMC is sized by the noisy
 //!    count (padding with dummy records where the noise over-counts),
-//!    the standard construction in [12].
+//!    the standard construction in \[12\].
 //!
 //! The metric is the **reduction ratio**: the fraction of the naive
 //! `|A| x |B|` comparisons avoided — "bigger is better". Good private
@@ -159,8 +159,8 @@ pub fn run_blocking(
     let mut kept = 0usize;
     for (a, &a_ok) in a_points.iter().zip(&a_kept) {
         for b in b_points {
-            let dx = a.x - b.x;
-            let dy = a.y - b.y;
+            let dx = a.x() - b.x();
+            let dy = a.y() - b.y();
             if dx * dx + dy * dy <= d * d {
                 matches += 1;
                 kept += usize::from(a_ok);

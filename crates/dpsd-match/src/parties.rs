@@ -1,6 +1,6 @@
 //! Synthetic two-party datasets for the record-matching experiments.
 //!
-//! The original experiments of [12] used datasets we do not have; this
+//! The original experiments of \[12\] used datasets we do not have; this
 //! generator produces the same *structure*: two parties whose records
 //! partially overlap (a planted fraction of `B`'s records are jittered
 //! copies of `A` records — true matches), with the remainder drawn from
@@ -42,8 +42,8 @@ pub fn two_party_datasets(
                     let c = centres[i % centres.len()];
                     let (gx, gy) = gaussian_pair(rng);
                     Point::new(
-                        (c.x + gx * radius).clamp(domain.min_x, domain.max_x),
-                        (c.y + gy * radius).clamp(domain.min_y, domain.max_y),
+                        (c.x() + gx * radius).clamp(domain.min_x(), domain.max_x()),
+                        (c.y() + gy * radius).clamp(domain.min_y(), domain.max_y()),
                     )
                 })
                 .collect::<Vec<Point>>()
@@ -52,8 +52,8 @@ pub fn two_party_datasets(
     let centres: Vec<Point> = (0..n_centres)
         .map(|_| {
             Point::new(
-                domain.min_x + rng.gen::<f64>() * domain.width(),
-                domain.min_y + rng.gen::<f64>() * domain.height(),
+                domain.min_x() + rng.gen::<f64>() * domain.width(),
+                domain.min_y() + rng.gen::<f64>() * domain.height(),
             )
         })
         .collect();
@@ -66,8 +66,8 @@ pub fn two_party_datasets(
         let src = a[rng.gen_range(0..a.len())];
         let (gx, gy) = gaussian_pair(&mut rng);
         b.push(Point::new(
-            (src.x + gx * jitter).clamp(domain.min_x, domain.max_x),
-            (src.y + gy * jitter).clamp(domain.min_y, domain.max_y),
+            (src.x() + gx * jitter).clamp(domain.min_x(), domain.max_x()),
+            (src.y() + gy * jitter).clamp(domain.min_y(), domain.max_y()),
         ));
     }
     // B's own (non-matching) records are spread across the whole domain:
@@ -76,8 +76,8 @@ pub fn two_party_datasets(
     // matter.
     for _ in 0..n_b - n_planted {
         b.push(Point::new(
-            domain.min_x + rng.gen::<f64>() * domain.width(),
-            domain.min_y + rng.gen::<f64>() * domain.height(),
+            domain.min_x() + rng.gen::<f64>() * domain.width(),
+            domain.min_y() + rng.gen::<f64>() * domain.height(),
         ));
     }
     (a, b)
@@ -113,8 +113,8 @@ mod tests {
             .iter()
             .filter(|bp| {
                 a.iter().any(|ap| {
-                    let dx = ap.x - bp.x;
-                    let dy = ap.y - bp.y;
+                    let dx = ap.x() - bp.x();
+                    let dy = ap.y() - bp.y();
                     (dx * dx + dy * dy).sqrt() < 0.05
                 })
             })
@@ -130,8 +130,8 @@ mod tests {
             .iter()
             .filter(|bp| {
                 a.iter().any(|ap| {
-                    let dx = ap.x - bp.x;
-                    let dy = ap.y - bp.y;
+                    let dx = ap.x() - bp.x();
+                    let dy = ap.y() - bp.y();
                     (dx * dx + dy * dy).sqrt() < 0.01
                 })
             })
@@ -146,7 +146,7 @@ mod tests {
         let (a2, _) = two_party_datasets(&domain, 100, 100, 0.5, 9);
         assert_eq!(a1.len(), a2.len());
         for (p, q) in a1.iter().zip(&a2) {
-            assert_eq!((p.x, p.y), (q.x, q.y));
+            assert_eq!((p.x(), p.y()), (q.x(), q.y()));
         }
     }
 }

@@ -3,12 +3,11 @@
 //! server, a notebook, another team) loads it and answers whole
 //! workloads with no access to the raw data — the workflow the
 //! `SpatialSynopsis` / `ReleasedSynopsis` API exists for. Also
-//! demonstrates the d-dimensional extension (a private octree over 3-D
-//! data).
+//! demonstrates the dimension-generic core: the same families, queries,
+//! and publish pipeline over 3-D data (`PsdConfig::<3>`).
 //!
 //! Run with: `cargo run --release --example publish_and_share`
 
-use dpsd::core::ndim::{NdTreeConfig, PointN, RectN};
 use dpsd::prelude::*;
 
 fn main() {
@@ -52,8 +51,8 @@ fn main() {
     // Whole workloads go through the shared-traversal batch path.
     let workload: Vec<Rect> = (0..1000)
         .map(|i| {
-            let x = TIGER_DOMAIN.min_x + (i % 40) as f64 / 40.0 * (TIGER_DOMAIN.width() - 2.0);
-            let y = TIGER_DOMAIN.min_y + (i / 40) as f64 / 25.0 * (TIGER_DOMAIN.height() - 2.0);
+            let x = TIGER_DOMAIN.min_x() + (i % 40) as f64 / 40.0 * (TIGER_DOMAIN.width() - 2.0);
+            let y = TIGER_DOMAIN.min_y() + (i / 40) as f64 / 25.0 * (TIGER_DOMAIN.height() - 2.0);
             Rect::new(x, y, x + 2.0, y + 2.0).unwrap()
         })
         .collect();
@@ -64,28 +63,34 @@ fn main() {
         answers.len()
     );
 
-    // ---- 3-D extension: a private octree ----------------------------
-    // Location + time-of-day as a third dimension.
-    let cube = RectN::new([0.0, 0.0, 0.0], [100.0, 100.0, 24.0]).unwrap();
-    let events: Vec<PointN<3>> = (0..20_000)
+    // ---- Higher dimensions: the same pipeline at D = 3 --------------
+    // Location + time-of-day as a third attribute: the data-dependent
+    // kd-hybrid, the batch query path, and the publishable synopsis all
+    // work unchanged at any dimension.
+    let cube = Rect::from_corners([0.0, 0.0, 0.0], [100.0, 100.0, 24.0]).unwrap();
+    let events: Vec<Point<3>> = (0..20_000)
         .map(|i| {
-            PointN::new([
+            Point::from_coords([
                 (i % 100) as f64,
                 (i / 100 % 100) as f64,
                 8.0 + (i % 12) as f64, // daytime events
             ])
         })
         .collect();
-    let octree = NdTreeConfig::new(cube, 4, 0.5)
+    let tree3 = PsdConfig::kd_hybrid(cube, 4, 0.5, 2)
         .with_seed(4)
         .build(&events)
         .unwrap();
-    let evening = RectN::new([0.0, 0.0, 17.0], [100.0, 100.0, 20.0]).unwrap();
-    let est = octree.range_query(&evening);
-    let truth = events.iter().filter(|p| evening.contains(p)).count() as f64;
+    let json3 = tree3.release().to_json();
+    let synopsis3 = ReleasedSynopsis::<3>::from_json(&json3).unwrap();
+    let evening = Rect::from_corners([0.0, 0.0, 17.0], [100.0, 100.0, 20.0]).unwrap();
+    let est = synopsis3.query(&evening);
+    let truth = events.iter().filter(|p| evening.contains(**p)).count() as f64;
     println!(
-        "\noctree (fanout {}): evening events ~ {est:.0} (exact {truth})",
-        octree.fanout()
+        "\n3-D kd-hybrid (fanout {}): evening events ~ {est:.0} (exact {truth}, synopsis {} bytes)",
+        tree3.fanout(),
+        json3.len()
     );
+    assert_eq!(est, tree3.query(&evening));
     std::fs::remove_file(&path).ok();
 }

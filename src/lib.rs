@@ -70,14 +70,17 @@ pub use dpsd_core::{DpsdError, ReleasedSynopsis, SpatialSynopsis};
 ///
 /// Centered on the [`SpatialSynopsis`] trait: importing the prelude
 /// brings the trait into scope, so `query`/`query_batch` work on every
-/// backend, alongside the builders ([`PsdConfig`], [`FlatGrid`],
-/// [`ExactIndex`]), the publishable [`ReleasedSynopsis`], the unified
-/// [`DpsdError`], and the workload helpers.
+/// backend, alongside the builders ([`PsdConfig`](dpsd_core::PsdConfig),
+/// [`FlatGrid`](dpsd_baselines::FlatGrid),
+/// [`ExactIndex`](dpsd_baselines::ExactIndex)), the publishable
+/// [`ReleasedSynopsis`], the unified [`DpsdError`], the dimension-generic
+/// geometry ([`Point`](dpsd_core::Point) / [`Rect`](dpsd_core::Rect) with
+/// their `Point2`/`Rect2` planar aliases), and the workload helpers.
 pub mod prelude {
     pub use dpsd_baselines::{ExactIndex, FlatGrid};
     pub use dpsd_core::budget::{BudgetSplit, CountBudget};
     pub use dpsd_core::error::DpsdError;
-    pub use dpsd_core::geometry::{Axis, Point, Rect};
+    pub use dpsd_core::geometry::{Point, Point2, Rect, Rect2};
     pub use dpsd_core::median::{MedianConfig, MedianSelector};
     pub use dpsd_core::query::{
         range_query, range_query_batch, range_query_batch_with, range_query_with,

@@ -191,9 +191,8 @@ proptest! {
         seed in 0u64..1000,
         qs in queries_strategy(),
     ) {
-        use dpsd::core::ndim::{NdTreeConfig, PointN, RectN};
-        let nd_points: Vec<PointN<2>> = pts.iter().map(|p| PointN::new([p.x, p.y])).collect();
-        let nd_domain = RectN::new([0.0, 0.0], [100.0, 100.0]).unwrap();
+        use dpsd::core::ndim::NdTreeConfig;
+        let nd_domain = Rect::from_corners([0.0, 0.0], [100.0, 100.0]).unwrap();
         let tree = PsdConfig::kd_hybrid(domain(), 3, 0.5, 1).with_seed(seed).build(&pts).unwrap();
         let backends: Vec<Box<dyn SpatialSynopsis>> = vec![
             Box::new(tree.release()),
@@ -202,7 +201,7 @@ proptest! {
             Box::new(PsdConfig::hilbert_r(domain(), 3, 0.5).with_hilbert_order(8).with_seed(seed).build(&pts).unwrap()),
             Box::new(FlatGrid::build(&pts, domain(), 16, 16, 0.5, seed).unwrap()),
             Box::new(ExactIndex::build(&pts, domain(), 32).unwrap()),
-            Box::new(NdTreeConfig::new(nd_domain, 3, 0.5).with_seed(seed).build(&nd_points).unwrap()),
+            Box::new(NdTreeConfig::new(nd_domain, 3, 0.5).with_seed(seed).build(&pts).unwrap()),
         ];
         for backend in &backends {
             let batch = backend.query_batch(&qs);

@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Diff two BENCH_*.json reports (the criterion shim's CRITERION_JSON
+# output) and fail on >15% median regressions.
+#
+#   ci/compare_bench.sh <baseline.json> <candidate.json> [threshold_pct]
+#
+# Thin wrapper over the offline-buildable rust gate so CI and laptops
+# run the same comparison logic with no jq/python dependency:
+#
+#   cargo run --release -p dpsd-bench --bin compare_bench -- a.json b.json
+set -eu
+if [ "$#" -lt 2 ]; then
+    echo "usage: $0 <baseline.json> <candidate.json> [threshold_pct]" >&2
+    exit 2
+fi
+BASELINE=$1
+CANDIDATE=$2
+THRESHOLD=${3:-15}
+exec cargo run --quiet --release -p dpsd-bench --bin compare_bench -- \
+    "$BASELINE" "$CANDIDATE" --threshold-pct "$THRESHOLD"

@@ -1,1 +1,82 @@
-//! Criterion benchmark crate (benches live in `benches/`).
+//! Criterion benchmark crate (benches live in `benches/`), plus the
+//! helpers that make bench runs machine-readable.
+//!
+//! The vendored criterion shim emits a flat JSON report per bench
+//! binary when `CRITERION_JSON=<path>` is set (see vendor/README.md);
+//! [`jsonctx`] lets a bench attach run-level context — node counts,
+//! dataset sizes, thread counts — to that report without any
+//! criterion-API extension, so the same bench source builds against
+//! real criterion unchanged. The `compare_bench` binary diffs two such
+//! reports and flags median regressions (CI's trajectory gate).
+
+pub mod jsonctx {
+    //! Run-level context for the `CRITERION_JSON` report.
+    //!
+    //! Context rides in the `CRITERION_JSON_CONTEXT` environment
+    //! variable as comma-joined `"key":value` JSON fragments; the
+    //! criterion shim embeds them verbatim as the report's `context`
+    //! object when it writes the file at process exit. Setting a
+    //! process-local environment variable is deliberate: it is the one
+    //! channel both this crate and the shim can reach without the bench
+    //! depending on shim-only API, so swapping in real criterion keeps
+    //! every call site compiling (the context simply goes unused).
+
+    /// Records a numeric context entry (e.g. `node_count`, `threads`).
+    pub fn set_num(key: &str, value: f64) {
+        let rendered = if value.is_finite() {
+            format!("{value}")
+        } else {
+            "null".to_string()
+        };
+        push_fragment(key, &rendered);
+    }
+
+    /// Records a string context entry (e.g. a config description).
+    pub fn set_str(key: &str, value: &str) {
+        push_fragment(key, &format!("\"{}\"", escape(value)));
+    }
+
+    fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+
+    fn push_fragment(key: &str, json_value: &str) {
+        let fragment = format!("\"{}\":{}", escape(key), json_value);
+        let joined = match std::env::var("CRITERION_JSON_CONTEXT") {
+            Ok(prior) if !prior.is_empty() => format!("{prior},{fragment}"),
+            _ => fragment,
+        };
+        std::env::set_var("CRITERION_JSON_CONTEXT", joined);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::jsonctx;
+
+    #[test]
+    fn context_accumulates_as_json_fragments() {
+        std::env::remove_var("CRITERION_JSON_CONTEXT");
+        jsonctx::set_num("threads", 4.0);
+        jsonctx::set_str("config", "quadtree h=7 \"quoted\"");
+        let raw = std::env::var("CRITERION_JSON_CONTEXT").unwrap();
+        let parsed: serde_json::Value =
+            serde_json::from_str(&format!("{{{raw}}}")).expect("fragments form a JSON object");
+        assert_eq!(parsed.get("threads").and_then(|v| v.as_f64()), Some(4.0));
+        assert_eq!(
+            parsed.get("config").and_then(|v| v.as_str()),
+            Some("quadtree h=7 \"quoted\"")
+        );
+        std::env::remove_var("CRITERION_JSON_CONTEXT");
+    }
+}

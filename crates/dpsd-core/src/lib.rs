@@ -14,8 +14,9 @@
 //!
 //! | module | paper section | contents |
 //! |---|---|---|
-//! | [`synopsis`] | — | the backend-agnostic [`SpatialSynopsis`] trait |
+//! | [`synopsis`] | — | the backend-agnostic [`SpatialSynopsis`] trait and its [`ParallelQuery`] extension |
 //! | [`error`] | — | the workspace-wide [`DpsdError`] type |
+//! | [`exec`] | — | deterministic parallel runtime ([`Parallelism`], scoped worker pool) |
 //! | [`mech`] | 3.1, 7 | Laplace / geometric / exponential mechanisms, sampling amplification |
 //! | [`median`] | 6.1 | private medians: exponential, smooth sensitivity, noisy mean, cell-based |
 //! | [`budget`] | 4.2, 6.2 | per-level budget strategies and path-composition auditing |
@@ -78,6 +79,7 @@
 pub mod analysis;
 pub mod budget;
 pub mod error;
+pub mod exec;
 pub mod geometry;
 pub mod linalg;
 pub mod mech;
@@ -91,6 +93,7 @@ pub mod synopsis;
 pub mod tree;
 
 pub use error::DpsdError;
+pub use exec::Parallelism;
 pub use geometry::{Point, Point2, Rect, Rect2};
-pub use synopsis::SpatialSynopsis;
+pub use synopsis::{ParallelQuery, SpatialSynopsis};
 pub use tree::{PsdConfig, PsdTree, ReleasedSynopsis, TreeKind};

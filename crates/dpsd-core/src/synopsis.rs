@@ -24,8 +24,12 @@
 //! rectangle, resolving which count column to read — is paid once per
 //! node instead of once per query-node pair, which is what makes batch
 //! evaluation measurably faster than repeated single queries and gives a
-//! natural unit for future parallel sharding.
+//! natural unit for parallel sharding: [`ParallelQuery`] (implemented
+//! for every `Sync` synopsis) shards a workload across the
+//! [`crate::exec`] worker pool with answers guaranteed bit-identical to
+//! the sequential path.
 
+use crate::exec::{self, Parallelism};
 use crate::geometry::Rect;
 use crate::query::QueryProfile;
 
@@ -68,6 +72,52 @@ pub trait SpatialSynopsis<const D: usize = 2> {
     /// the synopsis.
     fn node_count(&self) -> usize;
 }
+
+/// Parallel batched querying, available on **every** `Sync` synopsis
+/// (including `dyn SpatialSynopsis + Sync` trait objects) through a
+/// blanket implementation.
+///
+/// Queries are read-only, so a workload shards freely: the batch is cut
+/// into contiguous chunks, each chunk runs the backend's own
+/// [`SpatialSynopsis::query_batch`] on a worker thread, and the chunk
+/// outputs are concatenated in submission order. Because `query_batch`
+/// is guaranteed to answer each query exactly as a single
+/// [`SpatialSynopsis::query`] would — bit-for-bit, not merely up to
+/// float reassociation — the sharded result is **bit-identical to the
+/// sequential path for every backend and every thread count**. The
+/// `tests/bit_identity.rs` fingerprint suite and the cross-backend
+/// proptests enforce this.
+///
+/// ```
+/// use dpsd_core::exec::Parallelism;
+/// use dpsd_core::geometry::{Point, Rect};
+/// use dpsd_core::synopsis::{ParallelQuery, SpatialSynopsis};
+/// use dpsd_core::tree::PsdConfig;
+///
+/// let domain = Rect::new(0.0, 0.0, 32.0, 32.0).unwrap();
+/// let pts: Vec<Point> = (0..512)
+///     .map(|i| Point::new((i % 32) as f64 + 0.5, (i / 32) as f64 + 0.5))
+///     .collect();
+/// let tree = PsdConfig::quadtree(domain, 3, 1.0).with_seed(1).build(&pts).unwrap();
+/// let queries: Vec<Rect> = (0..200)
+///     .map(|i| Rect::new(0.0, 0.0, 1.0 + (i % 31) as f64, 32.0).unwrap())
+///     .collect();
+/// let sequential = tree.query_batch(&queries);
+/// let parallel = tree.query_batch_parallel(&queries, Parallelism::Auto);
+/// assert_eq!(sequential, parallel); // bit-identical, any thread count
+/// ```
+pub trait ParallelQuery<const D: usize = 2>: SpatialSynopsis<D> + Sync {
+    /// Answers every query of a workload, in order, sharding the batch
+    /// across up to `par.threads()` workers. Returns exactly what
+    /// [`SpatialSynopsis::query_batch`] returns.
+    fn query_batch_parallel(&self, queries: &[Rect<D>], par: Parallelism) -> Vec<f64> {
+        exec::par_map_shards(par, queries, exec::MIN_SHARD, |shard| {
+            self.query_batch(shard)
+        })
+    }
+}
+
+impl<const D: usize, S: SpatialSynopsis<D> + Sync + ?Sized> ParallelQuery<D> for S {}
 
 impl<const D: usize> SpatialSynopsis<D> for crate::tree::PsdTree<D> {
     fn query(&self, query: &Rect<D>) -> f64 {
@@ -176,6 +226,37 @@ mod tests {
         }
         let batch = s.query_batch(&queries);
         assert_eq!(batch, default_batch(&s, &queries));
+    }
+
+    #[test]
+    fn parallel_batch_is_bit_identical_for_every_thread_count() {
+        let s = backend();
+        let queries: Vec<Rect> = (0..300)
+            .map(|i| {
+                let x = (i % 13) as f64 * 2.0;
+                let y = ((i * 5) % 11) as f64 * 2.5;
+                Rect::new(x, y, x + 7.0, y + 5.0).unwrap()
+            })
+            .collect();
+        let sequential = s.query_batch(&queries);
+        for par in [
+            Parallelism::Sequential,
+            Parallelism::fixed(2),
+            Parallelism::fixed(3),
+            Parallelism::fixed(8),
+            Parallelism::Auto,
+        ] {
+            let parallel = s.query_batch_parallel(&queries, par);
+            for (i, (&a, &b)) in sequential.iter().zip(&parallel).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "{par:?} diverged at query {i}");
+            }
+        }
+        // Works through a Sync trait object too.
+        let dyn_ref: &(dyn SpatialSynopsis + Sync) = &s;
+        assert_eq!(
+            dyn_ref.query_batch_parallel(&queries, Parallelism::fixed(4)),
+            sequential
+        );
     }
 
     #[test]

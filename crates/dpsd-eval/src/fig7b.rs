@@ -7,6 +7,7 @@ use crate::common::Scale;
 use crate::report::Table;
 use dpsd_baselines::ExactIndex;
 use dpsd_core::budget::CountBudget;
+use dpsd_core::exec::{par_map_tasks, Parallelism};
 use dpsd_core::tree::PsdConfig;
 use dpsd_data::synthetic::TIGER_DOMAIN;
 use dpsd_match::parties::two_party_datasets;
@@ -55,15 +56,26 @@ pub fn run(scale: &Scale, seed: u64) -> Vec<Table> {
             PsdConfig::kd_standard(TIGER_DOMAIN, h, eps)
         }),
     ];
-    for (name, h, make) in methods {
-        let mut row = Vec::new();
-        for &eps in &EPSILONS {
+    // Every (method, eps) cell is an independent build-and-block task
+    // whose noise stream is pinned by its own seed, so the grid fans out
+    // across the worker pool with output identical to the sequential
+    // sweep for any thread count.
+    let cells = par_map_tasks(
+        Parallelism::from_env(),
+        methods.len() * EPSILONS.len(),
+        |task| {
+            let (_, h, make) = methods[task / EPSILONS.len()];
+            let eps = EPSILONS[task % EPSILONS.len()];
             let tree = build_blocking_tree(make(eps, h).with_seed(seed ^ eps.to_bits()), &a)
                 .expect("blocking tree");
-            let outcome = run_blocking(&tree, &b_index, &a, &b, &blocking);
-            row.push(outcome.reduction_ratio());
-        }
-        table.push_row(name, row);
+            run_blocking(&tree, &b_index, &a, &b, &blocking).reduction_ratio()
+        },
+    );
+    for (m, (name, _, _)) in methods.iter().enumerate() {
+        table.push_row(
+            *name,
+            cells[m * EPSILONS.len()..(m + 1) * EPSILONS.len()].to_vec(),
+        );
     }
     vec![table]
 }

@@ -35,6 +35,7 @@ pub mod parties;
 
 use dpsd_baselines::ExactIndex;
 use dpsd_core::budget::CountBudget;
+use dpsd_core::exec::{par_map_tasks, Parallelism};
 use dpsd_core::geometry::Point;
 use dpsd_core::tree::{CountSource, PsdConfig, PsdTree};
 
@@ -97,6 +98,26 @@ pub fn build_blocking_tree(
     config.postprocess = false;
     config.prune_threshold = None;
     config.build(a_points)
+}
+
+/// Builds one blocking tree per party, concurrently.
+///
+/// Each `(config, records)` task is independent — a party's noise is
+/// drawn from the RNG stream its config's seed pins — so the output is
+/// **bit-identical for every thread count**, including sequential; the
+/// pool only changes wall-clock time. Results come back in task order.
+/// The first failing build reports its error (remaining builds still
+/// run to completion on their workers).
+pub fn build_blocking_trees(
+    tasks: &[(PsdConfig, &[Point])],
+    par: Parallelism,
+) -> Result<Vec<PsdTree>, dpsd_core::DpsdError> {
+    par_map_tasks(par, tasks.len(), |i| {
+        let (config, points) = &tasks[i];
+        build_blocking_tree(config.clone(), points)
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Runs the blocking protocol: party `B`'s records are matched against
@@ -243,6 +264,48 @@ mod tests {
             high >= low - 0.02,
             "reduction should not degrade with budget: {low} -> {high}"
         );
+    }
+
+    #[test]
+    fn parallel_party_builds_are_thread_count_invariant() {
+        let (domain, a, b) = setup();
+        let tasks: Vec<(PsdConfig, &[Point])> = vec![
+            (PsdConfig::kd_standard(domain, 5, 0.5).with_seed(1), &a[..]),
+            (PsdConfig::quadtree(domain, 4, 0.3).with_seed(2), &b[..]),
+            (PsdConfig::kd_noisymean(domain, 4, 0.4).with_seed(3), &a[..]),
+        ];
+        let reference: Vec<String> = build_blocking_trees(&tasks, Parallelism::Sequential)
+            .unwrap()
+            .iter()
+            .map(|t| t.release().to_json())
+            .collect();
+        for par in [
+            Parallelism::fixed(2),
+            Parallelism::fixed(3),
+            Parallelism::fixed(8),
+        ] {
+            let trees = build_blocking_trees(&tasks, par).unwrap();
+            assert_eq!(trees.len(), tasks.len());
+            for (i, tree) in trees.iter().enumerate() {
+                assert_eq!(
+                    tree.release().to_json(),
+                    reference[i],
+                    "party {i} release changed under {par:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_surfaces_errors() {
+        let (domain, a, _) = setup();
+        let tasks: Vec<(PsdConfig, &[Point])> = vec![
+            (PsdConfig::kd_standard(domain, 4, 0.5).with_seed(1), &a[..]),
+            // Invalid: zero height quadtree is fine, but epsilon <= 0 is
+            // rejected by the builder.
+            (PsdConfig::quadtree(domain, 4, -1.0).with_seed(2), &a[..]),
+        ];
+        assert!(build_blocking_trees(&tasks, Parallelism::fixed(2)).is_err());
     }
 
     #[test]

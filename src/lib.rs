@@ -80,13 +80,14 @@ pub mod prelude {
     pub use dpsd_baselines::{ExactIndex, FlatGrid};
     pub use dpsd_core::budget::{BudgetSplit, CountBudget};
     pub use dpsd_core::error::DpsdError;
+    pub use dpsd_core::exec::Parallelism;
     pub use dpsd_core::geometry::{Point, Point2, Rect, Rect2};
     pub use dpsd_core::median::{MedianConfig, MedianSelector};
     pub use dpsd_core::query::{
         range_query, range_query_batch, range_query_batch_with, range_query_with,
         try_range_query_with, QueryProfile,
     };
-    pub use dpsd_core::synopsis::SpatialSynopsis;
+    pub use dpsd_core::synopsis::{ParallelQuery, SpatialSynopsis};
     pub use dpsd_core::tree::{CountSource, PsdConfig, PsdTree, ReleasedSynopsis, TreeKind};
     pub use dpsd_data::synthetic::TIGER_DOMAIN;
     pub use dpsd_data::workload::{generate_workload, QueryShape, Workload, PAPER_SHAPES};

@@ -168,3 +168,41 @@ fn two_d_pipeline_is_bit_identical_to_pre_refactor_golden() {
         );
     }
 }
+
+/// The parallel query path is held to the same standard as the build
+/// pipeline: for every fingerprinted family config,
+/// `query_batch_parallel` must return bit-for-bit what the sequential
+/// batch (and therefore a loop of single queries) returns, at every
+/// thread count.
+#[test]
+fn parallel_queries_are_bit_identical_on_all_golden_configs() {
+    let pts = dataset();
+    let queries: Vec<Rect> = (0..300)
+        .map(|i| {
+            let x = (i % 21) as f64 * 2.9 - 3.0;
+            let y = ((i * 11) % 17) as f64 * 3.7;
+            let w = 0.7 + (i % 15) as f64 * 3.1;
+            let h = 1.3 + (i % 7) as f64 * 5.9;
+            Rect::new(x, y, x + w, y + h).unwrap()
+        })
+        .collect();
+    for (name, config) in configs() {
+        let tree = config.build(&pts).unwrap();
+        let sequential = tree.query_batch(&queries);
+        for threads in [1usize, 2, 3, 8] {
+            let parallel = tree.query_batch_parallel(&queries, Parallelism::fixed(threads));
+            assert_eq!(
+                parallel.len(),
+                sequential.len(),
+                "{name}: t={threads} dropped answers"
+            );
+            for (i, (&s, &p)) in sequential.iter().zip(&parallel).enumerate() {
+                assert_eq!(
+                    s.to_bits(),
+                    p.to_bits(),
+                    "{name}: parallel (t={threads}) diverged from sequential at query {i}"
+                );
+            }
+        }
+    }
+}

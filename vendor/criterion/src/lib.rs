@@ -13,10 +13,53 @@
 //! Honors `CRITERION_SAMPLE_MS` (milliseconds per sample, default 5) and
 //! `CRITERION_SAMPLES` (samples per benchmark, overriding
 //! `sample_size`) for quick CI runs.
+//!
+//! # Machine-readable output (shim extension)
+//!
+//! Real criterion writes its analysis under `target/criterion/`; this
+//! shim instead emits one flat JSON report per bench binary when asked:
+//! set `CRITERION_JSON=<path>` (or pass `--json <path>` after `--` on
+//! the bench command line) and [`criterion_main!`] writes every
+//! measured benchmark — id, median/min/mean ns per iteration, sample
+//! count, and throughput when the bench declared one — plus a run-level
+//! `context` object assembled from the `CRITERION_JSON_CONTEXT`
+//! environment variable (comma-joined `"key":value` JSON fragments;
+//! `dpsd-bench` sets it through its `jsonctx` helpers). CI jobs name
+//! the file `BENCH_<bench>.json` and diff reports across runs with
+//! `ci/compare_bench.sh`. Benches need no plumbing beyond the standard
+//! criterion API — swapping the shim for real criterion keeps every
+//! call site compiling (the JSON report simply stops appearing; see
+//! vendor/README.md).
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// How many "items" one benchmark iteration processes; declared via
+/// [`BenchmarkGroup::throughput`] (same API as real criterion) so
+/// reports can derive items-per-second rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements (queries, points, records) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// One measured benchmark, as recorded for the JSON report.
+#[derive(Debug, Clone)]
+struct BenchRecord {
+    id: String,
+    median_ns: f64,
+    min_ns: f64,
+    mean_ns: f64,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+/// Every benchmark measured by this process, in execution order.
+static RECORDS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
 
 /// How `iter_batched` amortizes setup cost. The shim times each routine
 /// invocation individually, so the variants only document intent.
@@ -56,7 +99,7 @@ impl Criterion {
 
     /// Runs a standalone benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
-        run_bench(&id.into(), self.samples, f);
+        run_bench(&id.into(), self.samples, None, f);
     }
 
     /// Opens a named group of benchmarks.
@@ -64,6 +107,7 @@ impl Criterion {
         BenchmarkGroup {
             name: name.into(),
             samples: self.samples,
+            throughput: None,
             _criterion: self,
         }
     }
@@ -73,6 +117,7 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     name: String,
     samples: usize,
+    throughput: Option<Throughput>,
     _criterion: &'a mut Criterion,
 }
 
@@ -91,9 +136,22 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Declares the per-iteration throughput of the benchmarks that
+    /// follow in this group (real-criterion API; the JSON report derives
+    /// items-per-second from it).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
     /// Runs one benchmark within the group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
-        run_bench(&format!("{}/{}", self.name, id.into()), self.samples, f);
+        run_bench(
+            &format!("{}/{}", self.name, id.into()),
+            self.samples,
+            self.throughput,
+            f,
+        );
     }
 
     /// Ends the group.
@@ -163,7 +221,12 @@ impl Bencher {
     }
 }
 
-fn run_bench<F: FnMut(&mut Bencher)>(id: &str, samples: usize, mut f: F) {
+fn run_bench<F: FnMut(&mut Bencher)>(
+    id: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
     let mut b = Bencher {
         samples,
         sample_budget: sample_budget(),
@@ -185,6 +248,142 @@ fn run_bench<F: FnMut(&mut Bencher)>(id: &str, samples: usize, mut f: F) {
         fmt_ns(min),
         fmt_ns(mean),
     );
+    RECORDS.lock().expect("bench registry").push(BenchRecord {
+        id: id.to_string(),
+        median_ns: median,
+        min_ns: min,
+        mean_ns: mean,
+        samples: n,
+        throughput,
+    });
+}
+
+/// The JSON report destination: `--json <path>` on the bench binary's
+/// command line (after `--` when invoked through `cargo bench`) wins,
+/// then the `CRITERION_JSON` environment variable; `None` disables the
+/// report.
+fn json_report_path() -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            if let Some(path) = args.next() {
+                return Some(path);
+            }
+        }
+    }
+    std::env::var("CRITERION_JSON")
+        .ok()
+        .filter(|p| !p.is_empty())
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A float as a JSON number token (JSON has no NaN/inf; clamp to null).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders the report for every benchmark measured so far.
+fn render_json_report() -> String {
+    let bench_name = std::env::args()
+        .next()
+        .and_then(|argv0| {
+            std::path::Path::new(&argv0)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+        })
+        // Strip the `-<metadata hash>` suffix cargo appends to bench
+        // binaries so the name is stable across builds.
+        .map(|stem| match stem.rfind('-') {
+            Some(cut) if stem[cut + 1..].chars().all(|c| c.is_ascii_hexdigit()) => {
+                stem[..cut].to_string()
+            }
+            _ => stem,
+        })
+        .unwrap_or_else(|| "bench".to_string());
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"dpsd-bench-json/v1\",\n");
+    out.push_str(&format!("  \"bench\": \"{}\",\n", json_escape(&bench_name)));
+    // Run-level context: comma-joined `"key":value` JSON fragments
+    // accumulated in CRITERION_JSON_CONTEXT (see dpsd-bench's jsonctx).
+    let context = std::env::var("CRITERION_JSON_CONTEXT").unwrap_or_default();
+    out.push_str(&format!("  \"context\": {{{context}}},\n"));
+    out.push_str("  \"benches\": [\n");
+    let records = RECORDS.lock().expect("bench registry");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"median_ns\": {}, \"min_ns\": {}, \"mean_ns\": {}, \"samples\": {}",
+            json_escape(&r.id),
+            json_num(r.median_ns),
+            json_num(r.min_ns),
+            json_num(r.mean_ns),
+            r.samples,
+        ));
+        match r.throughput {
+            Some(Throughput::Elements(n)) => {
+                out.push_str(&format!(
+                    ", \"elements\": {n}, \"elems_per_sec\": {}",
+                    json_num(n as f64 * 1e9 / r.median_ns)
+                ));
+            }
+            Some(Throughput::Bytes(n)) => {
+                out.push_str(&format!(
+                    ", \"bytes\": {n}, \"bytes_per_sec\": {}",
+                    json_num(n as f64 * 1e9 / r.median_ns)
+                ));
+            }
+            None => {}
+        }
+        out.push('}');
+        if i + 1 < records.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes the machine-readable report when a destination is configured
+/// (`CRITERION_JSON` / `--json`); called by [`criterion_main!`] after
+/// all groups ran. No-op otherwise.
+///
+/// An explicitly requested report that cannot be written **exits the
+/// process non-zero**: a bench run whose whole point was the JSON
+/// trajectory must not report success while silently producing nothing
+/// (CI would skip its regression gate).
+pub fn write_json_report() {
+    let Some(path) = json_report_path() else {
+        return;
+    };
+    let report = render_json_report();
+    match std::fs::write(&path, &report) {
+        Ok(()) => eprintln!("criterion shim: wrote JSON report to {path}"),
+        Err(e) => {
+            eprintln!("criterion shim: FAILED to write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn fmt_ns(ns: f64) -> String {
@@ -210,12 +409,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Generates `main` running the named groups.
+/// Generates `main` running the named groups, then writing the JSON
+/// report if one was requested (`CRITERION_JSON` / `--json`).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_json_report();
         }
     };
 }
@@ -247,5 +448,52 @@ mod tests {
         assert!(fmt_ns(12_000.0).contains("µs"));
         assert!(fmt_ns(12_000_000.0).contains("ms"));
         assert!(fmt_ns(2e9).contains("s "));
+    }
+
+    #[test]
+    fn json_report_records_benches_and_throughput() {
+        std::env::set_var("CRITERION_SAMPLE_MS", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("json");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(1000));
+        group.bench_function("counts", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        group.finish();
+        let report = render_json_report();
+        assert!(report.contains("\"schema\": \"dpsd-bench-json/v1\""));
+        assert!(report.contains("\"id\": \"json/counts\""));
+        assert!(report.contains("\"median_ns\""));
+        assert!(report.contains("\"elements\": 1000"));
+        assert!(report.contains("\"elems_per_sec\""));
+        // The report must parse as JSON (vendored parser).
+        let parsed: serde_json::Value = serde_json::from_str(&report).expect("valid JSON");
+        let benches = parsed.get("benches").and_then(|b| b.as_array()).unwrap();
+        let rec = benches
+            .iter()
+            .find(|r| r.get("id").and_then(|i| i.as_str()) == Some("json/counts"))
+            .expect("recorded bench present");
+        assert!(rec.get("median_ns").and_then(|v| v.as_f64()).unwrap() > 0.0);
+        assert_eq!(rec.get("elements").and_then(|v| v.as_u64()), Some(1000));
+    }
+
+    #[test]
+    fn json_context_fragments_are_embedded() {
+        std::env::set_var(
+            "CRITERION_JSON_CONTEXT",
+            "\"threads\":4,\"n_points\":100000",
+        );
+        let report = render_json_report();
+        std::env::remove_var("CRITERION_JSON_CONTEXT");
+        let parsed: serde_json::Value = serde_json::from_str(&report).expect("valid JSON");
+        let ctx = parsed.get("context").expect("context object");
+        assert_eq!(ctx.get("threads").and_then(|v| v.as_u64()), Some(4));
+        assert_eq!(ctx.get("n_points").and_then(|v| v.as_u64()), Some(100_000));
+    }
+
+    #[test]
+    fn json_escaping_is_safe() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_num(f64::NAN), "null");
+        assert_eq!(json_num(1.5), "1.5");
     }
 }

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Per-suite test-timing summary for the tier-1 CI job.
+#
+# Runs every integration-test suite in the workspace one binary at a
+# time, prints a wall-clock summary table, and fails if any single
+# suite exceeds the cap (default 60 s, override with
+# DPSD_TEST_TIME_CAP_SECS). This keeps the smoke-profile discipline
+# honest: a suite that quietly grows past the budget (e.g. the fig8
+# sweep losing its smoke profile) fails CI instead of slowly rotting
+# the feedback loop.
+#
+# Compile time is excluded: everything is built (--no-run) before the
+# clock starts on any suite.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CAP="${DPSD_TEST_TIME_CAP_SECS:-60}"
+
+# Build all test binaries first so timings measure tests, not rustc.
+cargo test --workspace --no-run --quiet
+
+# Discover integration-test suites: <package> <suite> pairs.
+suites=()
+for f in tests/*.rs; do
+  [ -e "$f" ] || continue
+  suites+=("dpsd $(basename "$f" .rs)")
+done
+for dir in crates/*/; do
+  pkg=$(basename "$dir")
+  for f in "$dir"tests/*.rs; do
+    [ -e "$f" ] || continue
+    suites+=("$pkg $(basename "$f" .rs)")
+  done
+done
+
+status=0
+printf '%-16s %-28s %10s   %s\n' "package" "suite" "seconds" "verdict"
+printf '%-16s %-28s %10s   %s\n' "-------" "-----" "-------" "-------"
+for entry in "${suites[@]}"; do
+  pkg=${entry%% *}
+  suite=${entry#* }
+  start=$(date +%s%N)
+  if ! timeout "${CAP}s" cargo test -q -p "$pkg" --test "$suite" >/tmp/suite_out 2>&1; then
+    elapsed=$(( ($(date +%s%N) - start) / 1000000 ))
+    secs=$(awk "BEGIN {printf \"%.2f\", $elapsed / 1000.0}")
+    if awk "BEGIN {exit !($secs >= $CAP)}"; then
+      printf '%-16s %-28s %10s   TIMED OUT (> %ss)\n' "$pkg" "$suite" "$secs" "$CAP"
+    else
+      printf '%-16s %-28s %10s   FAILED\n' "$pkg" "$suite" "$secs"
+      tail -40 /tmp/suite_out
+    fi
+    status=1
+    continue
+  fi
+  elapsed=$(( ($(date +%s%N) - start) / 1000000 ))
+  secs=$(awk "BEGIN {printf \"%.2f\", $elapsed / 1000.0}")
+  verdict=ok
+  if awk "BEGIN {exit !($secs > $CAP)}"; then
+    verdict="TOO SLOW (> ${CAP}s)"
+    status=1
+  fi
+  printf '%-16s %-28s %10s   %s\n' "$pkg" "$suite" "$secs" "$verdict"
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "test-timing gate failed: a suite exceeded ${CAP}s (or failed)" >&2
+fi
+exit "$status"

@@ -96,4 +96,4 @@ pub use error::DpsdError;
 pub use exec::Parallelism;
 pub use geometry::{Point, Point2, Rect, Rect2};
 pub use synopsis::{ParallelQuery, SpatialSynopsis};
-pub use tree::{PsdConfig, PsdTree, ReleasedSynopsis, TreeKind};
+pub use tree::{CurveKind, PsdConfig, PsdTree, ReleasedSynopsis, TreeKind};

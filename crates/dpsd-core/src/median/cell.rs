@@ -258,6 +258,185 @@ impl CellGrid2D {
     }
 }
 
+/// A `D`-dimensional noisy grid over a box — the generalization of
+/// [`CellGrid2D`] used by the dimension-generic `kd-cell` builder.
+///
+/// Cell counts are stored in a flat vector with axis 0 fastest
+/// (`idx = i_0 + n_0 · (i_1 + n_1 · (i_2 + …))`) and perturbed once
+/// with `Lap(1/eps)` each, in that linear order. Region reads prorate
+/// boundary cells by per-axis overlap fractions and clamp negative
+/// noisy cells to zero mass, exactly like the planar grid.
+#[derive(Debug, Clone)]
+pub struct CellGridNd<const D: usize> {
+    rect: Rect<D>,
+    res: [usize; D],
+    counts: Vec<f64>,
+}
+
+impl<const D: usize> CellGridNd<D> {
+    /// Builds the grid with `Lap(1/eps)` noise per cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any axis has zero cells, the box has zero volume,
+    /// `eps <= 0`, or the total cell count overflows `usize`.
+    pub fn build<R: Rng + ?Sized>(
+        rng: &mut R,
+        points: &[Point<D>],
+        rect: Rect<D>,
+        res: [usize; D],
+        eps: f64,
+    ) -> Self {
+        assert!(
+            res.iter().all(|&n| n > 0),
+            "grid needs at least one cell per axis"
+        );
+        assert!(rect.area() > 0.0, "grid box must have positive volume");
+        assert!(eps > 0.0, "eps must be positive, got {eps}");
+        let cells = res
+            .iter()
+            .try_fold(1usize, |acc, &n| acc.checked_mul(n))
+            .expect("grid cell count overflows usize");
+        let mut counts = vec![0.0f64; cells];
+        for p in points {
+            if !rect.contains(*p) {
+                continue;
+            }
+            let mut idx = 0usize;
+            let mut stride = 1usize;
+            for (k, &n) in res.iter().enumerate() {
+                let w = rect.side(k) / n as f64;
+                let i = (((p.coords[k] - rect.min[k]) / w) as usize).min(n - 1);
+                idx += i * stride;
+                stride *= n;
+            }
+            counts[idx] += 1.0;
+        }
+        for c in counts.iter_mut() {
+            *c = laplace_mechanism(rng, *c, 1.0, eps);
+        }
+        CellGridNd { rect, res, counts }
+    }
+
+    /// Grid resolution per axis.
+    pub fn resolution(&self) -> [usize; D] {
+        self.res
+    }
+
+    /// The gridded box.
+    pub fn rect(&self) -> &Rect<D> {
+        &self.rect
+    }
+
+    /// Noisy count of a region (cells prorated by overlap volume;
+    /// negative cells clamped to zero).
+    pub fn noisy_count_in(&self, region: &Rect<D>) -> f64 {
+        let mut total = 0.0;
+        self.for_overlapping(region, |_, mass| total += mass);
+        total
+    }
+
+    /// Estimated median coordinate along `axis` of the data inside
+    /// `region`, from the noisy marginal. Falls back to the region's
+    /// midline when no mass remains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= D`.
+    pub fn median_along(&self, axis: usize, region: &Rect<D>) -> f64 {
+        assert!(axis < D, "grid has axes 0..{D}, got {axis}");
+        let (lo, hi) = region.extent(axis);
+        let mut marginal = vec![0.0f64; self.res[axis]];
+        self.for_overlapping(region, |idx, mass| marginal[idx[axis]] += mass);
+        let total: f64 = marginal.iter().sum();
+        if total <= 0.0 {
+            return lo + (hi - lo) / 2.0;
+        }
+        let axis_lo = self.rect.min[axis];
+        let cell_w = self.rect.side(axis) / self.res[axis] as f64;
+        let half = total / 2.0;
+        let mut cum = 0.0;
+        for (i, &m) in marginal.iter().enumerate() {
+            if m > 0.0 && cum + m >= half {
+                let c_lo = (axis_lo + i as f64 * cell_w).max(lo);
+                let c_hi = (axis_lo + (i + 1) as f64 * cell_w).min(hi);
+                let frac = ((half - cum) / m).clamp(0.0, 1.0);
+                return (c_lo + frac * (c_hi - c_lo)).clamp(lo, hi);
+            }
+            cum += m;
+        }
+        lo + (hi - lo) / 2.0
+    }
+
+    /// Uniformity score of `region` — the mean absolute deviation of
+    /// per-cell noisy masses from their mean, normalized by the mean
+    /// (see [`CellGrid2D::uniformity_score`]). Regions with no positive
+    /// mass score 0.
+    pub fn uniformity_score(&self, region: &Rect<D>) -> f64 {
+        let mut masses = Vec::new();
+        self.for_overlapping(region, |_, mass| masses.push(mass));
+        if masses.is_empty() {
+            return 0.0;
+        }
+        let mean = masses.iter().sum::<f64>() / masses.len() as f64;
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        let mad = masses.iter().map(|m| (m - mean).abs()).sum::<f64>() / masses.len() as f64;
+        mad / mean
+    }
+
+    /// Visits every cell overlapping `region` (odometer order, axis 0
+    /// fastest) with its prorated, clamped-non-negative mass.
+    fn for_overlapping<F: FnMut(&[usize; D], f64)>(&self, region: &Rect<D>, mut f: F) {
+        let clip = match self.rect.intersection(region) {
+            Some(c) if c.area() > 0.0 || region.area() == 0.0 => c,
+            _ => return,
+        };
+        // Per-axis overlapped index ranges and overlap fractions.
+        let mut i0 = [0usize; D];
+        let mut i1 = [0usize; D];
+        let mut fracs: [Vec<f64>; D] = std::array::from_fn(|_| Vec::new());
+        for k in 0..D {
+            let w = self.rect.side(k) / self.res[k] as f64;
+            i0[k] = (((clip.min[k] - self.rect.min[k]) / w) as usize).min(self.res[k] - 1);
+            i1[k] = (((clip.max[k] - self.rect.min[k]) / w) as usize).min(self.res[k] - 1);
+            for i in i0[k]..=i1[k] {
+                let c_lo = self.rect.min[k] + i as f64 * w;
+                let frac = ((clip.max[k].min(c_lo + w) - clip.min[k].max(c_lo)) / w).max(0.0);
+                fracs[k].push(frac);
+            }
+        }
+        let mut strides = [1usize; D];
+        for k in 1..D {
+            strides[k] = strides[k - 1] * self.res[k - 1];
+        }
+        // Odometer over the overlapped sub-box.
+        let mut idx = i0;
+        loop {
+            let mut linear = 0usize;
+            let mut frac = 1.0f64;
+            for k in 0..D {
+                linear += idx[k] * strides[k];
+                frac *= fracs[k][idx[k] - i0[k]];
+            }
+            f(&idx, self.counts[linear].max(0.0) * frac);
+            let mut k = 0;
+            loop {
+                if k == D {
+                    return;
+                }
+                idx[k] += 1;
+                if idx[k] <= i1[k] {
+                    break;
+                }
+                idx[k] = i0[k];
+                k += 1;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -365,5 +544,114 @@ mod tests {
     fn zero_cells_rejected() {
         let mut rng = seeded(0);
         let _ = CellGrid1D::build(&mut rng, &[], 0.0, 1.0, 0, 1.0);
+    }
+
+    #[test]
+    fn gridnd_matches_grid2d_semantics_in_the_plane() {
+        // Same data, same region reads: the D-generic grid and the
+        // planar grid agree closely (they draw independent noise, so
+        // comparisons are statistical, at high eps).
+        let rect = Rect::new(0.0, 0.0, 100.0, 100.0).unwrap();
+        let points: Vec<Point> = (0..40_000)
+            .map(|i| Point::new((i % 200) as f64 / 2.0, ((i / 200) % 200) as f64 / 2.0))
+            .collect();
+        let mut rng = seeded(48);
+        let g2 = CellGrid2D::build(&mut rng, &points, rect, 32, 32, 50.0);
+        let mut rng = seeded(49);
+        let gn = CellGridNd::<2>::build(&mut rng, &points, rect, [32, 32], 50.0);
+        assert_eq!(gn.resolution(), [32, 32]);
+        assert_eq!(gn.rect(), &rect);
+        let sub = Rect::new(10.0, 20.0, 70.0, 90.0).unwrap();
+        assert!((g2.noisy_count_in(&sub) - gn.noisy_count_in(&sub)).abs() < 200.0);
+        for axis in 0..2 {
+            let m2 = g2.median_along(axis, &sub);
+            let mn = gn.median_along(axis, &sub);
+            assert!((m2 - mn).abs() < 4.0, "axis {axis}: {m2} vs {mn}");
+        }
+        assert!((g2.uniformity_score(&sub) - gn.uniformity_score(&sub)).abs() < 0.2);
+    }
+
+    #[test]
+    fn gridnd_median_and_count_in_three_dimensions() {
+        let mut rng = seeded(50);
+        let rect = Rect::from_corners([0.0; 3], [64.0; 3]).unwrap();
+        let points: Vec<Point<3>> = (0..32_768)
+            .map(|i| {
+                Point::from_coords([
+                    (i % 32) as f64 * 2.0 + 1.0,
+                    (i / 32 % 32) as f64 * 2.0 + 1.0,
+                    (i / 1024) as f64 * 2.0 + 1.0,
+                ])
+            })
+            .collect();
+        let grid = CellGridNd::<3>::build(&mut rng, &points, rect, [16, 16, 16], 2.0);
+        let count = grid.noisy_count_in(&rect);
+        assert!((count - 32_768.0).abs() < 3_000.0, "count {count}");
+        for axis in 0..3 {
+            let med = grid.median_along(axis, &rect);
+            assert!((med - 32.0).abs() < 6.0, "axis {axis} median {med}");
+        }
+        // An octant holds about an eighth of the data.
+        let oct = Rect::from_corners([0.0; 3], [32.0; 3]).unwrap();
+        let oc = grid.noisy_count_in(&oct);
+        assert!((oc - 4_096.0).abs() < 1_500.0, "octant count {oc}");
+    }
+
+    #[test]
+    fn gridnd_uniformity_separates_distributions_in_3d() {
+        let mut rng = seeded(51);
+        let rect = Rect::from_corners([0.0; 3], [32.0; 3]).unwrap();
+        let uniform: Vec<Point<3>> = (0..8_000)
+            .map(|i| {
+                Point::from_coords([
+                    (i % 20) as f64 * 1.6 + 0.5,
+                    (i / 20 % 20) as f64 * 1.6 + 0.5,
+                    (i / 400) as f64 * 1.6 + 0.5,
+                ])
+            })
+            .collect();
+        let clustered: Vec<Point<3>> = (0..8_000)
+            .map(|i| Point::from_coords([1.0 + (i % 5) as f64 * 0.1, 1.5, 2.0]))
+            .collect();
+        let g_u = CellGridNd::<3>::build(&mut rng, &uniform, rect, [8, 8, 8], 5.0);
+        let g_c = CellGridNd::<3>::build(&mut rng, &clustered, rect, [8, 8, 8], 5.0);
+        let s_u = g_u.uniformity_score(&rect);
+        let s_c = g_c.uniformity_score(&rect);
+        assert!(
+            s_u < s_c,
+            "uniform {s_u} should score below clustered {s_c}"
+        );
+        assert!(s_c > 1.0, "point mass scores high, got {s_c}");
+    }
+
+    #[test]
+    fn gridnd_empty_and_disjoint_regions() {
+        let mut rng = seeded(52);
+        let rect = Rect::from_corners([0.0; 3], [10.0; 3]).unwrap();
+        let grid = CellGridNd::<3>::build(&mut rng, &[], rect, [4, 4, 4], 1.0);
+        let far = Rect::from_corners([100.0; 3], [200.0; 3]).unwrap();
+        assert_eq!(grid.noisy_count_in(&far), 0.0);
+        assert_eq!(grid.uniformity_score(&far), 0.0);
+        assert_eq!(grid.median_along(0, &far), 150.0, "midline fallback");
+    }
+
+    #[test]
+    fn gridnd_works_in_one_dimension() {
+        let mut rng = seeded(53);
+        let rect = Rect::from_corners([0.0], [1000.0]).unwrap();
+        let points: Vec<Point<1>> = (0..100_000)
+            .map(|i| Point::from_coords([(i as f64) / 100.0]))
+            .collect();
+        let grid = CellGridNd::<1>::build(&mut rng, &points, rect, [256], 1.0);
+        let med = grid.median_along(0, &rect);
+        assert!((med - 500.0).abs() < 20.0, "median {med}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn gridnd_zero_resolution_rejected() {
+        let mut rng = seeded(0);
+        let rect = Rect::from_corners([0.0; 3], [1.0; 3]).unwrap();
+        let _ = CellGridNd::<3>::build(&mut rng, &[], rect, [4, 0, 4], 1.0);
     }
 }

@@ -25,10 +25,14 @@
 //! 3. **Post-processing / pruning** (optional): Section 5's OLS and
 //!    Section 7's pruning.
 //!
-//! Two families are inherently planar and reject other dimensions with
-//! [`BuildError::UnsupportedDimension`]: `KdCell` (its split grid is
-//! two-dimensional) and `HilbertR` (the curve substrate is
-//! two-dimensional).
+//! Every family builds in every dimension. `KdCell` reads its splits
+//! off a `D`-dimensional noisy grid
+//! ([`crate::median::CellGridNd`]), and `HilbertR` linearizes the
+//! domain with a `D`-dimensional space-filling curve
+//! ([`dpsd_hilbert::NdCurve`]) — Hilbert by default, Z-order/Morton
+//! when selected via [`PsdConfig::with_curve`]. At `D = 2` both
+//! families dispatch to their original planar builders, so planar
+//! output is bit-for-bit identical to the pre-generic pipeline.
 
 use crate::budget::{audit_path_epsilon, median_levels, BudgetSplit, CountBudget};
 use crate::error::DpsdError;
@@ -38,12 +42,35 @@ use crate::mech::sampling::SamplingPlan;
 use crate::median::{MedianConfig, MedianSelector};
 use crate::rng::seeded;
 use crate::tree::{complete_tree_nodes_checked, PsdTree};
+use dpsd_hilbert::CurveKind;
 use rand::rngs::StdRng;
 use std::fmt;
 
 /// Maximum number of nodes a single tree may allocate (a height-12
 /// fanout-4 tree is ~22M nodes; this guards against runaway configs).
 const MAX_NODES: usize = 120_000_000;
+
+/// Maximum total cell count of a `KdCell` split grid. Per-axis
+/// resolutions multiply across dimensions, so a planar default like
+/// `(256, 256)` would silently become billions of cells at `D = 4`;
+/// past this cap the build fails with
+/// [`BuildError::InvalidGridResolution`] instead of exhausting memory.
+const MAX_GRID_CELLS: usize = 1 << 27;
+
+/// Largest `order * D` for Hilbert R-tree builds: curve indices feed
+/// the median mechanisms as `f64`, which is exact up to 52 bits.
+const MAX_HILBERT_INDEX_BITS: usize = 52;
+
+/// The default Hilbert order for a `D`-dimensional build: the paper's
+/// order 18 (Section 8.2) wherever it fits the
+/// [`MAX_HILBERT_INDEX_BITS`] budget, the largest exact order
+/// otherwise (17 at `D = 3`, 13 at `D = 4`).
+fn default_hilbert_order(dims: usize) -> u32 {
+    match MAX_HILBERT_INDEX_BITS.checked_div(dims) {
+        Some(max_exact) => 18.min(max_exact as u32).max(1),
+        None => 18, // D = 0 is rejected by validation anyway
+    }
+}
 
 /// The PSD families of the paper's experimental study.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,7 +84,7 @@ pub enum TreeKind {
     /// splits below (Sections 3.2, 6.2).
     KdHybrid,
     /// kd-tree with splits read from a fixed-resolution noisy grid
-    /// (Xiao et al. \[26\]). Planar only.
+    /// (Xiao et al. \[26\]).
     KdCell,
     /// kd-tree splitting at noisy means (Inan et al. \[12\]).
     KdNoisyMean,
@@ -67,9 +94,9 @@ pub enum TreeKind {
     /// Exact medians with noisy counts — structure **not private**, the
     /// `kd-true` diagnostic baseline.
     KdTrue,
-    /// Hilbert R-tree: a 1-D decomposition over Hilbert indices whose
-    /// node rectangles are index-range bounding boxes (Section 3.3).
-    /// Planar only.
+    /// Hilbert R-tree: a 1-D decomposition over space-filling-curve
+    /// indices whose node rectangles are index-range bounding boxes
+    /// (Section 3.3).
     HilbertR,
 }
 
@@ -84,11 +111,6 @@ impl TreeKind {
                 | TreeKind::KdNoisyMean
                 | TreeKind::HilbertR
         )
-    }
-
-    /// Whether the family is restricted to two-dimensional domains.
-    pub fn is_planar_only(&self) -> bool {
-        matches!(self, TreeKind::KdCell | TreeKind::HilbertR)
     }
 
     /// Display name matching the paper's figures.
@@ -132,12 +154,16 @@ pub enum BuildError {
     PointOutsideDomain(Vec<f64>),
     /// Hybrid switch level exceeds the height.
     InvalidSwitchLevel { switch_levels: usize, height: usize },
-    /// Cell grid resolution invalid (zero cells).
+    /// Cell grid resolution invalid: an axis with zero cells, or a
+    /// total cell count past the allocation cap.
     InvalidGridResolution,
-    /// Hilbert order outside `1..=26` (indices must stay exact in f64).
+    /// Hilbert order invalid for the dimension: the order must be at
+    /// least 1 and `order * D` at most 52, so curve indices stay exact
+    /// in `f64` for the median mechanisms (at `D = 2` this is the
+    /// classical `1..=26`).
     InvalidHilbertOrder(u32),
-    /// The family does not support the requested dimension (`KdCell` and
-    /// `HilbertR` are planar only; `D = 0` is rejected for every kind).
+    /// The requested dimension is unsupported (`D = 0` is rejected for
+    /// every kind).
     UnsupportedDimension { kind: TreeKind, dims: usize },
 }
 
@@ -160,9 +186,17 @@ impl fmt::Display for BuildError {
             } => {
                 write!(f, "switch level {switch_levels} exceeds height {height}")
             }
-            BuildError::InvalidGridResolution => write!(f, "cell grid needs at least one cell"),
+            BuildError::InvalidGridResolution => write!(
+                f,
+                "cell grid needs at least one cell per axis (and at most \
+                 {MAX_GRID_CELLS} cells total)"
+            ),
             BuildError::InvalidHilbertOrder(o) => {
-                write!(f, "hilbert order {o} not in 1..=26")
+                write!(
+                    f,
+                    "hilbert order {o} invalid: need order >= 1 and \
+                     order * dims <= 52 (indices must stay exact in f64)"
+                )
             }
             BuildError::UnsupportedDimension { kind, dims } => {
                 write!(f, "{kind} does not support dimension {dims}")
@@ -195,12 +229,18 @@ pub struct PsdConfig<const D: usize = 2> {
     /// Number of data-dependent levels from the root (hybrid trees;
     /// `KdStandard` uses `height`).
     pub switch_levels: usize,
-    /// Cell-grid resolution for `KdCell` (cells along x and y; planar
-    /// only).
+    /// Cell-grid resolution for `KdCell`: cells along axis 0 and along
+    /// every further axis (`(nx, ny)` in the plane; see
+    /// [`PsdConfig::grid_resolution_nd`]).
     pub grid_resolution: (usize, usize),
-    /// Hilbert curve order for `HilbertR` (paper default 18; planar
-    /// only).
+    /// Space-filling-curve order for `HilbertR`: `2^order` cells per
+    /// axis. Defaults to the paper's 18 clamped so `order * D <= 52`
+    /// (indices must stay exact in `f64`).
     pub hilbert_order: u32,
+    /// Which space-filling curve `HilbertR` linearizes the domain with
+    /// (Hilbert by default; Z-order/Morton as the cheaper,
+    /// lower-locality alternative).
+    pub curve: CurveKind,
     /// Run OLS post-processing after building (Section 5).
     pub postprocess: bool,
     /// Prune subtrees whose post-processed count falls below this
@@ -226,7 +266,8 @@ impl<const D: usize> PsdConfig<D> {
             median: MedianSelector::plain(MedianConfig::Exponential),
             switch_levels: height,
             grid_resolution: (256, 256),
-            hilbert_order: 18,
+            hilbert_order: default_hilbert_order(D),
+            curve: CurveKind::Hilbert,
             postprocess: true,
             prune_threshold: None,
             seed: 0,
@@ -253,8 +294,11 @@ impl<const D: usize> PsdConfig<D> {
         c
     }
 
-    /// The cell-based kd-tree of Xiao et al. \[26\] (planar only: builds
-    /// fail with [`BuildError::UnsupportedDimension`] unless `D = 2`).
+    /// The cell-based kd-tree of Xiao et al. \[26\]. `grid` gives the
+    /// cell resolution along axis 0 and along every further axis —
+    /// `(nx, ny)` in the plane, `(n_0, n_rest)` in general (see
+    /// [`PsdConfig::grid_resolution_nd`]); keep per-axis resolutions
+    /// modest in higher dimensions, since total cells multiply.
     pub fn kd_cell(domain: Rect<D>, height: usize, epsilon: f64, grid: (usize, usize)) -> Self {
         let mut c = Self::base(TreeKind::KdCell, domain, height, epsilon);
         c.grid_resolution = grid;
@@ -285,8 +329,9 @@ impl<const D: usize> PsdConfig<D> {
         c
     }
 
-    /// A private Hilbert R-tree (planar only: builds fail with
-    /// [`BuildError::UnsupportedDimension`] unless `D = 2`).
+    /// A private Hilbert R-tree over a `D`-dimensional space-filling
+    /// curve (Hilbert by default; see [`PsdConfig::with_curve`] for the
+    /// Z-order alternative).
     pub fn hilbert_r(domain: Rect<D>, height: usize, epsilon: f64) -> Self {
         Self::base(TreeKind::HilbertR, domain, height, epsilon)
     }
@@ -327,10 +372,33 @@ impl<const D: usize> PsdConfig<D> {
         self
     }
 
-    /// Sets the Hilbert curve order.
+    /// Sets the space-filling-curve order.
     pub fn with_hilbert_order(mut self, order: u32) -> Self {
         self.hilbert_order = order;
         self
+    }
+
+    /// Selects the space-filling curve for `HilbertR` builds. The
+    /// default Hilbert curve has the locality guarantee (consecutive
+    /// indices are adjacent cells); [`CurveKind::ZOrder`] trades that
+    /// for cheaper encoding. At `D = 2` the Hilbert choice runs the
+    /// original planar pipeline bit-for-bit; Z-order always uses the
+    /// dimension-generic curve.
+    pub fn with_curve(mut self, curve: CurveKind) -> Self {
+        self.curve = curve;
+        self
+    }
+
+    /// The per-axis `KdCell` grid resolution: axis 0 takes
+    /// `grid_resolution.0` cells, every further axis takes
+    /// `grid_resolution.1` (so the planar `(nx, ny)` meaning is
+    /// unchanged).
+    pub fn grid_resolution_nd(&self) -> [usize; D] {
+        let mut res = [self.grid_resolution.1; D];
+        if D > 0 {
+            res[0] = self.grid_resolution.0;
+        }
+        res
     }
 
     /// Sets the RNG seed.
@@ -389,10 +457,16 @@ impl<const D: usize> PsdConfig<D> {
         let mut rects = vec![self.domain; m];
         let mut true_counts = vec![0.0f64; m];
         match self.kind {
-            // The two planar-only families keep their dedicated 2D
-            // builders; `validate` guarantees `D == 2` here, so the
-            // coordinate bridge below is a lossless copy.
-            TreeKind::HilbertR | TreeKind::KdCell => {
+            // At D = 2 the grid and Hilbert families keep their
+            // dedicated planar builders (so planar output stays
+            // bit-for-bit identical to the pre-generic pipeline); the
+            // coordinate bridge below is a lossless copy. Other
+            // dimensions — and the Z-order curve in any dimension — go
+            // through the dimension-generic builders.
+            TreeKind::HilbertR | TreeKind::KdCell
+                if D == 2
+                    && (self.kind == TreeKind::KdCell || self.curve == CurveKind::Hilbert) =>
+            {
                 let config2 = self.as_planar();
                 let pts2: Vec<Point<2>> = points.iter().map(point_to_planar).collect();
                 let mut rects2 = vec![config2.domain; m];
@@ -417,6 +491,26 @@ impl<const D: usize> PsdConfig<D> {
                 for (dst, src) in rects.iter_mut().zip(&rects2) {
                     *dst = rect_from_planar(src);
                 }
+            }
+            TreeKind::HilbertR => {
+                super::hilbert_rtree::build_structure_nd(
+                    self,
+                    &eps_median,
+                    points,
+                    &mut rects,
+                    &mut true_counts,
+                    &mut rng,
+                )?;
+            }
+            TreeKind::KdCell => {
+                super::kdcell::build_structure_nd(
+                    self,
+                    eps_median_total,
+                    points,
+                    &mut rects,
+                    &mut true_counts,
+                    &mut rng,
+                )?;
             }
             _ => {
                 let mut buf: Vec<Point<D>> = points.to_vec();
@@ -475,8 +569,8 @@ impl<const D: usize> PsdConfig<D> {
     }
 
     /// The same configuration over the planar geometry types. Only valid
-    /// when `D == 2` (checked by `validate`); used to bridge into the
-    /// planar-only `KdCell`/`HilbertR` structure builders.
+    /// when `D == 2` (checked by the build dispatch); used to bridge
+    /// into the dedicated planar `KdCell`/`HilbertR` structure builders.
     fn as_planar(&self) -> PsdConfig<2> {
         debug_assert_eq!(D, 2, "as_planar requires a two-dimensional config");
         PsdConfig {
@@ -490,6 +584,7 @@ impl<const D: usize> PsdConfig<D> {
             switch_levels: self.switch_levels,
             grid_resolution: self.grid_resolution,
             hilbert_order: self.hilbert_order,
+            curve: self.curve,
             postprocess: self.postprocess,
             prune_threshold: self.prune_threshold,
             seed: self.seed,
@@ -497,7 +592,7 @@ impl<const D: usize> PsdConfig<D> {
     }
 
     fn validate(&self, points: &[Point<D>]) -> Result<(), BuildError> {
-        if D == 0 || (self.kind.is_planar_only() && D != 2) {
+        if D == 0 {
             return Err(BuildError::UnsupportedDimension {
                 kind: self.kind,
                 dims: D,
@@ -527,12 +622,19 @@ impl<const D: usize> PsdConfig<D> {
                 height: self.height,
             });
         }
-        if self.kind == TreeKind::KdCell
-            && (self.grid_resolution.0 == 0 || self.grid_resolution.1 == 0)
-        {
-            return Err(BuildError::InvalidGridResolution);
+        if self.kind == TreeKind::KdCell {
+            let cells = self
+                .grid_resolution_nd()
+                .iter()
+                .try_fold(1usize, |acc, &n| acc.checked_mul(n));
+            match cells {
+                Some(c) if (1..=MAX_GRID_CELLS).contains(&c) => {}
+                _ => return Err(BuildError::InvalidGridResolution),
+            }
         }
-        if self.kind == TreeKind::HilbertR && !(1..=26).contains(&self.hilbert_order) {
+        if self.kind == TreeKind::HilbertR
+            && (self.hilbert_order == 0 || self.hilbert_order as usize * D > MAX_HILBERT_INDEX_BITS)
+        {
             return Err(BuildError::InvalidHilbertOrder(self.hilbert_order));
         }
         if let Some(p) = points.iter().find(|p| !self.domain.contains(**p)) {
@@ -904,20 +1006,67 @@ mod tests {
     }
 
     #[test]
-    fn planar_only_families_reject_other_dimensions() {
-        let domain = Rect::from_corners([0.0; 3], [1.0; 3]).unwrap();
+    fn formerly_planar_families_build_in_three_dimensions() {
+        let domain = Rect::from_corners([0.0; 3], [8.0; 3]).unwrap();
+        let pts = cube_points_3d(10, 8.0);
         for config in [
             PsdConfig::kd_cell(domain, 2, 1.0, (8, 8)),
-            PsdConfig::hilbert_r(domain, 2, 1.0),
+            PsdConfig::hilbert_r(domain, 2, 1.0).with_hilbert_order(6),
+            PsdConfig::hilbert_r(domain, 2, 1.0)
+                .with_curve(CurveKind::ZOrder)
+                .with_hilbert_order(6),
         ] {
-            assert!(matches!(
-                config.build(&[]),
-                Err(DpsdError::Build(BuildError::UnsupportedDimension {
-                    dims: 3,
-                    ..
-                }))
-            ));
+            let tree = config.with_seed(19).build(&pts).unwrap();
+            assert_eq!(tree.fanout(), 8);
+            assert_eq!(tree.true_count(0), pts.len() as f64);
+            let audit = audit_path_epsilon(tree.eps_count_levels(), tree.eps_median_levels());
+            assert!(audit.within(1.0), "{}: {audit:?}", tree.kind());
         }
+    }
+
+    #[test]
+    fn default_hilbert_order_respects_f64_exactness() {
+        assert_eq!(
+            PsdConfig::<1>::hilbert_r(Rect::from_corners([0.0], [1.0]).unwrap(), 2, 1.0)
+                .hilbert_order,
+            18
+        );
+        let d2 = unit_domain();
+        assert_eq!(PsdConfig::hilbert_r(d2, 2, 1.0).hilbert_order, 18);
+        let d3 = Rect::from_corners([0.0; 3], [1.0; 3]).unwrap();
+        assert_eq!(PsdConfig::hilbert_r(d3, 2, 1.0).hilbert_order, 17);
+        let d4 = Rect::from_corners([0.0; 4], [1.0; 4]).unwrap();
+        assert_eq!(PsdConfig::hilbert_r(d4, 2, 1.0).hilbert_order, 13);
+        // Boundary: the default always validates, one past it never.
+        for dims in 1..=4usize {
+            let order = default_hilbert_order(dims) as usize;
+            assert!(
+                order * dims <= MAX_HILBERT_INDEX_BITS,
+                "default fits at {dims}"
+            );
+            assert!(
+                order == 18 || (order + 1) * dims > MAX_HILBERT_INDEX_BITS,
+                "default at {dims} is the largest exact order"
+            );
+        }
+        assert!(matches!(
+            PsdConfig::hilbert_r(d3, 2, 1.0)
+                .with_hilbert_order(18)
+                .build(&[]),
+            Err(DpsdError::Build(BuildError::InvalidHilbertOrder(18)))
+        ));
+    }
+
+    #[test]
+    fn oversized_grids_are_rejected_not_allocated() {
+        // The planar default of 256 cells per axis would be 4 billion
+        // cells at D = 4: a typed error, not an allocation.
+        let d4 = Rect::from_corners([0.0; 4], [1.0; 4]).unwrap();
+        assert!(matches!(
+            PsdConfig::kd_cell(d4, 2, 1.0, (256, 256)).build(&[]),
+            Err(DpsdError::Build(BuildError::InvalidGridResolution))
+        ));
+        assert!(PsdConfig::kd_cell(d4, 1, 1.0, (16, 16)).build(&[]).is_ok());
     }
 
     #[test]
@@ -1124,8 +1273,5 @@ mod tests {
         assert!(TreeKind::KdStandard.is_data_dependent());
         assert!(!TreeKind::Quadtree.is_data_dependent());
         assert!(!TreeKind::KdPure.is_data_dependent());
-        assert!(TreeKind::KdCell.is_planar_only());
-        assert!(TreeKind::HilbertR.is_planar_only());
-        assert!(!TreeKind::KdHybrid.is_planar_only());
     }
 }

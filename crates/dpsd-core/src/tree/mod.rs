@@ -35,6 +35,7 @@ pub mod release;
 pub mod released;
 
 pub use build::{BuildError, PsdConfig, TreeKind};
+pub use dpsd_hilbert::CurveKind;
 pub use release::{read_release, write_release, ReleaseError};
 pub use released::ReleasedSynopsis;
 

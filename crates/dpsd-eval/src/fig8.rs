@@ -4,13 +4,15 @@
 //! ongoing work; the dimension-generic core makes it a one-table
 //! experiment. For `D in {1, 2, 3, 4}` we draw a Gaussian-cluster
 //! dataset over `[0, 100]^D`, build the midpoint tree, `kd-standard`,
-//! and `kd-hybrid` (all through the one `PsdConfig<D>` pipeline, with
-//! the Lemma 3 budget re-derived per dimension by
-//! `geometric_levels_nd`), publish-and-reload each tree through the
-//! JSON synopsis, and compare against the introduction's flat-grid
-//! strawman — a grid fine enough to resolve the clusters, whose cell
-//! count therefore grows exponentially with `D` while the tree releases
-//! stay at ~4k nodes.
+//! `kd-hybrid`, `kd-cell`, and the Hilbert R-tree (all through the one
+//! `PsdConfig<D>` pipeline, with the Lemma 3 budget re-derived per
+//! dimension by `geometric_levels_nd`), publish-and-reload each tree
+//! through the JSON synopsis, and compare against the introduction's
+//! flat-grid strawman — a grid fine enough to resolve the clusters,
+//! whose cell count therefore grows exponentially with `D` while the
+//! tree releases stay at ~4k nodes. Including `kd-cell` and `Hilbert-R`
+//! reproduces the paper's data-dependent-vs-independent comparison per
+//! dimension now that both families build in any `D`.
 //!
 //! Every backend answers the workload through `query_batch`; the run
 //! asserts the batched answers equal the one-at-a-time answers
@@ -76,8 +78,19 @@ fn grid_res_for(dims: usize) -> usize {
 }
 
 /// The per-dimension column of results, methods in the order of
-/// [`METHODS`].
-pub const METHODS: [&str; 4] = ["quadtree", "kd-standard", "kd-hybrid", "flat-grid"];
+/// [`METHODS`]: the data-dependent kd families, the two
+/// data-independent-structure families of the paper (`kd-cell`'s noisy
+/// split grid and the Hilbert R-tree, both dimension-generic since
+/// they gained `D`-dimensional grids/curves), and the flat-grid
+/// strawman.
+pub const METHODS: [&str; 6] = [
+    "quadtree",
+    "kd-standard",
+    "kd-hybrid",
+    "kd-cell",
+    "Hilbert-R",
+    "flat-grid",
+];
 
 /// How much of the dimension sweep to run.
 ///
@@ -184,6 +197,19 @@ fn sweep_dim<const D: usize>(scale: &Scale, seed: u64, profile: &SweepProfile) -
                 ),
                 2 => build_released(
                     PsdConfig::kd_hybrid(domain, h, EPSILON, h / 2),
+                    &points,
+                    rep_seed,
+                ),
+                3 => build_released(
+                    PsdConfig::kd_cell(domain, h, EPSILON, (grid_res_for(D), grid_res_for(D))),
+                    &points,
+                    rep_seed,
+                ),
+                4 => build_released(
+                    // Order 10 keeps the curve grid (2^10 per axis)
+                    // comfortably finer than the cluster radius in
+                    // every dimension while the build stays fast.
+                    PsdConfig::hilbert_r(domain, h, EPSILON).with_hilbert_order(10),
                     &points,
                     rep_seed,
                 ),

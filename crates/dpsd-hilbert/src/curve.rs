@@ -19,10 +19,21 @@ pub const MAX_ORDER: u32 = 31;
 pub enum HilbertError {
     /// The requested order was zero or larger than [`MAX_ORDER`].
     InvalidOrder(u32),
-    /// A coordinate was outside the `[0, 2^order)` grid.
-    CoordinateOutOfRange { coord: u32, side: u32 },
+    /// A coordinate was outside the `[0, 2^order)` grid. The fields are
+    /// `u64` so the d-dimensional curves (whose grids can exceed `u32`
+    /// at low `D`) report truthful values.
+    CoordinateOutOfRange { coord: u64, side: u64 },
     /// An index was outside `[0, 4^order)`.
     IndexOutOfRange { index: u64, cells: u64 },
+    /// An order/dimension pair whose indices would not fit a `u64`
+    /// (`order * dims > `[`crate::MAX_INDEX_BITS`]), or a zero order or
+    /// dimension. Returned by [`crate::NdCurve`] constructors.
+    InvalidOrderForDims {
+        /// The rejected curve order.
+        order: u32,
+        /// The curve dimension it was requested for.
+        dims: u32,
+    },
 }
 
 impl fmt::Display for HilbertError {
@@ -36,6 +47,15 @@ impl fmt::Display for HilbertError {
             }
             HilbertError::IndexOutOfRange { index, cells } => {
                 write!(f, "hilbert index {index} outside curve of {cells} cells")
+            }
+            HilbertError::InvalidOrderForDims { order, dims } => {
+                write!(
+                    f,
+                    "curve order {order} at {dims} dims needs {} index bits \
+                     (u64 holds at most {})",
+                    order as u64 * dims as u64,
+                    crate::MAX_INDEX_BITS
+                )
             }
         }
     }
@@ -122,11 +142,13 @@ impl HilbertCurve {
     /// Checked version of [`HilbertCurve::encode`].
     pub fn try_encode(&self, x: u32, y: u32) -> Result<u64, HilbertError> {
         let side = self.side();
-        if x >= side {
-            return Err(HilbertError::CoordinateOutOfRange { coord: x, side });
-        }
-        if y >= side {
-            return Err(HilbertError::CoordinateOutOfRange { coord: y, side });
+        for c in [x, y] {
+            if c >= side {
+                return Err(HilbertError::CoordinateOutOfRange {
+                    coord: u64::from(c),
+                    side: u64::from(side),
+                });
+            }
         }
         Ok(self.encode(x, y))
     }

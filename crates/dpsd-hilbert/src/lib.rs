@@ -1,23 +1,32 @@
-//! Hilbert space-filling curve for two dimensions.
+//! Hilbert and Z-order space-filling curves, in any dimension.
 //!
-//! This crate is the Hilbert substrate of the `dpsd` workspace
-//! (Cormode et al., *Differentially Private Spatial Decompositions*,
-//! ICDE 2012, Section 3.2). Private Hilbert R-trees map every data point
-//! to its index on a Hilbert curve of a chosen order, build a private
-//! one-dimensional decomposition over those indices, and then map index
-//! *ranges* back to rectangles in the plane.
+//! This crate is the space-filling-curve substrate of the `dpsd`
+//! workspace (Cormode et al., *Differentially Private Spatial
+//! Decompositions*, ICDE 2012, Section 3.2). Private Hilbert R-trees
+//! map every data point to its index on a curve of a chosen order,
+//! build a private one-dimensional decomposition over those indices,
+//! and then map index *ranges* back to boxes in the data space.
 //!
-//! Three operations are provided:
+//! Two curve types are provided:
 //!
-//! * [`HilbertCurve::encode`] — map a grid cell `(x, y)` to its curve index;
-//! * [`HilbertCurve::decode`] — map a curve index back to its grid cell;
-//! * [`HilbertCurve::range_bbox`] — the exact bounding box of a contiguous
-//!   index range, computed by decomposing the range into maximal aligned
-//!   quadrant blocks (never by enumerating cells).
+//! * [`HilbertCurve`] — the classical planar (2-D) curve with `u32`
+//!   cell coordinates, kept verbatim so planar pipelines stay
+//!   bit-for-bit reproducible;
+//! * [`NdCurve`] — the `D`-dimensional generalization (const-generic),
+//!   computing compact Hilbert indices with the Gray-code/rotation
+//!   scheme, or plain Z-order/Morton interleaving when constructed
+//!   with [`CurveKind::ZOrder`].
 //!
-//! The last operation is what lets a private Hilbert R-tree publish node
+//! Both offer `encode` / `decode` and `range_bbox` — the exact bounding
+//! box of a contiguous index range, computed by decomposing the range
+//! into maximal aligned blocks (never by enumerating cells). The last
+//! operation is what lets a private Hilbert R-tree publish node
 //! rectangles without touching the data again: a node's rectangle is a
 //! function of its (already privatized) index range only.
+//!
+//! Indices are `u64`, so curve construction enforces
+//! `order * D <= `[`MAX_INDEX_BITS`] and fails with a typed
+//! [`HilbertError`] instead of silently overflowing.
 //!
 //! # Example
 //!
@@ -34,7 +43,9 @@
 //! ```
 
 mod curve;
+mod nd;
 mod range;
 
 pub use curve::{HilbertCurve, HilbertError, MAX_ORDER};
+pub use nd::{max_order_for_dims, CurveKind, NdBBox, NdCurve, MAX_INDEX_BITS};
 pub use range::CellBBox;

@@ -88,7 +88,9 @@ pub mod prelude {
         try_range_query_with, QueryProfile,
     };
     pub use dpsd_core::synopsis::{ParallelQuery, SpatialSynopsis};
-    pub use dpsd_core::tree::{CountSource, PsdConfig, PsdTree, ReleasedSynopsis, TreeKind};
+    pub use dpsd_core::tree::{
+        CountSource, CurveKind, PsdConfig, PsdTree, ReleasedSynopsis, TreeKind,
+    };
     pub use dpsd_data::synthetic::TIGER_DOMAIN;
     pub use dpsd_data::workload::{generate_workload, QueryShape, Workload, PAPER_SHAPES};
 }

@@ -51,7 +51,7 @@ fn domain() -> Rect {
     Rect::new(0.0, 0.0, 64.0, 64.0).unwrap()
 }
 
-fn fingerprint(tree: &PsdTree) -> u64 {
+fn fingerprint<const D: usize>(tree: &PsdTree<D>) -> u64 {
     let mut h = Fnv::new();
     h.word(tree.height() as u64);
     h.word(tree.fanout() as u64);
@@ -63,10 +63,15 @@ fn fingerprint(tree: &PsdTree) -> u64 {
     }
     for v in tree.node_ids() {
         let r = tree.rect(v);
-        h.f64(r.min_x());
-        h.f64(r.min_y());
-        h.f64(r.max_x());
-        h.f64(r.max_y());
+        // All minima then all maxima: at D = 2 this is exactly the
+        // min_x, min_y, max_x, max_y order the goldens were captured
+        // with.
+        for k in 0..D {
+            h.f64(r.min[k]);
+        }
+        for k in 0..D {
+            h.f64(r.max[k]);
+        }
         match tree.noisy_count(v) {
             Some(c) => {
                 h.word(1);
@@ -143,6 +148,98 @@ const GOLDEN: &[(&str, u64)] = &[
     ("quadtree-leafonly", 0x5cd98e89c0987890),
     ("kd-standard-pruned", 0x745d30ad3549aec4),
 ];
+
+/// Deterministic clustered 3-D dataset for the dimension-generic
+/// `kd-cell`/`Hilbert-R` fingerprints (no RNG, refactor-proof).
+fn dataset_3d() -> Vec<Point<3>> {
+    let mut pts = Vec::new();
+    for i in 0..3000 {
+        pts.push(Point::from_coords([
+            (i % 25) as f64 * 0.6,
+            (i / 25 % 25) as f64 * 0.6,
+            (i / 625) as f64 * 3.1,
+        ]));
+    }
+    for i in 0..500 {
+        pts.push(Point::from_coords([
+            i as f64 * 0.128,
+            i as f64 * 0.128,
+            (i % 64) as f64,
+        ]));
+    }
+    pts
+}
+
+/// Configs exercising the dimension-generic builders of the formerly
+/// planar families: `kd-cell` and `Hilbert-R` at `D = 3`, and the
+/// Z-order curve at `D = 2` (which bypasses the planar pipeline).
+fn configs_nd() -> Vec<(&'static str, PsdConfig<3>)> {
+    let d = Rect::from_corners([0.0; 3], [64.0; 3]).unwrap();
+    vec![
+        (
+            "kd-cell-3d",
+            PsdConfig::kd_cell(d, 2, 1.0, (16, 16)).with_seed(21),
+        ),
+        (
+            "hilbert-r-3d",
+            PsdConfig::hilbert_r(d, 2, 0.5)
+                .with_hilbert_order(8)
+                .with_seed(11),
+        ),
+        (
+            "zorder-r-3d",
+            PsdConfig::hilbert_r(d, 2, 0.5)
+                .with_curve(CurveKind::ZOrder)
+                .with_hilbert_order(8)
+                .with_seed(11),
+        ),
+    ]
+}
+
+/// Captured from this implementation when the families first became
+/// dimension-generic: any change here means the `D != 2` build pipeline
+/// (grid reads, curve encoding, RNG order) drifted and must be
+/// justified. Regenerate with `PRINT_FINGERPRINTS=1`.
+const GOLDEN_ND: &[(&str, u64)] = &[
+    ("kd-cell-3d", 0x79f5ec77f4959744),
+    ("hilbert-r-3d", 0xf5105717e3293c9e),
+    ("zorder-r-3d", 0x5e488c8a66e047da),
+    ("zorder-r-2d", 0xa676cc6cc7b4171e),
+];
+
+#[test]
+fn dimension_generic_families_match_their_goldens() {
+    let pts3 = dataset_3d();
+    let zorder2 = (
+        "zorder-r-2d",
+        PsdConfig::hilbert_r(domain(), 3, 0.5)
+            .with_curve(CurveKind::ZOrder)
+            .with_hilbert_order(10)
+            .with_seed(11),
+    );
+    let mut prints: Vec<(&'static str, u64)> = configs_nd()
+        .into_iter()
+        .map(|(name, config)| (name, fingerprint(&config.build(&pts3).unwrap())))
+        .collect();
+    prints.push((
+        zorder2.0,
+        fingerprint(&zorder2.1.build(&dataset()).unwrap()),
+    ));
+    if std::env::var("PRINT_FINGERPRINTS").is_ok() {
+        for (name, fp) in &prints {
+            println!("(\"{name}\", {fp:#018x}),");
+        }
+        return;
+    }
+    for (name, fp) in prints {
+        let expected = GOLDEN_ND
+            .iter()
+            .find(|(n, _)| *n == name)
+            .unwrap_or_else(|| panic!("no golden entry for {name}"))
+            .1;
+        assert_eq!(fp, expected, "{name}: Nd build no longer reproducible");
+    }
+}
 
 #[test]
 fn two_d_pipeline_is_bit_identical_to_pre_refactor_golden() {

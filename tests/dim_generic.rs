@@ -140,6 +140,86 @@ proptest! {
     }
 }
 
+/// The formerly planar families in every dimension: build, query
+/// (batch == singles bit-for-bit, and parallel == sequential at several
+/// thread counts), and release round-trip through both formats.
+fn data_independent_family_case<const D: usize>(seed: u64) {
+    let pts = clustered::<D>(700);
+    let configs = [
+        PsdConfig::kd_cell(cube::<D>(), 2, 0.8, (8, 8)).with_seed(seed),
+        PsdConfig::hilbert_r(cube::<D>(), 2, 0.8)
+            .with_hilbert_order(6)
+            .with_seed(seed),
+        PsdConfig::hilbert_r(cube::<D>(), 2, 0.8)
+            .with_curve(CurveKind::ZOrder)
+            .with_hilbert_order(6)
+            .with_seed(seed),
+    ];
+    for config in configs {
+        let tree = config.build(&pts).unwrap();
+        let kind = tree.kind();
+        assert_eq!(tree.fanout(), 1 << D, "D={D} {kind}");
+        assert_eq!(tree.true_count(0), pts.len() as f64, "D={D} {kind}");
+
+        // Batch equals singles, and the parallel path equals the batch,
+        // bit-for-bit at every thread count.
+        let qs = workload::<D>(40);
+        let batch = tree.query_batch(&qs);
+        for (q, &b) in qs.iter().zip(&batch) {
+            assert_eq!(tree.query(q).to_bits(), b.to_bits(), "D={D} {kind}: {q:?}");
+        }
+        for threads in [1usize, 2, 8] {
+            let par = tree.query_batch_parallel(&qs, Parallelism::fixed(threads));
+            for (i, (&s, &p)) in batch.iter().zip(&par).enumerate() {
+                assert_eq!(
+                    s.to_bits(),
+                    p.to_bits(),
+                    "D={D} {kind}: parallel t={threads} diverged at query {i}"
+                );
+            }
+        }
+
+        // JSON round-trip, bit-for-bit.
+        let loaded = ReleasedSynopsis::<D>::from_json(&tree.release().to_json()).unwrap();
+        assert_trees_bit_identical(
+            loaded.as_tree(),
+            tree.release().as_tree(),
+            &format!("D={D} {kind} json"),
+        );
+        for q in &qs {
+            assert_eq!(
+                loaded.query(q).to_bits(),
+                tree.query(q).to_bits(),
+                "D={D} {kind}: loaded synopsis diverged"
+            );
+        }
+
+        // Text-format round-trip.
+        let mut buf = Vec::new();
+        write_release(&tree, &mut buf).unwrap();
+        let loaded: PsdTree<D> = read_release(buf.as_slice()).unwrap();
+        assert_eq!(loaded.true_count(0), 0.0, "exact counts never travel");
+        for v in tree.node_ids() {
+            assert_eq!(loaded.rect(v), tree.rect(v), "D={D} {kind} text rect {v}");
+            assert_eq!(
+                loaded.noisy_count(v),
+                tree.noisy_count(v),
+                "D={D} {kind} text noisy {v}"
+            );
+        }
+    }
+}
+
+#[test]
+fn data_independent_families_work_in_every_dimension() {
+    for seed in [3u64, 41] {
+        data_independent_family_case::<1>(seed);
+        data_independent_family_case::<2>(seed);
+        data_independent_family_case::<3>(seed);
+        data_independent_family_case::<4>(seed);
+    }
+}
+
 #[test]
 fn kd_and_hybrid_trees_work_end_to_end_at_three_dimensions() {
     let domain = cube::<3>();
@@ -234,4 +314,45 @@ fn pre_generic_planar_artifacts_still_load() {
     assert_ne!(legacy_text, text, "fixture drifted: no dims line found");
     let loaded: PsdTree<2> = read_release(legacy_text.as_bytes()).unwrap();
     assert_eq!(loaded.noisy_count(0), tree.noisy_count(0));
+}
+
+#[test]
+fn pre_generic_planar_artifacts_still_load_for_grid_and_hilbert_families() {
+    // The same legacy (no `dims`) guarantee for the two families that
+    // only now became dimension-generic: their planar artifacts predate
+    // the field and must keep loading as D = 2.
+    let pts: Vec<Point> = (0..400)
+        .map(|i| Point::new((i % 20) as f64, (i / 20) as f64))
+        .collect();
+    let domain = Rect::new(0.0, 0.0, 20.0, 20.0).unwrap();
+    for config in [
+        PsdConfig::kd_cell(domain, 2, 1.0, (8, 8)).with_seed(6),
+        PsdConfig::hilbert_r(domain, 2, 1.0)
+            .with_hilbert_order(6)
+            .with_seed(7),
+    ] {
+        let tree = config.build(&pts).unwrap();
+        let json = tree.release().to_json();
+        let legacy = json.replace("\"dims\":2.0,", "");
+        assert_ne!(legacy, json, "fixture drifted: no dims field found");
+        let loaded = ReleasedSynopsis::<2>::from_json(&legacy).unwrap();
+        assert_eq!(
+            loaded.query(tree.domain()).to_bits(),
+            tree.query(tree.domain()).to_bits(),
+            "{}",
+            tree.kind()
+        );
+        let mut buf = Vec::new();
+        write_release(&tree, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let legacy_text = text.replace("dims 2\n", "");
+        assert_ne!(legacy_text, text, "fixture drifted: no dims line found");
+        let loaded: PsdTree<2> = read_release(legacy_text.as_bytes()).unwrap();
+        assert_eq!(
+            loaded.noisy_count(0),
+            tree.noisy_count(0),
+            "{}",
+            tree.kind()
+        );
+    }
 }

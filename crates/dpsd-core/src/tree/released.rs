@@ -138,6 +138,39 @@ impl<const D: usize> ReleasedSynopsis<D> {
     pub fn from_json(text: &str) -> Result<Self, DpsdError> {
         serde_json::from_str(text).map_err(DpsdError::from)
     }
+
+    /// Serializes to compact JSON. Explicitly-named alias of
+    /// [`ReleasedSynopsis::to_json`] so call sites read as
+    /// string-in/string-out without consulting the signature.
+    pub fn to_json_string(&self) -> String {
+        self.to_json()
+    }
+
+    /// Parses a published synopsis from JSON text. Explicitly-named
+    /// alias of [`ReleasedSynopsis::from_json`].
+    pub fn from_json_str(text: &str) -> Result<Self, DpsdError> {
+        Self::from_json(text)
+    }
+
+    /// Loads the line-oriented **text** release format (the
+    /// [`write_release`](crate::tree::write_release) output) into a
+    /// query-ready synopsis, delegating to
+    /// [`read_release`](crate::tree::read_release). Both published
+    /// formats — JSON and text — thus load through `ReleasedSynopsis`
+    /// constructors; no free-function detour is needed.
+    pub fn from_release_text(text: &str) -> Result<Self, DpsdError> {
+        let tree = crate::tree::release::read_release::<D, _>(text.as_bytes())?;
+        Ok(ReleasedSynopsis::from_tree(&tree))
+    }
+
+    /// Serializes to the line-oriented text release format, delegating
+    /// to [`write_release`](crate::tree::write_release).
+    pub fn to_release_text(&self) -> String {
+        let mut buf = Vec::new();
+        crate::tree::release::write_release(&self.tree, &mut buf)
+            .expect("writing to a Vec cannot fail");
+        String::from_utf8(buf).expect("release text is UTF-8")
+    }
 }
 
 /// Flattens a box into the wire layout: all minima, then all maxima.
@@ -558,6 +591,39 @@ mod tests {
             }
             other => panic!("crafted artifact must be rejected, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn named_constructors_delegate_to_both_formats() {
+        let (domain, pts) = sample_points();
+        let tree = PsdConfig::kd_standard(domain, 3, 0.5)
+            .with_seed(17)
+            .build(&pts)
+            .unwrap();
+        let synopsis = ReleasedSynopsis::from_tree(&tree);
+        let queries = workload(&domain, 60);
+
+        // JSON aliases are byte-for-byte the canonical serialization.
+        assert_eq!(synopsis.to_json_string(), synopsis.to_json());
+        let via_alias = ReleasedSynopsis::<2>::from_json_str(&synopsis.to_json_string()).unwrap();
+        assert_eq!(via_alias.query_batch(&queries), tree.query_batch(&queries));
+
+        // The text release format round-trips through the same type.
+        let text = synopsis.to_release_text();
+        assert!(text.starts_with("dpsd-release v1\n"));
+        let via_text = ReleasedSynopsis::<2>::from_release_text(&text).unwrap();
+        assert_eq!(via_text.as_tree().kind(), tree.kind());
+        for (a, b) in via_text
+            .query_batch(&queries)
+            .iter()
+            .zip(tree.query_batch(&queries))
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert!(
+            ReleasedSynopsis::<2>::from_release_text("not a release").is_err(),
+            "malformed text must be rejected"
+        );
     }
 
     #[test]

@@ -1,0 +1,456 @@
+//! The `loadgen` binary: replay seeded workloads against a running
+//! `dpsd-serve` instance (or one it spawns in-process), verify every
+//! wire answer bit-for-bit against a directly loaded
+//! [`ReleasedSynopsis`], and emit a `BENCH_serve.json` in the
+//! workspace's criterion-JSON format (`dpsd-bench-json/v1`, the same
+//! schema the vendored criterion shim writes and `compare_bench`
+//! diffs).
+//!
+//! ```text
+//! loadgen [--addr HOST:PORT] [--queries N] [--batch B] [--clients C]
+//!         [--seed S] [--cache-capacity N] [--no-cache] [--dims 2|3]
+//!         [--json PATH]
+//! ```
+//!
+//! Without `--addr` an in-process server is spawned on an ephemeral
+//! port (the CI smoke path). Three workloads run in sequence — uniform,
+//! Zipf hotspot, adversarial cache-bust — and the run **fails** if any
+//! answer diverges from the direct synopsis or if the hotspot workload
+//! does not clear a 50% cache hit rate while the cache is enabled.
+
+use dpsd_core::exec::Parallelism;
+use dpsd_core::geometry::{Point, Rect};
+use dpsd_core::synopsis::SpatialSynopsis;
+use dpsd_core::tree::{PsdConfig, ReleasedSynopsis};
+use dpsd_serve::client::Client;
+use dpsd_serve::server::{ServeConfig, Server, ServerHandle};
+use dpsd_serve::workload::{generate, SplitMix64, WorkloadKind, WorkloadSpec};
+use serde::Value;
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Options {
+    addr: Option<String>,
+    queries: usize,
+    batch: usize,
+    clients: usize,
+    seed: u64,
+    cache_capacity: usize,
+    dims: usize,
+    json: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            addr: None,
+            queries: 1000,
+            batch: 100,
+            clients: 2,
+            seed: 42,
+            cache_capacity: 65_536,
+            dims: 2,
+            json: std::env::var("CRITERION_JSON")
+                .ok()
+                .filter(|p| !p.is_empty()),
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage: loadgen [--addr HOST:PORT] [--queries N] [--batch B] [--clients C] \
+     [--seed S] [--cache-capacity N] [--no-cache] [--dims 2|3] [--json PATH]"
+}
+
+fn parse_options() -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value_for = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--addr" => opts.addr = Some(value_for("--addr")?),
+            "--queries" => {
+                opts.queries = value_for("--queries")?
+                    .parse()
+                    .map_err(|_| "bad --queries")?
+            }
+            "--batch" => opts.batch = value_for("--batch")?.parse().map_err(|_| "bad --batch")?,
+            "--clients" => {
+                opts.clients = value_for("--clients")?
+                    .parse()
+                    .map_err(|_| "bad --clients")?
+            }
+            "--seed" => opts.seed = value_for("--seed")?.parse().map_err(|_| "bad --seed")?,
+            "--cache-capacity" => {
+                opts.cache_capacity = value_for("--cache-capacity")?
+                    .parse()
+                    .map_err(|_| "bad --cache-capacity")?
+            }
+            "--no-cache" => opts.cache_capacity = 0,
+            "--dims" => opts.dims = value_for("--dims")?.parse().map_err(|_| "bad --dims")?,
+            "--json" => opts.json = Some(value_for("--json")?),
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    if opts.queries == 0 || opts.batch == 0 || opts.clients == 0 {
+        return Err("--queries, --batch, and --clients must be positive".into());
+    }
+    if !(2..=3).contains(&opts.dims) {
+        return Err("--dims must be 2 or 3".into());
+    }
+    Ok(opts)
+}
+
+/// Deterministic clustered points: a lattice plus a dense diagonal, the
+/// same refactor-proof shape the fingerprint suite uses.
+fn dataset<const D: usize>(n: usize) -> (Rect<D>, Vec<Point<D>>) {
+    let domain = Rect::from_corners([0.0; D], [64.0; D]).expect("static domain");
+    let mut pts = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut c = [0.0; D];
+        for (k, v) in c.iter_mut().enumerate() {
+            *v = ((i * (k + 3) * 7 + k * 11) % 640) as f64 * 0.1 + 0.01;
+        }
+        pts.push(Point::from_coords(c));
+    }
+    for i in 0..n / 4 {
+        let x = (i % 640) as f64 * 0.1;
+        pts.push(Point::from_coords([x; D]));
+    }
+    (domain, pts)
+}
+
+fn build_artifact<const D: usize>(seed: u64) -> String {
+    let (domain, pts) = dataset::<D>(20_000);
+    PsdConfig::<D>::kd_hybrid(domain, 6, 0.5, 2)
+        .with_seed(seed)
+        .build(&pts)
+        .expect("seeded build succeeds")
+        .release()
+        .to_json_string()
+}
+
+/// Cache counters scraped from `GET /stats`.
+fn cache_counters(client: &mut Client) -> Result<(f64, f64), String> {
+    let response = client.get("/stats").map_err(|e| e.to_string())?;
+    let stats = response.json().map_err(|e| e.to_string())?;
+    let cache = stats.get("cache").ok_or("stats missing `cache`")?;
+    let read = |k: &str| {
+        cache
+            .get(k)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("stats cache missing `{k}`"))
+    };
+    Ok((read("hits")?, read("misses")?))
+}
+
+struct WorkloadResult {
+    kind: WorkloadKind,
+    latencies_ns: Vec<f64>,
+    hit_rate: f64,
+    verified: usize,
+}
+
+/// Replays one workload: `clients` threads over contiguous shards, each
+/// posting `batch`-sized requests on its own keep-alive connection, and
+/// verifies the reassembled answers bit-for-bit against the direct
+/// synopsis.
+/// One client thread's results: `(workload offset, elapsed ns, answers)`
+/// per batch request.
+type ClientBatches = Vec<(usize, f64, Vec<f64>)>;
+
+fn run_workload<const D: usize>(
+    addr: SocketAddr,
+    name: &str,
+    direct: &ReleasedSynopsis<D>,
+    rects: &[Vec<f64>],
+    opts: &Options,
+) -> Result<WorkloadResult, String> {
+    let kind_label_err = |e| format!("workload client failed: {e}");
+    let mut stats_client = Client::connect(addr).map_err(kind_label_err)?;
+    let (hits_before, misses_before) = cache_counters(&mut stats_client)?;
+
+    // Shard contiguously per client, batches within a shard in order.
+    let per_client = rects.len().div_ceil(opts.clients);
+    let shards: Vec<(usize, &[Vec<f64>])> = rects
+        .chunks(per_client)
+        .enumerate()
+        .map(|(c, chunk)| (c * per_client, chunk))
+        .collect();
+    let mut answers = vec![0.0f64; rects.len()];
+    let mut latencies_ns: Vec<f64> = Vec::new();
+    let results: Vec<Result<ClientBatches, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .iter()
+            .map(|&(offset, chunk)| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+                    let mut out = Vec::new();
+                    for (b, rects) in chunk.chunks(opts.batch).enumerate() {
+                        let body = batch_body(rects);
+                        let started = Instant::now();
+                        let response = client
+                            .post(&format!("/synopses/{name}/query/batch"), &body)
+                            .map_err(|e| e.to_string())?;
+                        let elapsed = started.elapsed().as_nanos() as f64;
+                        if response.status != 200 {
+                            return Err(format!(
+                                "batch request failed with {}: {}",
+                                response.status, response.body
+                            ));
+                        }
+                        let parsed = response.json().map_err(|e| e.to_string())?;
+                        let got: Vec<f64> = parsed
+                            .get("answers")
+                            .and_then(Value::as_array)
+                            .ok_or("batch response missing `answers`")?
+                            .iter()
+                            .map(|v| v.as_f64().ok_or("non-numeric answer"))
+                            .collect::<Result<_, _>>()?;
+                        out.push((offset + b * opts.batch, elapsed, got));
+                    }
+                    Ok(out)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|_| Err("client panicked".into())))
+            .collect()
+    });
+    for result in results {
+        for (offset, elapsed_ns, got) in result? {
+            latencies_ns.push(elapsed_ns);
+            answers[offset..offset + got.len()].copy_from_slice(&got);
+        }
+    }
+
+    // Bit-identity against the direct synopsis, over the whole workload.
+    let mut typed = Vec::with_capacity(rects.len());
+    for wire in rects {
+        let mut min = [0.0; D];
+        let mut max = [0.0; D];
+        min.copy_from_slice(&wire[..D]);
+        max.copy_from_slice(&wire[D..]);
+        typed.push(Rect::from_corners(min, max).map_err(|e| format!("bad generated rect: {e}"))?);
+    }
+    let expected = direct.query_batch(&typed);
+    for (i, (got, want)) in answers.iter().zip(&expected).enumerate() {
+        if got.to_bits() != want.to_bits() {
+            return Err(format!(
+                "answer {i} diverged from the direct synopsis: wire {got} vs direct {want}"
+            ));
+        }
+    }
+
+    let (hits_after, misses_after) = cache_counters(&mut stats_client)?;
+    let lookups = (hits_after - hits_before) + (misses_after - misses_before);
+    let hit_rate = if lookups > 0.0 {
+        (hits_after - hits_before) / lookups
+    } else {
+        0.0
+    };
+    latencies_ns.sort_unstable_by(f64::total_cmp);
+    Ok(WorkloadResult {
+        kind: WorkloadKind::Uniform, // overwritten by the caller
+        latencies_ns,
+        hit_rate,
+        verified: rects.len(),
+    })
+}
+
+fn batch_body(rects: &[Vec<f64>]) -> String {
+    let value = Value::Object(vec![(
+        "rects".to_string(),
+        Value::Array(
+            rects
+                .iter()
+                .map(|r| Value::Array(r.iter().copied().map(Value::Number).collect()))
+                .collect(),
+        ),
+    )]);
+    serde_json::to_string(&value).expect("batch body serializes")
+}
+
+fn render_report(opts: &Options, results: &[WorkloadResult], nodes: usize) -> String {
+    let context = Value::Object(vec![
+        ("queries".to_string(), Value::Number(opts.queries as f64)),
+        ("batch".to_string(), Value::Number(opts.batch as f64)),
+        ("clients".to_string(), Value::Number(opts.clients as f64)),
+        (
+            "cache_capacity".to_string(),
+            Value::Number(opts.cache_capacity as f64),
+        ),
+        ("dims".to_string(), Value::Number(opts.dims as f64)),
+        ("nodes".to_string(), Value::Number(nodes as f64)),
+        ("seed".to_string(), Value::Number(opts.seed as f64)),
+    ]);
+    let mut benches = Vec::new();
+    let mut context_entries = match context {
+        Value::Object(entries) => entries,
+        _ => unreachable!(),
+    };
+    for r in results {
+        let n = r.latencies_ns.len();
+        let median = r.latencies_ns[n / 2];
+        let min = r.latencies_ns[0];
+        let mean = r.latencies_ns.iter().sum::<f64>() / n as f64;
+        context_entries.push((
+            format!("{}_hit_rate", r.kind.label()),
+            Value::Number(r.hit_rate),
+        ));
+        benches.push(Value::Object(vec![
+            (
+                "id".to_string(),
+                Value::String(format!("serve/{}/batch{}", r.kind.label(), opts.batch)),
+            ),
+            ("median_ns".to_string(), Value::Number(median)),
+            ("min_ns".to_string(), Value::Number(min)),
+            ("mean_ns".to_string(), Value::Number(mean)),
+            ("samples".to_string(), Value::Number(n as f64)),
+            ("elements".to_string(), Value::Number(opts.batch as f64)),
+            (
+                "elems_per_sec".to_string(),
+                Value::Number(opts.batch as f64 * 1e9 / median),
+            ),
+        ]));
+    }
+    let report = Value::Object(vec![
+        (
+            "schema".to_string(),
+            Value::String("dpsd-bench-json/v1".to_string()),
+        ),
+        ("bench".to_string(), Value::String("serve".to_string())),
+        ("context".to_string(), Value::Object(context_entries)),
+        ("benches".to_string(), Value::Array(benches)),
+    ]);
+    serde_json::to_string_pretty(&report).expect("report serializes")
+}
+
+fn run<const D: usize>(opts: &Options) -> Result<(), String> {
+    // Spawn an in-process server unless pointed at a running one.
+    let mut spawned: Option<ServerHandle> = None;
+    let addr: SocketAddr = match &opts.addr {
+        Some(a) => a
+            .parse()
+            .map_err(|_| format!("bad --addr `{a}` (need HOST:PORT)"))?,
+        None => {
+            let config = ServeConfig {
+                cache_capacity: opts.cache_capacity,
+                parallelism: Parallelism::from_env(),
+                ..ServeConfig::default()
+            };
+            let server =
+                Server::bind("127.0.0.1:0", config).map_err(|e| format!("cannot bind: {e}"))?;
+            let handle = server.spawn().map_err(|e| format!("cannot spawn: {e}"))?;
+            let addr = handle.addr();
+            spawned = Some(handle);
+            eprintln!("loadgen: spawned in-process server on {addr}");
+            addr
+        }
+    };
+
+    let artifact = build_artifact::<D>(opts.seed);
+    let direct = ReleasedSynopsis::<D>::from_json_str(&artifact)
+        .map_err(|e| format!("artifact must load: {e}"))?;
+    let name = "loadgen";
+    let mut client = Client::connect(addr).map_err(|e| format!("cannot connect: {e}"))?;
+    let publish = client
+        .post(&format!("/synopses/{name}"), &artifact)
+        .map_err(|e| format!("publish failed: {e}"))?;
+    if publish.status != 200 {
+        return Err(format!(
+            "publish rejected with {}: {}",
+            publish.status, publish.body
+        ));
+    }
+    eprintln!(
+        "loadgen: published {} nodes (dims {}) to {addr}",
+        direct.as_tree().node_count(),
+        D
+    );
+
+    let domain_wire: Vec<f64> = {
+        let d = direct.as_tree().domain();
+        d.min.iter().chain(d.max.iter()).copied().collect()
+    };
+    let mut results = Vec::new();
+    for (i, kind) in [
+        WorkloadKind::Uniform,
+        WorkloadKind::Hotspot,
+        WorkloadKind::CacheBust,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        // Distinct derived seed per workload so pools don't overlap.
+        let seed = SplitMix64::new(opts.seed ^ (i as u64 + 1)).next_u64();
+        let spec = WorkloadSpec::new(kind, opts.queries, seed);
+        let rects = generate(&domain_wire, &spec);
+        let mut result = run_workload(addr, name, &direct, &rects, opts)
+            .map_err(|e| format!("{} workload: {e}", kind.label()))?;
+        result.kind = kind;
+        let n = result.latencies_ns.len();
+        eprintln!(
+            "loadgen: {:<9} {} queries in {} batches  median {:>9.1} µs/batch  hit rate {:.1}%  verified bit-identical",
+            kind.label(),
+            result.verified,
+            n,
+            result.latencies_ns[n / 2] / 1000.0,
+            result.hit_rate * 100.0,
+        );
+        results.push(result);
+    }
+
+    let report = render_report(opts, &results, direct.as_tree().node_count());
+    if let Some(path) = &opts.json {
+        std::fs::write(path, &report).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("loadgen: wrote {path}");
+    } else {
+        println!("{report}");
+    }
+
+    // The acceptance gate: with a cache, the hotspot workload must be
+    // served mostly from memory.
+    if opts.cache_capacity > 0 {
+        let hotspot = results
+            .iter()
+            .find(|r| r.kind == WorkloadKind::Hotspot)
+            .expect("hotspot ran");
+        if hotspot.hit_rate <= 0.5 {
+            return Err(format!(
+                "hotspot cache hit rate {:.1}% did not clear the 50% gate",
+                hotspot.hit_rate * 100.0
+            ));
+        }
+    }
+    drop(spawned);
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_options() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = match opts.dims {
+        2 => run::<2>(&opts),
+        3 => run::<3>(&opts),
+        _ => unreachable!("validated in parse_options"),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("loadgen: FAILED: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! A minimal blocking HTTP client for talking to a `dpsd-serve`
+//! instance — the counterpart of [`crate::http`], used by the load
+//! generator and the socket-level test suites so neither needs an
+//! external HTTP dependency.
+
+use serde::Value;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One keep-alive connection to a server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// A fully read response.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// The response body (always JSON from `dpsd-serve`).
+    pub body: String,
+}
+
+impl Response {
+    /// Parses the body as JSON.
+    pub fn json(&self) -> io::Result<Value> {
+        serde_json::from_str(&self.body)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// The body's `error` field, for 4xx/5xx responses.
+    pub fn error_message(&self) -> Option<String> {
+        self.json()
+            .ok()?
+            .get("error")
+            .and_then(Value::as_str)
+            .map(str::to_string)
+    }
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Sends one request and reads the full response.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<Response> {
+        let body = body.unwrap_or("");
+        write!(
+            self.writer,
+            "{method} {path} HTTP/1.1\r\nhost: dpsd-serve\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        )?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// `GET path`.
+    pub fn get(&mut self, path: &str) -> io::Result<Response> {
+        self.request("GET", path, None)
+    }
+
+    /// `POST path` with a JSON (or artifact) body.
+    pub fn post(&mut self, path: &str, body: &str) -> io::Result<Response> {
+        self.request("POST", path, Some(body))
+    }
+
+    fn read_line(&mut self) -> io::Result<String> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(line.trim_end_matches(['\r', '\n']).to_string())
+    }
+
+    fn read_response(&mut self) -> io::Result<Response> {
+        let status_line = self.read_line()?;
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad status line `{status_line}`"),
+                )
+            })?;
+        let mut content_length = 0usize;
+        loop {
+            let line = self.read_line()?;
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().map_err(|_| {
+                        io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
+                    })?;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        let body = String::from_utf8(body)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "body is not UTF-8"))?;
+        Ok(Response { status, body })
+    }
+}

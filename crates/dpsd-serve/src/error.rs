@@ -1,0 +1,61 @@
+//! The server-side error type and its HTTP mapping.
+
+use dpsd_core::DpsdError;
+use std::fmt;
+
+/// Everything a request handler can reject, carrying enough structure
+/// to pick the HTTP status and render a JSON error body.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The request body or parameters were malformed (400).
+    BadRequest(String),
+    /// The named synopsis is not in the registry (404).
+    UnknownSynopsis(String),
+    /// No route matches the request target (404).
+    NoSuchRoute(String),
+    /// The route exists but not for this method (405).
+    MethodNotAllowed {
+        /// The path that was hit.
+        path: String,
+        /// Methods the route does accept.
+        allowed: &'static str,
+    },
+    /// The request exceeded a configured size limit (413).
+    TooLarge(String),
+}
+
+impl ServeError {
+    /// The HTTP status code this error renders as.
+    pub fn status(&self) -> u16 {
+        match self {
+            ServeError::BadRequest(_) => 400,
+            ServeError::UnknownSynopsis(_) | ServeError::NoSuchRoute(_) => 404,
+            ServeError::MethodNotAllowed { .. } => 405,
+            ServeError::TooLarge(_) => 413,
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::BadRequest(reason) => write!(f, "bad request: {reason}"),
+            ServeError::UnknownSynopsis(name) => write!(f, "unknown synopsis `{name}`"),
+            ServeError::NoSuchRoute(path) => write!(f, "no such route: {path}"),
+            ServeError::MethodNotAllowed { path, allowed } => {
+                write!(f, "method not allowed on {path} (allowed: {allowed})")
+            }
+            ServeError::TooLarge(reason) => write!(f, "request too large: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<DpsdError> for ServeError {
+    fn from(e: DpsdError) -> Self {
+        // Artifact and parameter problems are the client's fault: the
+        // body it posted failed validation.
+        ServeError::BadRequest(e.to_string())
+    }
+}

@@ -1,0 +1,288 @@
+//! Lock-free serving metrics: per-endpoint request/error counters and
+//! log-scale latency histograms, exported as JSON by the stats
+//! endpoint.
+//!
+//! Histograms use power-of-two microsecond buckets (bucket `i` counts
+//! latencies in `[2^i, 2^{i+1})` µs, bucket 0 additionally holding the
+//! sub-microsecond samples), which spans 1 µs to over an hour in
+//! [`HISTOGRAM_BUCKETS`] fixed `AtomicU64` cells — recording is a
+//! couple of atomic adds, cheap enough to wrap every request.
+
+use serde::Value;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two latency buckets (covers `< 2^36` µs).
+pub const HISTOGRAM_BUCKETS: usize = 36;
+
+/// A fixed-bucket log₂ latency histogram.
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    fn bucket_index(us: u64) -> usize {
+        ((u64::BITS - us.leading_zeros()).saturating_sub(1) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Records one sample.
+    pub fn record(&self, elapsed: Duration) {
+        let us = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.buckets[Self::bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(
+            elapsed.as_nanos().min(u128::from(u64::MAX)) as u64,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Upper-bound estimate (bucket ceiling, in µs) of the `q`-quantile
+    /// of everything recorded so far; `None` when empty.
+    pub fn quantile_us(&self, q: f64) -> Option<u64> {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(1u64 << (i + 1));
+            }
+        }
+        None
+    }
+
+    /// Snapshot as a JSON value: count, mean, bucket-ceiling quantiles,
+    /// and the sparse non-empty buckets (`le_us` ceiling → count).
+    pub fn to_value(&self) -> Value {
+        let count = self.count();
+        let mean_us = if count == 0 {
+            0.0
+        } else {
+            self.sum_ns.load(Ordering::Relaxed) as f64 / count as f64 / 1000.0
+        };
+        let buckets: Vec<Value> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let c = b.load(Ordering::Relaxed);
+                (c > 0).then(|| {
+                    Value::Object(vec![
+                        ("le_us".to_string(), Value::Number((1u64 << (i + 1)) as f64)),
+                        ("count".to_string(), Value::Number(c as f64)),
+                    ])
+                })
+            })
+            .collect();
+        Value::Object(vec![
+            ("count".to_string(), Value::Number(count as f64)),
+            ("mean_us".to_string(), Value::Number(mean_us)),
+            (
+                "p50_le_us".to_string(),
+                self.quantile_us(0.50)
+                    .map_or(Value::Null, |v| Value::Number(v as f64)),
+            ),
+            (
+                "p99_le_us".to_string(),
+                self.quantile_us(0.99)
+                    .map_or(Value::Null, |v| Value::Number(v as f64)),
+            ),
+            ("buckets".to_string(), Value::Array(buckets)),
+        ])
+    }
+}
+
+/// The routes the server distinguishes in its metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `POST /synopses/{name}` — publish or hot-swap an artifact.
+    Publish,
+    /// `GET /synopses` and `GET /synopses/{name}` — registry reads.
+    Registry,
+    /// `POST /synopses/{name}/query` — one rectangle.
+    Query,
+    /// `POST /synopses/{name}/query/batch` — a workload.
+    Batch,
+    /// `GET /stats` — this very report.
+    Stats,
+    /// Anything that did not resolve to a route.
+    Unrouted,
+}
+
+/// All endpoints, in stats-report order.
+pub const ENDPOINTS: [Endpoint; 6] = [
+    Endpoint::Publish,
+    Endpoint::Registry,
+    Endpoint::Query,
+    Endpoint::Batch,
+    Endpoint::Stats,
+    Endpoint::Unrouted,
+];
+
+impl Endpoint {
+    /// Stable lowercase label used as the stats JSON key.
+    pub fn label(self) -> &'static str {
+        match self {
+            Endpoint::Publish => "publish",
+            Endpoint::Registry => "registry",
+            Endpoint::Query => "query",
+            Endpoint::Batch => "batch",
+            Endpoint::Stats => "stats",
+            Endpoint::Unrouted => "unrouted",
+        }
+    }
+
+    fn index(self) -> usize {
+        ENDPOINTS
+            .iter()
+            .position(|e| *e == self)
+            .expect("every endpoint is listed")
+    }
+}
+
+/// Per-endpoint counters plus latency histogram.
+#[derive(Default)]
+struct EndpointMetrics {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    latency: LatencyHistogram,
+}
+
+/// The server's aggregate metrics.
+#[derive(Default)]
+pub struct Metrics {
+    endpoints: [EndpointMetrics; ENDPOINTS.len()],
+}
+
+impl Metrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one completed request.
+    pub fn record(&self, endpoint: Endpoint, elapsed: Duration, ok: bool) {
+        let m = &self.endpoints[endpoint.index()];
+        m.requests.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            m.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        m.latency.record(elapsed);
+    }
+
+    /// Requests seen on one endpoint.
+    pub fn requests(&self, endpoint: Endpoint) -> u64 {
+        self.endpoints[endpoint.index()]
+            .requests
+            .load(Ordering::Relaxed)
+    }
+
+    /// Errors seen on one endpoint.
+    pub fn errors(&self, endpoint: Endpoint) -> u64 {
+        self.endpoints[endpoint.index()]
+            .errors
+            .load(Ordering::Relaxed)
+    }
+
+    /// The `endpoints` object of the stats report.
+    pub fn to_value(&self) -> Value {
+        Value::Object(
+            ENDPOINTS
+                .iter()
+                .map(|e| {
+                    let m = &self.endpoints[e.index()];
+                    (
+                        e.label().to_string(),
+                        Value::Object(vec![
+                            (
+                                "requests".to_string(),
+                                Value::Number(m.requests.load(Ordering::Relaxed) as f64),
+                            ),
+                            (
+                                "errors".to_string(),
+                                Value::Number(m.errors.load(Ordering::Relaxed) as f64),
+                            ),
+                            ("latency".to_string(), m.latency.to_value()),
+                        ]),
+                    )
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_log2_of_micros() {
+        assert_eq!(LatencyHistogram::bucket_index(0), 0);
+        assert_eq!(LatencyHistogram::bucket_index(1), 0);
+        assert_eq!(LatencyHistogram::bucket_index(2), 1);
+        assert_eq!(LatencyHistogram::bucket_index(3), 1);
+        assert_eq!(LatencyHistogram::bucket_index(4), 2);
+        assert_eq!(LatencyHistogram::bucket_index(1023), 9);
+        assert_eq!(
+            LatencyHistogram::bucket_index(u64::MAX),
+            HISTOGRAM_BUCKETS - 1
+        );
+    }
+
+    #[test]
+    fn quantiles_walk_the_buckets() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_us(0.5), None);
+        for us in [1u64, 1, 1, 1, 1, 1, 1, 1, 1, 1000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 10);
+        // Nine samples land in the [1,2) bucket (ceiling 2), the
+        // outlier in [512,1024) (ceiling 1024).
+        assert_eq!(h.quantile_us(0.5), Some(2));
+        assert_eq!(h.quantile_us(0.99), Some(1024));
+    }
+
+    #[test]
+    fn metrics_report_lists_every_endpoint() {
+        let m = Metrics::new();
+        m.record(Endpoint::Query, Duration::from_micros(30), true);
+        m.record(Endpoint::Query, Duration::from_micros(90), false);
+        assert_eq!(m.requests(Endpoint::Query), 2);
+        assert_eq!(m.errors(Endpoint::Query), 1);
+        let v = m.to_value();
+        for e in ENDPOINTS {
+            let entry = v.get(e.label()).expect("endpoint listed");
+            assert!(entry.get("latency").is_some());
+        }
+        assert_eq!(
+            v.get("query").unwrap().get("requests").unwrap().as_u64(),
+            Some(2)
+        );
+    }
+}

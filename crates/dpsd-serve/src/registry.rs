@@ -1,0 +1,336 @@
+//! The multi-tenant, versioned synopsis registry.
+//!
+//! A server hosts many published synopses at once, each under a name
+//! chosen by the data owner. Re-publishing a name **hot-swaps** the
+//! artifact atomically: the registry stores `Arc<PublishedSynopsis>`
+//! values, so in-flight requests keep answering against the version
+//! they resolved while new requests see the replacement — no request
+//! ever observes a half-loaded synopsis. Every swap bumps a
+//! monotonically increasing version, which flows into cache keys (see
+//! [`crate::cache`]) so a swapped synopsis can never serve a stale
+//! cached answer.
+//!
+//! Dimension is a runtime property on the wire but a compile-time
+//! property of [`ReleasedSynopsis`], so [`AnySynopsis`] erases it over
+//! the supported range `D ∈ 1..=4` (the same range the evaluation
+//! sweeps cover). Artifacts in **either** published format load: the
+//! JSON synopsis and the line-oriented text release.
+
+use crate::error::ServeError;
+use dpsd_core::tree::{ReleasedSynopsis, TreeKind};
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+/// Highest dimension the serving layer accepts (matches the evaluated
+/// range of the dimension-generic core).
+pub const MAX_DIMS: usize = 4;
+
+/// A published synopsis of any supported dimension.
+pub enum AnySynopsis {
+    /// A 1-dimensional synopsis.
+    D1(ReleasedSynopsis<1>),
+    /// A planar synopsis.
+    D2(ReleasedSynopsis<2>),
+    /// A 3-dimensional synopsis.
+    D3(ReleasedSynopsis<3>),
+    /// A 4-dimensional synopsis.
+    D4(ReleasedSynopsis<4>),
+}
+
+/// Runs `$body` with `$s` bound to the typed `&ReleasedSynopsis<D>` of
+/// whichever dimension `$any` holds. Generic functions called inside
+/// the body infer `D` from `$s`.
+macro_rules! with_synopsis {
+    ($any:expr, $s:ident => $body:expr) => {
+        match $any {
+            AnySynopsis::D1($s) => $body,
+            AnySynopsis::D2($s) => $body,
+            AnySynopsis::D3($s) => $body,
+            AnySynopsis::D4($s) => $body,
+        }
+    };
+}
+pub(crate) use with_synopsis;
+
+/// Scans the first lines of a text release for its `dims` header
+/// (absent means the pre-generic planar format).
+fn text_release_dims(text: &str) -> usize {
+    text.lines()
+        .take(16)
+        .find_map(|l| l.strip_prefix("dims "))
+        .and_then(|rest| rest.trim().parse().ok())
+        .unwrap_or(2)
+}
+
+/// Deserializes a parsed JSON value as a `D`-dimensional synopsis,
+/// mapping validation failures to the client's fault.
+fn synopsis_from_value<const D: usize>(
+    value: &serde::Value,
+) -> Result<ReleasedSynopsis<D>, ServeError> {
+    serde::Deserialize::deserialize(value)
+        .map_err(|e| ServeError::from(dpsd_core::DpsdError::from(e)))
+}
+
+impl AnySynopsis {
+    /// Loads a published artifact in either wire format, dispatching on
+    /// the dimension it declares. Text releases are recognized by their
+    /// `dpsd-release` magic; everything else must be a JSON synopsis.
+    pub fn load(text: &str) -> Result<Self, ServeError> {
+        let trimmed = text.trim_start();
+        if trimmed.starts_with("dpsd-release") {
+            match text_release_dims(trimmed) {
+                1 => Ok(AnySynopsis::D1(ReleasedSynopsis::from_release_text(text)?)),
+                2 => Ok(AnySynopsis::D2(ReleasedSynopsis::from_release_text(text)?)),
+                3 => Ok(AnySynopsis::D3(ReleasedSynopsis::from_release_text(text)?)),
+                4 => Ok(AnySynopsis::D4(ReleasedSynopsis::from_release_text(text)?)),
+                d => Err(ServeError::BadRequest(format!(
+                    "artifact is {d}-dimensional; this server accepts 1..={MAX_DIMS}"
+                ))),
+            }
+        } else {
+            // Parse once; the `dims` field picks the typed loader and
+            // the same value tree feeds it (no second pass over what
+            // can be a multi-hundred-megabyte artifact). A missing
+            // `dims` means a pre-generic planar artifact.
+            let value: serde::Value = serde_json::from_str(text)
+                .map_err(|e| ServeError::BadRequest(format!("artifact is not valid JSON: {e}")))?;
+            let dims = value
+                .get("dims")
+                .and_then(serde::Value::as_u64)
+                .unwrap_or(2);
+            match dims {
+                1 => Ok(AnySynopsis::D1(synopsis_from_value(&value)?)),
+                2 => Ok(AnySynopsis::D2(synopsis_from_value(&value)?)),
+                3 => Ok(AnySynopsis::D3(synopsis_from_value(&value)?)),
+                4 => Ok(AnySynopsis::D4(synopsis_from_value(&value)?)),
+                d => Err(ServeError::BadRequest(format!(
+                    "artifact is {d}-dimensional; this server accepts 1..={MAX_DIMS}"
+                ))),
+            }
+        }
+    }
+
+    /// The dimension of the hosted synopsis.
+    pub fn dims(&self) -> usize {
+        match self {
+            AnySynopsis::D1(_) => 1,
+            AnySynopsis::D2(_) => 2,
+            AnySynopsis::D3(_) => 3,
+            AnySynopsis::D4(_) => 4,
+        }
+    }
+
+    /// The tree family of the hosted synopsis.
+    pub fn kind(&self) -> TreeKind {
+        with_synopsis!(self, s => s.as_tree().kind())
+    }
+
+    /// Number of released nodes.
+    pub fn node_count(&self) -> usize {
+        with_synopsis!(self, s => s.as_tree().node_count())
+    }
+
+    /// Privacy budget the synopsis was built with.
+    pub fn epsilon(&self) -> f64 {
+        with_synopsis!(self, s => s.as_tree().epsilon())
+    }
+
+    /// The covered domain in wire layout (all minima, then all maxima).
+    pub fn domain_wire(&self) -> Vec<f64> {
+        with_synopsis!(self, s => {
+            let d = s.as_tree().domain();
+            d.min.iter().chain(d.max.iter()).copied().collect()
+        })
+    }
+}
+
+/// One atomically published artifact: name, monotonically increasing
+/// version, and the loaded synopsis.
+pub struct PublishedSynopsis {
+    /// Registry name the artifact was published under.
+    pub name: String,
+    /// 1-based version, bumped on every re-publish of the same name.
+    pub version: u64,
+    /// The loaded, query-ready synopsis.
+    pub synopsis: AnySynopsis,
+}
+
+/// Named, versioned, `Arc`-shared synopses with atomic hot-swap.
+#[derive(Default)]
+pub struct SynopsisRegistry {
+    entries: RwLock<HashMap<String, Arc<PublishedSynopsis>>>,
+}
+
+/// Registry names must be unambiguous in a URL path with no escaping.
+fn validate_name(name: &str) -> Result<(), ServeError> {
+    let ok = !name.is_empty()
+        && name.len() <= 64
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'));
+    if ok {
+        Ok(())
+    } else {
+        Err(ServeError::BadRequest(format!(
+            "invalid synopsis name `{name}`: use 1-64 characters from [A-Za-z0-9._-]"
+        )))
+    }
+}
+
+impl SynopsisRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parses and validates an artifact, then publishes it under
+    /// `name`, atomically replacing any prior version. Parsing happens
+    /// **outside** the write lock, so a slow or hostile upload never
+    /// stalls readers.
+    pub fn publish(
+        &self,
+        name: &str,
+        artifact: &str,
+    ) -> Result<Arc<PublishedSynopsis>, ServeError> {
+        validate_name(name)?;
+        let synopsis = AnySynopsis::load(artifact)?;
+        let mut entries = self.entries.write().expect("registry lock");
+        let version = entries.get(name).map_or(1, |prior| prior.version + 1);
+        let published = Arc::new(PublishedSynopsis {
+            name: name.to_string(),
+            version,
+            synopsis,
+        });
+        entries.insert(name.to_string(), Arc::clone(&published));
+        Ok(published)
+    }
+
+    /// The current version of `name`, if published.
+    pub fn get(&self, name: &str) -> Option<Arc<PublishedSynopsis>> {
+        self.entries
+            .read()
+            .expect("registry lock")
+            .get(name)
+            .cloned()
+    }
+
+    /// Every published synopsis, sorted by name.
+    pub fn list(&self) -> Vec<Arc<PublishedSynopsis>> {
+        let mut all: Vec<_> = self
+            .entries
+            .read()
+            .expect("registry lock")
+            .values()
+            .cloned()
+            .collect();
+        all.sort_by(|a, b| a.name.cmp(&b.name));
+        all
+    }
+
+    /// Number of published synopses.
+    pub fn len(&self) -> usize {
+        self.entries.read().expect("registry lock").len()
+    }
+
+    /// Whether nothing is published.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpsd_core::geometry::{Point, Rect};
+    use dpsd_core::synopsis::SpatialSynopsis;
+    use dpsd_core::tree::PsdConfig;
+
+    fn sample_json<const D: usize>() -> String {
+        let domain = Rect::<D>::from_corners([0.0; D], [16.0; D]).unwrap();
+        let pts: Vec<Point<D>> = (0..300)
+            .map(|i| {
+                let mut c = [0.0; D];
+                for (k, v) in c.iter_mut().enumerate() {
+                    *v = ((i * (k + 2) * 3) % 16) as f64 + 0.25;
+                }
+                Point::from_coords(c)
+            })
+            .collect();
+        PsdConfig::<D>::quadtree(domain, 2, 1.0)
+            .with_seed(7)
+            .build(&pts)
+            .unwrap()
+            .release()
+            .to_json_string()
+    }
+
+    #[test]
+    fn loads_both_formats_and_dispatches_dimension() {
+        let s2 = AnySynopsis::load(&sample_json::<2>()).unwrap();
+        assert_eq!(s2.dims(), 2);
+        let s3 = AnySynopsis::load(&sample_json::<3>()).unwrap();
+        assert_eq!(s3.dims(), 3);
+        assert!(s3.node_count() > 0 && s3.epsilon() > 0.0);
+        assert_eq!(s3.domain_wire().len(), 6);
+
+        // Text format, via the typed constructors.
+        let json = sample_json::<2>();
+        let loaded = ReleasedSynopsis::<2>::from_json_str(&json).unwrap();
+        let text = loaded.to_release_text();
+        let via_text = AnySynopsis::load(&text).unwrap();
+        assert_eq!(via_text.dims(), 2);
+        match (&via_text, &loaded) {
+            (AnySynopsis::D2(a), b) => {
+                let q = Rect::new(1.0, 2.0, 9.0, 11.0).unwrap();
+                assert_eq!(a.query(&q).to_bits(), b.query(&q).to_bits());
+            }
+            _ => panic!("expected a planar synopsis"),
+        }
+    }
+
+    #[test]
+    fn rejects_garbage_and_unsupported_dimensions() {
+        assert!(matches!(
+            AnySynopsis::load("{ not json"),
+            Err(ServeError::BadRequest(_))
+        ));
+        assert!(matches!(
+            AnySynopsis::load("dpsd-release v1\nnonsense"),
+            Err(ServeError::BadRequest(_))
+        ));
+        let five_d = sample_json::<2>().replace("\"dims\":2", "\"dims\":5");
+        assert!(matches!(
+            AnySynopsis::load(&five_d),
+            Err(ServeError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn publish_bumps_versions_and_hot_swaps() {
+        let registry = SynopsisRegistry::new();
+        let json = sample_json::<2>();
+        let v1 = registry.publish("tenants", &json).unwrap();
+        assert_eq!((v1.name.as_str(), v1.version), ("tenants", 1));
+        let held = registry.get("tenants").unwrap();
+        let v2 = registry.publish("tenants", &json).unwrap();
+        assert_eq!(v2.version, 2);
+        // In-flight holders keep their resolved version; new lookups
+        // see the swap.
+        assert_eq!(held.version, 1);
+        assert_eq!(registry.get("tenants").unwrap().version, 2);
+        assert_eq!(registry.list().len(), 1);
+    }
+
+    #[test]
+    fn names_are_validated() {
+        let registry = SynopsisRegistry::new();
+        let json = sample_json::<2>();
+        for bad in ["", "a/b", "a b", "ü", &"x".repeat(65)] {
+            assert!(
+                matches!(registry.publish(bad, &json), Err(ServeError::BadRequest(_))),
+                "name {bad:?} must be rejected"
+            );
+        }
+        assert!(registry.publish("ok-name_1.2", &json).is_ok());
+    }
+}

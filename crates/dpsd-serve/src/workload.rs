@@ -1,0 +1,265 @@
+//! Seeded query workloads for load generation and stress tests.
+//!
+//! Three access patterns bracket the cache's behavior:
+//!
+//! * [`WorkloadKind::Uniform`] — queries drawn uniformly from a finite
+//!   pool of distinct rectangles: moderate repetition, the baseline.
+//! * [`WorkloadKind::Hotspot`] — Zipf-skewed draws from the pool, the
+//!   "few dashboards everyone refreshes" shape real query traffic has;
+//!   a working cache should answer well over half of these from memory.
+//! * [`WorkloadKind::CacheBust`] — every rectangle unique (adversarial
+//!   worst case): the cache can only ever miss, so it measures pure
+//!   overhead and eviction churn.
+//!
+//! Generation is fully deterministic from the seed (a SplitMix64
+//! stream — no external RNG dependency) so client shards, reruns, and
+//! server-side verification all see the same rectangles.
+
+/// The access patterns the generator can produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// Uniform draws from a pool of distinct rects.
+    Uniform,
+    /// Zipf-skewed draws from the pool (cache-friendly hot set).
+    Hotspot,
+    /// Every rect unique (adversarial cache busting).
+    CacheBust,
+}
+
+impl WorkloadKind {
+    /// Stable lowercase label (bench ids, CLI flags).
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkloadKind::Uniform => "uniform",
+            WorkloadKind::Hotspot => "hotspot",
+            WorkloadKind::CacheBust => "cachebust",
+        }
+    }
+
+    /// Parses a CLI label.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "uniform" => Some(WorkloadKind::Uniform),
+            "hotspot" => Some(WorkloadKind::Hotspot),
+            "cachebust" | "bust" => Some(WorkloadKind::CacheBust),
+            _ => None,
+        }
+    }
+}
+
+/// SplitMix64: tiny, seedable, and plenty random for workload shapes.
+#[derive(Debug, Clone)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// A new stream from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform draw in `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n.max(1) as u64) as usize
+    }
+}
+
+/// A seeded workload specification over a domain given in wire layout
+/// (all minima, then all maxima; dimension = `domain.len() / 2`).
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// The access pattern.
+    pub kind: WorkloadKind,
+    /// Number of query rectangles to generate.
+    pub queries: usize,
+    /// Pool of distinct rectangles for the pooled kinds.
+    pub pool: usize,
+    /// Zipf exponent for [`WorkloadKind::Hotspot`].
+    pub zipf_s: f64,
+    /// Stream seed.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// A spec with the defaults the loadgen and stress suites use.
+    pub fn new(kind: WorkloadKind, queries: usize, seed: u64) -> Self {
+        WorkloadSpec {
+            kind,
+            queries,
+            pool: 64,
+            zipf_s: 1.1,
+            seed,
+        }
+    }
+}
+
+fn random_rect(rng: &mut SplitMix64, domain: &[f64], dims: usize) -> Vec<f64> {
+    let mut rect = vec![0.0; 2 * dims];
+    for axis in 0..dims {
+        let (lo, hi) = (domain[axis], domain[dims + axis]);
+        let extent = hi - lo;
+        // Widths between 2% and 40% of the axis keep queries answerable
+        // while spanning several tree levels.
+        let width = extent * (0.02 + 0.38 * rng.next_f64());
+        let start = lo + rng.next_f64() * (extent - width);
+        rect[axis] = start;
+        rect[dims + axis] = start + width;
+    }
+    rect
+}
+
+/// Generates the workload: `spec.queries` rectangles in wire layout,
+/// deterministic in `spec.seed`.
+///
+/// # Panics
+///
+/// If `domain` is not a flattened box (odd length or empty).
+pub fn generate(domain: &[f64], spec: &WorkloadSpec) -> Vec<Vec<f64>> {
+    assert!(
+        !domain.is_empty() && domain.len().is_multiple_of(2),
+        "domain must be a flattened box"
+    );
+    let dims = domain.len() / 2;
+    let mut rng = SplitMix64::new(spec.seed);
+    match spec.kind {
+        WorkloadKind::CacheBust => (0..spec.queries)
+            .map(|_| random_rect(&mut rng, domain, dims))
+            .collect(),
+        WorkloadKind::Uniform => {
+            let pool: Vec<Vec<f64>> = (0..spec.pool.max(1))
+                .map(|_| random_rect(&mut rng, domain, dims))
+                .collect();
+            (0..spec.queries)
+                .map(|_| pool[rng.below(pool.len())].clone())
+                .collect()
+        }
+        WorkloadKind::Hotspot => {
+            let pool: Vec<Vec<f64>> = (0..spec.pool.max(1))
+                .map(|_| random_rect(&mut rng, domain, dims))
+                .collect();
+            // Zipf over ranks: cumulative weights 1/(r+1)^s, sampled by
+            // inverse transform.
+            let weights: Vec<f64> = (0..pool.len())
+                .map(|r| 1.0 / ((r + 1) as f64).powf(spec.zipf_s))
+                .collect();
+            let total: f64 = weights.iter().sum();
+            let mut cumulative = Vec::with_capacity(weights.len());
+            let mut acc = 0.0;
+            for w in &weights {
+                acc += w / total;
+                cumulative.push(acc);
+            }
+            (0..spec.queries)
+                .map(|_| {
+                    let u = rng.next_f64();
+                    let rank = cumulative.partition_point(|&c| c < u).min(pool.len() - 1);
+                    pool[rank].clone()
+                })
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOMAIN_2D: [f64; 4] = [0.0, 0.0, 100.0, 80.0];
+
+    fn distinct(rects: &[Vec<f64>]) -> usize {
+        let mut keys: Vec<Vec<u64>> = rects
+            .iter()
+            .map(|r| r.iter().map(|c| c.to_bits()).collect())
+            .collect();
+        keys.sort();
+        keys.dedup();
+        keys.len()
+    }
+
+    #[test]
+    fn deterministic_in_the_seed() {
+        let spec = WorkloadSpec::new(WorkloadKind::Hotspot, 200, 9);
+        assert_eq!(generate(&DOMAIN_2D, &spec), generate(&DOMAIN_2D, &spec));
+        let other = WorkloadSpec::new(WorkloadKind::Hotspot, 200, 10);
+        assert_ne!(generate(&DOMAIN_2D, &spec), generate(&DOMAIN_2D, &other));
+    }
+
+    #[test]
+    fn rects_stay_inside_the_domain() {
+        for kind in [
+            WorkloadKind::Uniform,
+            WorkloadKind::Hotspot,
+            WorkloadKind::CacheBust,
+        ] {
+            let spec = WorkloadSpec::new(kind, 300, 4);
+            for rect in generate(&DOMAIN_2D, &spec) {
+                assert_eq!(rect.len(), 4);
+                for axis in 0..2 {
+                    assert!(rect[axis] >= DOMAIN_2D[axis] - 1e-9);
+                    assert!(rect[2 + axis] <= DOMAIN_2D[2 + axis] + 1e-9);
+                    assert!(rect[axis] < rect[2 + axis], "{kind:?} degenerate rect");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kinds_have_the_advertised_repetition_profile() {
+        let n = 400;
+        let bust = generate(
+            &DOMAIN_2D,
+            &WorkloadSpec::new(WorkloadKind::CacheBust, n, 7),
+        );
+        assert_eq!(distinct(&bust), n, "cache-busting rects must be unique");
+        let uniform = generate(&DOMAIN_2D, &WorkloadSpec::new(WorkloadKind::Uniform, n, 7));
+        assert!(distinct(&uniform) <= 64);
+        let hotspot = generate(&DOMAIN_2D, &WorkloadSpec::new(WorkloadKind::Hotspot, n, 7));
+        assert!(distinct(&hotspot) <= 64);
+        // Zipf skew: the most popular rect dominates.
+        let mut counts = std::collections::HashMap::new();
+        for r in &hotspot {
+            *counts
+                .entry(r.iter().map(|c| c.to_bits()).collect::<Vec<_>>())
+                .or_insert(0usize) += 1;
+        }
+        let top = counts.values().copied().max().unwrap();
+        assert!(
+            top * 4 >= n,
+            "hotspot top rect should take >= 25% of draws, got {top}/{n}"
+        );
+    }
+
+    #[test]
+    fn works_in_three_dimensions() {
+        let domain = [0.0, 0.0, 0.0, 10.0, 10.0, 10.0];
+        let spec = WorkloadSpec::new(WorkloadKind::Uniform, 50, 3);
+        for rect in generate(&domain, &spec) {
+            assert_eq!(rect.len(), 6);
+        }
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for kind in [
+            WorkloadKind::Uniform,
+            WorkloadKind::Hotspot,
+            WorkloadKind::CacheBust,
+        ] {
+            assert_eq!(WorkloadKind::parse(kind.label()), Some(kind));
+        }
+        assert_eq!(WorkloadKind::parse("nope"), None);
+    }
+}

@@ -18,7 +18,7 @@ fn main() {
         .with_seed(11)
         .build(&points)
         .unwrap();
-    let json = tree.release().to_json();
+    let json = tree.release().to_json_string();
     let path = std::env::temp_dir().join("locations.dpsd.json");
     std::fs::write(&path, &json).unwrap();
     println!(
@@ -30,7 +30,7 @@ fn main() {
 
     // ---- Analyst side (no access to `points`) ----------------------
     let published = std::fs::read_to_string(&path).unwrap();
-    let synopsis = ReleasedSynopsis::from_json(&published).expect("valid synopsis");
+    let synopsis = ReleasedSynopsis::from_json_str(&published).expect("valid synopsis");
     println!(
         "analyst: loaded a {} of height {} covering {:?}",
         synopsis.as_tree().kind(),
@@ -81,8 +81,8 @@ fn main() {
         .with_seed(4)
         .build(&events)
         .unwrap();
-    let json3 = tree3.release().to_json();
-    let synopsis3 = ReleasedSynopsis::<3>::from_json(&json3).unwrap();
+    let json3 = tree3.release().to_json_string();
+    let synopsis3 = ReleasedSynopsis::<3>::from_json_str(&json3).unwrap();
     let evening = Rect::from_corners([0.0, 0.0, 17.0], [100.0, 100.0, 20.0]).unwrap();
     let est = synopsis3.query(&evening);
     let truth = events.iter().filter(|p| evening.contains(**p)).count() as f64;

@@ -26,7 +26,10 @@
 //! * [`data`] ([`dpsd_data`]) — synthetic datasets and query workloads;
 //! * [`baselines`] ([`dpsd_baselines`]) — flat grids and exact counting;
 //! * [`matching`] ([`dpsd_match`]) — private record matching (blocking);
-//! * [`eval`] ([`dpsd_eval`]) — the per-figure experiment runners.
+//! * [`eval`] ([`dpsd_eval`]) — the per-figure experiment runners;
+//! * [`serve`] ([`dpsd_serve`]) — the concurrent multi-tenant synopsis
+//!   server (HTTP/1.1 + JSON, versioned registry with hot-swap, sharded
+//!   LRU query cache) and its load generator.
 //!
 //! # Example: build, query, publish, serve
 //!
@@ -63,6 +66,7 @@ pub use dpsd_data as data;
 pub use dpsd_eval as eval;
 pub use dpsd_hilbert as hilbert;
 pub use dpsd_match as matching;
+pub use dpsd_serve as serve;
 
 pub use dpsd_core::{DpsdError, ReleasedSynopsis, SpatialSynopsis};
 

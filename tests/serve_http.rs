@@ -1,0 +1,343 @@
+//! Socket-level integration tests for the serving layer: a real
+//! `TcpListener` on an ephemeral port, real HTTP requests, and the hard
+//! invariant that every estimate crossing the wire is **bit-identical**
+//! to querying the loaded [`ReleasedSynopsis`] directly — through the
+//! cache, the batch path, hot-swaps, and both published formats.
+
+use dpsd::prelude::*;
+use dpsd::serve::client::Client;
+use dpsd::serve::server::{ServeConfig, Server, ServerHandle};
+use dpsd::serve::workload::{generate, WorkloadKind, WorkloadSpec};
+
+fn start_server(config: ServeConfig) -> ServerHandle {
+    Server::bind("127.0.0.1:0", config)
+        .expect("bind ephemeral port")
+        .spawn()
+        .expect("spawn server")
+}
+
+fn synopsis_2d(seed: u64) -> ReleasedSynopsis<2> {
+    let domain = Rect::new(0.0, 0.0, 64.0, 64.0).unwrap();
+    let pts: Vec<Point> = (0..2500)
+        .map(|i| {
+            Point::new(
+                ((i * 13) % 640) as f64 * 0.1,
+                ((i * 29 + 7) % 640) as f64 * 0.1,
+            )
+        })
+        .collect();
+    PsdConfig::kd_hybrid(domain, 5, 0.5, 2)
+        .with_seed(seed)
+        .build(&pts)
+        .unwrap()
+        .release()
+}
+
+fn synopsis_3d(seed: u64) -> ReleasedSynopsis<3> {
+    let domain = Rect::<3>::from_corners([0.0; 3], [32.0; 3]).unwrap();
+    let pts: Vec<Point<3>> = (0..2000)
+        .map(|i| {
+            Point::from_coords([
+                ((i * 7) % 320) as f64 * 0.1,
+                ((i * 11 + 3) % 320) as f64 * 0.1,
+                ((i * 17 + 5) % 320) as f64 * 0.1,
+            ])
+        })
+        .collect();
+    PsdConfig::<3>::quadtree(domain, 3, 0.8)
+        .with_seed(seed)
+        .build(&pts)
+        .unwrap()
+        .release()
+}
+
+fn wire_rect<const D: usize>(r: &Rect<D>) -> Vec<f64> {
+    r.min.iter().chain(r.max.iter()).copied().collect()
+}
+
+fn rect_json(coords: &[f64]) -> String {
+    let inner: Vec<String> = coords.iter().map(|c| format!("{c:?}")).collect();
+    format!("[{}]", inner.join(","))
+}
+
+fn query_body(coords: &[f64]) -> String {
+    format!("{{\"rect\":{}}}", rect_json(coords))
+}
+
+fn batch_body(rects: &[Vec<f64>]) -> String {
+    let inner: Vec<String> = rects.iter().map(|r| rect_json(r)).collect();
+    format!("{{\"rects\":[{}]}}", inner.join(","))
+}
+
+fn typed_rects<const D: usize>(wire: &[Vec<f64>]) -> Vec<Rect<D>> {
+    wire.iter()
+        .map(|w| {
+            let mut min = [0.0; D];
+            let mut max = [0.0; D];
+            min.copy_from_slice(&w[..D]);
+            max.copy_from_slice(&w[D..]);
+            Rect::from_corners(min, max).unwrap()
+        })
+        .collect()
+}
+
+/// Publishes over the wire, asserting success, and returns the version.
+fn publish(client: &mut Client, name: &str, artifact: &str) -> u64 {
+    let response = client
+        .post(&format!("/synopses/{name}"), artifact)
+        .expect("publish round-trip");
+    assert_eq!(response.status, 200, "publish failed: {}", response.body);
+    response
+        .json()
+        .unwrap()
+        .get("version")
+        .and_then(|v| v.as_u64())
+        .expect("publish response carries the version")
+}
+
+fn single_estimate(client: &mut Client, name: &str, coords: &[f64]) -> f64 {
+    let response = client
+        .post(&format!("/synopses/{name}/query"), &query_body(coords))
+        .expect("query round-trip");
+    assert_eq!(response.status, 200, "query failed: {}", response.body);
+    response
+        .json()
+        .unwrap()
+        .get("estimate")
+        .and_then(|v| v.as_f64())
+        .expect("query response carries the estimate")
+}
+
+fn batch_answers(client: &mut Client, name: &str, rects: &[Vec<f64>]) -> Vec<f64> {
+    let response = client
+        .post(&format!("/synopses/{name}/query/batch"), &batch_body(rects))
+        .expect("batch round-trip");
+    assert_eq!(response.status, 200, "batch failed: {}", response.body);
+    response
+        .json()
+        .unwrap()
+        .get("answers")
+        .and_then(|v| {
+            v.as_array()
+                .map(|a| a.iter().map(|x| x.as_f64().unwrap()).collect())
+        })
+        .expect("batch response carries answers")
+}
+
+#[test]
+fn publish_and_query_2d_bit_identical_over_the_wire() {
+    let handle = start_server(ServeConfig::default());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let direct = synopsis_2d(11);
+    let version = publish(&mut client, "tiger", &direct.to_json_string());
+    assert_eq!(version, 1);
+
+    let spec = WorkloadSpec::new(WorkloadKind::Uniform, 120, 5);
+    let wire = generate(&wire_rect(&direct.domain()), &spec);
+    // Singles: each wire estimate equals the direct query bit-for-bit
+    // (first pass fills the cache, second pass reads it — both must
+    // match exactly).
+    for pass in 0..2 {
+        for w in wire.iter().take(40) {
+            let got = single_estimate(&mut client, "tiger", w);
+            let want = direct.query(&typed_rects::<2>(std::slice::from_ref(w))[0]);
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "pass {pass}: wire {got} != direct {want}"
+            );
+        }
+    }
+    // Batch: the full workload in one request equals query_batch.
+    let got = batch_answers(&mut client, "tiger", &wire);
+    let want = direct.query_batch(&typed_rects::<2>(&wire));
+    assert_eq!(got.len(), want.len());
+    for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+        assert_eq!(g.to_bits(), w.to_bits(), "batch answer {i} diverged");
+    }
+}
+
+#[test]
+fn publish_and_query_3d_bit_identical_over_the_wire() {
+    let handle = start_server(ServeConfig::default());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let direct = synopsis_3d(23);
+    publish(&mut client, "cube", &direct.to_json_string());
+
+    let info = client.get("/synopses/cube").unwrap();
+    assert_eq!(info.status, 200);
+    let parsed = info.json().unwrap();
+    assert_eq!(parsed.get("dims").and_then(|v| v.as_u64()), Some(3));
+
+    let spec = WorkloadSpec::new(WorkloadKind::Hotspot, 90, 8);
+    let wire = generate(&wire_rect(&direct.domain()), &spec);
+    let got = batch_answers(&mut client, "cube", &wire);
+    let want = direct.query_batch(&typed_rects::<3>(&wire));
+    for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+        assert_eq!(g.to_bits(), w.to_bits(), "3d batch answer {i} diverged");
+    }
+    // A 2D rect against a 3D synopsis is a client error, not a panic.
+    let response = client
+        .post("/synopses/cube/query", &query_body(&[0.0, 0.0, 1.0, 1.0]))
+        .unwrap();
+    assert_eq!(response.status, 400);
+    assert!(response.error_message().unwrap().contains("6 numbers"));
+}
+
+#[test]
+fn text_release_format_publishes_too() {
+    let handle = start_server(ServeConfig::default());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let direct = synopsis_2d(31);
+    publish(&mut client, "textual", &direct.to_release_text());
+
+    let q = wire_rect(&Rect::new(3.0, 5.0, 41.0, 29.0).unwrap());
+    let got = single_estimate(&mut client, "textual", &q);
+    let want = direct.query(&Rect::new(3.0, 5.0, 41.0, 29.0).unwrap());
+    assert_eq!(got.to_bits(), want.to_bits());
+}
+
+#[test]
+fn hot_swap_serves_the_new_version_immediately() {
+    let handle = start_server(ServeConfig::default());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let v1 = synopsis_2d(100);
+    let v2 = synopsis_2d(200); // different seed, different noise
+    let q = wire_rect(&Rect::new(1.0, 1.0, 30.0, 22.0).unwrap());
+    let typed = Rect::new(1.0, 1.0, 30.0, 22.0).unwrap();
+    assert_ne!(
+        v1.query(&typed).to_bits(),
+        v2.query(&typed).to_bits(),
+        "fixture: versions must answer differently"
+    );
+
+    assert_eq!(publish(&mut client, "swap", &v1.to_json_string()), 1);
+    // Warm the cache on version 1.
+    assert_eq!(
+        single_estimate(&mut client, "swap", &q).to_bits(),
+        v1.query(&typed).to_bits()
+    );
+    // Hot-swap; the same rect must now answer from version 2, never
+    // from the stale cache entry.
+    assert_eq!(publish(&mut client, "swap", &v2.to_json_string()), 2);
+    assert_eq!(
+        single_estimate(&mut client, "swap", &q).to_bits(),
+        v2.query(&typed).to_bits()
+    );
+}
+
+#[test]
+fn error_paths_are_typed_json_not_hangs() {
+    let handle = start_server(ServeConfig::default());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    publish(&mut client, "ok", &synopsis_2d(1).to_json_string());
+
+    // Unknown synopsis.
+    let r = client
+        .post("/synopses/ghost/query", &query_body(&[0.0, 0.0, 1.0, 1.0]))
+        .unwrap();
+    assert_eq!(r.status, 404);
+    assert!(r.error_message().unwrap().contains("ghost"));
+
+    // Malformed artifact.
+    let r = client
+        .post("/synopses/bad", "{\"format\":\"nope\"}")
+        .unwrap();
+    assert_eq!(r.status, 400);
+
+    // Malformed query bodies.
+    for body in [
+        "not json",
+        "{}",
+        "{\"rect\": \"zero\"}",
+        "{\"rect\": [0,0,1]}",
+    ] {
+        let r = client.post("/synopses/ok/query", body).unwrap();
+        assert_eq!(r.status, 400, "body {body:?} must be a 400");
+        assert!(r.error_message().is_some());
+    }
+    // Inverted rectangle.
+    let r = client
+        .post("/synopses/ok/query", &query_body(&[5.0, 0.0, 1.0, 1.0]))
+        .unwrap();
+    assert_eq!(r.status, 400);
+
+    // Wrong method and unknown route.
+    let r = client.get("/synopses/ok/query").unwrap();
+    assert_eq!(r.status, 405);
+    let r = client.get("/nothing/here").unwrap();
+    assert_eq!(r.status, 404);
+
+    // Invalid registry names never publish.
+    let r = client
+        .post("/synopses/bad%2Fname", &synopsis_2d(2).to_json_string())
+        .unwrap();
+    assert_eq!(r.status, 400);
+
+    // The connection survived every error above (keep-alive), and the
+    // server still answers happily.
+    let r = client.get("/stats").unwrap();
+    assert_eq!(r.status, 200);
+}
+
+#[test]
+fn stats_reports_cache_registry_and_latency() {
+    let handle = start_server(ServeConfig::default());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let direct = synopsis_2d(7);
+    publish(&mut client, "metrics", &direct.to_json_string());
+    let q = wire_rect(&Rect::new(0.0, 0.0, 10.0, 10.0).unwrap());
+    single_estimate(&mut client, "metrics", &q); // miss
+    single_estimate(&mut client, "metrics", &q); // hit
+
+    let stats = client.get("/stats").unwrap().json().unwrap();
+    let cache = stats.get("cache").expect("cache section");
+    assert_eq!(cache.get("enabled").and_then(|v| v.as_bool()), Some(true));
+    assert_eq!(cache.get("hits").and_then(|v| v.as_u64()), Some(1));
+    assert_eq!(cache.get("misses").and_then(|v| v.as_u64()), Some(1));
+    let registry = stats.get("registry").and_then(|v| v.as_array()).unwrap();
+    assert_eq!(registry.len(), 1);
+    assert_eq!(
+        registry[0].get("name").and_then(|v| v.as_str()),
+        Some("metrics")
+    );
+    let endpoints = stats.get("endpoints").expect("endpoints section");
+    let query = endpoints.get("query").expect("query endpoint");
+    assert_eq!(query.get("requests").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(query.get("errors").and_then(|v| v.as_u64()), Some(0));
+    let latency = query.get("latency").expect("latency histogram");
+    assert_eq!(latency.get("count").and_then(|v| v.as_u64()), Some(2));
+    assert!(latency.get("p50_le_us").and_then(|v| v.as_f64()).is_some());
+
+    // The registry list endpoint agrees.
+    let list = client.get("/synopses").unwrap().json().unwrap();
+    assert_eq!(
+        list.get("synopses")
+            .and_then(|v| v.as_array())
+            .map(<[_]>::len),
+        Some(1)
+    );
+}
+
+#[test]
+fn cache_disabled_still_answers_identically() {
+    let config = ServeConfig {
+        cache_capacity: 0,
+        ..ServeConfig::default()
+    };
+    let handle = start_server(config);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let direct = synopsis_2d(55);
+    publish(&mut client, "nocache", &direct.to_json_string());
+    let spec = WorkloadSpec::new(WorkloadKind::Hotspot, 60, 2);
+    let wire = generate(&wire_rect(&direct.domain()), &spec);
+    let got = batch_answers(&mut client, "nocache", &wire);
+    let want = direct.query_batch(&typed_rects::<2>(&wire));
+    for (g, w) in got.iter().zip(&want) {
+        assert_eq!(g.to_bits(), w.to_bits());
+    }
+    let stats = client.get("/stats").unwrap().json().unwrap();
+    let cache = stats.get("cache").unwrap();
+    assert_eq!(cache.get("enabled").and_then(|v| v.as_bool()), Some(false));
+    assert_eq!(cache.get("hits").and_then(|v| v.as_u64()), Some(0));
+}

@@ -1,0 +1,246 @@
+//! Concurrency stress for the serving layer: N client threads hammer
+//! one server with a mixed single/batch workload — cache on and cache
+//! off, at client counts {1, 2, 8} like `tests/parallel.rs` — while a
+//! swapper thread hot-republished the artifact mid-flight. Every
+//! response must be bit-identical to the direct synopsis, every
+//! request must succeed, and the server must stay fully responsive
+//! afterwards (no poisoned locks, no lost counters).
+
+use dpsd::prelude::*;
+use dpsd::serve::client::Client;
+use dpsd::serve::server::{ServeConfig, Server, ServerHandle};
+use dpsd::serve::workload::{generate, WorkloadKind, WorkloadSpec};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Client-thread counts every stress scenario sweeps.
+const CLIENT_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn synopsis(seed: u64) -> ReleasedSynopsis<2> {
+    let domain = Rect::new(0.0, 0.0, 64.0, 64.0).unwrap();
+    let pts: Vec<Point> = (0..1500)
+        .map(|i| {
+            Point::new(
+                ((i * 13) % 640) as f64 * 0.1,
+                ((i * 29 + 7) % 640) as f64 * 0.1,
+            )
+        })
+        .collect();
+    PsdConfig::kd_standard(domain, 4, 0.5)
+        .with_seed(seed)
+        .build(&pts)
+        .unwrap()
+        .release()
+}
+
+fn wire_domain(s: &ReleasedSynopsis<2>) -> Vec<f64> {
+    let d = s.domain();
+    d.min.iter().chain(d.max.iter()).copied().collect()
+}
+
+fn rect_json(coords: &[f64]) -> String {
+    let inner: Vec<String> = coords.iter().map(|c| format!("{c:?}")).collect();
+    format!("[{}]", inner.join(","))
+}
+
+fn typed(wire: &[f64]) -> Rect<2> {
+    Rect::from_corners([wire[0], wire[1]], [wire[2], wire[3]]).unwrap()
+}
+
+fn start(cache_capacity: usize) -> ServerHandle {
+    let config = ServeConfig {
+        cache_capacity,
+        ..ServeConfig::default()
+    };
+    Server::bind("127.0.0.1:0", config)
+        .expect("bind")
+        .spawn()
+        .expect("spawn")
+}
+
+/// One client's work: a mixed workload of singles and batches on a
+/// single keep-alive connection, verified bit-for-bit as it goes.
+/// Returns (requests sent, queries answered).
+fn run_client(
+    addr: std::net::SocketAddr,
+    direct: &ReleasedSynopsis<2>,
+    client_id: usize,
+    queries: usize,
+) -> Result<(u64, u64), String> {
+    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    // Every client gets its own seed, mixing all three access patterns.
+    let kinds = [
+        WorkloadKind::Uniform,
+        WorkloadKind::Hotspot,
+        WorkloadKind::CacheBust,
+    ];
+    let kind = kinds[client_id % kinds.len()];
+    let spec = WorkloadSpec::new(kind, queries, 1000 + client_id as u64);
+    let wire = generate(&wire_domain(direct), &spec);
+    let mut requests = 0u64;
+    let mut answered = 0u64;
+    let mut i = 0;
+    while i < wire.len() {
+        if i % 3 == 0 {
+            // A batch of up to 20.
+            let chunk = &wire[i..(i + 20).min(wire.len())];
+            let inner: Vec<String> = chunk.iter().map(|r| rect_json(r)).collect();
+            let body = format!("{{\"rects\":[{}]}}", inner.join(","));
+            let response = client
+                .post("/synopses/stress/query/batch", &body)
+                .map_err(|e| e.to_string())?;
+            if response.status != 200 {
+                return Err(format!("batch got {}: {}", response.status, response.body));
+            }
+            let parsed = response.json().map_err(|e| e.to_string())?;
+            let answers = parsed
+                .get("answers")
+                .and_then(|v| v.as_array())
+                .ok_or("missing answers")?;
+            let want = direct.query_batch(&chunk.iter().map(|w| typed(w)).collect::<Vec<_>>());
+            for (j, (got, want)) in answers.iter().zip(&want).enumerate() {
+                let got = got.as_f64().ok_or("non-numeric answer")?;
+                if got.to_bits() != want.to_bits() {
+                    return Err(format!("client {client_id} batch answer {j} diverged"));
+                }
+            }
+            answered += answers.len() as u64;
+            i += chunk.len();
+        } else {
+            let body = format!("{{\"rect\":{}}}", rect_json(&wire[i]));
+            let response = client
+                .post("/synopses/stress/query", &body)
+                .map_err(|e| e.to_string())?;
+            if response.status != 200 {
+                return Err(format!("query got {}: {}", response.status, response.body));
+            }
+            let got = response
+                .json()
+                .map_err(|e| e.to_string())?
+                .get("estimate")
+                .and_then(|v| v.as_f64())
+                .ok_or("missing estimate")?;
+            let want = direct.query(&typed(&wire[i]));
+            if got.to_bits() != want.to_bits() {
+                return Err(format!("client {client_id} single answer {i} diverged"));
+            }
+            answered += 1;
+            i += 1;
+        }
+        requests += 1;
+    }
+    Ok((requests, answered))
+}
+
+fn stress(cache_capacity: usize, clients: usize, queries_per_client: usize) {
+    let handle = start(cache_capacity);
+    let addr = handle.addr();
+    let direct = synopsis(77);
+    let artifact = direct.to_json_string();
+    let mut publisher = Client::connect(addr).unwrap();
+    let r = publisher.post("/synopses/stress", &artifact).unwrap();
+    assert_eq!(r.status, 200, "publish failed: {}", r.body);
+
+    // A swapper thread re-publishes the *same* artifact continuously:
+    // versions bump and the cache purges mid-flight, yet answers stay
+    // bit-identical because the synopsis content is unchanged.
+    let stop = AtomicBool::new(false);
+    let totals = std::thread::scope(|scope| {
+        let swapper = scope.spawn(|| {
+            let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+            let mut swaps = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let response = client
+                    .post("/synopses/stress", &artifact)
+                    .map_err(|e| e.to_string())?;
+                if response.status != 200 {
+                    return Err(format!("swap got {}", response.status));
+                }
+                swaps += 1;
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            Ok(swaps)
+        });
+        let workers: Vec<_> = (0..clients)
+            .map(|c| {
+                let direct = &direct;
+                scope.spawn(move || run_client(addr, direct, c, queries_per_client))
+            })
+            .collect();
+        let mut requests = 0u64;
+        let mut answered = 0u64;
+        for worker in workers {
+            let (r, a) = worker
+                .join()
+                .expect("client thread must not panic")
+                .expect("every request must succeed bit-identically");
+            requests += r;
+            answered += a;
+        }
+        stop.store(true, Ordering::Relaxed);
+        let swaps = swapper
+            .join()
+            .expect("swapper must not panic")
+            .expect("every swap must succeed");
+        (requests, answered, swaps)
+    });
+    let (requests, answered, swaps) = totals;
+    assert_eq!(answered as usize, clients * queries_per_client);
+    assert!(
+        swaps >= 1,
+        "the swapper must have hot-swapped at least once"
+    );
+
+    // The server is still fully responsive and its books balance: no
+    // poisoned lock would let /stats answer, and the per-endpoint
+    // request counters must account for every request we sent.
+    let mut checker = Client::connect(addr).unwrap();
+    let stats = checker.get("/stats").unwrap();
+    assert_eq!(stats.status, 200, "server unresponsive after stress");
+    let parsed = stats.json().unwrap();
+    let endpoints = parsed.get("endpoints").unwrap();
+    let count = |endpoint: &str, field: &str| {
+        endpoints
+            .get(endpoint)
+            .and_then(|e| e.get(field))
+            .and_then(|v| v.as_u64())
+            .unwrap()
+    };
+    let served = count("query", "requests") + count("batch", "requests");
+    assert_eq!(served, requests, "request counters lost traffic");
+    assert_eq!(count("query", "errors") + count("batch", "errors"), 0);
+    assert_eq!(
+        count("publish", "requests"),
+        swaps + 1,
+        "publish counter must see the initial publish plus every swap"
+    );
+    let version = parsed
+        .get("registry")
+        .and_then(|v| v.as_array())
+        .and_then(|a| a.first())
+        .and_then(|p| p.get("version"))
+        .and_then(|v| v.as_u64())
+        .unwrap();
+    assert_eq!(version, swaps + 1);
+    handle.shutdown();
+}
+
+#[test]
+fn stress_with_cache() {
+    for clients in CLIENT_COUNTS {
+        stress(65_536, clients, 120);
+    }
+}
+
+#[test]
+fn stress_without_cache() {
+    for clients in CLIENT_COUNTS {
+        stress(0, clients, 120);
+    }
+}
+
+#[test]
+fn tiny_cache_thrashes_but_stays_correct() {
+    // A 32-entry cache under a cache-busting mix: constant eviction,
+    // still bit-identical.
+    stress(32, 4, 100);
+}

@@ -1,0 +1,190 @@
+//! Golden wire-format pins for the serving protocol, in the same
+//! spirit as `tests/bit_identity.rs`: one canonical request/response
+//! pair per endpoint, byte-exact. Any change to the JSON field set,
+//! field order, float formatting, or error phrasing shows up here as a
+//! diff — protocol drift becomes a deliberate, reviewed change instead
+//! of an accident.
+//!
+//! To regenerate after an *intentional* protocol change, run with
+//! `PRINT_WIRE_GOLDEN=1` and paste the printed table:
+//!
+//! ```text
+//! PRINT_WIRE_GOLDEN=1 cargo test --test serve_wire_golden -- --nocapture
+//! ```
+
+use dpsd::prelude::*;
+use dpsd::serve::client::Client;
+use dpsd::serve::server::{ServeConfig, Server};
+
+/// The canonical artifact: a seeded height-1 quadtree over a 5-point
+/// dataset — tiny enough that its full wire text is reviewable.
+fn tiny_artifact() -> String {
+    let domain = Rect::new(0.0, 0.0, 8.0, 8.0).unwrap();
+    let pts = [
+        Point::new(1.0, 1.0),
+        Point::new(2.0, 6.5),
+        Point::new(5.5, 2.5),
+        Point::new(6.0, 6.0),
+        Point::new(7.5, 0.5),
+    ];
+    PsdConfig::quadtree(domain, 1, 2.0)
+        .with_seed(4242)
+        .build(&pts)
+        .unwrap()
+        .release()
+        .to_json_string()
+}
+
+/// `(label, method, path, request body, expected status, expected
+/// response body)` — the response strings are the pinned goldens.
+fn exchanges(artifact: &str) -> Vec<(&'static str, &'static str, String, String, u16, String)> {
+    vec![
+        (
+            "publish",
+            "POST",
+            "/synopses/golden".into(),
+            artifact.to_string(),
+            200,
+            "{\"name\":\"golden\",\"version\":1.0,\"dims\":2.0,\"kind\":\"quadtree\",\"nodes\":5.0,\"epsilon\":2.0,\"domain\":[0.0,0.0,8.0,8.0]}".into(),
+        ),
+        (
+            "info",
+            "GET",
+            "/synopses/golden".into(),
+            String::new(),
+            200,
+            "{\"name\":\"golden\",\"version\":1.0,\"dims\":2.0,\"kind\":\"quadtree\",\"nodes\":5.0,\"epsilon\":2.0,\"domain\":[0.0,0.0,8.0,8.0]}".into(),
+        ),
+        (
+            "list",
+            "GET",
+            "/synopses".into(),
+            String::new(),
+            200,
+            "{\"synopses\":[{\"name\":\"golden\",\"version\":1.0,\"dims\":2.0,\"kind\":\"quadtree\",\"nodes\":5.0,\"epsilon\":2.0,\"domain\":[0.0,0.0,8.0,8.0]}]}".into(),
+        ),
+        (
+            "query-miss",
+            "POST",
+            "/synopses/golden/query".into(),
+            "{\"rect\":[0.0,0.0,4.0,4.0]}".into(),
+            200,
+            "{\"name\":\"golden\",\"version\":1.0,\"estimate\":-0.5497019673077319,\"cached\":false}".into(),
+        ),
+        (
+            "query-hit",
+            "POST",
+            "/synopses/golden/query".into(),
+            "{\"rect\":[0.0,0.0,4.0,4.0]}".into(),
+            200,
+            "{\"name\":\"golden\",\"version\":1.0,\"estimate\":-0.5497019673077319,\"cached\":true}".into(),
+        ),
+        (
+            "batch",
+            "POST",
+            "/synopses/golden/query/batch".into(),
+            "{\"rects\":[[0.0,0.0,4.0,4.0],[0.0,0.0,8.0,8.0],[4.0,4.0,8.0,8.0]]}".into(),
+            200,
+            "{\"name\":\"golden\",\"version\":1.0,\"answers\":[-0.5497019673077319,5.454984591293686,1.3297857893558076],\"cache_hits\":1.0}".into(),
+        ),
+        (
+            "error-unknown-synopsis",
+            "POST",
+            "/synopses/ghost/query".into(),
+            "{\"rect\":[0.0,0.0,1.0,1.0]}".into(),
+            404,
+            "{\"error\":\"unknown synopsis `ghost`\"}".into(),
+        ),
+        (
+            "error-malformed-body",
+            "POST",
+            "/synopses/golden/query".into(),
+            "{\"rect\":[0.0,0.0]}".into(),
+            400,
+            "{\"error\":\"bad request: rect must have 4 numbers for a 2-dimensional synopsis (minima then maxima), got 2\"}".into(),
+        ),
+        (
+            "error-method-not-allowed",
+            "GET",
+            "/synopses/golden/query".into(),
+            String::new(),
+            405,
+            "{\"error\":\"method not allowed on /synopses/golden/query (allowed: POST)\"}".into(),
+        ),
+        (
+            "error-no-route",
+            "GET",
+            "/definitely/not/a/route".into(),
+            String::new(),
+            404,
+            "{\"error\":\"no such route: /definitely/not/a/route\"}".into(),
+        ),
+    ]
+}
+
+#[test]
+fn wire_format_matches_the_pinned_goldens() {
+    let print = std::env::var("PRINT_WIRE_GOLDEN").is_ok();
+    let handle = Server::bind("127.0.0.1:0", ServeConfig::default())
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let artifact = tiny_artifact();
+    for (label, method, path, body, status, golden) in exchanges(&artifact) {
+        let body_opt = (!body.is_empty()).then_some(body.as_str());
+        let response = client.request(method, &path, body_opt).unwrap();
+        if print {
+            println!("== {label}: {} {}", response.status, response.body);
+            continue;
+        }
+        assert_eq!(
+            response.status, status,
+            "{label}: status drifted (body: {})",
+            response.body
+        );
+        assert_eq!(
+            response.body, golden,
+            "{label}: wire format drifted — if intentional, regenerate with PRINT_WIRE_GOLDEN=1"
+        );
+    }
+}
+
+#[test]
+fn stats_schema_is_pinned() {
+    // Latency numbers are nondeterministic, so /stats pins its *schema*
+    // rather than bytes: the exact top-level sections, cache fields,
+    // endpoint labels, and histogram fields.
+    let handle = Server::bind("127.0.0.1:0", ServeConfig::default())
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.post("/synopses/golden", &tiny_artifact()).unwrap();
+    client
+        .post("/synopses/golden/query", "{\"rect\":[0.0,0.0,1.0,1.0]}")
+        .unwrap();
+    let stats = client.get("/stats").unwrap().json().unwrap();
+    for section in ["registry", "cache", "endpoints"] {
+        assert!(stats.get(section).is_some(), "missing section `{section}`");
+    }
+    let cache = stats.get("cache").unwrap();
+    for field in [
+        "enabled", "capacity", "entries", "hits", "misses", "hit_rate",
+    ] {
+        assert!(cache.get(field).is_some(), "missing cache field `{field}`");
+    }
+    let endpoints = stats.get("endpoints").unwrap();
+    for endpoint in ["publish", "registry", "query", "batch", "stats", "unrouted"] {
+        let entry = endpoints
+            .get(endpoint)
+            .unwrap_or_else(|| panic!("missing endpoint `{endpoint}`"));
+        for field in ["requests", "errors", "latency"] {
+            assert!(entry.get(field).is_some(), "missing `{endpoint}.{field}`");
+        }
+        let latency = entry.get("latency").unwrap();
+        for field in ["count", "mean_us", "p50_le_us", "p99_le_us", "buckets"] {
+            assert!(latency.get(field).is_some(), "missing latency `{field}`");
+        }
+    }
+}

@@ -37,6 +37,22 @@ done
 status=0
 printf '%-16s %-28s %10s   %s\n' "package" "suite" "seconds" "verdict"
 printf '%-16s %-28s %10s   %s\n' "-------" "-----" "-------" "-------"
+
+# The invariant linter gets its own row ahead of the suites: a rule
+# violation (or malformed/unused dpsd-allow) fails this gate exactly
+# like a failing test would.
+start=$(date +%s%N)
+if cargo run -q -p dpsd-analyze -- --workspace --quiet >/tmp/suite_out 2>&1; then
+  elapsed=$(( ($(date +%s%N) - start) / 1000000 ))
+  secs=$(awk "BEGIN {printf \"%.2f\", $elapsed / 1000.0}")
+  printf '%-16s %-28s %10s   %s\n' "dpsd-analyze" "(workspace lint)" "$secs" "ok"
+else
+  elapsed=$(( ($(date +%s%N) - start) / 1000000 ))
+  secs=$(awk "BEGIN {printf \"%.2f\", $elapsed / 1000.0}")
+  printf '%-16s %-28s %10s   FAILED\n' "dpsd-analyze" "(workspace lint)" "$secs"
+  cargo run -q -p dpsd-analyze -- --workspace 2>&1 | tail -40
+  status=1
+fi
 for entry in "${suites[@]}"; do
   pkg=${entry%% *}
   suite=${entry#* }

@@ -1,0 +1,155 @@
+//! Analysis configuration: which files are scanned, how a file's role
+//! is classified, and where each rule applies.
+//!
+//! Everything is plain data so tests can point rules at fixture files;
+//! [`Config::workspace_default`] encodes this workspace's real policy.
+
+/// What role a file plays, derived from its path. Several rules treat
+/// test-like code differently from library code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileRole {
+    /// Library code: the default, and the strictest context.
+    Lib,
+    /// Integration tests (`tests/` directories).
+    Test,
+    /// Benchmarks (`benches/` directories).
+    Bench,
+    /// Binary targets (`src/bin/`, `src/main.rs`).
+    Bin,
+    /// Examples (`examples/` directories).
+    Example,
+}
+
+/// Classifies a workspace-relative path (with `/` separators).
+pub fn classify(rel_path: &str) -> FileRole {
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    if parts.contains(&"tests") {
+        FileRole::Test
+    } else if parts.contains(&"benches") {
+        FileRole::Bench
+    } else if parts.contains(&"examples") {
+        FileRole::Example
+    } else if rel_path.ends_with("src/main.rs") || parts.windows(2).any(|w| w == ["src", "bin"]) {
+        FileRole::Bin
+    } else {
+        FileRole::Lib
+    }
+}
+
+/// Where each rule applies. Paths are workspace-relative prefixes with
+/// `/` separators; a file matches a prefix when its path starts with
+/// it.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Directory prefixes never scanned at all.
+    pub skip_prefixes: Vec<String>,
+    /// Files where `no-raw-spawn` does not apply (the deterministic
+    /// pool itself).
+    pub spawn_exempt: Vec<String>,
+    /// Prefixes where `no-wallclock-in-core` does not apply (bench
+    /// timing is wall-clock by definition).
+    pub wallclock_exempt: Vec<String>,
+    /// Prefixes where `no-silent-as-truncation` applies (index
+    /// arithmetic and cache-key packing).
+    pub truncation_paths: Vec<String>,
+}
+
+impl Config {
+    /// The policy for this workspace.
+    ///
+    /// * `target/`, `.git/`, and `vendor/` are not scanned — the vendor
+    ///   shims stand in for registry crates and are not held to the
+    ///   workspace's invariants;
+    /// * the analyzer's own fixtures are intentionally violating inputs
+    ///   and are excluded from the workspace scan;
+    /// * `dpsd_core::exec` is the one place raw threads may be spawned
+    ///   (it *is* the deterministic pool);
+    /// * the bench crate and `benches/` directories measure wall-clock
+    ///   time on purpose;
+    /// * the truncation rule watches the curve index arithmetic
+    ///   (`dpsd-hilbert`) and the cache-key packing that PR 4's
+    ///   MAX_ORDER overflow bug lived in.
+    pub fn workspace_default() -> Self {
+        Config {
+            skip_prefixes: vec![
+                "target/".into(),
+                ".git/".into(),
+                "vendor/".into(),
+                "crates/dpsd-analyze/tests/fixtures/".into(),
+            ],
+            spawn_exempt: vec!["crates/dpsd-core/src/exec.rs".into()],
+            wallclock_exempt: vec!["crates/dpsd-bench/".into()],
+            truncation_paths: vec![
+                "crates/dpsd-hilbert/src/".into(),
+                "crates/dpsd-serve/src/cache.rs".into(),
+            ],
+        }
+    }
+
+    /// A scoping that applies every rule to every scanned file — used
+    /// by the fixture tests so one directory exercises all rules.
+    pub fn all_rules_everywhere() -> Self {
+        Config {
+            skip_prefixes: vec![],
+            spawn_exempt: vec![],
+            wallclock_exempt: vec![],
+            truncation_paths: vec!["".into()],
+        }
+    }
+
+    /// Whether `rel_path` is excluded from scanning entirely.
+    pub fn skips(&self, rel_path: &str) -> bool {
+        Self::matches(&self.skip_prefixes, rel_path)
+    }
+
+    /// Prefix match helper.
+    pub fn matches(prefixes: &[String], rel_path: &str) -> bool {
+        prefixes.iter().any(|p| rel_path.starts_with(p.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roles_cover_the_workspace_layout() {
+        assert_eq!(
+            classify("crates/dpsd-core/src/tree/build.rs"),
+            FileRole::Lib
+        );
+        assert_eq!(classify("tests/bit_identity.rs"), FileRole::Test);
+        assert_eq!(
+            classify("crates/dpsd-hilbert/tests/proptests.rs"),
+            FileRole::Test
+        );
+        assert_eq!(
+            classify("crates/dpsd-bench/benches/batch_query.rs"),
+            FileRole::Bench
+        );
+        assert_eq!(
+            classify("crates/dpsd-serve/src/bin/loadgen.rs"),
+            FileRole::Bin
+        );
+        assert_eq!(classify("crates/dpsd-analyze/src/main.rs"), FileRole::Bin);
+        assert_eq!(classify("examples/serve_synopses.rs"), FileRole::Example);
+        assert_eq!(classify("src/lib.rs"), FileRole::Lib);
+    }
+
+    #[test]
+    fn default_config_skips_vendor_and_fixtures() {
+        let c = Config::workspace_default();
+        assert!(c.skips("vendor/rand/src/lib.rs"));
+        assert!(c.skips("target/debug/build.rs"));
+        assert!(c.skips("crates/dpsd-analyze/tests/fixtures/panic_in_lib.rs"));
+        assert!(!c.skips("crates/dpsd-analyze/src/lib.rs"));
+        assert!(Config::matches(
+            &c.truncation_paths,
+            "crates/dpsd-serve/src/cache.rs"
+        ));
+        assert!(!Config::matches(
+            &c.truncation_paths,
+            "crates/dpsd-serve/src/server.rs"
+        ));
+    }
+}

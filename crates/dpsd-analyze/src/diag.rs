@@ -1,0 +1,167 @@
+//! Diagnostics and their renderings: human-readable `file:line` lines
+//! and a machine-readable JSON report in the spirit of the
+//! `dpsd-bench-json/v1` bench reports (flat, schema-tagged,
+//! diff-friendly). JSON encoding is hand-rolled so the crate stays
+//! dependency-free.
+
+use std::fmt;
+
+/// One finding: a rule violation (or a problem with an annotation) at
+/// a specific line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The rule ID (kebab-case, e.g. `no-panic-in-lib`).
+    pub rule: String,
+    /// Workspace-relative file path with `/` separators.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// What was found, with the offending text where helpful.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A whole analysis run: findings plus scan accounting.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, sorted by (file, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Number of findings suppressed by `dpsd-allow` annotations.
+    pub suppressed: usize,
+}
+
+impl Report {
+    /// Sorts diagnostics into the stable report order.
+    pub fn finish(&mut self) {
+        self.diagnostics
+            .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    }
+
+    /// Whether the run found nothing.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// The human-readable rendering (one line per finding plus a
+    /// summary line).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "dpsd-analyze: {} finding(s) in {} file(s) scanned ({} suppressed by dpsd-allow)\n",
+            self.diagnostics.len(),
+            self.files_scanned,
+            self.suppressed
+        ));
+        out
+    }
+
+    /// The `dpsd-analyze-json/v1` report.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"schema\":\"dpsd-analyze-json/v1\"");
+        out.push_str(&format!(",\"files_scanned\":{}", self.files_scanned));
+        out.push_str(&format!(",\"suppressed\":{}", self.suppressed));
+        out.push_str(&format!(",\"findings\":{}", self.diagnostics.len()));
+        out.push_str(",\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"rule\":{},\"file\":{},\"line\":{},\"message\":{}}}",
+                json_string(&d.rule),
+                json_string(&d.file),
+                d.line,
+                json_string(&d.message)
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Minimal JSON string encoder (the only non-trivial JSON we emit).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_text_and_json() {
+        let mut r = Report {
+            diagnostics: vec![Diagnostic {
+                rule: "no-panic-in-lib".into(),
+                file: "crates/x/src/lib.rs".into(),
+                line: 7,
+                message: "`.unwrap()` with \"quotes\"".into(),
+            }],
+            files_scanned: 3,
+            suppressed: 1,
+        };
+        r.finish();
+        let text = r.to_text();
+        assert!(text.contains("crates/x/src/lib.rs:7: [no-panic-in-lib]"));
+        assert!(text.contains("1 finding(s) in 3 file(s)"));
+        let json = r.to_json();
+        assert!(json.starts_with("{\"schema\":\"dpsd-analyze-json/v1\""));
+        assert!(json.contains("\\\"quotes\\\""));
+        assert!(json.contains("\"line\":7"));
+    }
+
+    #[test]
+    fn json_escapes_control_characters() {
+        assert_eq!(json_string("a\nb"), "\"a\\nb\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn finish_sorts_stably() {
+        let mut r = Report::default();
+        for (f, l) in [("b.rs", 1), ("a.rs", 9), ("a.rs", 2)] {
+            r.diagnostics.push(Diagnostic {
+                rule: "r".into(),
+                file: f.into(),
+                line: l,
+                message: String::new(),
+            });
+        }
+        r.finish();
+        let order: Vec<_> = r
+            .diagnostics
+            .iter()
+            .map(|d| (d.file.as_str(), d.line))
+            .collect();
+        assert_eq!(order, vec![("a.rs", 2), ("a.rs", 9), ("b.rs", 1)]);
+    }
+}

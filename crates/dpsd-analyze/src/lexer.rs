@@ -1,0 +1,428 @@
+//! A minimal Rust token scanner: enough lexical structure for
+//! line-accurate, string/comment-aware rule matching — deliberately
+//! not a parser.
+//!
+//! The scanner understands the lexical shapes that would otherwise
+//! produce false positives in a grep-style linter:
+//!
+//! * line comments (`//`), nested block comments (`/* /* */ */`), and
+//!   doc comments — rule patterns inside them never fire;
+//! * string literals in every flavor (`"…"`, `r"…"`, `r#"…"#`,
+//!   `b"…"`, `br#"…"#`, `c"…"`) with escapes — `"call .unwrap()"` is
+//!   data, not code;
+//! * char literals vs. lifetimes (`'a'` vs. `'a`);
+//! * numbers (including `1.max(…)` method calls on integer literals,
+//!   float exponents, and suffixed literals like `1u64`).
+//!
+//! Output is a flat token stream with 1-based line numbers, plus the
+//! side tables rule evaluation needs: every comment (for
+//! `dpsd-allow` annotations) and the set of lines that carry code.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`unwrap`, `fn`, `thread`, …).
+    Ident,
+    /// A single punctuation character (`.`, `(`, `!`, `#`, …).
+    Punct,
+    /// Any string literal (contents are opaque to the rules).
+    Str,
+    /// A character literal.
+    Char,
+    /// A numeric literal (suffix included).
+    Num,
+    /// A lifetime (`'a`), kept distinct from char literals.
+    Lifetime,
+}
+
+/// One lexeme with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Lexeme class.
+    pub kind: TokKind,
+    /// The exact source text (single char for punctuation).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+}
+
+/// One comment (line or block), with enough context to resolve
+/// `dpsd-allow` annotations.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Full comment text, delimiters included.
+    pub text: String,
+    /// Whether only whitespace preceded the comment on its line (a
+    /// standalone comment annotates the next code line; a trailing
+    /// comment annotates its own line).
+    pub standalone: bool,
+}
+
+/// The result of scanning one file.
+#[derive(Debug, Default)]
+pub struct Scan {
+    /// All tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+    /// `code_lines[l]` is true when 1-based line `l` holds at least one
+    /// token (index 0 is unused).
+    pub code_lines: Vec<bool>,
+}
+
+impl Scan {
+    /// The first line with code at or after `line` (1-based), if any.
+    pub fn next_code_line(&self, line: u32) -> Option<u32> {
+        (line as usize..self.code_lines.len())
+            .find(|&l| self.code_lines[l])
+            .map(|l| l as u32)
+    }
+}
+
+/// Scans `source` into tokens, comments, and a code-line table.
+///
+/// The scanner never fails: bytes it cannot classify (stray `\r`,
+/// non-ASCII punctuation) are skipped, because rules only ever match
+/// on well-formed identifier/punctuation shapes.
+pub fn scan(source: &str) -> Scan {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    line_had_code: bool,
+    out: Scan,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer {
+            src: source.as_bytes(),
+            pos: 0,
+            line: 1,
+            line_had_code: false,
+            out: Scan::default(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.src.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let b = self.peek(0);
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.line_had_code = false;
+        }
+        b
+    }
+
+    fn mark_code(&mut self, line: u32) {
+        let l = line as usize;
+        if self.out.code_lines.len() <= l {
+            self.out.code_lines.resize(l + 1, false);
+        }
+        self.out.code_lines[l] = true;
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.mark_code(line);
+        self.line_had_code = true;
+        self.out.tokens.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Scan {
+        while self.pos < self.src.len() {
+            let b = self.peek(0);
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == b'/' => self.line_comment(),
+                b'/' if self.peek(1) == b'*' => self.block_comment(),
+                b'"' => self.string(false),
+                b'\'' => self.char_or_lifetime(),
+                b'0'..=b'9' => self.number(),
+                b'_' | b'a'..=b'z' | b'A'..=b'Z' => self.ident_or_prefixed_string(),
+                _ => {
+                    let line = self.line;
+                    let c = self.bump();
+                    if c.is_ascii_punctuation() {
+                        self.push(TokKind::Punct, (c as char).to_string(), line);
+                    }
+                    // Non-ASCII bytes (only legal inside literals,
+                    // comments, or exotic identifiers) are skipped.
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let standalone = !self.line_had_code;
+        let start = self.pos;
+        while self.pos < self.src.len() && self.peek(0) != b'\n' {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.out.comments.push(Comment {
+            line,
+            text,
+            standalone,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let standalone = !self.line_had_code;
+        let start = self.pos;
+        self.bump();
+        self.bump(); // consume `/*`
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                self.bump();
+                self.bump();
+            } else {
+                self.bump();
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.out.comments.push(Comment {
+            line,
+            text,
+            standalone,
+        });
+    }
+
+    /// A plain (`raw = false`) or raw (`raw = true`, `#`s already
+    /// consumed by the caller) double-quoted string.
+    fn string_body(&mut self, raw: bool, hashes: usize) {
+        // Opening quote.
+        self.bump();
+        loop {
+            match self.peek(0) {
+                0 => break, // EOF inside a literal: tolerate
+                b'\\' if !raw => {
+                    self.bump();
+                    self.bump(); // the escaped byte
+                }
+                b'"' => {
+                    self.bump();
+                    if !raw {
+                        break;
+                    }
+                    // A raw string closes only on `"` + the right
+                    // number of `#`s.
+                    let mut seen = 0usize;
+                    while seen < hashes && self.peek(0) == b'#' {
+                        self.bump();
+                        seen += 1;
+                    }
+                    if seen == hashes {
+                        break;
+                    }
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    fn string(&mut self, raw: bool) {
+        let line = self.line;
+        self.string_body(raw, 0);
+        self.push(TokKind::Str, String::new(), line);
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        let n1 = self.peek(1);
+        let n2 = self.peek(2);
+        // `'a` is a lifetime unless a closing quote follows (`'a'`);
+        // escapes (`'\n'`) are always char literals.
+        let is_lifetime =
+            (n1 == b'_' || n1.is_ascii_alphabetic()) && n2 != b'\'' && n1 != b'\\' && n1 != b'\'';
+        self.bump(); // the quote
+        if is_lifetime {
+            let mut text = String::from("'");
+            while self.peek(0) == b'_' || self.peek(0).is_ascii_alphanumeric() {
+                text.push(self.bump() as char);
+            }
+            self.push(TokKind::Lifetime, text, line);
+            return;
+        }
+        // Char literal: consume one (possibly escaped) char then the
+        // closing quote. Multi-byte UTF-8 chars just bump until `'`.
+        if self.peek(0) == b'\\' {
+            self.bump();
+            self.bump();
+        }
+        while self.pos < self.src.len() && self.peek(0) != b'\'' {
+            self.bump();
+        }
+        self.bump(); // closing quote
+        self.push(TokKind::Char, String::new(), line);
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        // Integer part, digit separators, hex/oct/bin prefixes, and
+        // type suffixes are all just "word characters" here.
+        while matches!(self.peek(0), b'0'..=b'9' | b'a'..=b'z' | b'A'..=b'Z' | b'_') {
+            self.bump();
+        }
+        // A fraction only when `.` is followed by a digit — `1.max(2)`
+        // and `0..n` keep their `.` as punctuation.
+        if self.peek(0) == b'.' && self.peek(1).is_ascii_digit() {
+            self.bump();
+            while matches!(self.peek(0), b'0'..=b'9' | b'a'..=b'z' | b'A'..=b'Z' | b'_') {
+                self.bump();
+                // Exponent sign: `1.5e-3`.
+                if matches!(self.src.get(self.pos.wrapping_sub(1)), Some(b'e' | b'E'))
+                    && matches!(self.peek(0), b'+' | b'-')
+                    && self.peek(1).is_ascii_digit()
+                {
+                    self.bump();
+                }
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push(TokKind::Num, text, line);
+    }
+
+    fn ident_or_prefixed_string(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        while matches!(self.peek(0), b'0'..=b'9' | b'a'..=b'z' | b'A'..=b'Z' | b'_') {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        // String-literal prefixes: r"", b"", br"", rb"", c"", cr"",
+        // and their r#"…"# forms.
+        let rawish = matches!(text.as_str(), "r" | "br" | "rb" | "cr");
+        let plainish = matches!(text.as_str(), "b" | "c");
+        if (rawish || plainish) && self.peek(0) == b'"' {
+            self.string_body(rawish, 0);
+            self.push(TokKind::Str, String::new(), line);
+            return;
+        }
+        if rawish && self.peek(0) == b'#' {
+            let mut hashes = 0usize;
+            while self.peek(hashes) == b'#' {
+                hashes += 1;
+            }
+            if self.peek(hashes) == b'"' {
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                self.string_body(true, hashes);
+                self.push(TokKind::Str, String::new(), line);
+                return;
+            }
+        }
+        self.push(TokKind::Ident, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        scan(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_their_contents() {
+        let src = r##"
+            // not .unwrap() code
+            /* panic! in /* nested */ comment */
+            let a = "string with .unwrap() inside";
+            let b = r#"raw "quoted" with panic!()"#;
+            let c = b"bytes .expect()";
+            real.unwrap();
+        "##;
+        let ids = idents(src);
+        assert_eq!(
+            ids,
+            vec!["let", "a", "let", "b", "let", "c", "real", "unwrap"]
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let s = scan(src);
+        let lifetimes = s
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        let chars = s.tokens.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!((lifetimes, chars), (2, 1));
+    }
+
+    #[test]
+    fn numbers_keep_method_dots() {
+        let s = scan("1.max(2); 0..5; 1.5e-3; 0xfful;");
+        let texts: Vec<_> = s.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert!(texts.contains(&"max"));
+        let nums: Vec<_> = s
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, vec!["1", "2", "0", "5", "1.5e-3", "0xfful"]);
+    }
+
+    #[test]
+    fn line_numbers_and_code_lines_track() {
+        let s = scan("a\n\n// only comment\nb\n");
+        assert_eq!(s.tokens[0].line, 1);
+        assert_eq!(s.tokens[1].line, 4);
+        assert_eq!(s.next_code_line(2), Some(4));
+        assert_eq!(s.next_code_line(5), None);
+        assert_eq!(s.comments.len(), 1);
+        assert!(s.comments[0].standalone);
+    }
+
+    #[test]
+    fn trailing_comments_are_not_standalone() {
+        let s = scan("code(); // trailing\n// standalone\n");
+        assert!(!s.comments[0].standalone);
+        assert!(s.comments[1].standalone);
+    }
+}

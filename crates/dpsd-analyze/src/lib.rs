@@ -1,0 +1,117 @@
+//! # dpsd-analyze — the workspace invariant linter
+//!
+//! A std-only static analyzer that machine-checks the engineering
+//! invariants the rest of the workspace only enforces dynamically:
+//! bit-identical parallel queries, seeded deterministic builds,
+//! poison-tolerant serving. It scans every `.rs` file with a small
+//! comment/string-aware token scanner (no parser, no dependencies —
+//! not even the vendored shims) and reports `file:line` diagnostics
+//! with rule IDs.
+//!
+//! The rules and their rationale live in [`rules`]; suppression is
+//! only possible with an inline annotation,
+//!
+//! ```text
+//! // dpsd-allow(rule-id): reason the invariant holds here
+//! ```
+//!
+//! which binds to the next code line when standalone, or to its own
+//! line when trailing. Annotations without a reason, or that suppress
+//! nothing, are themselves diagnostics — exceptions stay visible,
+//! justified, and minimal.
+//!
+//! Run it locally with:
+//!
+//! ```text
+//! cargo run -p dpsd-analyze -- --workspace
+//! cargo run -p dpsd-analyze -- --workspace --json -
+//! ```
+//!
+//! The binary exits non-zero when anything is found; CI runs it as a
+//! blocking `analyze` job.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod diag;
+pub mod lexer;
+pub mod model;
+pub mod rules;
+pub mod walk;
+
+use config::Config;
+use diag::{Diagnostic, Report};
+use model::FileModel;
+use std::path::Path;
+
+/// Analyzes one in-memory file under `cfg`, appending to `report`.
+pub fn analyze_source(rel_path: &str, source: &str, cfg: &Config, report: &mut Report) {
+    let model = FileModel::new(rel_path.to_string(), lexer::scan(source));
+    rules::check_file(&model, cfg, report);
+    report.files_scanned += 1;
+}
+
+/// Analyzes every `.rs` file under `root` (honoring the skip list)
+/// and returns the finished, sorted report. Unreadable files become
+/// diagnostics rather than aborting the run.
+pub fn analyze_root(root: &Path, cfg: &Config) -> std::io::Result<Report> {
+    let mut report = Report::default();
+    for (abs, rel) in walk::rust_files(root, cfg)? {
+        match std::fs::read_to_string(&abs) {
+            Ok(source) => analyze_source(&rel, &source, cfg, &mut report),
+            Err(e) => report.diagnostics.push(Diagnostic {
+                rule: "unreadable-file".to_string(),
+                file: rel,
+                line: 0,
+                message: format!("could not read file: {e}"),
+            }),
+        }
+    }
+    report.finish();
+    Ok(report)
+}
+
+/// Walks upward from `start` to the directory holding the workspace
+/// root `Cargo.toml` (the one with a `[workspace]` table).
+pub fn find_workspace_root(start: &Path) -> Option<std::path::PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analyze_source_counts_files_and_findings() {
+        let cfg = Config::workspace_default();
+        let mut report = Report::default();
+        analyze_source(
+            "crates/x/src/lib.rs",
+            "fn f() { a.unwrap(); }",
+            &cfg,
+            &mut report,
+        );
+        analyze_source("crates/x/src/ok.rs", "fn g() {}", &cfg, &mut report);
+        report.finish();
+        assert_eq!(report.files_scanned, 2);
+        assert_eq!(report.diagnostics.len(), 1);
+    }
+
+    #[test]
+    fn workspace_root_is_found_from_this_crate() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root");
+        assert!(root.join("crates/dpsd-analyze/Cargo.toml").exists());
+    }
+}

@@ -1,0 +1,112 @@
+//! The `dpsd-analyze` binary: runs the invariant linter over the
+//! workspace and exits non-zero when anything is found.
+//!
+//! ```text
+//! dpsd-analyze --workspace            # lint from the detected root
+//! dpsd-analyze --root /path/to/tree   # lint an explicit tree
+//! dpsd-analyze --workspace --json -   # JSON report on stdout
+//! dpsd-analyze --workspace --json report.json
+//! dpsd-analyze --list-rules           # print the rule table
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+
+use dpsd_analyze::config::Config;
+use dpsd_analyze::{analyze_root, find_workspace_root, rules};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: Option<PathBuf>,
+    json: Option<String>,
+    list_rules: bool,
+    quiet: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: dpsd-analyze [--workspace | --root PATH] [--json PATH|-] [--quiet] [--list-rules]"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        json: None,
+        list_rules: false,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            // --workspace is the default behavior; accepted for
+            // explicitness in CI invocations.
+            "--workspace" => {}
+            "--root" => {
+                let path = it.next().ok_or("--root needs a path")?;
+                args.root = Some(PathBuf::from(path));
+            }
+            "--json" => {
+                args.json = Some(it.next().ok_or("--json needs a path (or `-`)")?);
+            }
+            "--list-rules" => args.list_rules = true,
+            "--quiet" => args.quiet = true,
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("dpsd-analyze: {e}\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    if args.list_rules {
+        for (id, summary) in rules::RULES {
+            println!("{id:26} {summary}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let root = match args.root {
+        Some(root) => root,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match find_workspace_root(&cwd) {
+                Some(root) => root,
+                None => {
+                    eprintln!(
+                        "dpsd-analyze: no workspace root found above {}",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    let report = match analyze_root(&root, &Config::workspace_default()) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("dpsd-analyze: walking {} failed: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(target) = &args.json {
+        let json = report.to_json();
+        if target == "-" {
+            println!("{json}");
+        } else if let Err(e) = std::fs::write(target, json) {
+            eprintln!("dpsd-analyze: writing {target} failed: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if !args.quiet && args.json.as_deref() != Some("-") {
+        print!("{}", report.to_text());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,296 @@
+//! Per-file analysis model: the token stream from [`crate::lexer`]
+//! plus the two pieces of derived context every rule needs —
+//! which lines sit inside `#[cfg(test)]`/`#[test]` items, and which
+//! lines carry a `dpsd-allow` suppression.
+
+use crate::lexer::{Comment, Scan, Token};
+use std::cell::Cell;
+
+/// A parsed `// dpsd-allow(rule-id): reason` annotation.
+#[derive(Debug)]
+pub struct Allow {
+    /// The rule IDs the annotation suppresses.
+    pub rules: Vec<String>,
+    /// Line the comment sits on (for diagnostics about the allow).
+    pub comment_line: u32,
+    /// The code line the annotation applies to (the same line for a
+    /// trailing comment, the next code line for a standalone one).
+    pub target_line: Option<u32>,
+    /// Whether a non-empty `: reason` was given.
+    pub has_reason: bool,
+    /// Set when the annotation actually suppressed a diagnostic.
+    pub used: Cell<bool>,
+}
+
+/// One file, scanned and annotated, ready for rule evaluation.
+pub struct FileModel {
+    /// Path relative to the analysis root, with `/` separators.
+    pub rel_path: String,
+    /// The token/comment scan.
+    pub scan: Scan,
+    /// `test_lines[l]` is true when 1-based line `l` is inside a
+    /// `#[cfg(test)]` or `#[test]` item (index 0 unused).
+    pub test_lines: Vec<bool>,
+    /// All `dpsd-allow` annotations found in the file.
+    pub allows: Vec<Allow>,
+}
+
+impl FileModel {
+    /// Builds the model for one scanned file.
+    pub fn new(rel_path: String, scan: Scan) -> Self {
+        let test_lines = test_line_table(&scan);
+        let allows = collect_allows(&scan);
+        FileModel {
+            rel_path,
+            scan,
+            test_lines,
+            allows,
+        }
+    }
+
+    /// Whether 1-based `line` is inside a test-gated item.
+    pub fn in_test_code(&self, line: u32) -> bool {
+        self.test_lines.get(line as usize).copied().unwrap_or(false)
+    }
+
+    /// Looks for an unused-or-used allow of `rule` targeting `line`;
+    /// marks it used and reports whether one exists.
+    pub fn try_suppress(&self, rule: &str, line: u32) -> bool {
+        let mut hit = false;
+        for allow in &self.allows {
+            if allow.target_line == Some(line) && allow.rules.iter().any(|r| r == rule) {
+                allow.used.set(true);
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    /// The tokens of the file (convenience for rules).
+    pub fn tokens(&self) -> &[Token] {
+        &self.scan.tokens
+    }
+}
+
+/// Parses one comment for a `dpsd-allow(...)` annotation.
+///
+/// Doc comments (`///`, `//!`, `/**`, `/*!`) never carry annotations:
+/// documentation *about* the mechanism must not activate it.
+fn parse_allow(comment: &Comment, scan: &Scan) -> Option<Allow> {
+    let text = &comment.text;
+    let is_doc = text.starts_with("///")
+        || text.starts_with("//!")
+        || text.starts_with("/**")
+        || text.starts_with("/*!");
+    if is_doc {
+        return None;
+    }
+    let start = text.find("dpsd-allow(")?;
+    let after = &text[start + "dpsd-allow(".len()..];
+    let close = after.find(')')?;
+    let rules: Vec<String> = after[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    let rest = after[close + 1..].trim_start();
+    let has_reason = rest.strip_prefix(':').is_some_and(|r| !r.trim().is_empty());
+    let target_line = if comment.standalone {
+        scan.next_code_line(comment.line + 1)
+    } else {
+        Some(comment.line)
+    };
+    Some(Allow {
+        rules,
+        comment_line: comment.line,
+        target_line,
+        has_reason,
+        used: Cell::new(false),
+    })
+}
+
+fn collect_allows(scan: &Scan) -> Vec<Allow> {
+    scan.comments
+        .iter()
+        .filter_map(|c| parse_allow(c, scan))
+        .collect()
+}
+
+/// Whether the attribute tokens (between `#[` and `]`) gate an item to
+/// test builds. Recognizes `#[test]`, path-suffixed test macros
+/// (`#[tokio::test]`), and any `#[cfg(...)]` that mentions `test`
+/// without a `not` (so `#[cfg(not(test))]` stays production code).
+fn is_test_attr(attr: &[Token]) -> bool {
+    let idents: Vec<&str> = attr
+        .iter()
+        .filter(|t| t.kind == crate::lexer::TokKind::Ident)
+        .map(|t| t.text.as_str())
+        .collect();
+    match idents.as_slice() {
+        [] => false,
+        [.., last] if *last == "test" && idents.len() <= 2 && idents[0] != "cfg" => true,
+        _ => idents.first() == Some(&"cfg") && idents.contains(&"test") && !idents.contains(&"not"),
+    }
+}
+
+/// Marks the line span of every test-gated item.
+///
+/// After a test attribute, the item body is found by scanning for the
+/// first `{` or `;` at bracket/paren depth 0 (skipping any further
+/// attributes); a brace opens a region closed by its matching brace,
+/// a semicolon ends a brace-less item on the spot.
+fn test_line_table(scan: &Scan) -> Vec<bool> {
+    let toks = &scan.tokens;
+    let mut table = vec![false; scan.code_lines.len().max(1)];
+    let mark = |from: u32, to: u32, table: &mut Vec<bool>| {
+        let hi = (to as usize).max(from as usize);
+        if table.len() <= hi {
+            table.resize(hi + 1, false);
+        }
+        for flag in &mut table[from as usize..=hi] {
+            *flag = true;
+        }
+    };
+    let mut i = 0;
+    while i < toks.len() {
+        if !(toks[i].is_punct('#') && i + 1 < toks.len() && toks[i + 1].is_punct('[')) {
+            i += 1;
+            continue;
+        }
+        // Collect the attribute's tokens up to the matching `]`.
+        let attr_start = i + 2;
+        let mut depth = 1usize;
+        let mut j = attr_start;
+        while j < toks.len() && depth > 0 {
+            if toks[j].is_punct('[') {
+                depth += 1;
+            } else if toks[j].is_punct(']') {
+                depth -= 1;
+            }
+            j += 1;
+        }
+        let attr = &toks[attr_start..j.saturating_sub(1)];
+        if !is_test_attr(attr) {
+            i = j;
+            continue;
+        }
+        let region_start = toks[i].line;
+        // Skip stacked attributes after this one.
+        let mut k = j;
+        while k + 1 < toks.len() && toks[k].is_punct('#') && toks[k + 1].is_punct('[') {
+            let mut d = 1usize;
+            let mut m = k + 2;
+            while m < toks.len() && d > 0 {
+                if toks[m].is_punct('[') {
+                    d += 1;
+                } else if toks[m].is_punct(']') {
+                    d -= 1;
+                }
+                m += 1;
+            }
+            k = m;
+        }
+        // Find the item body (or terminating `;`) at nesting depth 0.
+        let mut paren = 0i32;
+        let mut bracket = 0i32;
+        while k < toks.len() {
+            let t = &toks[k];
+            if t.is_punct('(') {
+                paren += 1;
+            } else if t.is_punct(')') {
+                paren -= 1;
+            } else if t.is_punct('[') {
+                bracket += 1;
+            } else if t.is_punct(']') {
+                bracket -= 1;
+            } else if paren == 0 && bracket == 0 && t.is_punct(';') {
+                // Brace-less item (`#[cfg(test)] use …;`).
+                mark(region_start, t.line, &mut table);
+                break;
+            } else if paren == 0 && bracket == 0 && t.is_punct('{') {
+                // Brace-matched body.
+                let mut braces = 1i32;
+                let mut m = k + 1;
+                while m < toks.len() && braces > 0 {
+                    if toks[m].is_punct('{') {
+                        braces += 1;
+                    } else if toks[m].is_punct('}') {
+                        braces -= 1;
+                    }
+                    m += 1;
+                }
+                let end_line = toks.get(m.saturating_sub(1)).map_or(t.line, |t| t.line);
+                mark(region_start, end_line, &mut table);
+                k = m;
+                break;
+            }
+            k += 1;
+        }
+        i = k.max(j);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+
+    fn model(src: &str) -> FileModel {
+        FileModel::new("x.rs".to_string(), scan(src))
+    }
+
+    #[test]
+    fn cfg_test_module_is_marked_to_its_closing_brace() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n  fn t() {}\n}\nfn lib2() {}\n";
+        let m = model(src);
+        assert!(!m.in_test_code(1));
+        assert!(m.in_test_code(2));
+        assert!(m.in_test_code(4));
+        assert!(m.in_test_code(5));
+        assert!(!m.in_test_code(6));
+    }
+
+    #[test]
+    fn cfg_not_test_is_production_code() {
+        let m = model("#[cfg(not(test))]\nfn prod() { x.unwrap(); }\n");
+        assert!(!m.in_test_code(2));
+    }
+
+    #[test]
+    fn test_fn_attribute_marks_only_the_item() {
+        let src = "#[test]\nfn t() {\n  boom();\n}\nfn lib() {}\n";
+        let m = model(src);
+        assert!(m.in_test_code(3));
+        assert!(!m.in_test_code(5));
+    }
+
+    #[test]
+    fn braceless_cfg_test_item_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nuse helper::thing;\nfn lib() {}\n";
+        let m = model(src);
+        assert!(m.in_test_code(2));
+        assert!(!m.in_test_code(3));
+    }
+
+    #[test]
+    fn allow_annotations_resolve_targets() {
+        let src = "\
+// dpsd-allow(rule-a): standalone, binds next code line
+code_a();
+code_b(); // dpsd-allow(rule-b, rule-c): trailing binds its own line
+// dpsd-allow(rule-d)
+code_d();
+";
+        let m = model(src);
+        assert_eq!(m.allows.len(), 3);
+        assert_eq!(m.allows[0].target_line, Some(2));
+        assert!(m.allows[0].has_reason);
+        assert_eq!(m.allows[1].target_line, Some(3));
+        assert_eq!(m.allows[1].rules, vec!["rule-b", "rule-c"]);
+        assert!(!m.allows[2].has_reason, "missing `: reason` is flagged");
+        assert!(m.try_suppress("rule-a", 2));
+        assert!(m.allows[0].used.get());
+        assert!(!m.try_suppress("rule-a", 3));
+    }
+}

@@ -1,0 +1,440 @@
+//! The rule engine and the six invariant rules.
+//!
+//! Rules are token-sequence matchers over one [`FileModel`]; each
+//! encodes an invariant the test suite otherwise only enforces
+//! dynamically. A finding is suppressed only by an inline
+//! `// dpsd-allow(rule-id): reason` annotation, and the engine flags
+//! annotations that are malformed (no reason) or unused (suppressed
+//! nothing), so exceptions stay visible, justified, and minimal.
+//!
+//! | rule | invariant |
+//! |---|---|
+//! | `no-panic-in-lib` | library code returns typed errors, it does not `unwrap`/`expect`/`panic!` |
+//! | `no-unseeded-rng` | all randomness is explicitly seeded — bit-identity fingerprints depend on it |
+//! | `no-wallclock-in-core` | build/query paths are time-invariant; only metrics and bench timing read clocks |
+//! | `no-raw-spawn` | all parallelism goes through the deterministic pool (`dpsd_core::exec`) |
+//! | `no-lock-unwrap` | server code recovers from poisoned locks instead of cascading panics |
+//! | `no-silent-as-truncation` | index arithmetic converts with `try_from`, not silently-narrowing `as` |
+
+use crate::config::{classify, Config, FileRole};
+use crate::diag::{Diagnostic, Report};
+use crate::lexer::Token;
+use crate::model::FileModel;
+
+/// Every rule the engine knows, as `(id, summary)` pairs.
+pub const RULES: [(&str, &str); 6] = [
+    (
+        "no-panic-in-lib",
+        "no unwrap/expect/panic! outside tests, benches, examples, and bins",
+    ),
+    (
+        "no-unseeded-rng",
+        "no thread_rng/from_entropy/OsRng — seed every RNG explicitly",
+    ),
+    (
+        "no-wallclock-in-core",
+        "no Instant::now/SystemTime in build or query paths",
+    ),
+    (
+        "no-raw-spawn",
+        "no std::thread::spawn in library code outside dpsd_core::exec",
+    ),
+    (
+        "no-lock-unwrap",
+        "no .lock()/.read()/.write() followed by .unwrap()/.expect() — recover from poisoning",
+    ),
+    (
+        "no-silent-as-truncation",
+        "no narrowing `as` casts in index arithmetic — use try_from",
+    ),
+];
+
+/// Whether `id` names a rule this engine implements.
+pub fn known_rule(id: &str) -> bool {
+    RULES.iter().any(|(r, _)| *r == id)
+}
+
+/// A candidate finding before suppression is applied.
+struct Candidate {
+    rule: &'static str,
+    line: u32,
+    message: String,
+}
+
+/// Runs every rule against one file, applying `dpsd-allow`
+/// suppression, and appends findings to `report`.
+pub fn check_file(model: &FileModel, cfg: &Config, report: &mut Report) {
+    let role = classify(&model.rel_path);
+    let mut candidates = Vec::new();
+    no_panic_in_lib(model, role, &mut candidates);
+    no_unseeded_rng(model, &mut candidates);
+    no_wallclock_in_core(model, role, cfg, &mut candidates);
+    no_raw_spawn(model, role, cfg, &mut candidates);
+    no_lock_unwrap(model, role, &mut candidates);
+    no_silent_as_truncation(model, cfg, &mut candidates);
+
+    for c in candidates {
+        if model.try_suppress(c.rule, c.line) {
+            report.suppressed += 1;
+        } else {
+            report.diagnostics.push(Diagnostic {
+                rule: c.rule.to_string(),
+                file: model.rel_path.clone(),
+                line: c.line,
+                message: c.message,
+            });
+        }
+    }
+    audit_allows(model, report);
+}
+
+/// Flags `dpsd-allow` annotations that are malformed (no `: reason`),
+/// name no known rule, or suppressed nothing.
+fn audit_allows(model: &FileModel, report: &mut Report) {
+    for allow in &model.allows {
+        let mut push = |rule: &str, message: String| {
+            report.diagnostics.push(Diagnostic {
+                rule: rule.to_string(),
+                file: model.rel_path.clone(),
+                line: allow.comment_line,
+                message,
+            });
+        };
+        if !allow.has_reason {
+            push(
+                "malformed-allow",
+                format!(
+                    "dpsd-allow({}) has no `: reason` — every exception must say why",
+                    allow.rules.join(", ")
+                ),
+            );
+        }
+        if let Some(bad) = allow.rules.iter().find(|r| !known_rule(r)) {
+            push(
+                "unused-allow",
+                format!("dpsd-allow names unknown rule `{bad}`"),
+            );
+        } else if !allow.used.get() {
+            push(
+                "unused-allow",
+                format!(
+                    "dpsd-allow({}) suppresses nothing on its target line — remove it",
+                    allow.rules.join(", ")
+                ),
+            );
+        }
+    }
+}
+
+/// `tokens[i..]` starts with `.name(` for one of `names`; returns the
+/// matched name.
+fn method_call<'t>(tokens: &'t [Token], i: usize, names: &[&str]) -> Option<&'t str> {
+    let (dot, name, paren) = (tokens.get(i)?, tokens.get(i + 1)?, tokens.get(i + 2)?);
+    (dot.is_punct('.') && names.iter().any(|n| name.is_ident(n)) && paren.is_punct('('))
+        .then_some(name.text.as_str())
+}
+
+/// `tokens[i..]` starts with `first::second`.
+fn path_pair(tokens: &[Token], i: usize, first: &str, second: &str) -> bool {
+    matches!(
+        (tokens.get(i), tokens.get(i + 1), tokens.get(i + 2), tokens.get(i + 3)),
+        (Some(a), Some(c1), Some(c2), Some(b))
+            if a.is_ident(first) && c1.is_punct(':') && c2.is_punct(':') && b.is_ident(second)
+    )
+}
+
+fn no_panic_in_lib(model: &FileModel, role: FileRole, out: &mut Vec<Candidate>) {
+    if role != FileRole::Lib {
+        return;
+    }
+    let toks = model.tokens();
+    for i in 0..toks.len() {
+        let line = toks[i].line;
+        if model.in_test_code(line) {
+            continue;
+        }
+        if let Some(name) = method_call(toks, i, &["unwrap", "expect"]) {
+            // `.lock().unwrap()` belongs to the more specific
+            // no-lock-unwrap rule; don't double-report it here.
+            let lock_pattern = i >= 4
+                && method_call(toks, i - 4, &["lock", "read", "write"]).is_some()
+                && toks[i - 1].is_punct(')');
+            if !lock_pattern {
+                out.push(Candidate {
+                    rule: "no-panic-in-lib",
+                    line: toks[i + 1].line,
+                    message: format!(
+                        "`.{name}()` in library code — return a typed error (DpsdError/ServeError) instead"
+                    ),
+                });
+            }
+        }
+        if toks[i].is_ident("panic") && toks.get(i + 1).is_some_and(|t| t.is_punct('!')) {
+            out.push(Candidate {
+                rule: "no-panic-in-lib",
+                line,
+                message: "`panic!` in library code — return a typed error instead".to_string(),
+            });
+        }
+    }
+}
+
+fn no_unseeded_rng(model: &FileModel, out: &mut Vec<Candidate>) {
+    const ENTROPY: [&str; 4] = ["thread_rng", "from_entropy", "from_os_rng", "OsRng"];
+    for t in model.tokens() {
+        if let Some(name) = ENTROPY.iter().find(|n| t.is_ident(n)) {
+            out.push(Candidate {
+                rule: "no-unseeded-rng",
+                line: t.line,
+                message: format!(
+                    "`{name}` draws entropy — seed explicitly; bit-identity fingerprints and \
+                     deterministic builds depend on it (applies to tests too)"
+                ),
+            });
+        }
+    }
+}
+
+fn no_wallclock_in_core(model: &FileModel, role: FileRole, cfg: &Config, out: &mut Vec<Candidate>) {
+    if role == FileRole::Bench || Config::matches(&cfg.wallclock_exempt, &model.rel_path) {
+        return;
+    }
+    let toks = model.tokens();
+    for i in 0..toks.len() {
+        let line = toks[i].line;
+        let hit = if path_pair(toks, i, "Instant", "now") {
+            Some("Instant::now()")
+        } else if path_pair(toks, i, "SystemTime", "now") {
+            Some("SystemTime::now()")
+        } else if toks[i].is_ident("UNIX_EPOCH") {
+            Some("UNIX_EPOCH")
+        } else {
+            None
+        };
+        if let Some(what) = hit {
+            out.push(Candidate {
+                rule: "no-wallclock-in-core",
+                line,
+                message: format!(
+                    "`{what}` reads the wall clock — build/query paths must be time-invariant \
+                     (metrics and bench timing annotate with dpsd-allow)"
+                ),
+            });
+        }
+    }
+}
+
+fn no_raw_spawn(model: &FileModel, role: FileRole, cfg: &Config, out: &mut Vec<Candidate>) {
+    if role != FileRole::Lib || Config::matches(&cfg.spawn_exempt, &model.rel_path) {
+        return;
+    }
+    let toks = model.tokens();
+    for i in 0..toks.len() {
+        let line = toks[i].line;
+        if model.in_test_code(line) {
+            continue;
+        }
+        if path_pair(toks, i, "thread", "spawn") {
+            out.push(Candidate {
+                rule: "no-raw-spawn",
+                line,
+                message: "`thread::spawn` outside the deterministic pool — route parallelism \
+                          through dpsd_core::exec"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+fn no_lock_unwrap(model: &FileModel, role: FileRole, out: &mut Vec<Candidate>) {
+    if matches!(role, FileRole::Test | FileRole::Bench | FileRole::Example) {
+        return;
+    }
+    let toks = model.tokens();
+    for i in 0..toks.len() {
+        let line = toks[i].line;
+        if model.in_test_code(line) {
+            continue;
+        }
+        // `.lock().unwrap(` / `.read().expect(` / `.write().unwrap(` —
+        // seven tokens: . name ( ) . unwrap (
+        let Some(lock) = method_call(toks, i, &["lock", "read", "write"]) else {
+            continue;
+        };
+        let lock = lock.to_string();
+        if toks.get(i + 3).is_some_and(|t| t.is_punct(')'))
+            && method_call(toks, i + 4, &["unwrap", "expect"]).is_some()
+        {
+            out.push(Candidate {
+                rule: "no-lock-unwrap",
+                line,
+                message: format!(
+                    "`.{lock}().unwrap()`-style lock acquisition — one panicking thread would \
+                     poison-cascade; use the poison-recovering lock_or_recover helpers"
+                ),
+            });
+        }
+    }
+}
+
+fn no_silent_as_truncation(model: &FileModel, cfg: &Config, out: &mut Vec<Candidate>) {
+    if !Config::matches(&cfg.truncation_paths, &model.rel_path) {
+        return;
+    }
+    const NARROW: [&str; 4] = ["u8", "u16", "u32", "usize"];
+    let toks = model.tokens();
+    for i in 0..toks.len() {
+        let line = toks[i].line;
+        if model.in_test_code(line) {
+            continue;
+        }
+        if toks[i].is_ident("as") {
+            if let Some(target) = toks
+                .get(i + 1)
+                .and_then(|t| NARROW.iter().find(|n| t.is_ident(n)))
+            {
+                out.push(Candidate {
+                    rule: "no-silent-as-truncation",
+                    line,
+                    message: format!(
+                        "`as {target}` can silently truncate index arithmetic (the PR 4 \
+                         MAX_ORDER overflow class) — use try_from or annotate why it cannot"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+
+    fn run(path: &str, src: &str, cfg: &Config) -> Report {
+        let model = FileModel::new(path.to_string(), scan(src));
+        let mut report = Report::default();
+        check_file(&model, cfg, &mut report);
+        report.finish();
+        report
+    }
+
+    fn rules_hit(report: &Report) -> Vec<&str> {
+        report.diagnostics.iter().map(|d| d.rule.as_str()).collect()
+    }
+
+    #[test]
+    fn panic_rule_respects_roles_and_cfg_test() {
+        let cfg = Config::workspace_default();
+        let src = "fn f() { x.unwrap(); }\n#[cfg(test)]\nmod t { fn g() { y.unwrap(); } }\n";
+        let r = run("crates/c/src/lib.rs", src, &cfg);
+        assert_eq!(rules_hit(&r), vec!["no-panic-in-lib"]);
+        assert_eq!(r.diagnostics[0].line, 1);
+        // Same content in a test file: clean.
+        assert!(run("tests/x.rs", src, &cfg).is_clean());
+        // unwrap_or and friends never fire.
+        assert!(run("crates/c/src/lib.rs", "fn f() { x.unwrap_or(0); }", &cfg).is_clean());
+    }
+
+    #[test]
+    fn rng_rule_fires_everywhere_including_tests() {
+        let cfg = Config::workspace_default();
+        let r = run("tests/x.rs", "let mut rng = thread_rng();", &cfg);
+        assert_eq!(rules_hit(&r), vec!["no-unseeded-rng"]);
+    }
+
+    #[test]
+    fn wallclock_rule_exempts_benches() {
+        let cfg = Config::workspace_default();
+        let src = "let t = Instant::now();";
+        assert_eq!(
+            rules_hit(&run("crates/c/src/lib.rs", src, &cfg)),
+            vec!["no-wallclock-in-core"]
+        );
+        assert!(run("crates/c/benches/b.rs", src, &cfg).is_clean());
+        assert!(run("crates/dpsd-bench/src/lib.rs", src, &cfg).is_clean());
+        // Mentioning the type (imports, fields) is fine; acquiring is not.
+        assert!(run("crates/c/src/lib.rs", "use std::time::Instant;", &cfg).is_clean());
+    }
+
+    #[test]
+    fn spawn_rule_exempts_the_pool_and_tests() {
+        let cfg = Config::workspace_default();
+        let src = "std::thread::spawn(|| {});";
+        assert_eq!(
+            rules_hit(&run("crates/c/src/lib.rs", src, &cfg)),
+            vec!["no-raw-spawn"]
+        );
+        assert!(run("crates/dpsd-core/src/exec.rs", src, &cfg).is_clean());
+        assert!(run("tests/stress.rs", src, &cfg).is_clean());
+        assert!(run("crates/c/src/bin/tool.rs", src, &cfg).is_clean());
+    }
+
+    #[test]
+    fn lock_rule_matches_all_three_acquisitions() {
+        let cfg = Config::workspace_default();
+        for acquire in ["lock", "read", "write"] {
+            for sink in ["unwrap", "expect"] {
+                let src = format!("let g = m.{acquire}().{sink}(\"poisoned\");");
+                let r = run("crates/dpsd-serve/src/registry.rs", &src, &cfg);
+                // Exactly one finding: the lock pattern is owned by
+                // no-lock-unwrap, not double-reported by the panic rule.
+                assert_eq!(rules_hit(&r), vec!["no-lock-unwrap"], "{acquire}/{sink}");
+            }
+        }
+        // A bare read() without unwrap is fine.
+        assert!(run(
+            "crates/dpsd-serve/src/registry.rs",
+            "let g = lock_or_recover(&m);",
+            &cfg
+        )
+        .is_clean());
+    }
+
+    #[test]
+    fn truncation_rule_is_path_scoped() {
+        let cfg = Config::workspace_default();
+        let src = "let i = h as usize;";
+        let r = run("crates/dpsd-hilbert/src/nd.rs", src, &cfg);
+        assert!(rules_hit(&r).contains(&"no-silent-as-truncation"));
+        assert!(run("crates/dpsd-core/src/tree/build.rs", src, &cfg).is_clean());
+        // Widening casts never fire.
+        assert!(run("crates/dpsd-hilbert/src/nd.rs", "let x = i as u64;", &cfg).is_clean());
+    }
+
+    #[test]
+    fn allow_suppresses_and_is_audited() {
+        let cfg = Config::workspace_default();
+        let src = "\
+// dpsd-allow(no-panic-in-lib): invariant: index came from the same map
+fn f() { x.unwrap(); }
+";
+        let r = run("crates/c/src/lib.rs", src, &cfg);
+        assert!(r.is_clean(), "{:?}", r.diagnostics);
+        assert_eq!(r.suppressed, 1);
+
+        // No reason: malformed (and it still suppresses, so no
+        // unused-allow double report).
+        let src = "fn f() { x.unwrap(); } // dpsd-allow(no-panic-in-lib)\n";
+        let r = run("crates/c/src/lib.rs", src, &cfg);
+        assert_eq!(rules_hit(&r), vec!["malformed-allow"]);
+
+        // Unused: flagged.
+        let src = "// dpsd-allow(no-panic-in-lib): nothing here\nfn f() {}\n";
+        let r = run("crates/c/src/lib.rs", src, &cfg);
+        assert_eq!(rules_hit(&r), vec!["unused-allow"]);
+
+        // Unknown rule id: flagged.
+        let src = "// dpsd-allow(no-such-rule): typo\nfn f() { x.unwrap(); }\n";
+        let r = run("crates/c/src/lib.rs", src, &cfg);
+        assert!(rules_hit(&r).contains(&"unused-allow"));
+        assert!(rules_hit(&r).contains(&"no-panic-in-lib"));
+    }
+
+    #[test]
+    fn rule_text_inside_strings_never_fires() {
+        let cfg = Config::workspace_default();
+        let src = r#"fn f() -> &'static str { "call .unwrap() or panic! or thread_rng()" }"#;
+        assert!(run("crates/c/src/lib.rs", src, &cfg).is_clean());
+    }
+}

@@ -1,0 +1,84 @@
+//! Workspace file discovery: a recursive walk collecting `.rs` files,
+//! honoring the [`Config`] skip list, with
+//! stable (sorted) output so reports diff cleanly across runs.
+
+use crate::config::Config;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// All `.rs` files under `root` not excluded by `cfg`, as
+/// `(absolute path, root-relative path with / separators)` pairs,
+/// sorted by relative path.
+pub fn rust_files(root: &Path, cfg: &Config) -> io::Result<Vec<(PathBuf, String)>> {
+    let mut out = Vec::new();
+    walk(root, root, cfg, &mut out)?;
+    out.sort_by(|a, b| a.1.cmp(&b.1));
+    Ok(out)
+}
+
+fn rel_str(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let mut s = String::new();
+    for comp in rel.components() {
+        if !s.is_empty() {
+            s.push('/');
+        }
+        s.push_str(&comp.as_os_str().to_string_lossy());
+    }
+    s
+}
+
+fn walk(root: &Path, dir: &Path, cfg: &Config, out: &mut Vec<(PathBuf, String)>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let rel = rel_str(root, &path);
+        let file_type = entry.file_type()?;
+        if file_type.is_dir() {
+            // Skip prefixes are written `dir/`, so compare with the
+            // trailing slash a directory would carry.
+            if cfg.skips(&format!("{rel}/")) {
+                continue;
+            }
+            walk(root, &path, cfg, out)?;
+        } else if file_type.is_file() && rel.ends_with(".rs") && !cfg.skips(&rel) {
+            out.push((path, rel));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walk_finds_this_crate_and_skips_fixtures() {
+        // The crate's own source tree is a stable fixture.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let files = rust_files(root, &Config::workspace_default()).unwrap();
+        let rels: Vec<&str> = files.iter().map(|(_, r)| r.as_str()).collect();
+        assert!(rels.contains(&"src/lexer.rs"));
+        assert!(rels.windows(2).all(|w| w[0] < w[1]), "sorted");
+    }
+
+    #[test]
+    fn skip_prefixes_apply_to_directories() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .unwrap()
+            .parent()
+            .unwrap()
+            .to_path_buf();
+        let files = rust_files(&root, &Config::workspace_default()).unwrap();
+        assert!(files.iter().all(|(_, r)| !r.starts_with("vendor/")));
+        assert!(files.iter().all(|(_, r)| !r.starts_with("target/")));
+        assert!(files
+            .iter()
+            .all(|(_, r)| !r.starts_with("crates/dpsd-analyze/tests/fixtures/")));
+        assert!(files
+            .iter()
+            .any(|(_, r)| r == "crates/dpsd-core/src/lib.rs"));
+    }
+}

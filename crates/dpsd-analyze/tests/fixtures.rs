@@ -1,0 +1,135 @@
+//! Fixture-driven end-to-end tests: each file under `tests/fixtures/`
+//! is fed through the full scan → model → rules pipeline and compared
+//! against an exact expected diagnostic list (rule + line).
+//!
+//! Fixtures run under [`Config::all_rules_everywhere`] with a
+//! library-role path, so every rule is live regardless of where the
+//! fixture sits on disk (the workspace config skips the fixtures
+//! directory for exactly this reason — they are intentionally
+//! violating inputs).
+
+use dpsd_analyze::analyze_source;
+use dpsd_analyze::config::Config;
+use dpsd_analyze::diag::Report;
+use std::path::Path;
+
+/// Runs one fixture as if it were `crates/fixture/src/lib.rs`.
+fn run_fixture(name: &str) -> Report {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let source =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {name} unreadable: {e}"));
+    let mut report = Report::default();
+    analyze_source(
+        "crates/fixture/src/lib.rs",
+        &source,
+        &Config::all_rules_everywhere(),
+        &mut report,
+    );
+    report.finish();
+    report
+}
+
+/// The report's findings as comparable `(rule, line)` pairs.
+fn findings(report: &Report) -> Vec<(&str, u32)> {
+    report
+        .diagnostics
+        .iter()
+        .map(|d| (d.rule.as_str(), d.line))
+        .collect()
+}
+
+#[test]
+fn clean_fixture_has_no_findings() {
+    let r = run_fixture("clean.rs");
+    assert!(r.is_clean(), "unexpected findings: {:?}", r.diagnostics);
+    assert_eq!(r.suppressed, 0, "nothing in clean.rs should need an allow");
+}
+
+#[test]
+fn panic_fixture_flags_each_site_and_exempts_tests() {
+    let r = run_fixture("panic_in_lib.rs");
+    assert_eq!(
+        findings(&r),
+        vec![
+            ("no-panic-in-lib", 5),
+            ("no-panic-in-lib", 9),
+            ("no-panic-in-lib", 13),
+        ]
+    );
+}
+
+#[test]
+fn rng_fixture_flags_test_code_too() {
+    let r = run_fixture("unseeded_rng.rs");
+    assert_eq!(
+        findings(&r),
+        vec![
+            ("no-unseeded-rng", 5),
+            ("no-unseeded-rng", 10),
+            ("no-unseeded-rng", 18),
+        ]
+    );
+}
+
+#[test]
+fn wallclock_fixture_flags_all_three_clock_reads() {
+    let r = run_fixture("wallclock.rs");
+    assert_eq!(
+        findings(&r),
+        vec![
+            ("no-wallclock-in-core", 4),
+            ("no-wallclock-in-core", 5),
+            ("no-wallclock-in-core", 10),
+        ]
+    );
+}
+
+#[test]
+fn spawn_fixture_flags_qualified_and_bare_paths() {
+    let r = run_fixture("raw_spawn.rs");
+    assert_eq!(findings(&r), vec![("no-raw-spawn", 5), ("no-raw-spawn", 9)]);
+}
+
+#[test]
+fn lock_fixture_flags_each_acquisition_exactly_once() {
+    let r = run_fixture("lock_unwrap.rs");
+    assert_eq!(
+        findings(&r),
+        vec![
+            ("no-lock-unwrap", 6),
+            ("no-lock-unwrap", 10),
+            ("no-lock-unwrap", 14),
+        ]
+    );
+}
+
+#[test]
+fn truncation_fixture_flags_narrowing_not_widening() {
+    let r = run_fixture("truncation.rs");
+    assert_eq!(
+        findings(&r),
+        vec![
+            ("no-silent-as-truncation", 5),
+            ("no-silent-as-truncation", 9),
+        ]
+    );
+}
+
+#[test]
+fn allow_fixture_suppresses_and_audits() {
+    let r = run_fixture("allow.rs");
+    // Three real findings suppressed: the two justified allows and the
+    // reason-less one (which still suppresses, but is flagged as
+    // malformed so it cannot pass CI).
+    assert_eq!(r.suppressed, 3);
+    assert_eq!(
+        findings(&r),
+        vec![
+            ("malformed-allow", 14),
+            ("unused-allow", 18),
+            ("unused-allow", 21),
+        ]
+    );
+}

@@ -1,0 +1,22 @@
+//! Suppression behavior: justified allows silence findings; malformed
+//! and unused allows are themselves findings.
+
+pub fn standalone_justified(x: Option<u32>) -> u32 {
+    // dpsd-allow(no-panic-in-lib): fixture-justified exception
+    x.unwrap()
+}
+
+pub fn trailing_justified(x: Option<u32>) -> u32 {
+    x.unwrap() // dpsd-allow(no-panic-in-lib): trailing form binds its own line
+}
+
+pub fn missing_reason(x: Option<u32>) -> u32 {
+    // dpsd-allow(no-panic-in-lib)
+    x.unwrap()
+}
+
+// dpsd-allow(no-such-rule): names a rule that does not exist
+pub fn unknown_rule() {}
+
+// dpsd-allow(no-panic-in-lib): nothing on the next line panics
+pub fn suppresses_nothing() {}

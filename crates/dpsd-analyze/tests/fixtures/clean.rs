@@ -1,0 +1,42 @@
+//! A fixture with zero violations. Everything here merely *mentions*
+//! forbidden patterns in positions the lexer must see through:
+//! strings, raw strings, comments, doc comments, and lifetimes.
+
+/// Doc text saying `x.unwrap()` or `thread_rng()` is documentation.
+pub fn describe() -> &'static str {
+    // A comment saying foo.unwrap() is not a call.
+    "calling .unwrap() or panic!(\"boom\") inside a string is data"
+}
+
+pub fn raw_strings() -> &'static str {
+    r#"thread_rng() and Instant::now() inside a raw "string" stay data"#
+}
+
+pub fn lifetimes_are_not_chars<'a>(s: &'a str) -> &'a str {
+    let _c: char = 'x';
+    let _esc: char = '\'';
+    s
+}
+
+pub fn numbers_keep_method_dots() -> u64 {
+    let widened = 7u32 as u64; // widening cast: not a truncation
+    1.max(widened)
+}
+
+/* block comment: m.lock().unwrap() here is prose,
+/* even nested */ and still prose */
+pub fn recovered(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_and_panic() {
+        Some(1).unwrap();
+        None::<u32>.expect("fine in tests");
+        if false {
+            panic!("also fine in tests");
+        }
+    }
+}

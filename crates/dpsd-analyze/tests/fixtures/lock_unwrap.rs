@@ -1,0 +1,15 @@
+//! Violations for `no-lock-unwrap`: panicking lock acquisition. Each
+//! site fires exactly one finding — the more general no-panic-in-lib
+//! rule cedes the pattern to this rule.
+
+pub fn mutex(m: &std::sync::Mutex<u32>) -> u32 {
+    *m.lock().unwrap()
+}
+
+pub fn rwlock_read(l: &std::sync::RwLock<u32>) -> u32 {
+    *l.read().expect("poisoned")
+}
+
+pub fn rwlock_write(l: &std::sync::RwLock<u32>) {
+    *l.write().unwrap() += 1;
+}

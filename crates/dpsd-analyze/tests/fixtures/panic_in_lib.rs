@@ -1,0 +1,22 @@
+//! Violations for `no-panic-in-lib`: unwrap, expect, and panic! in
+//! library code; the `#[cfg(test)]` module at the bottom is exempt.
+
+pub fn one(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn two(x: Option<u32>) -> u32 {
+    x.expect("boom")
+}
+
+pub fn three() {
+    panic!("exploded")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt_region() {
+        Some(3).unwrap();
+    }
+}

@@ -1,0 +1,10 @@
+//! Violations for `no-raw-spawn`: threads outside the deterministic
+//! pool.
+
+pub fn fan_out() {
+    std::thread::spawn(|| {});
+}
+
+pub fn bare_import_form(work: impl FnOnce() + Send + 'static) {
+    thread::spawn(work);
+}

@@ -1,0 +1,14 @@
+//! Violations for `no-silent-as-truncation`: narrowing `as` casts in
+//! index arithmetic (the fixture config scopes the rule to every file).
+
+pub fn pack(h: u64) -> u32 {
+    h as u32
+}
+
+pub fn index(n: u64) -> usize {
+    n as usize
+}
+
+pub fn widen(n: u32) -> u64 {
+    n as u64
+}

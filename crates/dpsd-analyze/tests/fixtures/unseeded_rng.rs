@@ -1,0 +1,20 @@
+//! Violations for `no-unseeded-rng` — which applies even inside
+//! `#[cfg(test)]`: unseeded tests cannot be reproduced either.
+
+pub fn ambient() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+pub fn os_entropy() -> u64 {
+    let mut rng = SmallRng::from_entropy();
+    rng.gen()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unseeded_tests_are_flagged_too() {
+        let _rng = rand::thread_rng();
+    }
+}

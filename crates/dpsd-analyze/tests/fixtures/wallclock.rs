@@ -1,0 +1,11 @@
+//! Violations for `no-wallclock-in-core`: reading any ambient clock.
+
+pub fn timing() -> u64 {
+    let _t = std::time::Instant::now();
+    let _s = std::time::SystemTime::now();
+    0
+}
+
+pub fn epoch_seconds(now: std::time::SystemTime) -> u64 {
+    now.duration_since(std::time::UNIX_EPOCH).unwrap_or_default().as_secs()
+}

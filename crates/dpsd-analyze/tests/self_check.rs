@@ -1,0 +1,37 @@
+//! The analyzer's acceptance gate, inverted into a test: the actual
+//! workspace tree must scan clean under the workspace policy. This is
+//! the same check CI's `analyze` job runs via the binary; having it in
+//! `cargo test` means a violation fails the ordinary test suite too.
+
+use dpsd_analyze::config::Config;
+use dpsd_analyze::{analyze_root, find_workspace_root};
+use std::path::Path;
+
+#[test]
+fn workspace_scans_clean_under_the_default_policy() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(here).expect("workspace root above the analyzer crate");
+    let report = analyze_root(&root, &Config::workspace_default()).expect("walk workspace");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}) — walker broken?",
+        report.files_scanned
+    );
+    assert!(
+        report.is_clean(),
+        "workspace has {} finding(s):\n{}",
+        report.diagnostics.len(),
+        report.to_text()
+    );
+}
+
+#[test]
+fn json_report_matches_text_verdict() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(here).expect("workspace root");
+    let report = analyze_root(&root, &Config::workspace_default()).expect("walk workspace");
+    let json = report.to_json();
+    assert!(json.starts_with('{') && json.ends_with('}'));
+    assert!(json.contains("\"schema\":\"dpsd-analyze-json/v1\""));
+    assert!(json.contains("\"findings\":0"));
+}

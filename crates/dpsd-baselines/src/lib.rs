@@ -12,6 +12,8 @@
 //! tree backend, so experiments can swap them in directly; builders
 //! report invalid parameters as [`dpsd_core::DpsdError`].
 
+#![forbid(unsafe_code)]
+
 pub mod exact;
 pub mod flat_grid;
 

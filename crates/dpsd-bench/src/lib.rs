@@ -9,6 +9,8 @@
 //! real criterion unchanged. The `compare_bench` binary diffs two such
 //! reports and flags median regressions (CI's trajectory gate).
 
+#![forbid(unsafe_code)]
+
 pub mod jsonctx {
     //! Run-level context for the `CRITERION_JSON` report.
     //!

@@ -120,6 +120,7 @@ impl CountBudget {
         match self {
             CountBudget::Uniform => vec![eps_count / (h as f64 + 1.0); h + 1],
             CountBudget::Geometric => geometric_levels_nd(h, eps_count, dims)
+                // dpsd-allow(no-panic-in-lib): eps and dims were validated by the assert above; geometric_levels_nd only fails on the inputs it rejects
                 .expect("geometric allocation: eps and dims pre-validated"),
             CountBudget::LeafOnly => {
                 let mut v = vec![0.0; h + 1];

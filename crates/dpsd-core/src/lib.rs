@@ -76,6 +76,8 @@
 //! 2D call sites source-compatible; see the [`geometry`] module docs for
 //! migration notes.
 
+#![forbid(unsafe_code)]
+
 pub mod analysis;
 pub mod budget;
 pub mod error;

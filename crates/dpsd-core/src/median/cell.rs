@@ -296,6 +296,7 @@ impl<const D: usize> CellGridNd<D> {
         let cells = res
             .iter()
             .try_fold(1usize, |acc, &n| acc.checked_mul(n))
+            // dpsd-allow(no-panic-in-lib): deliberate assert-with-message on a caller contract (grid resolution), kept as checked_mul so the failure is loud, not wrapped
             .expect("grid cell count overflows usize");
         let mut counts = vec![0.0f64; cells];
         for p in points {

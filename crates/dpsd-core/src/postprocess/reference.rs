@@ -62,6 +62,7 @@ pub fn ols_reference(fanout: usize, height: usize, eps_levels: &[f64], y: &[f64]
         }
         b[i] = anc_i.iter().map(|&v| eps2[level_of(v)] * y[v]).sum();
     }
+    // dpsd-allow(no-panic-in-lib): the OLS normal matrix here is Gram-like with strictly positive per-level weights, hence positive definite; solve_dense cannot hit a zero pivot
     let leaf_beta = solve_dense(a, b).expect("normal equations are positive definite");
     // Propagate sums up the tree.
     let mut beta = vec![0.0f64; m];

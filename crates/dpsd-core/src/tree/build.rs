@@ -416,6 +416,7 @@ impl<const D: usize> PsdConfig<D> {
         self.validate(points)?;
         let fanout = 1usize << D;
         let h = self.height;
+        // dpsd-allow(no-panic-in-lib): validate() already rejected any height whose node count overflows
         let m = complete_tree_nodes_checked(fanout, h).expect("validated node count");
         let mut rng = seeded(self.seed);
 

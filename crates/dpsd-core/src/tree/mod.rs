@@ -87,6 +87,7 @@ pub struct PsdTree<const D: usize = 2> {
 /// (release loaders, synopsis parsers) use
 /// [`complete_tree_nodes_checked`] instead.
 pub fn complete_tree_nodes(fanout: usize, height: usize) -> usize {
+    // dpsd-allow(no-panic-in-lib): documented-panic convenience wrapper; untrusted inputs go through the _checked variant
     complete_tree_nodes_checked(fanout, height).expect("complete tree size overflows usize")
 }
 

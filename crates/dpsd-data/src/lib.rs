@@ -17,6 +17,8 @@
 //! answers, exactly as the paper does (600 per shape, median relative
 //! error reported).
 
+#![forbid(unsafe_code)]
+
 pub mod synthetic;
 pub mod tiger;
 pub mod workload;

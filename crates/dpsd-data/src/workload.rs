@@ -130,6 +130,7 @@ pub fn generate_workload(
         );
         let x0 = domain.min_x() + rng.gen::<f64>() * (domain.width() - w);
         let y0 = domain.min_y() + rng.gen::<f64>() * (domain.height() - h);
+        // dpsd-allow(no-panic-in-lib): x0 <= x0+w and y0 <= y0+h with finite coordinates by construction, which is exactly Rect::new's contract
         let q = Rect::new(x0, y0, x0 + w, y0 + h).expect("constructed rect is valid");
         let answer = index.count(&q);
         if answer > 0 {
@@ -152,6 +153,7 @@ pub fn workloads_for_shapes(
     count: usize,
     seed: u64,
 ) -> Vec<Workload> {
+    // dpsd-allow(no-panic-in-lib): a fixed 512-cell resolution over an already-validated domain satisfies ExactIndex::build's only failure modes
     let index = ExactIndex::build(points, domain, 512).unwrap();
     shapes
         .iter()

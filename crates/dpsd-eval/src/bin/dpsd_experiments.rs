@@ -51,6 +51,7 @@ fn main() -> ExitCode {
         }
         i += 1;
     }
+    // dpsd-allow(no-wallclock-in-core): reporting how long the experiment driver ran; never feeds a figure
     let started = std::time::Instant::now();
     let tables: Vec<Table> = match figure {
         "fig2" => dpsd_eval::fig2::run(),

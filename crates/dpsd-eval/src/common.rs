@@ -96,11 +96,13 @@ fn median_error_pct(answers: &[f64], exact: &[f64]) -> f64 {
         .zip(exact)
         .map(|(&est, &actual)| relative_error_pct(est, actual))
         .collect();
+    // dpsd-allow(no-panic-in-lib): workload generators reject empty query sets, so errs is non-empty here
     median_of(&errs).expect("workload is non-empty")
 }
 
 /// Milliseconds elapsed while running `f`, together with its result.
 pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    // dpsd-allow(no-wallclock-in-core): this IS the sanctioned bench-timing helper — figures 4/7a report wall time as a measured quantity, never as an input to a build
     let start = std::time::Instant::now();
     let out = f();
     (out, start.elapsed().as_secs_f64() * 1e3)

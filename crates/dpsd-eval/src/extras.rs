@@ -20,6 +20,7 @@ use dpsd_data::workload::{generate_workload, QueryShape};
 /// Flat-grid vs quadtree across query sizes (Section 1's argument).
 pub fn intro_strawman(scale: &Scale, seed: u64) -> Vec<Table> {
     let points = scale.dataset(seed);
+    // dpsd-allow(no-panic-in-lib): experiment drivers run fixed, pre-validated configurations; crashing loudly beats reporting a half-built figure
     let index = ExactIndex::build(&points, TIGER_DOMAIN, 512).unwrap();
     let eps = 0.5;
     // A fine flat grid, as the introduction prescribes: four grid cells
@@ -27,10 +28,12 @@ pub fn intro_strawman(scale: &Scale, seed: u64) -> Vec<Table> {
     // degrees). The finer the grid, the more cells a query sums and the
     // worse the noise accumulation - the introduction's argument.
     let g = 1usize << (scale.quad_height + 2);
+    // dpsd-allow(no-panic-in-lib): fixed experiment parameters, as above
     let grid = FlatGrid::build(&points, TIGER_DOMAIN, g, g, eps, seed).expect("flat grid build");
     let tree = PsdConfig::quadtree(TIGER_DOMAIN, scale.quad_height, eps)
         .with_seed(seed)
         .build(&points)
+        // dpsd-allow(no-panic-in-lib): fixed experiment parameters, as above
         .expect("quadtree build");
     let shapes = [
         QueryShape::new(0.5, 0.5),
@@ -64,6 +67,7 @@ pub fn intro_strawman(scale: &Scale, seed: u64) -> Vec<Table> {
 /// Budget strategies head to head on the same quadtree (Section 4.2).
 pub fn budget_ablation(scale: &Scale, seed: u64) -> Vec<Table> {
     let points = scale.dataset(seed);
+    // dpsd-allow(no-panic-in-lib): fixed experiment parameters over the validated TIGER domain
     let index = ExactIndex::build(&points, TIGER_DOMAIN, 512).unwrap();
     let eps = 0.5;
     let h = scale.quad_height;
@@ -101,6 +105,7 @@ pub fn budget_ablation(scale: &Scale, seed: u64) -> Vec<Table> {
             .with_count_budget(budget)
             .with_seed(seed ^ name.len() as u64)
             .build(&points)
+            // dpsd-allow(no-panic-in-lib): fixed experiment parameters, as above
             .expect("quadtree build");
         let row: Vec<f64> = workloads
             .iter()

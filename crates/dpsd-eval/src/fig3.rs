@@ -52,6 +52,7 @@ pub fn run(scale: &Scale, seed: u64) -> Vec<Table> {
                 .with_postprocess(post)
                 .with_seed(seed ^ eps.to_bits())
                 .build(&points)
+                // dpsd-allow(no-panic-in-lib): experiment drivers run fixed, pre-validated configurations; crashing loudly beats a half-built figure
                 .expect("quadtree build");
             let source = if post {
                 CountSource::Posted

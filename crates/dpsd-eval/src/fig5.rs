@@ -89,6 +89,7 @@ pub fn run(scale: &Scale, seed: u64) -> Vec<Table> {
             let tree = config
                 .with_seed(seed ^ eps.to_bits() ^ name.len() as u64)
                 .build(&points)
+                // dpsd-allow(no-panic-in-lib): experiment drivers run fixed, pre-validated configurations; crashing loudly beats a half-built figure
                 .expect("kd build");
             let source = if tree.is_postprocessed() {
                 CountSource::Posted

@@ -45,6 +45,7 @@ pub fn run(scale: &Scale, seed: u64) -> Vec<Table> {
             let tree = config
                 .with_seed(seed ^ (h as u64) << 8)
                 .build(&points)
+                // dpsd-allow(no-panic-in-lib): experiment drivers run fixed, pre-validated configurations; crashing loudly beats a half-built figure
                 .expect("fig6 build");
             for (wi, wl) in workloads.iter().enumerate() {
                 results[wi][hi].push(evaluate_tree(&tree, wl, CountSource::Auto));

@@ -44,6 +44,7 @@ pub fn run(scale: &Scale, seed: u64) -> Vec<Table> {
         vec!["build_ms".to_string()],
     );
     for (name, config) in configs {
+        // dpsd-allow(no-panic-in-lib): experiment drivers run fixed, pre-validated configurations; crashing loudly beats a half-built figure
         let (tree, ms) = timed(|| config.with_seed(seed).build(&points).expect("build"));
         drop(tree);
         table.push_row(name, vec![ms]);

@@ -25,6 +25,7 @@ pub fn run(scale: &Scale, seed: u64) -> Vec<Table> {
         0.3,
         seed ^ 0xF17B,
     );
+    // dpsd-allow(no-panic-in-lib): fixed experiment parameters over the validated TIGER domain
     let b_index = ExactIndex::build(&b, TIGER_DOMAIN, 256).unwrap();
     let blocking = BlockingConfig {
         matching_distance: 0.3,
@@ -67,6 +68,7 @@ pub fn run(scale: &Scale, seed: u64) -> Vec<Table> {
             let (_, h, make) = methods[task / EPSILONS.len()];
             let eps = EPSILONS[task % EPSILONS.len()];
             let tree = build_blocking_tree(make(eps, h).with_seed(seed ^ eps.to_bits()), &a)
+                // dpsd-allow(no-panic-in-lib): experiment drivers run fixed, pre-validated configurations; crashing loudly beats a half-built figure
                 .expect("blocking tree");
             run_blocking(&tree, &b_index, &a, &b, &blocking).reduction_ratio()
         },

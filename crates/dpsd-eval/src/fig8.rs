@@ -142,9 +142,11 @@ impl SweepProfile {
 /// Median relative error (%) per method at one dimension, plus the
 /// batch-equals-singles parity assertion for every backend.
 fn sweep_dim<const D: usize>(scale: &Scale, seed: u64, profile: &SweepProfile) -> Vec<f64> {
+    // dpsd-allow(no-panic-in-lib): constant corners form a valid box; fixed experiment parameters throughout this driver
     let domain = Rect::from_corners([0.0; D], [DOMAIN_SIDE; D]).unwrap();
     let points: Vec<Point<D>> =
         gaussian_mixture_nd(scale.n_points.min(60_000), 6, 0.02, &domain, seed);
+    // dpsd-allow(no-panic-in-lib): fixed experiment parameters over the domain constructed above
     let index = ExactIndex::build(&points, domain, grid_res_for(D).min(64)).unwrap();
 
     // Workload: fixed-shape boxes placed uniformly, non-zero answers
@@ -166,6 +168,7 @@ fn sweep_dim<const D: usize>(scale: &Scale, seed: u64, profile: &SweepProfile) -
             min[k] = rng.gen::<f64>() * (DOMAIN_SIDE - side);
             max[k] = min[k] + side;
         }
+        // dpsd-allow(no-panic-in-lib): min[k] <= max[k] = min[k] + side with finite coordinates by construction
         let q = Rect::from_corners(min, max).unwrap();
         let answer = index.count(&q);
         if answer > 0 {
@@ -215,6 +218,7 @@ fn sweep_dim<const D: usize>(scale: &Scale, seed: u64, profile: &SweepProfile) -
                 ),
                 _ => Box::new(
                     FlatGrid::build_nd(&points, domain, [grid_res_for(D); D], EPSILON, rep_seed)
+                        // dpsd-allow(no-panic-in-lib): fixed experiment parameters, as above
                         .unwrap(),
                 ),
             };
@@ -234,6 +238,7 @@ fn sweep_dim<const D: usize>(scale: &Scale, seed: u64, profile: &SweepProfile) -
                 .zip(&exact)
                 .map(|(&est, &actual)| relative_error_pct(est, actual))
                 .collect();
+            // dpsd-allow(no-panic-in-lib): the sampling loop above guarantees queries_per_shape non-zero answers
             median_of(&errs).expect("non-empty workload")
         },
     );
@@ -254,8 +259,10 @@ fn build_released<const D: usize>(
     points: &[Point<D>],
     seed: u64,
 ) -> Box<dyn SpatialSynopsis<D>> {
+    // dpsd-allow(no-panic-in-lib): fixed experiment parameters, as above
     let tree = config.with_seed(seed).build(points).expect("fig8 build");
     let json = tree.release().to_json();
+    // dpsd-allow(no-panic-in-lib): parsing back the JSON this process just emitted
     let loaded = ReleasedSynopsis::<D>::from_json(&json).expect("fig8 round-trip");
     Box::new(loaded)
 }

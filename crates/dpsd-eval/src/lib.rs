@@ -9,6 +9,8 @@
 //! per shape) with the dataset-size substitution documented in
 //! DESIGN.md, and `quick()` shrinks everything for CI and benches.
 
+#![forbid(unsafe_code)]
+
 pub mod common;
 pub mod extras;
 pub mod fig2;

@@ -168,7 +168,9 @@ impl HilbertCurve {
         let mut y: u32 = 0;
         let mut s: u32 = 1;
         while s < n {
+            // dpsd-allow(no-silent-as-truncation): both values are masked to a single bit before the cast
             let rx: u32 = (1 & (t >> 1)) as u32;
+            // dpsd-allow(no-silent-as-truncation): masked to a single bit, as above
             let ry: u32 = ((t & 1) as u32) ^ rx;
             // Inverse rotation for the sub-square of side `s`.
             if ry == 0 {

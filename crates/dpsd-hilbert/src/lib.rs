@@ -42,6 +42,8 @@
 //! assert_eq!((bbox.min_x, bbox.min_y, bbox.max_x, bbox.max_y), (0, 0, 7, 7));
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod curve;
 mod nd;
 mod range;

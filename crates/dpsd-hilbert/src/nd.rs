@@ -38,10 +38,12 @@ pub const MAX_INDEX_BITS: u32 = 62;
 /// The largest constructible order for a given dimension
 /// (`MAX_INDEX_BITS / dims`; 0 for `dims = 0`, which no curve accepts).
 pub fn max_order_for_dims(dims: usize) -> u32 {
-    if dims == 0 {
-        0
-    } else {
-        MAX_INDEX_BITS / dims as u32
+    // try_from instead of `dims as u32`: a dimension count above
+    // u32::MAX used to truncate (2^32 collapsed to 0 and divided by
+    // zero); any such count now correctly reports order 0.
+    match u32::try_from(dims) {
+        Ok(0) | Err(_) => 0,
+        Ok(d) => MAX_INDEX_BITS / d,
     }
 }
 
@@ -127,7 +129,9 @@ impl<const D: usize> NdCurve<D> {
         if D == 0 || order == 0 || order > max_order_for_dims(D) {
             return Err(HilbertError::InvalidOrderForDims {
                 order,
-                dims: D as u32,
+                // Saturate rather than truncate: this is an error
+                // report, and every D > 62 is equally invalid.
+                dims: u32::try_from(D).unwrap_or(u32::MAX),
             });
         }
         Ok(NdCurve { kind, order })
@@ -164,6 +168,7 @@ impl<const D: usize> NdCurve<D> {
     /// Total number of cells (= number of curve steps): `2^{order · D}`.
     #[inline]
     pub fn cell_count(&self) -> u64 {
+        // dpsd-allow(no-silent-as-truncation): order <= MAX_INDEX_BITS = 62 (enforced by new()), a widening cast on every target
         1u64 << (self.order as usize * D)
     }
 
@@ -221,6 +226,7 @@ impl<const D: usize> NdCurve<D> {
     pub fn decode(&self, index: u64) -> [u64; D] {
         debug_assert!(index < self.cell_count());
         let mut x = [0u64; D];
+        // dpsd-allow(no-silent-as-truncation): order <= 62, widening cast as in cell_count
         for p in 0..(self.order as usize * D) {
             let i = p / D;
             let j = D - 1 - (p % D);
@@ -263,6 +269,7 @@ impl<const D: usize> NdCurve<D> {
             "range_bbox: hi {hi} exceeds max index {}",
             self.max_index()
         );
+        // dpsd-allow(no-silent-as-truncation): constructible curves have D <= MAX_INDEX_BITS = 62 (new() rejects anything larger)
         let d = D as u32;
         let mut bbox: Option<NdBBox<D>> = None;
         let mut cur = lo;
@@ -298,6 +305,7 @@ impl<const D: usize> NdCurve<D> {
             }
             cur += 1u64 << (d * k);
         }
+        // dpsd-allow(no-panic-in-lib): lo <= hi is asserted above, so the loop body ran at least once and bbox is Some
         bbox.expect("range is non-empty")
     }
 }

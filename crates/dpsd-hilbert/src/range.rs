@@ -124,6 +124,7 @@ impl HilbertCurve {
             }
             cur += 1u64 << (2 * k);
         }
+        // dpsd-allow(no-panic-in-lib): lo <= hi is asserted on entry, so the loop produced at least one square
         bbox.expect("range is non-empty")
     }
 }

@@ -31,6 +31,8 @@
 //! smaller budgets inflate the padded counts. This is the behaviour
 //! Figure 7(b) plots across the privacy budget.
 
+#![forbid(unsafe_code)]
+
 pub mod parties;
 
 use dpsd_baselines::ExactIndex;

@@ -193,6 +193,7 @@ fn run_workload<const D: usize>(
                     let mut out = Vec::new();
                     for (b, rects) in chunk.chunks(opts.batch).enumerate() {
                         let body = batch_body(rects);
+                        // dpsd-allow(no-wallclock-in-core): loadgen's whole job is measuring request latency; timing is the output, not an input
                         let started = Instant::now();
                         let response = client
                             .post(&format!("/synopses/{name}/query/batch"), &body)

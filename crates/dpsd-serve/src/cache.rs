@@ -20,6 +20,7 @@
 //! locked shards so concurrent connections rarely contend, and keeps
 //! global hit/miss counters for the stats endpoint.
 
+use crate::sync::lock_or_recover;
 use dpsd_core::geometry::Rect;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -298,7 +299,11 @@ impl ShardedCache {
     fn shard(&self, key: &CacheKey) -> &Mutex<LruCache<CacheKey, f64>> {
         let mut h = DefaultHasher::new();
         key.hash(&mut h);
-        &self.shards[(h.finish() as usize) % self.shards.len()]
+        // Reduce modulo the shard count in u64 first; the remainder is
+        // < shards.len() so the final cast cannot truncate.
+        let idx = h.finish() % (self.shards.len() as u64);
+        // dpsd-allow(no-silent-as-truncation): idx < shards.len() <= usize::MAX after the modulo above
+        &self.shards[idx as usize]
     }
 
     /// Cached answer for `key`, recording a hit or miss.
@@ -307,12 +312,7 @@ impl ShardedCache {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
         }
-        let got = self
-            .shard(key)
-            .lock()
-            .expect("cache shard lock")
-            .get(key)
-            .copied();
+        let got = lock_or_recover(self.shard(key)).get(key).copied();
         match got {
             Some(v) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -330,10 +330,7 @@ impl ShardedCache {
         if !self.enabled() {
             return;
         }
-        self.shard(&key)
-            .lock()
-            .expect("cache shard lock")
-            .insert(key, value);
+        lock_or_recover(self.shard(&key)).insert(key, value);
     }
 
     /// Evicts every entry for `name` minted against a version other
@@ -342,10 +339,7 @@ impl ShardedCache {
     /// hot-swap instead of waiting for LRU aging.
     pub fn purge_stale(&self, name: &str, current: u64) {
         for shard in &self.shards {
-            shard
-                .lock()
-                .expect("cache shard lock")
-                .retain(|k| k.name() != name || k.version() == current);
+            lock_or_recover(shard).retain(|k| k.name() != name || k.version() == current);
         }
     }
 
@@ -354,11 +348,7 @@ impl ShardedCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self
-                .shards
-                .iter()
-                .map(|s| s.lock().expect("cache shard lock").len())
-                .sum(),
+            entries: self.shards.iter().map(|s| lock_or_recover(s).len()).sum(),
             capacity: self.capacity,
         }
     }

@@ -52,6 +52,7 @@
 //! println!("{}", response.body);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
@@ -61,6 +62,7 @@ pub mod http;
 pub mod metrics;
 pub mod registry;
 pub mod server;
+pub mod sync;
 pub mod workload;
 
 pub use cache::{CacheKey, LruCache, ShardedCache};

@@ -158,10 +158,17 @@ impl Endpoint {
     }
 
     fn index(self) -> usize {
-        ENDPOINTS
-            .iter()
-            .position(|e| *e == self)
-            .expect("every endpoint is listed")
+        // Exhaustive by construction — adding an endpoint without
+        // extending ENDPOINTS fails the `indices_cover_endpoints` test
+        // rather than panicking at serve time.
+        match self {
+            Endpoint::Publish => 0,
+            Endpoint::Registry => 1,
+            Endpoint::Query => 2,
+            Endpoint::Batch => 3,
+            Endpoint::Stats => 4,
+            Endpoint::Unrouted => 5,
+        }
     }
 }
 
@@ -266,6 +273,15 @@ mod tests {
         // outlier in [512,1024) (ceiling 1024).
         assert_eq!(h.quantile_us(0.5), Some(2));
         assert_eq!(h.quantile_us(0.99), Some(1024));
+    }
+
+    #[test]
+    fn indices_cover_endpoints() {
+        // `Endpoint::index` is a hand-written match; keep it aligned
+        // with the ENDPOINTS table it indexes into.
+        for (i, e) in ENDPOINTS.iter().enumerate() {
+            assert_eq!(e.index(), i, "{} out of order", e.label());
+        }
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! JSON synopsis and the line-oriented text release.
 
 use crate::error::ServeError;
+use crate::sync::{read_or_recover, write_or_recover};
 use dpsd_core::tree::{ReleasedSynopsis, TreeKind};
 use std::collections::HashMap;
 use std::sync::{Arc, RwLock};
@@ -194,7 +195,7 @@ impl SynopsisRegistry {
     ) -> Result<Arc<PublishedSynopsis>, ServeError> {
         validate_name(name)?;
         let synopsis = AnySynopsis::load(artifact)?;
-        let mut entries = self.entries.write().expect("registry lock");
+        let mut entries = write_or_recover(&self.entries);
         let version = entries.get(name).map_or(1, |prior| prior.version + 1);
         let published = Arc::new(PublishedSynopsis {
             name: name.to_string(),
@@ -207,29 +208,19 @@ impl SynopsisRegistry {
 
     /// The current version of `name`, if published.
     pub fn get(&self, name: &str) -> Option<Arc<PublishedSynopsis>> {
-        self.entries
-            .read()
-            .expect("registry lock")
-            .get(name)
-            .cloned()
+        read_or_recover(&self.entries).get(name).cloned()
     }
 
     /// Every published synopsis, sorted by name.
     pub fn list(&self) -> Vec<Arc<PublishedSynopsis>> {
-        let mut all: Vec<_> = self
-            .entries
-            .read()
-            .expect("registry lock")
-            .values()
-            .cloned()
-            .collect();
+        let mut all: Vec<_> = read_or_recover(&self.entries).values().cloned().collect();
         all.sort_by(|a, b| a.name.cmp(&b.name));
         all
     }
 
     /// Number of published synopses.
     pub fn len(&self) -> usize {
-        self.entries.read().expect("registry lock").len()
+        read_or_recover(&self.entries).len()
     }
 
     /// Whether nothing is published.

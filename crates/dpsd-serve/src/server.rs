@@ -128,6 +128,7 @@ impl Server {
         let addr = self.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let flag = Arc::clone(&shutdown);
+        // dpsd-allow(no-raw-spawn): the accept loop is the server's one long-lived thread, owned by ServerHandle
         let thread = std::thread::spawn(move || self.accept_loop(&flag));
         Ok(ServerHandle {
             addr,
@@ -153,6 +154,7 @@ impl Server {
                 }
             };
             let state = Arc::clone(&self.state);
+            // dpsd-allow(no-raw-spawn): thread-per-connection is this server's documented concurrency model; connection threads own no shared mutable state beyond Arc<ServerState>
             std::thread::spawn(move || handle_connection(stream, &state));
         }
     }
@@ -207,6 +209,7 @@ fn handle_connection(stream: TcpStream, state: &ServerState) {
             Ok(None) => break,
             Ok(Some(request)) => {
                 let keep_alive = !request.wants_close();
+                // dpsd-allow(no-wallclock-in-core): latency metrics are observability, not query results; timing never feeds an answer
                 let started = Instant::now();
                 let (endpoint, outcome) = route(state, &request);
                 let (status, body) = match outcome {
@@ -241,7 +244,10 @@ fn error_body(message: &str) -> String {
         "error".to_string(),
         Value::String(message.to_string()),
     )]);
-    serde_json::to_string(&v).expect("error body serializes")
+    // A flat object holding one string cannot fail to serialize, but a
+    // connection thread must never panic over an error *body*: fall
+    // back to a static JSON message instead.
+    serde_json::to_string(&v).unwrap_or_else(|_| r#"{"error":"internal error"}"#.to_string())
 }
 
 fn route(state: &ServerState, request: &Request) -> (Endpoint, Result<String, ServeError>) {

@@ -1,0 +1,83 @@
+//! Poison-recovering lock acquisition.
+//!
+//! The server's shared state sits behind `Mutex`/`RwLock`. The std
+//! default on a poisoned lock is to propagate the panic — which turns
+//! *one* panicking connection thread into a cascade that takes down
+//! every thread touching the same shard (`tests/serve_stress.rs`
+//! exercises exactly this: `/stats` must still answer after chaos).
+//!
+//! Recovery is sound here because every critical section either
+//! performs a single panic-free operation (registry `HashMap`
+//! insert/lookup) or guards data whose worst-case corruption is
+//! benign by design (the query cache is a lossy, rebuildable map —
+//! a half-updated recency list can cost a suboptimal eviction, never
+//! a wrong answer, since cached values are immutable once inserted).
+//!
+//! The `no-lock-unwrap` analyzer rule (see `crates/dpsd-analyze`)
+//! forbids `.lock().unwrap()` in non-test code, so these helpers are
+//! the one sanctioned way to take a lock in this crate.
+
+use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Acquires a mutex, clearing and recovering from poisoning instead of
+/// propagating a stranger's panic.
+pub fn lock_or_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|poisoned| {
+        mutex.clear_poison();
+        poisoned.into_inner()
+    })
+}
+
+/// Acquires a read lock, recovering from poisoning.
+pub fn read_or_recover<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|poisoned| {
+        lock.clear_poison();
+        poisoned.into_inner()
+    })
+}
+
+/// Acquires a write lock, recovering from poisoning.
+pub fn write_or_recover<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(|poisoned| {
+        lock.clear_poison();
+        poisoned.into_inner()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex, RwLock};
+
+    #[test]
+    fn mutex_recovers_after_a_panicking_holder() {
+        let shared = Arc::new(Mutex::new(7u32));
+        let poisoner = Arc::clone(&shared);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.lock().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(shared.is_poisoned());
+        assert_eq!(*lock_or_recover(&shared), 7);
+        assert!(!shared.is_poisoned(), "poison flag is cleared");
+        // And plain locking works again for everyone afterwards.
+        assert_eq!(*shared.lock().unwrap(), 7);
+    }
+
+    #[test]
+    fn rwlock_recovers_for_readers_and_writers() {
+        let shared = Arc::new(RwLock::new(vec![1, 2, 3]));
+        let poisoner = Arc::clone(&shared);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.write().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(shared.is_poisoned());
+        assert_eq!(read_or_recover(&shared).len(), 3);
+        write_or_recover(&shared).push(4);
+        assert_eq!(read_or_recover(&shared).len(), 4);
+        assert!(!shared.is_poisoned());
+    }
+}

@@ -60,6 +60,8 @@
 //! assert_eq!(server.query(&q), estimate);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use dpsd_baselines as baselines;
 pub use dpsd_core as core;
 pub use dpsd_data as data;

@@ -31,6 +31,8 @@
 //! call site compiling (the JSON report simply stops appearing; see
 //! vendor/README.md).
 
+#![forbid(unsafe_code)]
+
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 

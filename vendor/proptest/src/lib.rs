@@ -8,6 +8,8 @@
 //! with the assertion message directly (the drawn values are printed by
 //! including them in assertion messages, as the workspace's tests do).
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::StdRng;
 
 /// Runtime configuration for a `proptest!` block.

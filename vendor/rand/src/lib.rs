@@ -15,6 +15,8 @@
 //! contract actually requires. Streams produced under the same seed are
 //! stable across releases of this repository.
 
+#![forbid(unsafe_code)]
+
 /// Low-level source of random 64-bit words.
 pub trait RngCore {
     /// Returns the next word of the stream.

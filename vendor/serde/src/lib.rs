@@ -8,6 +8,8 @@
 //! few hundred lines while preserving the shape of downstream code
 //! (`serde_json::to_string(&x)` / `serde_json::from_str(&s)`).
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 
 /// A self-describing serialized value.

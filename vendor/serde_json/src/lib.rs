@@ -5,6 +5,8 @@
 //! so every `f64` survives `to_string` → `from_str` bit-exactly (NaN and
 //! infinities are rejected at serialization time, as in real JSON).
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Write as _;
 
 pub use serde::{Error, Value};

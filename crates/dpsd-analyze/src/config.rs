@@ -67,8 +67,11 @@ impl Config {
     /// * the bench crate and `benches/` directories measure wall-clock
     ///   time on purpose;
     /// * the truncation rule watches the curve index arithmetic
-    ///   (`dpsd-hilbert`) and the cache-key packing that PR 4's
-    ///   MAX_ORDER overflow bug lived in.
+    ///   (`dpsd-hilbert`), the cache-key packing that PR 4's
+    ///   MAX_ORDER overflow bug lived in, and the `dpsd-bin` codec's
+    ///   offset/length arithmetic (`dpsd-core/src/flat.rs`), where a
+    ///   silent `as` cast on untrusted wire fields could turn a
+    ///   truncation into an out-of-bounds index.
     pub fn workspace_default() -> Self {
         Config {
             skip_prefixes: vec![
@@ -82,6 +85,7 @@ impl Config {
             truncation_paths: vec![
                 "crates/dpsd-hilbert/src/".into(),
                 "crates/dpsd-serve/src/cache.rs".into(),
+                "crates/dpsd-core/src/flat.rs".into(),
             ],
         }
     }
@@ -146,6 +150,10 @@ mod tests {
         assert!(Config::matches(
             &c.truncation_paths,
             "crates/dpsd-serve/src/cache.rs"
+        ));
+        assert!(Config::matches(
+            &c.truncation_paths,
+            "crates/dpsd-core/src/flat.rs"
         ));
         assert!(!Config::matches(
             &c.truncation_paths,

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! compare_bench <baseline.json> <candidate.json> [--threshold-pct N]
+//!               [--assert-order <slower_id> <faster_id>]...
 //! ```
 //!
 //! Benchmarks are matched by id. For each match the median-ns delta is
@@ -10,6 +11,14 @@
 //! gate) fails the run with exit code 1. Ids present in only one report
 //! are listed but never fail the comparison — adding or retiring a
 //! bench is not a regression. Exit code 2 reports usage/parse errors.
+//!
+//! `--assert-order` (repeatable) adds an intra-report gate on the
+//! **candidate**: the bench named by `<faster_id>` must have a median
+//! no worse than `<slower_id>`'s. CI uses it to pin claims like "the
+//! flat kernel is not slower than the tree walk" and "binary load is
+//! not slower than JSON parse" to the run's own numbers, with a
+//! self-diff (`compare_bench R.json R.json --assert-order ...`) when
+//! there is no baseline to regress against.
 
 use std::process::ExitCode;
 
@@ -66,6 +75,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths = Vec::new();
     let mut threshold = DEFAULT_THRESHOLD_PCT;
+    let mut order_gates: Vec<(String, String)> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -79,12 +89,23 @@ fn main() -> ExitCode {
                     }
                 };
             }
+            "--assert-order" => {
+                let (Some(slower), Some(faster)) = (args.get(i + 1), args.get(i + 2)) else {
+                    eprintln!("--assert-order needs <slower_id> <faster_id>");
+                    return ExitCode::from(2);
+                };
+                order_gates.push((slower.clone(), faster.clone()));
+                i += 2;
+            }
             p => paths.push(p.to_string()),
         }
         i += 1;
     }
     let [baseline_path, candidate_path] = paths.as_slice() else {
-        eprintln!("usage: compare_bench <baseline.json> <candidate.json> [--threshold-pct N]");
+        eprintln!(
+            "usage: compare_bench <baseline.json> <candidate.json> [--threshold-pct N] \
+             [--assert-order <slower_id> <faster_id>]..."
+        );
         return ExitCode::from(2);
     };
     let (baseline, candidate) = match (load(baseline_path), load(candidate_path)) {
@@ -126,8 +147,37 @@ fn main() -> ExitCode {
             println!("  RETIRED  {id}");
         }
     }
-    println!("{matched} matched, {regressions} regression(s) beyond {threshold}%");
-    if regressions > 0 {
+    let mut order_failures = 0usize;
+    for (slower_id, faster_id) in &order_gates {
+        let lookup = |id: &str| {
+            candidate
+                .entries
+                .iter()
+                .find(|(c_id, _)| c_id == id)
+                .map(|&(_, median)| median)
+        };
+        let (Some(slower), Some(faster)) = (lookup(slower_id), lookup(faster_id)) else {
+            eprintln!(
+                "compare_bench: --assert-order ids `{slower_id}` / `{faster_id}` not both in {candidate_path}"
+            );
+            return ExitCode::from(2);
+        };
+        let verdict = if faster <= slower {
+            "ORDER ok  "
+        } else {
+            order_failures += 1;
+            "ORDER FAIL"
+        };
+        println!(
+            "  {verdict} {faster_id} ({}) must not be slower than {slower_id} ({})",
+            fmt_ns(faster).trim(),
+            fmt_ns(slower).trim()
+        );
+    }
+    println!(
+        "{matched} matched, {regressions} regression(s) beyond {threshold}%, {order_failures} order violation(s)"
+    );
+    if regressions > 0 || order_failures > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

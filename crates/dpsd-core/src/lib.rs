@@ -21,6 +21,7 @@
 //! | [`median`] | 6.1 | private medians: exponential, smooth sensitivity, noisy mean, cell-based |
 //! | [`budget`] | 4.2, 6.2 | per-level budget strategies and path-composition auditing |
 //! | [`tree`] | 3.3, 6, 7 | PSD construction, pruning, and the publishable [`ReleasedSynopsis`] |
+//! | [`flat`] | — | the `dpsd-bin/v1` binary codec and the arena-backed [`FlatSynopsis`] query kernel |
 //! | [`postprocess`] | 5 | three-phase OLS estimator and a dense reference solver |
 //! | [`query`] | 4.1 | canonical range queries, single and batched |
 //! | [`analysis`] | 4.2 | closed-form worst-case error bounds (Figure 2, Lemmas 2-3) |
@@ -82,6 +83,7 @@ pub mod analysis;
 pub mod budget;
 pub mod error;
 pub mod exec;
+pub mod flat;
 pub mod geometry;
 pub mod linalg;
 pub mod mech;
@@ -96,6 +98,7 @@ pub mod tree;
 
 pub use error::DpsdError;
 pub use exec::Parallelism;
+pub use flat::FlatSynopsis;
 pub use geometry::{Point, Point2, Rect, Rect2};
 pub use synopsis::{ParallelQuery, SpatialSynopsis};
 pub use tree::{CurveKind, PsdConfig, PsdTree, ReleasedSynopsis, TreeKind};

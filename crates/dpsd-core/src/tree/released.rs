@@ -52,8 +52,9 @@ pub const FORMAT: &str = "dpsd-synopsis";
 pub const VERSION: u64 = 1;
 
 /// Cap on the node count a loader will materialize (matches the
-/// builders' own cap).
-const MAX_NODES: usize = 120_000_000;
+/// builders' own cap; the binary loader in [`crate::flat`] enforces the
+/// same limit).
+pub(crate) const MAX_NODES: usize = 120_000_000;
 
 /// A published, raw-data-free spatial synopsis.
 ///
@@ -164,6 +165,25 @@ impl<const D: usize> ReleasedSynopsis<D> {
     pub fn from_release_text(text: &str) -> Result<Self, DpsdError> {
         let tree = crate::tree::release::read_release::<D, _>(text.as_bytes())?;
         Ok(ReleasedSynopsis::from_tree(&tree))
+    }
+
+    /// Serializes to the `dpsd-bin/v1` flat binary format — the
+    /// compact, checksummed, bit-exact carrier for serving at scale
+    /// (layout and trade-offs in the [`crate::flat`] module docs).
+    pub fn to_flat_bytes(&self) -> Vec<u8> {
+        crate::flat::encode(self)
+    }
+
+    /// Parses and fully validates a `dpsd-bin/v1` artifact (the
+    /// [`to_flat_bytes`](ReleasedSynopsis::to_flat_bytes) output) into a
+    /// query-ready synopsis. Validation mirrors the JSON loader —
+    /// checksum, shape, finiteness, node cap — and post-processing is
+    /// recomputed from the released counts, so answers match the source
+    /// tree bit-for-bit.
+    pub fn from_flat_bytes(bytes: &[u8]) -> Result<Self, DpsdError> {
+        Ok(ReleasedSynopsis {
+            tree: crate::flat::decode_tree::<D>(bytes)?,
+        })
     }
 
     /// Serializes to the line-oriented text release format, delegating

@@ -5,8 +5,9 @@
 //!            [--load name=path ...]
 //! ```
 //!
-//! `--load` preloads artifacts (JSON synopsis or text release) before
-//! the socket opens; everything else is published over the wire with
+//! `--load` preloads artifacts (a `dpsd-bin/v1` blob, a JSON synopsis,
+//! or a text release — the format is sniffed) before the socket opens;
+//! everything else is published over the wire with
 //! `POST /synopses/{name}`.
 
 use dpsd_core::exec::Parallelism;
@@ -72,8 +73,8 @@ fn main() -> ExitCode {
         }
     };
     for (name, path) in &preloads {
-        let artifact = match std::fs::read_to_string(path) {
-            Ok(text) => text,
+        let artifact = match std::fs::read(path) {
+            Ok(bytes) => bytes,
             Err(e) => {
                 eprintln!("dpsd-serve: cannot read {path}: {e}");
                 return ExitCode::FAILURE;

@@ -9,14 +9,18 @@
 //! ```text
 //! loadgen [--addr HOST:PORT] [--queries N] [--batch B] [--clients C]
 //!         [--seed S] [--cache-capacity N] [--no-cache] [--dims 2|3]
-//!         [--json PATH]
+//!         [--format json|text|bin] [--json PATH]
 //! ```
 //!
 //! Without `--addr` an in-process server is spawned on an ephemeral
-//! port (the CI smoke path). Three workloads run in sequence — uniform,
-//! Zipf hotspot, adversarial cache-bust — and the run **fails** if any
-//! answer diverges from the direct synopsis or if the hotspot workload
-//! does not clear a 50% cache hit rate while the cache is enabled.
+//! port (the CI smoke path). `--format` picks the publish wire format —
+//! the JSON synopsis, the text release, or the `dpsd-bin/v1` binary
+//! blob — and the direct verification synopsis is reloaded through the
+//! **same** codec, so the bit-identity gate covers every format end to
+//! end. Three workloads run in sequence — uniform, Zipf hotspot,
+//! adversarial cache-bust — and the run **fails** if any answer
+//! diverges from the direct synopsis or if the hotspot workload does
+//! not clear a 50% cache hit rate while the cache is enabled.
 
 use dpsd_core::exec::Parallelism;
 use dpsd_core::geometry::{Point, Rect};
@@ -30,6 +34,33 @@ use std::net::SocketAddr;
 use std::process::ExitCode;
 use std::time::Instant;
 
+/// The wire format an artifact is published (and re-verified) in.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ArtifactFormat {
+    Json,
+    Text,
+    Bin,
+}
+
+impl ArtifactFormat {
+    fn parse(s: &str) -> Option<ArtifactFormat> {
+        match s {
+            "json" => Some(ArtifactFormat::Json),
+            "text" => Some(ArtifactFormat::Text),
+            "bin" => Some(ArtifactFormat::Bin),
+            _ => None,
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            ArtifactFormat::Json => "json",
+            ArtifactFormat::Text => "text",
+            ArtifactFormat::Bin => "bin",
+        }
+    }
+}
+
 struct Options {
     addr: Option<String>,
     queries: usize,
@@ -38,6 +69,7 @@ struct Options {
     seed: u64,
     cache_capacity: usize,
     dims: usize,
+    format: ArtifactFormat,
     json: Option<String>,
 }
 
@@ -51,6 +83,7 @@ impl Default for Options {
             seed: 42,
             cache_capacity: 65_536,
             dims: 2,
+            format: ArtifactFormat::Json,
             json: std::env::var("CRITERION_JSON")
                 .ok()
                 .filter(|p| !p.is_empty()),
@@ -60,7 +93,8 @@ impl Default for Options {
 
 fn usage() -> &'static str {
     "usage: loadgen [--addr HOST:PORT] [--queries N] [--batch B] [--clients C] \
-     [--seed S] [--cache-capacity N] [--no-cache] [--dims 2|3] [--json PATH]"
+     [--seed S] [--cache-capacity N] [--no-cache] [--dims 2|3] \
+     [--format json|text|bin] [--json PATH]"
 }
 
 fn parse_options() -> Result<Options, String> {
@@ -89,6 +123,11 @@ fn parse_options() -> Result<Options, String> {
             }
             "--no-cache" => opts.cache_capacity = 0,
             "--dims" => opts.dims = value_for("--dims")?.parse().map_err(|_| "bad --dims")?,
+            "--format" => {
+                let v = value_for("--format")?;
+                opts.format = ArtifactFormat::parse(&v)
+                    .ok_or_else(|| format!("bad --format `{v}` (expected json, text, or bin)"))?
+            }
             "--json" => opts.json = Some(value_for("--json")?),
             "--help" | "-h" => {
                 println!("{}", usage());
@@ -125,14 +164,42 @@ fn dataset<const D: usize>(n: usize) -> (Rect<D>, Vec<Point<D>>) {
     (domain, pts)
 }
 
-fn build_artifact<const D: usize>(seed: u64) -> String {
+fn build_release<const D: usize>(seed: u64) -> ReleasedSynopsis<D> {
     let (domain, pts) = dataset::<D>(20_000);
     PsdConfig::<D>::kd_hybrid(domain, 6, 0.5, 2)
         .with_seed(seed)
         .build(&pts)
         .expect("seeded build succeeds")
         .release()
-        .to_json_string()
+}
+
+/// Serializes a release into the requested publish format.
+fn encode_artifact<const D: usize>(
+    release: &ReleasedSynopsis<D>,
+    format: ArtifactFormat,
+) -> Vec<u8> {
+    match format {
+        ArtifactFormat::Json => release.to_json_string().into_bytes(),
+        ArtifactFormat::Text => release.to_release_text().into_bytes(),
+        ArtifactFormat::Bin => release.to_flat_bytes(),
+    }
+}
+
+/// Reloads the artifact through the same codec the server will use, so
+/// the verification baseline went through an identical decode path.
+fn decode_artifact<const D: usize>(
+    artifact: &[u8],
+    format: ArtifactFormat,
+) -> Result<ReleasedSynopsis<D>, String> {
+    let utf8 = |what: &str| {
+        std::str::from_utf8(artifact).map_err(|_| format!("{what} artifact is not UTF-8"))
+    };
+    match format {
+        ArtifactFormat::Json => ReleasedSynopsis::from_json_str(utf8("json")?),
+        ArtifactFormat::Text => ReleasedSynopsis::from_release_text(utf8("text")?),
+        ArtifactFormat::Bin => ReleasedSynopsis::from_flat_bytes(artifact),
+    }
+    .map_err(|e| format!("artifact must load: {e}"))
 }
 
 /// Cache counters scraped from `GET /stats`.
@@ -288,6 +355,10 @@ fn render_report(opts: &Options, results: &[WorkloadResult], nodes: usize) -> St
             Value::Number(opts.cache_capacity as f64),
         ),
         ("dims".to_string(), Value::Number(opts.dims as f64)),
+        (
+            "format".to_string(),
+            Value::String(opts.format.label().to_string()),
+        ),
         ("nodes".to_string(), Value::Number(nodes as f64)),
         ("seed".to_string(), Value::Number(opts.seed as f64)),
     ]);
@@ -356,13 +427,12 @@ fn run<const D: usize>(opts: &Options) -> Result<(), String> {
         }
     };
 
-    let artifact = build_artifact::<D>(opts.seed);
-    let direct = ReleasedSynopsis::<D>::from_json_str(&artifact)
-        .map_err(|e| format!("artifact must load: {e}"))?;
+    let artifact = encode_artifact(&build_release::<D>(opts.seed), opts.format);
+    let direct = decode_artifact::<D>(&artifact, opts.format)?;
     let name = "loadgen";
     let mut client = Client::connect(addr).map_err(|e| format!("cannot connect: {e}"))?;
     let publish = client
-        .post(&format!("/synopses/{name}"), &artifact)
+        .post_bytes(&format!("/synopses/{name}"), &artifact)
         .map_err(|e| format!("publish failed: {e}"))?;
     if publish.status != 200 {
         return Err(format!(
@@ -371,9 +441,11 @@ fn run<const D: usize>(opts: &Options) -> Result<(), String> {
         ));
     }
     eprintln!(
-        "loadgen: published {} nodes (dims {}) to {addr}",
+        "loadgen: published {} nodes (dims {}, format {}, {} artifact bytes) to {addr}",
         direct.as_tree().node_count(),
-        D
+        D,
+        opts.format.label(),
+        artifact.len(),
     );
 
     let domain_wire: Vec<f64> = {

@@ -58,12 +58,19 @@ impl Client {
         path: &str,
         body: Option<&str>,
     ) -> io::Result<Response> {
-        let body = body.unwrap_or("");
+        self.request_bytes(method, path, body.unwrap_or("").as_bytes())
+    }
+
+    /// Sends one request with a raw byte body — the transport for
+    /// binary (`dpsd-bin`) artifacts, and what every text request
+    /// delegates to.
+    pub fn request_bytes(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<Response> {
         write!(
             self.writer,
-            "{method} {path} HTTP/1.1\r\nhost: dpsd-serve\r\ncontent-length: {}\r\n\r\n{body}",
+            "{method} {path} HTTP/1.1\r\nhost: dpsd-serve\r\ncontent-length: {}\r\n\r\n",
             body.len()
         )?;
+        self.writer.write_all(body)?;
         self.writer.flush()?;
         self.read_response()
     }
@@ -73,9 +80,14 @@ impl Client {
         self.request("GET", path, None)
     }
 
-    /// `POST path` with a JSON (or artifact) body.
+    /// `POST path` with a JSON (or text artifact) body.
     pub fn post(&mut self, path: &str, body: &str) -> io::Result<Response> {
         self.request("POST", path, Some(body))
+    }
+
+    /// `POST path` with a raw byte body (binary artifacts).
+    pub fn post_bytes(&mut self, path: &str, body: &[u8]) -> io::Result<Response> {
+        self.request_bytes("POST", path, body)
     }
 
     fn read_line(&mut self) -> io::Result<String> {

@@ -11,13 +11,21 @@
 //! cached answer.
 //!
 //! Dimension is a runtime property on the wire but a compile-time
-//! property of [`ReleasedSynopsis`], so [`AnySynopsis`] erases it over
+//! property of the typed synopses, so [`AnySynopsis`] erases it over
 //! the supported range `D ∈ 1..=4` (the same range the evaluation
-//! sweeps cover). Artifacts in **either** published format load: the
-//! JSON synopsis and the line-oriented text release.
+//! sweeps cover). Artifacts in **all three** published formats load:
+//! the `dpsd-bin/v1` binary blob (sniffed by its magic bytes), the JSON
+//! synopsis, and the line-oriented text release. Whatever the wire
+//! format, every tenant is hosted as a
+//! [`FlatSynopsis`] arena — the
+//! structure-of-arrays query kernel — so the serving hot path never
+//! walks pointer-y tree nodes and answers stay bit-identical to the
+//! source tree in every format.
 
 use crate::error::ServeError;
 use crate::sync::{read_or_recover, write_or_recover};
+use dpsd_core::flat::FlatSynopsis;
+use dpsd_core::synopsis::SpatialSynopsis;
 use dpsd_core::tree::{ReleasedSynopsis, TreeKind};
 use std::collections::HashMap;
 use std::sync::{Arc, RwLock};
@@ -26,19 +34,20 @@ use std::sync::{Arc, RwLock};
 /// range of the dimension-generic core).
 pub const MAX_DIMS: usize = 4;
 
-/// A published synopsis of any supported dimension.
+/// A published synopsis of any supported dimension, hosted as a flat
+/// arena.
 pub enum AnySynopsis {
     /// A 1-dimensional synopsis.
-    D1(ReleasedSynopsis<1>),
+    D1(FlatSynopsis<1>),
     /// A planar synopsis.
-    D2(ReleasedSynopsis<2>),
+    D2(FlatSynopsis<2>),
     /// A 3-dimensional synopsis.
-    D3(ReleasedSynopsis<3>),
+    D3(FlatSynopsis<3>),
     /// A 4-dimensional synopsis.
-    D4(ReleasedSynopsis<4>),
+    D4(FlatSynopsis<4>),
 }
 
-/// Runs `$body` with `$s` bound to the typed `&ReleasedSynopsis<D>` of
+/// Runs `$body` with `$s` bound to the typed `&FlatSynopsis<D>` of
 /// whichever dimension `$any` holds. Generic functions called inside
 /// the body infer `D` from `$s`.
 macro_rules! with_synopsis {
@@ -72,21 +81,52 @@ fn synopsis_from_value<const D: usize>(
         .map_err(|e| ServeError::from(dpsd_core::DpsdError::from(e)))
 }
 
+/// The unsupported-dimension rejection, shared by all three formats.
+fn bad_dims(d: impl std::fmt::Display) -> ServeError {
+    ServeError::BadRequest(format!(
+        "artifact is {d}-dimensional; this server accepts 1..={MAX_DIMS}"
+    ))
+}
+
 impl AnySynopsis {
-    /// Loads a published artifact in either wire format, dispatching on
-    /// the dimension it declares. Text releases are recognized by their
-    /// `dpsd-release` magic; everything else must be a JSON synopsis.
-    pub fn load(text: &str) -> Result<Self, ServeError> {
+    /// Loads a published artifact in any wire format, dispatching on
+    /// the dimension it declares. `dpsd-bin` blobs are recognized by
+    /// their magic bytes and load straight into the arena; text
+    /// releases by their `dpsd-release` magic; everything else must be
+    /// a JSON synopsis. JSON/text artifacts are flattened after
+    /// validation, so serving always runs on [`FlatSynopsis`].
+    pub fn load(artifact: &[u8]) -> Result<Self, ServeError> {
+        if dpsd_core::flat::is_flat_artifact(artifact) {
+            return match dpsd_core::flat::peek_dims(artifact) {
+                Some(1) => Ok(AnySynopsis::D1(FlatSynopsis::from_bytes(artifact)?)),
+                Some(2) => Ok(AnySynopsis::D2(FlatSynopsis::from_bytes(artifact)?)),
+                Some(3) => Ok(AnySynopsis::D3(FlatSynopsis::from_bytes(artifact)?)),
+                Some(4) => Ok(AnySynopsis::D4(FlatSynopsis::from_bytes(artifact)?)),
+                Some(d) => Err(bad_dims(d)),
+                None => Err(ServeError::BadRequest(
+                    "dpsd-bin artifact is truncated before the dims field".into(),
+                )),
+            };
+        }
+        let text = std::str::from_utf8(artifact).map_err(|_| {
+            ServeError::BadRequest("artifact is neither dpsd-bin nor UTF-8 text".into())
+        })?;
         let trimmed = text.trim_start();
         if trimmed.starts_with("dpsd-release") {
             match text_release_dims(trimmed) {
-                1 => Ok(AnySynopsis::D1(ReleasedSynopsis::from_release_text(text)?)),
-                2 => Ok(AnySynopsis::D2(ReleasedSynopsis::from_release_text(text)?)),
-                3 => Ok(AnySynopsis::D3(ReleasedSynopsis::from_release_text(text)?)),
-                4 => Ok(AnySynopsis::D4(ReleasedSynopsis::from_release_text(text)?)),
-                d => Err(ServeError::BadRequest(format!(
-                    "artifact is {d}-dimensional; this server accepts 1..={MAX_DIMS}"
+                1 => Ok(AnySynopsis::D1(flatten(
+                    ReleasedSynopsis::from_release_text(text)?,
                 ))),
+                2 => Ok(AnySynopsis::D2(flatten(
+                    ReleasedSynopsis::from_release_text(text)?,
+                ))),
+                3 => Ok(AnySynopsis::D3(flatten(
+                    ReleasedSynopsis::from_release_text(text)?,
+                ))),
+                4 => Ok(AnySynopsis::D4(flatten(
+                    ReleasedSynopsis::from_release_text(text)?,
+                ))),
+                d => Err(bad_dims(d)),
             }
         } else {
             // Parse once; the `dims` field picks the typed loader and
@@ -100,13 +140,11 @@ impl AnySynopsis {
                 .and_then(serde::Value::as_u64)
                 .unwrap_or(2);
             match dims {
-                1 => Ok(AnySynopsis::D1(synopsis_from_value(&value)?)),
-                2 => Ok(AnySynopsis::D2(synopsis_from_value(&value)?)),
-                3 => Ok(AnySynopsis::D3(synopsis_from_value(&value)?)),
-                4 => Ok(AnySynopsis::D4(synopsis_from_value(&value)?)),
-                d => Err(ServeError::BadRequest(format!(
-                    "artifact is {d}-dimensional; this server accepts 1..={MAX_DIMS}"
-                ))),
+                1 => Ok(AnySynopsis::D1(flatten(synopsis_from_value(&value)?))),
+                2 => Ok(AnySynopsis::D2(flatten(synopsis_from_value(&value)?))),
+                3 => Ok(AnySynopsis::D3(flatten(synopsis_from_value(&value)?))),
+                4 => Ok(AnySynopsis::D4(flatten(synopsis_from_value(&value)?))),
+                d => Err(bad_dims(d)),
             }
         }
     }
@@ -123,26 +161,31 @@ impl AnySynopsis {
 
     /// The tree family of the hosted synopsis.
     pub fn kind(&self) -> TreeKind {
-        with_synopsis!(self, s => s.as_tree().kind())
+        with_synopsis!(self, s => s.kind())
     }
 
     /// Number of released nodes.
     pub fn node_count(&self) -> usize {
-        with_synopsis!(self, s => s.as_tree().node_count())
+        with_synopsis!(self, s => s.node_count())
     }
 
     /// Privacy budget the synopsis was built with.
     pub fn epsilon(&self) -> f64 {
-        with_synopsis!(self, s => s.as_tree().epsilon())
+        with_synopsis!(self, s => s.epsilon())
     }
 
     /// The covered domain in wire layout (all minima, then all maxima).
     pub fn domain_wire(&self) -> Vec<f64> {
         with_synopsis!(self, s => {
-            let d = s.as_tree().domain();
+            let d = dpsd_core::synopsis::SpatialSynopsis::domain(s);
             d.min.iter().chain(d.max.iter()).copied().collect()
         })
     }
+}
+
+/// Flattens a validated release into the serving arena.
+fn flatten<const D: usize>(synopsis: ReleasedSynopsis<D>) -> FlatSynopsis<D> {
+    FlatSynopsis::from_released(&synopsis)
 }
 
 /// One atomically published artifact: name, monotonically increasing
@@ -184,14 +227,14 @@ impl SynopsisRegistry {
         Self::default()
     }
 
-    /// Parses and validates an artifact, then publishes it under
-    /// `name`, atomically replacing any prior version. Parsing happens
-    /// **outside** the write lock, so a slow or hostile upload never
-    /// stalls readers.
+    /// Parses and validates an artifact (any wire format), then
+    /// publishes it under `name`, atomically replacing any prior
+    /// version. Parsing happens **outside** the write lock, so a slow
+    /// or hostile upload never stalls readers.
     pub fn publish(
         &self,
         name: &str,
-        artifact: &str,
+        artifact: &[u8],
     ) -> Result<Arc<PublishedSynopsis>, ServeError> {
         validate_name(name)?;
         let synopsis = AnySynopsis::load(artifact)?;
@@ -236,7 +279,7 @@ mod tests {
     use dpsd_core::synopsis::SpatialSynopsis;
     use dpsd_core::tree::PsdConfig;
 
-    fn sample_json<const D: usize>() -> String {
+    fn sample_release<const D: usize>() -> ReleasedSynopsis<D> {
         let domain = Rect::<D>::from_corners([0.0; D], [16.0; D]).unwrap();
         let pts: Vec<Point<D>> = (0..300)
             .map(|i| {
@@ -252,46 +295,79 @@ mod tests {
             .build(&pts)
             .unwrap()
             .release()
-            .to_json_string()
+    }
+
+    fn sample_json<const D: usize>() -> String {
+        sample_release::<D>().to_json_string()
     }
 
     #[test]
-    fn loads_both_formats_and_dispatches_dimension() {
-        let s2 = AnySynopsis::load(&sample_json::<2>()).unwrap();
+    fn loads_all_formats_and_dispatches_dimension() {
+        let s2 = AnySynopsis::load(sample_json::<2>().as_bytes()).unwrap();
         assert_eq!(s2.dims(), 2);
-        let s3 = AnySynopsis::load(&sample_json::<3>()).unwrap();
+        let s3 = AnySynopsis::load(sample_json::<3>().as_bytes()).unwrap();
         assert_eq!(s3.dims(), 3);
         assert!(s3.node_count() > 0 && s3.epsilon() > 0.0);
         assert_eq!(s3.domain_wire().len(), 6);
 
         // Text format, via the typed constructors.
-        let json = sample_json::<2>();
-        let loaded = ReleasedSynopsis::<2>::from_json_str(&json).unwrap();
+        let loaded = sample_release::<2>();
         let text = loaded.to_release_text();
-        let via_text = AnySynopsis::load(&text).unwrap();
+        let via_text = AnySynopsis::load(text.as_bytes()).unwrap();
         assert_eq!(via_text.dims(), 2);
+        let q = Rect::new(1.0, 2.0, 9.0, 11.0).unwrap();
         match (&via_text, &loaded) {
             (AnySynopsis::D2(a), b) => {
-                let q = Rect::new(1.0, 2.0, 9.0, 11.0).unwrap();
                 assert_eq!(a.query(&q).to_bits(), b.query(&q).to_bits());
             }
             _ => panic!("expected a planar synopsis"),
         }
+
+        // Binary format: same answers, loaded straight into the arena.
+        let via_bin = AnySynopsis::load(&loaded.to_flat_bytes()).unwrap();
+        assert_eq!(
+            (via_bin.dims(), via_bin.kind()),
+            (2, loaded.as_tree().kind())
+        );
+        match (&via_bin, &loaded) {
+            (AnySynopsis::D2(a), b) => {
+                assert_eq!(a.query(&q).to_bits(), b.query(&q).to_bits());
+            }
+            _ => panic!("expected a planar synopsis"),
+        }
+        let bin3 = sample_release::<3>().to_flat_bytes();
+        assert_eq!(AnySynopsis::load(&bin3).unwrap().dims(), 3);
     }
 
     #[test]
     fn rejects_garbage_and_unsupported_dimensions() {
         assert!(matches!(
-            AnySynopsis::load("{ not json"),
+            AnySynopsis::load(b"{ not json"),
             Err(ServeError::BadRequest(_))
         ));
         assert!(matches!(
-            AnySynopsis::load("dpsd-release v1\nnonsense"),
+            AnySynopsis::load(b"dpsd-release v1\nnonsense"),
             Err(ServeError::BadRequest(_))
         ));
         let five_d = sample_json::<2>().replace("\"dims\":2", "\"dims\":5");
         assert!(matches!(
-            AnySynopsis::load(&five_d),
+            AnySynopsis::load(five_d.as_bytes()),
+            Err(ServeError::BadRequest(_))
+        ));
+        // Binary artifacts: corruption and truncation are client errors.
+        let mut blob = sample_release::<2>().to_flat_bytes();
+        blob[9] ^= 0xff; // break the checksum
+        assert!(matches!(
+            AnySynopsis::load(&blob),
+            Err(ServeError::BadRequest(_))
+        ));
+        assert!(matches!(
+            AnySynopsis::load(b"DPSDBIN1\x00\x00"),
+            Err(ServeError::BadRequest(_))
+        ));
+        // Non-UTF-8 garbage that is not dpsd-bin is rejected up front.
+        assert!(matches!(
+            AnySynopsis::load(&[0xff, 0xfe, 0x00, 0x80]),
             Err(ServeError::BadRequest(_))
         ));
     }
@@ -300,10 +376,10 @@ mod tests {
     fn publish_bumps_versions_and_hot_swaps() {
         let registry = SynopsisRegistry::new();
         let json = sample_json::<2>();
-        let v1 = registry.publish("tenants", &json).unwrap();
+        let v1 = registry.publish("tenants", json.as_bytes()).unwrap();
         assert_eq!((v1.name.as_str(), v1.version), ("tenants", 1));
         let held = registry.get("tenants").unwrap();
-        let v2 = registry.publish("tenants", &json).unwrap();
+        let v2 = registry.publish("tenants", json.as_bytes()).unwrap();
         assert_eq!(v2.version, 2);
         // In-flight holders keep their resolved version; new lookups
         // see the swap.
@@ -318,10 +394,13 @@ mod tests {
         let json = sample_json::<2>();
         for bad in ["", "a/b", "a b", "ü", &"x".repeat(65)] {
             assert!(
-                matches!(registry.publish(bad, &json), Err(ServeError::BadRequest(_))),
+                matches!(
+                    registry.publish(bad, json.as_bytes()),
+                    Err(ServeError::BadRequest(_))
+                ),
                 "name {bad:?} must be rejected"
             );
         }
-        assert!(registry.publish("ok-name_1.2", &json).is_ok());
+        assert!(registry.publish("ok-name_1.2", json.as_bytes()).is_ok());
     }
 }

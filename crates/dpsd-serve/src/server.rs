@@ -7,7 +7,7 @@
 //!
 //! | Method & path                        | Meaning                                   |
 //! |--------------------------------------|-------------------------------------------|
-//! | `POST /synopses/{name}`              | Publish (or hot-swap) an artifact — body is a JSON synopsis or a text release |
+//! | `POST /synopses/{name}`              | Publish (or hot-swap) an artifact — body is a `dpsd-bin/v1` blob, a JSON synopsis, or a text release |
 //! | `GET /synopses`                      | List published synopses                   |
 //! | `GET /synopses/{name}`               | One synopsis' metadata                    |
 //! | `POST /synopses/{name}/query`        | `{"rect": [min..., max...]}` → one estimate |
@@ -19,15 +19,22 @@
 //! The serving layer adds **zero numeric drift**: every estimate a
 //! client receives is bit-identical to calling
 //! [`SpatialSynopsis::query`]/[`query_batch`](SpatialSynopsis::query_batch)
-//! on the loaded [`ReleasedSynopsis`] directly. That holds through all
-//! three serving features — the read-through cache (keys pin exact
-//! rect bit patterns and the synopsis version), batch dispatch through
+//! on the published release directly. Whatever format an artifact
+//! arrived in, tenants are hosted as
+//! [`FlatSynopsis`] arenas, whose kernel
+//! settles nodes in the same depth-first order as the tree path — so
+//! flattening changes no bits either. That holds through all three
+//! serving features — the read-through cache (keys pin exact rect bit
+//! patterns and the synopsis version), batch dispatch through
 //! [`ParallelQuery::query_batch_parallel`] (bit-identical to sequential
 //! by the exec layer's contract), and hot-swap (version-carrying cache
 //! keys make stale answers unreachable). JSON transport preserves the
 //! bits because the vendored `serde_json` prints shortest-round-trip
-//! floats. The socket-level suites (`tests/serve_http.rs`,
-//! `tests/serve_stress.rs`) enforce this end to end.
+//! floats (the `dpsd-bin` binary format carries raw `f64` bytes and
+//! has no such formatting dependency — see the canonical float note in
+//! `vendor/README.md` and the [`dpsd_core::flat`] module docs). The
+//! socket-level suites (`tests/serve_http.rs`, `tests/serve_stress.rs`)
+//! enforce this end to end.
 
 use crate::cache::{CacheKey, ShardedCache};
 use crate::error::ServeError;
@@ -35,9 +42,9 @@ use crate::http::{read_request, write_response, HttpError, Request};
 use crate::metrics::{Endpoint, Metrics};
 use crate::registry::{with_synopsis, AnySynopsis, PublishedSynopsis, SynopsisRegistry};
 use dpsd_core::exec::Parallelism;
+use dpsd_core::flat::FlatSynopsis;
 use dpsd_core::geometry::Rect;
 use dpsd_core::synopsis::{ParallelQuery, SpatialSynopsis};
-use dpsd_core::tree::ReleasedSynopsis;
 use serde::Value;
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -108,9 +115,10 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Publishes an artifact directly, without a round-trip — used by
-    /// the binary to preload synopses from files before serving.
-    pub fn preload(&self, name: &str, artifact: &str) -> Result<(String, u64), ServeError> {
+    /// Publishes an artifact (any wire format, including `dpsd-bin`
+    /// blobs) directly, without a round-trip — used by the binary to
+    /// preload synopses from files before serving.
+    pub fn preload(&self, name: &str, artifact: &[u8]) -> Result<(String, u64), ServeError> {
         let published = self.state.registry.publish(name, artifact)?;
         Ok((published.name.clone(), published.version))
     }
@@ -331,9 +339,10 @@ fn handle_publish(
     name: &str,
     request: &Request,
 ) -> Result<String, ServeError> {
-    let text = std::str::from_utf8(&request.body)
-        .map_err(|_| ServeError::BadRequest("artifact body is not UTF-8".into()))?;
-    let published = state.registry.publish(name, text)?;
+    // The body goes to the registry as raw bytes: binary artifacts are
+    // sniffed by magic, and UTF-8 validation (for JSON/text) happens in
+    // the registry's loader.
+    let published = state.registry.publish(name, &request.body)?;
     // Hot swap: answers minted against older versions are unreachable
     // (the version is part of every cache key); purging just frees the
     // space immediately.
@@ -406,7 +415,7 @@ fn parse_rect<const D: usize>(coords: &[f64]) -> Result<Rect<D>, ServeError> {
 /// Read-through single query: bit-identical to `synopsis.query(rect)`
 /// whether the answer came from the cache or not.
 fn answer_one<const D: usize>(
-    synopsis: &ReleasedSynopsis<D>,
+    synopsis: &FlatSynopsis<D>,
     published: &PublishedSynopsis,
     cache: &ShardedCache,
     coords: &[f64],
@@ -427,7 +436,7 @@ fn answer_one<const D: usize>(
 /// queries, the spliced vector equals `synopsis.query_batch(all)` bit
 /// for bit.
 fn answer_batch<const D: usize>(
-    synopsis: &ReleasedSynopsis<D>,
+    synopsis: &FlatSynopsis<D>,
     published: &PublishedSynopsis,
     cache: &ShardedCache,
     wire_rects: &[Value],

@@ -70,7 +70,7 @@ pub use dpsd_hilbert as hilbert;
 pub use dpsd_match as matching;
 pub use dpsd_serve as serve;
 
-pub use dpsd_core::{DpsdError, ReleasedSynopsis, SpatialSynopsis};
+pub use dpsd_core::{DpsdError, FlatSynopsis, ReleasedSynopsis, SpatialSynopsis};
 
 /// The most commonly used items, for glob import.
 ///
@@ -87,6 +87,7 @@ pub mod prelude {
     pub use dpsd_core::budget::{BudgetSplit, CountBudget};
     pub use dpsd_core::error::DpsdError;
     pub use dpsd_core::exec::Parallelism;
+    pub use dpsd_core::flat::FlatSynopsis;
     pub use dpsd_core::geometry::{Point, Point2, Rect, Rect2};
     pub use dpsd_core::median::{MedianConfig, MedianSelector};
     pub use dpsd_core::query::{

@@ -266,6 +266,57 @@ fn two_d_pipeline_is_bit_identical_to_pre_refactor_golden() {
     }
 }
 
+/// The flat arena is held to the same standard as the parallel path:
+/// for every fingerprinted family config, publishing the release as
+/// `dpsd-bin/v1` and sweeping the `FlatSynopsis` arena must return
+/// bit-for-bit what the pointer tree returns, query for query, and the
+/// binary round-trip back to a `ReleasedSynopsis` must change nothing.
+#[test]
+fn flat_arena_is_bit_identical_on_all_golden_configs() {
+    let pts = dataset();
+    let queries: Vec<Rect> = (0..300)
+        .map(|i| {
+            let x = (i % 21) as f64 * 2.9 - 3.0;
+            let y = ((i * 11) % 17) as f64 * 3.7;
+            let w = 0.7 + (i % 15) as f64 * 3.1;
+            let h = 1.3 + (i % 7) as f64 * 5.9;
+            Rect::new(x, y, x + w, y + h).unwrap()
+        })
+        .collect();
+    for (name, config) in configs() {
+        let tree = config.build(&pts).unwrap();
+        let released = tree.release();
+        let blob = released.to_flat_bytes();
+        let flat = FlatSynopsis::<2>::from_bytes(&blob).unwrap();
+        let reloaded = ReleasedSynopsis::<2>::from_flat_bytes(&blob).unwrap();
+        assert_eq!(
+            reloaded.to_flat_bytes(),
+            blob,
+            "{name}: binary re-encode drifted"
+        );
+        let tree_batch = released.query_batch(&queries);
+        let flat_batch = flat.query_batch(&queries);
+        let reloaded_batch = reloaded.query_batch(&queries);
+        for (i, ((&t, &f), &r)) in tree_batch
+            .iter()
+            .zip(&flat_batch)
+            .zip(&reloaded_batch)
+            .enumerate()
+        {
+            assert_eq!(
+                t.to_bits(),
+                f.to_bits(),
+                "{name}: flat arena diverged from the tree at query {i}"
+            );
+            assert_eq!(
+                t.to_bits(),
+                r.to_bits(),
+                "{name}: binary round-trip diverged from the tree at query {i}"
+            );
+        }
+    }
+}
+
 /// The parallel query path is held to the same standard as the build
 /// pipeline: for every fingerprinted family config,
 /// `query_batch_parallel` must return bit-for-bit what the sequential

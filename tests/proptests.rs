@@ -263,3 +263,116 @@ proptest! {
         }
     }
 }
+
+/// Drives the cross-format round-trip for one dimensionality: build a
+/// private tree over the first `D` coordinates of each row, publish it
+/// as JSON, parse that back, re-encode as `dpsd-bin/v1`, and load the
+/// blob through both the tree-backed [`ReleasedSynopsis`] path and the
+/// [`FlatSynopsis`] arena. Every representation must answer every
+/// query with bit-identical `f64`s, the binary re-encode must be
+/// byte-stable, and the flat kernel's batch answers must equal its
+/// singles. Plain `assert!`s: proptest catches the panic and shrinks.
+fn flat_roundtrip_case<const D: usize>(
+    rows: &[Vec<f64>],
+    qlos: &[Vec<f64>],
+    qws: &[Vec<f64>],
+    seed: u64,
+    eps: f64,
+    family: usize,
+    postprocess: bool,
+) {
+    let nd_domain = Rect::from_corners([0.0; D], [100.0; D]).unwrap();
+    let points: Vec<Point<D>> = rows
+        .iter()
+        .map(|r| {
+            let mut c = [0.0; D];
+            for (k, slot) in c.iter_mut().enumerate() {
+                *slot = r[k];
+            }
+            Point::from_coords(c)
+        })
+        .collect();
+    let config = match family {
+        0 => PsdConfig::quadtree(nd_domain, 2, eps),
+        1 => PsdConfig::kd_standard(nd_domain, 3, eps),
+        _ => PsdConfig::hilbert_r(nd_domain, 2, eps).with_hilbert_order(6),
+    };
+    let tree = config
+        .with_postprocess(postprocess)
+        .with_seed(seed)
+        .build(&points)
+        .unwrap();
+    let queries: Vec<Rect<D>> = qlos
+        .iter()
+        .zip(qws)
+        .map(|(lo, w)| {
+            let mut qlo = [0.0; D];
+            let mut qhi = [0.0; D];
+            for k in 0..D {
+                qlo[k] = lo[k];
+                qhi[k] = lo[k] + w[k];
+            }
+            Rect::from_corners(qlo, qhi).unwrap()
+        })
+        .collect();
+
+    let via_json = ReleasedSynopsis::<D>::from_json_str(&tree.release().to_json_string()).unwrap();
+    let blob = via_json.to_flat_bytes();
+    let via_bin = ReleasedSynopsis::<D>::from_flat_bytes(&blob).unwrap();
+    let flat = FlatSynopsis::<D>::from_bytes(&blob).unwrap();
+    assert_eq!(
+        via_bin.to_flat_bytes(),
+        blob,
+        "binary re-encode drifted (D={D})"
+    );
+    assert_eq!(flat.node_count(), via_json.node_count());
+    assert_eq!(flat.epsilon().to_bits(), via_json.epsilon().to_bits());
+
+    let json_batch = via_json.query_batch(&queries);
+    let bin_batch = via_bin.query_batch(&queries);
+    let flat_batch = flat.query_batch(&queries);
+    for (i, q) in queries.iter().enumerate() {
+        assert_eq!(
+            json_batch[i].to_bits(),
+            bin_batch[i].to_bits(),
+            "JSON and binary releases diverged on {q:?} (D={D})"
+        );
+        assert_eq!(
+            json_batch[i].to_bits(),
+            flat_batch[i].to_bits(),
+            "flat arena diverged from the tree on {q:?} (D={D})"
+        );
+        assert_eq!(
+            flat.query(q).to_bits(),
+            flat_batch[i].to_bits(),
+            "flat batch diverged from flat singles on {q:?} (D={D})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `dpsd-bin/v1` round-trip: for random releases in 1..=4
+    /// dimensions across three tree families, JSON -> binary ->
+    /// `FlatSynopsis` is bit-identical query-for-query, the binary
+    /// re-encode is byte-stable, and the flat kernel's batch path
+    /// returns exactly its singles.
+    #[test]
+    fn flat_binary_roundtrip_is_bit_identical_in_all_dims(
+        rows in prop::collection::vec(prop::collection::vec(0.0f64..100.0, 4..5), 1..120),
+        qlos in prop::collection::vec(prop::collection::vec(-10.0f64..90.0, 4..5), 1..16),
+        qws in prop::collection::vec(prop::collection::vec(0.5f64..50.0, 4..5), 1..16),
+        seed in 0u64..1000,
+        eps in 0.1f64..2.0,
+        family in 0usize..3,
+        pp in 0usize..2,
+    ) {
+        let n_q = qlos.len().min(qws.len());
+        let (qlos, qws) = (&qlos[..n_q], &qws[..n_q]);
+        flat_roundtrip_case::<1>(&rows, qlos, qws, seed, eps, family, pp == 1);
+        flat_roundtrip_case::<2>(&rows, qlos, qws, seed, eps, family, pp == 1);
+        flat_roundtrip_case::<3>(&rows, qlos, qws, seed, eps, family, pp == 1);
+        flat_roundtrip_case::<4>(&rows, qlos, qws, seed, eps, family, pp == 1);
+    }
+}

@@ -198,6 +198,55 @@ fn text_release_format_publishes_too() {
 }
 
 #[test]
+fn binary_release_format_publishes_too() {
+    let handle = start_server(ServeConfig::default());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let direct = synopsis_2d(47);
+    let blob = direct.to_flat_bytes();
+
+    // The registry sniffs the dpsd-bin/v1 magic from the raw body and
+    // serves the tenant from the flat arena.
+    let response = client.post_bytes("/synopses/arena", &blob).unwrap();
+    assert_eq!(
+        response.status, 200,
+        "binary publish failed: {}",
+        response.body
+    );
+
+    let typed = Rect::new(2.0, 4.0, 37.0, 31.0).unwrap();
+    let got = single_estimate(&mut client, "arena", &wire_rect(&typed));
+    assert_eq!(
+        got.to_bits(),
+        direct.query(&typed).to_bits(),
+        "arena-served answer not bit-identical to the direct release"
+    );
+    let rects: Vec<Vec<f64>> = (0..8)
+        .map(|i| {
+            let x = i as f64 * 3.0;
+            wire_rect(&Rect::new(x, 1.0, x + 9.0, 28.0).unwrap())
+        })
+        .collect();
+    let wire = batch_answers(&mut client, "arena", &rects);
+    for (w, r) in wire.iter().zip(typed_rects::<2>(&rects)) {
+        assert_eq!(w.to_bits(), direct.query(&r).to_bits());
+    }
+
+    // A corrupted blob (payload flip without re-hashing -> checksum
+    // mismatch) is a typed 400, and the connection stays usable.
+    let mut bad = blob.clone();
+    bad[64] ^= 0xff;
+    let r = client.post_bytes("/synopses/arena-bad", &bad).unwrap();
+    assert_eq!(r.status, 400, "corrupted binary must be rejected");
+    assert!(r.error_message().unwrap().contains("checksum"));
+    let r = client
+        .post_bytes("/synopses/arena-bad", &blob[..40])
+        .unwrap();
+    assert_eq!(r.status, 400, "truncated binary must be rejected");
+    let still = single_estimate(&mut client, "arena", &wire_rect(&typed));
+    assert_eq!(still.to_bits(), direct.query(&typed).to_bits());
+}
+
+#[test]
 fn hot_swap_serves_the_new_version_immediately() {
     let handle = start_server(ServeConfig::default());
     let mut client = Client::connect(handle.addr()).unwrap();

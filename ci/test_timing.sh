@@ -11,11 +11,31 @@
 #
 # Compile time is excluded: everything is built (--no-run) before the
 # clock starts on any suite.
+#
+# Suites named in EXPECTED_SUITES below are load-bearing: if any of
+# them fails to produce a timing row (renamed, deleted, or silently
+# dropped from discovery), the script exits 2 — a vanished gate must
+# read as a CI failure, not as a shorter table.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 CAP="${DPSD_TEST_TIME_CAP_SECS:-60}"
+
+# "<package> <suite>" pairs that must each produce a timing row.
+EXPECTED_SUITES=(
+  "dpsd bit_identity"
+  "dpsd end_to_end"
+  "dpsd flat_golden"
+  "dpsd parallel"
+  "dpsd proptests"
+  "dpsd serve_http"
+  "dpsd serve_stress"
+  "dpsd serve_wire_golden"
+  "dpsd stream_identity"
+  "dpsd-analyze fixtures"
+  "dpsd-serve cache_proptests"
+)
 
 # Build all test binaries first so timings measure tests, not rustc.
 cargo test --workspace --no-run --quiet
@@ -53,9 +73,11 @@ else
   cargo run -q -p dpsd-analyze -- --workspace 2>&1 | tail -40
   status=1
 fi
+timed=()
 for entry in "${suites[@]}"; do
   pkg=${entry%% *}
   suite=${entry#* }
+  timed+=("$entry")
   start=$(date +%s%N)
   if ! timeout "${CAP}s" cargo test -q -p "$pkg" --test "$suite" >/tmp/suite_out 2>&1; then
     elapsed=$(( ($(date +%s%N) - start) / 1000000 ))
@@ -78,6 +100,27 @@ for entry in "${suites[@]}"; do
   fi
   printf '%-16s %-28s %10s   %s\n' "$pkg" "$suite" "$secs" "$verdict"
 done
+
+# Fail loudly (exit 2) if any expected suite never produced a timing
+# row: a suite that vanishes from discovery is a gate that vanished.
+missing=0
+for want in "${EXPECTED_SUITES[@]}"; do
+  found=0
+  for have in "${timed[@]}"; do
+    if [ "$want" = "$have" ]; then
+      found=1
+      break
+    fi
+  done
+  if [ "$found" -eq 0 ]; then
+    echo "test-timing gate: expected suite \`$want\` produced no timing row" >&2
+    missing=1
+  fi
+done
+if [ "$missing" -ne 0 ]; then
+  echo "test-timing gate failed: expected suite(s) missing from the table" >&2
+  exit 2
+fi
 
 if [ "$status" -ne 0 ]; then
   echo "test-timing gate failed: a suite exceeded ${CAP}s (or failed)" >&2

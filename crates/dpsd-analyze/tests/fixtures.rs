@@ -87,6 +87,41 @@ fn wallclock_fixture_flags_all_three_clock_reads() {
 }
 
 #[test]
+fn epoch_scheduler_on_the_wallclock_is_flagged() {
+    // The streaming contract pins epoch ticking to the absorbed-point
+    // count; a scheduler that reads the clock to decide a release (or
+    // to stamp one) must be caught at every clock read.
+    let r = run_fixture("epoch_wallclock.rs");
+    assert_eq!(
+        findings(&r),
+        vec![
+            ("no-wallclock-in-core", 12),
+            ("no-wallclock-in-core", 21),
+            ("no-wallclock-in-core", 23),
+        ]
+    );
+}
+
+#[test]
+fn stream_paths_are_not_wallclock_exempt() {
+    // The continual-release code sits on the privacy path: neither the
+    // core accumulator nor the serve-layer stream manager may join the
+    // bench crate's wall-clock exemption.
+    let cfg = Config::workspace_default();
+    for path in [
+        "crates/dpsd-core/src/stream/mod.rs",
+        "crates/dpsd-core/src/stream/sketch.rs",
+        "crates/dpsd-serve/src/stream.rs",
+    ] {
+        assert!(
+            !Config::matches(&cfg.wallclock_exempt, path),
+            "{path} must stay under no-wallclock-in-core"
+        );
+        assert!(!cfg.skips(path), "{path} must be scanned");
+    }
+}
+
+#[test]
 fn spawn_fixture_flags_qualified_and_bare_paths() {
     let r = run_fixture("raw_spawn.rs");
     assert_eq!(findings(&r), vec![("no-raw-spawn", 5), ("no-raw-spawn", 9)]);

@@ -1,0 +1,27 @@
+//! Violations for `no-wallclock-in-core` in an epoch scheduler: epoch
+//! boundaries must be a pure function of the absorbed-point count,
+//! never of an ambient clock — a clock-driven tick is unreplayable.
+
+pub struct WallclockEpochScheduler {
+    last_release: std::time::Instant,
+    period: std::time::Duration,
+}
+
+impl WallclockEpochScheduler {
+    pub fn should_release(&mut self) -> bool {
+        let now = std::time::Instant::now();
+        if now.duration_since(self.last_release) >= self.period {
+            self.last_release = now;
+            return true;
+        }
+        false
+    }
+
+    pub fn release_stamp_unix(&self) -> u64 {
+        let stamp = std::time::SystemTime::now();
+        stamp
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0)
+    }
+}

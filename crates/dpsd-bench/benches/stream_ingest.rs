@@ -1,0 +1,118 @@
+//! Streaming-ingest bench: the continual-release path against the
+//! batch rebuild it replaces, CI-gated by `compare_bench
+//! --assert-order`.
+//!
+//! Per epoch the server has two ways to produce the next synopsis
+//! version over the grown prefix:
+//!
+//! 1. **`full_rebuild`** — run the batch builder over the entire
+//!    prefix from scratch (re-partitioning every point ever absorbed);
+//! 2. **`sketch_absorb`** — absorb only the epoch's new points into
+//!    the streaming accumulator's exact per-node counters and
+//!    materialize the release from them.
+//!
+//! Both produce byte-identical `dpsd-bin/v1` artifacts — asserted here
+//! before any timing, so the bench doubles as a determinism gate — but
+//! the streaming path's work is proportional to the epoch delta, not
+//! the stream lifetime. The `--assert-order` gate pins that claim:
+//! `sketch_absorb` must not lose to `full_rebuild`. A third group
+//! measures raw absorb throughput (points/sec into the accumulator).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dpsd_core::stream::{batch_config_for, EpsilonSchedule, StreamConfig, StreamIngestor};
+use dpsd_data::synthetic::{tiger_substitute, TIGER_DOMAIN};
+
+/// Points absorbed before the measured epoch (epoch 0's prefix).
+const PREFIX: usize = 100_000;
+/// New points the measured epoch adds (epoch 1's delta).
+const DELTA: usize = 10_000;
+
+fn bench(c: &mut Criterion) {
+    let points = tiger_substitute(PREFIX + DELTA, 1);
+    let config = StreamConfig::<2>::new(
+        TIGER_DOMAIN,
+        6,
+        EpsilonSchedule::Fixed { epsilon: 0.5 },
+        2.0,
+        7,
+    );
+
+    // The epoch-1 baseline: absorb the prefix, release epoch 0, so the
+    // measured iteration is exactly "one epoch of streaming work".
+    let mut base = StreamIngestor::new(config.clone()).expect("valid stream config");
+    for p in &points[..PREFIX] {
+        base.absorb(*p).expect("prefix point in domain");
+    }
+    base.release_epoch().expect("epoch 0 releases");
+
+    // Correctness before timing: the streaming epoch-1 artifact must be
+    // byte-identical to a from-scratch batch build over the same
+    // prefix, under the same derived seed and epoch epsilon.
+    let streamed = {
+        let mut ing = base.clone();
+        for p in &points[PREFIX..] {
+            ing.absorb(*p).expect("delta point in domain");
+        }
+        ing.release_epoch().expect("epoch 1 releases")
+    };
+    let rebuilt = batch_config_for(&config, 1)
+        .build(&points)
+        .expect("batch build succeeds")
+        .release();
+    assert_eq!(
+        streamed.synopsis.to_flat_bytes(),
+        rebuilt.to_flat_bytes(),
+        "streaming epoch release diverged from the batch rebuild"
+    );
+
+    dpsd_bench::jsonctx::set_num("prefix_points", PREFIX as f64);
+    dpsd_bench::jsonctx::set_num("delta_points", DELTA as f64);
+    dpsd_bench::jsonctx::set_num("node_count", base.node_count() as f64);
+    dpsd_bench::jsonctx::set_num(
+        "artifact_bytes",
+        streamed.synopsis.to_flat_bytes().len() as f64,
+    );
+
+    // Raw ingest throughput: points absorbed per second into the exact
+    // per-node counters (plus the Count-Min monitoring sketch).
+    let pristine = StreamIngestor::new(config.clone()).expect("valid stream config");
+    let mut group = c.benchmark_group("stream_ingest");
+    group.throughput(Throughput::Elements(DELTA as u64));
+    group.bench_function("absorb10k", |b| {
+        b.iter(|| {
+            let mut ing = pristine.clone();
+            for p in black_box(&points[..DELTA]) {
+                ing.absorb(*p).expect("point in domain");
+            }
+            ing.total_points()
+        })
+    });
+    group.finish();
+
+    // The gated comparison: one epoch of streaming work (absorb the
+    // delta, release from counters) against rebuilding the whole
+    // prefix. Both sides include artifact materialization.
+    let mut group = c.benchmark_group("stream_epoch/h6");
+    group.throughput(Throughput::Elements(DELTA as u64));
+    group.bench_function("full_rebuild", |b| {
+        b.iter(|| {
+            batch_config_for(&config, 1)
+                .build(black_box(&points))
+                .expect("batch build succeeds")
+                .release()
+        })
+    });
+    group.bench_function("sketch_absorb", |b| {
+        b.iter(|| {
+            let mut ing = base.clone();
+            for p in black_box(&points[PREFIX..]) {
+                ing.absorb(*p).expect("delta point in domain");
+            }
+            ing.release_epoch().expect("epoch 1 releases")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -9,6 +9,8 @@
 //! auditor recomputes it from the level vectors so tests can assert the
 //! invariant for every configuration.
 
+use crate::error::DpsdError;
+
 /// The result of auditing a budget configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BudgetAudit {
@@ -55,6 +57,74 @@ pub fn audit_path_epsilon(eps_count: &[f64], eps_median: &[f64]) -> BudgetAudit 
     }
 }
 
+/// A running account of privacy budget spent across repeated releases.
+///
+/// Continual release (one fresh synopsis per stream epoch) composes
+/// sequentially over the *same* underlying points, so the total budget a
+/// stream may ever spend must be capped up front. The ledger holds that
+/// cap and debits each epoch's epsilon before any noise is drawn;
+/// a debit that would overdraw fails with
+/// [`DpsdError::BudgetExhausted`] and leaves the ledger untouched, so
+/// the release simply does not happen.
+///
+/// Spend accumulates by plain sequential `+=` in debit order, which
+/// keeps the total bit-reproducible for a fixed schedule — external
+/// accounting checks can recompute it exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpsilonLedger {
+    cap: f64,
+    spent: f64,
+}
+
+impl EpsilonLedger {
+    /// Creates a ledger with the given lifetime cap. The cap must be
+    /// positive; `f64::INFINITY` disables the limit (useful in
+    /// benchmarks, never in production schedules).
+    pub fn new(cap: f64) -> Result<Self, DpsdError> {
+        if cap.is_nan() || cap <= 0.0 {
+            return Err(DpsdError::invalid_parameter(
+                "budget_cap",
+                format!("must be positive, got {cap}"),
+            ));
+        }
+        Ok(EpsilonLedger { cap, spent: 0.0 })
+    }
+
+    /// The lifetime cap.
+    pub fn cap(&self) -> f64 {
+        self.cap
+    }
+
+    /// Total epsilon debited so far.
+    pub fn spent(&self) -> f64 {
+        self.spent
+    }
+
+    /// Budget still available.
+    pub fn remaining(&self) -> f64 {
+        (self.cap - self.spent).max(0.0)
+    }
+
+    /// Debits `eps` from the ledger, failing (without mutating) if the
+    /// request is non-positive, non-finite, or exceeds the remainder.
+    pub fn debit(&mut self, eps: f64) -> Result<(), DpsdError> {
+        if !(eps > 0.0 && eps.is_finite()) {
+            return Err(DpsdError::invalid_parameter(
+                "epsilon",
+                format!("debit must be positive and finite, got {eps}"),
+            ));
+        }
+        if self.spent + eps > self.cap {
+            return Err(DpsdError::BudgetExhausted {
+                requested: eps,
+                remaining: self.remaining(),
+            });
+        }
+        self.spent += eps;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -95,6 +165,49 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn ledger_debits_and_caps() {
+        let mut ledger = EpsilonLedger::new(1.0).unwrap();
+        assert_eq!(ledger.cap(), 1.0);
+        ledger.debit(0.4).unwrap();
+        ledger.debit(0.4).unwrap();
+        assert_eq!(ledger.spent(), 0.8);
+        // Overdrawing fails and leaves the ledger untouched.
+        let err = ledger.debit(0.4).unwrap_err();
+        assert!(matches!(err, DpsdError::BudgetExhausted { .. }));
+        assert_eq!(ledger.spent(), 0.8);
+        ledger.debit(0.2).unwrap();
+        assert_eq!(ledger.remaining(), 0.0);
+    }
+
+    #[test]
+    fn ledger_spend_is_bit_reproducible() {
+        // The same debit sequence produces the same f64 spend, bit for
+        // bit — external accounting checks rely on exact equality.
+        let debits = [0.1, 0.3, 0.15, 0.05];
+        let run = || {
+            let mut ledger = EpsilonLedger::new(10.0).unwrap();
+            for &e in &debits {
+                ledger.debit(e).unwrap();
+            }
+            ledger.spent()
+        };
+        assert_eq!(run().to_bits(), run().to_bits());
+        assert_eq!(run(), debits.iter().fold(0.0, |acc, e| acc + e));
+    }
+
+    #[test]
+    fn ledger_rejects_bad_inputs() {
+        assert!(EpsilonLedger::new(0.0).is_err());
+        assert!(EpsilonLedger::new(-1.0).is_err());
+        assert!(EpsilonLedger::new(f64::NAN).is_err());
+        let mut ledger = EpsilonLedger::new(f64::INFINITY).unwrap();
+        assert!(ledger.debit(0.0).is_err());
+        assert!(ledger.debit(-0.5).is_err());
+        assert!(ledger.debit(f64::INFINITY).is_err());
+        ledger.debit(1e6).unwrap(); // infinite cap never exhausts
     }
 
     #[test]

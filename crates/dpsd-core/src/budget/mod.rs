@@ -28,7 +28,7 @@
 
 pub mod accountant;
 
-pub use accountant::{audit_path_epsilon, BudgetAudit};
+pub use accountant::{audit_path_epsilon, BudgetAudit, EpsilonLedger};
 
 use crate::error::DpsdError;
 

@@ -39,6 +39,14 @@ pub enum DpsdError {
     /// Post-processed counts were requested from a tree that was never
     /// post-processed.
     PostedUnavailable,
+    /// A continual-release debit would overdraw the stream's lifetime
+    /// privacy budget (see [`crate::budget::EpsilonLedger`]).
+    BudgetExhausted {
+        /// Epsilon the release asked for.
+        requested: f64,
+        /// Budget still available under the cap.
+        remaining: f64,
+    },
 }
 
 impl fmt::Display for DpsdError {
@@ -53,6 +61,16 @@ impl fmt::Display for DpsdError {
             }
             DpsdError::PostedUnavailable => {
                 f.write_str("post-processed counts requested but OLS was never run")
+            }
+            DpsdError::BudgetExhausted {
+                requested,
+                remaining,
+            } => {
+                write!(
+                    f,
+                    "privacy budget exhausted: release needs epsilon {requested} \
+                     but only {remaining} remains under the cap"
+                )
             }
         }
     }
@@ -127,6 +145,11 @@ mod tests {
         let e = DpsdError::invalid_parameter("resolution", "must be positive");
         assert!(e.to_string().contains("resolution"));
         assert!(DpsdError::PostedUnavailable.to_string().contains("OLS"));
+        let e = DpsdError::BudgetExhausted {
+            requested: 0.5,
+            remaining: 0.25,
+        };
+        assert!(e.to_string().contains("0.5") && e.to_string().contains("0.25"));
     }
 
     #[test]

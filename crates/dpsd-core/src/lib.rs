@@ -21,6 +21,7 @@
 //! | [`median`] | 6.1 | private medians: exponential, smooth sensitivity, noisy mean, cell-based |
 //! | [`budget`] | 4.2, 6.2 | per-level budget strategies and path-composition auditing |
 //! | [`tree`] | 3.3, 6, 7 | PSD construction, pruning, and the publishable [`ReleasedSynopsis`] |
+//! | [`stream`] | — | streaming ingest and continual epoch release ([`StreamIngestor`], [`budget::EpsilonLedger`]) |
 //! | [`flat`] | — | the `dpsd-bin/v1` binary codec and the arena-backed [`FlatSynopsis`] query kernel |
 //! | [`postprocess`] | 5 | three-phase OLS estimator and a dense reference solver |
 //! | [`query`] | 4.1 | canonical range queries, single and batched |
@@ -93,6 +94,7 @@ pub mod ndim;
 pub mod postprocess;
 pub mod query;
 pub mod rng;
+pub mod stream;
 pub mod synopsis;
 pub mod tree;
 
@@ -100,5 +102,6 @@ pub use error::DpsdError;
 pub use exec::Parallelism;
 pub use flat::FlatSynopsis;
 pub use geometry::{Point, Point2, Rect, Rect2};
+pub use stream::{EpsilonSchedule, StreamConfig, StreamIngestor};
 pub use synopsis::{ParallelQuery, SpatialSynopsis};
 pub use tree::{CurveKind, PsdConfig, PsdTree, ReleasedSynopsis, TreeKind};

@@ -1,0 +1,661 @@
+//! Streaming ingest with continual release.
+//!
+//! Every other entry point in this crate is a one-shot batch build:
+//! all points are present up front, [`crate::tree::PsdConfig::build`]
+//! runs once, and the resulting synopsis is published once. This module
+//! adds the streaming counterpart for the **data-independent midpoint
+//! family** ([`TreeKind::Quadtree`] — quadtree / octree / `2^D`-ary):
+//! points arrive one at a time, are absorbed into per-node counters
+//! (plus a succinct [`CountMinSketch`] for monitoring), and an epoch
+//! scheduler periodically materializes a fresh [`ReleasedSynopsis`]
+//! under a managed epsilon schedule debited through the
+//! [`crate::budget`] accountant's [`EpsilonLedger`].
+//!
+//! # Why the midpoint family
+//!
+//! Midpoint trees are *data-independent*: the cell geometry is fixed by
+//! the domain and height alone, so absorbing a point is an `O(h * D)`
+//! descent that increments one counter per level — no re-partitioning,
+//! no median selection, no budget spent on structure. That makes the
+//! streaming accumulator both cheap (each epoch release costs noise +
+//! OLS over the `m` nodes plus the *delta* of points since the last
+//! epoch, instead of a full rebuild over the whole prefix) and exact:
+//! the counters after `n` absorbs equal the counters a batch build
+//! computes over the same `n`-point prefix.
+//!
+//! # Determinism contract
+//!
+//! The load-bearing property is **bit-identity with batch builds**. For
+//! a stream with base seed `s`, the release at epoch `e` over a prefix
+//! of points is byte-for-byte identical to
+//!
+//! ```text
+//! PsdConfig::quadtree(domain, height, schedule.epoch_epsilon(e))
+//!     .with_seed(epoch_seed(s, e))
+//!     .build(&prefix)?
+//!     .release()
+//! ```
+//!
+//! ([`StreamIngestor::batch_config`] constructs exactly that config.)
+//! This holds because the batch quadtree path consumes randomness only
+//! when noising counts, the descent predicate here (`>= midpoint` goes
+//! to the upper child, axis 0 most significant) is the same comparison
+//! the batch partitioner uses, and the release pipeline below *is* the
+//! batch pipeline — the same noise pass, the same OLS post-processing,
+//! the same artifact encoder. Epoch ticking is driven purely by
+//! absorbed-point counts supplied by the caller: nothing in this module
+//! reads a clock, so replays are exact (and `dpsd-analyze`'s
+//! `no-wallclock-in-core` rule keeps it that way).
+//!
+//! # Privacy accounting
+//!
+//! Re-releasing the same (growing) point set composes sequentially:
+//! every epoch spends fresh epsilon. The [`EpsilonSchedule`] decides
+//! how much each epoch costs — a fixed per-epoch amount, or a geometric
+//! decay whose total converges — and the [`EpsilonLedger`] debits each
+//! release against a lifetime cap *before* any noise is drawn. A
+//! release that would overdraw fails with
+//! [`DpsdError::BudgetExhausted`] and changes nothing.
+
+use crate::budget::{CountBudget, EpsilonLedger};
+use crate::error::DpsdError;
+use crate::geometry::{Point, Rect};
+use crate::rng::seeded;
+use crate::tree::{
+    apply_count_noise, complete_tree_nodes_checked, BuildError, PsdConfig, PsdTree,
+    ReleasedSynopsis, TreeKind,
+};
+
+pub mod sketch;
+
+pub use sketch::CountMinSketch;
+
+/// Node cap for streaming trees. Tighter than the batch builder's cap
+/// because the ingestor keeps node rectangles *and* counters resident
+/// for the lifetime of the stream.
+const MAX_STREAM_NODES: usize = 1 << 24;
+
+/// Monitoring-sketch geometry: cells per axis of the fine grid that
+/// keys the Count-Min sketch, and the sketch dimensions.
+const SKETCH_GRID: u64 = 256;
+const SKETCH_WIDTH: usize = 1024;
+const SKETCH_DEPTH: usize = 4;
+
+/// Derives the RNG seed for epoch `epoch` of a stream with base seed
+/// `base_seed`.
+///
+/// The same SplitMix64 finalizer as [`crate::rng::derived`], with the
+/// epoch offset by one so that epoch 0 does not collapse to mixing with
+/// zero. Exposed so external verifiers (tests, the loadgen soak) can
+/// reconstruct the exact batch-build seed for any epoch.
+pub fn epoch_seed(base_seed: u64, epoch: u64) -> u64 {
+    let mut z = base_seed ^ (epoch.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// How much epsilon each epoch's release spends.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EpsilonSchedule {
+    /// Every epoch spends the same amount. The lifetime cap bounds the
+    /// number of releases: `floor(cap / epsilon)` epochs ever succeed.
+    Fixed {
+        /// Per-epoch epsilon.
+        epsilon: f64,
+    },
+    /// Epoch `e` spends `first * ratio^e`. With `ratio < 1` the total
+    /// converges to `first / (1 - ratio)`, so a cap at or above that
+    /// admits unboundedly many (increasingly noisy) releases.
+    Geometric {
+        /// Epsilon of epoch 0.
+        first: f64,
+        /// Per-epoch decay factor, in `(0, 1]`.
+        ratio: f64,
+    },
+}
+
+impl EpsilonSchedule {
+    /// The epsilon epoch `epoch` spends under this schedule.
+    pub fn epoch_epsilon(&self, epoch: u64) -> f64 {
+        match *self {
+            EpsilonSchedule::Fixed { epsilon } => epsilon,
+            EpsilonSchedule::Geometric { first, ratio } => {
+                first * ratio.powi(epoch.min(i32::MAX as u64) as i32)
+            }
+        }
+    }
+
+    /// Validates the schedule parameters.
+    pub fn validate(&self) -> Result<(), DpsdError> {
+        match *self {
+            EpsilonSchedule::Fixed { epsilon } => {
+                if !(epsilon > 0.0 && epsilon.is_finite()) {
+                    return Err(DpsdError::invalid_parameter(
+                        "schedule.epsilon",
+                        format!("must be positive and finite, got {epsilon}"),
+                    ));
+                }
+            }
+            EpsilonSchedule::Geometric { first, ratio } => {
+                if !(first > 0.0 && first.is_finite()) {
+                    return Err(DpsdError::invalid_parameter(
+                        "schedule.first",
+                        format!("must be positive and finite, got {first}"),
+                    ));
+                }
+                if !(ratio > 0.0 && ratio <= 1.0) {
+                    return Err(DpsdError::invalid_parameter(
+                        "schedule.ratio",
+                        format!("must be in (0, 1], got {ratio}"),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Configuration of a streaming ingestor.
+#[derive(Debug, Clone)]
+pub struct StreamConfig<const D: usize = 2> {
+    /// Data domain; absorbed points must lie inside.
+    pub domain: Rect<D>,
+    /// Tree height `h` (fanout is `2^D`), fixed for the stream's life.
+    pub height: usize,
+    /// Per-epoch epsilon schedule.
+    pub schedule: EpsilonSchedule,
+    /// Lifetime privacy cap the ledger enforces across all releases.
+    pub budget_cap: f64,
+    /// Base RNG seed; epoch `e` noise uses [`epoch_seed`]`(seed, e)`.
+    pub seed: u64,
+    /// Run OLS post-processing on each release (the batch default).
+    pub postprocess: bool,
+}
+
+impl<const D: usize> StreamConfig<D> {
+    /// A streaming config with post-processing on (the batch default).
+    pub fn new(
+        domain: Rect<D>,
+        height: usize,
+        schedule: EpsilonSchedule,
+        budget_cap: f64,
+        seed: u64,
+    ) -> Self {
+        StreamConfig {
+            domain,
+            height,
+            schedule,
+            budget_cap,
+            seed,
+            postprocess: true,
+        }
+    }
+}
+
+/// One materialized epoch release.
+#[derive(Debug, Clone)]
+pub struct EpochRelease<const D: usize> {
+    /// Zero-based epoch index of this release.
+    pub epoch: u64,
+    /// Epsilon this release debited from the ledger.
+    pub epsilon: f64,
+    /// The derived seed its noise was drawn with.
+    pub seed: u64,
+    /// Stream length (points absorbed) the release covers.
+    pub points: u64,
+    /// The publishable artifact.
+    pub synopsis: ReleasedSynopsis<D>,
+}
+
+/// A streaming accumulator over the midpoint (`2^D`-ary) family.
+///
+/// Absorb points with [`absorb`](Self::absorb), materialize an epoch
+/// with [`release_epoch`](Self::release_epoch). See the module docs for
+/// the determinism and accounting contracts.
+#[derive(Debug, Clone)]
+pub struct StreamIngestor<const D: usize> {
+    config: StreamConfig<D>,
+    /// Node rectangles in heap order, fixed at construction (the
+    /// midpoint family is data-independent).
+    rects: Vec<Rect<D>>,
+    /// Exact per-node counts in heap order.
+    counts: Vec<u64>,
+    total_points: u64,
+    epoch: u64,
+    ledger: EpsilonLedger,
+    sketch: CountMinSketch,
+    /// Running `(fine-grid key, Count-Min estimate)` maximum.
+    hot: Option<(u64, u64)>,
+}
+
+impl<const D: usize> StreamIngestor<D> {
+    /// Creates an ingestor; validates the geometry, height, schedule,
+    /// and budget cap with the same error kinds as the batch builder.
+    pub fn new(config: StreamConfig<D>) -> Result<Self, DpsdError> {
+        if D == 0 {
+            return Err(BuildError::UnsupportedDimension {
+                kind: TreeKind::Quadtree,
+                dims: D,
+            }
+            .into());
+        }
+        if config.domain.area() <= 0.0 {
+            return Err(BuildError::DegenerateDomain {
+                min: config.domain.min.to_vec(),
+                max: config.domain.max.to_vec(),
+            }
+            .into());
+        }
+        let fanout = 1usize << D;
+        let m = match complete_tree_nodes_checked(fanout, config.height) {
+            Some(m) if m <= MAX_STREAM_NODES => m,
+            got => {
+                return Err(BuildError::TooManyNodes {
+                    height: config.height,
+                    nodes: got.unwrap_or(usize::MAX),
+                }
+                .into())
+            }
+        };
+        config.schedule.validate()?;
+        let ledger = EpsilonLedger::new(config.budget_cap)?;
+        // Midpoint geometry is fixed up front: children of `v` are the
+        // orthants of its box, in the same axis-0-most-significant
+        // order the batch structure builder uses.
+        let mut rects = vec![config.domain; m];
+        for v in 0..m {
+            let first_child = fanout * v + 1;
+            if first_child >= m {
+                break;
+            }
+            for j in 0..fanout {
+                rects[first_child + j] = rects[v].orthant(j);
+            }
+        }
+        let sketch = CountMinSketch::new(SKETCH_WIDTH, SKETCH_DEPTH, config.seed);
+        Ok(StreamIngestor {
+            config,
+            rects,
+            counts: vec![0; m],
+            total_points: 0,
+            epoch: 0,
+            ledger,
+            sketch,
+            hot: None,
+        })
+    }
+
+    /// Absorbs one point: an `O(h * D)` root-to-leaf descent that
+    /// increments the exact counter of every node on the path, plus a
+    /// Count-Min update for monitoring. Points outside the domain are
+    /// rejected with the batch builder's error and change nothing.
+    pub fn absorb(&mut self, p: Point<D>) -> Result<(), DpsdError> {
+        if !self.config.domain.contains(p) {
+            return Err(BuildError::PointOutsideDomain(p.coords.to_vec()).into());
+        }
+        let fanout = 1usize << D;
+        let mut v = 0usize;
+        self.counts[0] += 1;
+        for _ in 0..self.config.height {
+            // `orthant_of` sends `coord >= midpoint` to the upper
+            // child — the same boundary rule as the batch partitioner,
+            // so prefix counts match batch counts exactly.
+            let j = self.rects[v].orthant_of(&p);
+            v = fanout * v + 1 + j;
+            self.counts[v] += 1;
+        }
+        self.total_points += 1;
+        let key = grid_key(&self.config.domain, &p);
+        self.sketch.absorb(key);
+        let est = self.sketch.estimate(key);
+        if self.hot.is_none_or(|(_, e)| est > e) {
+            self.hot = Some((key, est));
+        }
+        Ok(())
+    }
+
+    /// Absorbs a slice of points in order. Stops at the first rejected
+    /// point; points before it stay absorbed.
+    pub fn absorb_all(&mut self, points: &[Point<D>]) -> Result<(), DpsdError> {
+        for &p in points {
+            self.absorb(p)?;
+        }
+        Ok(())
+    }
+
+    /// Materializes the current epoch's release and advances the epoch
+    /// counter.
+    ///
+    /// Debits the schedule's epsilon from the ledger first: on
+    /// [`DpsdError::BudgetExhausted`] nothing changes (the epoch does
+    /// not advance and further absorbs still work). The artifact is
+    /// byte-identical to building [`Self::batch_config`] over the same
+    /// point prefix and releasing it.
+    pub fn release_epoch(&mut self) -> Result<EpochRelease<D>, DpsdError> {
+        let eps = self.config.schedule.epoch_epsilon(self.epoch);
+        if !(eps > 0.0 && eps.is_finite()) {
+            // Deep geometric epochs can underflow to zero; surface the
+            // batch builder's error for the same condition.
+            return Err(BuildError::InvalidEpsilon(eps).into());
+        }
+        self.ledger.debit(eps)?;
+        let seed = epoch_seed(self.config.seed, self.epoch);
+        let fanout = 1usize << D;
+        let h = self.config.height;
+        let m = self.counts.len();
+        // From here down this is the batch pipeline verbatim: geometric
+        // per-level budgets, the level-ordered noise pass, `from_columns`,
+        // then OLS — only the structure phase is skipped, because the
+        // counters already hold what it would recompute.
+        let eps_count = CountBudget::Geometric.levels_for_dims(h, eps, D);
+        let true_counts: Vec<f64> = self.counts.iter().map(|&c| c as f64).collect();
+        let mut noisy = vec![0.0f64; m];
+        let mut released = vec![false; m];
+        let mut rng = seeded(seed);
+        apply_count_noise(
+            fanout,
+            h,
+            &true_counts,
+            &eps_count,
+            &mut noisy,
+            &mut released,
+            &mut rng,
+        );
+        let mut tree = PsdTree::from_columns(
+            TreeKind::Quadtree,
+            fanout,
+            h,
+            self.config.domain,
+            self.rects.clone(),
+            true_counts,
+            noisy,
+            released,
+            eps_count,
+            vec![0.0; h + 1],
+            eps,
+        );
+        if self.config.postprocess {
+            let beta = crate::postprocess::ols_postprocess(&tree);
+            tree.set_posted(beta);
+        }
+        let release = EpochRelease {
+            epoch: self.epoch,
+            epsilon: eps,
+            seed,
+            points: self.total_points,
+            synopsis: tree.release(),
+        };
+        self.epoch += 1;
+        Ok(release)
+    }
+
+    /// The batch configuration whose build over this stream's point
+    /// prefix reproduces epoch `epoch`'s release byte-for-byte.
+    pub fn batch_config(&self, epoch: u64) -> PsdConfig<D> {
+        batch_config_for(&self.config, epoch)
+    }
+
+    /// Points absorbed so far.
+    pub fn total_points(&self) -> u64 {
+        self.total_points
+    }
+
+    /// The next epoch to be released (equals the number of releases so
+    /// far).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Epsilon the next [`release_epoch`](Self::release_epoch) will ask
+    /// the ledger for.
+    pub fn next_epoch_epsilon(&self) -> f64 {
+        self.config.schedule.epoch_epsilon(self.epoch)
+    }
+
+    /// The ledger tracking lifetime spend.
+    pub fn ledger(&self) -> &EpsilonLedger {
+        &self.ledger
+    }
+
+    /// The stream configuration.
+    pub fn config(&self) -> &StreamConfig<D> {
+        &self.config
+    }
+
+    /// Number of tree nodes the stream maintains.
+    pub fn node_count(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The monitoring sketch.
+    pub fn sketch(&self) -> &CountMinSketch {
+        &self.sketch
+    }
+
+    /// The hottest fine-grid cell seen so far, as
+    /// `(packed cell key, Count-Min estimate)` — `None` before the
+    /// first absorb. The estimate may overcount (Count-Min), never
+    /// undercounts.
+    pub fn hot_cell(&self) -> Option<(u64, u64)> {
+        self.hot
+    }
+}
+
+/// See [`StreamIngestor::batch_config`]; free-standing so verifiers can
+/// build the reference config without an ingestor.
+pub fn batch_config_for<const D: usize>(config: &StreamConfig<D>, epoch: u64) -> PsdConfig<D> {
+    PsdConfig::quadtree(
+        config.domain,
+        config.height,
+        config.schedule.epoch_epsilon(epoch),
+    )
+    .with_seed(epoch_seed(config.seed, epoch))
+    .with_postprocess(config.postprocess)
+}
+
+/// Quantizes a point to the fine monitoring grid: `SKETCH_GRID` cells
+/// per axis, one byte per axis packed most-significant-first (capped at
+/// eight axes, far above the supported dimensions).
+fn grid_key<const D: usize>(domain: &Rect<D>, p: &Point<D>) -> u64 {
+    let mut key = 0u64;
+    for k in 0..D.min(8) {
+        let side = domain.max[k] - domain.min[k];
+        let frac = ((p.coords[k] - domain.min[k]) / side).clamp(0.0, 1.0);
+        let cell = ((frac * SKETCH_GRID as f64) as u64).min(SKETCH_GRID - 1);
+        key = key << 8 | cell;
+    }
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_domain() -> Rect {
+        Rect::new(0.0, 0.0, 64.0, 64.0).unwrap()
+    }
+
+    /// A deterministic, clustered point stream.
+    fn stream_points(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                Point::new(
+                    ((i * 13 + 5) % 640) as f64 * 0.1,
+                    ((i * 29 + 11) % 640) as f64 * 0.1,
+                )
+            })
+            .collect()
+    }
+
+    fn fixed(epsilon: f64) -> EpsilonSchedule {
+        EpsilonSchedule::Fixed { epsilon }
+    }
+
+    #[test]
+    fn stream_release_matches_batch_build_bytes() {
+        let pts = stream_points(900);
+        let config = StreamConfig::new(unit_domain(), 4, fixed(0.5), 10.0, 42);
+        let mut ingestor = StreamIngestor::new(config.clone()).unwrap();
+        for (prefix_len, epoch) in [(300usize, 0u64), (600, 1), (900, 2)] {
+            ingestor
+                .absorb_all(&pts[if epoch == 0 { 0 } else { prefix_len - 300 }..prefix_len])
+                .unwrap();
+            let release = ingestor.release_epoch().unwrap();
+            assert_eq!(release.epoch, epoch);
+            assert_eq!(release.points, prefix_len as u64);
+            let batch = batch_config_for(&config, epoch)
+                .build(&pts[..prefix_len])
+                .unwrap()
+                .release();
+            assert_eq!(
+                release.synopsis.to_flat_bytes(),
+                batch.to_flat_bytes(),
+                "epoch {epoch} artifact diverged from batch build"
+            );
+        }
+    }
+
+    #[test]
+    fn stream_matches_batch_in_three_dimensions() {
+        let domain = Rect::<3>::from_corners([0.0; 3], [32.0; 3]).unwrap();
+        let pts: Vec<Point<3>> = (0..500)
+            .map(|i| {
+                Point::from_coords([
+                    ((i * 7) % 320) as f64 * 0.1,
+                    ((i * 11 + 3) % 320) as f64 * 0.1,
+                    ((i * 17 + 5) % 320) as f64 * 0.1,
+                ])
+            })
+            .collect();
+        let config = StreamConfig::new(domain, 3, fixed(0.8), 5.0, 7);
+        let mut ingestor = StreamIngestor::new(config.clone()).unwrap();
+        ingestor.absorb_all(&pts).unwrap();
+        let release = ingestor.release_epoch().unwrap();
+        let batch = batch_config_for(&config, 0).build(&pts).unwrap().release();
+        assert_eq!(release.synopsis.to_flat_bytes(), batch.to_flat_bytes());
+    }
+
+    #[test]
+    fn ledger_exhaustion_blocks_release_not_ingest() {
+        let config = StreamConfig::new(unit_domain(), 2, fixed(0.6), 1.0, 1);
+        let mut ingestor = StreamIngestor::new(config).unwrap();
+        ingestor.absorb_all(&stream_points(50)).unwrap();
+        ingestor.release_epoch().unwrap();
+        // Second release would spend 1.2 > 1.0.
+        let err = ingestor.release_epoch().unwrap_err();
+        assert!(matches!(err, DpsdError::BudgetExhausted { .. }));
+        assert_eq!(ingestor.epoch(), 1, "failed release must not advance");
+        assert_eq!(ingestor.ledger().spent(), 0.6);
+        // The stream keeps absorbing fine.
+        ingestor.absorb(Point::new(1.0, 1.0)).unwrap();
+        assert_eq!(ingestor.total_points(), 51);
+    }
+
+    #[test]
+    fn geometric_schedule_decays_and_converges() {
+        let schedule = EpsilonSchedule::Geometric {
+            first: 0.4,
+            ratio: 0.5,
+        };
+        assert_eq!(schedule.epoch_epsilon(0), 0.4);
+        assert_eq!(schedule.epoch_epsilon(1), 0.2);
+        assert_eq!(schedule.epoch_epsilon(2), 0.1);
+        // Total converges to first / (1 - ratio) = 0.8: a cap at 0.8
+        // admits many epochs.
+        let config = StreamConfig::new(unit_domain(), 2, schedule, 0.8, 3);
+        let mut ingestor = StreamIngestor::new(config).unwrap();
+        ingestor.absorb_all(&stream_points(20)).unwrap();
+        for _ in 0..20 {
+            ingestor.release_epoch().unwrap();
+        }
+        assert!(ingestor.ledger().spent() < 0.8);
+    }
+
+    #[test]
+    fn out_of_domain_point_rejected_like_batch() {
+        let mut ingestor =
+            StreamIngestor::new(StreamConfig::new(unit_domain(), 2, fixed(0.5), 1.0, 1)).unwrap();
+        let err = ingestor.absorb(Point::new(-1.0, 5.0)).unwrap_err();
+        assert!(matches!(
+            err,
+            DpsdError::Build(BuildError::PointOutsideDomain(_))
+        ));
+        assert_eq!(ingestor.total_points(), 0);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let line = Rect::new(0.0, 0.0, 1.0, 0.0).unwrap();
+        assert!(matches!(
+            StreamIngestor::new(StreamConfig::new(line, 2, fixed(0.5), 1.0, 1)),
+            Err(DpsdError::Build(BuildError::DegenerateDomain { .. }))
+        ));
+        assert!(matches!(
+            StreamIngestor::new(StreamConfig::new(unit_domain(), 30, fixed(0.5), 1.0, 1)),
+            Err(DpsdError::Build(BuildError::TooManyNodes { .. }))
+        ));
+        assert!(
+            StreamIngestor::new(StreamConfig::new(unit_domain(), 2, fixed(0.0), 1.0, 1)).is_err()
+        );
+        assert!(StreamIngestor::new(StreamConfig::new(
+            unit_domain(),
+            2,
+            EpsilonSchedule::Geometric {
+                first: 0.5,
+                ratio: 1.5
+            },
+            1.0,
+            1
+        ))
+        .is_err());
+        assert!(
+            StreamIngestor::new(StreamConfig::new(unit_domain(), 2, fixed(0.5), 0.0, 1)).is_err()
+        );
+    }
+
+    #[test]
+    fn epoch_seeds_are_stable_and_distinct() {
+        assert_eq!(epoch_seed(42, 0), epoch_seed(42, 0));
+        let seeds: Vec<u64> = (0..16).map(|e| epoch_seed(42, e)).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len(), "epoch seeds collided");
+        assert_ne!(epoch_seed(1, 0), epoch_seed(2, 0));
+    }
+
+    #[test]
+    fn counters_match_batch_true_counts() {
+        let pts = stream_points(400);
+        let config = StreamConfig::new(unit_domain(), 3, fixed(0.5), 10.0, 9);
+        let mut ingestor = StreamIngestor::new(config.clone()).unwrap();
+        ingestor.absorb_all(&pts).unwrap();
+        let tree = batch_config_for(&config, 0).build(&pts).unwrap();
+        for v in 0..ingestor.node_count() {
+            assert_eq!(
+                ingestor.counts[v] as f64,
+                tree.true_count(v),
+                "node {v} counter diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn hot_cell_tracks_the_heavy_cluster() {
+        let mut ingestor =
+            StreamIngestor::new(StreamConfig::new(unit_domain(), 2, fixed(0.5), 1.0, 5)).unwrap();
+        assert_eq!(ingestor.hot_cell(), None);
+        // 50 scattered points, then 300 into one tight cluster.
+        for i in 0..50 {
+            ingestor
+                .absorb(Point::new((i % 60) as f64, ((i * 7) % 60) as f64))
+                .unwrap();
+        }
+        for _ in 0..300 {
+            ingestor.absorb(Point::new(10.05, 20.05)).unwrap();
+        }
+        let (_, estimate) = ingestor.hot_cell().unwrap();
+        assert!(estimate >= 300, "cluster estimate {estimate} undercounts");
+    }
+}

@@ -1,0 +1,154 @@
+//! A deterministic Count-Min sketch (Cormode & Muthukrishnan) for
+//! monitoring streaming point load.
+//!
+//! The ingestor's per-node counters are exact — they are what makes the
+//! epoch releases bit-identical to batch builds — so the sketch is not
+//! on the privacy path. Its job is *succinct monitoring* at a finer
+//! granularity than the tree's leaves (following the succinct-sketch
+//! aggregation of Melis et al., see `PAPERS.md`): arriving points are
+//! quantized to a fine grid key and counted approximately, so the
+//! server can report the hottest cell without keeping one counter per
+//! fine-grid cell.
+//!
+//! Determinism matters here too: row hash seeds derive from the stream
+//! seed with the same SplitMix64 mix as [`crate::rng::derived`], so two
+//! ingestors fed the same stream report identical estimates.
+
+/// A Count-Min sketch over `u64` keys with deterministic seeded rows.
+///
+/// Standard guarantees: estimates never undercount, and with width `w`
+/// and depth `d` the overcount is at most `e * N / w` with probability
+/// `1 - e^-d` over the hash choice (here fixed by the seed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountMinSketch {
+    width: usize,
+    row_seeds: Vec<u64>,
+    /// `depth` rows of `width` counters, row-major.
+    counters: Vec<u64>,
+    total: u64,
+}
+
+/// SplitMix64 finalizer: the same mix as [`crate::rng::derived`], used
+/// here both to derive row seeds and as the per-row hash.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl CountMinSketch {
+    /// Creates a `depth x width` sketch whose row hashes derive from
+    /// `seed`. Width and depth must be at least 1.
+    pub fn new(width: usize, depth: usize, seed: u64) -> Self {
+        let (width, depth) = (width.max(1), depth.max(1));
+        let row_seeds = (0..depth as u64)
+            .map(|row| mix(seed ^ (row.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+            .collect();
+        CountMinSketch {
+            width,
+            row_seeds,
+            counters: vec![0; width * depth],
+            total: 0,
+        }
+    }
+
+    fn slot(&self, row: usize, key: u64) -> usize {
+        let h = mix(key ^ self.row_seeds[row]);
+        row * self.width + (h % self.width as u64) as usize
+    }
+
+    /// Counts one occurrence of `key`.
+    pub fn absorb(&mut self, key: u64) {
+        for row in 0..self.row_seeds.len() {
+            let s = self.slot(row, key);
+            self.counters[s] = self.counters[s].saturating_add(1);
+        }
+        self.total = self.total.saturating_add(1);
+    }
+
+    /// The Count-Min point estimate for `key`: the minimum over rows,
+    /// an upper bound on the true count.
+    pub fn estimate(&self, key: u64) -> u64 {
+        (0..self.row_seeds.len())
+            .map(|row| self.counters[self.slot(row, key)])
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Total number of absorbed keys.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Sketch width (counters per row).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Sketch depth (number of rows).
+    pub fn depth(&self) -> usize {
+        self.row_seeds.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimates_never_undercount() {
+        let mut sketch = CountMinSketch::new(64, 4, 7);
+        for key in 0..200u64 {
+            for _ in 0..=(key % 5) {
+                sketch.absorb(key);
+            }
+        }
+        for key in 0..200u64 {
+            let truth = key % 5 + 1;
+            assert!(sketch.estimate(key) >= truth, "key {key} undercounted");
+        }
+        assert_eq!(sketch.total(), (0..200u64).map(|k| k % 5 + 1).sum::<u64>());
+    }
+
+    #[test]
+    fn same_seed_same_estimates() {
+        let feed = |mut s: CountMinSketch| {
+            for key in [3u64, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5] {
+                s.absorb(key);
+            }
+            s
+        };
+        let a = feed(CountMinSketch::new(32, 3, 42));
+        let b = feed(CountMinSketch::new(32, 3, 42));
+        assert_eq!(a, b);
+        // A different seed hashes differently somewhere.
+        let c = feed(CountMinSketch::new(32, 3, 43));
+        assert_ne!(a.counters, c.counters);
+    }
+
+    #[test]
+    fn heavy_key_dominates_estimates() {
+        let mut sketch = CountMinSketch::new(128, 4, 1);
+        for _ in 0..1000 {
+            sketch.absorb(77);
+        }
+        for key in 0..50u64 {
+            sketch.absorb(key);
+        }
+        let heavy = sketch.estimate(77);
+        assert!(heavy >= 1000);
+        // With 128 counters per row and ~1050 items, light keys stay far
+        // below the heavy one.
+        assert!((0..50u64).all(|k| sketch.estimate(k) < heavy));
+    }
+
+    #[test]
+    fn degenerate_dimensions_are_clamped() {
+        let mut sketch = CountMinSketch::new(0, 0, 5);
+        assert_eq!(sketch.width(), 1);
+        assert_eq!(sketch.depth(), 1);
+        sketch.absorb(9);
+        assert_eq!(sketch.estimate(9), 1);
+        assert_eq!(sketch.estimate(10), 1); // everything collides at width 1
+    }
+}

@@ -34,6 +34,7 @@ pub mod prune;
 pub mod release;
 pub mod released;
 
+pub(crate) use build::apply_count_noise;
 pub use build::{BuildError, PsdConfig, TreeKind};
 pub use dpsd_hilbert::CurveKind;
 pub use release::{read_release, write_release, ReleaseError};

@@ -10,6 +10,8 @@
 //! loadgen [--addr HOST:PORT] [--queries N] [--batch B] [--clients C]
 //!         [--seed S] [--cache-capacity N] [--no-cache] [--dims 2|3]
 //!         [--format json|text|bin] [--json PATH]
+//!         [--stream] [--ingest-total N] [--epoch-points N]
+//!         [--ingest-batch N] [--epsilon E]
 //! ```
 //!
 //! Without `--addr` an in-process server is spawned on an ephemeral
@@ -21,9 +23,22 @@
 //! adversarial cache-bust — and the run **fails** if any answer
 //! diverges from the direct synopsis or if the hotspot workload does
 //! not clear a 50% cache hit rate while the cache is enabled.
+//!
+//! `--stream` switches to the continual-release soak: the run creates a
+//! stream (`POST /synopses/{name}/stream`), ingests a seeded point
+//! stream in `--ingest-batch`-sized requests (deliberately unaligned
+//! with `--epoch-points`, so epoch boundaries fall mid-request), and
+//! interleaves verified query batches between ingests. After every
+//! hot-swapped epoch release the baseline is rebuilt **directly** from
+//! [`batch_config_for`] over the same stream prefix, so each wire
+//! answer is checked bit-for-bit against a from-scratch batch build.
+//! The run fails on any divergence, on a non-sequential registry
+//! version, or if the final `/stats` stream accounting (point totals,
+//! epochs, exact epsilon spend, latest version) is off by anything.
 
 use dpsd_core::exec::Parallelism;
 use dpsd_core::geometry::{Point, Rect};
+use dpsd_core::stream::{batch_config_for, EpsilonSchedule, StreamConfig};
 use dpsd_core::synopsis::SpatialSynopsis;
 use dpsd_core::tree::{PsdConfig, ReleasedSynopsis};
 use dpsd_serve::client::Client;
@@ -71,6 +86,11 @@ struct Options {
     dims: usize,
     format: ArtifactFormat,
     json: Option<String>,
+    stream: bool,
+    ingest_total: usize,
+    epoch_points: u64,
+    ingest_batch: usize,
+    epsilon: f64,
 }
 
 impl Default for Options {
@@ -87,6 +107,13 @@ impl Default for Options {
             json: std::env::var("CRITERION_JSON")
                 .ok()
                 .filter(|p| !p.is_empty()),
+            stream: false,
+            ingest_total: 2500,
+            epoch_points: 500,
+            // Unaligned with epoch_points on purpose: boundaries land
+            // mid-request, exercising the absorb→release→absorb split.
+            ingest_batch: 300,
+            epsilon: 0.5,
         }
     }
 }
@@ -94,7 +121,8 @@ impl Default for Options {
 fn usage() -> &'static str {
     "usage: loadgen [--addr HOST:PORT] [--queries N] [--batch B] [--clients C] \
      [--seed S] [--cache-capacity N] [--no-cache] [--dims 2|3] \
-     [--format json|text|bin] [--json PATH]"
+     [--format json|text|bin] [--json PATH] \
+     [--stream] [--ingest-total N] [--epoch-points N] [--ingest-batch N] [--epsilon E]"
 }
 
 fn parse_options() -> Result<Options, String> {
@@ -129,6 +157,27 @@ fn parse_options() -> Result<Options, String> {
                     .ok_or_else(|| format!("bad --format `{v}` (expected json, text, or bin)"))?
             }
             "--json" => opts.json = Some(value_for("--json")?),
+            "--stream" => opts.stream = true,
+            "--ingest-total" => {
+                opts.ingest_total = value_for("--ingest-total")?
+                    .parse()
+                    .map_err(|_| "bad --ingest-total")?
+            }
+            "--epoch-points" => {
+                opts.epoch_points = value_for("--epoch-points")?
+                    .parse()
+                    .map_err(|_| "bad --epoch-points")?
+            }
+            "--ingest-batch" => {
+                opts.ingest_batch = value_for("--ingest-batch")?
+                    .parse()
+                    .map_err(|_| "bad --ingest-batch")?
+            }
+            "--epsilon" => {
+                opts.epsilon = value_for("--epsilon")?
+                    .parse()
+                    .map_err(|_| "bad --epsilon")?
+            }
             "--help" | "-h" => {
                 println!("{}", usage());
                 std::process::exit(0);
@@ -141,6 +190,17 @@ fn parse_options() -> Result<Options, String> {
     }
     if !(2..=3).contains(&opts.dims) {
         return Err("--dims must be 2 or 3".into());
+    }
+    if opts.stream {
+        if opts.epoch_points == 0 || opts.ingest_batch == 0 {
+            return Err("--epoch-points and --ingest-batch must be positive".into());
+        }
+        if (opts.ingest_total as u64) < opts.epoch_points {
+            return Err("--ingest-total must cover at least one epoch".into());
+        }
+        if !(opts.epsilon > 0.0 && opts.epsilon.is_finite()) {
+            return Err("--epsilon must be a positive finite number".into());
+        }
     }
     Ok(opts)
 }
@@ -273,13 +333,7 @@ fn run_workload<const D: usize>(
                             ));
                         }
                         let parsed = response.json().map_err(|e| e.to_string())?;
-                        let got: Vec<f64> = parsed
-                            .get("answers")
-                            .and_then(Value::as_array)
-                            .ok_or("batch response missing `answers`")?
-                            .iter()
-                            .map(|v| v.as_f64().ok_or("non-numeric answer"))
-                            .collect::<Result<_, _>>()?;
+                        let got = parse_answers(&parsed)?;
                         out.push((offset + b * opts.batch, elapsed, got));
                     }
                     Ok(out)
@@ -299,15 +353,7 @@ fn run_workload<const D: usize>(
     }
 
     // Bit-identity against the direct synopsis, over the whole workload.
-    let mut typed = Vec::with_capacity(rects.len());
-    for wire in rects {
-        let mut min = [0.0; D];
-        let mut max = [0.0; D];
-        min.copy_from_slice(&wire[..D]);
-        max.copy_from_slice(&wire[D..]);
-        typed.push(Rect::from_corners(min, max).map_err(|e| format!("bad generated rect: {e}"))?);
-    }
-    let expected = direct.query_batch(&typed);
+    let expected = direct.query_batch(&typed_rects::<D>(rects)?);
     for (i, (got, want)) in answers.iter().zip(&expected).enumerate() {
         if got.to_bits() != want.to_bits() {
             return Err(format!(
@@ -330,6 +376,30 @@ fn run_workload<const D: usize>(
         hit_rate,
         verified: rects.len(),
     })
+}
+
+/// Converts wire rectangles (`[min..., max...]`) into typed [`Rect`]s.
+fn typed_rects<const D: usize>(rects: &[Vec<f64>]) -> Result<Vec<Rect<D>>, String> {
+    let mut typed = Vec::with_capacity(rects.len());
+    for wire in rects {
+        let mut min = [0.0; D];
+        let mut max = [0.0; D];
+        min.copy_from_slice(&wire[..D]);
+        max.copy_from_slice(&wire[D..]);
+        typed.push(Rect::from_corners(min, max).map_err(|e| format!("bad generated rect: {e}"))?);
+    }
+    Ok(typed)
+}
+
+/// Pulls the `answers` array out of a batch-query response body.
+fn parse_answers(parsed: &Value) -> Result<Vec<f64>, String> {
+    parsed
+        .get("answers")
+        .and_then(Value::as_array)
+        .ok_or("batch response missing `answers`")?
+        .iter()
+        .map(|v| v.as_f64().ok_or_else(|| "non-numeric answer".to_string()))
+        .collect()
 }
 
 fn batch_body(rects: &[Vec<f64>]) -> String {
@@ -399,6 +469,397 @@ fn render_report(opts: &Options, results: &[WorkloadResult], nodes: usize) -> St
         ),
         ("bench".to_string(), Value::String("serve".to_string())),
         ("context".to_string(), Value::Object(context_entries)),
+        ("benches".to_string(), Value::Array(benches)),
+    ]);
+    serde_json::to_string_pretty(&report).expect("report serializes")
+}
+
+/// Seeded point stream for the soak: uniform over the static domain,
+/// reproducible from the seed alone so any prefix can be rebuilt
+/// directly.
+fn stream_points<const D: usize>(n: usize, seed: u64) -> Vec<Point<D>> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| {
+            let mut c = [0.0; D];
+            for v in c.iter_mut() {
+                *v = (rng.next_u64() % 6400) as f64 * 0.01;
+            }
+            Point::from_coords(c)
+        })
+        .collect()
+}
+
+/// `POST /synopses/{name}/stream` body for the soak configuration.
+fn stream_spec_body<const D: usize>(config: &StreamConfig<D>, epoch_points: u64) -> String {
+    let epsilon = match config.schedule {
+        EpsilonSchedule::Fixed { epsilon } => epsilon,
+        EpsilonSchedule::Geometric { first, .. } => first,
+    };
+    let domain_wire: Vec<Value> = config
+        .domain
+        .min
+        .iter()
+        .chain(config.domain.max.iter())
+        .map(|&v| Value::Number(v))
+        .collect();
+    let value = Value::Object(vec![
+        ("dims".to_string(), Value::Number(D as f64)),
+        ("domain".to_string(), Value::Array(domain_wire)),
+        ("height".to_string(), Value::Number(config.height as f64)),
+        ("seed".to_string(), Value::Number(config.seed as f64)),
+        (
+            "epoch_points".to_string(),
+            Value::Number(epoch_points as f64),
+        ),
+        (
+            "schedule".to_string(),
+            Value::Object(vec![
+                ("kind".to_string(), Value::String("fixed".to_string())),
+                ("epsilon".to_string(), Value::Number(epsilon)),
+            ]),
+        ),
+        ("budget_cap".to_string(), Value::Number(config.budget_cap)),
+    ]);
+    serde_json::to_string(&value).expect("stream spec serializes")
+}
+
+/// `POST /synopses/{name}/ingest` body for one batch of points.
+fn points_body<const D: usize>(points: &[Point<D>]) -> String {
+    let value = Value::Object(vec![(
+        "points".to_string(),
+        Value::Array(
+            points
+                .iter()
+                .map(|p| Value::Array(p.coords.iter().copied().map(Value::Number).collect()))
+                .collect(),
+        ),
+    )]);
+    serde_json::to_string(&value).expect("ingest body serializes")
+}
+
+/// Latency samples collected by the soak, split by request role.
+struct SoakLatencies {
+    /// Ingest requests that crossed no epoch boundary.
+    ingest_ns: Vec<f64>,
+    /// Ingest requests that materialized at least one release.
+    epoch_ns: Vec<f64>,
+    /// Verified interleaved query batches.
+    query_ns: Vec<f64>,
+}
+
+/// The continual-release soak: create a stream, ingest the seeded point
+/// stream in unaligned batches, rebuild the baseline from
+/// [`batch_config_for`] at every release, verify every interleaved wire
+/// answer bit-for-bit, then audit the `/stats` accounting exactly.
+fn run_stream<const D: usize>(opts: &Options) -> Result<(), String> {
+    let mut spawned: Option<ServerHandle> = None;
+    let addr: SocketAddr = match &opts.addr {
+        Some(a) => a
+            .parse()
+            .map_err(|_| format!("bad --addr `{a}` (need HOST:PORT)"))?,
+        None => {
+            let config = ServeConfig {
+                cache_capacity: opts.cache_capacity,
+                parallelism: Parallelism::from_env(),
+                ..ServeConfig::default()
+            };
+            let server =
+                Server::bind("127.0.0.1:0", config).map_err(|e| format!("cannot bind: {e}"))?;
+            let handle = server.spawn().map_err(|e| format!("cannot spawn: {e}"))?;
+            let addr = handle.addr();
+            spawned = Some(handle);
+            eprintln!("loadgen: spawned in-process server on {addr}");
+            addr
+        }
+    };
+
+    let name = "soak";
+    let epochs_expected = opts.ingest_total as u64 / opts.epoch_points;
+    let domain = Rect::from_corners([0.0; D], [64.0; D]).expect("static domain");
+    let config = StreamConfig::<D>::new(
+        domain,
+        5,
+        EpsilonSchedule::Fixed {
+            epsilon: opts.epsilon,
+        },
+        opts.epsilon * (epochs_expected + 1) as f64,
+        opts.seed,
+    );
+    let points = stream_points::<D>(opts.ingest_total, opts.seed ^ 0xA5A5_5A5A);
+    let domain_wire: Vec<f64> = domain
+        .min
+        .iter()
+        .chain(domain.max.iter())
+        .copied()
+        .collect();
+
+    let mut client = Client::connect(addr).map_err(|e| format!("cannot connect: {e}"))?;
+    let created = client
+        .post(
+            &format!("/synopses/{name}/stream"),
+            &stream_spec_body(&config, opts.epoch_points),
+        )
+        .map_err(|e| format!("stream create failed: {e}"))?;
+    if created.status != 200 {
+        return Err(format!(
+            "stream create rejected with {}: {}",
+            created.status, created.body
+        ));
+    }
+    eprintln!(
+        "loadgen: streaming {} points (dims {}, {} per epoch, {} per request, ε {} per release)",
+        opts.ingest_total, D, opts.epoch_points, opts.ingest_batch, opts.epsilon,
+    );
+
+    let mut latencies = SoakLatencies {
+        ingest_ns: Vec::new(),
+        epoch_ns: Vec::new(),
+        query_ns: Vec::new(),
+    };
+    // Baseline for interleaved queries: the latest release, rebuilt
+    // from scratch over the same prefix and pushed through the same
+    // dpsd-bin codec the server publishes with.
+    let mut direct: Option<ReleasedSynopsis<D>> = None;
+    let mut released: Vec<(u64, u64)> = Vec::new();
+    let mut verified = 0usize;
+    let mut step = 0u64;
+    for chunk in points.chunks(opts.ingest_batch) {
+        let body = points_body(chunk);
+        // dpsd-allow(no-wallclock-in-core): loadgen's whole job is measuring request latency; timing is the output, not an input
+        let started = Instant::now();
+        let response = client
+            .post(&format!("/synopses/{name}/ingest"), &body)
+            .map_err(|e| format!("ingest failed: {e}"))?;
+        let elapsed = started.elapsed().as_nanos() as f64;
+        if response.status != 200 {
+            return Err(format!(
+                "ingest rejected with {}: {}",
+                response.status, response.body
+            ));
+        }
+        let report = response.json().map_err(|e| e.to_string())?;
+        let releases = report
+            .get("releases")
+            .and_then(Value::as_array)
+            .ok_or("ingest report missing `releases`")?;
+        if releases.is_empty() {
+            latencies.ingest_ns.push(elapsed);
+        } else {
+            latencies.epoch_ns.push(elapsed);
+        }
+        for release in releases {
+            let epoch = release
+                .get("epoch")
+                .and_then(Value::as_u64)
+                .ok_or("release missing `epoch`")?;
+            let version = release
+                .get("version")
+                .and_then(Value::as_u64)
+                .ok_or("release missing `version`")?;
+            if epoch != released.len() as u64 || version != released.len() as u64 + 1 {
+                return Err(format!(
+                    "release out of sequence: epoch {epoch} version {version} after {} releases",
+                    released.len()
+                ));
+            }
+            released.push((epoch, version));
+            // The continual-release contract: the server's hot-swapped
+            // artifact must match a from-scratch batch build over the
+            // exact same stream prefix, bit for bit.
+            let prefix = ((epoch + 1) * opts.epoch_points) as usize;
+            let rebuilt = batch_config_for(&config, epoch)
+                .build(&points[..prefix])
+                .map_err(|e| format!("direct prefix build failed: {e}"))?
+                .release();
+            direct = Some(decode_artifact::<D>(
+                &rebuilt.to_flat_bytes(),
+                ArtifactFormat::Bin,
+            )?);
+            eprintln!(
+                "loadgen: epoch {epoch} released as version {version} ({prefix}-point prefix)"
+            );
+        }
+        // Interleave a verified query batch once a release is live.
+        if let Some(baseline) = &direct {
+            step += 1;
+            let qseed = SplitMix64::new(opts.seed ^ (0x5EED << 8) ^ step).next_u64();
+            let spec = WorkloadSpec::new(WorkloadKind::Uniform, opts.batch, qseed);
+            let rects = generate(&domain_wire, &spec);
+            let body = batch_body(&rects);
+            // dpsd-allow(no-wallclock-in-core): loadgen's whole job is measuring request latency; timing is the output, not an input
+            let started = Instant::now();
+            let response = client
+                .post(&format!("/synopses/{name}/query/batch"), &body)
+                .map_err(|e| format!("query batch failed: {e}"))?;
+            latencies.query_ns.push(started.elapsed().as_nanos() as f64);
+            if response.status != 200 {
+                return Err(format!(
+                    "query batch rejected with {}: {}",
+                    response.status, response.body
+                ));
+            }
+            let answers = parse_answers(&response.json().map_err(|e| e.to_string())?)?;
+            let expected = baseline.query_batch(&typed_rects::<D>(&rects)?);
+            for (i, (got, want)) in answers.iter().zip(&expected).enumerate() {
+                if got.to_bits() != want.to_bits() {
+                    return Err(format!(
+                        "post-swap answer {i} diverged from the direct prefix build: \
+                         wire {got} vs direct {want}"
+                    ));
+                }
+            }
+            verified += rects.len();
+        }
+    }
+    if released.len() as u64 != epochs_expected {
+        return Err(format!(
+            "expected {epochs_expected} epoch releases, saw {}",
+            released.len()
+        ));
+    }
+
+    // Exact accounting audit: the stream's /stats entry must reproduce
+    // the point totals and the sequential-debit epsilon spend to the
+    // bit.
+    let stats = client
+        .get("/stats")
+        .map_err(|e| e.to_string())?
+        .json()
+        .map_err(|e| e.to_string())?;
+    let streams = stats
+        .get("streams")
+        .and_then(Value::as_array)
+        .ok_or("stats missing `streams`")?;
+    let entry = streams
+        .iter()
+        .find(|s| s.get("name").and_then(Value::as_str) == Some(name))
+        .ok_or("stats missing the soak stream")?;
+    let field_u64 = |k: &str| {
+        entry
+            .get(k)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("stats stream entry missing `{k}`"))
+    };
+    let checks: [(&str, u64); 4] = [
+        ("total_points", opts.ingest_total as u64),
+        ("epochs_released", epochs_expected),
+        (
+            "pending_points",
+            opts.ingest_total as u64 - epochs_expected * opts.epoch_points,
+        ),
+        ("latest_version", epochs_expected),
+    ];
+    for (key, want) in checks {
+        let got = field_u64(key)?;
+        if got != want {
+            return Err(format!("stats `{key}` is {got}, expected exactly {want}"));
+        }
+    }
+    // The ledger debits sequentially, so the expected spend is the same
+    // left-to-right fold — equal to the bit, not approximately.
+    let expected_spent = (0..epochs_expected).fold(0.0f64, |acc, _| acc + opts.epsilon);
+    let spent = entry
+        .get("epsilon_spent")
+        .and_then(Value::as_f64)
+        .ok_or("stats stream entry missing `epsilon_spent`")?;
+    if spent.to_bits() != expected_spent.to_bits() {
+        return Err(format!(
+            "stats epsilon_spent {spent} is not bit-identical to the sequential debit sum {expected_spent}"
+        ));
+    }
+    eprintln!(
+        "loadgen: soak complete — {} epochs hot-swapped, {} interleaved answers verified \
+         bit-identical, ε spent {spent} (exact)",
+        released.len(),
+        verified,
+    );
+
+    let report = render_stream_report(opts, &latencies, released.len(), verified);
+    if let Some(path) = &opts.json {
+        std::fs::write(path, &report).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("loadgen: wrote {path}");
+    } else {
+        println!("{report}");
+    }
+    drop(spawned);
+    Ok(())
+}
+
+fn render_stream_report(
+    opts: &Options,
+    latencies: &SoakLatencies,
+    epochs: usize,
+    verified: usize,
+) -> String {
+    let context = vec![
+        (
+            "ingest_total".to_string(),
+            Value::Number(opts.ingest_total as f64),
+        ),
+        (
+            "epoch_points".to_string(),
+            Value::Number(opts.epoch_points as f64),
+        ),
+        (
+            "ingest_batch".to_string(),
+            Value::Number(opts.ingest_batch as f64),
+        ),
+        ("epsilon".to_string(), Value::Number(opts.epsilon)),
+        ("dims".to_string(), Value::Number(opts.dims as f64)),
+        ("epochs".to_string(), Value::Number(epochs as f64)),
+        ("verified".to_string(), Value::Number(verified as f64)),
+        ("seed".to_string(), Value::Number(opts.seed as f64)),
+    ];
+    let mut benches = Vec::new();
+    let mut push_bench = |id: String, samples: &[f64], elements: usize| {
+        if samples.is_empty() {
+            return;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable_by(f64::total_cmp);
+        let median = sorted[sorted.len() / 2];
+        benches.push(Value::Object(vec![
+            ("id".to_string(), Value::String(id)),
+            ("median_ns".to_string(), Value::Number(median)),
+            ("min_ns".to_string(), Value::Number(sorted[0])),
+            (
+                "mean_ns".to_string(),
+                Value::Number(sorted.iter().sum::<f64>() / sorted.len() as f64),
+            ),
+            ("samples".to_string(), Value::Number(sorted.len() as f64)),
+            ("elements".to_string(), Value::Number(elements as f64)),
+            (
+                "elems_per_sec".to_string(),
+                Value::Number(elements as f64 * 1e9 / median),
+            ),
+        ]));
+    };
+    push_bench(
+        format!("stream/ingest/batch{}", opts.ingest_batch),
+        &latencies.ingest_ns,
+        opts.ingest_batch,
+    );
+    push_bench(
+        "stream/epoch_release".to_string(),
+        &latencies.epoch_ns,
+        opts.ingest_batch,
+    );
+    push_bench(
+        format!("stream/query/batch{}", opts.batch),
+        &latencies.query_ns,
+        opts.batch,
+    );
+    let report = Value::Object(vec![
+        (
+            "schema".to_string(),
+            Value::String("dpsd-bench-json/v1".to_string()),
+        ),
+        (
+            "bench".to_string(),
+            Value::String("stream_soak".to_string()),
+        ),
+        ("context".to_string(), Value::Object(context)),
         ("benches".to_string(), Value::Array(benches)),
     ]);
     serde_json::to_string_pretty(&report).expect("report serializes")
@@ -514,9 +975,11 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let outcome = match opts.dims {
-        2 => run::<2>(&opts),
-        3 => run::<3>(&opts),
+    let outcome = match (opts.stream, opts.dims) {
+        (false, 2) => run::<2>(&opts),
+        (false, 3) => run::<3>(&opts),
+        (true, 2) => run_stream::<2>(&opts),
+        (true, 3) => run_stream::<3>(&opts),
         _ => unreachable!("validated in parse_options"),
     };
     match outcome {

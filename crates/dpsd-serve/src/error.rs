@@ -22,6 +22,13 @@ pub enum ServeError {
     },
     /// The request exceeded a configured size limit (413).
     TooLarge(String),
+    /// The request conflicts with existing server state — e.g. creating
+    /// a stream under a name that already has one (409).
+    Conflict(String),
+    /// A continual-release epoch would overdraw the stream's lifetime
+    /// privacy budget (409): the points are absorbed but no further
+    /// synopsis versions can be released.
+    BudgetExhausted(String),
 }
 
 impl ServeError {
@@ -32,6 +39,7 @@ impl ServeError {
             ServeError::UnknownSynopsis(_) | ServeError::NoSuchRoute(_) => 404,
             ServeError::MethodNotAllowed { .. } => 405,
             ServeError::TooLarge(_) => 413,
+            ServeError::Conflict(_) | ServeError::BudgetExhausted(_) => 409,
         }
     }
 }
@@ -46,6 +54,10 @@ impl fmt::Display for ServeError {
                 write!(f, "method not allowed on {path} (allowed: {allowed})")
             }
             ServeError::TooLarge(reason) => write!(f, "request too large: {reason}"),
+            ServeError::Conflict(reason) => write!(f, "conflict: {reason}"),
+            ServeError::BudgetExhausted(reason) => {
+                write!(f, "privacy budget exhausted: {reason}")
+            }
         }
     }
 }
@@ -54,8 +66,13 @@ impl std::error::Error for ServeError {}
 
 impl From<DpsdError> for ServeError {
     fn from(e: DpsdError) -> Self {
-        // Artifact and parameter problems are the client's fault: the
-        // body it posted failed validation.
-        ServeError::BadRequest(e.to_string())
+        match e {
+            // Budget exhaustion is a state conflict, not a malformed
+            // request: the client must know releases have stopped.
+            DpsdError::BudgetExhausted { .. } => ServeError::BudgetExhausted(e.to_string()),
+            // Artifact and parameter problems are the client's fault:
+            // the body it posted failed validation.
+            _ => ServeError::BadRequest(e.to_string()),
+        }
     }
 }

@@ -62,6 +62,7 @@ pub mod http;
 pub mod metrics;
 pub mod registry;
 pub mod server;
+pub mod stream;
 pub mod sync;
 pub mod workload;
 

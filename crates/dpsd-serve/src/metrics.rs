@@ -128,6 +128,12 @@ pub enum Endpoint {
     Query,
     /// `POST /synopses/{name}/query/batch` — a workload.
     Batch,
+    /// `POST`/`GET /synopses/{name}/stream` — create or inspect a
+    /// continual-release stream.
+    Stream,
+    /// `POST /synopses/{name}/ingest` — absorb streamed points (and
+    /// materialize any epoch releases they trigger).
+    Ingest,
     /// `GET /stats` — this very report.
     Stats,
     /// Anything that did not resolve to a route.
@@ -135,11 +141,13 @@ pub enum Endpoint {
 }
 
 /// All endpoints, in stats-report order.
-pub const ENDPOINTS: [Endpoint; 6] = [
+pub const ENDPOINTS: [Endpoint; 8] = [
     Endpoint::Publish,
     Endpoint::Registry,
     Endpoint::Query,
     Endpoint::Batch,
+    Endpoint::Stream,
+    Endpoint::Ingest,
     Endpoint::Stats,
     Endpoint::Unrouted,
 ];
@@ -152,6 +160,8 @@ impl Endpoint {
             Endpoint::Registry => "registry",
             Endpoint::Query => "query",
             Endpoint::Batch => "batch",
+            Endpoint::Stream => "stream",
+            Endpoint::Ingest => "ingest",
             Endpoint::Stats => "stats",
             Endpoint::Unrouted => "unrouted",
         }
@@ -166,8 +176,10 @@ impl Endpoint {
             Endpoint::Registry => 1,
             Endpoint::Query => 2,
             Endpoint::Batch => 3,
-            Endpoint::Stats => 4,
-            Endpoint::Unrouted => 5,
+            Endpoint::Stream => 4,
+            Endpoint::Ingest => 5,
+            Endpoint::Stats => 6,
+            Endpoint::Unrouted => 7,
         }
     }
 }

@@ -206,7 +206,7 @@ pub struct SynopsisRegistry {
 }
 
 /// Registry names must be unambiguous in a URL path with no escaping.
-fn validate_name(name: &str) -> Result<(), ServeError> {
+pub(crate) fn validate_name(name: &str) -> Result<(), ServeError> {
     let ok = !name.is_empty()
         && name.len() <= 64
         && name

@@ -12,7 +12,10 @@
 //! | `GET /synopses/{name}`               | One synopsis' metadata                    |
 //! | `POST /synopses/{name}/query`        | `{"rect": [min..., max...]}` → one estimate |
 //! | `POST /synopses/{name}/query/batch`  | `{"rects": [[...], ...]}` → all estimates |
-//! | `GET /stats`                         | Cache counters, per-endpoint latency histograms, registry contents |
+//! | `POST /synopses/{name}/stream`       | Create a continual-release stream (dims, domain, height, seed, epoch size, epsilon schedule, budget cap) |
+//! | `GET /synopses/{name}/stream`        | One stream's status (points, epochs, spend) |
+//! | `POST /synopses/{name}/ingest`       | `{"points": [[...], ...]}` → absorb; epoch boundaries hot-swap a fresh version |
+//! | `GET /stats`                         | Cache counters, per-endpoint latency histograms, registry contents, stream accounting |
 //!
 //! # Answer fidelity
 //!
@@ -41,6 +44,7 @@ use crate::error::ServeError;
 use crate::http::{read_request, write_response, HttpError, Request};
 use crate::metrics::{Endpoint, Metrics};
 use crate::registry::{with_synopsis, AnySynopsis, PublishedSynopsis, SynopsisRegistry};
+use crate::stream::{IngestReport, StreamManager, StreamSpec};
 use dpsd_core::exec::Parallelism;
 use dpsd_core::flat::FlatSynopsis;
 use dpsd_core::geometry::Rect;
@@ -88,6 +92,7 @@ struct ServerState {
     registry: SynopsisRegistry,
     cache: ShardedCache,
     metrics: Metrics,
+    streams: StreamManager,
     config: ServeConfig,
 }
 
@@ -105,6 +110,7 @@ impl Server {
             registry: SynopsisRegistry::new(),
             cache: ShardedCache::new(config.cache_capacity),
             metrics: Metrics::new(),
+            streams: StreamManager::new(),
             config,
         });
         Ok(Server { listener, state })
@@ -273,6 +279,16 @@ fn route(state: &ServerState, request: &Request) -> (Endpoint, Result<String, Se
         ("POST", ["synopses", name, "query", "batch"]) => {
             (Endpoint::Batch, handle_batch(state, name, request))
         }
+        ("POST", ["synopses", name, "stream"]) => {
+            (Endpoint::Stream, handle_stream_create(state, name, request))
+        }
+        ("GET", ["synopses", name, "stream"]) => (
+            Endpoint::Stream,
+            state.streams.info(name).and_then(|v| to_body(&v)),
+        ),
+        ("POST", ["synopses", name, "ingest"]) => {
+            (Endpoint::Ingest, handle_ingest(state, name, request))
+        }
         (_, ["stats"]) | (_, ["synopses"]) => (
             Endpoint::Unrouted,
             Err(ServeError::MethodNotAllowed {
@@ -287,11 +303,20 @@ fn route(state: &ServerState, request: &Request) -> (Endpoint, Result<String, Se
                 allowed: "GET, POST",
             }),
         ),
-        (_, ["synopses", _, "query"]) | (_, ["synopses", _, "query", "batch"]) => (
+        (_, ["synopses", _, "query"])
+        | (_, ["synopses", _, "query", "batch"])
+        | (_, ["synopses", _, "ingest"]) => (
             Endpoint::Unrouted,
             Err(ServeError::MethodNotAllowed {
                 path: path.to_string(),
                 allowed: "POST",
+            }),
+        ),
+        (_, ["synopses", _, "stream"]) => (
+            Endpoint::Unrouted,
+            Err(ServeError::MethodNotAllowed {
+                path: path.to_string(),
+                allowed: "GET, POST",
             }),
         ),
         _ => (
@@ -535,6 +560,73 @@ fn handle_batch(state: &ServerState, name: &str, request: &Request) -> Result<St
     ]))
 }
 
+fn handle_stream_create(
+    state: &ServerState,
+    name: &str,
+    request: &Request,
+) -> Result<String, ServeError> {
+    let body = parse_json_body(request)?;
+    let spec = StreamSpec::from_value(&body)?;
+    state.streams.create(name, &spec)?;
+    state.streams.info(name).and_then(|v| to_body(&v))
+}
+
+/// The response body for one ingest request.
+fn ingest_report_value(name: &str, report: &IngestReport) -> Value {
+    Value::Object(vec![
+        ("name".to_string(), Value::String(name.to_string())),
+        (
+            "absorbed".to_string(),
+            Value::Number(report.absorbed as f64),
+        ),
+        (
+            "total_points".to_string(),
+            Value::Number(report.total_points as f64),
+        ),
+        (
+            "epochs_released".to_string(),
+            Value::Number(report.epochs_released as f64),
+        ),
+        (
+            "epsilon_spent".to_string(),
+            Value::Number(report.epsilon_spent),
+        ),
+        (
+            "releases".to_string(),
+            Value::Array(
+                report
+                    .releases
+                    .iter()
+                    .map(|r| {
+                        Value::Object(vec![
+                            ("epoch".to_string(), Value::Number(r.epoch as f64)),
+                            ("version".to_string(), Value::Number(r.version as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn handle_ingest(state: &ServerState, name: &str, request: &Request) -> Result<String, ServeError> {
+    let body = parse_json_body(request)?;
+    let points_value = body
+        .get("points")
+        .ok_or_else(|| ServeError::BadRequest("body must have a `points` field".into()))?;
+    let wire_points = points_value
+        .as_array()
+        .ok_or_else(|| ServeError::BadRequest("`points` must be an array of points".into()))?;
+    let mut points = Vec::with_capacity(wire_points.len());
+    for p in wire_points {
+        points.push(coords_array(p, "points[i]")?);
+    }
+    let report = state
+        .streams
+        .ingest(name, &points, &state.registry, &state.cache)?;
+    to_body(&ingest_report_value(name, &report))
+}
+
 fn handle_stats(state: &ServerState) -> Result<String, ServeError> {
     let cache = state.cache.stats();
     let registry: Vec<Value> = state
@@ -545,6 +637,7 @@ fn handle_stats(state: &ServerState) -> Result<String, ServeError> {
         .collect();
     to_body(&Value::Object(vec![
         ("registry".to_string(), Value::Array(registry)),
+        ("streams".to_string(), state.streams.stats_value()),
         (
             "cache".to_string(),
             Value::Object(vec![

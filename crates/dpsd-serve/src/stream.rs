@@ -1,0 +1,707 @@
+//! Server-side streaming ingest: named continual-release streams that
+//! absorb posted points and hot-swap a fresh synopsis version into the
+//! registry at every epoch boundary.
+//!
+//! A stream is created with `POST /synopses/{name}/stream` (dimension,
+//! domain, height, seed, epoch size, epsilon schedule, budget cap) and
+//! fed with `POST /synopses/{name}/ingest`. Epoch ticking is driven
+//! purely by the absorbed-point count — when the stream total crosses
+//! `epoch_points * (epochs_released + 1)` the ingest request that
+//! crossed it materializes the release, publishes the `dpsd-bin` bytes
+//! through the ordinary registry path (so hot-swap and cache-purge
+//! semantics are identical to a manual publish), and reports the new
+//! version in its response. No wall clock is consulted anywhere:
+//! replaying the same point stream against a fresh server yields the
+//! same synopsis bytes at every version, which is what the loadgen soak
+//! and the `stream_identity` suite assert.
+//!
+//! Concurrency: the manager holds a map of named streams behind the
+//! workspace lock helpers; each stream serializes its ingests behind
+//! its own mutex (absorb order defines the release artifacts, so
+//! concurrent ingests to one stream are ordered by lock acquisition —
+//! each request's points stay contiguous). Distinct streams ingest in
+//! parallel.
+
+use crate::cache::ShardedCache;
+use crate::error::ServeError;
+use crate::registry::{validate_name, SynopsisRegistry};
+use crate::sync::{lock_or_recover, read_or_recover, write_or_recover};
+use dpsd_core::geometry::{Point, Rect};
+use dpsd_core::stream::{EpsilonSchedule, StreamConfig, StreamIngestor};
+use serde::Value;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Streams maintain modest trees: the server keeps rects + counters
+/// resident per stream, and epoch releases are synchronous with the
+/// ingest request that triggers them.
+const MAX_STREAM_HEIGHT: usize = 12;
+
+/// Hard cap on points per ingest request (the body-size limit usually
+/// binds first).
+const MAX_INGEST_POINTS: usize = 1 << 22;
+
+/// The parsed `POST /synopses/{name}/stream` body.
+#[derive(Debug, Clone)]
+pub struct StreamSpec {
+    /// Dimension of the stream's points (1..=4, like the registry).
+    pub dims: usize,
+    /// Domain as a wire rect: all minima, then all maxima.
+    pub domain: Vec<f64>,
+    /// Tree height of every released synopsis.
+    pub height: usize,
+    /// Base RNG seed (epoch `e` derives its own seed from it).
+    pub seed: u64,
+    /// Points per epoch: a release fires each time the stream total
+    /// crosses a multiple of this.
+    pub epoch_points: u64,
+    /// Per-epoch epsilon schedule.
+    pub schedule: EpsilonSchedule,
+    /// Lifetime privacy cap across all releases.
+    pub budget_cap: f64,
+}
+
+fn field_f64(body: &Value, name: &str) -> Result<f64, ServeError> {
+    body.get(name)
+        .and_then(|v| v.as_f64())
+        .ok_or_else(|| ServeError::BadRequest(format!("body must have a numeric `{name}` field")))
+}
+
+fn field_u64(body: &Value, name: &str) -> Result<u64, ServeError> {
+    body.get(name).and_then(|v| v.as_u64()).ok_or_else(|| {
+        ServeError::BadRequest(format!(
+            "body must have a non-negative integer `{name}` field"
+        ))
+    })
+}
+
+impl StreamSpec {
+    /// Parses and validates a stream-creation body.
+    pub fn from_value(body: &Value) -> Result<StreamSpec, ServeError> {
+        let dims = field_u64(body, "dims")? as usize;
+        if !(1..=4).contains(&dims) {
+            return Err(ServeError::BadRequest(format!(
+                "dims must be between 1 and 4, got {dims}"
+            )));
+        }
+        let domain = body
+            .get("domain")
+            .and_then(|v| v.as_array())
+            .ok_or_else(|| ServeError::BadRequest("body must have a `domain` array".into()))?
+            .iter()
+            .map(|v| {
+                v.as_f64().ok_or_else(|| {
+                    ServeError::BadRequest("domain must contain only numbers".into())
+                })
+            })
+            .collect::<Result<Vec<f64>, _>>()?;
+        if domain.len() != 2 * dims {
+            return Err(ServeError::BadRequest(format!(
+                "domain must have {} numbers (minima then maxima) for dims {dims}, got {}",
+                2 * dims,
+                domain.len()
+            )));
+        }
+        let height = field_u64(body, "height")? as usize;
+        if height == 0 || height > MAX_STREAM_HEIGHT {
+            return Err(ServeError::BadRequest(format!(
+                "height must be between 1 and {MAX_STREAM_HEIGHT}, got {height}"
+            )));
+        }
+        let epoch_points = field_u64(body, "epoch_points")?;
+        if epoch_points == 0 {
+            return Err(ServeError::BadRequest(
+                "epoch_points must be at least 1".into(),
+            ));
+        }
+        let schedule_value = body
+            .get("schedule")
+            .ok_or_else(|| ServeError::BadRequest("body must have a `schedule` object".into()))?;
+        let kind = schedule_value
+            .get("kind")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| {
+                ServeError::BadRequest(
+                    "schedule must have a `kind` of `fixed` or `geometric`".into(),
+                )
+            })?;
+        let schedule = match kind {
+            "fixed" => EpsilonSchedule::Fixed {
+                epsilon: field_f64(schedule_value, "epsilon")?,
+            },
+            "geometric" => EpsilonSchedule::Geometric {
+                first: field_f64(schedule_value, "first")?,
+                ratio: field_f64(schedule_value, "ratio")?,
+            },
+            other => {
+                return Err(ServeError::BadRequest(format!(
+                    "unknown schedule kind `{other}` (expected `fixed` or `geometric`)"
+                )))
+            }
+        };
+        Ok(StreamSpec {
+            dims,
+            domain,
+            height,
+            seed: field_u64(body, "seed")?,
+            epoch_points,
+            schedule,
+            budget_cap: field_f64(body, "budget_cap")?,
+        })
+    }
+}
+
+/// A dimension-erased [`StreamIngestor`], mirroring the registry's
+/// `AnySynopsis`.
+pub enum AnyIngestor {
+    /// One-dimensional stream.
+    D1(StreamIngestor<1>),
+    /// Planar stream.
+    D2(StreamIngestor<2>),
+    /// Three-dimensional stream.
+    D3(StreamIngestor<3>),
+    /// Four-dimensional stream.
+    D4(StreamIngestor<4>),
+}
+
+macro_rules! with_ingestor {
+    ($any:expr, $s:ident => $body:expr) => {
+        match $any {
+            AnyIngestor::D1($s) => $body,
+            AnyIngestor::D2($s) => $body,
+            AnyIngestor::D3($s) => $body,
+            AnyIngestor::D4($s) => $body,
+        }
+    };
+}
+
+fn ingestor_for<const D: usize>(spec: &StreamSpec) -> Result<StreamIngestor<D>, ServeError> {
+    let mut min = [0.0; D];
+    let mut max = [0.0; D];
+    min.copy_from_slice(&spec.domain[..D]);
+    max.copy_from_slice(&spec.domain[D..]);
+    let domain = Rect::from_corners(min, max)
+        .map_err(|e| ServeError::BadRequest(format!("invalid domain: {e}")))?;
+    StreamIngestor::new(StreamConfig::new(
+        domain,
+        spec.height,
+        spec.schedule,
+        spec.budget_cap,
+        spec.seed,
+    ))
+    .map_err(ServeError::from)
+}
+
+impl AnyIngestor {
+    fn build(spec: &StreamSpec) -> Result<AnyIngestor, ServeError> {
+        Ok(match spec.dims {
+            1 => AnyIngestor::D1(ingestor_for::<1>(spec)?),
+            2 => AnyIngestor::D2(ingestor_for::<2>(spec)?),
+            3 => AnyIngestor::D3(ingestor_for::<3>(spec)?),
+            4 => AnyIngestor::D4(ingestor_for::<4>(spec)?),
+            d => return Err(ServeError::BadRequest(format!("unsupported dims {d}"))),
+        })
+    }
+
+    fn dims(&self) -> usize {
+        match self {
+            AnyIngestor::D1(_) => 1,
+            AnyIngestor::D2(_) => 2,
+            AnyIngestor::D3(_) => 3,
+            AnyIngestor::D4(_) => 4,
+        }
+    }
+
+    fn absorb_wire(&mut self, coords: &[f64]) -> Result<(), ServeError> {
+        let dims = self.dims();
+        if coords.len() != dims {
+            return Err(ServeError::BadRequest(format!(
+                "point must have {dims} coordinates, got {}",
+                coords.len()
+            )));
+        }
+        if coords.iter().any(|c| !c.is_finite()) {
+            return Err(ServeError::BadRequest(
+                "point coordinates must be finite".into(),
+            ));
+        }
+        fn absorb<const D: usize>(
+            ingestor: &mut StreamIngestor<D>,
+            coords: &[f64],
+        ) -> Result<(), ServeError> {
+            let mut c = [0.0; D];
+            c.copy_from_slice(coords);
+            ingestor
+                .absorb(Point::from_coords(c))
+                .map_err(ServeError::from)
+        }
+        with_ingestor!(self, s => absorb(s, coords))
+    }
+
+    /// Materializes the current epoch as `dpsd-bin` bytes.
+    fn release_epoch_bytes(&mut self) -> Result<(u64, f64, Vec<u8>), ServeError> {
+        with_ingestor!(self, s => {
+            let release = s.release_epoch()?;
+            Ok((release.epoch, release.epsilon, release.synopsis.to_flat_bytes()))
+        })
+    }
+
+    fn total_points(&self) -> u64 {
+        with_ingestor!(self, s => s.total_points())
+    }
+
+    fn epoch(&self) -> u64 {
+        with_ingestor!(self, s => s.epoch())
+    }
+
+    fn epsilon_spent(&self) -> f64 {
+        with_ingestor!(self, s => s.ledger().spent())
+    }
+
+    fn budget_cap(&self) -> f64 {
+        with_ingestor!(self, s => s.ledger().cap())
+    }
+
+    fn next_epoch_epsilon(&self) -> f64 {
+        with_ingestor!(self, s => s.next_epoch_epsilon())
+    }
+
+    fn height(&self) -> usize {
+        with_ingestor!(self, s => s.config().height)
+    }
+
+    fn hot_cell(&self) -> Option<(u64, u64)> {
+        with_ingestor!(self, s => s.hot_cell())
+    }
+}
+
+/// One named stream: the accumulator plus its release bookkeeping.
+pub struct StreamState {
+    ingestor: AnyIngestor,
+    epoch_points: u64,
+    /// Registry version of every released epoch, in epoch order.
+    versions: Vec<u64>,
+}
+
+/// Epoch releases triggered by one ingest request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReleasedEpoch {
+    /// Zero-based epoch index.
+    pub epoch: u64,
+    /// Registry version the release was published as.
+    pub version: u64,
+}
+
+/// The outcome of one ingest request.
+#[derive(Debug, Clone)]
+pub struct IngestReport {
+    /// Points absorbed by this request.
+    pub absorbed: u64,
+    /// Stream total after this request.
+    pub total_points: u64,
+    /// Epochs released so far (stream lifetime).
+    pub epochs_released: u64,
+    /// Ledger spend so far (stream lifetime).
+    pub epsilon_spent: f64,
+    /// Releases this request triggered, in epoch order.
+    pub releases: Vec<ReleasedEpoch>,
+}
+
+/// The named-stream table.
+#[derive(Default)]
+pub struct StreamManager {
+    streams: RwLock<HashMap<String, Arc<Mutex<StreamState>>>>,
+}
+
+impl StreamManager {
+    /// An empty manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a stream under `name`. Fails with a conflict if one
+    /// already exists (streams are never silently reconfigured — that
+    /// would break the determinism contract mid-flight).
+    pub fn create(&self, name: &str, spec: &StreamSpec) -> Result<(), ServeError> {
+        validate_name(name)?;
+        let ingestor = AnyIngestor::build(spec)?;
+        let mut streams = write_or_recover(&self.streams);
+        if streams.contains_key(name) {
+            return Err(ServeError::Conflict(format!(
+                "stream `{name}` already exists"
+            )));
+        }
+        streams.insert(
+            name.to_string(),
+            Arc::new(Mutex::new(StreamState {
+                ingestor,
+                epoch_points: spec.epoch_points,
+                versions: Vec::new(),
+            })),
+        );
+        Ok(())
+    }
+
+    fn get(&self, name: &str) -> Result<Arc<Mutex<StreamState>>, ServeError> {
+        read_or_recover(&self.streams)
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServeError::UnknownSynopsis(format!("stream `{name}`")))
+    }
+
+    /// Absorbs `points` (wire coordinates) into the named stream in
+    /// order, materializing and publishing a release every time the
+    /// stream total crosses an epoch boundary.
+    ///
+    /// Absorption stops at the first rejected point or failed release;
+    /// points absorbed before the failure stay absorbed (the stream
+    /// prefix is still well-defined, so determinism is unaffected).
+    pub fn ingest(
+        &self,
+        name: &str,
+        points: &[Vec<f64>],
+        registry: &SynopsisRegistry,
+        cache: &ShardedCache,
+    ) -> Result<IngestReport, ServeError> {
+        if points.len() > MAX_INGEST_POINTS {
+            return Err(ServeError::TooLarge(format!(
+                "ingest of {} points exceeds the {MAX_INGEST_POINTS}-point limit",
+                points.len()
+            )));
+        }
+        let stream = self.get(name)?;
+        let mut state = lock_or_recover(&stream);
+        let start_total = state.ingestor.total_points();
+        let mut releases = Vec::new();
+        let mut index = 0usize;
+        while index < points.len() {
+            // Absorb up to the next epoch boundary, then release at it —
+            // one ingest request can cross several boundaries.
+            let boundary = (state.ingestor.epoch() + 1).saturating_mul(state.epoch_points);
+            let room = boundary.saturating_sub(state.ingestor.total_points());
+            let take = (room.min((points.len() - index) as u64)) as usize;
+            for p in &points[index..index + take] {
+                state.ingestor.absorb_wire(p)?;
+            }
+            index += take;
+            if state.ingestor.total_points() == boundary {
+                let (epoch, _epsilon, bytes) = state.ingestor.release_epoch_bytes()?;
+                // Publish through the ordinary registry path: identical
+                // hot-swap and cache-purge semantics to a manual POST.
+                let published = registry.publish(name, &bytes)?;
+                cache.purge_stale(name, published.version);
+                state.versions.push(published.version);
+                releases.push(ReleasedEpoch {
+                    epoch,
+                    version: published.version,
+                });
+            }
+        }
+        Ok(IngestReport {
+            absorbed: state.ingestor.total_points() - start_total,
+            total_points: state.ingestor.total_points(),
+            epochs_released: state.ingestor.epoch(),
+            epsilon_spent: state.ingestor.epsilon_spent(),
+            releases,
+        })
+    }
+
+    /// The status object for one stream (also one entry of the
+    /// `/stats` `streams` array).
+    pub fn info(&self, name: &str) -> Result<Value, ServeError> {
+        let stream = self.get(name)?;
+        let state = lock_or_recover(&stream);
+        Ok(stream_info(name, &state))
+    }
+
+    /// Status objects for every stream, sorted by name.
+    pub fn stats_value(&self) -> Value {
+        let streams: Vec<(String, Arc<Mutex<StreamState>>)> = {
+            let map = read_or_recover(&self.streams);
+            let mut all: Vec<_> = map
+                .iter()
+                .map(|(k, v)| (k.clone(), Arc::clone(v)))
+                .collect();
+            all.sort_by(|a, b| a.0.cmp(&b.0));
+            all
+        };
+        Value::Array(
+            streams
+                .iter()
+                .map(|(name, stream)| {
+                    let state = lock_or_recover(stream);
+                    stream_info(name, &state)
+                })
+                .collect(),
+        )
+    }
+
+    /// Number of streams.
+    pub fn len(&self) -> usize {
+        read_or_recover(&self.streams).len()
+    }
+
+    /// Whether no streams exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn stream_info(name: &str, state: &StreamState) -> Value {
+    let ingestor = &state.ingestor;
+    let covered = ingestor.epoch().saturating_mul(state.epoch_points);
+    let hot = match ingestor.hot_cell() {
+        Some((key, estimate)) => Value::Object(vec![
+            ("key".to_string(), Value::Number(key as f64)),
+            ("estimate".to_string(), Value::Number(estimate as f64)),
+        ]),
+        None => Value::Null,
+    };
+    Value::Object(vec![
+        ("name".to_string(), Value::String(name.to_string())),
+        ("dims".to_string(), Value::Number(ingestor.dims() as f64)),
+        (
+            "height".to_string(),
+            Value::Number(ingestor.height() as f64),
+        ),
+        (
+            "epoch_points".to_string(),
+            Value::Number(state.epoch_points as f64),
+        ),
+        (
+            "total_points".to_string(),
+            Value::Number(ingestor.total_points() as f64),
+        ),
+        (
+            "pending_points".to_string(),
+            Value::Number(ingestor.total_points().saturating_sub(covered) as f64),
+        ),
+        (
+            "epochs_released".to_string(),
+            Value::Number(ingestor.epoch() as f64),
+        ),
+        (
+            "epsilon_spent".to_string(),
+            Value::Number(ingestor.epsilon_spent()),
+        ),
+        (
+            "budget_cap".to_string(),
+            Value::Number(ingestor.budget_cap()),
+        ),
+        (
+            "next_epoch_epsilon".to_string(),
+            Value::Number(ingestor.next_epoch_epsilon()),
+        ),
+        (
+            "latest_version".to_string(),
+            state
+                .versions
+                .last()
+                .map_or(Value::Null, |&v| Value::Number(v as f64)),
+        ),
+        ("hot_cell".to_string(), hot),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpsd_core::stream::batch_config_for;
+
+    fn spec_2d(epoch_points: u64) -> StreamSpec {
+        StreamSpec {
+            dims: 2,
+            domain: vec![0.0, 0.0, 64.0, 64.0],
+            height: 4,
+            seed: 42,
+            epoch_points,
+            schedule: EpsilonSchedule::Fixed { epsilon: 0.5 },
+            budget_cap: 10.0,
+        }
+    }
+
+    fn wire_points(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                vec![
+                    ((i * 13 + 5) % 640) as f64 * 0.1,
+                    ((i * 29 + 11) % 640) as f64 * 0.1,
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn spec_parses_and_validates() {
+        let body: Value = serde_json::from_str(
+            r#"{"dims":2,"domain":[0,0,64,64],"height":4,"seed":42,"epoch_points":100,
+                "schedule":{"kind":"fixed","epsilon":0.5},"budget_cap":10}"#,
+        )
+        .unwrap();
+        let spec = StreamSpec::from_value(&body).unwrap();
+        assert_eq!(spec.dims, 2);
+        assert_eq!(spec.epoch_points, 100);
+        assert_eq!(spec.schedule, EpsilonSchedule::Fixed { epsilon: 0.5 });
+
+        for bad in [
+            r#"{"dims":5,"domain":[0,0,1,1],"height":4,"seed":1,"epoch_points":10,"schedule":{"kind":"fixed","epsilon":0.5},"budget_cap":1}"#,
+            r#"{"dims":2,"domain":[0,0,1],"height":4,"seed":1,"epoch_points":10,"schedule":{"kind":"fixed","epsilon":0.5},"budget_cap":1}"#,
+            r#"{"dims":2,"domain":[0,0,1,1],"height":0,"seed":1,"epoch_points":10,"schedule":{"kind":"fixed","epsilon":0.5},"budget_cap":1}"#,
+            r#"{"dims":2,"domain":[0,0,1,1],"height":4,"seed":1,"epoch_points":0,"schedule":{"kind":"fixed","epsilon":0.5},"budget_cap":1}"#,
+            r#"{"dims":2,"domain":[0,0,1,1],"height":4,"seed":1,"epoch_points":10,"schedule":{"kind":"linear","epsilon":0.5},"budget_cap":1}"#,
+        ] {
+            let body: Value = serde_json::from_str(bad).unwrap();
+            assert!(StreamSpec::from_value(&body).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn ingest_releases_at_boundaries_and_publishes() {
+        let manager = StreamManager::new();
+        let registry = SynopsisRegistry::new();
+        let cache = ShardedCache::new(64);
+        manager.create("taxi", &spec_2d(100)).unwrap();
+        assert!(matches!(
+            manager.create("taxi", &spec_2d(100)),
+            Err(ServeError::Conflict(_))
+        ));
+
+        // 250 points in one request: epochs 0 and 1 release, 50 pending.
+        let report = manager
+            .ingest("taxi", &wire_points(250), &registry, &cache)
+            .unwrap();
+        assert_eq!(report.absorbed, 250);
+        assert_eq!(report.total_points, 250);
+        assert_eq!(report.epochs_released, 2);
+        assert_eq!(
+            report.releases,
+            vec![
+                ReleasedEpoch {
+                    epoch: 0,
+                    version: 1
+                },
+                ReleasedEpoch {
+                    epoch: 1,
+                    version: 2
+                },
+            ]
+        );
+        assert_eq!(report.epsilon_spent, 0.5 + 0.5);
+        let published = registry.get("taxi").unwrap();
+        assert_eq!(published.version, 2);
+
+        // 50 more exactly reach the epoch-3 boundary.
+        let report = manager
+            .ingest("taxi", &wire_points(50), &registry, &cache)
+            .unwrap();
+        assert_eq!(report.releases.len(), 1);
+        assert_eq!(registry.get("taxi").unwrap().version, 3);
+    }
+
+    #[test]
+    fn published_bytes_match_direct_batch_build() {
+        let manager = StreamManager::new();
+        let registry = SynopsisRegistry::new();
+        let cache = ShardedCache::new(64);
+        manager.create("s", &spec_2d(120)).unwrap();
+        let wire = wire_points(240);
+        manager.ingest("s", &wire, &registry, &cache).unwrap();
+
+        // Rebuild epoch 1 (the full 240-point prefix) directly.
+        let config = StreamConfig::new(
+            Rect::new(0.0, 0.0, 64.0, 64.0).unwrap(),
+            4,
+            EpsilonSchedule::Fixed { epsilon: 0.5 },
+            10.0,
+            42,
+        );
+        let prefix: Vec<Point> = wire.iter().map(|w| Point::new(w[0], w[1])).collect();
+        let direct = batch_config_for(&config, 1)
+            .build(&prefix)
+            .unwrap()
+            .release();
+        let served = registry.get("s").unwrap();
+        assert_eq!(served.version, 2);
+        // The served synopsis answers exactly like the direct build.
+        use dpsd_core::synopsis::SpatialSynopsis;
+        let q = Rect::new(3.0, 5.0, 40.0, 33.0).unwrap();
+        let direct_answer = direct.query(&q);
+        match &served.synopsis {
+            crate::registry::AnySynopsis::D2(flat) => {
+                assert_eq!(flat.query(&q).to_bits(), direct_answer.to_bits());
+            }
+            _ => panic!("expected a 2-d synopsis"),
+        }
+    }
+
+    #[test]
+    fn bad_points_and_unknown_streams_are_rejected() {
+        let manager = StreamManager::new();
+        let registry = SynopsisRegistry::new();
+        let cache = ShardedCache::new(64);
+        assert!(matches!(
+            manager.ingest("ghost", &wire_points(1), &registry, &cache),
+            Err(ServeError::UnknownSynopsis(_))
+        ));
+        manager.create("s", &spec_2d(100)).unwrap();
+        // Wrong arity.
+        assert!(manager
+            .ingest("s", &[vec![1.0]], &registry, &cache)
+            .is_err());
+        // Out of domain: rejected, nothing released.
+        assert!(manager
+            .ingest("s", &[vec![-5.0, 2.0]], &registry, &cache)
+            .is_err());
+        // Non-finite coordinates.
+        assert!(manager
+            .ingest("s", &[vec![f64::NAN, 2.0]], &registry, &cache)
+            .is_err());
+        assert!(registry.get("s").is_none());
+    }
+
+    #[test]
+    fn budget_exhaustion_stops_releases_not_ingest() {
+        let manager = StreamManager::new();
+        let registry = SynopsisRegistry::new();
+        let cache = ShardedCache::new(64);
+        let mut spec = spec_2d(10);
+        spec.budget_cap = 0.6; // one 0.5-epsilon epoch fits, two do not
+        manager.create("s", &spec).unwrap();
+        manager
+            .ingest("s", &wire_points(10), &registry, &cache)
+            .unwrap();
+        let err = manager
+            .ingest("s", &wire_points(10), &registry, &cache)
+            .unwrap_err();
+        assert!(matches!(err, ServeError::BudgetExhausted(_)));
+        assert_eq!(err.status(), 409);
+        // Epoch 0's version is still served; the points absorbed.
+        assert_eq!(registry.get("s").unwrap().version, 1);
+        let info = manager.info("s").unwrap();
+        assert_eq!(info.get("total_points").unwrap().as_u64(), Some(20));
+        assert_eq!(info.get("epochs_released").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn stats_report_exact_accounting() {
+        let manager = StreamManager::new();
+        let registry = SynopsisRegistry::new();
+        let cache = ShardedCache::new(64);
+        manager.create("a", &spec_2d(100)).unwrap();
+        manager
+            .ingest("a", &wire_points(130), &registry, &cache)
+            .unwrap();
+        let stats = manager.stats_value();
+        let entries = stats.as_array().unwrap();
+        assert_eq!(entries.len(), 1);
+        let entry = &entries[0];
+        assert_eq!(entry.get("name").unwrap().as_str(), Some("a"));
+        assert_eq!(entry.get("total_points").unwrap().as_u64(), Some(130));
+        assert_eq!(entry.get("pending_points").unwrap().as_u64(), Some(30));
+        assert_eq!(entry.get("epochs_released").unwrap().as_u64(), Some(1));
+        // Exact spend: one fixed 0.5 epoch.
+        assert_eq!(entry.get("epsilon_spent").unwrap().as_f64(), Some(0.5));
+        assert_eq!(entry.get("latest_version").unwrap().as_u64(), Some(1));
+        assert!(entry.get("hot_cell").unwrap().get("estimate").is_some());
+    }
+}

@@ -21,7 +21,8 @@
 //! This crate is a facade that re-exports the workspace members:
 //!
 //! * [`core`] ([`dpsd_core`]) — mechanisms, medians, budgets, trees,
-//!   post-processing, queries, the synopsis trait;
+//!   post-processing, queries, the synopsis trait, and streaming
+//!   ingestion with continual epoch releases;
 //! * [`hilbert`] ([`dpsd_hilbert`]) — the Hilbert curve substrate;
 //! * [`data`] ([`dpsd_data`]) — synthetic datasets and query workloads;
 //! * [`baselines`] ([`dpsd_baselines`]) — flat grids and exact counting;
@@ -84,6 +85,7 @@ pub use dpsd_core::{DpsdError, FlatSynopsis, ReleasedSynopsis, SpatialSynopsis};
 /// their `Point2`/`Rect2` planar aliases), and the workload helpers.
 pub mod prelude {
     pub use dpsd_baselines::{ExactIndex, FlatGrid};
+    pub use dpsd_core::budget::EpsilonLedger;
     pub use dpsd_core::budget::{BudgetSplit, CountBudget};
     pub use dpsd_core::error::DpsdError;
     pub use dpsd_core::exec::Parallelism;
@@ -93,6 +95,9 @@ pub mod prelude {
     pub use dpsd_core::query::{
         range_query, range_query_batch, range_query_batch_with, range_query_with,
         try_range_query_with, QueryProfile,
+    };
+    pub use dpsd_core::stream::{
+        batch_config_for, epoch_seed, EpsilonSchedule, StreamConfig, StreamIngestor,
     };
     pub use dpsd_core::synopsis::{ParallelQuery, SpatialSynopsis};
     pub use dpsd_core::tree::{

@@ -33,6 +33,8 @@ EXPECTED_SUITES=(
   "dpsd serve_stress"
   "dpsd serve_wire_golden"
   "dpsd stream_identity"
+  "dpsd user_bounding"
+  "dpsd window_identity"
   "dpsd-analyze fixtures"
   "dpsd-serve cache_proptests"
 )

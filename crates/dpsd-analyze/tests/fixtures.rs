@@ -103,6 +103,23 @@ fn epoch_scheduler_on_the_wallclock_is_flagged() {
 }
 
 #[test]
+fn window_aging_on_the_wallclock_is_flagged() {
+    // Sliding-window eviction must key off the epoch counter, never
+    // off bucket age on an ambient clock: time-based aging breaks the
+    // replayable windowed-release identity. Every clock read in the
+    // ager — the eviction decision and the window stamp — is caught.
+    let r = run_fixture("window_wallclock.rs");
+    assert_eq!(
+        findings(&r),
+        vec![
+            ("no-wallclock-in-core", 14),
+            ("no-wallclock-in-core", 20),
+            ("no-wallclock-in-core", 21),
+        ]
+    );
+}
+
+#[test]
 fn stream_paths_are_not_wallclock_exempt() {
     // The continual-release code sits on the privacy path: neither the
     // core accumulator nor the serve-layer stream manager may join the

@@ -1,0 +1,25 @@
+//! Violations for `no-wallclock-in-core` in a sliding-window ager:
+//! window eviction must key off the epoch counter (a pure function of
+//! the absorbed-point count), never off bucket age on an ambient
+//! clock — time-based aging is unreplayable and breaks the contract
+//! that a windowed release equals a rebuild over the in-window suffix.
+
+pub struct WallclockWindow {
+    buckets: Vec<(std::time::Instant, Vec<u64>)>,
+    max_age: std::time::Duration,
+}
+
+impl WallclockWindow {
+    pub fn evict_expired(&mut self) {
+        let now = std::time::Instant::now();
+        self.buckets
+            .retain(|(born, _)| now.duration_since(*born) < self.max_age);
+    }
+
+    pub fn window_start_unix(&self) -> u64 {
+        let now = std::time::SystemTime::now();
+        now.duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0)
+    }
+}

@@ -1,0 +1,117 @@
+//! Sliding-window release bench: the ring-of-buckets fold against the
+//! full in-window re-scan it replaces, CI-gated by `compare_bench
+//! --assert-order`.
+//!
+//! With a window of `W` epochs the server has two ways to produce the
+//! next release over the last `W` epochs of points:
+//!
+//! 1. **`full_rescan`** — run the batch builder from scratch over the
+//!    entire in-window suffix (re-partitioning `W` epochs of points on
+//!    every release);
+//! 2. **`ring_fold`** — absorb only the epoch's new points into the
+//!    windowed accumulator (whose running counters already hold the
+//!    in-window totals, expired epochs aged out by subtraction) and
+//!    materialize the release from them.
+//!
+//! Both produce byte-identical `dpsd-bin/v1` artifacts — asserted here
+//! before any timing, so the bench doubles as a window-identity gate —
+//! but the ring fold's work is proportional to the epoch delta, never
+//! to the window span. The `--assert-order` gate pins that claim:
+//! `ring_fold` must not lose to `full_rescan`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dpsd_core::stream::{batch_config_for, EpsilonSchedule, StreamConfig, StreamIngestor};
+use dpsd_data::synthetic::{tiger_substitute, TIGER_DOMAIN};
+
+/// Points per epoch.
+const EPOCH: usize = 25_000;
+/// Window span in epochs: the measured release folds `WINDOW` epochs.
+const WINDOW: u64 = 4;
+/// Epochs streamed before the measured one (enough that eviction has
+/// already happened and the window is full).
+const WARMUP_EPOCHS: usize = 4;
+
+fn bench(c: &mut Criterion) {
+    let total = EPOCH * (WARMUP_EPOCHS + 1);
+    let points = tiger_substitute(total, 1);
+    let config = StreamConfig::<2>::new(
+        TIGER_DOMAIN,
+        6,
+        EpsilonSchedule::Fixed { epsilon: 0.5 },
+        4.0,
+        7,
+    )
+    .with_window(WINDOW);
+
+    // Stream the warmup epochs so the measured iteration is exactly
+    // "one epoch of windowed work" on a full ring.
+    let mut base = StreamIngestor::new(config.clone()).expect("valid stream config");
+    for (e, chunk) in points[..EPOCH * WARMUP_EPOCHS].chunks(EPOCH).enumerate() {
+        for p in chunk {
+            base.absorb(*p).expect("warmup point in domain");
+        }
+        base.release_epoch().expect("warmup epoch releases");
+        assert_eq!(base.epoch(), e as u64 + 1);
+    }
+
+    // The measured release covers epochs 1..=4: points EPOCH..total.
+    let epoch = WARMUP_EPOCHS as u64;
+    let start = ((epoch + 1 - WINDOW) as usize) * EPOCH;
+
+    // Correctness before timing: the ring-folded epoch-4 artifact must
+    // be byte-identical to a from-scratch batch build over exactly the
+    // in-window suffix, under the same derived seed and epsilon.
+    let streamed = {
+        let mut ing = base.clone();
+        for p in &points[EPOCH * WARMUP_EPOCHS..] {
+            ing.absorb(*p).expect("delta point in domain");
+        }
+        ing.release_epoch().expect("measured epoch releases")
+    };
+    assert_eq!(streamed.window_start as usize, start);
+    let rebuilt = batch_config_for(&config, epoch)
+        .build(&points[start..])
+        .expect("suffix build succeeds")
+        .release();
+    assert_eq!(
+        streamed.synopsis.to_flat_bytes(),
+        rebuilt.to_flat_bytes(),
+        "windowed release diverged from the in-window suffix build"
+    );
+
+    dpsd_bench::jsonctx::set_num("epoch_points", EPOCH as f64);
+    dpsd_bench::jsonctx::set_num("window_epochs", WINDOW as f64);
+    dpsd_bench::jsonctx::set_num("window_points", (total - start) as f64);
+    dpsd_bench::jsonctx::set_num("node_count", base.node_count() as f64);
+    dpsd_bench::jsonctx::set_num(
+        "artifact_bytes",
+        streamed.synopsis.to_flat_bytes().len() as f64,
+    );
+
+    // The gated comparison: one windowed epoch (absorb the delta, fold
+    // the ring) against re-scanning the whole in-window suffix. Both
+    // sides include artifact materialization.
+    let mut group = c.benchmark_group("stream_window/h6");
+    group.throughput(Throughput::Elements(EPOCH as u64));
+    group.bench_function("full_rescan", |b| {
+        b.iter(|| {
+            batch_config_for(&config, epoch)
+                .build(black_box(&points[start..]))
+                .expect("suffix build succeeds")
+                .release()
+        })
+    });
+    group.bench_function("ring_fold", |b| {
+        b.iter(|| {
+            let mut ing = base.clone();
+            for p in black_box(&points[EPOCH * WARMUP_EPOCHS..]) {
+                ing.absorb(*p).expect("delta point in domain");
+            }
+            ing.release_epoch().expect("measured epoch releases")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

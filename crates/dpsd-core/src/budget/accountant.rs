@@ -70,6 +70,13 @@ pub fn audit_path_epsilon(eps_count: &[f64], eps_median: &[f64]) -> BudgetAudit 
 /// Spend accumulates by plain sequential `+=` in debit order, which
 /// keeps the total bit-reproducible for a fixed schedule — external
 /// accounting checks can recompute it exactly.
+///
+/// The ledger is deliberately unit-agnostic: a caller choosing
+/// *user-level* privacy debits the group-privacy bound for the whole
+/// release (under a contribution cap of `C` per user that is
+/// `C × epoch epsilon` — see `StreamConfig::release_debit` in the
+/// stream module), and the same sequential-fold reproducibility holds
+/// because scaling happens before the debit, not inside the ledger.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EpsilonLedger {
     cap: f64,

@@ -56,6 +56,44 @@
 //! release against a lifetime cap *before* any noise is drawn. A
 //! release that would overdraw fails with
 //! [`DpsdError::BudgetExhausted`] and changes nothing.
+//!
+//! # Sliding windows
+//!
+//! By default every release covers the entire absorbed prefix (the
+//! growing-prefix model above). [`StreamConfig::with_window`]`(W)`
+//! switches the stream to the sliding-window model: each release
+//! covers only the points absorbed during the last `W` epochs. The
+//! ingestor keeps a ring of `W` per-epoch bucket counter arrays over
+//! the same data-independent midpoint structure; absorption increments
+//! the running in-window totals *and* the current epoch's bucket
+//! (still `O(h)` nodes touched per point), and when an epoch slides
+//! out of the window its bucket ages out by **subtraction** from the
+//! running totals — never by re-scanning points or re-summing the
+//! ring. The running totals therefore always equal the fold of the
+//! in-window buckets in bucket (ascending-epoch) order, and every
+//! windowed release is byte-identical to a from-scratch
+//! [`batch_config_for`] build over exactly the in-window point suffix
+//! (`admitted_points[release.window_start..]`), which keeps the
+//! external verification handle of the prefix model intact.
+//!
+//! # Per-user contribution bounding
+//!
+//! [`StreamConfig::with_user_cap`]`(C)` turns on user-level admission
+//! control: every point must arrive with a user id
+//! ([`StreamIngestor::absorb_from`]), and at most `C` contributions
+//! per user are absorbed per window (per stream lifetime when no
+//! window is configured). Admission is decided deterministically in
+//! absorb order — a user's first `C` in-window contributions are
+//! admitted, later ones return [`Admission::Capped`] and change no
+//! counter — and the per-user table ages exactly like the count ring:
+//! an expiring bucket's admissions are subtracted and entries that
+//! reach zero are evicted, all driven by the epoch counter alone (no
+//! clock, no hash-order dependence). Because one user then contributes
+//! at most `C` points to any released window, group privacy bounds the
+//! per-user cost of a release at `C ·` the epoch's epsilon, and that
+//! product — [`StreamConfig::release_debit`] — is exactly what
+//! [`release_epoch`](StreamIngestor::release_epoch) debits from the
+//! ledger, so the ledger cap is a *user-level* budget.
 
 use crate::budget::{CountBudget, EpsilonLedger};
 use crate::error::DpsdError;
@@ -65,6 +103,7 @@ use crate::tree::{
     apply_count_noise, complete_tree_nodes_checked, BuildError, PsdConfig, PsdTree,
     ReleasedSynopsis, TreeKind,
 };
+use std::collections::HashMap;
 
 pub mod sketch;
 
@@ -74,6 +113,12 @@ pub use sketch::CountMinSketch;
 /// because the ingestor keeps node rectangles *and* counters resident
 /// for the lifetime of the stream.
 const MAX_STREAM_NODES: usize = 1 << 24;
+
+/// Largest admissible sliding window, in epochs. A windowed stream
+/// keeps one bucket counter array per in-window epoch on top of the
+/// running totals, so together with the streaming node cap this bounds
+/// resident memory.
+pub const MAX_WINDOW_EPOCHS: u64 = 64;
 
 /// Monitoring-sketch geometry: cells per axis of the fine grid that
 /// keys the Count-Min sketch, and the sketch dimensions.
@@ -171,6 +216,15 @@ pub struct StreamConfig<const D: usize = 2> {
     pub seed: u64,
     /// Run OLS post-processing on each release (the batch default).
     pub postprocess: bool,
+    /// Sliding window in epochs: `Some(W)` makes every release cover
+    /// only the last `W` epochs' points; `None` keeps the
+    /// growing-prefix model. See the module docs.
+    pub window: Option<u64>,
+    /// Per-user contribution cap: `Some(C)` admits at most `C` points
+    /// per user per window (per stream lifetime without a window) and
+    /// debits `C ·` epsilon per release. `None` leaves admission
+    /// unbounded with per-point accounting.
+    pub user_cap: Option<u64>,
 }
 
 impl<const D: usize> StreamConfig<D> {
@@ -189,8 +243,58 @@ impl<const D: usize> StreamConfig<D> {
             budget_cap,
             seed,
             postprocess: true,
+            window: None,
+            user_cap: None,
         }
     }
+
+    /// Returns the config with a sliding window of `window` epochs
+    /// (must be in `1..=`[`MAX_WINDOW_EPOCHS`]).
+    pub fn with_window(mut self, window: u64) -> Self {
+        self.window = Some(window);
+        self
+    }
+
+    /// Returns the config with a per-user admission cap of `cap`
+    /// contributions per window (must be at least one).
+    pub fn with_user_cap(mut self, cap: u64) -> Self {
+        self.user_cap = Some(cap);
+        self
+    }
+
+    /// The ledger debit of epoch `epoch`'s release: the schedule's
+    /// epsilon, multiplied by the user cap when one is configured —
+    /// group privacy over the at most `C` in-window points any one
+    /// user contributes. Exposed so external accounting checks can
+    /// recompute ledger spend bit-for-bit.
+    pub fn release_debit(&self, epoch: u64) -> f64 {
+        let eps = self.schedule.epoch_epsilon(epoch);
+        match self.user_cap {
+            Some(cap) => eps * cap as f64,
+            None => eps,
+        }
+    }
+}
+
+/// Outcome of one admission-checked absorb
+/// ([`StreamIngestor::absorb_from`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// The point was absorbed into the counters.
+    Admitted,
+    /// The point's user already has the full cap of in-window
+    /// contributions; the point was dropped and nothing changed.
+    Capped,
+}
+
+/// One epoch's contribution to a sliding window: the per-node counts
+/// absorbed during that epoch and, under a user cap, how many points
+/// each user contributed. Aging subtracts these from the running
+/// totals; the slot is then recycled for a future epoch.
+#[derive(Debug, Clone, Default)]
+struct EpochBucket {
+    counts: Vec<u64>,
+    users: HashMap<u64, u64>,
 }
 
 /// One materialized epoch release.
@@ -202,8 +306,17 @@ pub struct EpochRelease<const D: usize> {
     pub epsilon: f64,
     /// The derived seed its noise was drawn with.
     pub seed: u64,
-    /// Stream length (points absorbed) the release covers.
+    /// Admitted points at release time. The release covers admitted
+    /// points `window_start..points`.
     pub points: u64,
+    /// Index of the first admitted point the release covers: zero in
+    /// the growing-prefix model, the start of the in-window suffix
+    /// under a sliding window.
+    pub window_start: u64,
+    /// Epsilon actually debited from the ledger —
+    /// [`StreamConfig::release_debit`]: `epsilon` itself, or
+    /// `user_cap · epsilon` under user bounding.
+    pub debited: f64,
     /// The publishable artifact.
     pub synopsis: ReleasedSynopsis<D>,
 }
@@ -219,8 +332,22 @@ pub struct StreamIngestor<const D: usize> {
     /// Node rectangles in heap order, fixed at construction (the
     /// midpoint family is data-independent).
     rects: Vec<Rect<D>>,
-    /// Exact per-node counts in heap order.
+    /// Exact per-node counts in heap order. With a sliding window
+    /// these are the *in-window* totals (expired buckets subtracted
+    /// out); without one, lifetime totals.
     counts: Vec<u64>,
+    /// Per-epoch bucket ring of `window` slots (epoch `e` lives at
+    /// slot `e % window`); empty without a window.
+    buckets: Vec<EpochBucket>,
+    /// In-window admitted contributions per user; lifetime totals when
+    /// no window is configured. Empty without a user cap.
+    user_window: HashMap<u64, u64>,
+    /// Index of the first admitted point still inside the window.
+    window_start: u64,
+    /// Buckets aged out of the window (by subtraction) so far.
+    buckets_evicted: u64,
+    /// Points rejected by the user cap so far.
+    admission_drops: u64,
     total_points: u64,
     epoch: u64,
     ledger: EpsilonLedger,
@@ -259,6 +386,34 @@ impl<const D: usize> StreamIngestor<D> {
             }
         };
         config.schedule.validate()?;
+        if let Some(w) = config.window {
+            if !(1..=MAX_WINDOW_EPOCHS).contains(&w) {
+                return Err(DpsdError::invalid_parameter(
+                    "window",
+                    format!("must be in 1..={MAX_WINDOW_EPOCHS} epochs, got {w}"),
+                ));
+            }
+            // The ring keeps one counter array per in-window epoch on
+            // top of the running totals; the node cap covers them all.
+            match m.checked_mul(w as usize + 1) {
+                Some(total) if total <= MAX_STREAM_NODES => {}
+                _ => {
+                    return Err(BuildError::TooManyNodes {
+                        height: config.height,
+                        nodes: m.saturating_mul(w as usize + 1),
+                    }
+                    .into())
+                }
+            }
+        }
+        if let Some(c) = config.user_cap {
+            if c == 0 {
+                return Err(DpsdError::invalid_parameter(
+                    "user_cap",
+                    "must be at least 1 contribution per user per window",
+                ));
+            }
+        }
         let ledger = EpsilonLedger::new(config.budget_cap)?;
         // Midpoint geometry is fixed up front: children of `v` are the
         // orthants of its box, in the same axis-0-most-significant
@@ -274,10 +429,25 @@ impl<const D: usize> StreamIngestor<D> {
             }
         }
         let sketch = CountMinSketch::new(SKETCH_WIDTH, SKETCH_DEPTH, config.seed);
+        let buckets = match config.window {
+            Some(w) => vec![
+                EpochBucket {
+                    counts: vec![0; m],
+                    users: HashMap::new(),
+                };
+                w as usize
+            ],
+            None => Vec::new(),
+        };
         Ok(StreamIngestor {
             config,
             rects,
             counts: vec![0; m],
+            buckets,
+            user_window: HashMap::new(),
+            window_start: 0,
+            buckets_evicted: 0,
+            admission_drops: 0,
             total_points: 0,
             epoch: 0,
             ledger,
@@ -290,13 +460,50 @@ impl<const D: usize> StreamIngestor<D> {
     /// increments the exact counter of every node on the path, plus a
     /// Count-Min update for monitoring. Points outside the domain are
     /// rejected with the batch builder's error and change nothing.
+    /// Fails with [`DpsdError::InvalidParameter`] when a user cap is
+    /// configured — capped streams must identify the contributor via
+    /// [`absorb_from`](Self::absorb_from).
     pub fn absorb(&mut self, p: Point<D>) -> Result<(), DpsdError> {
+        self.absorb_from(p, None).map(|_| ())
+    }
+
+    /// Absorbs one point on behalf of `user`, enforcing the per-user
+    /// admission cap when one is configured.
+    ///
+    /// Admission is decided deterministically in absorb order: a user
+    /// at the cap gets [`Admission::Capped`] back and *nothing*
+    /// changes — no counter, no sketch, no total. With a sliding
+    /// window the point is also charged to the current epoch's bucket
+    /// so the user's allowance returns when that epoch expires. A
+    /// `None` user is an [`DpsdError::InvalidParameter`] error when a
+    /// cap is configured and is ignored otherwise.
+    pub fn absorb_from(&mut self, p: Point<D>, user: Option<u64>) -> Result<Admission, DpsdError> {
         if !self.config.domain.contains(p) {
             return Err(BuildError::PointOutsideDomain(p.coords.to_vec()).into());
         }
+        let admitted_user = match (self.config.user_cap, user) {
+            (Some(cap), Some(id)) => {
+                if self.user_window.get(&id).copied().unwrap_or(0) >= cap {
+                    self.admission_drops += 1;
+                    return Ok(Admission::Capped);
+                }
+                Some(id)
+            }
+            (Some(_), None) => {
+                return Err(DpsdError::invalid_parameter(
+                    "user_id",
+                    "required for every point when a user cap is configured",
+                ))
+            }
+            (None, _) => None,
+        };
         let fanout = 1usize << D;
+        let slot = self.config.window.map(|w| (self.epoch % w) as usize);
         let mut v = 0usize;
         self.counts[0] += 1;
+        if let Some(s) = slot {
+            self.buckets[s].counts[0] += 1;
+        }
         for _ in 0..self.config.height {
             // `orthant_of` sends `coord >= midpoint` to the upper
             // child — the same boundary rule as the batch partitioner,
@@ -304,6 +511,15 @@ impl<const D: usize> StreamIngestor<D> {
             let j = self.rects[v].orthant_of(&p);
             v = fanout * v + 1 + j;
             self.counts[v] += 1;
+            if let Some(s) = slot {
+                self.buckets[s].counts[v] += 1;
+            }
+        }
+        if let Some(id) = admitted_user {
+            *self.user_window.entry(id).or_insert(0) += 1;
+            if let Some(s) = slot {
+                *self.buckets[s].users.entry(id).or_insert(0) += 1;
+            }
         }
         self.total_points += 1;
         let key = grid_key(&self.config.domain, &p);
@@ -312,7 +528,7 @@ impl<const D: usize> StreamIngestor<D> {
         if self.hot.is_none_or(|(_, e)| est > e) {
             self.hot = Some((key, est));
         }
-        Ok(())
+        Ok(Admission::Admitted)
     }
 
     /// Absorbs a slice of points in order. Stops at the first rejected
@@ -325,13 +541,16 @@ impl<const D: usize> StreamIngestor<D> {
     }
 
     /// Materializes the current epoch's release and advances the epoch
-    /// counter.
+    /// counter (which, under a sliding window, also ages out the
+    /// bucket that just left the window — by subtraction, never by
+    /// re-scan).
     ///
-    /// Debits the schedule's epsilon from the ledger first: on
-    /// [`DpsdError::BudgetExhausted`] nothing changes (the epoch does
-    /// not advance and further absorbs still work). The artifact is
-    /// byte-identical to building [`Self::batch_config`] over the same
-    /// point prefix and releasing it.
+    /// Debits [`StreamConfig::release_debit`] from the ledger first:
+    /// on [`DpsdError::BudgetExhausted`] nothing changes (the epoch
+    /// does not advance and further absorbs still work). The artifact
+    /// is byte-identical to building [`Self::batch_config`] over the
+    /// covered points — the whole admitted prefix, or the in-window
+    /// suffix `admitted[window_start..]` — and releasing it.
     pub fn release_epoch(&mut self) -> Result<EpochRelease<D>, DpsdError> {
         let eps = self.config.schedule.epoch_epsilon(self.epoch);
         if !(eps > 0.0 && eps.is_finite()) {
@@ -339,7 +558,11 @@ impl<const D: usize> StreamIngestor<D> {
             // batch builder's error for the same condition.
             return Err(BuildError::InvalidEpsilon(eps).into());
         }
-        self.ledger.debit(eps)?;
+        // Under a user cap the release costs `cap ×` the epoch epsilon
+        // (group privacy over a user's in-window points), making the
+        // ledger cap a per-user budget.
+        let debit = self.config.release_debit(self.epoch);
+        self.ledger.debit(debit)?;
         let seed = epoch_seed(self.config.seed, self.epoch);
         let fanout = 1usize << D;
         let h = self.config.height;
@@ -384,10 +607,47 @@ impl<const D: usize> StreamIngestor<D> {
             epsilon: eps,
             seed,
             points: self.total_points,
+            window_start: self.window_start,
+            debited: debit,
             synopsis: tree.release(),
         };
         self.epoch += 1;
+        self.advance_window();
         Ok(release)
+    }
+
+    /// Ages the bucket that just left the window (if any) out of the
+    /// running totals by subtraction and recycles its slot for the
+    /// epoch that now begins. Driven purely by the epoch counter —
+    /// never by a clock, never by re-scanning points.
+    fn advance_window(&mut self) {
+        let Some(w) = self.config.window else {
+            return;
+        };
+        let slot = (self.epoch % w) as usize;
+        if self.epoch < w {
+            // The slot has never held an epoch yet: nothing leaves the
+            // window until `window` epochs have been released.
+            return;
+        }
+        let mut bucket = std::mem::take(&mut self.buckets[slot]);
+        self.window_start += bucket.counts[0];
+        for (run, b) in self.counts.iter_mut().zip(&bucket.counts) {
+            *run -= b;
+        }
+        for (&id, &n) in &bucket.users {
+            if let Some(total) = self.user_window.get_mut(&id) {
+                *total = total.saturating_sub(n);
+                if *total == 0 {
+                    self.user_window.remove(&id);
+                }
+            }
+        }
+        self.buckets_evicted += 1;
+        // Recycle the allocations for the epoch that now begins.
+        bucket.counts.fill(0);
+        bucket.users.clear();
+        self.buckets[slot] = bucket;
     }
 
     /// The batch configuration whose build over this stream's point
@@ -439,6 +699,65 @@ impl<const D: usize> StreamIngestor<D> {
     /// undercounts.
     pub fn hot_cell(&self) -> Option<(u64, u64)> {
         self.hot
+    }
+
+    /// Sliding-window length in epochs, if configured.
+    pub fn window(&self) -> Option<u64> {
+        self.config.window
+    }
+
+    /// Per-user admission cap, if configured.
+    pub fn user_cap(&self) -> Option<u64> {
+        self.config.user_cap
+    }
+
+    /// Index of the first admitted point inside the current window
+    /// (always zero in the growing-prefix model). The next release
+    /// covers admitted points `window_start()..total_points()`.
+    pub fn window_start(&self) -> u64 {
+        self.window_start
+    }
+
+    /// Admitted points currently inside the window (all of them in the
+    /// growing-prefix model).
+    pub fn window_points(&self) -> u64 {
+        self.total_points - self.window_start
+    }
+
+    /// Buckets aged out of the window (by subtraction) so far.
+    pub fn buckets_evicted(&self) -> u64 {
+        self.buckets_evicted
+    }
+
+    /// Points dropped by the user cap so far.
+    pub fn admission_drops(&self) -> u64 {
+        self.admission_drops
+    }
+
+    /// Users with at least one in-window admitted contribution.
+    pub fn tracked_users(&self) -> usize {
+        self.user_window.len()
+    }
+
+    /// Users currently at the admission cap (zero without a cap).
+    pub fn capped_users(&self) -> usize {
+        match self.config.user_cap {
+            Some(cap) => self.user_window.values().filter(|&&n| n >= cap).count(),
+            None => 0,
+        }
+    }
+
+    /// In-window contributions admitted for `user`.
+    pub fn user_window_count(&self, user: u64) -> u64 {
+        self.user_window.get(&user).copied().unwrap_or(0)
+    }
+
+    /// Epsilon the next [`release_epoch`](Self::release_epoch) will
+    /// debit from the ledger ([`StreamConfig::release_debit`] —
+    /// differs from [`next_epoch_epsilon`](Self::next_epoch_epsilon)
+    /// exactly when a user cap is configured).
+    pub fn next_release_debit(&self) -> f64 {
+        self.config.release_debit(self.epoch)
     }
 }
 
@@ -657,5 +976,227 @@ mod tests {
         }
         let (_, estimate) = ingestor.hot_cell().unwrap();
         assert!(estimate >= 300, "cluster estimate {estimate} undercounts");
+    }
+
+    #[test]
+    fn windowed_release_matches_suffix_build() {
+        let pts = stream_points(1000);
+        let per_epoch = 200usize;
+        let window = 2u64;
+        let config = StreamConfig::new(unit_domain(), 4, fixed(0.5), 100.0, 42).with_window(window);
+        let mut ingestor = StreamIngestor::new(config.clone()).unwrap();
+        for epoch in 0..5u64 {
+            let hi = (epoch as usize + 1) * per_epoch;
+            ingestor.absorb_all(&pts[hi - per_epoch..hi]).unwrap();
+            let release = ingestor.release_epoch().unwrap();
+            assert_eq!(release.epoch, epoch);
+            assert_eq!(release.points as usize, hi);
+            let expect_start = (epoch + 1).saturating_sub(window) * per_epoch as u64;
+            assert_eq!(release.window_start, expect_start);
+            let suffix = &pts[expect_start as usize..hi];
+            let batch = batch_config_for(&config, epoch)
+                .build(suffix)
+                .unwrap()
+                .release();
+            assert_eq!(
+                release.synopsis.to_flat_bytes(),
+                batch.to_flat_bytes(),
+                "epoch {epoch} windowed artifact diverged from the suffix build"
+            );
+        }
+        // After 5 releases the stream sits at epoch 5; with a window
+        // of 2 the post-release advances have aged out epochs 0..=3.
+        assert_eq!(ingestor.buckets_evicted(), 4);
+        assert_eq!(ingestor.window_start(), 800);
+        assert_eq!(ingestor.window_points(), 200);
+    }
+
+    #[test]
+    fn window_of_one_covers_only_the_current_epoch() {
+        let pts = stream_points(90);
+        let config = StreamConfig::new(unit_domain(), 3, fixed(0.7), 100.0, 9).with_window(1);
+        let mut ingestor = StreamIngestor::new(config.clone()).unwrap();
+        for epoch in 0..3u64 {
+            let lo = epoch as usize * 30;
+            ingestor.absorb_all(&pts[lo..lo + 30]).unwrap();
+            let release = ingestor.release_epoch().unwrap();
+            assert_eq!(release.window_start, lo as u64);
+            let batch = batch_config_for(&config, epoch)
+                .build(&pts[lo..lo + 30])
+                .unwrap()
+                .release();
+            assert_eq!(release.synopsis.to_flat_bytes(), batch.to_flat_bytes());
+        }
+    }
+
+    #[test]
+    fn user_cap_bounds_admissions_per_window() {
+        let config = StreamConfig::new(unit_domain(), 2, fixed(0.5), 100.0, 7)
+            .with_window(2)
+            .with_user_cap(3);
+        let mut ingestor = StreamIngestor::new(config).unwrap();
+        // One user floods epoch 0; only the cap's worth is absorbed.
+        for i in 0..10 {
+            let p = Point::new((i % 7) as f64 + 0.5, 1.0);
+            let adm = ingestor.absorb_from(p, Some(99)).unwrap();
+            assert_eq!(
+                adm,
+                if i < 3 {
+                    Admission::Admitted
+                } else {
+                    Admission::Capped
+                },
+                "absorb {i}"
+            );
+        }
+        assert_eq!(ingestor.total_points(), 3);
+        assert_eq!(ingestor.admission_drops(), 7);
+        assert_eq!(ingestor.user_window_count(99), 3);
+        assert_eq!(ingestor.tracked_users(), 1);
+        assert_eq!(ingestor.capped_users(), 1);
+        // Another user is unaffected by 99's cap.
+        assert_eq!(
+            ingestor.absorb_from(Point::new(2.0, 2.0), Some(7)).unwrap(),
+            Admission::Admitted
+        );
+        ingestor.release_epoch().unwrap();
+        // Epoch 1: still inside the window of 2, so user 99 stays
+        // capped...
+        assert_eq!(
+            ingestor
+                .absorb_from(Point::new(3.0, 3.0), Some(99))
+                .unwrap(),
+            Admission::Capped
+        );
+        ingestor.release_epoch().unwrap();
+        // ...but after epoch 0's bucket ages out the allowance returns.
+        assert_eq!(ingestor.user_window_count(99), 0);
+        assert_eq!(
+            ingestor
+                .absorb_from(Point::new(3.0, 3.0), Some(99))
+                .unwrap(),
+            Admission::Admitted
+        );
+        assert_eq!(ingestor.user_window_count(99), 1);
+    }
+
+    #[test]
+    fn lifetime_user_cap_never_resets_without_a_window() {
+        let config = StreamConfig::new(unit_domain(), 2, fixed(0.1), 100.0, 3).with_user_cap(1);
+        let mut ingestor = StreamIngestor::new(config).unwrap();
+        assert_eq!(
+            ingestor.absorb_from(Point::new(1.0, 1.0), Some(5)).unwrap(),
+            Admission::Admitted
+        );
+        for _ in 0..4 {
+            ingestor.release_epoch().unwrap();
+            assert_eq!(
+                ingestor.absorb_from(Point::new(1.0, 1.0), Some(5)).unwrap(),
+                Admission::Capped
+            );
+        }
+        assert_eq!(ingestor.total_points(), 1);
+    }
+
+    #[test]
+    fn user_cap_debits_group_privacy_bound() {
+        let eps = 0.3;
+        let cap = 4u64;
+        let config = StreamConfig::new(unit_domain(), 2, fixed(eps), 100.0, 11)
+            .with_window(1)
+            .with_user_cap(cap);
+        assert_eq!(config.release_debit(0).to_bits(), (eps * 4.0).to_bits());
+        let mut ingestor = StreamIngestor::new(config.clone()).unwrap();
+        ingestor.absorb_from(Point::new(1.0, 1.0), Some(1)).unwrap();
+        let release = ingestor.release_epoch().unwrap();
+        // The noise epsilon is the schedule's; the *debit* is the
+        // group-privacy bound, bit-for-bit.
+        assert_eq!(release.epsilon.to_bits(), eps.to_bits());
+        assert_eq!(release.debited.to_bits(), (eps * cap as f64).to_bits());
+        assert_eq!(
+            ingestor.ledger().spent().to_bits(),
+            config.release_debit(0).to_bits()
+        );
+    }
+
+    #[test]
+    fn user_cap_requires_user_ids() {
+        let config = StreamConfig::new(unit_domain(), 2, fixed(0.5), 1.0, 1).with_user_cap(2);
+        let mut ingestor = StreamIngestor::new(config).unwrap();
+        assert!(matches!(
+            ingestor.absorb(Point::new(1.0, 1.0)),
+            Err(DpsdError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            ingestor.absorb_from(Point::new(1.0, 1.0), None),
+            Err(DpsdError::InvalidParameter { .. })
+        ));
+        // Without a cap, user ids are accepted and ignored.
+        let mut plain =
+            StreamIngestor::new(StreamConfig::new(unit_domain(), 2, fixed(0.5), 1.0, 1)).unwrap();
+        assert_eq!(
+            plain.absorb_from(Point::new(1.0, 1.0), Some(9)).unwrap(),
+            Admission::Admitted
+        );
+        assert_eq!(plain.tracked_users(), 0);
+    }
+
+    #[test]
+    fn capped_absorb_changes_nothing() {
+        let config = StreamConfig::new(unit_domain(), 3, fixed(0.5), 100.0, 13)
+            .with_window(2)
+            .with_user_cap(1);
+        let mut ingestor = StreamIngestor::new(config).unwrap();
+        ingestor.absorb_from(Point::new(5.0, 5.0), Some(1)).unwrap();
+        let counts = ingestor.counts.clone();
+        let total = ingestor.total_points();
+        let hot = ingestor.hot_cell();
+        assert_eq!(
+            ingestor
+                .absorb_from(Point::new(60.0, 60.0), Some(1))
+                .unwrap(),
+            Admission::Capped
+        );
+        assert_eq!(ingestor.counts, counts);
+        assert_eq!(ingestor.total_points(), total);
+        assert_eq!(ingestor.hot_cell(), hot);
+        assert_eq!(ingestor.admission_drops(), 1);
+    }
+
+    #[test]
+    fn invalid_window_and_cap_configs_rejected() {
+        let base = || StreamConfig::new(unit_domain(), 2, fixed(0.5), 1.0, 1);
+        assert!(matches!(
+            StreamIngestor::new(base().with_window(0)),
+            Err(DpsdError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            StreamIngestor::new(base().with_window(MAX_WINDOW_EPOCHS + 1)),
+            Err(DpsdError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            StreamIngestor::new(base().with_user_cap(0)),
+            Err(DpsdError::InvalidParameter { .. })
+        ));
+        // A height that fits unwindowed can exceed the node cap once
+        // the ring multiplies it.
+        let tall = StreamConfig::new(unit_domain(), 11, fixed(0.5), 1.0, 1).with_window(64);
+        assert!(matches!(
+            StreamIngestor::new(tall),
+            Err(DpsdError::Build(BuildError::TooManyNodes { .. }))
+        ));
+    }
+
+    #[test]
+    fn unwindowed_stream_reports_prefix_coverage() {
+        let config = StreamConfig::new(unit_domain(), 2, fixed(0.5), 10.0, 21);
+        let mut ingestor = StreamIngestor::new(config).unwrap();
+        ingestor.absorb_all(&stream_points(40)).unwrap();
+        let release = ingestor.release_epoch().unwrap();
+        assert_eq!(release.window_start, 0);
+        assert_eq!(release.debited.to_bits(), release.epsilon.to_bits());
+        assert_eq!(ingestor.window(), None);
+        assert_eq!(ingestor.buckets_evicted(), 0);
+        assert_eq!(ingestor.window_points(), 40);
     }
 }

@@ -11,7 +11,7 @@
 //!         [--seed S] [--cache-capacity N] [--no-cache] [--dims 2|3]
 //!         [--format json|text|bin] [--json PATH]
 //!         [--stream] [--ingest-total N] [--epoch-points N]
-//!         [--ingest-batch N] [--epsilon E]
+//!         [--ingest-batch N] [--epsilon E] [--window W] [--user-cap C]
 //! ```
 //!
 //! Without `--addr` an in-process server is spawned on an ephemeral
@@ -35,6 +35,14 @@
 //! The run fails on any divergence, on a non-sequential registry
 //! version, or if the final `/stats` stream accounting (point totals,
 //! epochs, exact epsilon spend, latest version) is off by anything.
+//!
+//! `--window W` makes the soak a *sliding-window* run: each release is
+//! verified against a from-scratch build over exactly the in-window
+//! point suffix (the last `W` epochs), and the stats audit additionally
+//! pins window occupancy and the evicted-bucket count. `--user-cap C`
+//! turns on per-user contribution bounding — loadgen assigns every
+//! point a unique user id, so nothing is dropped and the release debit
+//! (`C × ε`, audited to the bit) is the only observable difference.
 
 use dpsd_core::exec::Parallelism;
 use dpsd_core::geometry::{Point, Rect};
@@ -91,6 +99,8 @@ struct Options {
     epoch_points: u64,
     ingest_batch: usize,
     epsilon: f64,
+    window: Option<u64>,
+    user_cap: Option<u64>,
 }
 
 impl Default for Options {
@@ -114,6 +124,8 @@ impl Default for Options {
             // mid-request, exercising the absorb→release→absorb split.
             ingest_batch: 300,
             epsilon: 0.5,
+            window: None,
+            user_cap: None,
         }
     }
 }
@@ -122,7 +134,8 @@ fn usage() -> &'static str {
     "usage: loadgen [--addr HOST:PORT] [--queries N] [--batch B] [--clients C] \
      [--seed S] [--cache-capacity N] [--no-cache] [--dims 2|3] \
      [--format json|text|bin] [--json PATH] \
-     [--stream] [--ingest-total N] [--epoch-points N] [--ingest-batch N] [--epsilon E]"
+     [--stream] [--ingest-total N] [--epoch-points N] [--ingest-batch N] [--epsilon E] \
+     [--window W] [--user-cap C]"
 }
 
 fn parse_options() -> Result<Options, String> {
@@ -178,6 +191,16 @@ fn parse_options() -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "bad --epsilon")?
             }
+            "--window" => {
+                opts.window = Some(value_for("--window")?.parse().map_err(|_| "bad --window")?)
+            }
+            "--user-cap" => {
+                opts.user_cap = Some(
+                    value_for("--user-cap")?
+                        .parse()
+                        .map_err(|_| "bad --user-cap")?,
+                )
+            }
             "--help" | "-h" => {
                 println!("{}", usage());
                 std::process::exit(0);
@@ -201,6 +224,14 @@ fn parse_options() -> Result<Options, String> {
         if !(opts.epsilon > 0.0 && opts.epsilon.is_finite()) {
             return Err("--epsilon must be a positive finite number".into());
         }
+        if opts.window == Some(0) {
+            return Err("--window must be at least 1 epoch".into());
+        }
+        if opts.user_cap == Some(0) {
+            return Err("--user-cap must be at least 1 contribution".into());
+        }
+    } else if opts.window.is_some() || opts.user_cap.is_some() {
+        return Err("--window and --user-cap require --stream".into());
     }
     Ok(opts)
 }
@@ -503,7 +534,7 @@ fn stream_spec_body<const D: usize>(config: &StreamConfig<D>, epoch_points: u64)
         .chain(config.domain.max.iter())
         .map(|&v| Value::Number(v))
         .collect();
-    let value = Value::Object(vec![
+    let mut entries = vec![
         ("dims".to_string(), Value::Number(D as f64)),
         ("domain".to_string(), Value::Array(domain_wire)),
         ("height".to_string(), Value::Number(config.height as f64)),
@@ -520,13 +551,21 @@ fn stream_spec_body<const D: usize>(config: &StreamConfig<D>, epoch_points: u64)
             ]),
         ),
         ("budget_cap".to_string(), Value::Number(config.budget_cap)),
-    ]);
-    serde_json::to_string(&value).expect("stream spec serializes")
+    ];
+    if let Some(w) = config.window {
+        entries.push(("window".to_string(), Value::Number(w as f64)));
+    }
+    if let Some(c) = config.user_cap {
+        entries.push(("user_cap".to_string(), Value::Number(c as f64)));
+    }
+    serde_json::to_string(&Value::Object(entries)).expect("stream spec serializes")
 }
 
-/// `POST /synopses/{name}/ingest` body for one batch of points.
-fn points_body<const D: usize>(points: &[Point<D>]) -> String {
-    let value = Value::Object(vec![(
+/// `POST /synopses/{name}/ingest` body for one batch of points. When
+/// `users_from` is set (user-capped soaks), each point carries a unique
+/// user id — its global stream index — so admission never drops.
+fn points_body<const D: usize>(points: &[Point<D>], users_from: Option<u64>) -> String {
+    let mut entries = vec![(
         "points".to_string(),
         Value::Array(
             points
@@ -534,8 +573,18 @@ fn points_body<const D: usize>(points: &[Point<D>]) -> String {
                 .map(|p| Value::Array(p.coords.iter().copied().map(Value::Number).collect()))
                 .collect(),
         ),
-    )]);
-    serde_json::to_string(&value).expect("ingest body serializes")
+    )];
+    if let Some(from) = users_from {
+        entries.push((
+            "users".to_string(),
+            Value::Array(
+                (from..from + points.len() as u64)
+                    .map(|u| Value::Number(u as f64))
+                    .collect(),
+            ),
+        ));
+    }
+    serde_json::to_string(&Value::Object(entries)).expect("ingest body serializes")
 }
 
 /// Latency samples collected by the soak, split by request role.
@@ -577,15 +626,20 @@ fn run_stream<const D: usize>(opts: &Options) -> Result<(), String> {
     let name = "soak";
     let epochs_expected = opts.ingest_total as u64 / opts.epoch_points;
     let domain = Rect::from_corners([0.0; D], [64.0; D]).expect("static domain");
-    let config = StreamConfig::<D>::new(
+    // Each release debits `user_cap × ε` under per-user composition, so
+    // the cap must scale with it to cover the same number of epochs.
+    let cap_mult = opts.user_cap.unwrap_or(1);
+    let mut config = StreamConfig::<D>::new(
         domain,
         5,
         EpsilonSchedule::Fixed {
             epsilon: opts.epsilon,
         },
-        opts.epsilon * (epochs_expected + 1) as f64,
+        opts.epsilon * (cap_mult * (epochs_expected + 1)) as f64,
         opts.seed,
     );
+    config.window = opts.window;
+    config.user_cap = opts.user_cap;
     let points = stream_points::<D>(opts.ingest_total, opts.seed ^ 0xA5A5_5A5A);
     let domain_wire: Vec<f64> = domain
         .min
@@ -608,8 +662,16 @@ fn run_stream<const D: usize>(opts: &Options) -> Result<(), String> {
         ));
     }
     eprintln!(
-        "loadgen: streaming {} points (dims {}, {} per epoch, {} per request, ε {} per release)",
-        opts.ingest_total, D, opts.epoch_points, opts.ingest_batch, opts.epsilon,
+        "loadgen: streaming {} points (dims {}, {} per epoch, {} per request, ε {} per release{}{})",
+        opts.ingest_total,
+        D,
+        opts.epoch_points,
+        opts.ingest_batch,
+        opts.epsilon,
+        opts.window
+            .map_or(String::new(), |w| format!(", window {w} epochs")),
+        opts.user_cap
+            .map_or(String::new(), |c| format!(", user cap {c}")),
     );
 
     let mut latencies = SoakLatencies {
@@ -624,8 +686,9 @@ fn run_stream<const D: usize>(opts: &Options) -> Result<(), String> {
     let mut released: Vec<(u64, u64)> = Vec::new();
     let mut verified = 0usize;
     let mut step = 0u64;
-    for chunk in points.chunks(opts.ingest_batch) {
-        let body = points_body(chunk);
+    for (c, chunk) in points.chunks(opts.ingest_batch).enumerate() {
+        let users_from = opts.user_cap.map(|_| (c * opts.ingest_batch) as u64);
+        let body = points_body(chunk, users_from);
         // dpsd-allow(no-wallclock-in-core): loadgen's whole job is measuring request latency; timing is the output, not an input
         let started = Instant::now();
         let response = client
@@ -666,18 +729,23 @@ fn run_stream<const D: usize>(opts: &Options) -> Result<(), String> {
             released.push((epoch, version));
             // The continual-release contract: the server's hot-swapped
             // artifact must match a from-scratch batch build over the
-            // exact same stream prefix, bit for bit.
+            // exact same stream prefix — or, under a window, over
+            // exactly the in-window suffix (the last `W` epochs) — bit
+            // for bit.
             let prefix = ((epoch + 1) * opts.epoch_points) as usize;
+            let start = opts.window.map_or(0, |w| {
+                ((epoch + 1).saturating_sub(w) * opts.epoch_points) as usize
+            });
             let rebuilt = batch_config_for(&config, epoch)
-                .build(&points[..prefix])
-                .map_err(|e| format!("direct prefix build failed: {e}"))?
+                .build(&points[start..prefix])
+                .map_err(|e| format!("direct window build failed: {e}"))?
                 .release();
             direct = Some(decode_artifact::<D>(
                 &rebuilt.to_flat_bytes(),
                 ArtifactFormat::Bin,
             )?);
             eprintln!(
-                "loadgen: epoch {epoch} released as version {version} ({prefix}-point prefix)"
+                "loadgen: epoch {epoch} released as version {version} (points {start}..{prefix})"
             );
         }
         // Interleave a verified query batch once a release is live.
@@ -741,7 +809,7 @@ fn run_stream<const D: usize>(opts: &Options) -> Result<(), String> {
             .and_then(Value::as_u64)
             .ok_or_else(|| format!("stats stream entry missing `{k}`"))
     };
-    let checks: [(&str, u64); 4] = [
+    let mut checks: Vec<(&str, u64)> = vec![
         ("total_points", opts.ingest_total as u64),
         ("epochs_released", epochs_expected),
         (
@@ -750,6 +818,26 @@ fn run_stream<const D: usize>(opts: &Options) -> Result<(), String> {
         ),
         ("latest_version", epochs_expected),
     ];
+    // With unique user ids nothing is ever dropped, so every admission
+    // counter is exact; under a window the evicted-bucket count and
+    // occupancy follow in closed form from the release count.
+    let window_start = opts.window.map_or(0, |w| {
+        epochs_expected.saturating_sub(w - 1) * opts.epoch_points
+    });
+    let in_window = opts.ingest_total as u64 - window_start;
+    if let Some(cap) = opts.user_cap {
+        checks.push(("admission_drops", 0));
+        checks.push(("tracked_users", in_window));
+        // Every unique user contributes exactly once, so each tracked
+        // user sits at the cap iff the cap is one.
+        checks.push(("capped_users", if cap == 1 { in_window } else { 0 }));
+    }
+    if let Some(w) = opts.window {
+        checks.push(("window", w));
+        checks.push(("buckets_evicted", epochs_expected.saturating_sub(w - 1)));
+        checks.push(("window_start", window_start));
+        checks.push(("window_points", in_window));
+    }
     for (key, want) in checks {
         let got = field_u64(key)?;
         if got != want {
@@ -757,8 +845,9 @@ fn run_stream<const D: usize>(opts: &Options) -> Result<(), String> {
         }
     }
     // The ledger debits sequentially, so the expected spend is the same
-    // left-to-right fold — equal to the bit, not approximately.
-    let expected_spent = (0..epochs_expected).fold(0.0f64, |acc, _| acc + opts.epsilon);
+    // left-to-right fold — equal to the bit, not approximately. Under a
+    // user cap each debit is the group-privacy bound `cap × ε`.
+    let expected_spent = (0..epochs_expected).fold(0.0f64, |acc, e| acc + config.release_debit(e));
     let spent = entry
         .get("epsilon_spent")
         .and_then(Value::as_f64)
@@ -810,6 +899,15 @@ fn render_stream_report(
         ("epochs".to_string(), Value::Number(epochs as f64)),
         ("verified".to_string(), Value::Number(verified as f64)),
         ("seed".to_string(), Value::Number(opts.seed as f64)),
+        (
+            "window".to_string(),
+            opts.window.map_or(Value::Null, |w| Value::Number(w as f64)),
+        ),
+        (
+            "user_cap".to_string(),
+            opts.user_cap
+                .map_or(Value::Null, |c| Value::Number(c as f64)),
+        ),
     ];
     let mut benches = Vec::new();
     let mut push_bench = |id: String, samples: &[f64], elements: usize| {

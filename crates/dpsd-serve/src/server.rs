@@ -12,9 +12,9 @@
 //! | `GET /synopses/{name}`               | One synopsis' metadata                    |
 //! | `POST /synopses/{name}/query`        | `{"rect": [min..., max...]}` → one estimate |
 //! | `POST /synopses/{name}/query/batch`  | `{"rects": [[...], ...]}` → all estimates |
-//! | `POST /synopses/{name}/stream`       | Create a continual-release stream (dims, domain, height, seed, epoch size, epsilon schedule, budget cap) |
-//! | `GET /synopses/{name}/stream`        | One stream's status (points, epochs, spend) |
-//! | `POST /synopses/{name}/ingest`       | `{"points": [[...], ...]}` → absorb; epoch boundaries hot-swap a fresh version |
+//! | `POST /synopses/{name}/stream`       | Create a continual-release stream (dims, domain, height, seed, epoch size, epsilon schedule, budget cap; optional `window` epochs and per-user `user_cap`) |
+//! | `GET /synopses/{name}/stream`        | One stream's status (points, epochs, spend, window occupancy, admission drops) |
+//! | `POST /synopses/{name}/ingest`       | `{"points": [[...], ...]}` (plus a parallel `users` id array on user-capped streams) → absorb; every epoch boundary crossed hot-swaps a fresh version |
 //! | `GET /stats`                         | Cache counters, per-endpoint latency histograms, registry contents, stream accounting |
 //!
 //! # Answer fidelity
@@ -587,6 +587,7 @@ fn ingest_report_value(name: &str, report: &IngestReport) -> Value {
             "epochs_released".to_string(),
             Value::Number(report.epochs_released as f64),
         ),
+        ("dropped".to_string(), Value::Number(report.dropped as f64)),
         (
             "epsilon_spent".to_string(),
             Value::Number(report.epsilon_spent),
@@ -621,9 +622,34 @@ fn handle_ingest(state: &ServerState, name: &str, request: &Request) -> Result<S
     for p in wire_points {
         points.push(coords_array(p, "points[i]")?);
     }
-    let report = state
-        .streams
-        .ingest(name, &points, &state.registry, &state.cache)?;
+    // Optional parallel per-point user ids, required by user-capped
+    // streams (the manager enforces presence and length).
+    let users = match body.get("users") {
+        None | Some(Value::Null) => None,
+        Some(v) => {
+            let items = v.as_array().ok_or_else(|| {
+                ServeError::BadRequest("`users` must be an array of non-negative integers".into())
+            })?;
+            let ids = items
+                .iter()
+                .map(|u| {
+                    u.as_u64().ok_or_else(|| {
+                        ServeError::BadRequest(
+                            "`users` must contain only non-negative integers".into(),
+                        )
+                    })
+                })
+                .collect::<Result<Vec<u64>, _>>()?;
+            Some(ids)
+        }
+    };
+    let report = state.streams.ingest(
+        name,
+        &points,
+        users.as_deref(),
+        &state.registry,
+        &state.cache,
+    )?;
     to_body(&ingest_report_value(name, &report))
 }
 

@@ -15,6 +15,16 @@
 //! same synopsis bytes at every version, which is what the loadgen soak
 //! and the `stream_identity` suite assert.
 //!
+//! Streams created with a `window` cover only the last `window`
+//! epochs per release (`dpsd_core::stream`'s sliding-window model),
+//! and streams created with a `user_cap` require a parallel `users`
+//! array on every ingest: each point is admitted on behalf of its
+//! user, at most `user_cap` per user per window, and capped points are
+//! counted as `admission_drops` in the report and `/stats` rather than
+//! failing the request. Both knobs keep the replay contract: windowed
+//! releases are byte-identical to a batch build over the in-window
+//! suffix of *admitted* points.
+//!
 //! Concurrency: the manager holds a map of named streams behind the
 //! workspace lock helpers; each stream serializes its ingests behind
 //! its own mutex (absorb order defines the release artifacts, so
@@ -27,7 +37,7 @@ use crate::error::ServeError;
 use crate::registry::{validate_name, SynopsisRegistry};
 use crate::sync::{lock_or_recover, read_or_recover, write_or_recover};
 use dpsd_core::geometry::{Point, Rect};
-use dpsd_core::stream::{EpsilonSchedule, StreamConfig, StreamIngestor};
+use dpsd_core::stream::{Admission, EpsilonSchedule, StreamConfig, StreamIngestor};
 use serde::Value;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, RwLock};
@@ -59,6 +69,10 @@ pub struct StreamSpec {
     pub schedule: EpsilonSchedule,
     /// Lifetime privacy cap across all releases.
     pub budget_cap: f64,
+    /// Optional sliding window in epochs (absent = growing prefix).
+    pub window: Option<u64>,
+    /// Optional per-user admission cap per window.
+    pub user_cap: Option<u64>,
 }
 
 fn field_f64(body: &Value, name: &str) -> Result<f64, ServeError> {
@@ -147,7 +161,21 @@ impl StreamSpec {
             epoch_points,
             schedule,
             budget_cap: field_f64(body, "budget_cap")?,
+            window: optional_u64(body, "window")?,
+            user_cap: optional_u64(body, "user_cap")?,
         })
+    }
+}
+
+/// An optional non-negative integer field: absent or `null` means
+/// `None`; present with any other non-integer shape is a 400. Range
+/// validation is the core config's job.
+fn optional_u64(body: &Value, name: &str) -> Result<Option<u64>, ServeError> {
+    match body.get(name) {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => v.as_u64().map(Some).ok_or_else(|| {
+            ServeError::BadRequest(format!("`{name}` must be a non-negative integer"))
+        }),
     }
 }
 
@@ -182,14 +210,16 @@ fn ingestor_for<const D: usize>(spec: &StreamSpec) -> Result<StreamIngestor<D>, 
     max.copy_from_slice(&spec.domain[D..]);
     let domain = Rect::from_corners(min, max)
         .map_err(|e| ServeError::BadRequest(format!("invalid domain: {e}")))?;
-    StreamIngestor::new(StreamConfig::new(
+    let mut config = StreamConfig::new(
         domain,
         spec.height,
         spec.schedule,
         spec.budget_cap,
         spec.seed,
-    ))
-    .map_err(ServeError::from)
+    );
+    config.window = spec.window;
+    config.user_cap = spec.user_cap;
+    StreamIngestor::new(config).map_err(ServeError::from)
 }
 
 impl AnyIngestor {
@@ -212,7 +242,7 @@ impl AnyIngestor {
         }
     }
 
-    fn absorb_wire(&mut self, coords: &[f64]) -> Result<(), ServeError> {
+    fn absorb_wire(&mut self, coords: &[f64], user: Option<u64>) -> Result<Admission, ServeError> {
         let dims = self.dims();
         if coords.len() != dims {
             return Err(ServeError::BadRequest(format!(
@@ -228,14 +258,15 @@ impl AnyIngestor {
         fn absorb<const D: usize>(
             ingestor: &mut StreamIngestor<D>,
             coords: &[f64],
-        ) -> Result<(), ServeError> {
+            user: Option<u64>,
+        ) -> Result<Admission, ServeError> {
             let mut c = [0.0; D];
             c.copy_from_slice(coords);
             ingestor
-                .absorb(Point::from_coords(c))
+                .absorb_from(Point::from_coords(c), user)
                 .map_err(ServeError::from)
         }
-        with_ingestor!(self, s => absorb(s, coords))
+        with_ingestor!(self, s => absorb(s, coords, user))
     }
 
     /// Materializes the current epoch as `dpsd-bin` bytes.
@@ -273,6 +304,42 @@ impl AnyIngestor {
     fn hot_cell(&self) -> Option<(u64, u64)> {
         with_ingestor!(self, s => s.hot_cell())
     }
+
+    fn window(&self) -> Option<u64> {
+        with_ingestor!(self, s => s.window())
+    }
+
+    fn user_cap(&self) -> Option<u64> {
+        with_ingestor!(self, s => s.user_cap())
+    }
+
+    fn window_start(&self) -> u64 {
+        with_ingestor!(self, s => s.window_start())
+    }
+
+    fn window_points(&self) -> u64 {
+        with_ingestor!(self, s => s.window_points())
+    }
+
+    fn buckets_evicted(&self) -> u64 {
+        with_ingestor!(self, s => s.buckets_evicted())
+    }
+
+    fn admission_drops(&self) -> u64 {
+        with_ingestor!(self, s => s.admission_drops())
+    }
+
+    fn tracked_users(&self) -> usize {
+        with_ingestor!(self, s => s.tracked_users())
+    }
+
+    fn capped_users(&self) -> usize {
+        with_ingestor!(self, s => s.capped_users())
+    }
+
+    fn next_release_debit(&self) -> f64 {
+        with_ingestor!(self, s => s.next_release_debit())
+    }
 }
 
 /// One named stream: the accumulator plus its release bookkeeping.
@@ -297,6 +364,9 @@ pub struct ReleasedEpoch {
 pub struct IngestReport {
     /// Points absorbed by this request.
     pub absorbed: u64,
+    /// Points this request dropped at the user cap (never an error —
+    /// capping is expected behavior, not a malformed request).
+    pub dropped: u64,
     /// Stream total after this request.
     pub total_points: u64,
     /// Epochs released so far (stream lifetime).
@@ -351,7 +421,16 @@ impl StreamManager {
 
     /// Absorbs `points` (wire coordinates) into the named stream in
     /// order, materializing and publishing a release every time the
-    /// stream total crosses an epoch boundary.
+    /// stream total crosses an epoch boundary. One request may cross
+    /// several boundaries; every intermediate release is published and
+    /// reported, in epoch order.
+    ///
+    /// `users` is the parallel per-point user-id array: required
+    /// (same length as `points`) when the stream has a user cap,
+    /// rejected when it does not. Admission is checked point by point
+    /// *after* any release the preceding point triggered, so window
+    /// aging and admission decisions are invariant to how the caller
+    /// batches the same point sequence.
     ///
     /// Absorption stops at the first rejected point or failed release;
     /// points absorbed before the failure stay absorbed (the stream
@@ -360,6 +439,7 @@ impl StreamManager {
         &self,
         name: &str,
         points: &[Vec<f64>],
+        users: Option<&[u64]>,
         registry: &SynopsisRegistry,
         cache: &ShardedCache,
     ) -> Result<IngestReport, ServeError> {
@@ -371,39 +451,77 @@ impl StreamManager {
         }
         let stream = self.get(name)?;
         let mut state = lock_or_recover(&stream);
-        let start_total = state.ingestor.total_points();
-        let mut releases = Vec::new();
-        let mut index = 0usize;
-        while index < points.len() {
-            // Absorb up to the next epoch boundary, then release at it —
-            // one ingest request can cross several boundaries.
-            let boundary = (state.ingestor.epoch() + 1).saturating_mul(state.epoch_points);
-            let room = boundary.saturating_sub(state.ingestor.total_points());
-            let take = (room.min((points.len() - index) as u64)) as usize;
-            for p in &points[index..index + take] {
-                state.ingestor.absorb_wire(p)?;
+        match (state.ingestor.user_cap(), users) {
+            (Some(_), None) => {
+                return Err(ServeError::BadRequest(
+                    "stream has a user cap: body must have a `users` array parallel to `points`"
+                        .into(),
+                ))
             }
-            index += take;
-            if state.ingestor.total_points() == boundary {
-                let (epoch, _epsilon, bytes) = state.ingestor.release_epoch_bytes()?;
-                // Publish through the ordinary registry path: identical
-                // hot-swap and cache-purge semantics to a manual POST.
-                let published = registry.publish(name, &bytes)?;
-                cache.purge_stale(name, published.version);
-                state.versions.push(published.version);
-                releases.push(ReleasedEpoch {
-                    epoch,
-                    version: published.version,
-                });
+            (None, Some(_)) => {
+                return Err(ServeError::BadRequest(
+                    "stream has no user cap: `users` is not accepted".into(),
+                ))
+            }
+            _ => {}
+        }
+        if let Some(u) = users {
+            if u.len() != points.len() {
+                return Err(ServeError::BadRequest(format!(
+                    "`users` must have one id per point: {} ids for {} points",
+                    u.len(),
+                    points.len()
+                )));
             }
         }
+        let start_total = state.ingestor.total_points();
+        let start_drops = state.ingestor.admission_drops();
+        let mut releases = Vec::new();
+        for (i, p) in points.iter().enumerate() {
+            // Release (and, under a window, age out the expired
+            // bucket) *before* deciding this point's admission, so the
+            // outcome does not depend on request batching.
+            self.release_if_at_boundary(name, &mut state, registry, cache, &mut releases)?;
+            let user = users.map(|u| u[i]);
+            state.ingestor.absorb_wire(p, user)?;
+        }
+        // A request ending exactly on a boundary still owes a release.
+        self.release_if_at_boundary(name, &mut state, registry, cache, &mut releases)?;
         Ok(IngestReport {
             absorbed: state.ingestor.total_points() - start_total,
+            dropped: state.ingestor.admission_drops() - start_drops,
             total_points: state.ingestor.total_points(),
             epochs_released: state.ingestor.epoch(),
             epsilon_spent: state.ingestor.epsilon_spent(),
             releases,
         })
+    }
+
+    /// Releases and publishes the pending epoch when the stream total
+    /// sits exactly on the next epoch boundary.
+    fn release_if_at_boundary(
+        &self,
+        name: &str,
+        state: &mut StreamState,
+        registry: &SynopsisRegistry,
+        cache: &ShardedCache,
+        releases: &mut Vec<ReleasedEpoch>,
+    ) -> Result<(), ServeError> {
+        let boundary = (state.ingestor.epoch() + 1).saturating_mul(state.epoch_points);
+        if state.ingestor.total_points() != boundary {
+            return Ok(());
+        }
+        let (epoch, _epsilon, bytes) = state.ingestor.release_epoch_bytes()?;
+        // Publish through the ordinary registry path: identical
+        // hot-swap and cache-purge semantics to a manual POST.
+        let published = registry.publish(name, &bytes)?;
+        cache.purge_stale(name, published.version);
+        state.versions.push(published.version);
+        releases.push(ReleasedEpoch {
+            epoch,
+            version: published.version,
+        });
+        Ok(())
     }
 
     /// The status object for one stream (also one entry of the
@@ -499,6 +617,46 @@ fn stream_info(name: &str, state: &StreamState) -> Value {
                 .last()
                 .map_or(Value::Null, |&v| Value::Number(v as f64)),
         ),
+        (
+            "window".to_string(),
+            ingestor
+                .window()
+                .map_or(Value::Null, |w| Value::Number(w as f64)),
+        ),
+        (
+            "window_start".to_string(),
+            Value::Number(ingestor.window_start() as f64),
+        ),
+        (
+            "window_points".to_string(),
+            Value::Number(ingestor.window_points() as f64),
+        ),
+        (
+            "buckets_evicted".to_string(),
+            Value::Number(ingestor.buckets_evicted() as f64),
+        ),
+        (
+            "user_cap".to_string(),
+            ingestor
+                .user_cap()
+                .map_or(Value::Null, |c| Value::Number(c as f64)),
+        ),
+        (
+            "tracked_users".to_string(),
+            Value::Number(ingestor.tracked_users() as f64),
+        ),
+        (
+            "capped_users".to_string(),
+            Value::Number(ingestor.capped_users() as f64),
+        ),
+        (
+            "admission_drops".to_string(),
+            Value::Number(ingestor.admission_drops() as f64),
+        ),
+        (
+            "next_release_debit".to_string(),
+            Value::Number(ingestor.next_release_debit()),
+        ),
         ("hot_cell".to_string(), hot),
     ])
 }
@@ -517,6 +675,8 @@ mod tests {
             epoch_points,
             schedule: EpsilonSchedule::Fixed { epsilon: 0.5 },
             budget_cap: 10.0,
+            window: None,
+            user_cap: None,
         }
     }
 
@@ -542,6 +702,18 @@ mod tests {
         assert_eq!(spec.dims, 2);
         assert_eq!(spec.epoch_points, 100);
         assert_eq!(spec.schedule, EpsilonSchedule::Fixed { epsilon: 0.5 });
+        assert_eq!(spec.window, None);
+        assert_eq!(spec.user_cap, None);
+
+        let body: Value = serde_json::from_str(
+            r#"{"dims":2,"domain":[0,0,64,64],"height":4,"seed":42,"epoch_points":100,
+                "schedule":{"kind":"fixed","epsilon":0.5},"budget_cap":10,
+                "window":4,"user_cap":2}"#,
+        )
+        .unwrap();
+        let spec = StreamSpec::from_value(&body).unwrap();
+        assert_eq!(spec.window, Some(4));
+        assert_eq!(spec.user_cap, Some(2));
 
         for bad in [
             r#"{"dims":5,"domain":[0,0,1,1],"height":4,"seed":1,"epoch_points":10,"schedule":{"kind":"fixed","epsilon":0.5},"budget_cap":1}"#,
@@ -549,6 +721,8 @@ mod tests {
             r#"{"dims":2,"domain":[0,0,1,1],"height":0,"seed":1,"epoch_points":10,"schedule":{"kind":"fixed","epsilon":0.5},"budget_cap":1}"#,
             r#"{"dims":2,"domain":[0,0,1,1],"height":4,"seed":1,"epoch_points":0,"schedule":{"kind":"fixed","epsilon":0.5},"budget_cap":1}"#,
             r#"{"dims":2,"domain":[0,0,1,1],"height":4,"seed":1,"epoch_points":10,"schedule":{"kind":"linear","epsilon":0.5},"budget_cap":1}"#,
+            r#"{"dims":2,"domain":[0,0,1,1],"height":4,"seed":1,"epoch_points":10,"schedule":{"kind":"fixed","epsilon":0.5},"budget_cap":1,"window":-3}"#,
+            r#"{"dims":2,"domain":[0,0,1,1],"height":4,"seed":1,"epoch_points":10,"schedule":{"kind":"fixed","epsilon":0.5},"budget_cap":1,"user_cap":"lots"}"#,
         ] {
             let body: Value = serde_json::from_str(bad).unwrap();
             assert!(StreamSpec::from_value(&body).is_err(), "accepted: {bad}");
@@ -568,7 +742,7 @@ mod tests {
 
         // 250 points in one request: epochs 0 and 1 release, 50 pending.
         let report = manager
-            .ingest("taxi", &wire_points(250), &registry, &cache)
+            .ingest("taxi", &wire_points(250), None, &registry, &cache)
             .unwrap();
         assert_eq!(report.absorbed, 250);
         assert_eq!(report.total_points, 250);
@@ -592,7 +766,7 @@ mod tests {
 
         // 50 more exactly reach the epoch-3 boundary.
         let report = manager
-            .ingest("taxi", &wire_points(50), &registry, &cache)
+            .ingest("taxi", &wire_points(50), None, &registry, &cache)
             .unwrap();
         assert_eq!(report.releases.len(), 1);
         assert_eq!(registry.get("taxi").unwrap().version, 3);
@@ -605,7 +779,7 @@ mod tests {
         let cache = ShardedCache::new(64);
         manager.create("s", &spec_2d(120)).unwrap();
         let wire = wire_points(240);
-        manager.ingest("s", &wire, &registry, &cache).unwrap();
+        manager.ingest("s", &wire, None, &registry, &cache).unwrap();
 
         // Rebuild epoch 1 (the full 240-point prefix) directly.
         let config = StreamConfig::new(
@@ -640,21 +814,21 @@ mod tests {
         let registry = SynopsisRegistry::new();
         let cache = ShardedCache::new(64);
         assert!(matches!(
-            manager.ingest("ghost", &wire_points(1), &registry, &cache),
+            manager.ingest("ghost", &wire_points(1), None, &registry, &cache),
             Err(ServeError::UnknownSynopsis(_))
         ));
         manager.create("s", &spec_2d(100)).unwrap();
         // Wrong arity.
         assert!(manager
-            .ingest("s", &[vec![1.0]], &registry, &cache)
+            .ingest("s", &[vec![1.0]], None, &registry, &cache)
             .is_err());
         // Out of domain: rejected, nothing released.
         assert!(manager
-            .ingest("s", &[vec![-5.0, 2.0]], &registry, &cache)
+            .ingest("s", &[vec![-5.0, 2.0]], None, &registry, &cache)
             .is_err());
         // Non-finite coordinates.
         assert!(manager
-            .ingest("s", &[vec![f64::NAN, 2.0]], &registry, &cache)
+            .ingest("s", &[vec![f64::NAN, 2.0]], None, &registry, &cache)
             .is_err());
         assert!(registry.get("s").is_none());
     }
@@ -668,10 +842,10 @@ mod tests {
         spec.budget_cap = 0.6; // one 0.5-epsilon epoch fits, two do not
         manager.create("s", &spec).unwrap();
         manager
-            .ingest("s", &wire_points(10), &registry, &cache)
+            .ingest("s", &wire_points(10), None, &registry, &cache)
             .unwrap();
         let err = manager
-            .ingest("s", &wire_points(10), &registry, &cache)
+            .ingest("s", &wire_points(10), None, &registry, &cache)
             .unwrap_err();
         assert!(matches!(err, ServeError::BudgetExhausted(_)));
         assert_eq!(err.status(), 409);
@@ -689,7 +863,7 @@ mod tests {
         let cache = ShardedCache::new(64);
         manager.create("a", &spec_2d(100)).unwrap();
         manager
-            .ingest("a", &wire_points(130), &registry, &cache)
+            .ingest("a", &wire_points(130), None, &registry, &cache)
             .unwrap();
         let stats = manager.stats_value();
         let entries = stats.as_array().unwrap();
@@ -703,5 +877,156 @@ mod tests {
         assert_eq!(entry.get("epsilon_spent").unwrap().as_f64(), Some(0.5));
         assert_eq!(entry.get("latest_version").unwrap().as_u64(), Some(1));
         assert!(entry.get("hot_cell").unwrap().get("estimate").is_some());
+        // Growing-prefix streams report the window fields as inert.
+        assert!(matches!(entry.get("window"), Some(Value::Null)));
+        assert_eq!(entry.get("window_start").unwrap().as_u64(), Some(0));
+        assert_eq!(entry.get("window_points").unwrap().as_u64(), Some(130));
+        assert_eq!(entry.get("buckets_evicted").unwrap().as_u64(), Some(0));
+        assert!(matches!(entry.get("user_cap"), Some(Value::Null)));
+        assert_eq!(entry.get("admission_drops").unwrap().as_u64(), Some(0));
+        assert_eq!(entry.get("next_release_debit").unwrap().as_f64(), Some(0.5));
+    }
+
+    #[test]
+    fn windowed_stream_publishes_suffix_identical_bytes() {
+        let manager = StreamManager::new();
+        let registry = SynopsisRegistry::new();
+        let cache = ShardedCache::new(64);
+        let mut spec = spec_2d(80);
+        spec.window = Some(2);
+        manager.create("w", &spec).unwrap();
+        let wire = wire_points(400);
+        // Unaligned batches crossing several boundaries at once.
+        for chunk in wire.chunks(130) {
+            manager.ingest("w", chunk, None, &registry, &cache).unwrap();
+        }
+        // Epoch 4 (the fifth release) covers admitted points 240..400.
+        let config = StreamConfig::new(
+            Rect::new(0.0, 0.0, 64.0, 64.0).unwrap(),
+            4,
+            EpsilonSchedule::Fixed { epsilon: 0.5 },
+            10.0,
+            42,
+        )
+        .with_window(2);
+        let suffix: Vec<Point> = wire[240..400]
+            .iter()
+            .map(|w| Point::new(w[0], w[1]))
+            .collect();
+        let direct = batch_config_for(&config, 4)
+            .build(&suffix)
+            .unwrap()
+            .release();
+        let served = registry.get("w").unwrap();
+        assert_eq!(served.version, 5);
+        use dpsd_core::synopsis::SpatialSynopsis;
+        let q = Rect::new(3.0, 5.0, 40.0, 33.0).unwrap();
+        match &served.synopsis {
+            crate::registry::AnySynopsis::D2(flat) => {
+                assert_eq!(flat.query(&q).to_bits(), direct.query(&q).to_bits());
+            }
+            _ => panic!("expected a 2-d synopsis"),
+        }
+        let info = manager.info("w").unwrap();
+        assert_eq!(info.get("window").unwrap().as_u64(), Some(2));
+        assert_eq!(info.get("window_start").unwrap().as_u64(), Some(320));
+        assert_eq!(info.get("window_points").unwrap().as_u64(), Some(80));
+        assert_eq!(info.get("buckets_evicted").unwrap().as_u64(), Some(4));
+    }
+
+    #[test]
+    fn user_cap_requires_matching_users_array() {
+        let manager = StreamManager::new();
+        let registry = SynopsisRegistry::new();
+        let cache = ShardedCache::new(64);
+        let mut spec = spec_2d(100);
+        spec.user_cap = Some(2);
+        manager.create("u", &spec).unwrap();
+        // Capped stream without users: 400.
+        assert!(matches!(
+            manager.ingest("u", &wire_points(3), None, &registry, &cache),
+            Err(ServeError::BadRequest(_))
+        ));
+        // Length mismatch: 400.
+        assert!(matches!(
+            manager.ingest("u", &wire_points(3), Some(&[1, 2]), &registry, &cache),
+            Err(ServeError::BadRequest(_))
+        ));
+        // Uncapped stream with users: 400.
+        manager.create("plain", &spec_2d(100)).unwrap();
+        assert!(matches!(
+            manager.ingest("plain", &wire_points(2), Some(&[1, 2]), &registry, &cache),
+            Err(ServeError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn user_cap_drops_are_reported_not_errors() {
+        let manager = StreamManager::new();
+        let registry = SynopsisRegistry::new();
+        let cache = ShardedCache::new(64);
+        let mut spec = spec_2d(4);
+        spec.user_cap = Some(2);
+        manager.create("u", &spec).unwrap();
+        // User 7 floods: only its first two points are admitted, so the
+        // epoch-0 boundary (4 admitted points) needs user 8's pair too.
+        let users = [7u64, 7, 7, 7, 8, 8];
+        let report = manager
+            .ingest("u", &wire_points(6), Some(&users), &registry, &cache)
+            .unwrap();
+        assert_eq!(report.absorbed, 4);
+        assert_eq!(report.dropped, 2);
+        assert_eq!(report.total_points, 4);
+        assert_eq!(report.releases.len(), 1);
+        let info = manager.info("u").unwrap();
+        assert_eq!(info.get("user_cap").unwrap().as_u64(), Some(2));
+        assert_eq!(info.get("admission_drops").unwrap().as_u64(), Some(2));
+        assert_eq!(info.get("tracked_users").unwrap().as_u64(), Some(2));
+        assert_eq!(info.get("capped_users").unwrap().as_u64(), Some(2));
+        // Debit = user_cap × epsilon, exactly.
+        assert_eq!(report.epsilon_spent.to_bits(), (0.5f64 * 2.0).to_bits());
+    }
+
+    #[test]
+    fn admission_is_invariant_to_request_batching() {
+        // The same (point, user) sequence must absorb identically no
+        // matter how it is split into ingest requests, including splits
+        // that land releases mid-request.
+        let wire = wire_points(60);
+        let users: Vec<u64> = (0..60u64).map(|i| i % 5).collect();
+        let run = |chunk: usize| {
+            let manager = StreamManager::new();
+            let registry = SynopsisRegistry::new();
+            let cache = ShardedCache::new(64);
+            let mut spec = spec_2d(10);
+            spec.window = Some(1);
+            spec.user_cap = Some(3);
+            manager.create("u", &spec).unwrap();
+            let mut lo = 0usize;
+            while lo < wire.len() {
+                let hi = (lo + chunk).min(wire.len());
+                manager
+                    .ingest("u", &wire[lo..hi], Some(&users[lo..hi]), &registry, &cache)
+                    .unwrap();
+                lo = hi;
+            }
+            use dpsd_core::synopsis::SpatialSynopsis;
+            let q = Rect::new(3.0, 5.0, 40.0, 33.0).unwrap();
+            let answer = registry.get("u").map(|p| match &p.synopsis {
+                crate::registry::AnySynopsis::D2(flat) => flat.query(&q).to_bits(),
+                _ => panic!("expected a 2-d synopsis"),
+            });
+            let info = manager.info("u").unwrap();
+            (
+                info.get("total_points").unwrap().as_u64(),
+                info.get("admission_drops").unwrap().as_u64(),
+                info.get("epochs_released").unwrap().as_u64(),
+                answer,
+            )
+        };
+        let whole = run(60);
+        for chunk in [1usize, 7, 10, 23] {
+            assert_eq!(run(chunk), whole, "chunk {chunk} diverged");
+        }
     }
 }

@@ -97,7 +97,8 @@ pub mod prelude {
         try_range_query_with, QueryProfile,
     };
     pub use dpsd_core::stream::{
-        batch_config_for, epoch_seed, EpsilonSchedule, StreamConfig, StreamIngestor,
+        batch_config_for, epoch_seed, Admission, EpsilonSchedule, StreamConfig, StreamIngestor,
+        MAX_WINDOW_EPOCHS,
     };
     pub use dpsd_core::synopsis::{ParallelQuery, SpatialSynopsis};
     pub use dpsd_core::tree::{

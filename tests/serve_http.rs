@@ -390,3 +390,295 @@ fn cache_disabled_still_answers_identically() {
     assert_eq!(cache.get("enabled").and_then(|v| v.as_bool()), Some(false));
     assert_eq!(cache.get("hits").and_then(|v| v.as_u64()), Some(0));
 }
+
+// ---------------------------------------------------------------------
+// Streaming over the socket: continual release, sliding windows, and
+// user-capped admission, all through real HTTP requests.
+// ---------------------------------------------------------------------
+
+fn points_json(points: &[Vec<f64>]) -> String {
+    let inner: Vec<String> = points.iter().map(|p| rect_json(p)).collect();
+    format!("[{}]", inner.join(","))
+}
+
+fn ingest_points_body(points: &[Vec<f64>]) -> String {
+    format!("{{\"points\":{}}}", points_json(points))
+}
+
+/// Deterministic wire points matching `stream_points` below.
+fn stream_wire_points(n: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| {
+            vec![
+                ((i * 13 + 5) % 640) as f64 * 0.1,
+                ((i * 29 + 11) % 640) as f64 * 0.1,
+            ]
+        })
+        .collect()
+}
+
+/// The same points as typed [`Point`]s, for local reference builds.
+fn stream_points(n: usize) -> Vec<Point> {
+    stream_wire_points(n)
+        .iter()
+        .map(|c| Point::new(c[0], c[1]))
+        .collect()
+}
+
+/// Regression for the multi-boundary edge: a single `POST .../ingest`
+/// whose batch crosses *three* epoch boundaries must report every
+/// intermediate release (epochs 0, 1, 2 as versions 1, 2, 3) — not
+/// just the last one — and leave the epoch-2 prefix build published.
+#[test]
+fn one_ingest_spanning_three_epoch_boundaries_reports_every_release() {
+    let handle = start_server(ServeConfig::default());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let r = client
+        .post(
+            "/synopses/feed/stream",
+            r#"{"dims":2,"domain":[0,0,64,64],"height":3,"seed":9,"epoch_points":5,
+                "schedule":{"kind":"fixed","epsilon":0.5},"budget_cap":100}"#,
+        )
+        .unwrap();
+    assert_eq!(r.status, 200, "stream create failed: {}", r.body);
+
+    // 17 points cross the boundaries at 5, 10, and 15 in one request.
+    let r = client
+        .post(
+            "/synopses/feed/ingest",
+            &ingest_points_body(&stream_wire_points(17)),
+        )
+        .unwrap();
+    assert_eq!(r.status, 200, "ingest failed: {}", r.body);
+    let report = r.json().unwrap();
+    assert_eq!(report.get("absorbed").and_then(|v| v.as_u64()), Some(17));
+    assert_eq!(report.get("dropped").and_then(|v| v.as_u64()), Some(0));
+    assert_eq!(
+        report.get("epochs_released").and_then(|v| v.as_u64()),
+        Some(3)
+    );
+    let releases = report
+        .get("releases")
+        .and_then(|v| v.as_array())
+        .expect("ingest report carries a releases array");
+    assert_eq!(releases.len(), 3, "every crossed boundary must be listed");
+    for (i, release) in releases.iter().enumerate() {
+        assert_eq!(
+            release.get("epoch").and_then(|v| v.as_u64()),
+            Some(i as u64),
+            "release {i} epoch"
+        );
+        assert_eq!(
+            release.get("version").and_then(|v| v.as_u64()),
+            Some(i as u64 + 1),
+            "release {i} version"
+        );
+    }
+
+    // The published tenant is the epoch-2 prefix build, bit-identical
+    // over the wire.
+    let domain = Rect::new(0.0, 0.0, 64.0, 64.0).unwrap();
+    let config =
+        StreamConfig::<2>::new(domain, 3, EpsilonSchedule::Fixed { epsilon: 0.5 }, 100.0, 9);
+    let direct = batch_config_for(&config, 2)
+        .build(&stream_points(15))
+        .unwrap()
+        .release();
+    for q in [
+        domain,
+        Rect::new(0.0, 0.0, 32.0, 32.0).unwrap(),
+        Rect::new(8.0, 16.0, 56.0, 40.0).unwrap(),
+    ] {
+        let got = single_estimate(&mut client, "feed", &wire_rect(&q));
+        assert_eq!(
+            got.to_bits(),
+            direct.query(&q).to_bits(),
+            "wire answer diverged from the epoch-2 prefix build"
+        );
+    }
+}
+
+/// A windowed stream over the socket: unaligned ingest batches, window
+/// occupancy in the status endpoint, and the released tenant answering
+/// bit-identically to the batch build over exactly the in-window
+/// suffix.
+#[test]
+fn windowed_stream_serves_suffix_identical_answers_over_the_wire() {
+    let handle = start_server(ServeConfig::default());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let r = client
+        .post(
+            "/synopses/rolling/stream",
+            r#"{"dims":2,"domain":[0,0,64,64],"height":2,"seed":4711,"epoch_points":6,
+                "schedule":{"kind":"fixed","epsilon":0.7},"budget_cap":100,"window":2}"#,
+        )
+        .unwrap();
+    assert_eq!(r.status, 200, "windowed create failed: {}", r.body);
+
+    // 30 points in unaligned chunks of 7: five epoch boundaries, three
+    // of them mid-request.
+    let wire = stream_wire_points(30);
+    let mut versions = Vec::new();
+    for chunk in wire.chunks(7) {
+        let r = client
+            .post("/synopses/rolling/ingest", &ingest_points_body(chunk))
+            .unwrap();
+        assert_eq!(r.status, 200, "windowed ingest failed: {}", r.body);
+        let report = r.json().unwrap();
+        for release in report.get("releases").and_then(|v| v.as_array()).unwrap() {
+            versions.push(release.get("version").and_then(|v| v.as_u64()).unwrap());
+        }
+    }
+    assert_eq!(versions, vec![1, 2, 3, 4, 5]);
+
+    // Status reflects the post-advance window: epochs 0..=3 aged out.
+    let info = client.get("/synopses/rolling/stream").unwrap();
+    assert_eq!(info.status, 200);
+    let info = info.json().unwrap();
+    assert_eq!(info.get("window").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(
+        info.get("epochs_released").and_then(|v| v.as_u64()),
+        Some(5)
+    );
+    assert_eq!(info.get("window_start").and_then(|v| v.as_u64()), Some(24));
+    assert_eq!(info.get("window_points").and_then(|v| v.as_u64()), Some(6));
+    assert_eq!(
+        info.get("buckets_evicted").and_then(|v| v.as_u64()),
+        Some(4)
+    );
+    assert_eq!(info.get("latest_version").and_then(|v| v.as_u64()), Some(5));
+
+    // The served tenant is the epoch-4 release: byte-equivalent to the
+    // from-scratch build over points 18..30 (epochs 3 and 4 only).
+    let domain = Rect::new(0.0, 0.0, 64.0, 64.0).unwrap();
+    let config = StreamConfig::<2>::new(
+        domain,
+        2,
+        EpsilonSchedule::Fixed { epsilon: 0.7 },
+        100.0,
+        4711,
+    )
+    .with_window(2);
+    let direct = batch_config_for(&config, 4)
+        .build(&stream_points(30)[18..30])
+        .unwrap()
+        .release();
+    for q in [
+        domain,
+        Rect::new(0.0, 0.0, 32.0, 32.0).unwrap(),
+        Rect::new(4.0, 8.0, 60.0, 48.0).unwrap(),
+    ] {
+        let got = single_estimate(&mut client, "rolling", &wire_rect(&q));
+        assert_eq!(
+            got.to_bits(),
+            direct.query(&q).to_bits(),
+            "windowed wire answer diverged from the in-window suffix build"
+        );
+    }
+}
+
+/// User-capped streams over the socket: drops are reported (not
+/// errors), the status endpoint accounts for them, and malformed or
+/// mismatched `users` arrays are typed 400s that never absorb a point.
+#[test]
+fn user_capped_stream_reports_drops_and_rejects_bad_users_arrays() {
+    let handle = start_server(ServeConfig::default());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let r = client
+        .post(
+            "/synopses/capped/stream",
+            r#"{"dims":2,"domain":[0,0,64,64],"height":2,"seed":3,"epoch_points":4,
+                "schedule":{"kind":"fixed","epsilon":0.3},"budget_cap":100,"user_cap":2}"#,
+        )
+        .unwrap();
+    assert_eq!(r.status, 200, "capped create failed: {}", r.body);
+
+    // Two flooding users: of eight offered points only two per user
+    // are admitted, which lands exactly on the 4-point epoch boundary.
+    let wire = stream_wire_points(8);
+    let body = format!(
+        "{{\"points\":{},\"users\":[7,7,7,9,9,9,9,7]}}",
+        points_json(&wire)
+    );
+    let r = client.post("/synopses/capped/ingest", &body).unwrap();
+    assert_eq!(r.status, 200, "capped ingest failed: {}", r.body);
+    let report = r.json().unwrap();
+    assert_eq!(report.get("absorbed").and_then(|v| v.as_u64()), Some(4));
+    assert_eq!(report.get("dropped").and_then(|v| v.as_u64()), Some(4));
+    assert_eq!(
+        report.get("epochs_released").and_then(|v| v.as_u64()),
+        Some(1)
+    );
+
+    let info = client
+        .get("/synopses/capped/stream")
+        .unwrap()
+        .json()
+        .unwrap();
+    assert_eq!(info.get("user_cap").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(info.get("tracked_users").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(info.get("capped_users").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(
+        info.get("admission_drops").and_then(|v| v.as_u64()),
+        Some(4)
+    );
+    // Group-privacy composition: the next release debits cap x epsilon.
+    assert_eq!(
+        info.get("next_release_debit")
+            .and_then(|v| v.as_f64())
+            .map(f64::to_bits),
+        Some((0.3f64 * 2.0).to_bits())
+    );
+
+    // Capped stream without a users array: 400.
+    let r = client
+        .post(
+            "/synopses/capped/ingest",
+            &ingest_points_body(&stream_wire_points(2)),
+        )
+        .unwrap();
+    assert_eq!(r.status, 400);
+    assert!(r.error_message().unwrap().contains("users"));
+    // Length mismatch: 400.
+    let body = format!(
+        "{{\"points\":{},\"users\":[1]}}",
+        points_json(&stream_wire_points(2))
+    );
+    let r = client.post("/synopses/capped/ingest", &body).unwrap();
+    assert_eq!(r.status, 400);
+    // Non-integer ids: 400.
+    let body = format!(
+        "{{\"points\":{},\"users\":[1.5,2]}}",
+        points_json(&stream_wire_points(2))
+    );
+    let r = client.post("/synopses/capped/ingest", &body).unwrap();
+    assert_eq!(r.status, 400);
+    // None of the rejected requests absorbed anything.
+    let info = client
+        .get("/synopses/capped/stream")
+        .unwrap()
+        .json()
+        .unwrap();
+    assert_eq!(info.get("total_points").and_then(|v| v.as_u64()), Some(4));
+
+    // An *uncapped* stream rejects a users array outright.
+    let r = client
+        .post(
+            "/synopses/plain/stream",
+            r#"{"dims":2,"domain":[0,0,64,64],"height":2,"seed":3,"epoch_points":4,
+                "schedule":{"kind":"fixed","epsilon":0.3},"budget_cap":100}"#,
+        )
+        .unwrap();
+    assert_eq!(r.status, 200);
+    let body = format!(
+        "{{\"points\":{},\"users\":[1,2]}}",
+        points_json(&stream_wire_points(2))
+    );
+    let r = client.post("/synopses/plain/ingest", &body).unwrap();
+    assert_eq!(r.status, 400);
+    assert!(r.error_message().unwrap().contains("no user cap"));
+
+    // The connection survived every error above and still serves.
+    let r = client.get("/stats").unwrap();
+    assert_eq!(r.status, 200);
+}

@@ -1,0 +1,288 @@
+//! User-level contribution bounding, checked from the outside: flood
+//! streams where a few users dominate, pinning three contracts.
+//!
+//! * **Cap**: no user ever has more than `C` contributions absorbed
+//!   per window — counted both through the ingestor's own accounting
+//!   and by replaying admissions externally.
+//! * **Determinism**: admission decisions and released artifacts are
+//!   identical under re-run, and every released artifact answers query
+//!   batches bit-identically at 1, 2, and 8 threads.
+//! * **Accounting**: the ledger debit of every release equals the
+//!   per-user composition bound `user_cap × epoch_epsilon` exactly
+//!   (compared via `to_bits`, not tolerance).
+
+use dpsd::prelude::*;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// A deterministic flood stream: `n` points where user `0` contributes
+/// every third point and the rest spread over `spread` users seeded by
+/// a linear-congruential walk.
+fn flood<const D: usize>(n: usize, spread: u64, seed: u64) -> Vec<(Point<D>, u64)> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..n)
+        .map(|i| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let mut c = [0.0; D];
+            for (k, v) in c.iter_mut().enumerate() {
+                *v = ((i * (13 + 2 * k) + (state >> 33) as usize) % 640) as f64 * 0.1;
+            }
+            let user = if i % 3 == 0 {
+                0
+            } else {
+                1 + (state >> 48) % spread
+            };
+            (Point::from_coords(c), user)
+        })
+        .collect()
+}
+
+/// Runs one capped stream to completion, releasing every `per_epoch`
+/// *offered* points, and returns the per-release artifacts plus the
+/// final ledger spend.
+fn run_capped<const D: usize>(
+    points: &[(Point<D>, u64)],
+    config: &StreamConfig<D>,
+    per_epoch: usize,
+) -> (Vec<Vec<u8>>, Vec<Admission>, f64) {
+    let mut ing = StreamIngestor::new(config.clone()).unwrap();
+    let mut blobs = Vec::new();
+    let mut admissions = Vec::new();
+    for (i, (p, user)) in points.iter().enumerate() {
+        admissions.push(ing.absorb_from(*p, Some(*user)).unwrap());
+        if (i + 1) % per_epoch == 0 {
+            blobs.push(ing.release_epoch().unwrap().synopsis.to_flat_bytes());
+        }
+    }
+    (blobs, admissions, ing.ledger().spent())
+}
+
+/// External replay of the admission rule: a sliding per-user tally
+/// that, like the ingestor, ages whole epochs out of the window.
+fn replay_admissions<const D: usize>(
+    points: &[(Point<D>, u64)],
+    cap: u64,
+    window: Option<u64>,
+    per_epoch: usize,
+) -> Vec<Admission> {
+    let mut in_window: HashMap<u64, u64> = HashMap::new();
+    let mut per_epoch_users: Vec<HashMap<u64, u64>> = vec![HashMap::new()];
+    let mut offered_in_epoch = 0usize;
+    let mut out = Vec::new();
+    for (_, user) in points {
+        let have = in_window.get(user).copied().unwrap_or(0);
+        if have >= cap {
+            out.push(Admission::Capped);
+        } else {
+            out.push(Admission::Admitted);
+            *in_window.entry(*user).or_insert(0) += 1;
+            if let Some(last) = per_epoch_users.last_mut() {
+                *last.entry(*user).or_insert(0) += 1;
+            }
+        }
+        offered_in_epoch += 1;
+        if offered_in_epoch == per_epoch {
+            offered_in_epoch = 0;
+            per_epoch_users.push(HashMap::new());
+            if let Some(w) = window {
+                let closed = per_epoch_users.len() - 1;
+                if closed as u64 >= w {
+                    let expired = per_epoch_users[closed - w as usize].clone();
+                    for (user, n) in expired {
+                        if let Some(v) = in_window.get_mut(&user) {
+                            *v = v.saturating_sub(n);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The ingestor's admission decisions match the external replay of
+    /// the rule, point for point, and no user ever exceeds the cap in
+    /// any window.
+    #[test]
+    fn admission_matches_external_replay(
+        n in 120usize..360,
+        cap in 1u64..5,
+        wsel in 0usize..3,
+        spread in 2u64..9,
+        seed in 0u64..1000,
+    ) {
+        let window = [None, Some(1u64), Some(2)][wsel];
+        let per_epoch = (n / 6).max(1);
+        let points = flood::<2>(n, spread, seed);
+        let mut config = StreamConfig::<2>::new(
+            Rect::from_corners([0.0; 2], [64.0; 2]).unwrap(),
+            3,
+            EpsilonSchedule::Fixed { epsilon: 0.4 },
+            f64::INFINITY,
+            seed,
+        ).with_user_cap(cap);
+        config.window = window;
+        let (_, admissions, _) = run_capped(&points, &config, per_epoch);
+        let replayed = replay_admissions(&points, cap, window, per_epoch);
+        prop_assert_eq!(&admissions, &replayed);
+
+        // Per-window cap: within every window of epochs, count what
+        // was actually admitted per user.
+        let epochs: Vec<&[(Point<2>, u64)]> = points.chunks(per_epoch).collect();
+        let w = window.unwrap_or(epochs.len() as u64) as usize;
+        let mut offset = 0usize;
+        for (e, chunk) in epochs.iter().enumerate() {
+            let lo_epoch = (e + 1).saturating_sub(w);
+            let mut admitted: HashMap<u64, u64> = HashMap::new();
+            let start: usize = epochs[..lo_epoch].iter().map(|c| c.len()).sum();
+            for (i, (_, user)) in points[start..offset + chunk.len()].iter().enumerate() {
+                if admissions[start + i] == Admission::Admitted {
+                    *admitted.entry(*user).or_insert(0) += 1;
+                }
+            }
+            for (user, count) in &admitted {
+                prop_assert!(
+                    *count <= cap,
+                    "user {} has {} admitted points in window ending at epoch {} (cap {})",
+                    user, count, e, cap
+                );
+            }
+            offset += chunk.len();
+        }
+    }
+
+    /// Re-running the same flood reproduces every artifact byte for
+    /// byte, and each artifact answers queries thread-invariantly.
+    #[test]
+    fn capped_stream_is_deterministic_and_thread_invariant(
+        n in 100usize..240,
+        cap in 1u64..4,
+        seed in 0u64..1000,
+    ) {
+        let per_epoch = (n / 4).max(1);
+        let points = flood::<2>(n, 5, seed);
+        let domain = Rect::from_corners([0.0; 2], [64.0; 2]).unwrap();
+        let config = StreamConfig::<2>::new(
+            domain,
+            3,
+            EpsilonSchedule::Fixed { epsilon: 0.6 },
+            f64::INFINITY,
+            seed,
+        ).with_window(2).with_user_cap(cap);
+        let (blobs_a, adm_a, spent_a) = run_capped(&points, &config, per_epoch);
+        let (blobs_b, adm_b, spent_b) = run_capped(&points, &config, per_epoch);
+        prop_assert_eq!(&blobs_a, &blobs_b);
+        prop_assert_eq!(&adm_a, &adm_b);
+        prop_assert_eq!(spent_a.to_bits(), spent_b.to_bits());
+
+        let queries = [
+            domain,
+            Rect::from_corners([0.0; 2], [32.0; 2]).unwrap(),
+            Rect::from_corners([8.0, 16.0], [24.0, 60.0]).unwrap(),
+        ];
+        for blob in &blobs_a {
+            let flat = FlatSynopsis::<2>::from_bytes(blob).unwrap();
+            let reference = flat.query_batch(&queries);
+            for threads in [1usize, 2, 8] {
+                let parallel = flat.query_batch_parallel(&queries, Parallelism::fixed(threads));
+                for (got, want) in parallel.iter().zip(&reference) {
+                    prop_assert_eq!(got.to_bits(), want.to_bits());
+                }
+            }
+        }
+    }
+
+    /// Ledger spend equals the sequential fold of the per-user
+    /// composition bound `cap × epoch_epsilon`, bit for bit.
+    #[test]
+    fn ledger_debits_match_group_privacy_bound(
+        cap in 1u64..6,
+        epochs in 1usize..8,
+        eps in 0.05f64..0.8,
+        seed in 0u64..1000,
+    ) {
+        let points = flood::<2>(epochs * 20, 4, seed);
+        let config = StreamConfig::<2>::new(
+            Rect::from_corners([0.0; 2], [64.0; 2]).unwrap(),
+            2,
+            EpsilonSchedule::Fixed { epsilon: eps },
+            f64::INFINITY,
+            seed,
+        ).with_window(1).with_user_cap(cap);
+        let mut ing = StreamIngestor::new(config.clone()).unwrap();
+        let mut expected = 0.0f64;
+        for (e, chunk) in points.chunks(20).enumerate() {
+            for (p, user) in chunk {
+                ing.absorb_from(*p, Some(*user)).unwrap();
+            }
+            let release = ing.release_epoch().unwrap();
+            prop_assert_eq!(
+                release.debited.to_bits(),
+                config.release_debit(e as u64).to_bits()
+            );
+            // The same sequential `+=` fold the ledger performs.
+            expected += eps * cap as f64;
+            prop_assert_eq!(ing.ledger().spent().to_bits(), expected.to_bits());
+        }
+    }
+}
+
+/// A geometric schedule composes per user too: each release debits
+/// `cap × first × ratio^e`, and the running spend is the sequential
+/// fold of those debits.
+#[test]
+fn geometric_schedule_composes_per_user() {
+    let cap = 3u64;
+    let schedule = EpsilonSchedule::Geometric {
+        first: 0.2,
+        ratio: 0.5,
+    };
+    let config = StreamConfig::<2>::new(
+        Rect::from_corners([0.0; 2], [64.0; 2]).unwrap(),
+        2,
+        schedule,
+        // Converges to cap * first / (1 - ratio) = 1.2.
+        1.3,
+        77,
+    )
+    .with_window(1)
+    .with_user_cap(cap);
+    let mut ing = StreamIngestor::new(config.clone()).unwrap();
+    let mut expected = 0.0f64;
+    for e in 0..10u64 {
+        ing.absorb_from(Point::new(1.0, 1.0), Some(e)).unwrap();
+        let release = ing.release_epoch().unwrap();
+        assert_eq!(release.debited.to_bits(), config.release_debit(e).to_bits());
+        expected += schedule.epoch_epsilon(e) * cap as f64;
+        assert_eq!(ing.ledger().spent().to_bits(), expected.to_bits());
+    }
+}
+
+/// A per-user budget cap blocks the release whose group-privacy debit
+/// would overdraw, even though the raw epoch epsilon still fits.
+#[test]
+fn user_cap_exhausts_budget_sooner() {
+    let config = StreamConfig::<2>::new(
+        Rect::from_corners([0.0; 2], [64.0; 2]).unwrap(),
+        2,
+        EpsilonSchedule::Fixed { epsilon: 0.3 },
+        1.0,
+        5,
+    )
+    .with_window(1)
+    .with_user_cap(3);
+    let mut ing = StreamIngestor::new(config).unwrap();
+    ing.absorb_from(Point::new(1.0, 1.0), Some(1)).unwrap();
+    // First release debits 0.9; a second (another 0.9) must fail even
+    // though its raw epsilon 0.3 would fit the remaining 0.1.
+    ing.release_epoch().unwrap();
+    let err = ing.release_epoch().unwrap_err();
+    assert!(matches!(err, DpsdError::BudgetExhausted { .. }));
+    assert_eq!(ing.ledger().spent().to_bits(), (0.3f64 * 3.0).to_bits());
+    assert_eq!(ing.epoch(), 1);
+}

@@ -33,6 +33,7 @@ EXPECTED_SUITES=(
   "dpsd serve_stress"
   "dpsd serve_wire_golden"
   "dpsd stream_identity"
+  "dpsd tenant_budget"
   "dpsd user_bounding"
   "dpsd window_identity"
   "dpsd-analyze fixtures"

@@ -52,6 +52,13 @@ pub struct Config {
     /// Prefixes where `no-silent-as-truncation` applies (index
     /// arithmetic and cache-key packing).
     pub truncation_paths: Vec<String>,
+    /// Prefixes where `no-panic-in-lib` also flags `assert!` /
+    /// `assert_eq!` / `assert_ne!` in non-test library code. Scoped to
+    /// the accountant: ledger arithmetic sits on the serving path,
+    /// where malformed input must surface as a typed error, never a
+    /// panic (`audit_path_epsilon` once asserted on its level vectors
+    /// and took the server down with them).
+    pub assert_paths: Vec<String>,
 }
 
 impl Config {
@@ -87,6 +94,7 @@ impl Config {
                 "crates/dpsd-serve/src/cache.rs".into(),
                 "crates/dpsd-core/src/flat.rs".into(),
             ],
+            assert_paths: vec!["crates/dpsd-core/src/budget/accountant.rs".into()],
         }
     }
 
@@ -98,6 +106,7 @@ impl Config {
             spawn_exempt: vec![],
             wallclock_exempt: vec![],
             truncation_paths: vec!["".into()],
+            assert_paths: vec!["".into()],
         }
     }
 

@@ -9,7 +9,7 @@
 //!
 //! | rule | invariant |
 //! |---|---|
-//! | `no-panic-in-lib` | library code returns typed errors, it does not `unwrap`/`expect`/`panic!` |
+//! | `no-panic-in-lib` | library code returns typed errors, it does not `unwrap`/`expect`/`panic!` (nor `assert!` on accounting paths) |
 //! | `no-unseeded-rng` | all randomness is explicitly seeded — bit-identity fingerprints depend on it |
 //! | `no-wallclock-in-core` | build/query paths are time-invariant; only metrics and bench timing read clocks |
 //! | `no-raw-spawn` | all parallelism goes through the deterministic pool (`dpsd_core::exec`) |
@@ -25,7 +25,8 @@ use crate::model::FileModel;
 pub const RULES: [(&str, &str); 6] = [
     (
         "no-panic-in-lib",
-        "no unwrap/expect/panic! outside tests, benches, examples, and bins",
+        "no unwrap/expect/panic! outside tests, benches, examples, and bins \
+         (assert! family too on budget-accounting paths)",
     ),
     (
         "no-unseeded-rng",
@@ -66,7 +67,7 @@ struct Candidate {
 pub fn check_file(model: &FileModel, cfg: &Config, report: &mut Report) {
     let role = classify(&model.rel_path);
     let mut candidates = Vec::new();
-    no_panic_in_lib(model, role, &mut candidates);
+    no_panic_in_lib(model, role, cfg, &mut candidates);
     no_unseeded_rng(model, &mut candidates);
     no_wallclock_in_core(model, role, cfg, &mut candidates);
     no_raw_spawn(model, role, cfg, &mut candidates);
@@ -143,15 +144,35 @@ fn path_pair(tokens: &[Token], i: usize, first: &str, second: &str) -> bool {
     )
 }
 
-fn no_panic_in_lib(model: &FileModel, role: FileRole, out: &mut Vec<Candidate>) {
+fn no_panic_in_lib(model: &FileModel, role: FileRole, cfg: &Config, out: &mut Vec<Candidate>) {
     if role != FileRole::Lib {
         return;
     }
+    // On accounting paths the panic ban extends to the assert family:
+    // the ledger and auditor feed the serve layer, where a malformed
+    // request must come back as a typed error, not a worker panic.
+    let assert_scoped = Config::matches(&cfg.assert_paths, &model.rel_path);
     let toks = model.tokens();
     for i in 0..toks.len() {
         let line = toks[i].line;
         if model.in_test_code(line) {
             continue;
+        }
+        if assert_scoped
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+            && ["assert", "assert_eq", "assert_ne"]
+                .iter()
+                .any(|n| toks[i].is_ident(n))
+        {
+            out.push(Candidate {
+                rule: "no-panic-in-lib",
+                line,
+                message: format!(
+                    "`{}!` in accounting library code — malformed input must return a typed \
+                     error (DpsdError::InvalidParameter), not panic",
+                    toks[i].text
+                ),
+            });
         }
         if let Some(name) = method_call(toks, i, &["unwrap", "expect"]) {
             // `.lock().unwrap()` belongs to the more specific

@@ -61,6 +61,38 @@ fn panic_fixture_flags_each_site_and_exempts_tests() {
 }
 
 #[test]
+fn accounting_assert_fixture_pins_the_old_auditor_shape() {
+    // The pre-fix `audit_path_epsilon` asserted on malformed level
+    // vectors; on accounting paths the panic ban extends to the assert
+    // family, so each assert site is a finding while `debug_assert!`
+    // and the test module stay exempt.
+    let r = run_fixture("assert_accounting.rs");
+    assert_eq!(
+        findings(&r),
+        vec![
+            ("no-panic-in-lib", 8),
+            ("no-panic-in-lib", 14),
+            ("no-panic-in-lib", 15),
+        ]
+    );
+}
+
+#[test]
+fn accountant_is_under_the_assert_scope() {
+    let cfg = Config::workspace_default();
+    assert!(Config::matches(
+        &cfg.assert_paths,
+        "crates/dpsd-core/src/budget/accountant.rs"
+    ));
+    // The scope is deliberately narrow: contract asserts elsewhere in
+    // the budget module (validated-caller preconditions) are not swept.
+    assert!(!Config::matches(
+        &cfg.assert_paths,
+        "crates/dpsd-core/src/budget/mod.rs"
+    ));
+}
+
+#[test]
 fn rng_fixture_flags_test_code_too() {
     let r = run_fixture("unseeded_rng.rs");
     assert_eq!(

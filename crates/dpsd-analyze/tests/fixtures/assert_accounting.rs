@@ -1,0 +1,29 @@
+//! Violations for the accounting-path extension of `no-panic-in-lib`:
+//! the pre-fix shape of `audit_path_epsilon`, which asserted on its
+//! level vectors instead of returning a typed error. `debug_assert!`
+//! stays legal (compiled out of release builds), and the `#[cfg(test)]`
+//! module at the bottom is exempt.
+
+pub fn audit(eps_count: &[f64], eps_median: &[f64]) -> f64 {
+    assert_eq!(
+        eps_count.len(),
+        eps_median.len(),
+        "level vectors must have equal length"
+    );
+    for (&c, &m) in eps_count.iter().zip(eps_median) {
+        assert!(c.is_finite() && c >= 0.0, "invalid count budget entry {c}");
+        assert_ne!(m, f64::NEG_INFINITY, "invalid median budget entry");
+    }
+    let total: f64 = eps_count.iter().chain(eps_median).sum();
+    debug_assert!(total >= 0.0); // legal: stripped from release builds
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt_region() {
+        assert_eq!(super::audit(&[0.1], &[0.0]), 0.1);
+        assert!(super::audit(&[0.2], &[0.0]) > 0.0);
+    }
+}

@@ -37,24 +37,38 @@ impl BudgetAudit {
 /// tree crosses each level exactly once, so the path spend is the plain
 /// sum of both vectors.
 ///
-/// # Panics
-///
-/// Panics if the vectors have different lengths or contain negative or
-/// non-finite entries.
-pub fn audit_path_epsilon(eps_count: &[f64], eps_median: &[f64]) -> BudgetAudit {
-    assert_eq!(
-        eps_count.len(),
-        eps_median.len(),
-        "level vectors must have equal length"
-    );
-    for (&c, &m) in eps_count.iter().zip(eps_median) {
-        assert!(c.is_finite() && c >= 0.0, "invalid count budget entry {c}");
-        assert!(m.is_finite() && m >= 0.0, "invalid median budget entry {m}");
+/// Malformed vectors (different lengths, or negative/non-finite entries)
+/// are rejected with [`DpsdError::InvalidParameter`] — the auditor sits
+/// on the library path and must never panic on bad input.
+pub fn audit_path_epsilon(eps_count: &[f64], eps_median: &[f64]) -> Result<BudgetAudit, DpsdError> {
+    if eps_count.len() != eps_median.len() {
+        return Err(DpsdError::invalid_parameter(
+            "level_vectors",
+            format!(
+                "must have equal length, got {} count and {} median levels",
+                eps_count.len(),
+                eps_median.len()
+            ),
+        ));
     }
-    BudgetAudit {
+    for (&c, &m) in eps_count.iter().zip(eps_median) {
+        if !(c.is_finite() && c >= 0.0) {
+            return Err(DpsdError::invalid_parameter(
+                "eps_count",
+                format!("invalid count budget entry {c}"),
+            ));
+        }
+        if !(m.is_finite() && m >= 0.0) {
+            return Err(DpsdError::invalid_parameter(
+                "eps_median",
+                format!("invalid median budget entry {m}"),
+            ));
+        }
+    }
+    Ok(BudgetAudit {
         count_epsilon: eps_count.iter().sum(),
         median_epsilon: eps_median.iter().sum(),
-    }
+    })
 }
 
 /// A running account of privacy budget spent across repeated releases.
@@ -97,9 +111,45 @@ impl EpsilonLedger {
         Ok(EpsilonLedger { cap, spent: 0.0 })
     }
 
+    /// Creates a ledger with no lifetime cap (`f64::INFINITY`). This is
+    /// the back-compat default for serving tenants that never opted into
+    /// a budget; every debit succeeds but is still accounted.
+    pub fn unbounded() -> Self {
+        EpsilonLedger {
+            cap: f64::INFINITY,
+            spent: 0.0,
+        }
+    }
+
     /// The lifetime cap.
     pub fn cap(&self) -> f64 {
         self.cap
+    }
+
+    /// Whether a finite lifetime cap is in force.
+    pub fn is_capped(&self) -> bool {
+        self.cap.is_finite()
+    }
+
+    /// Installs a new lifetime cap. The cap must be positive and at
+    /// least the spend already recorded — a ledger can be restricted,
+    /// but never retroactively overdrawn. Callers enforce any stricter
+    /// policy (e.g. caps being immutable once set) above this layer.
+    pub fn set_cap(&mut self, cap: f64) -> Result<(), DpsdError> {
+        if cap.is_nan() || cap <= 0.0 {
+            return Err(DpsdError::invalid_parameter(
+                "budget_cap",
+                format!("must be positive, got {cap}"),
+            ));
+        }
+        if cap < self.spent {
+            return Err(DpsdError::invalid_parameter(
+                "budget_cap",
+                format!("cap {cap} is below the {} already spent", self.spent),
+            ));
+        }
+        self.cap = cap;
+        Ok(())
     }
 
     /// Total epsilon debited so far.
@@ -112,9 +162,11 @@ impl EpsilonLedger {
         (self.cap - self.spent).max(0.0)
     }
 
-    /// Debits `eps` from the ledger, failing (without mutating) if the
-    /// request is non-positive, non-finite, or exceeds the remainder.
-    pub fn debit(&mut self, eps: f64) -> Result<(), DpsdError> {
+    /// Checks, without mutating, whether a debit of `eps` would succeed.
+    /// Uses the exact same comparison as [`EpsilonLedger::debit`], so a
+    /// passing check guarantees the immediately following debit on an
+    /// unchanged ledger succeeds.
+    pub fn check(&self, eps: f64) -> Result<(), DpsdError> {
         if !(eps > 0.0 && eps.is_finite()) {
             return Err(DpsdError::invalid_parameter(
                 "epsilon",
@@ -127,6 +179,13 @@ impl EpsilonLedger {
                 remaining: self.remaining(),
             });
         }
+        Ok(())
+    }
+
+    /// Debits `eps` from the ledger, failing (without mutating) if the
+    /// request is non-positive, non-finite, or exceeds the remainder.
+    pub fn debit(&mut self, eps: f64) -> Result<(), DpsdError> {
+        self.check(eps)?;
         self.spent += eps;
         Ok(())
     }
@@ -139,7 +198,7 @@ mod tests {
 
     #[test]
     fn audit_sums_paths() {
-        let audit = audit_path_epsilon(&[0.1, 0.2, 0.3], &[0.0, 0.05, 0.05]);
+        let audit = audit_path_epsilon(&[0.1, 0.2, 0.3], &[0.0, 0.05, 0.05]).unwrap();
         assert!((audit.count_epsilon - 0.6).abs() < 1e-12);
         assert!((audit.median_epsilon - 0.1).abs() < 1e-12);
         assert!((audit.total() - 0.7).abs() < 1e-12);
@@ -161,7 +220,7 @@ mod tests {
                     let count = strategy.levels(h, ec);
                     let dd = if em > 0.0 { h } else { 0 };
                     let median = median_levels(h, dd, em);
-                    let audit = audit_path_epsilon(&count, &median);
+                    let audit = audit_path_epsilon(&count, &median).unwrap();
                     assert!(
                         audit.within(eps),
                         "h={h} strategy={strategy:?} spends {}",
@@ -218,14 +277,67 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "equal length")]
     fn mismatched_lengths_rejected() {
-        let _ = audit_path_epsilon(&[0.1], &[0.1, 0.2]);
+        let err = audit_path_epsilon(&[0.1], &[0.1, 0.2]).unwrap_err();
+        assert!(matches!(err, DpsdError::InvalidParameter { .. }));
+        assert!(err.to_string().contains("equal length"), "{err}");
     }
 
     #[test]
-    #[should_panic(expected = "invalid count")]
-    fn negative_entries_rejected() {
-        let _ = audit_path_epsilon(&[-0.1], &[0.0]);
+    fn malformed_entries_rejected_not_panicked() {
+        for (count, median) in [
+            (vec![-0.1], vec![0.0]),
+            (vec![f64::NAN], vec![0.0]),
+            (vec![f64::INFINITY], vec![0.0]),
+            (vec![0.1], vec![-0.5]),
+            (vec![0.1], vec![f64::NAN]),
+        ] {
+            let err = audit_path_epsilon(&count, &median).unwrap_err();
+            assert!(matches!(err, DpsdError::InvalidParameter { .. }));
+        }
+    }
+
+    #[test]
+    fn unbounded_ledger_accounts_without_capping() {
+        let mut ledger = EpsilonLedger::unbounded();
+        assert!(!ledger.is_capped());
+        ledger.debit(1e9).unwrap();
+        assert_eq!(ledger.spent(), 1e9);
+        assert_eq!(ledger.remaining(), f64::INFINITY);
+    }
+
+    #[test]
+    fn set_cap_restricts_but_never_overdraws() {
+        let mut ledger = EpsilonLedger::unbounded();
+        ledger.debit(0.5).unwrap();
+        // A cap below the recorded spend is rejected without mutating.
+        assert!(ledger.set_cap(0.4).is_err());
+        assert!(!ledger.is_capped());
+        ledger.set_cap(1.0).unwrap();
+        assert!(ledger.is_capped());
+        assert_eq!(ledger.cap(), 1.0);
+        assert_eq!(ledger.remaining(), 0.5);
+        // Bad caps are rejected outright.
+        assert!(ledger.set_cap(0.0).is_err());
+        assert!(ledger.set_cap(-1.0).is_err());
+        assert!(ledger.set_cap(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn check_agrees_with_debit_bit_for_bit() {
+        let mut ledger = EpsilonLedger::new(1.0).unwrap();
+        ledger.debit(0.5).unwrap();
+        // check() uses the identical comparison, so a passing check
+        // guarantees the following debit succeeds and vice versa.
+        assert!(ledger.check(0.5).is_ok());
+        // 0.5 + 0.5000000000000001 rounds-to-even back to exactly 1.0,
+        // so that edge still passes; one more ulp clearly overdraws.
+        assert!(ledger.check(0.5000000000000001).is_ok());
+        assert!(ledger.check(0.5000000000000002).is_err());
+        ledger.debit(0.5).unwrap();
+        assert_eq!(ledger.spent(), 1.0);
+        assert!(ledger.check(0.25).is_err());
+        assert!(ledger.debit(0.25).is_err());
+        assert_eq!(ledger.spent(), 1.0);
     }
 }

@@ -552,12 +552,8 @@ impl<const D: usize> StreamIngestor<D> {
     /// covered points — the whole admitted prefix, or the in-window
     /// suffix `admitted[window_start..]` — and releasing it.
     pub fn release_epoch(&mut self) -> Result<EpochRelease<D>, DpsdError> {
+        self.check_next_release()?;
         let eps = self.config.schedule.epoch_epsilon(self.epoch);
-        if !(eps > 0.0 && eps.is_finite()) {
-            // Deep geometric epochs can underflow to zero; surface the
-            // batch builder's error for the same condition.
-            return Err(BuildError::InvalidEpsilon(eps).into());
-        }
         // Under a user cap the release costs `cap ×` the epoch epsilon
         // (group privacy over a user's in-window points), making the
         // ledger cap a per-user budget.
@@ -614,6 +610,23 @@ impl<const D: usize> StreamIngestor<D> {
         self.epoch += 1;
         self.advance_window();
         Ok(release)
+    }
+
+    /// Checks, without mutating anything, that the next
+    /// [`Self::release_epoch`] would pass its schedule validation and
+    /// ledger debit. Error order and comparisons are exactly those of
+    /// `release_epoch` itself, so a caller that reserves budget in an
+    /// *external* ledger (the serve layer's per-tenant account) can
+    /// check here first and know the internal debit cannot fail after
+    /// the external one succeeded.
+    pub fn check_next_release(&self) -> Result<(), DpsdError> {
+        let eps = self.config.schedule.epoch_epsilon(self.epoch);
+        if !(eps > 0.0 && eps.is_finite()) {
+            // Deep geometric epochs can underflow to zero; surface the
+            // batch builder's error for the same condition.
+            return Err(BuildError::InvalidEpsilon(eps).into());
+        }
+        self.ledger.check(self.config.release_debit(self.epoch))
     }
 
     /// Ages the bucket that just left the window (if any) out of the

@@ -450,7 +450,7 @@ impl<const D: usize> PsdConfig<D> {
             vec![0.0; h + 1]
         };
         if private {
-            let audit = audit_path_epsilon(&eps_count, &eps_median);
+            let audit = audit_path_epsilon(&eps_count, &eps_median)?;
             debug_assert!(audit.within(self.epsilon), "budget audit failed: {audit:?}");
         }
 
@@ -1020,7 +1020,8 @@ mod tests {
             let tree = config.with_seed(19).build(&pts).unwrap();
             assert_eq!(tree.fanout(), 8);
             assert_eq!(tree.true_count(0), pts.len() as f64);
-            let audit = audit_path_epsilon(tree.eps_count_levels(), tree.eps_median_levels());
+            let audit =
+                audit_path_epsilon(tree.eps_count_levels(), tree.eps_median_levels()).unwrap();
             assert!(audit.within(1.0), "{}: {audit:?}", tree.kind());
         }
     }
@@ -1142,7 +1143,8 @@ mod tests {
             PsdConfig::hilbert_r(domain, 3, eps).with_hilbert_order(8),
         ] {
             let tree = config.with_seed(11).build(&pts).unwrap();
-            let audit = audit_path_epsilon(tree.eps_count_levels(), tree.eps_median_levels());
+            let audit =
+                audit_path_epsilon(tree.eps_count_levels(), tree.eps_median_levels()).unwrap();
             assert!(
                 audit.within(eps),
                 "{}: path spends {} > {eps}",
@@ -1163,7 +1165,8 @@ mod tests {
             PsdConfig::kd_hybrid(domain, 3, eps, 2),
         ] {
             let tree = config.with_seed(17).build(&pts).unwrap();
-            let audit = audit_path_epsilon(tree.eps_count_levels(), tree.eps_median_levels());
+            let audit =
+                audit_path_epsilon(tree.eps_count_levels(), tree.eps_median_levels()).unwrap();
             assert!(
                 audit.within(eps),
                 "{} (3D): path spends {} > {eps}",

@@ -12,6 +12,7 @@
 //!         [--format json|text|bin] [--json PATH]
 //!         [--stream] [--ingest-total N] [--epoch-points N]
 //!         [--ingest-batch N] [--epsilon E] [--window W] [--user-cap C]
+//!         [--tenant-cap EPS]
 //! ```
 //!
 //! Without `--addr` an in-process server is spawned on an ephemeral
@@ -44,6 +45,7 @@
 //! point a unique user id, so nothing is dropped and the release debit
 //! (`C × ε`, audited to the bit) is the only observable difference.
 
+use dpsd_core::budget::EpsilonLedger;
 use dpsd_core::exec::Parallelism;
 use dpsd_core::geometry::{Point, Rect};
 use dpsd_core::stream::{batch_config_for, EpsilonSchedule, StreamConfig};
@@ -101,6 +103,7 @@ struct Options {
     epsilon: f64,
     window: Option<u64>,
     user_cap: Option<u64>,
+    tenant_cap: Option<f64>,
 }
 
 impl Default for Options {
@@ -126,6 +129,7 @@ impl Default for Options {
             epsilon: 0.5,
             window: None,
             user_cap: None,
+            tenant_cap: None,
         }
     }
 }
@@ -135,7 +139,7 @@ fn usage() -> &'static str {
      [--seed S] [--cache-capacity N] [--no-cache] [--dims 2|3] \
      [--format json|text|bin] [--json PATH] \
      [--stream] [--ingest-total N] [--epoch-points N] [--ingest-batch N] [--epsilon E] \
-     [--window W] [--user-cap C]"
+     [--window W] [--user-cap C] [--tenant-cap EPS]"
 }
 
 fn parse_options() -> Result<Options, String> {
@@ -201,6 +205,13 @@ fn parse_options() -> Result<Options, String> {
                         .map_err(|_| "bad --user-cap")?,
                 )
             }
+            "--tenant-cap" => {
+                opts.tenant_cap = Some(
+                    value_for("--tenant-cap")?
+                        .parse()
+                        .map_err(|_| "bad --tenant-cap")?,
+                )
+            }
             "--help" | "-h" => {
                 println!("{}", usage());
                 std::process::exit(0);
@@ -232,6 +243,16 @@ fn parse_options() -> Result<Options, String> {
         }
     } else if opts.window.is_some() || opts.user_cap.is_some() {
         return Err("--window and --user-cap require --stream".into());
+    }
+    if let Some(cap) = opts.tenant_cap {
+        if opts.stream {
+            return Err(
+                "--tenant-cap drives the publish soak; it cannot combine with --stream".into(),
+            );
+        }
+        if !(cap > 0.0 && cap.is_finite()) {
+            return Err("--tenant-cap must be a positive finite epsilon".into());
+        }
     }
     Ok(opts)
 }
@@ -1065,6 +1086,201 @@ fn run<const D: usize>(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// The per-tenant budget exhaustion soak: publish the same artifact
+/// under a capped name until the ledger refuses, mirroring the server's
+/// accounting with a local [`EpsilonLedger`] fed the identical debit
+/// sequence. Every wire-reported `budget` snapshot must match the
+/// mirror **to the bit** (same sequential `+=` fold, same comparison),
+/// the refusal must arrive exactly when the mirror's `check` first
+/// fails, its 409 body must carry the bit-exact arithmetic, and the
+/// exhausted publish must leave the registry observably untouched.
+fn run_tenant_cap<const D: usize>(opts: &Options, cap: f64) -> Result<(), String> {
+    let mut spawned: Option<ServerHandle> = None;
+    let addr: SocketAddr = match &opts.addr {
+        Some(a) => a
+            .parse()
+            .map_err(|_| format!("bad --addr `{a}` (need HOST:PORT)"))?,
+        None => {
+            let config = ServeConfig {
+                cache_capacity: opts.cache_capacity,
+                parallelism: Parallelism::from_env(),
+                ..ServeConfig::default()
+            };
+            let server =
+                Server::bind("127.0.0.1:0", config).map_err(|e| format!("cannot bind: {e}"))?;
+            let handle = server.spawn().map_err(|e| format!("cannot spawn: {e}"))?;
+            let addr = handle.addr();
+            spawned = Some(handle);
+            eprintln!("loadgen: spawned in-process server on {addr}");
+            addr
+        }
+    };
+
+    let artifact = encode_artifact(&build_release::<D>(opts.seed), opts.format);
+    let direct = decode_artifact::<D>(&artifact, opts.format)?;
+    // The per-release debit is the artifact's composed epsilon, read
+    // through the same decode path the server uses.
+    let eps = direct.as_tree().epsilon();
+    let name = "capped-soak";
+    let mut ledger =
+        EpsilonLedger::new(cap).map_err(|e| format!("--tenant-cap rejected by ledger: {e}"))?;
+    let mut client = Client::connect(addr).map_err(|e| format!("cannot connect: {e}"))?;
+    eprintln!(
+        "loadgen: exhausting tenant `{name}` (cap ε {cap}, ε {eps} per publish, dims {D}, \
+         format {})",
+        opts.format.label(),
+    );
+
+    // Bit-compare one wire budget snapshot against the local mirror.
+    let audit_budget = |value: &Value, ledger: &EpsilonLedger, at: &str| -> Result<(), String> {
+        let budget = value
+            .get("budget")
+            .ok_or_else(|| format!("{at}: response missing `budget`"))?;
+        let field = |k: &str| {
+            budget
+                .get(k)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("{at}: budget missing numeric `{k}`"))
+        };
+        for (key, want) in [
+            ("cap", ledger.cap()),
+            ("spent", ledger.spent()),
+            ("remaining", ledger.remaining()),
+        ] {
+            let got = field(key)?;
+            if got.to_bits() != want.to_bits() {
+                return Err(format!(
+                    "{at}: budget `{key}` is {got}, not bit-identical to the mirror's {want}"
+                ));
+            }
+        }
+        Ok(())
+    };
+
+    // Publish until the mirror says the next debit cannot fit. The
+    // bound is belt-and-braces: the mirror's cap arithmetic terminates
+    // the loop on its own, and `+ 2` headroom means the guard only
+    // trips if server and mirror disagree.
+    let max_publishes = (cap / eps).ceil() as u64 + 2;
+    let mut versions = 0u64;
+    while ledger.check(eps).is_ok() {
+        if versions >= max_publishes {
+            return Err(format!(
+                "mirror still admits publish {} past the {max_publishes} bound — \
+                 server and mirror have diverged",
+                versions + 1
+            ));
+        }
+        let path = if versions == 0 {
+            format!("/synopses/{name}?budget_cap={cap}")
+        } else {
+            format!("/synopses/{name}")
+        };
+        let response = client
+            .post_bytes(&path, &artifact)
+            .map_err(|e| format!("publish failed: {e}"))?;
+        if response.status != 200 {
+            return Err(format!(
+                "publish {} rejected with {}: {} (mirror says ε {} of {cap} spent, fits)",
+                versions + 1,
+                response.status,
+                response.body,
+                ledger.spent(),
+            ));
+        }
+        ledger
+            .debit(eps)
+            .map_err(|e| format!("mirror debit failed after a 200: {e}"))?;
+        versions += 1;
+        let parsed = response.json().map_err(|e| e.to_string())?;
+        let version = parsed
+            .get("version")
+            .and_then(Value::as_u64)
+            .ok_or("publish response missing `version`")?;
+        if version != versions {
+            return Err(format!(
+                "publish {versions} minted version {version}, expected exactly {versions}"
+            ));
+        }
+        audit_budget(&parsed, &ledger, &format!("publish {versions}"))?;
+        eprintln!(
+            "loadgen: version {versions} live — ε spent {} of {cap} (remaining {})",
+            ledger.spent(),
+            ledger.remaining(),
+        );
+    }
+    if versions == 0 {
+        return Err(format!(
+            "--tenant-cap {cap} admits no publish of an ε {eps} artifact; raise the cap"
+        ));
+    }
+
+    // One more publish must bounce with the ledger's own arithmetic on
+    // the wire, leaving version and spend exactly where they were.
+    let refused = client
+        .post_bytes(&format!("/synopses/{name}"), &artifact)
+        .map_err(|e| format!("exhausted publish failed: {e}"))?;
+    if refused.status != 409 {
+        return Err(format!(
+            "exhausted publish returned {} ({}), expected 409",
+            refused.status, refused.body
+        ));
+    }
+    let want_body = format!(
+        "{{\"error\":\"privacy budget exhausted: release needs epsilon {eps} but only {} \
+         remains under the cap\"}}",
+        ledger.remaining(),
+    );
+    if refused.body != want_body {
+        return Err(format!(
+            "409 body drifted from the ledger arithmetic:\n  got  {}\n  want {want_body}",
+            refused.body
+        ));
+    }
+    let info = client
+        .get(&format!("/synopses/{name}"))
+        .map_err(|e| e.to_string())?
+        .json()
+        .map_err(|e| e.to_string())?;
+    if info.get("version").and_then(Value::as_u64) != Some(versions) {
+        return Err("the refused publish moved the served version".into());
+    }
+    audit_budget(&info, &ledger, "post-refusal info")?;
+
+    // The /stats registry entry must keep the per-release epsilon and
+    // the cumulative ledger spend as distinct, exact numbers.
+    let stats = client
+        .get("/stats")
+        .map_err(|e| e.to_string())?
+        .json()
+        .map_err(|e| e.to_string())?;
+    let entry = stats
+        .get("registry")
+        .and_then(Value::as_array)
+        .ok_or("stats missing `registry`")?
+        .iter()
+        .find(|s| s.get("name").and_then(Value::as_str) == Some(name))
+        .ok_or("stats missing the capped tenant")?
+        .clone();
+    let per_release = entry
+        .get("epsilon")
+        .and_then(Value::as_f64)
+        .ok_or("stats entry missing per-release `epsilon`")?;
+    if per_release.to_bits() != eps.to_bits() {
+        return Err(format!(
+            "stats per-release epsilon {per_release} is not the artifact's ε {eps}"
+        ));
+    }
+    audit_budget(&entry, &ledger, "stats registry entry")?;
+    eprintln!(
+        "loadgen: tenant soak complete — {versions} publishes admitted, refusal at ε {} of \
+         {cap} (exact), 409 arithmetic verified",
+        ledger.spent(),
+    );
+    drop(spawned);
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let opts = match parse_options() {
         Ok(o) => o,
@@ -1073,11 +1289,13 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let outcome = match (opts.stream, opts.dims) {
-        (false, 2) => run::<2>(&opts),
-        (false, 3) => run::<3>(&opts),
-        (true, 2) => run_stream::<2>(&opts),
-        (true, 3) => run_stream::<3>(&opts),
+    let outcome = match (opts.stream, opts.tenant_cap, opts.dims) {
+        (false, Some(cap), 2) => run_tenant_cap::<2>(&opts, cap),
+        (false, Some(cap), 3) => run_tenant_cap::<3>(&opts, cap),
+        (false, None, 2) => run::<2>(&opts),
+        (false, None, 3) => run::<3>(&opts),
+        (true, _, 2) => run_stream::<2>(&opts),
+        (true, _, 3) => run_stream::<3>(&opts),
         _ => unreachable!("validated in parse_options"),
     };
     match outcome {

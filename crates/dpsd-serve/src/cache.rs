@@ -333,13 +333,16 @@ impl ShardedCache {
         lock_or_recover(self.shard(&key)).insert(key, value);
     }
 
-    /// Evicts every entry for `name` minted against a version other
+    /// Evicts every entry for `name` minted against a version older
     /// than `current`. Version-carrying keys already make stale answers
     /// unreachable; purging merely frees the space immediately on
-    /// hot-swap instead of waiting for LRU aging.
+    /// hot-swap instead of waiting for LRU aging. The comparison is
+    /// monotonic (`>=` keeps newer entries) so a purge that lost the
+    /// race to a still-newer publish never evicts that publish's
+    /// freshly warmed answers.
     pub fn purge_stale(&self, name: &str, current: u64) {
         for shard in &self.shards {
-            lock_or_recover(shard).retain(|k| k.name() != name || k.version() == current);
+            lock_or_recover(shard).retain(|k| k.name() != name || k.version() >= current);
         }
     }
 
@@ -432,6 +435,20 @@ mod tests {
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.entries), (1, 2, 0));
         assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn late_purge_never_evicts_newer_versions() {
+        // Two publishes race: v3 swaps in and warms the cache, then the
+        // purge scheduled by the v2 publish finally runs. The monotonic
+        // retain must keep v3's entries (and drop v1's).
+        let cache = ShardedCache::new(64);
+        let r = Rect::<2>::from_corners([0.0, 0.0], [4.0, 4.0]).unwrap();
+        cache.insert(CacheKey::new("t", 1, &r), 1.0);
+        cache.insert(CacheKey::new("t", 3, &r), 3.0);
+        cache.purge_stale("t", 2);
+        assert_eq!(cache.get(&CacheKey::new("t", 1, &r)), None);
+        assert_eq!(cache.get(&CacheKey::new("t", 3, &r)), Some(3.0));
     }
 
     #[test]

@@ -68,8 +68,17 @@ impl From<DpsdError> for ServeError {
     fn from(e: DpsdError) -> Self {
         match e {
             // Budget exhaustion is a state conflict, not a malformed
-            // request: the client must know releases have stopped.
-            DpsdError::BudgetExhausted { .. } => ServeError::BudgetExhausted(e.to_string()),
+            // request: the client must know releases have stopped. The
+            // reason carries the bit-exact requested/remaining pair;
+            // Display adds the "privacy budget exhausted: " prefix, so
+            // it is stripped from the core rendering here rather than
+            // doubled on the wire.
+            DpsdError::BudgetExhausted {
+                requested,
+                remaining,
+            } => ServeError::BudgetExhausted(format!(
+                "release needs epsilon {requested} but only {remaining} remains under the cap"
+            )),
             // Artifact and parameter problems are the client's fault:
             // the body it posted failed validation.
             _ => ServeError::BadRequest(e.to_string()),

@@ -24,6 +24,7 @@
 
 use crate::error::ServeError;
 use crate::sync::{read_or_recover, write_or_recover};
+use dpsd_core::budget::EpsilonLedger;
 use dpsd_core::flat::FlatSynopsis;
 use dpsd_core::synopsis::SpatialSynopsis;
 use dpsd_core::tree::{ReleasedSynopsis, TreeKind};
@@ -199,10 +200,99 @@ pub struct PublishedSynopsis {
     pub synopsis: AnySynopsis,
 }
 
-/// Named, versioned, `Arc`-shared synopses with atomic hot-swap.
+/// A point-in-time view of one tenant's privacy budget, taken under
+/// the same lock as the operation it describes, so `spent` is exact
+/// (sequential-fold `to_bits` semantics) at that operation.
+///
+/// `cap`/`remaining` are `None` for uncapped tenants: the underlying
+/// ledger cap is `f64::INFINITY`, which has no JSON representation, so
+/// the snapshot carries the wire shape (`null`) directly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantBudget {
+    /// Lifetime epsilon cap, `None` when the tenant is uncapped.
+    pub cap: Option<f64>,
+    /// Total epsilon debited so far (manual publishes + stream
+    /// releases), accumulated by plain sequential `+=` in debit order.
+    pub spent: f64,
+    /// Budget still available, `None` when uncapped.
+    pub remaining: Option<f64>,
+}
+
+/// One registry name: its budget ledger, its persistent version
+/// counter, and the currently hosted artifact (if any — a tenant can
+/// exist capped-but-unpublished, e.g. via `--tenant-cap` at startup).
+///
+/// The version counter lives here, **outside** the published artifact,
+/// so a failed debit can reject a publish without minting a version,
+/// and two concurrent publishes can never read the same prior version:
+/// mint and swap happen under one write lock against state that
+/// survives the publish.
+struct TenantEntry {
+    published: Option<Arc<PublishedSynopsis>>,
+    next_version: u64,
+    ledger: EpsilonLedger,
+}
+
+impl Default for TenantEntry {
+    fn default() -> Self {
+        TenantEntry {
+            published: None,
+            next_version: 1,
+            ledger: EpsilonLedger::unbounded(),
+        }
+    }
+}
+
+impl TenantEntry {
+    fn budget(&self) -> TenantBudget {
+        let capped = self.ledger.is_capped();
+        TenantBudget {
+            cap: capped.then(|| self.ledger.cap()),
+            spent: self.ledger.spent(),
+            remaining: capped.then(|| self.ledger.remaining()),
+        }
+    }
+
+    /// Installs `cap` under the registry's immutability policy: a cap
+    /// can be set once (while the tenant is uncapped) and re-stated
+    /// bit-identically, but never changed — budget promises to a tenant
+    /// are not renegotiable mid-stream.
+    fn set_cap(&mut self, name: &str, cap: f64) -> Result<(), ServeError> {
+        if !cap.is_finite() || cap <= 0.0 {
+            return Err(ServeError::BadRequest(format!(
+                "budget_cap must be positive and finite, got {cap}"
+            )));
+        }
+        if self.ledger.is_capped() {
+            if self.ledger.cap().to_bits() == cap.to_bits() {
+                return Ok(());
+            }
+            return Err(ServeError::Conflict(format!(
+                "tenant `{name}` is already capped at {}; budget caps are immutable once set",
+                self.ledger.cap()
+            )));
+        }
+        self.ledger.set_cap(cap).map_err(|e| {
+            // The only reachable failure here: cap below what an
+            // uncapped tenant already spent.
+            ServeError::Conflict(format!("cannot cap tenant `{name}`: {e}"))
+        })
+    }
+}
+
+/// Named, versioned, `Arc`-shared synopses with atomic hot-swap and a
+/// per-tenant [`EpsilonLedger`].
+///
+/// Every name owns one ledger shared by **all** release paths: manual
+/// `POST /synopses/{name}` publishes debit the artifact's composed
+/// epsilon, and stream epoch releases debit their release epsilon into
+/// the same account (see `StreamManager`), so streamed and manual
+/// publishes compose sequentially under one cap. Debit and version
+/// bump are atomic under the registry's write lock: a failed debit
+/// mints no version and swaps nothing.
 #[derive(Default)]
 pub struct SynopsisRegistry {
-    entries: RwLock<HashMap<String, Arc<PublishedSynopsis>>>,
+    entries: RwLock<HashMap<String, TenantEntry>>,
 }
 
 /// Registry names must be unambiguous in a URL path with no escaping.
@@ -231,39 +321,154 @@ impl SynopsisRegistry {
     /// publishes it under `name`, atomically replacing any prior
     /// version. Parsing happens **outside** the write lock, so a slow
     /// or hostile upload never stalls readers.
+    ///
+    /// The artifact's composed epsilon is debited from the tenant's
+    /// ledger under the same write lock that mints the version: on an
+    /// exhausted budget the publish fails with
+    /// [`ServeError::BudgetExhausted`], no version is minted, and the
+    /// prior artifact keeps serving. Non-private artifacts (epsilon 0,
+    /// e.g. the `kd-pure`/`kd-true` baselines) debit nothing.
     pub fn publish(
         &self,
         name: &str,
         artifact: &[u8],
-    ) -> Result<Arc<PublishedSynopsis>, ServeError> {
+    ) -> Result<(Arc<PublishedSynopsis>, TenantBudget), ServeError> {
+        self.publish_capped(name, artifact, None)
+    }
+
+    /// [`SynopsisRegistry::publish`], optionally installing a budget
+    /// cap first. The cap is applied under the same write lock as the
+    /// debit, so "cap on first publish" admits no uncapped window; a
+    /// rejected cap (see [`SynopsisRegistry::set_cap`] rules) fails the
+    /// whole publish before any debit.
+    pub fn publish_capped(
+        &self,
+        name: &str,
+        artifact: &[u8],
+        cap: Option<f64>,
+    ) -> Result<(Arc<PublishedSynopsis>, TenantBudget), ServeError> {
         validate_name(name)?;
         let synopsis = AnySynopsis::load(artifact)?;
+        let debit = synopsis.epsilon();
+        self.install(name, synopsis, cap, (debit > 0.0).then_some(debit))
+    }
+
+    /// Publishes an artifact whose epsilon was already debited from the
+    /// tenant ledger via [`SynopsisRegistry::debit`] — the stream
+    /// release path, which must debit *before* drawing noise.
+    pub fn publish_predebited(
+        &self,
+        name: &str,
+        artifact: &[u8],
+    ) -> Result<(Arc<PublishedSynopsis>, TenantBudget), ServeError> {
+        validate_name(name)?;
+        let synopsis = AnySynopsis::load(artifact)?;
+        self.install(name, synopsis, None, None)
+    }
+
+    /// The shared swap path: cap install, debit, version mint, and
+    /// hot-swap under one write lock, in that order. Any failure leaves
+    /// the tenant's published artifact and version counter untouched.
+    fn install(
+        &self,
+        name: &str,
+        synopsis: AnySynopsis,
+        cap: Option<f64>,
+        debit: Option<f64>,
+    ) -> Result<(Arc<PublishedSynopsis>, TenantBudget), ServeError> {
         let mut entries = write_or_recover(&self.entries);
-        let version = entries.get(name).map_or(1, |prior| prior.version + 1);
+        let entry = entries.entry(name.to_string()).or_default();
+        if let Some(cap) = cap {
+            entry.set_cap(name, cap)?;
+        }
+        if let Some(eps) = debit {
+            entry.ledger.debit(eps)?;
+        }
         let published = Arc::new(PublishedSynopsis {
             name: name.to_string(),
-            version,
+            version: entry.next_version,
             synopsis,
         });
-        entries.insert(name.to_string(), Arc::clone(&published));
-        Ok(published)
+        entry.next_version += 1;
+        entry.published = Some(Arc::clone(&published));
+        Ok((published, entry.budget()))
+    }
+
+    /// Debits `eps` from `name`'s ledger without publishing — the
+    /// stream manager reserves each epoch's release epsilon here before
+    /// noise is drawn, then ships the bytes via
+    /// [`SynopsisRegistry::publish_predebited`]. Atomic with respect to
+    /// concurrent manual publishes: both paths contend on the same
+    /// write lock and ledger.
+    pub fn debit(&self, name: &str, eps: f64) -> Result<TenantBudget, ServeError> {
+        validate_name(name)?;
+        let mut entries = write_or_recover(&self.entries);
+        let entry = entries.entry(name.to_string()).or_default();
+        entry.ledger.debit(eps)?;
+        Ok(entry.budget())
+    }
+
+    /// Installs a budget cap for `name` (creating the tenant if it has
+    /// never published). A tenant's cap can be set while uncapped and
+    /// re-stated bit-identically; any other change is a
+    /// [`ServeError::Conflict`].
+    pub fn set_cap(&self, name: &str, cap: f64) -> Result<TenantBudget, ServeError> {
+        validate_name(name)?;
+        let mut entries = write_or_recover(&self.entries);
+        let entry = entries.entry(name.to_string()).or_default();
+        entry.set_cap(name, cap)?;
+        Ok(entry.budget())
+    }
+
+    /// The tenant's budget, if the name has ever been published,
+    /// debited, or capped.
+    pub fn budget(&self, name: &str) -> Option<TenantBudget> {
+        read_or_recover(&self.entries).get(name).map(|e| e.budget())
     }
 
     /// The current version of `name`, if published.
     pub fn get(&self, name: &str) -> Option<Arc<PublishedSynopsis>> {
-        read_or_recover(&self.entries).get(name).cloned()
+        read_or_recover(&self.entries)
+            .get(name)
+            .and_then(|e| e.published.clone())
+    }
+
+    /// The current version of `name` together with the tenant budget,
+    /// read under one lock so the pair is consistent.
+    pub fn get_with_budget(&self, name: &str) -> Option<(Arc<PublishedSynopsis>, TenantBudget)> {
+        let entries = read_or_recover(&self.entries);
+        let entry = entries.get(name)?;
+        Some((entry.published.clone()?, entry.budget()))
     }
 
     /// Every published synopsis, sorted by name.
     pub fn list(&self) -> Vec<Arc<PublishedSynopsis>> {
-        let mut all: Vec<_> = read_or_recover(&self.entries).values().cloned().collect();
-        all.sort_by(|a, b| a.name.cmp(&b.name));
+        self.list_with_budgets()
+            .into_iter()
+            .map(|(p, _)| p)
+            .collect()
+    }
+
+    /// Every published synopsis with its tenant budget, sorted by
+    /// name, snapshotted under one read lock.
+    pub fn list_with_budgets(&self) -> Vec<(Arc<PublishedSynopsis>, TenantBudget)> {
+        let entries = read_or_recover(&self.entries);
+        let mut all: Vec<_> = entries
+            .values()
+            .filter_map(|e| Some((e.published.clone()?, e.budget())))
+            .collect();
+        drop(entries);
+        all.sort_by(|a, b| a.0.name.cmp(&b.0.name));
         all
     }
 
-    /// Number of published synopses.
+    /// Number of published synopses (capped-but-unpublished tenants
+    /// don't count).
     pub fn len(&self) -> usize {
-        read_or_recover(&self.entries).len()
+        read_or_recover(&self.entries)
+            .values()
+            .filter(|e| e.published.is_some())
+            .count()
     }
 
     /// Whether nothing is published.
@@ -376,16 +581,120 @@ mod tests {
     fn publish_bumps_versions_and_hot_swaps() {
         let registry = SynopsisRegistry::new();
         let json = sample_json::<2>();
-        let v1 = registry.publish("tenants", json.as_bytes()).unwrap();
+        let (v1, _) = registry.publish("tenants", json.as_bytes()).unwrap();
         assert_eq!((v1.name.as_str(), v1.version), ("tenants", 1));
         let held = registry.get("tenants").unwrap();
-        let v2 = registry.publish("tenants", json.as_bytes()).unwrap();
+        let (v2, _) = registry.publish("tenants", json.as_bytes()).unwrap();
         assert_eq!(v2.version, 2);
         // In-flight holders keep their resolved version; new lookups
         // see the swap.
         assert_eq!(held.version, 1);
         assert_eq!(registry.get("tenants").unwrap().version, 2);
         assert_eq!(registry.list().len(), 1);
+    }
+
+    #[test]
+    fn publish_debits_the_tenant_ledger_atomically() {
+        let registry = SynopsisRegistry::new();
+        let json = sample_json::<2>();
+        let eps = AnySynopsis::load(json.as_bytes()).unwrap().epsilon();
+        assert_eq!(eps, 1.0);
+
+        // First publish installs a cap that fits exactly two releases.
+        let (v1, budget) = registry
+            .publish_capped("acct", json.as_bytes(), Some(2.0))
+            .unwrap();
+        assert_eq!(v1.version, 1);
+        assert_eq!(budget.cap, Some(2.0));
+        assert_eq!(budget.spent.to_bits(), 1.0f64.to_bits());
+        assert_eq!(budget.remaining, Some(1.0));
+
+        let (v2, budget) = registry.publish("acct", json.as_bytes()).unwrap();
+        assert_eq!(v2.version, 2);
+        assert_eq!(budget.remaining, Some(0.0));
+
+        // Overdraw: 409, no version mint, no swap, ledger untouched.
+        let err = match registry.publish("acct", json.as_bytes()) {
+            Err(e) => e,
+            Ok(_) => panic!("exhausted publish must fail"),
+        };
+        assert!(matches!(err, ServeError::BudgetExhausted(_)));
+        assert_eq!(registry.get("acct").unwrap().version, 2);
+        let budget = registry.budget("acct").unwrap();
+        assert_eq!(budget.spent.to_bits(), 2.0f64.to_bits());
+        // The next successful publish (after no cap change) still gets
+        // a fresh version — the counter never reuses a minted value.
+        // (Nothing more can be published here; this is pinned by the
+        // concurrent stress test instead.)
+    }
+
+    #[test]
+    fn caps_are_immutable_once_set() {
+        let registry = SynopsisRegistry::new();
+        let budget = registry.set_cap("t", 1.5).unwrap();
+        assert_eq!(budget.cap, Some(1.5));
+        assert_eq!(budget.spent, 0.0);
+        // Re-stating the identical cap is idempotent.
+        assert!(registry.set_cap("t", 1.5).is_ok());
+        // Changing it is a conflict, in either direction.
+        assert!(matches!(
+            registry.set_cap("t", 2.0),
+            Err(ServeError::Conflict(_))
+        ));
+        assert!(matches!(
+            registry.set_cap("t", 1.0),
+            Err(ServeError::Conflict(_))
+        ));
+        // Malformed caps are the client's fault.
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                registry.set_cap("u", bad),
+                Err(ServeError::BadRequest(_))
+            ));
+        }
+        // A capped-but-unpublished tenant is invisible to lookups but
+        // keeps its budget.
+        assert!(registry.get("t").is_none());
+        assert!(registry.is_empty());
+        assert_eq!(registry.budget("t").unwrap().cap, Some(1.5));
+    }
+
+    #[test]
+    fn cap_below_uncapped_spend_is_rejected() {
+        let registry = SynopsisRegistry::new();
+        let json = sample_json::<2>();
+        registry.publish("t", json.as_bytes()).unwrap(); // spends 1.0 uncapped
+        assert!(matches!(
+            registry.set_cap("t", 0.5),
+            Err(ServeError::Conflict(_))
+        ));
+        // A cap at or above the spend is accepted.
+        let budget = registry.set_cap("t", 1.0).unwrap();
+        assert_eq!(budget.remaining, Some(0.0));
+    }
+
+    #[test]
+    fn stream_style_debit_and_predebited_publish_share_the_ledger() {
+        let registry = SynopsisRegistry::new();
+        let json = sample_json::<2>();
+        registry.set_cap("mix", 2.5).unwrap();
+        // Stream path: reserve, then ship predebited bytes.
+        let budget = registry.debit("mix", 0.5).unwrap();
+        assert_eq!(budget.spent.to_bits(), 0.5f64.to_bits());
+        let (v1, budget) = registry.publish_predebited("mix", json.as_bytes()).unwrap();
+        assert_eq!(v1.version, 1);
+        assert_eq!(budget.spent.to_bits(), 0.5f64.to_bits()); // no double debit
+                                                              // Manual path composes on the same account: 0.5 + 1.0.
+        let (v2, budget) = registry.publish("mix", json.as_bytes()).unwrap();
+        assert_eq!(v2.version, 2);
+        assert_eq!(budget.spent.to_bits(), (0.5f64 + 1.0).to_bits());
+        // A further stream reservation that would overdraw fails.
+        let err = registry.debit("mix", 1.5).unwrap_err();
+        assert!(matches!(err, ServeError::BudgetExhausted(_)));
+        assert_eq!(
+            registry.budget("mix").unwrap().spent.to_bits(),
+            1.5f64.to_bits()
+        );
     }
 
     #[test]

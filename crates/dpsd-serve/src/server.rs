@@ -43,7 +43,9 @@ use crate::cache::{CacheKey, ShardedCache};
 use crate::error::ServeError;
 use crate::http::{read_request, write_response, HttpError, Request};
 use crate::metrics::{Endpoint, Metrics};
-use crate::registry::{with_synopsis, AnySynopsis, PublishedSynopsis, SynopsisRegistry};
+use crate::registry::{
+    with_synopsis, AnySynopsis, PublishedSynopsis, SynopsisRegistry, TenantBudget,
+};
 use crate::stream::{IngestReport, StreamManager, StreamSpec};
 use dpsd_core::exec::Parallelism;
 use dpsd_core::flat::FlatSynopsis;
@@ -123,10 +125,19 @@ impl Server {
 
     /// Publishes an artifact (any wire format, including `dpsd-bin`
     /// blobs) directly, without a round-trip — used by the binary to
-    /// preload synopses from files before serving.
+    /// preload synopses from files before serving. Preloads debit the
+    /// tenant ledger like any publish, so a `--tenant-cap` installed
+    /// first is enforced from the very first artifact.
     pub fn preload(&self, name: &str, artifact: &[u8]) -> Result<(String, u64), ServeError> {
-        let published = self.state.registry.publish(name, artifact)?;
+        let (published, _) = self.state.registry.publish(name, artifact)?;
         Ok((published.name.clone(), published.version))
+    }
+
+    /// Installs a per-tenant budget cap before serving — the binary's
+    /// `--tenant-cap name=eps` flag. Subject to the registry's
+    /// immutability rule: set once, re-statable bit-identically.
+    pub fn set_tenant_cap(&self, name: &str, cap: f64) -> Result<(), ServeError> {
+        self.state.registry.set_cap(name, cap).map(|_| ())
     }
 
     /// Serves forever on the calling thread (the binary's main loop).
@@ -326,8 +337,24 @@ fn route(state: &ServerState, request: &Request) -> (Endpoint, Result<String, Se
     }
 }
 
-/// The metadata object reported for one published synopsis.
-fn published_info(p: &PublishedSynopsis) -> Value {
+/// The tenant-budget object reported alongside a synopsis: `cap` and
+/// `remaining` are `null` for uncapped tenants (infinity has no JSON
+/// rendering), `spent` is the bit-exact sequential debit fold.
+fn budget_value(b: &TenantBudget) -> Value {
+    let opt = |v: Option<f64>| v.map_or(Value::Null, Value::Number);
+    Value::Object(vec![
+        ("cap".to_string(), opt(b.cap)),
+        ("spent".to_string(), Value::Number(b.spent)),
+        ("remaining".to_string(), opt(b.remaining)),
+    ])
+}
+
+/// The metadata object reported for one published synopsis. `epsilon`
+/// is the hosted artifact's per-release budget; `budget.spent` is the
+/// tenant's *cumulative* ledger spend across every publish and stream
+/// release under this name — the two deliberately differ for any
+/// re-published or stream-backed tenant.
+fn published_info(p: &PublishedSynopsis, budget: &TenantBudget) -> Value {
     Value::Object(vec![
         ("name".to_string(), Value::String(p.name.clone())),
         ("version".to_string(), Value::Number(p.version as f64)),
@@ -351,7 +378,17 @@ fn published_info(p: &PublishedSynopsis) -> Value {
                     .collect(),
             ),
         ),
+        ("budget".to_string(), budget_value(budget)),
     ])
+}
+
+/// First value of a query parameter in a request target, e.g.
+/// `budget_cap` in `/synopses/t?budget_cap=2.5`.
+fn query_param<'t>(target: &'t str, key: &str) -> Option<&'t str> {
+    target.split_once('?')?.1.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        (k == key).then_some(v)
+    })
 }
 
 fn to_body(value: &Value) -> Result<String, ServeError> {
@@ -364,23 +401,32 @@ fn handle_publish(
     name: &str,
     request: &Request,
 ) -> Result<String, ServeError> {
+    // `?budget_cap=eps` on the first publish caps the tenant; the cap
+    // is installed under the same lock as the debit and version mint.
+    let cap = match query_param(&request.target, "budget_cap") {
+        None => None,
+        Some(raw) => Some(raw.parse::<f64>().map_err(|_| {
+            ServeError::BadRequest(format!("budget_cap must be a number, got `{raw}`"))
+        })?),
+    };
     // The body goes to the registry as raw bytes: binary artifacts are
     // sniffed by magic, and UTF-8 validation (for JSON/text) happens in
-    // the registry's loader.
-    let published = state.registry.publish(name, &request.body)?;
+    // the registry's loader. A failed debit returns before this point
+    // with the cache — like the registry — untouched.
+    let (published, budget) = state.registry.publish_capped(name, &request.body, cap)?;
     // Hot swap: answers minted against older versions are unreachable
     // (the version is part of every cache key); purging just frees the
     // space immediately.
     state.cache.purge_stale(name, published.version);
-    to_body(&published_info(&published))
+    to_body(&published_info(&published, &budget))
 }
 
 fn handle_list(state: &ServerState) -> Result<String, ServeError> {
     let infos: Vec<Value> = state
         .registry
-        .list()
+        .list_with_budgets()
         .iter()
-        .map(|p| published_info(p))
+        .map(|(p, b)| published_info(p, b))
         .collect();
     to_body(&Value::Object(vec![(
         "synopses".to_string(),
@@ -389,11 +435,11 @@ fn handle_list(state: &ServerState) -> Result<String, ServeError> {
 }
 
 fn handle_info(state: &ServerState, name: &str) -> Result<String, ServeError> {
-    let published = state
+    let (published, budget) = state
         .registry
-        .get(name)
+        .get_with_budget(name)
         .ok_or_else(|| ServeError::UnknownSynopsis(name.to_string()))?;
-    to_body(&published_info(&published))
+    to_body(&published_info(&published, &budget))
 }
 
 fn parse_json_body(request: &Request) -> Result<Value, ServeError> {
@@ -567,7 +613,7 @@ fn handle_stream_create(
 ) -> Result<String, ServeError> {
     let body = parse_json_body(request)?;
     let spec = StreamSpec::from_value(&body)?;
-    state.streams.create(name, &spec)?;
+    state.streams.create(name, &spec, &state.registry)?;
     state.streams.info(name).and_then(|v| to_body(&v))
 }
 
@@ -657,9 +703,9 @@ fn handle_stats(state: &ServerState) -> Result<String, ServeError> {
     let cache = state.cache.stats();
     let registry: Vec<Value> = state
         .registry
-        .list()
+        .list_with_budgets()
         .iter()
-        .map(|p| published_info(p))
+        .map(|(p, b)| published_info(p, b))
         .collect();
     to_body(&Value::Object(vec![
         ("registry".to_string(), Value::Array(registry)),
@@ -689,6 +735,43 @@ mod tests {
         assert!(c.cache_capacity > 0);
         assert!(c.max_body_bytes >= 1 << 20);
         assert!(c.max_batch >= 1000);
+    }
+
+    #[test]
+    fn query_params_parse_from_the_target() {
+        assert_eq!(
+            query_param("/synopses/t?budget_cap=2.5", "budget_cap"),
+            Some("2.5")
+        );
+        assert_eq!(
+            query_param("/synopses/t?a=1&budget_cap=0.75&b=2", "budget_cap"),
+            Some("0.75")
+        );
+        assert_eq!(query_param("/synopses/t", "budget_cap"), None);
+        assert_eq!(query_param("/synopses/t?other=1", "budget_cap"), None);
+        assert_eq!(query_param("/synopses/t?budget_cap", "budget_cap"), None);
+    }
+
+    #[test]
+    fn budget_values_render_null_for_uncapped() {
+        let uncapped = TenantBudget {
+            cap: None,
+            spent: 1.5,
+            remaining: None,
+        };
+        assert_eq!(
+            serde_json::to_string(&budget_value(&uncapped)).unwrap(),
+            r#"{"cap":null,"spent":1.5,"remaining":null}"#
+        );
+        let capped = TenantBudget {
+            cap: Some(2.0),
+            spent: 1.5,
+            remaining: Some(0.5),
+        };
+        assert_eq!(
+            serde_json::to_string(&budget_value(&capped)).unwrap(),
+            r#"{"cap":2.0,"spent":1.5,"remaining":0.5}"#
+        );
     }
 
     #[test]

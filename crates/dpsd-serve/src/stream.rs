@@ -340,6 +340,10 @@ impl AnyIngestor {
     fn next_release_debit(&self) -> f64 {
         with_ingestor!(self, s => s.next_release_debit())
     }
+
+    fn check_next_release(&self) -> Result<(), ServeError> {
+        with_ingestor!(self, s => s.check_next_release().map_err(ServeError::from))
+    }
 }
 
 /// One named stream: the accumulator plus its release bookkeeping.
@@ -392,7 +396,19 @@ impl StreamManager {
     /// Creates a stream under `name`. Fails with a conflict if one
     /// already exists (streams are never silently reconfigured — that
     /// would break the determinism contract mid-flight).
-    pub fn create(&self, name: &str, spec: &StreamSpec) -> Result<(), ServeError> {
+    ///
+    /// The stream's `budget_cap` is installed as the **tenant** cap on
+    /// the registry ledger (subject to the set-once rule): every epoch
+    /// release debits the same account as a manual publish under this
+    /// name, so streamed and manual releases compose under one cap. If
+    /// the tenant is already capped differently, creation fails with a
+    /// conflict before any stream state exists.
+    pub fn create(
+        &self,
+        name: &str,
+        spec: &StreamSpec,
+        registry: &SynopsisRegistry,
+    ) -> Result<(), ServeError> {
         validate_name(name)?;
         let ingestor = AnyIngestor::build(spec)?;
         let mut streams = write_or_recover(&self.streams);
@@ -400,6 +416,11 @@ impl StreamManager {
             return Err(ServeError::Conflict(format!(
                 "stream `{name}` already exists"
             )));
+        }
+        // An infinite cap (possible only for in-process callers — JSON
+        // numbers are finite) means "uncapped" and installs nothing.
+        if spec.budget_cap.is_finite() {
+            registry.set_cap(name, spec.budget_cap)?;
         }
         streams.insert(
             name.to_string(),
@@ -511,10 +532,21 @@ impl StreamManager {
         if state.ingestor.total_points() != boundary {
             return Ok(());
         }
+        // Budget ordering: (1) the stream's own ledger must afford the
+        // release (checked without mutating, same comparison as the
+        // debit); (2) the release epsilon is reserved on the *tenant*
+        // ledger, atomically against concurrent manual publishes under
+        // this name; (3) only then is noise drawn and the internal
+        // debit taken — guaranteed to succeed after (1), since the
+        // stream mutex is held throughout. Either failure leaves both
+        // ledgers and the stream untouched (absorbed points stay).
+        state.ingestor.check_next_release()?;
+        registry.debit(name, state.ingestor.next_release_debit())?;
         let (epoch, _epsilon, bytes) = state.ingestor.release_epoch_bytes()?;
-        // Publish through the ordinary registry path: identical
-        // hot-swap and cache-purge semantics to a manual POST.
-        let published = registry.publish(name, &bytes)?;
+        // Publish through the registry's predebited path: identical
+        // hot-swap and cache-purge semantics to a manual POST, without
+        // double-charging the epsilon reserved in step (2).
+        let (published, _budget) = registry.publish_predebited(name, &bytes)?;
         cache.purge_stale(name, published.version);
         state.versions.push(published.version);
         releases.push(ReleasedEpoch {
@@ -734,9 +766,9 @@ mod tests {
         let manager = StreamManager::new();
         let registry = SynopsisRegistry::new();
         let cache = ShardedCache::new(64);
-        manager.create("taxi", &spec_2d(100)).unwrap();
+        manager.create("taxi", &spec_2d(100), &registry).unwrap();
         assert!(matches!(
-            manager.create("taxi", &spec_2d(100)),
+            manager.create("taxi", &spec_2d(100), &registry),
             Err(ServeError::Conflict(_))
         ));
 
@@ -777,7 +809,7 @@ mod tests {
         let manager = StreamManager::new();
         let registry = SynopsisRegistry::new();
         let cache = ShardedCache::new(64);
-        manager.create("s", &spec_2d(120)).unwrap();
+        manager.create("s", &spec_2d(120), &registry).unwrap();
         let wire = wire_points(240);
         manager.ingest("s", &wire, None, &registry, &cache).unwrap();
 
@@ -817,7 +849,7 @@ mod tests {
             manager.ingest("ghost", &wire_points(1), None, &registry, &cache),
             Err(ServeError::UnknownSynopsis(_))
         ));
-        manager.create("s", &spec_2d(100)).unwrap();
+        manager.create("s", &spec_2d(100), &registry).unwrap();
         // Wrong arity.
         assert!(manager
             .ingest("s", &[vec![1.0]], None, &registry, &cache)
@@ -840,7 +872,7 @@ mod tests {
         let cache = ShardedCache::new(64);
         let mut spec = spec_2d(10);
         spec.budget_cap = 0.6; // one 0.5-epsilon epoch fits, two do not
-        manager.create("s", &spec).unwrap();
+        manager.create("s", &spec, &registry).unwrap();
         manager
             .ingest("s", &wire_points(10), None, &registry, &cache)
             .unwrap();
@@ -861,7 +893,7 @@ mod tests {
         let manager = StreamManager::new();
         let registry = SynopsisRegistry::new();
         let cache = ShardedCache::new(64);
-        manager.create("a", &spec_2d(100)).unwrap();
+        manager.create("a", &spec_2d(100), &registry).unwrap();
         manager
             .ingest("a", &wire_points(130), None, &registry, &cache)
             .unwrap();
@@ -894,7 +926,7 @@ mod tests {
         let cache = ShardedCache::new(64);
         let mut spec = spec_2d(80);
         spec.window = Some(2);
-        manager.create("w", &spec).unwrap();
+        manager.create("w", &spec, &registry).unwrap();
         let wire = wire_points(400);
         // Unaligned batches crossing several boundaries at once.
         for chunk in wire.chunks(130) {
@@ -941,7 +973,7 @@ mod tests {
         let cache = ShardedCache::new(64);
         let mut spec = spec_2d(100);
         spec.user_cap = Some(2);
-        manager.create("u", &spec).unwrap();
+        manager.create("u", &spec, &registry).unwrap();
         // Capped stream without users: 400.
         assert!(matches!(
             manager.ingest("u", &wire_points(3), None, &registry, &cache),
@@ -953,7 +985,7 @@ mod tests {
             Err(ServeError::BadRequest(_))
         ));
         // Uncapped stream with users: 400.
-        manager.create("plain", &spec_2d(100)).unwrap();
+        manager.create("plain", &spec_2d(100), &registry).unwrap();
         assert!(matches!(
             manager.ingest("plain", &wire_points(2), Some(&[1, 2]), &registry, &cache),
             Err(ServeError::BadRequest(_))
@@ -967,7 +999,7 @@ mod tests {
         let cache = ShardedCache::new(64);
         let mut spec = spec_2d(4);
         spec.user_cap = Some(2);
-        manager.create("u", &spec).unwrap();
+        manager.create("u", &spec, &registry).unwrap();
         // User 7 floods: only its first two points are admitted, so the
         // epoch-0 boundary (4 admitted points) needs user 8's pair too.
         let users = [7u64, 7, 7, 7, 8, 8];
@@ -1001,7 +1033,7 @@ mod tests {
             let mut spec = spec_2d(10);
             spec.window = Some(1);
             spec.user_cap = Some(3);
-            manager.create("u", &spec).unwrap();
+            manager.create("u", &spec, &registry).unwrap();
             let mut lo = 0usize;
             while lo < wire.len() {
                 let hi = (lo + chunk).min(wire.len());

@@ -183,13 +183,13 @@ fn registry_hot_swap_never_serves_stale_cached_answers() {
         }
     };
 
-    let p1 = registry
+    let (p1, _) = registry
         .publish("swap", v1.to_json_string().as_bytes())
         .unwrap();
     assert_eq!(read_through(&p1).to_bits(), v1.query(&q).to_bits());
     assert_eq!(read_through(&p1).to_bits(), v1.query(&q).to_bits()); // cached
 
-    let p2 = registry
+    let (p2, _) = registry
         .publish("swap", v2.to_json_string().as_bytes())
         .unwrap();
     cache.purge_stale("swap", p2.version);

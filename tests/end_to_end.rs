@@ -49,7 +49,8 @@ fn budgets_compose_within_epsilon_for_every_family() {
     for eps in [0.1, 0.5, 1.0] {
         for config in all_private_configs(eps, 4) {
             let tree = config.with_seed(5).build(&points).unwrap();
-            let audit = audit_path_epsilon(tree.eps_count_levels(), tree.eps_median_levels());
+            let audit =
+                audit_path_epsilon(tree.eps_count_levels(), tree.eps_median_levels()).unwrap();
             assert!(
                 audit.within(eps),
                 "{}: per-path spend {} exceeds {eps}",

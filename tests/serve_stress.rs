@@ -239,6 +239,56 @@ fn stress_without_cache() {
 }
 
 #[test]
+fn concurrent_publishes_mint_unique_consecutive_versions() {
+    // 8 connections race 12 publishes each against one uncapped name.
+    // The registry mints versions from a per-tenant counter under the
+    // same write lock that swaps the artifact, so the 96 publishes must
+    // come back as exactly the set 1..=96 — a duplicate would mean two
+    // publishes read the same prior version, a gap would mean a mint
+    // leaked from a rejected path.
+    let handle = start(1024);
+    let addr = handle.addr();
+    let artifact = synopsis(99).to_json_string();
+    let versions: Vec<u64> = std::thread::scope(|scope| {
+        let publishers: Vec<_> = (0..8)
+            .map(|_| {
+                let artifact = &artifact;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    (0..12)
+                        .map(|_| {
+                            let r = client.post("/synopses/mint", artifact).unwrap();
+                            assert_eq!(r.status, 200, "{}", r.body);
+                            r.json()
+                                .unwrap()
+                                .get("version")
+                                .and_then(|v| v.as_u64())
+                                .expect("publish response carries a version")
+                        })
+                        .collect::<Vec<u64>>()
+                })
+            })
+            .collect();
+        publishers
+            .into_iter()
+            .flat_map(|p| p.join().expect("publisher must not panic"))
+            .collect()
+    });
+    let mut sorted = versions;
+    sorted.sort_unstable();
+    assert_eq!(
+        sorted,
+        (1..=96).collect::<Vec<u64>>(),
+        "every version minted exactly once, with no gaps"
+    );
+    // The highest mint is the one serving.
+    let mut checker = Client::connect(addr).unwrap();
+    let info = checker.get("/synopses/mint").unwrap().json().unwrap();
+    assert_eq!(info.get("version").and_then(|v| v.as_u64()), Some(96));
+    handle.shutdown();
+}
+
+#[test]
 fn tiny_cache_thrashes_but_stays_correct() {
     // A 32-entry cache under a cache-busting mix: constant eviction,
     // still bit-identical.

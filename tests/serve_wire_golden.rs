@@ -45,7 +45,7 @@ fn exchanges(artifact: &str) -> Vec<(&'static str, &'static str, String, String,
             "/synopses/golden".into(),
             artifact.to_string(),
             200,
-            "{\"name\":\"golden\",\"version\":1.0,\"dims\":2.0,\"kind\":\"quadtree\",\"nodes\":5.0,\"epsilon\":2.0,\"domain\":[0.0,0.0,8.0,8.0]}".into(),
+            "{\"name\":\"golden\",\"version\":1.0,\"dims\":2.0,\"kind\":\"quadtree\",\"nodes\":5.0,\"epsilon\":2.0,\"domain\":[0.0,0.0,8.0,8.0],\"budget\":{\"cap\":null,\"spent\":2.0,\"remaining\":null}}".into(),
         ),
         (
             "info",
@@ -53,7 +53,7 @@ fn exchanges(artifact: &str) -> Vec<(&'static str, &'static str, String, String,
             "/synopses/golden".into(),
             String::new(),
             200,
-            "{\"name\":\"golden\",\"version\":1.0,\"dims\":2.0,\"kind\":\"quadtree\",\"nodes\":5.0,\"epsilon\":2.0,\"domain\":[0.0,0.0,8.0,8.0]}".into(),
+            "{\"name\":\"golden\",\"version\":1.0,\"dims\":2.0,\"kind\":\"quadtree\",\"nodes\":5.0,\"epsilon\":2.0,\"domain\":[0.0,0.0,8.0,8.0],\"budget\":{\"cap\":null,\"spent\":2.0,\"remaining\":null}}".into(),
         ),
         (
             "list",
@@ -61,7 +61,7 @@ fn exchanges(artifact: &str) -> Vec<(&'static str, &'static str, String, String,
             "/synopses".into(),
             String::new(),
             200,
-            "{\"synopses\":[{\"name\":\"golden\",\"version\":1.0,\"dims\":2.0,\"kind\":\"quadtree\",\"nodes\":5.0,\"epsilon\":2.0,\"domain\":[0.0,0.0,8.0,8.0]}]}".into(),
+            "{\"synopses\":[{\"name\":\"golden\",\"version\":1.0,\"dims\":2.0,\"kind\":\"quadtree\",\"nodes\":5.0,\"epsilon\":2.0,\"domain\":[0.0,0.0,8.0,8.0],\"budget\":{\"cap\":null,\"spent\":2.0,\"remaining\":null}}]}".into(),
         ),
         (
             "query-miss",
@@ -119,6 +119,34 @@ fn exchanges(artifact: &str) -> Vec<(&'static str, &'static str, String, String,
             404,
             "{\"error\":\"no such route: /definitely/not/a/route\"}".into(),
         ),
+        // Per-tenant budget accounting: the first capped publish debits
+        // the artifact's composed epsilon against the cap; the second
+        // would overdraw and is refused with the bit-exact arithmetic
+        // on the wire (409, no version mint, no hot swap).
+        (
+            "publish-capped",
+            "POST",
+            "/synopses/capped?budget_cap=3.0".into(),
+            artifact.to_string(),
+            200,
+            "{\"name\":\"capped\",\"version\":1.0,\"dims\":2.0,\"kind\":\"quadtree\",\"nodes\":5.0,\"epsilon\":2.0,\"domain\":[0.0,0.0,8.0,8.0],\"budget\":{\"cap\":3.0,\"spent\":2.0,\"remaining\":1.0}}".into(),
+        ),
+        (
+            "error-budget-exhausted",
+            "POST",
+            "/synopses/capped".into(),
+            artifact.to_string(),
+            409,
+            "{\"error\":\"privacy budget exhausted: release needs epsilon 2 but only 1 remains under the cap\"}".into(),
+        ),
+        (
+            "error-bad-budget-cap",
+            "POST",
+            "/synopses/capped2?budget_cap=lots".into(),
+            artifact.to_string(),
+            400,
+            "{\"error\":\"bad request: budget_cap must be a number, got `lots`\"}".into(),
+        ),
     ]
 }
 
@@ -167,6 +195,31 @@ fn stats_schema_is_pinned() {
     let stats = client.get("/stats").unwrap().json().unwrap();
     for section in ["registry", "cache", "endpoints"] {
         assert!(stats.get(section).is_some(), "missing section `{section}`");
+    }
+    // Each registry entry distinguishes the *per-release* epsilon (what
+    // this artifact's composition spent) from the tenant's *cumulative*
+    // ledger (`budget.spent` across every publish and stream release
+    // under the name).
+    let registry = stats
+        .get("registry")
+        .unwrap()
+        .as_array()
+        .expect("registry section must be an array");
+    assert!(!registry.is_empty(), "stats registry section is empty");
+    for entry in registry {
+        assert!(
+            entry.get("epsilon").is_some(),
+            "missing per-release epsilon"
+        );
+        let budget = entry
+            .get("budget")
+            .unwrap_or_else(|| panic!("missing budget ledger on {:?}", entry.get("name")));
+        for field in ["cap", "spent", "remaining"] {
+            assert!(
+                budget.get(field).is_some(),
+                "missing budget field `{field}`"
+            );
+        }
     }
     let cache = stats.get("cache").unwrap();
     for field in [
